@@ -1,0 +1,134 @@
+// Experiment E5: compensation cost (paper section 4). Two regimes:
+//   * commutative MSets -> "the system can simply apply the compensation
+//     without any overhead" (fast path), and
+//   * unconstrained (ordered) MSets -> rollback of the log suffix and
+//     replay ("in general we need to rollback the entire log").
+//
+// Sweeps the abort rate for both COMPE modes and reports the compensation
+// machinery's work: fast-path vs general rollbacks, records undone+replayed
+// per abort, and throughput. A second micro-table sweeps log depth to show
+// the O(suffix) cost of interior rollbacks directly.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "esr/replicated_system.h"
+#include "store/mset_log.h"
+#include "workload/workload.h"
+
+namespace esr {
+namespace {
+
+using bench::Banner;
+using bench::Fmt;
+using bench::Table;
+using core::Method;
+using core::ReplicatedSystem;
+using core::SystemConfig;
+using store::Operation;
+using workload::WorkloadRunner;
+using workload::WorkloadSpec;
+
+void AbortRateSweep() {
+  Banner("E5a: abort-rate sweep (3 sites, commutative vs ordered COMPE)");
+  Table table({"mode", "abort rate", "updates/s", "compensations",
+               "fast path", "general rollbacks", "records rolled back",
+               "rolled back / abort", "converged"});
+  for (Method method : {Method::kCompe, Method::kCompeOrdered}) {
+    for (double abort_rate : {0.0, 0.1, 0.25, 0.5}) {
+      SystemConfig config;
+      config.method = method;
+      config.num_sites = 3;
+      config.seed = 500 + static_cast<uint64_t>(abort_rate * 100);
+      config.network.base_latency_us = 5'000;
+      config.record_history = false;
+      ReplicatedSystem system(config);
+
+      WorkloadSpec spec;
+      spec.seed = config.seed;
+      spec.num_objects = 8;
+      spec.update_fraction = 0.7;
+      spec.clients_per_site = 2;
+      spec.think_time_us = 5'000;
+      spec.duration_us = 1'000'000;
+      spec.compe_abort_probability = abort_rate;
+      spec.compe_decision_delay_us = 30'000;
+      if (method == Method::kCompeOrdered) {
+        spec.update_kind = WorkloadSpec::UpdateKind::kMixedNonCommutative;
+      }
+      WorkloadRunner runner(&system, spec);
+      auto result = runner.Run();
+      system.RunUntilQuiescent();
+
+      int64_t fast = 0, general = 0, rolled = 0;
+      for (SiteId s = 0; s < 3; ++s) {
+        const auto& stats = system.site_mset_log(s).stats();
+        fast += stats.fast_path;
+        general += stats.general_rollbacks;
+        rolled += stats.records_rolled_back;
+      }
+      const int64_t compensations =
+          system.counters().Get("esr.compensations");
+      const int64_t aborts = system.counters().Get("esr.compe_aborts");
+      table.AddRow(
+          {std::string(core::MethodToString(method)), Fmt(abort_rate, 2),
+           Fmt(result.UpdatesPerSec()), std::to_string(compensations),
+           std::to_string(fast), std::to_string(general),
+           std::to_string(rolled),
+           aborts > 0 ? Fmt(static_cast<double>(rolled) / aborts, 2) : "0",
+           system.Converged() ? "yes" : "NO"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: commutative COMPE compensates entirely on the fast\n"
+      "path (general rollbacks == 0, rolled back / abort == 0); ordered\n"
+      "COMPE with mixed operations pays suffix rollback+replay that grows\n"
+      "with the abort rate. Every cell converges.\n");
+}
+
+void LogDepthMicro() {
+  Banner("E5b: interior-rollback cost vs log depth (direct MsetLog micro)");
+  Table table({"log depth", "ops kind", "records rolled back",
+               "fast path used"});
+  for (int depth : {4, 16, 64, 256}) {
+    // Non-commutative log: compensating the FIRST record rolls the rest.
+    {
+      store::ObjectStore store;
+      store::MsetLog log;
+      for (int i = 0; i < depth; ++i) {
+        (void)log.ApplyAndLog(store, i + 1,
+                              {Operation::Write(0, Value(int64_t{i}))});
+      }
+      (void)log.Compensate(store, 1);
+      table.AddRow({std::to_string(depth), "writes (non-commutative)",
+                    std::to_string(log.stats().records_rolled_back),
+                    std::to_string(log.stats().fast_path)});
+    }
+    // Commutative log: compensating the first record is O(1).
+    {
+      store::ObjectStore store;
+      store::MsetLog log;
+      for (int i = 0; i < depth; ++i) {
+        (void)log.ApplyAndLog(store, i + 1, {Operation::Increment(0, 1)});
+      }
+      (void)log.Compensate(store, 1);
+      table.AddRow({std::to_string(depth), "increments (commutative)",
+                    std::to_string(log.stats().records_rolled_back),
+                    std::to_string(log.stats().fast_path)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: non-commutative rollback work == log depth (undo\n"
+      "suffix + replay); commutative compensation is depth-independent.\n");
+}
+
+}  // namespace
+}  // namespace esr
+
+int main() {
+  esr::AbortRateSweep();
+  esr::LogDepthMicro();
+  return 0;
+}

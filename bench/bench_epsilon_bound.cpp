@@ -1,0 +1,115 @@
+// Experiment E2: the inconsistency a query accumulates is bounded by its
+// overlap and user-tunable down to zero (paper sections 2.1-2.2: "the
+// amount of error can be reduced to a specified margin ... in the limit,
+// users see strict 1-copy serializability").
+//
+// Sweep epsilon for ORDUP and COMMU under a contended counter workload and
+// report, per cell: query throughput/latency, blocking/restart work, the
+// charged inconsistency distribution, the *measured* error (value distance
+// vs the converged state; drift conflicts vs the pin), and whether every
+// completed query respected charged <= epsilon.
+
+#include <cstdio>
+
+#include "analysis/query_checker.h"
+#include "analysis/sr_checker.h"
+#include "bench_util.h"
+#include "esr/replicated_system.h"
+#include "workload/workload.h"
+
+namespace esr {
+namespace {
+
+using bench::Banner;
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+using core::kUnboundedEpsilon;
+using core::Method;
+using core::ReplicatedSystem;
+using core::SystemConfig;
+using workload::WorkloadRunner;
+using workload::WorkloadSpec;
+
+void EpsilonSweep(Method method) {
+  Banner(std::string("E2: epsilon sweep under ") +
+         std::string(core::MethodToString(method)) +
+         " (hot counters, 3 sites, 10 ms latency)");
+  Table table({"epsilon", "queries/s", "qry p50 (ms)", "blocked", "restarts",
+               "charged mean", "charged max", "max |err| vs final",
+               "bound held", "eps=0 queries 1SR"});
+  for (int64_t epsilon : {int64_t{0}, int64_t{1}, int64_t{2}, int64_t{4},
+                          int64_t{8}, int64_t{16}, kUnboundedEpsilon}) {
+    SystemConfig config;
+    config.method = method;
+    config.num_sites = 3;
+    config.seed = 900 + static_cast<uint64_t>(epsilon % 97);
+    config.network.base_latency_us = 10'000;
+    ReplicatedSystem system(config);
+
+    WorkloadSpec spec;
+    spec.seed = config.seed;
+    spec.num_objects = 4;  // hot: queries overlap updates constantly
+    spec.update_fraction = 0.5;
+    spec.reads_per_query = 3;
+    spec.read_gap_us = 8'000;  // queries span time -> updates drift past
+    spec.query_epsilon = epsilon;
+    spec.think_time_us = 5'000;
+    spec.clients_per_site = 2;
+    spec.duration_us = 1'000'000;
+    WorkloadRunner runner(&system, spec);
+    auto result = runner.Run();
+    system.RunUntilQuiescent();
+
+    auto sr = analysis::CheckUpdateSerializability(system.history(), 3);
+    auto reports =
+        analysis::AnalyzeQueries(system.history(), sr.serial_order);
+    int64_t charged_max = 0;
+    double err_max = 0;
+    bool bound_held = sr.serializable;
+    bool eps0_sr = true;
+    for (const auto& r : reports) {
+      charged_max = std::max(charged_max, r.charged);
+      err_max = std::max(err_max, r.max_value_error_vs_final);
+      if (epsilon != kUnboundedEpsilon && r.charged > epsilon) {
+        bound_held = false;
+      }
+      if (epsilon == 0 && !r.prefix_consistent) eps0_sr = false;
+    }
+    table.AddRow({epsilon == kUnboundedEpsilon ? "inf"
+                                               : std::to_string(epsilon),
+                  Fmt(result.QueriesPerSec()),
+                  Fmt(result.query_latency_us.Percentile(50) / 1000.0, 2),
+                  FmtInt(result.query_blocked_attempts),
+                  FmtInt(result.query_restarts),
+                  Fmt(result.query_inconsistency.mean(), 2),
+                  FmtInt(charged_max), Fmt(err_max),
+                  bound_held ? "yes" : "NO",
+                  // eps=0 => 1SR is the ORDUP (strict pin) and RITU (VTNC)
+                  // guarantee; COMMU's lock-counters bound only the locally
+                  // visible overlap (see DESIGN.md), so no 1SR claim there.
+                  epsilon != 0         ? "-"
+                  : method == Method::kOrdup ? (eps0_sr ? "yes" : "NO")
+                                             : "n/a (local bound)"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace esr
+
+int main() {
+  using namespace esr;
+  EpsilonSweep(core::Method::kOrdup);
+  std::printf(
+      "\nExpected shape (ORDUP): epsilon=0 forces strict (pinned) queries —\n"
+      "slower, zero error, 1SR; growing epsilon trades error for fewer\n"
+      "restarts; 'bound held' stays yes at every epsilon.\n");
+  EpsilonSweep(core::Method::kCommu);
+  std::printf(
+      "\nExpected shape (COMMU): small epsilon makes queries *wait* for\n"
+      "stability (blocked attempts high, latency high); the charged\n"
+      "inconsistency and measured error shrink toward zero as epsilon\n"
+      "does; 'bound held' stays yes.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Experiment E7: ESR admits strictly more interleavings than SR (paper
+// section 2.1: query ETs interleave freely; section 3.2: commutative
+// updates eliminate "a major bottleneck — the lack of commutativity
+// between reads and updates").
+//
+// A synthetic stream of lock requests from a mixed transaction population
+// is replayed against the same lock manager under three compatibility
+// tables: classic strict 2PL, ORDUP ET locks (Table 2) and COMMU ET locks
+// (Table 3). Reported: immediate-grant rate and the mean number of
+// transactions concurrently holding locks on the hot object — direct
+// measures of admitted concurrency.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cc/lock_manager.h"
+#include "common/rng.h"
+
+namespace esr {
+namespace {
+
+using bench::Banner;
+using bench::Fmt;
+using bench::Table;
+using cc::CompatibilityTable;
+using cc::LockManager;
+using cc::LockMode;
+using store::OpKind;
+
+struct StreamResult {
+  int64_t requests = 0;
+  int64_t granted_immediately = 0;
+  double mean_holders = 0;
+};
+
+/// One synthetic transaction: a query (reads only) or an update (reads +
+/// increment writes). Transactions arrive, try-lock their whole footprint,
+/// hold it for a while, then release; blocked requests are simply counted
+/// (no queuing), which isolates *admission* concurrency.
+StreamResult ReplayStream(CompatibilityTable table, double query_fraction,
+                          uint64_t seed) {
+  LockManager lm(table);
+  Rng rng(seed);
+  StreamResult out;
+  struct Live {
+    EtId txn;
+    int remaining;  // time steps until release
+  };
+  std::vector<Live> live;
+  EtId next_txn = 1;
+  int64_t holder_samples = 0;
+  const bool strict = table == CompatibilityTable::kStrict2PL;
+  for (int step = 0; step < 20'000; ++step) {
+    // Releases.
+    for (auto it = live.begin(); it != live.end();) {
+      if (--it->remaining <= 0) {
+        lm.ReleaseAll(it->txn);
+        it = live.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // One arrival per step.
+    const bool is_query = rng.Bernoulli(query_fraction);
+    const EtId txn = next_txn++;
+    bool all_granted = true;
+    const int footprint = static_cast<int>(rng.Uniform(1, 3));
+    for (int i = 0; i < footprint; ++i) {
+      const ObjectId object = rng.Uniform(0, 3);  // hot set
+      LockMode mode;
+      OpKind kind;
+      if (is_query) {
+        mode = strict ? LockMode::kSharedStrict : LockMode::kReadQuery;
+        kind = OpKind::kRead;
+      } else {
+        mode = strict ? LockMode::kExclusiveStrict : LockMode::kWriteUpdate;
+        kind = OpKind::kIncrement;
+      }
+      ++out.requests;
+      Status s = lm.Acquire(txn, object, mode, kind, nullptr);
+      if (s.ok()) {
+        ++out.granted_immediately;
+      } else {
+        all_granted = false;
+      }
+    }
+    if (all_granted) {
+      live.push_back(Live{txn, static_cast<int>(rng.Uniform(2, 10))});
+    } else {
+      lm.ReleaseAll(txn);  // abort the blocked transaction (try-lock model)
+    }
+    holder_samples += static_cast<int64_t>(live.size());
+  }
+  out.mean_holders = static_cast<double>(holder_samples) / 20'000.0;
+  return out;
+}
+
+}  // namespace
+}  // namespace esr
+
+int main() {
+  using namespace esr;
+  using namespace esr::bench;
+
+  Banner(
+      "E7: admitted concurrency under strict 2PL vs ET lock tables "
+      "(try-lock stream, 4 hot objects)");
+  Table table({"query fraction", "table", "grant rate",
+               "mean live transactions", "gain vs strict"});
+  struct TableCase {
+    cc::CompatibilityTable table;
+    const char* name;
+  };
+  const TableCase tables[] = {
+      {cc::CompatibilityTable::kStrict2PL, "strict 2PL"},
+      {cc::CompatibilityTable::kOrdupEt, "ORDUP ETs (Table 2)"},
+      {cc::CompatibilityTable::kCommuEt, "COMMU ETs (Table 3)"},
+  };
+  for (double query_fraction : {0.5, 0.8, 0.95}) {
+    double strict_holders = 0;
+    for (const TableCase& tc : tables) {
+      auto r = ReplayStream(tc.table, query_fraction, 700);
+      if (tc.table == cc::CompatibilityTable::kStrict2PL) {
+        strict_holders = r.mean_holders;
+      }
+      table.AddRow(
+          {Fmt(query_fraction, 2), tc.name,
+           Fmt(100.0 * r.granted_immediately / r.requests, 1) + "%",
+           Fmt(r.mean_holders, 2),
+           strict_holders > 0 ? Fmt(r.mean_holders / strict_holders, 2) + "x"
+                              : "1.00x"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: Table 2 already beats strict 2PL (query reads stop\n"
+      "conflicting with update locks), and Table 3 beats Table 2 (commuting\n"
+      "increments co-hold write locks). The gain is largest when updates\n"
+      "contend (low query fraction) — strict 2PL already admits read/read\n"
+      "concurrency, so pure-query streams gain least.\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Related-work comparison (paper section 5.2): quasi-copies vs ESR replica
+// control. Quasi-copies keeps the primary 1SR and lets read-only caches
+// lag; ESR (COMMU here) commits anywhere and meters inconsistency per
+// query. Two tables:
+//
+//   (a) update commit latency and query staleness vs the refresh policy
+//       (version-lag sweep) at a fixed WAN latency — quasi trades refresh
+//       traffic for staleness, with updates always paying the primary
+//       round trip;
+//   (b) availability profile under a partition isolating the primary.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "esr/quasi_copy.h"
+#include "esr/replicated_system.h"
+#include "workload/workload.h"
+
+namespace esr {
+namespace {
+
+using bench::Banner;
+using bench::Fmt;
+using bench::Table;
+using core::Method;
+using core::ReplicatedSystem;
+using core::SystemConfig;
+using store::Operation;
+
+void RefreshPolicySweep() {
+  Banner(
+      "Quasi-copies vs COMMU: commit latency, staleness, refresh traffic "
+      "(5 sites, 25 ms links)");
+  Table table({"config", "upd commit p50 (ms)", "mean |read err| vs final",
+               "refresh msgs / update", "queries/s"});
+  struct CaseSpec {
+    Method method;
+    int64_t version_lag;
+    const char* label;
+  };
+  const CaseSpec cases[] = {
+      {Method::kQuasiCopy, 1, "QUASI lag=1 (eager)"},
+      {Method::kQuasiCopy, 4, "QUASI lag=4"},
+      {Method::kQuasiCopy, 16, "QUASI lag=16"},
+      {Method::kCommu, 0, "COMMU (epsilon=inf)"},
+  };
+  uint64_t seed = 1200;
+  for (const CaseSpec& c : cases) {
+    SystemConfig config;
+    config.method = c.method;
+    config.num_sites = 5;
+    config.seed = ++seed;
+    config.network.base_latency_us = 25'000;
+    config.quasi_version_lag = c.version_lag;
+    ReplicatedSystem system(config);
+
+    workload::WorkloadSpec spec;
+    spec.seed = config.seed;
+    spec.num_objects = 16;
+    spec.update_fraction = 0.4;
+    spec.clients_per_site = 1;
+    spec.think_time_us = 10'000;
+    spec.duration_us = 1'500'000;
+    workload::WorkloadRunner runner(&system, spec);
+    auto result = runner.Run();
+    system.RunUntilQuiescent();
+
+    // Staleness: per read, |value - converged value| (counters).
+    Summary err;
+    std::unordered_map<ObjectId, int64_t> final_values;
+    for (ObjectId o = 0; o < spec.num_objects; ++o) {
+      final_values[o] = system.SiteValue(0, o).AsInt();
+    }
+    for (const auto& read : system.history().reads()) {
+      if (read.value.is_int()) {
+        err.Add(static_cast<double>(
+            std::abs(read.value.AsInt() - final_values[read.object])));
+      }
+    }
+    const int64_t refreshes = system.counters().Get("quasi.refreshes");
+    const double per_update =
+        result.updates_committed > 0
+            ? static_cast<double>(refreshes) * 4 /  // 4 cache destinations
+                  result.updates_committed
+            : 0;
+    table.AddRow({c.label,
+                  Fmt(result.update_latency_us.Percentile(50) / 1000.0, 2),
+                  Fmt(err.mean(), 1),
+                  c.method == Method::kQuasiCopy ? Fmt(per_update, 2) : "n/a",
+                  Fmt(result.QueriesPerSec())});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: quasi updates pay ~2x one-way latency at every\n"
+      "lag setting; growing the lag bound cuts refresh traffic but raises\n"
+      "read staleness. COMMU commits at 0 ms with staleness comparable to\n"
+      "eager quasi — and unlike quasi, each query could cap its own error\n"
+      "via epsilon.\n");
+}
+
+void PartitionProfile() {
+  Banner("Availability when a partition isolates the primary ({0} | rest)");
+  Table table({"method", "updates committed in partition",
+               "queries answered in partition", "converged after heal"});
+  for (Method method : {Method::kQuasiCopy, Method::kCommu}) {
+    SystemConfig config;
+    config.method = method;
+    config.num_sites = 4;
+    config.seed = 1300;
+    ReplicatedSystem system(config);
+    // Seed one object everywhere.
+    (void)system.SubmitUpdate(0, {Operation::Increment(0, 10)});
+    system.RunUntilQuiescent();
+    system.network().SetPartition({{0}, {1, 2, 3}});
+    const SimTime heal_at = system.simulator().Now() + 600'000;
+    int committed = 0, answered = 0;
+    for (int i = 0; i < 10; ++i) {
+      (void)system.SubmitUpdate(
+          1 + (i % 3), {Operation::Increment(0, 1)}, [&](Status s) {
+            // Count only completions inside the partition window.
+            if (s.ok() && system.simulator().Now() < heal_at) ++committed;
+          });
+      const EtId q = system.BeginQuery(1 + (i % 3));
+      system.Read(q, 0, [&, q](Result<Value> v) {
+        if (v.ok() && system.simulator().Now() < heal_at) ++answered;
+        (void)system.EndQuery(q);
+      });
+      system.RunFor(50'000);
+    }
+    system.RunFor(heal_at - system.simulator().Now());
+    system.network().HealPartition();
+    system.RunUntilQuiescent();
+    table.AddRow({std::string(core::MethodToString(method)),
+                  std::to_string(committed), std::to_string(answered),
+                  system.Converged() ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: quasi caches keep answering (read-only\n"
+      "redundancy) but zero updates commit while the primary is cut off;\n"
+      "COMMU commits everything locally and merges at heal.\n");
+}
+
+}  // namespace
+}  // namespace esr
+
+int main() {
+  esr::RefreshPolicySweep();
+  esr::PartitionProfile();
+  return 0;
+}

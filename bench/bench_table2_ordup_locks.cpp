@@ -1,0 +1,106 @@
+// Regenerates paper Table 2 (2PL compatibility for ORDUP ETs) by probing
+// the lock manager: for every (held, requested) pair of ET lock classes,
+// acquire the first lock, try-acquire the second, and print OK/conflict.
+// Also prints the classic strict-2PL matrix for contrast and measures
+// lock-manager probe cost with google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cc/lock_manager.h"
+
+namespace esr {
+namespace {
+
+using bench::Banner;
+using cc::CompatibilityTable;
+using cc::LockManager;
+using cc::LockMode;
+using store::OpKind;
+
+struct Probe {
+  LockMode mode;
+  OpKind kind;
+  const char* label;
+};
+
+void PrintMatrix(CompatibilityTable table_kind, const char* title,
+                 const std::vector<Probe>& probes) {
+  Banner(title);
+  std::vector<std::string> headers{"held \\ requested"};
+  for (const Probe& p : probes) headers.push_back(p.label);
+  bench::Table table(headers);
+  for (const Probe& held : probes) {
+    std::vector<std::string> row{held.label};
+    for (const Probe& requested : probes) {
+      LockManager lm(table_kind);
+      // Holder transaction 1 takes the first lock; transaction 2 probes.
+      Status first = lm.Acquire(1, /*object=*/0, held.mode, held.kind,
+                                nullptr);
+      Status second = lm.Acquire(2, /*object=*/0, requested.mode,
+                                 requested.kind, nullptr);
+      (void)first;
+      row.push_back(second.ok() ? "OK" : "conflict");
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+void RunTables() {
+  const std::vector<Probe> et_probes = {
+      {LockMode::kReadUpdate, OpKind::kRead, "RU"},
+      {LockMode::kWriteUpdate, OpKind::kWrite, "WU"},
+      {LockMode::kReadQuery, OpKind::kRead, "RQ"},
+  };
+  PrintMatrix(CompatibilityTable::kOrdupEt,
+              "Paper Table 2: 2PL compatibility for ORDUP ETs", et_probes);
+  std::printf(
+      "\nPaper expectation: RU/RU OK; every pair involving WU conflicts;\n"
+      "the RQ row and column are all OK (query reads never block).\n");
+
+  const std::vector<Probe> strict_probes = {
+      {LockMode::kSharedStrict, OpKind::kRead, "S"},
+      {LockMode::kExclusiveStrict, OpKind::kWrite, "X"},
+  };
+  PrintMatrix(CompatibilityTable::kStrict2PL, "Baseline: classic strict 2PL",
+              strict_probes);
+  std::printf(
+      "\nContrast: under classic 2PL a query read is an S lock and blocks\n"
+      "behind X — the concurrency ESR recovers (see\n"
+      "bench_esr_concurrency_gain).\n");
+}
+
+void BM_TryAcquireRelease(benchmark::State& state) {
+  LockManager lm(CompatibilityTable::kOrdupEt);
+  EtId txn = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lm.Acquire(txn, 0, LockMode::kReadQuery, OpKind::kRead, nullptr));
+    lm.ReleaseAll(txn);
+    ++txn;
+  }
+}
+BENCHMARK(BM_TryAcquireRelease);
+
+void BM_CompatibilityCheck(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cc::LockCompatible(CompatibilityTable::kOrdupEt,
+                           LockMode::kWriteUpdate, OpKind::kWrite,
+                           LockMode::kReadQuery, OpKind::kRead));
+  }
+}
+BENCHMARK(BM_CompatibilityCheck);
+
+}  // namespace
+}  // namespace esr
+
+int main(int argc, char** argv) {
+  esr::RunTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

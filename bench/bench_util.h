@@ -1,0 +1,72 @@
+#ifndef ESR_BENCH_BENCH_UTIL_H_
+#define ESR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace esr::bench {
+
+/// Fixed-width console table, markdown-ish, used by every experiment
+/// harness so EXPERIMENTS.md can quote the output verbatim.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        if (row[i].size() > widths[i]) widths[i] = row[i].size();
+      }
+    }
+    PrintRow(headers_, widths);
+    std::string sep;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      sep += "|";
+      sep.append(widths[i] + 2, '-');
+    }
+    sep += "|";
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row, widths);
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& cells,
+                       const std::vector<size_t>& widths) {
+    std::string line;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      line += "| " + cell;
+      line.append(widths[i] - cell.size() + 1, ' ');
+    }
+    line += "|";
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtInt(int64_t v) { return std::to_string(v); }
+
+/// Section banner for a bench binary's stdout.
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace esr::bench
+
+#endif  // ESR_BENCH_BENCH_UTIL_H_

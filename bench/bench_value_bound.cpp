@@ -1,0 +1,104 @@
+// Extension experiment: value-units divergence bounding (paper section 5.1
+// — the "data value" spatial consistency criterion of interdependent data
+// management / Controlled Inconsistency, folded into the COMMU
+// lock-counter machinery).
+//
+// A bank-style workload posts transfers of mixed magnitudes; queries sweep
+// a value budget V. Reported: blocking, the charged value-inconsistency,
+// and the *actual* maximum read error versus the converged state — which
+// must stay within V plus the locally-invisible in-flight remainder.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "esr/replicated_system.h"
+#include "workload/workload.h"
+
+namespace esr {
+namespace {
+
+using bench::Banner;
+using bench::Fmt;
+using bench::Table;
+using core::kUnboundedEpsilon;
+using core::Method;
+using core::ReplicatedSystem;
+using core::SystemConfig;
+using store::Operation;
+
+void Sweep() {
+  Banner(
+      "Value-bounded queries under COMMU (transfers of magnitude 1..100, "
+      "3 sites, 15 ms links)");
+  Table table({"value budget", "reads ok", "reads blocked (attempts)",
+               "charged value-inc mean", "charged value-inc max",
+               "actual |err| max"});
+  for (int64_t budget : {int64_t{0}, int64_t{25}, int64_t{100}, int64_t{400},
+                         kUnboundedEpsilon}) {
+    SystemConfig config;
+    config.method = Method::kCommu;
+    config.num_sites = 3;
+    config.seed = 1400;
+    config.network.base_latency_us = 15'000;
+    ReplicatedSystem system(config);
+
+    Rng rng(1400);
+    Summary charged;
+    int64_t reads_ok = 0, blocked = 0;
+    double actual_err_max = 0;
+    // Interleaved updates + hand-driven value-bounded queries.
+    std::vector<std::pair<EtId, int64_t>> snapshots;  // (query value, time)
+    std::vector<std::pair<int64_t, int64_t>> reads;   // (value, charged)
+    for (int i = 0; i < 200; ++i) {
+      (void)system.SubmitUpdate(
+          static_cast<SiteId>(rng.Uniform(0, 2)),
+          {Operation::Increment(0, rng.Uniform(1, 100))});
+      system.RunFor(rng.Uniform(1'000, 6'000));
+      if (i % 4 == 3) {
+        const EtId q =
+            system.BeginQuery(0, kUnboundedEpsilon, budget);
+        Result<Value> v = system.TryRead(q, 0);
+        if (v.ok()) {
+          ++reads_ok;
+          const auto* state = system.query_state(q);
+          charged.Add(static_cast<double>(state->value_inconsistency));
+          reads.emplace_back(v->AsInt(), state->value_inconsistency);
+        } else {
+          ++blocked;
+        }
+        (void)system.EndQuery(q);
+      }
+    }
+    system.RunUntilQuiescent();
+    const int64_t final_value = system.SiteValue(0, 0).AsInt();
+    (void)final_value;
+    // Actual error vs the *locally stable* value at read time is not
+    // recorded; use error vs converged final as the loose outer measure.
+    for (const auto& [value, charge] : reads) {
+      (void)charge;
+      actual_err_max = std::max(
+          actual_err_max, static_cast<double>(std::abs(final_value - value)));
+    }
+    table.AddRow({budget == kUnboundedEpsilon ? "inf" : std::to_string(budget),
+                  std::to_string(reads_ok), std::to_string(blocked),
+                  Fmt(charged.mean(), 1), Fmt(charged.max(), 0),
+                  Fmt(actual_err_max, 0)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: the charged value-inconsistency never exceeds the\n"
+      "budget; a zero budget blocks whenever transfers are in flight; the\n"
+      "blocking rate falls as the budget grows. (The 'actual err' column\n"
+      "is measured against the FINAL converged value, so it includes\n"
+      "updates the reading site had not even heard of — it shrinks with\n"
+      "the budget but is not itself the bounded quantity; see DESIGN.md on\n"
+      "the locally-visible horizon.)\n");
+}
+
+}  // namespace
+}  // namespace esr
+
+int main() {
+  esr::Sweep();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Directory-service scenario (Grapevine/Clearinghouse style, paper
+// section 5.4): a replicated name service mapping user names to mailbox
+// locations.
+//
+// Registrations are *timestamped blind writes* — nobody read-modifies a
+// directory entry, the newest registration simply wins — which is exactly
+// RITU's operation class. Lookups choose their own freshness: an
+// epsilon = 0 lookup reads the VTNC snapshot (guaranteed serializable, may
+// lag); a lookup with budget reads the newest replica version and spends
+// inconsistency units for it.
+
+#include <cstdio>
+#include <string>
+
+#include "esr/replicated_system.h"
+
+using esr::core::Method;
+using esr::core::ReplicatedSystem;
+using esr::core::SystemConfig;
+using esr::store::Operation;
+
+namespace {
+
+constexpr esr::ObjectId kAlice = 0;
+constexpr esr::ObjectId kBob = 1;
+
+void Lookup(ReplicatedSystem& system, esr::SiteId site, esr::ObjectId name,
+            int64_t epsilon, const char* label) {
+  const esr::EtId q = system.BeginQuery(site, epsilon);
+  auto v = system.TryRead(q, name);
+  const auto* state = system.query_state(q);
+  std::printf("  %-28s -> %-22s (inconsistency spent: %lld)\n", label,
+              v.ok() ? v->ToString().c_str() : v.status().ToString().c_str(),
+              state ? static_cast<long long>(state->inconsistency) : -1);
+  (void)system.EndQuery(q);
+}
+
+void Register(ReplicatedSystem& system, esr::SiteId site, esr::ObjectId name,
+              const std::string& mailbox) {
+  auto r = system.SubmitUpdate(
+      site, {Operation::TimestampedWrite(name, esr::Value(mailbox),
+                                         esr::kZeroTimestamp)});
+  if (!r.ok()) {
+    std::printf("registration rejected: %s\n", r.status().ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  SystemConfig config;
+  config.method = Method::kRituMulti;
+  config.num_sites = 4;
+  config.network.base_latency_us = 40'000;  // geographically spread
+  config.heartbeat_interval_us = 20'000;
+  config.seed = 11;
+  ReplicatedSystem system(config);
+
+  std::printf("t=0: alice registers at site 0; bob at site 3\n");
+  Register(system, 0, kAlice, "mailbox@site0");
+  Register(system, 3, kBob, "mailbox@site3");
+  system.RunFor(5'000);  // registrations still in flight
+
+  std::printf("\nlookups at site 2 while registrations propagate:\n");
+  Lookup(system, 2, kAlice, 0, "alice (epsilon=0, snapshot)");
+  Lookup(system, 2, kAlice, 2, "alice (epsilon=2, fresh)");
+
+  system.RunUntilQuiescent();
+  std::printf("\nafter propagation, the same lookups agree:\n");
+  Lookup(system, 2, kAlice, 0, "alice (epsilon=0, snapshot)");
+  Lookup(system, 2, kAlice, 2, "alice (epsilon=2, fresh)");
+
+  // Conflicting re-registration from two sites "at once": the Lamport
+  // timestamp order decides, and every replica converges to the same
+  // winner — no manual conflict resolution (contrast with Ficus/Coda,
+  // paper section 5.4).
+  std::printf("\nalice re-registers concurrently at sites 1 and 2...\n");
+  Register(system, 1, kAlice, "mailbox@site1");
+  Register(system, 2, kAlice, "mailbox@site2");
+  system.RunUntilQuiescent();
+  std::printf("converged: %s\n", system.Converged() ? "yes" : "no");
+  for (esr::SiteId s = 0; s < 4; ++s) {
+    std::printf("  site %d sees alice at %s\n", s,
+                system.SiteValue(s, kAlice).ToString().c_str());
+  }
+
+  std::printf("\nbob is still reachable everywhere:\n");
+  for (esr::SiteId s = 0; s < 4; ++s) {
+    Lookup(system, s, kBob, 0, ("bob from site " + std::to_string(s)).c_str());
+  }
+  return 0;
+}

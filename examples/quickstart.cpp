@@ -1,0 +1,83 @@
+// Quickstart: a replicated counter under COMMU replica control.
+//
+// Three sites replicate a counter. Updates are increments (commutative, so
+// they may propagate asynchronously in any order); queries declare how much
+// inconsistency they tolerate via epsilon. Build & run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "esr/replicated_system.h"
+
+using esr::core::Method;
+using esr::core::ReplicatedSystem;
+using esr::core::SystemConfig;
+using esr::store::Operation;
+
+int main() {
+  // 1. Configure a 3-site system running the COMMU method over a network
+  //    with 20 ms one-way latency.
+  SystemConfig config;
+  config.method = Method::kCommu;
+  config.num_sites = 3;
+  config.network.base_latency_us = 20'000;
+  ReplicatedSystem system(config);
+
+  const esr::ObjectId kCounter = 0;
+
+  // 2. Commit update ETs at different sites. COMMU commits locally and
+  //    immediately; propagation to the other replicas happens in the
+  //    background through stable queues.
+  for (esr::SiteId site = 0; site < 3; ++site) {
+    auto result = system.SubmitUpdate(
+        site, {Operation::Increment(kCounter, 10)}, [&](esr::Status s) {
+          std::printf("update committed locally: %s (t=%lld us)\n",
+                      s.ToString().c_str(),
+                      static_cast<long long>(system.simulator().Now()));
+        });
+    if (!result.ok()) {
+      std::printf("update rejected: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // 3. A relaxed query (epsilon = 5) reads right away: it may see a value
+  //    that misses in-flight updates, and its inconsistency counter tells
+  //    it how many concurrent updates could have affected what it saw.
+  {
+    esr::EtId q = system.BeginQuery(/*site=*/0, /*epsilon=*/5);
+    auto v = system.TryRead(q, kCounter);
+    const auto* state = system.query_state(q);
+    std::printf("relaxed query at site 0: value=%s, inconsistency=%lld\n",
+                v.ok() ? v->ToString().c_str() : v.status().ToString().c_str(),
+                static_cast<long long>(state->inconsistency));
+    (void)system.EndQuery(q);
+  }
+
+  // 4. A strict query (epsilon = 0) refuses inconsistent answers. Under
+  //    COMMU it waits until the in-flight updates are stable everywhere;
+  //    the retrying Read API drives that transparently.
+  {
+    esr::EtId q = system.BeginQuery(/*site=*/1, /*epsilon=*/0);
+    system.Read(q, kCounter, [&](esr::Result<esr::Value> v) {
+      std::printf("strict query at site 1: value=%s (t=%lld us)\n",
+                  v->ToString().c_str(),
+                  static_cast<long long>(system.simulator().Now()));
+      (void)system.EndQuery(q);
+    });
+  }
+
+  // 5. Drive the simulation to quiescence: all MSets delivered and applied.
+  system.RunUntilQuiescent();
+
+  // 6. Convergence: every replica now holds the same, one-copy-serializable
+  //    state (30 = three increments of 10).
+  std::printf("converged: %s\n", system.Converged() ? "yes" : "no");
+  for (esr::SiteId site = 0; site < 3; ++site) {
+    std::printf("site %d counter = %s\n", site,
+                system.SiteValue(site, kCounter).ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Regenerates every experiment table (EXPERIMENTS.md's source of truth).
+# Usage: scripts/run_benches.sh [build-dir]   (default: build)
+set -e
+BUILD="${1:-build}"
+for b in "$BUILD"/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "==================================================================="
+  echo "# $(basename "$b")"
+  echo "==================================================================="
+  "$b"
+  echo
+done

@@ -1,0 +1,175 @@
+#include "analysis/esr_log.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace esr::analysis {
+
+std::vector<EtId> FlatLog::UpdateTransactions() const {
+  std::set<EtId> writers, all;
+  for (const LogOp& op : ops) {
+    all.insert(op.transaction);
+    if (op.is_write) writers.insert(op.transaction);
+  }
+  return {writers.begin(), writers.end()};
+}
+
+std::vector<EtId> FlatLog::QueryTransactions() const {
+  std::set<EtId> writers, all;
+  for (const LogOp& op : ops) {
+    all.insert(op.transaction);
+    if (op.is_write) writers.insert(op.transaction);
+  }
+  std::vector<EtId> out;
+  for (EtId t : all) {
+    if (!writers.count(t)) out.push_back(t);
+  }
+  return out;
+}
+
+Result<FlatLog> ParseLog(std::string_view text) {
+  FlatLog log;
+  std::map<std::string, ObjectId> objects;
+  size_t i = 0;
+  auto skip_space = [&]() {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+  };
+  while (true) {
+    skip_space();
+    if (i >= text.size()) break;
+    const char kind = text[i];
+    if (kind != 'R' && kind != 'W') {
+      return Status::InvalidArgument("expected R or W at position " +
+                                     std::to_string(i));
+    }
+    ++i;
+    // Transaction number.
+    size_t start = i;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (i == start) {
+      return Status::InvalidArgument("expected transaction number after " +
+                                     std::string(1, kind));
+    }
+    const EtId txn = std::stoll(std::string(text.substr(start, i - start)));
+    if (i >= text.size() || text[i] != '(') {
+      return Status::InvalidArgument("expected '(' after transaction number");
+    }
+    ++i;
+    start = i;
+    while (i < text.size() && text[i] != ')') ++i;
+    if (i >= text.size()) {
+      return Status::InvalidArgument("unterminated '('");
+    }
+    std::string name(text.substr(start, i - start));
+    if (name.empty()) {
+      return Status::InvalidArgument("empty object name");
+    }
+    ++i;  // consume ')'
+    auto [it, _] =
+        objects.emplace(name, static_cast<ObjectId>(objects.size()));
+    log.ops.push_back(LogOp{txn, kind == 'W', it->second});
+  }
+  if (log.ops.empty()) {
+    return Status::InvalidArgument("empty log");
+  }
+  return log;
+}
+
+bool IsSerializableLog(const FlatLog& log, const std::vector<EtId>& txns) {
+  std::unordered_set<EtId> include(txns.begin(), txns.end());
+  // Conflict edges: t1 -> t2 when an op of t1 precedes a conflicting op of
+  // t2 (same object, at least one write, different transactions).
+  std::unordered_map<EtId, std::unordered_set<EtId>> edges;
+  for (size_t i = 0; i < log.ops.size(); ++i) {
+    const LogOp& a = log.ops[i];
+    if (!include.count(a.transaction)) continue;
+    for (size_t j = i + 1; j < log.ops.size(); ++j) {
+      const LogOp& b = log.ops[j];
+      if (!include.count(b.transaction)) continue;
+      if (a.transaction == b.transaction) continue;
+      if (a.object != b.object) continue;
+      if (!a.is_write && !b.is_write) continue;
+      edges[a.transaction].insert(b.transaction);
+    }
+  }
+  // Cycle detection (iterative DFS with colors).
+  std::unordered_map<EtId, int> color;  // 0 white, 1 gray, 2 black
+  for (EtId t : txns) {
+    if (color[t] != 0) continue;
+    std::vector<std::pair<EtId, bool>> stack{{t, false}};
+    while (!stack.empty()) {
+      auto [node, processed] = stack.back();
+      stack.pop_back();
+      if (processed) {
+        color[node] = 2;
+        continue;
+      }
+      if (color[node] == 1) continue;
+      color[node] = 1;
+      stack.emplace_back(node, true);
+      for (EtId next : edges[node]) {
+        if (color[next] == 1) return false;  // back edge: cycle
+        if (color[next] == 0) stack.emplace_back(next, false);
+      }
+    }
+  }
+  return true;
+}
+
+EsrLogResult CheckEsrLog(const FlatLog& log) {
+  EsrLogResult result;
+  const std::vector<EtId> updates = log.UpdateTransactions();
+  const std::vector<EtId> queries = log.QueryTransactions();
+
+  result.epsilon_serializable = IsSerializableLog(log, updates);
+  std::vector<EtId> everyone = updates;
+  everyone.insert(everyone.end(), queries.begin(), queries.end());
+  result.fully_serializable = IsSerializableLog(log, everyone);
+
+  // Overlap per query: update ETs not finished at the query's first op,
+  // plus those starting during the query, restricted to updates touching
+  // the query's objects.
+  std::unordered_map<EtId, size_t> first_op, last_op;
+  for (size_t i = 0; i < log.ops.size(); ++i) {
+    const EtId t = log.ops[i].transaction;
+    if (!first_op.count(t)) first_op[t] = i;
+    last_op[t] = i;
+  }
+  for (EtId q : queries) {
+    EsrLogResult::QueryOverlap overlap;
+    overlap.query = q;
+    std::unordered_set<ObjectId> q_objects;
+    for (const LogOp& op : log.ops) {
+      if (op.transaction == q) q_objects.insert(op.object);
+    }
+    for (EtId u : updates) {
+      // "Had not finished at the first operation of the query": started
+      // before the query's first op but still running at it.
+      const bool unfinished_at_start =
+          first_op[u] < first_op[q] && last_op[u] > first_op[q];
+      const bool started_during =
+          first_op[u] >= first_op[q] && first_op[u] <= last_op[q];
+      if (!unfinished_at_start && !started_during) continue;
+      bool touches = false;
+      for (const LogOp& op : log.ops) {
+        if (op.transaction == u && op.is_write && q_objects.count(op.object)) {
+          touches = true;
+          break;
+        }
+      }
+      if (touches) overlap.overlapping_updates.push_back(u);
+    }
+    std::sort(overlap.overlapping_updates.begin(),
+              overlap.overlapping_updates.end());
+    result.overlaps.push_back(std::move(overlap));
+  }
+  return result;
+}
+
+}  // namespace esr::analysis

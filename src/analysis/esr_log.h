@@ -1,0 +1,74 @@
+#ifndef ESR_ANALYSIS_ESR_LOG_H_
+#define ESR_ANALYSIS_ESR_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace esr::analysis {
+
+/// A single operation of a flat transaction log, in the paper's notation:
+/// R_i(x) or W_i(x) — transaction i reads/writes object x.
+struct LogOp {
+  EtId transaction = kInvalidEtId;
+  bool is_write = false;
+  ObjectId object = kInvalidObjectId;
+
+  friend bool operator==(const LogOp&, const LogOp&) = default;
+};
+
+/// A flat log plus the classification of its transactions: a transaction
+/// with at least one write is an update ET; reads-only transactions are
+/// query ETs (paper section 2.1).
+struct FlatLog {
+  std::vector<LogOp> ops;
+
+  /// Transactions with at least one write.
+  std::vector<EtId> UpdateTransactions() const;
+  /// Read-only transactions.
+  std::vector<EtId> QueryTransactions() const;
+};
+
+/// Parses the paper's compact notation, e.g. the paper's example log (1):
+///
+///   "R1(a) W1(b) W2(b) R3(a) W2(a) R3(b)"
+///
+/// Objects are single identifiers mapped to dense ObjectIds in order of
+/// first appearance; whitespace between operations is optional.
+Result<FlatLog> ParseLog(std::string_view text);
+
+/// Serializability of a flat log by conflict-graph analysis over the given
+/// transactions (R/W and W/W dependencies, as in the standard model the
+/// paper summarizes). Transactions not listed are ignored entirely.
+bool IsSerializableLog(const FlatLog& log, const std::vector<EtId>& txns);
+
+/// Result of the epsilon-serializability test.
+struct EsrLogResult {
+  /// True when deleting the query ETs leaves a serializable update log —
+  /// the paper's epsilon-serial condition.
+  bool epsilon_serializable = false;
+  /// True when the log is serializable as-is (queries included).
+  bool fully_serializable = false;
+  /// Per query ET: its overlap — "the set of all update ETs that had not
+  /// finished at the first operation of the query ET, plus all the update
+  /// ETs that started during the query ET", restricted to updates touching
+  /// objects the query accesses.
+  struct QueryOverlap {
+    EtId query = kInvalidEtId;
+    std::vector<EtId> overlapping_updates;
+  };
+  std::vector<QueryOverlap> overlaps;
+};
+
+/// Checks the paper's log-level ESR definition: "a log containing only
+/// query ETs and update ETs is called an epsilon-serial log if, after
+/// deleting query ETs from the log, the remaining update ETs form an
+/// SRlog", and computes each query's overlap (its inconsistency upper
+/// bound; an empty overlap means the query is SR).
+EsrLogResult CheckEsrLog(const FlatLog& log);
+
+}  // namespace esr::analysis
+
+#endif  // ESR_ANALYSIS_ESR_LOG_H_

@@ -1,0 +1,48 @@
+#include "analysis/history.h"
+
+namespace esr::analysis {
+
+void HistoryRecorder::RecordUpdateCommit(UpdateRecord record) {
+  update_index_[record.et] = updates_.size();
+  updates_.push_back(std::move(record));
+}
+
+void HistoryRecorder::RecordUpdateAborted(EtId et) {
+  auto it = update_index_.find(et);
+  if (it != update_index_.end()) updates_[it->second].aborted = true;
+}
+
+int64_t HistoryRecorder::RecordApply(EtId et, SiteId site, SimTime time) {
+  std::vector<ApplyRecord>& seq = applies_[site];
+  const int64_t index = static_cast<int64_t>(seq.size()) + 1;
+  seq.push_back(ApplyRecord{et, site, time, index});
+  ++apply_counts_[et];
+  return index;
+}
+
+void HistoryRecorder::RecordRead(ReadRecord record) {
+  reads_.push_back(std::move(record));
+}
+
+void HistoryRecorder::RecordQueryEnd(QueryRecord record) {
+  queries_.push_back(record);
+}
+
+const std::vector<ApplyRecord>& HistoryRecorder::site_applies(
+    SiteId site) const {
+  static const std::vector<ApplyRecord> kEmpty;
+  auto it = applies_.find(site);
+  return it == applies_.end() ? kEmpty : it->second;
+}
+
+const UpdateRecord* HistoryRecorder::FindUpdate(EtId et) const {
+  auto it = update_index_.find(et);
+  return it == update_index_.end() ? nullptr : &updates_[it->second];
+}
+
+int HistoryRecorder::ApplyCount(EtId et) const {
+  auto it = apply_counts_.find(et);
+  return it == apply_counts_.end() ? 0 : it->second;
+}
+
+}  // namespace esr::analysis

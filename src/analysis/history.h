@@ -1,0 +1,101 @@
+#ifndef ESR_ANALYSIS_HISTORY_H_
+#define ESR_ANALYSIS_HISTORY_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+#include "store/operation.h"
+
+namespace esr::analysis {
+
+/// One committed update ET, recorded at its origin.
+struct UpdateRecord {
+  EtId et = kInvalidEtId;
+  SiteId origin = kInvalidSiteId;
+  SimTime commit_time = 0;
+  std::vector<store::Operation> ops;
+  /// ORDUP global order (0 when the method is unordered).
+  SequenceNumber order = 0;
+  /// RITU/COMMU Lamport timestamp (zero when unused).
+  LamportTimestamp timestamp;
+  /// COMPE: true when the global update ultimately aborted (compensated).
+  bool aborted = false;
+};
+
+/// One MSet application at one replica site.
+struct ApplyRecord {
+  EtId et = kInvalidEtId;
+  SiteId site = kInvalidSiteId;
+  SimTime time = 0;
+  /// Position in this site's apply sequence (1-based, dense per site).
+  int64_t apply_index = 0;
+};
+
+/// One read performed by a query ET.
+struct ReadRecord {
+  EtId query = kInvalidEtId;
+  SiteId site = kInvalidSiteId;
+  ObjectId object = kInvalidObjectId;
+  Value value;
+  SimTime time = 0;
+  /// Inconsistency units the method charged for this read.
+  int64_t inconsistency_increment = 0;
+  /// The query's serialization pin when the method has one (ORDUP order
+  /// number; 0 otherwise).
+  SequenceNumber pin = 0;
+  /// The site's apply-sequence position at read time.
+  int64_t site_apply_index = 0;
+};
+
+/// Completion record of a query ET.
+struct QueryRecord {
+  EtId query = kInvalidEtId;
+  SiteId site = kInvalidSiteId;
+  int64_t epsilon = 0;
+  int64_t final_inconsistency = 0;
+  bool completed = false;  // false: restarted/abandoned
+};
+
+/// Captures the full distributed execution so the checkers can decide,
+/// after the fact, whether the run was epsilon-serializable, whether
+/// replicas converged, and how much inconsistency each query actually
+/// accumulated versus what its counter claimed.
+///
+/// The recorder is passive and global (one per ReplicatedSystem); protocol
+/// code appends events as they happen on the simulator thread.
+class HistoryRecorder {
+ public:
+  void RecordUpdateCommit(UpdateRecord record);
+  void RecordUpdateAborted(EtId et);
+  /// Appends to the site's apply sequence and returns the apply index.
+  int64_t RecordApply(EtId et, SiteId site, SimTime time);
+  void RecordRead(ReadRecord record);
+  void RecordQueryEnd(QueryRecord record);
+
+  const std::vector<UpdateRecord>& updates() const { return updates_; }
+  const std::vector<ReadRecord>& reads() const { return reads_; }
+  const std::vector<QueryRecord>& queries() const { return queries_; }
+
+  /// Apply sequence (ET ids in application order) of one site.
+  const std::vector<ApplyRecord>& site_applies(SiteId site) const;
+
+  const UpdateRecord* FindUpdate(EtId et) const;
+
+  /// Number of sites that applied `et`.
+  int ApplyCount(EtId et) const;
+
+ private:
+  std::vector<UpdateRecord> updates_;
+  std::unordered_map<EtId, size_t> update_index_;
+  std::unordered_map<SiteId, std::vector<ApplyRecord>> applies_;
+  std::unordered_map<EtId, int> apply_counts_;
+  std::vector<ReadRecord> reads_;
+  std::vector<QueryRecord> queries_;
+};
+
+}  // namespace esr::analysis
+
+#endif  // ESR_ANALYSIS_HISTORY_H_

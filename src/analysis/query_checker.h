@@ -1,0 +1,51 @@
+#ifndef ESR_ANALYSIS_QUERY_CHECKER_H_
+#define ESR_ANALYSIS_QUERY_CHECKER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/history.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace esr::analysis {
+
+/// Per-query verdicts comparing what a query ET actually saw against the
+/// serial (one-copy) execution of the committed update ETs.
+struct QueryErrorReport {
+  EtId query = kInvalidEtId;
+  int64_t epsilon = 0;
+  /// Inconsistency units the replica control method charged the query.
+  int64_t charged = 0;
+  /// Conflicting update applications that drifted past the query between
+  /// its first and each subsequent read at its site (a measured lower bound
+  /// on the query's real overlap).
+  int64_t observed_conflicts = 0;
+  /// Max |read value - converged value| over integer reads (the raw value
+  /// distance a user of the query experienced vs. quiescent state).
+  double max_value_error_vs_final = 0;
+  /// True when the query's reads are jointly explainable as a prefix of the
+  /// serial order — i.e., the query was in fact one-copy serializable.
+  bool prefix_consistent = false;
+};
+
+/// Computes the one-copy state after applying the first `prefix` updates of
+/// `serial_order` (ids into history.updates()); `prefix` < 0 means all.
+std::unordered_map<ObjectId, Value> ComputeSerialState(
+    const HistoryRecorder& history, const std::vector<EtId>& serial_order,
+    int64_t prefix = -1);
+
+/// True when every read of `query` matches some single prefix of
+/// `serial_order` (the 1SR test for a query ET; paper: "If a query ET's
+/// overlap is empty, then it is SR").
+bool PrefixConsistent(const HistoryRecorder& history,
+                      const std::vector<EtId>& serial_order, EtId query);
+
+/// Full per-query analysis. `serial_order` is the witness order from
+/// CheckUpdateSerializability. Only completed queries are reported.
+std::vector<QueryErrorReport> AnalyzeQueries(
+    const HistoryRecorder& history, const std::vector<EtId>& serial_order);
+
+}  // namespace esr::analysis
+
+#endif  // ESR_ANALYSIS_QUERY_CHECKER_H_

@@ -1,0 +1,255 @@
+#include "cc/lock_manager.h"
+
+#include <cassert>
+
+namespace esr::cc {
+
+std::string_view LockModeToString(LockMode mode) {
+  switch (mode) {
+    case LockMode::kSharedStrict:
+      return "S";
+    case LockMode::kExclusiveStrict:
+      return "X";
+    case LockMode::kReadUpdate:
+      return "RU";
+    case LockMode::kWriteUpdate:
+      return "WU";
+    case LockMode::kReadQuery:
+      return "RQ";
+  }
+  return "?";
+}
+
+bool LockLevelCommutes(store::OpKind a, store::OpKind b) {
+  using store::OpKind;
+  if (a == OpKind::kRead || b == OpKind::kRead) return false;
+  if (a != b) return false;
+  switch (a) {
+    case OpKind::kIncrement:
+    case OpKind::kMultiply:
+    case OpKind::kTimestampedWrite:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool LockCompatible(CompatibilityTable table, LockMode held,
+                    store::OpKind held_kind, LockMode requested,
+                    store::OpKind requested_kind) {
+  switch (table) {
+    case CompatibilityTable::kStrict2PL: {
+      auto is_shared = [](LockMode m) {
+        return m == LockMode::kSharedStrict || m == LockMode::kReadUpdate ||
+               m == LockMode::kReadQuery;
+      };
+      return is_shared(held) && is_shared(requested);
+    }
+    case CompatibilityTable::kOrdupEt: {
+      // Paper Table 2: R_Q row and column are all OK; R_U/R_U OK; any pair
+      // involving W_U conflicts.
+      if (held == LockMode::kReadQuery || requested == LockMode::kReadQuery) {
+        return true;
+      }
+      return held == LockMode::kReadUpdate &&
+             requested == LockMode::kReadUpdate;
+    }
+    case CompatibilityTable::kCommuEt: {
+      // Paper Table 3: R_Q compatible with all; R_U/R_U OK; cells involving
+      // W_U are "Comm" — compatible when the operations commute.
+      if (held == LockMode::kReadQuery || requested == LockMode::kReadQuery) {
+        return true;
+      }
+      if (held == LockMode::kReadUpdate && requested == LockMode::kReadUpdate) {
+        return true;
+      }
+      return LockLevelCommutes(held_kind, requested_kind);
+    }
+  }
+  return false;
+}
+
+bool LockManager::CompatibleWithHolders(const ObjectLocks& locks, EtId txn,
+                                        LockMode mode,
+                                        store::OpKind op_kind) const {
+  for (const Holder& holder : locks.holders) {
+    if (holder.txn == txn) continue;
+    if (!LockCompatible(table_, holder.mode, holder.op_kind, mode, op_kind)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void LockManager::AddHolder(ObjectLocks& locks, EtId txn, LockMode mode,
+                            store::OpKind op_kind) {
+  // One holder entry per (txn, mode, kind): a transaction never conflicts
+  // with itself, but every distinct grant it holds must stay visible to
+  // other requesters (holding RU and later RQ must still block writers;
+  // holding WU(increment) and WU(multiply) must force others to commute
+  // with both).
+  for (Holder& holder : locks.holders) {
+    if (holder.txn == txn && holder.mode == mode &&
+        holder.op_kind == op_kind) {
+      ++holder.count;
+      return;
+    }
+  }
+  locks.holders.push_back(Holder{txn, mode, op_kind, 1});
+}
+
+bool LockManager::WouldDeadlock(EtId waiter_txn, ObjectId object,
+                                LockMode mode, store::OpKind op_kind) const {
+  // DFS over the wait-for graph starting from the transactions that
+  // `waiter_txn` would wait for; a path back to waiter_txn is a cycle.
+  std::vector<EtId> stack;
+  std::unordered_set<EtId> visited;
+  auto push_blockers = [&](ObjectId obj, EtId waiter, LockMode m,
+                           store::OpKind k) {
+    auto it = objects_.find(obj);
+    if (it == objects_.end()) return;
+    for (const Holder& holder : it->second.holders) {
+      if (holder.txn == waiter) continue;
+      if (!LockCompatible(table_, holder.mode, holder.op_kind, m, k)) {
+        if (visited.insert(holder.txn).second) stack.push_back(holder.txn);
+      }
+    }
+  };
+  push_blockers(object, waiter_txn, mode, op_kind);
+  while (!stack.empty()) {
+    const EtId txn = stack.back();
+    stack.pop_back();
+    if (txn == waiter_txn) return true;
+    // Follow txn's own waits.
+    auto wit = waiting_on_.find(txn);
+    if (wit == waiting_on_.end()) continue;
+    for (ObjectId obj : wit->second) {
+      auto oit = objects_.find(obj);
+      if (oit == objects_.end()) continue;
+      for (const Waiter& w : oit->second.waiters) {
+        if (w.txn != txn) continue;
+        push_blockers(obj, txn, w.mode, w.op_kind);
+      }
+    }
+  }
+  return false;
+}
+
+Status LockManager::Acquire(EtId txn, ObjectId object, LockMode mode,
+                            store::OpKind op_kind, GrantFn on_grant) {
+  ObjectLocks& locks = objects_[object];
+  // Grant if compatible with holders and no one is queued ahead (fairness);
+  // a re-entrant request by an existing holder skips the queue check, since
+  // making a holder wait behind its own blockee would deadlock instantly.
+  //
+  // Under wait-die the fairness gate is dropped entirely: queue-blocking a
+  // compatible requester behind an older waiter creates wait edges the
+  // age-based rule does not govern, which can weave cross-site cycles. The
+  // exclusive-mode locks wait-die serves here cannot queue-jump each other
+  // anyway (X/X always conflicts), so fairness is moot.
+  bool is_holder = false;
+  for (const Holder& h : locks.holders) {
+    if (h.txn == txn) {
+      is_holder = true;
+      break;
+    }
+  }
+  const bool fairness_gate =
+      policy_ == WaitPolicy::kDetect && !locks.waiters.empty() && !is_holder;
+  if (CompatibleWithHolders(locks, txn, mode, op_kind) && !fairness_gate) {
+    AddHolder(locks, txn, mode, op_kind);
+    return Status::Ok();
+  }
+  if (on_grant == nullptr) {
+    return Status::Unavailable("lock busy (try-lock)");
+  }
+  if (policy_ == WaitPolicy::kWaitDie) {
+    // Wait-die: the requester may only wait for younger (larger-id)
+    // transactions; waiting for an older one risks a (possibly
+    // distributed) cycle, so the requester dies instead.
+    for (const Holder& holder : locks.holders) {
+      if (holder.txn == txn) continue;
+      if (!LockCompatible(table_, holder.mode, holder.op_kind, mode,
+                          op_kind) &&
+          holder.txn < txn) {
+        return Status::Aborted("wait-die: younger requester dies");
+      }
+    }
+  } else if (WouldDeadlock(txn, object, mode, op_kind)) {
+    return Status::Aborted("deadlock detected; requester chosen as victim");
+  }
+  locks.waiters.push_back(Waiter{txn, mode, op_kind, std::move(on_grant)});
+  waiting_on_[txn].insert(object);
+  return Status::Unavailable("lock busy; request queued");
+}
+
+void LockManager::GrantWaiters(ObjectId object) {
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return;
+  ObjectLocks& locks = it->second;
+  // FIFO grant pass: stop at the first waiter that still conflicts, so an
+  // early writer cannot be starved by a stream of later-compatible readers.
+  // (Under wait-die, skipping over a conflicting waiter would also be
+  // unsound — it holds its queue position precisely because it is older.)
+  std::vector<GrantFn> to_fire;
+  while (!locks.waiters.empty()) {
+    Waiter& w = locks.waiters.front();
+    if (!CompatibleWithHolders(locks, w.txn, w.mode, w.op_kind)) break;
+    AddHolder(locks, w.txn, w.mode, w.op_kind);
+    waiting_on_[w.txn].erase(object);
+    if (waiting_on_[w.txn].empty()) waiting_on_.erase(w.txn);
+    to_fire.push_back(std::move(w.on_grant));
+    locks.waiters.pop_front();
+  }
+  // Fire callbacks after queue surgery: a grant handler may re-enter the
+  // manager (acquire the next lock, release everything on commit).
+  for (GrantFn& fn : to_fire) {
+    if (fn) fn();
+  }
+}
+
+void LockManager::ReleaseAll(EtId txn) {
+  std::vector<ObjectId> touched;
+  for (auto& [object, locks] : objects_) {
+    bool changed = false;
+    for (auto hit = locks.holders.begin(); hit != locks.holders.end();) {
+      if (hit->txn == txn) {
+        hit = locks.holders.erase(hit);
+        changed = true;
+      } else {
+        ++hit;
+      }
+    }
+    for (auto wit = locks.waiters.begin(); wit != locks.waiters.end();) {
+      if (wit->txn == txn) {
+        wit = locks.waiters.erase(wit);
+        changed = true;
+      } else {
+        ++wit;
+      }
+    }
+    if (changed) touched.push_back(object);
+  }
+  waiting_on_.erase(txn);
+  for (ObjectId object : touched) GrantWaiters(object);
+}
+
+int64_t LockManager::HeldCount(EtId txn) const {
+  int64_t n = 0;
+  for (const auto& [_, locks] : objects_) {
+    for (const Holder& h : locks.holders) {
+      if (h.txn == txn) ++n;
+    }
+  }
+  return n;
+}
+
+int64_t LockManager::WaiterCount() const {
+  int64_t n = 0;
+  for (const auto& [_, locks] : objects_) {
+    n += static_cast<int64_t>(locks.waiters.size());
+  }
+  return n;
+}
+
+}  // namespace esr::cc

@@ -1,0 +1,155 @@
+#ifndef ESR_CC_LOCK_MANAGER_H_
+#define ESR_CC_LOCK_MANAGER_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "store/operation.h"
+
+namespace esr::cc {
+
+/// Lock classes. The paper's modified 2PL distinguishes *who* is locking —
+/// an update ET or a query ET — because query reads never conflict under
+/// ESR. The two strict modes exist so the same manager can run classic 2PL
+/// for the concurrency-gain comparison (experiment E7).
+enum class LockMode {
+  kSharedStrict,     // classic S
+  kExclusiveStrict,  // classic X
+  kReadUpdate,       // R_U: read by an update ET
+  kWriteUpdate,      // W_U: write by an update ET
+  kReadQuery,        // R_Q: read by a query ET
+};
+
+std::string_view LockModeToString(LockMode mode);
+
+/// Which compatibility matrix the manager enforces.
+enum class CompatibilityTable {
+  /// Classic 2PL: S/S compatible, everything else conflicts.
+  kStrict2PL,
+  /// Paper Table 2 (ORDUP ETs): R_U/R_U compatible; R_Q compatible with
+  /// everything; R_U/W_U, W_U/R_U and W_U/W_U conflict.
+  kOrdupEt,
+  /// Paper Table 3 (COMMU ETs): like Table 2, but W_U/W_U and W_U/R_U are
+  /// "Comm" — compatible when the underlying operations commute.
+  kCommuEt,
+};
+
+/// Operation-kind-level commutativity used by Table 3's "Comm" cells: true
+/// only for update/update pairs of a commuting kind (increment/increment,
+/// multiply/multiply, timestamped-write/timestamped-write). A read within an
+/// update ET carries a real R/W dependency and commutes with nothing — the
+/// paper notes "there are ... few examples of commutativity between W_U and
+/// R_U", and our operation algebra has none.
+bool LockLevelCommutes(store::OpKind a, store::OpKind b);
+
+/// Pairwise compatibility under `table` (holder vs requester).
+bool LockCompatible(CompatibilityTable table, LockMode held,
+                    store::OpKind held_kind, LockMode requested,
+                    store::OpKind requested_kind);
+
+/// How blocked requests are kept from deadlocking.
+enum class WaitPolicy {
+  /// Queue and abort the requester only when its wait would close a local
+  /// wait-for cycle. Sufficient for single-node locking; blind to
+  /// distributed cycles.
+  kDetect,
+  /// Wait-die (Rosenkrantz et al.): a requester may wait only for
+  /// *younger* holders (larger transaction id); if any conflicting holder
+  /// is older, the requester aborts immediately. Deadlock-free even across
+  /// sites, at the cost of extra aborts — used by the 2PC participants,
+  /// whose lock waits span coordinators on different sites.
+  kWaitDie,
+};
+
+/// Two-phase-locking lock manager with ET lock classes, FIFO wait queues,
+/// and wait-for-graph deadlock detection (the requester that would close a
+/// cycle is aborted immediately) or wait-die prevention.
+///
+/// The manager is synchronous and runtime-agnostic: Acquire() either grants
+/// immediately, queues the request and later fires the grant callback from
+/// within some Release()/ReleaseAll() call, or rejects with kAborted
+/// (deadlock victim). Callers on the simulator treat a queued request as a
+/// blocked transaction.
+class LockManager {
+ public:
+  using GrantFn = std::function<void()>;
+
+  explicit LockManager(CompatibilityTable table,
+                       WaitPolicy policy = WaitPolicy::kDetect)
+      : table_(table), policy_(policy) {}
+
+  /// Requests a lock for `txn` on `object`. `op_kind` feeds Table 3's
+  /// commutativity cells (pass the operation's kind; for pure reads use
+  /// OpKind::kRead).
+  ///
+  /// Returns Ok when granted immediately (including re-entrant grants),
+  /// Unavailable when queued (on_grant fires upon grant; may be nullptr for
+  /// try-lock semantics, in which case the request is NOT queued), or
+  /// Aborted when waiting would deadlock.
+  Status Acquire(EtId txn, ObjectId object, LockMode mode,
+                 store::OpKind op_kind, GrantFn on_grant);
+
+  /// Releases every lock held by `txn` and cancels its queued requests.
+  /// Waiting requests that become grantable are granted (FIFO, stopping at
+  /// the first still-incompatible waiter to avoid starvation).
+  void ReleaseAll(EtId txn);
+
+  /// Number of locks currently held by `txn`.
+  int64_t HeldCount(EtId txn) const;
+
+  /// Number of queued (waiting) requests across all objects.
+  int64_t WaiterCount() const;
+
+  CompatibilityTable table() const { return table_; }
+
+ private:
+  struct Holder {
+    EtId txn;
+    LockMode mode;
+    store::OpKind op_kind;
+    int count;  // re-entrant acquisitions
+  };
+  struct Waiter {
+    EtId txn;
+    LockMode mode;
+    store::OpKind op_kind;
+    GrantFn on_grant;
+  };
+  struct ObjectLocks {
+    std::vector<Holder> holders;
+    std::deque<Waiter> waiters;
+  };
+
+  /// True when (mode, kind) is compatible with every holder except `txn`'s
+  /// own entries.
+  bool CompatibleWithHolders(const ObjectLocks& locks, EtId txn, LockMode mode,
+                             store::OpKind op_kind) const;
+
+  /// Adds txn as holder (or bumps its re-entrant count / upgrades mode).
+  void AddHolder(ObjectLocks& locks, EtId txn, LockMode mode,
+                 store::OpKind op_kind);
+
+  /// Would `waiter_txn` waiting on `object` close a wait-for cycle?
+  bool WouldDeadlock(EtId waiter_txn, ObjectId object, LockMode mode,
+                     store::OpKind op_kind) const;
+
+  /// Grants eligible waiters of `object` after a release.
+  void GrantWaiters(ObjectId object);
+
+  CompatibilityTable table_;
+  WaitPolicy policy_;
+  std::unordered_map<ObjectId, ObjectLocks> objects_;
+  /// txn -> objects it currently waits on (each txn waits on at most one
+  /// object at a time in 2PL, but we keep a set for safety).
+  std::unordered_map<EtId, std::unordered_set<ObjectId>> waiting_on_;
+};
+
+}  // namespace esr::cc
+
+#endif  // ESR_CC_LOCK_MANAGER_H_

@@ -1,0 +1,49 @@
+#include "cc/timestamp_ordering.h"
+
+#include <algorithm>
+
+namespace esr::cc {
+
+Status TimestampOrdering::UpdateRead(LamportTimestamp ts, ObjectId object) {
+  AccessTimes& at = objects_[object];
+  if (ts < at.write_ts) {
+    return Status::Aborted("read at " + ToString(ts) +
+                           " behind write at " + ToString(at.write_ts));
+  }
+  at.read_ts = std::max(at.read_ts, ts);
+  return Status::Ok();
+}
+
+Status TimestampOrdering::UpdateWrite(LamportTimestamp ts, ObjectId object) {
+  AccessTimes& at = objects_[object];
+  if (ts < at.read_ts) {
+    return Status::Aborted("write at " + ToString(ts) +
+                           " behind read at " + ToString(at.read_ts));
+  }
+  if (ts < at.write_ts) {
+    if (thomas_write_rule_) return Status::Ok();  // obsolete write skipped
+    return Status::Aborted("write at " + ToString(ts) +
+                           " behind write at " + ToString(at.write_ts));
+  }
+  at.write_ts = ts;
+  return Status::Ok();
+}
+
+int TimestampOrdering::QueryReadInconsistency(LamportTimestamp ts,
+                                              ObjectId object) const {
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return 0;
+  return ts < it->second.write_ts ? 1 : 0;
+}
+
+LamportTimestamp TimestampOrdering::ReadTimestamp(ObjectId object) const {
+  auto it = objects_.find(object);
+  return it == objects_.end() ? kZeroTimestamp : it->second.read_ts;
+}
+
+LamportTimestamp TimestampOrdering::WriteTimestamp(ObjectId object) const {
+  auto it = objects_.find(object);
+  return it == objects_.end() ? kZeroTimestamp : it->second.write_ts;
+}
+
+}  // namespace esr::cc

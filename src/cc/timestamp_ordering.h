@@ -1,0 +1,63 @@
+#ifndef ESR_CC_TIMESTAMP_ORDERING_H_
+#define ESR_CC_TIMESTAMP_ORDERING_H_
+
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace esr::cc {
+
+/// Basic timestamp-ordering divergence control (paper section 3.1,
+/// "MSet processing": "the basic-timestamp ... concurrency control method
+/// applied to update ETs will produce an SRlog", and "Divergence bounding":
+/// "each object maintains the timestamp of the latest access. The
+/// divergence control checks the ordering of each access").
+///
+/// For update ETs this is classic basic-TO and *rejects* out-of-order
+/// accesses (the caller aborts/retries the ET). For query ETs it never
+/// rejects outright: an out-of-order read is reported as one unit of
+/// inconsistency, and the caller's divergence limit decides whether the
+/// read may proceed — exactly the ESR modification the paper describes.
+class TimestampOrdering {
+ public:
+  TimestampOrdering() = default;
+
+  /// Update-ET read at `ts`: rejected (kAborted) when an object version
+  /// newer than ts has already been written; otherwise records the read.
+  Status UpdateRead(LamportTimestamp ts, ObjectId object);
+
+  /// Update-ET write at `ts`: rejected (kAborted) when a read or write newer
+  /// than ts has occurred. With `thomas_write_rule` set, a write older than
+  /// the newest write is silently skipped (OK with skipped=true) instead of
+  /// aborting.
+  Status UpdateWrite(LamportTimestamp ts, ObjectId object);
+
+  /// Query-ET read at `ts`: returns the inconsistency increment this read
+  /// carries — 0 when the read is in timestamp order (ts >= newest write),
+  /// 1 when it would read past a newer write (an out-of-order read an SR
+  /// scheduler would have rejected). Never mutates read timestamps: query
+  /// ETs must not abort update ETs.
+  int QueryReadInconsistency(LamportTimestamp ts, ObjectId object) const;
+
+  /// Enables the Thomas write rule for UpdateWrite.
+  void set_thomas_write_rule(bool enabled) { thomas_write_rule_ = enabled; }
+
+  LamportTimestamp ReadTimestamp(ObjectId object) const;
+  LamportTimestamp WriteTimestamp(ObjectId object) const;
+
+  /// Clears all access timestamps (volatile state lost on site crash).
+  void Reset() { objects_.clear(); }
+
+ private:
+  struct AccessTimes {
+    LamportTimestamp read_ts;
+    LamportTimestamp write_ts;
+  };
+  std::unordered_map<ObjectId, AccessTimes> objects_;
+  bool thomas_write_rule_ = false;
+};
+
+}  // namespace esr::cc
+
+#endif  // ESR_CC_TIMESTAMP_ORDERING_H_

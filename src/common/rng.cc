@@ -1,0 +1,84 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace esr {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full range
+  return lo + static_cast<int64_t>(Next() % span);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  assert(n > 0);
+  if (theta <= 0) return Uniform(0, n - 1);
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  const double alpha = 1.0 / (1.0 - theta);
+  double zetan = 0;
+  // For the n encountered in our workloads (<= ~1e5) direct summation is
+  // fine; memoization would complicate the per-call API for little gain.
+  for (int64_t i = 1; i <= n; ++i) zetan += 1.0 / std::pow(i, theta);
+  const double eta = (1.0 - std::pow(2.0 / n, 1.0 - theta)) /
+                     (1.0 - (1.0 / std::pow(2.0, theta)) / zetan);
+  const double u = NextDouble();
+  const double uz = u * zetan;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  return static_cast<int64_t>(n * std::pow(eta * u - eta + 1.0, alpha)) %
+         n;
+}
+
+Rng Rng::Split() { return Rng(Next()); }
+
+}  // namespace esr

@@ -1,0 +1,50 @@
+#ifndef ESR_COMMON_RNG_H_
+#define ESR_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace esr {
+
+/// Deterministic pseudo-random generator (xoshiro256**, seeded via
+/// splitmix64).
+///
+/// Every stochastic component in the library (network jitter, workload
+/// generators, failure injection) draws from an Rng owned by its
+/// configuration, so a (seed, config) pair fully determines a run. This is
+/// what makes the property tests and the benchmark sweeps reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform on the full 64-bit range.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Precondition: lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Zipf-distributed integer in [0, n) with skew parameter theta in [0, 1).
+  /// theta = 0 is uniform; larger theta concentrates mass on small ranks.
+  /// Uses the standard YCSB-style rejection-free approximation.
+  int64_t Zipf(int64_t n, double theta);
+
+  /// Splits off an independent generator (seeded from this one's stream);
+  /// used to give each site / client its own stream.
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace esr
+
+#endif  // ESR_COMMON_RNG_H_

@@ -1,0 +1,81 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace esr {
+
+void Summary::Add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+  sum_ += sample;
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) return 0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+std::string Summary::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count() << " mean=" << mean() << " p50=" << Percentile(50)
+     << " p99=" << Percentile(99) << " max=" << max();
+  return os.str();
+}
+
+void Counters::Increment(const std::string& name, int64_t by) {
+  for (auto& [n, v] : counters_) {
+    if (n == name) {
+      v += by;
+      return;
+    }
+  }
+  counters_.emplace_back(name, by);
+}
+
+int64_t Counters::Get(const std::string& name) const {
+  for (const auto& [n, v] : counters_) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::string Counters::ToString() const {
+  auto sorted = counters_;
+  std::sort(sorted.begin(), sorted.end());
+  std::ostringstream os;
+  for (const auto& [n, v] : sorted) os << n << "=" << v << "\n";
+  return os.str();
+}
+
+const std::vector<std::pair<std::string, int64_t>> Counters::Snapshot()
+    const {
+  auto sorted = counters_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace esr

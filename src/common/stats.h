@@ -1,0 +1,56 @@
+#ifndef ESR_COMMON_STATS_H_
+#define ESR_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esr {
+
+/// Streaming accumulator of a scalar sample set: count, mean, min/max, and
+/// (exact) percentiles. Used by the workload runner and the benchmark
+/// harnesses to summarize latencies, error magnitudes, and counter values.
+///
+/// Keeps all samples; our experiments produce at most a few million samples
+/// per series, so exact percentiles are affordable and simpler than a sketch.
+class Summary {
+ public:
+  void Add(double sample);
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Exact percentile by nearest-rank; p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  /// "n=... mean=... p50=... p99=... max=..." one-line rendering.
+  std::string ToString() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0;
+};
+
+/// Monotonic named counters, for protocol event accounting (messages sent,
+/// retries, aborts, compensations, blocked reads, ...).
+class Counters {
+ public:
+  void Increment(const std::string& name, int64_t by = 1);
+  int64_t Get(const std::string& name) const;
+
+  /// All counters in name order as "name=value" lines.
+  std::string ToString() const;
+
+  const std::vector<std::pair<std::string, int64_t>> Snapshot() const;
+
+ private:
+  std::vector<std::pair<std::string, int64_t>> counters_;
+};
+
+}  // namespace esr
+
+#endif  // ESR_COMMON_STATS_H_

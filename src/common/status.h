@@ -1,0 +1,156 @@
+#ifndef ESR_COMMON_STATUS_H_
+#define ESR_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace esr {
+
+/// Canonical error space for the library. The library never throws across an
+/// API boundary; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  /// Generic caller error: malformed argument, bad configuration.
+  kInvalidArgument,
+  /// Entity (object, site, transaction) does not exist.
+  kNotFound,
+  /// Entity already exists (duplicate id, duplicate delivery).
+  kAlreadyExists,
+  /// The operation cannot proceed *right now* but may succeed if retried
+  /// later (e.g., a divergence-bounded read that must wait for global order,
+  /// a lock that is currently held in an incompatible mode).
+  kUnavailable,
+  /// The operation would exceed a divergence bound (inconsistency counter at
+  /// its epsilon limit) and the method has no strict fallback path.
+  kInconsistencyLimit,
+  /// The transaction was aborted (deadlock victim, out-of-order timestamp,
+  /// global abort decision).
+  kAborted,
+  /// A protocol precondition was violated (e.g., non-commutative operation
+  /// submitted to COMMU).
+  kFailedPrecondition,
+  /// Internal invariant violation; indicates a bug in the library.
+  kInternal,
+};
+
+/// Returns the canonical lowercase name of a status code ("ok", "aborted"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-type status carrying a code and, when not OK, a message.
+///
+/// Cheap to copy in the OK case. Follows the absl::Status idiom: constructor
+/// helpers per code, IsX() predicates for the codes call sites branch on.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status InconsistencyLimit(std::string msg) {
+    return Status(StatusCode::kInconsistencyLimit, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsInconsistencyLimit() const {
+    return code_ == StatusCode::kInconsistencyLimit;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Result<T> is either a value or a non-OK Status (absl::StatusOr idiom).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, so call sites can
+  /// `return value;` or `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when not ok.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ has a value.
+};
+
+}  // namespace esr
+
+/// Propagates a non-OK Status from an expression, absl-style.
+#define ESR_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::esr::Status _esr_status = (expr);          \
+    if (!_esr_status.ok()) return _esr_status;   \
+  } while (0)
+
+#endif  // ESR_COMMON_STATUS_H_

@@ -1,0 +1,70 @@
+#ifndef ESR_COMMON_TYPES_H_
+#define ESR_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace esr {
+
+/// Identifier of a replica site. Sites are numbered densely from 0.
+using SiteId = int32_t;
+
+/// Identifier of a logical replicated object. Objects are numbered densely
+/// from 0 by the catalog that creates them.
+using ObjectId = int64_t;
+
+/// Globally unique identifier of an epsilon-transaction. Assigned by the
+/// facade; encodes nothing (pure identity).
+using EtId = int64_t;
+
+constexpr EtId kInvalidEtId = -1;
+constexpr SiteId kInvalidSiteId = -1;
+constexpr ObjectId kInvalidObjectId = -1;
+
+/// Simulated time, in microseconds since simulation start.
+using SimTime = int64_t;
+
+constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// Duration in simulated microseconds.
+using SimDuration = int64_t;
+
+/// Position in a global total order of update ETs (ORDUP) or a per-origin
+/// message sequence (stable queues). Dense from 1; 0 means "unordered".
+using SequenceNumber = int64_t;
+
+/// A Lamport timestamp: logical clock value plus site id as tiebreaker.
+/// Provides the total order used by RITU's timestamped updates and by ORDUP
+/// in its decentralized variant.
+struct LamportTimestamp {
+  int64_t counter = 0;
+  SiteId site = 0;
+
+  friend bool operator==(const LamportTimestamp&,
+                         const LamportTimestamp&) = default;
+  friend auto operator<=>(const LamportTimestamp& a,
+                          const LamportTimestamp& b) {
+    if (auto c = a.counter <=> b.counter; c != 0) return c;
+    return a.site <=> b.site;
+  }
+};
+
+/// Zero timestamp: ordered before every timestamp a real event can carry.
+constexpr LamportTimestamp kZeroTimestamp{0, 0};
+
+inline std::string ToString(const LamportTimestamp& ts) {
+  return std::to_string(ts.counter) + "." + std::to_string(ts.site);
+}
+
+}  // namespace esr
+
+template <>
+struct std::hash<esr::LamportTimestamp> {
+  size_t operator()(const esr::LamportTimestamp& ts) const noexcept {
+    return std::hash<int64_t>()(ts.counter * 1000003 + ts.site);
+  }
+};
+
+#endif  // ESR_COMMON_TYPES_H_

@@ -1,0 +1,14 @@
+#include "common/value.h"
+
+namespace esr {
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(AsInt());
+  return "\"" + AsString() + "\"";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace esr

@@ -1,0 +1,46 @@
+#ifndef ESR_COMMON_VALUE_H_
+#define ESR_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace esr {
+
+/// The value of a replicated object.
+///
+/// The paper's examples operate on numeric objects (increments, multiplies,
+/// bank balances) and on timestamped records (directory entries). Value is a
+/// small closed variant over those shapes: a 64-bit integer or a string
+/// payload. Arithmetic operations are defined on integers only; applying an
+/// arithmetic operation to a string value is a FailedPrecondition caught by
+/// the operation layer.
+class Value {
+ public:
+  /// Default: integer zero — the initial state of every object.
+  Value() : rep_(int64_t{0}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+
+  /// Precondition: is_int().
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  /// Precondition: is_string().
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, std::string> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace esr
+
+#endif  // ESR_COMMON_VALUE_H_

@@ -1,0 +1,123 @@
+#include "esr/commu.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace esr::core {
+
+CommuMethod::CommuMethod(const MethodContext& ctx)
+    : ReplicaControlMethod(ctx) {
+  ctx_.mailbox->RegisterHandler(
+      kMsetMsg, [this](SiteId /*source*/, const std::any& body) {
+        const auto* mset = std::any_cast<Mset>(&body);
+        assert(mset != nullptr);
+        OnMsetDelivered(*mset);
+      });
+}
+
+Status CommuMethod::AdmitUpdate(const std::vector<store::Operation>& ops) {
+  ESR_RETURN_IF_ERROR(ReplicaControlMethod::AdmitUpdate(ops));
+  // The registry pins each object's commutative class; cross-class updates
+  // (the ones that would break "all updates on an object commute") are
+  // rejected here, at the origin, before anything propagates.
+  return ctx_.registry->AdmitAll(ops);
+}
+
+void CommuMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
+                               CommitFn done) {
+  // Optional update-side throttle (paper: "if the lock-counter of an object
+  // exceeds a specified limit, then the update ET trying to write must
+  /// either wait or abort").
+  if (ctx_.config->commu_update_lock_limit > 0) {
+    for (const WeightedObject& w : WeighOperations(ops)) {
+      const ObjectId object = w.object;
+      if (counters_.Count(object) >= ctx_.config->commu_update_lock_limit) {
+        ctx_.counters->Increment("esr.update_throttled");
+        if (done) {
+          done(Status::Unavailable("lock-counter at limit for object " +
+                                   std::to_string(object)));
+        }
+        return;
+      }
+    }
+  }
+  const LamportTimestamp ts = ctx_.clock->Tick();
+  outgoing_ts_.emplace(et, ts);
+  Mset mset;
+  mset.et = et;
+  mset.origin = ctx_.site;
+  mset.timestamp = ts;
+  mset.operations = std::move(ops);
+  if (ctx_.config->record_history) {
+    analysis::UpdateRecord record;
+    record.et = et;
+    record.origin = ctx_.site;
+    record.commit_time = ctx_.simulator->Now();
+    record.ops = mset.operations;
+    record.timestamp = ts;
+    ctx_.history->RecordUpdateCommit(std::move(record));
+  }
+  PropagateMset(mset);
+  ApplyNow(mset);
+  ctx_.counters->Increment("esr.updates_committed");
+  if (done) done(Status::Ok());
+}
+
+void CommuMethod::ApplyNow(const Mset& mset) {
+  std::vector<WeightedObject> objects = WeighOperations(mset.operations);
+  counters_.Increment(objects);
+  in_progress_.emplace(mset.et, std::move(objects));
+  Status s = ctx_.store->ApplyAll(mset.operations);
+  assert(s.ok());
+  (void)s;
+  RecordApplied(mset);
+}
+
+void CommuMethod::OnMsetDelivered(const Mset& mset) { ApplyNow(mset); }
+
+void CommuMethod::OnStable(EtId et) {
+  auto it = in_progress_.find(et);
+  if (it == in_progress_.end()) return;
+  counters_.Decrement(it->second);
+  in_progress_.erase(it);
+}
+
+Result<Value> CommuMethod::TryQueryRead(QueryState& query, ObjectId object) {
+  query.pinned = true;
+  const int64_t inc = counters_.Charge(query, object);
+  const int64_t winc = counters_.WeightCharge(query, object);
+  const bool count_ok = query.epsilon == kUnboundedEpsilon ||
+                        query.inconsistency + inc <= query.epsilon;
+  const bool value_ok =
+      query.value_epsilon == kUnboundedEpsilon ||
+      query.value_inconsistency + winc <= query.value_epsilon;
+  if (!count_ok || !value_ok) {
+    // Unlike ORDUP, waiting helps: the counters drop as stability notices
+    // arrive, so the read is retried rather than restarted.
+    ++query.blocked_attempts;
+    ctx_.counters->Increment("esr.query_blocked");
+    return Status::Unavailable(
+        count_ok ? "in-flight change magnitude exceeds value budget"
+                 : "lock-counters exceed remaining inconsistency budget");
+  }
+  query.inconsistency += inc;
+  query.value_inconsistency += winc;
+  counters_.CommitCharge(query, object);
+  Value v = ctx_.store->Read(object);
+  ++query.reads;
+  if (ctx_.config->record_history) {
+    analysis::ReadRecord r;
+    r.query = query.id;
+    r.site = ctx_.site;
+    r.object = object;
+    r.value = v;
+    r.time = ctx_.simulator->Now();
+    r.inconsistency_increment = inc;
+    r.site_apply_index = static_cast<int64_t>(
+        ctx_.history->site_applies(ctx_.site).size());
+    ctx_.history->RecordRead(std::move(r));
+  }
+  return v;
+}
+
+}  // namespace esr::core

@@ -1,0 +1,238 @@
+#include "esr/compe.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace esr::core {
+
+CompeMethod::CompeMethod(const MethodContext& ctx, bool ordered)
+    : ReplicaControlMethod(ctx),
+      ordered_(ordered),
+      buffer_([this](SequenceNumber seq, const std::any& payload) {
+        ApplyOrdered(seq, payload);
+      }) {
+  ctx_.mailbox->RegisterHandler(
+      kMsetMsg, [this](SiteId /*source*/, const std::any& body) {
+        const auto* mset = std::any_cast<Mset>(&body);
+        assert(mset != nullptr);
+        OnMsetDelivered(*mset);
+      });
+  ctx_.mailbox->RegisterHandler(
+      kDecisionMsg, [this](SiteId source, const std::any& body) {
+        OnDecisionMsg(source, body);
+      });
+}
+
+Status CompeMethod::AdmitUpdate(const std::vector<store::Operation>& ops) {
+  ESR_RETURN_IF_ERROR(ReplicaControlMethod::AdmitUpdate(ops));
+  if (!ordered_) {
+    // Unordered COMPE shares COMMU's commutativity discipline; without it,
+    // replicas applying in different orders would diverge even without
+    // aborts.
+    return ctx_.registry->AdmitAll(ops);
+  }
+  return Status::Ok();
+}
+
+void CompeMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
+                               CommitFn done) {
+  const LamportTimestamp ts = ctx_.clock->Tick();
+  outgoing_ts_.emplace(et, ts);
+  Mset mset;
+  mset.et = et;
+  mset.origin = ctx_.site;
+  mset.timestamp = ts;
+  mset.operations = std::move(ops);
+  mset.tentative = true;
+  auto record_commit = [this](const Mset& m) {
+    if (!ctx_.config->record_history) return;
+    analysis::UpdateRecord record;
+    record.et = m.et;
+    record.origin = ctx_.site;
+    record.commit_time = ctx_.simulator->Now();
+    record.ops = m.operations;
+    record.order = m.global_order;
+    record.timestamp = m.timestamp;
+    ctx_.history->RecordUpdateCommit(std::move(record));
+  };
+  if (ordered_) {
+    ctx_.sequencer->Request([this, mset = std::move(mset), record_commit,
+                             done = std::move(done)](SequenceNumber seq) mutable {
+      mset.global_order = seq;
+      record_commit(mset);
+      // The global abort may outrun the ordering response (the client can
+      // decide any time after submission); the history record is only
+      // created now, so patch its aborted flag. The MSet still propagates —
+      // its sequence number must fill the total order everywhere — and
+      // every site skips or compensates it through the normal abort paths.
+      if (abort_before_apply_.count(mset.et) > 0) {
+        if (ctx_.config->record_history) {
+          ctx_.history->RecordUpdateAborted(mset.et);
+        }
+        ctx_.counters->Increment("esr.compe_abort_before_order");
+      }
+      PropagateMset(mset);
+      buffer_.Offer(seq, std::any(std::move(mset)));
+      ctx_.counters->Increment("esr.updates_committed");
+      if (done) done(Status::Ok());
+    });
+    return;
+  }
+  record_commit(mset);
+  PropagateMset(mset);
+  ApplyLocal(mset);
+  ctx_.counters->Increment("esr.updates_committed");
+  if (done) done(Status::Ok());
+}
+
+void CompeMethod::OnMsetDelivered(const Mset& mset) {
+  if (ordered_) {
+    buffer_.Offer(mset.global_order, std::any(mset));
+  } else {
+    ApplyLocal(mset);
+  }
+}
+
+void CompeMethod::ApplyOrdered(SequenceNumber /*seq*/,
+                               const std::any& payload) {
+  const auto* mset = std::any_cast<Mset>(&payload);
+  assert(mset != nullptr);
+  if (abort_before_apply_.erase(mset->et) > 0) {
+    // The global abort outran the ordered release; never apply.
+    ctx_.counters->Increment("esr.compe_apply_skipped");
+    return;
+  }
+  ApplyLocal(*mset);
+}
+
+void CompeMethod::ApplyLocal(const Mset& mset) {
+  std::vector<WeightedObject> objects = WeighOperations(mset.operations);
+  Status s = ctx_.mset_log->ApplyAndLog(*ctx_.store, mset.et,
+                                        mset.operations);
+  assert(s.ok());
+  (void)s;
+  if (!decided_commit_.count(mset.et)) {
+    // Still tentative at this site: count the potential compensation.
+    counters_.Increment(objects);
+    tentative_objects_.emplace(mset.et, std::move(objects));
+  }
+  RecordApplied(mset);
+}
+
+Status CompeMethod::SubmitDecision(EtId et, bool commit) {
+  if (!outgoing_ts_.count(et) && !decided_commit_.count(et) &&
+      !ctx_.mset_log->Contains(et)) {
+    return Status::NotFound("ET " + std::to_string(et) +
+                            " is not a tentative update at this origin");
+  }
+  for (SiteId s = 0; s < ctx_.num_sites; ++s) {
+    if (s == ctx_.site) continue;
+    ctx_.queues->Send(s, msg::Envelope{kDecisionMsg, Decision{et, commit}},
+                      /*size_bytes=*/48);
+  }
+  HandleDecision(et, commit);
+  return Status::Ok();
+}
+
+void CompeMethod::OnDecisionMsg(SiteId /*source*/, const std::any& body) {
+  const auto* decision = std::any_cast<Decision>(&body);
+  assert(decision != nullptr);
+  HandleDecision(decision->et, decision->commit);
+}
+
+void CompeMethod::HandleDecision(EtId et, bool commit) {
+  if (commit) {
+    decided_commit_.insert(et);
+    ctx_.counters->Increment("esr.compe_commits");
+    auto it = tentative_objects_.find(et);
+    if (it != tentative_objects_.end()) {
+      counters_.Decrement(it->second);
+      tentative_objects_.erase(it);
+    }
+    // If all acks already arrived at the origin, stability was gated on
+    // this decision.
+    if (fully_acked_.count(et)) MaybeBroadcastStable(et);
+    return;
+  }
+  // Abort: compensate the local application (or suppress it if it has not
+  // been released yet in ordered mode).
+  ctx_.counters->Increment("esr.compe_aborts");
+  if (ctx_.config->record_history) ctx_.history->RecordUpdateAborted(et);
+  auto it = tentative_objects_.find(et);
+  std::vector<WeightedObject> objects;
+  if (it != tentative_objects_.end()) {
+    objects = it->second;
+    counters_.Decrement(it->second);
+    tentative_objects_.erase(it);
+  }
+  if (ctx_.mset_log->Contains(et)) {
+    Status s = ctx_.mset_log->Compensate(*ctx_.store, et);
+    assert(s.ok());
+    (void)s;
+    ctx_.counters->Increment("esr.compensations");
+    // Charge live queries that already read the compensated objects — the
+    // paper's post-hoc accounting. Their up-front potential charge covered
+    // this, so epsilon still bounds the total.
+    if (ctx_.for_each_active_query) {
+      ctx_.for_each_active_query([&objects, this](QueryState& q) {
+        for (const WeightedObject& w : objects) {
+          const ObjectId o = w.object;
+          if (q.read_objects.count(o)) {
+            ++q.compensation_hits;
+            ctx_.counters->Increment("esr.query_compensation_hits");
+            break;
+          }
+        }
+      });
+    }
+  } else if (ordered_) {
+    abort_before_apply_.insert(et);
+  }
+  // Origin cleanup: an aborted ET never becomes stable.
+  outgoing_ts_.erase(et);
+  fully_acked_.erase(et);
+}
+
+bool CompeMethod::ReadyForStable(EtId et) {
+  return decided_commit_.count(et) > 0;
+}
+
+void CompeMethod::OnStable(EtId et) {
+  decided_commit_.erase(et);
+  // Records are dropped from the log head once there is no rollback risk.
+  ctx_.mset_log->TruncateStable(
+      [this](int64_t id) { return ctx_.stability->IsStable(id); });
+}
+
+Result<Value> CompeMethod::TryQueryRead(QueryState& query, ObjectId object) {
+  query.pinned = true;
+  const int64_t inc = counters_.Charge(query, object);
+  if (query.epsilon != kUnboundedEpsilon &&
+      query.inconsistency + inc > query.epsilon) {
+    // Waiting helps: decisions drain the tentative counters.
+    ++query.blocked_attempts;
+    ctx_.counters->Increment("esr.query_blocked");
+    return Status::Unavailable(
+        "potential compensations exceed remaining inconsistency budget");
+  }
+  query.inconsistency += inc;
+  counters_.CommitCharge(query, object);
+  query.read_objects.insert(object);
+  Value v = ctx_.store->Read(object);
+  ++query.reads;
+  if (ctx_.config->record_history) {
+    analysis::ReadRecord r;
+    r.query = query.id;
+    r.site = ctx_.site;
+    r.object = object;
+    r.value = v;
+    r.time = ctx_.simulator->Now();
+    r.inconsistency_increment = inc;
+    r.site_apply_index = static_cast<int64_t>(
+        ctx_.history->site_applies(ctx_.site).size());
+    ctx_.history->RecordRead(std::move(r));
+  }
+  return v;
+}
+
+}  // namespace esr::core

@@ -1,0 +1,121 @@
+#ifndef ESR_ESR_CONFIG_H_
+#define ESR_ESR_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "msg/persistent_pipe.h"
+#include "msg/stable_queue.h"
+#include "sim/network.h"
+
+namespace esr::core {
+
+/// Which replica control method (or synchronous baseline) a
+/// ReplicatedSystem runs.
+enum class Method {
+  /// Ordered updates: MSets executed in one global order everywhere;
+  /// queries asynchronous (paper section 3.1). Ordering via the
+  /// centralized order server.
+  kOrdup,
+  /// ORDUP's decentralized variant (same section: "we may use a
+  /// Lamport-style global timestamp to mark the ordering"): the total
+  /// order is the Lamport-timestamp order, and a site releases an MSet
+  /// once every origin's clock watermark has passed its timestamp. No
+  /// order server; commits are fully local, releases wait on watermarks.
+  kOrdupTs,
+  /// Commutative operations: updates and queries fully asynchronous;
+  /// admission restricted to commuting operation classes (section 3.2).
+  kCommu,
+  /// Read-independent timestamped updates, multi-version mode with VTNC
+  /// visibility (section 3.3).
+  kRituMulti,
+  /// RITU single-version overwrite mode (Thomas write rule); divergence
+  /// bounding "reduces to COMMU" (section 3.3).
+  kRituSingle,
+  /// Compensation-based backward method, unordered (commutative) mode
+  /// (section 4).
+  kCompe,
+  /// COMPE over a global total order: admits non-commutative operations;
+  /// aborts roll back the log suffix and replay (section 4.2).
+  kCompeOrdered,
+  /// Synchronous baseline: read-one/write-all with two-phase commit.
+  kSync2pc,
+  /// Synchronous baseline: weighted-voting quorums (Gifford).
+  kSyncQuorum,
+  /// Related-work baseline: quasi-copies (Alonso/Barbara/Garcia-Molina,
+  /// paper section 5.2). All updates execute 1SR at a primary site;
+  /// read-only cached copies lag behind, refreshed when a per-object
+  /// version-lag bound (or a timer) triggers. Inconsistency comes only
+  /// from cache lag — there is no per-query epsilon control.
+  kQuasiCopy,
+};
+
+std::string_view MethodToString(Method method);
+
+/// Which reliable messaging substrate the sites use (paper section 2.2:
+/// "stable queues [5] and persistent pipes [17]").
+enum class Transport {
+  /// Per-message acks, selective retransmission, optional unordered mode.
+  kStableQueue,
+  /// Sliding-window pipe with cumulative acks and go-back-N; always FIFO.
+  kPersistentPipe,
+};
+
+std::string_view TransportToString(Transport transport);
+
+/// Whole-system configuration. A (SystemConfig, seed) pair fully determines
+/// a simulated execution.
+struct SystemConfig {
+  int num_sites = 3;
+  Method method = Method::kOrdup;
+  uint64_t seed = 42;
+
+  sim::NetworkConfig network;
+  Transport transport = Transport::kStableQueue;
+  msg::StableQueueConfig queue;
+  msg::PersistentPipeConfig pipe;
+
+  /// Site hosting the centralized order server (ORDUP, COMPE-ordered).
+  SiteId sequencer_site = 0;
+
+  /// COMMU: when > 0, an update ET must wait (kUnavailable at submit) while
+  /// any of its objects' lock-counters is at or above this limit — the
+  /// paper's "limit the update ETs in addition to query ETs" option.
+  int64_t commu_update_lock_limit = 0;
+
+  /// ORDUP: give every query ET its own global order number from the
+  /// sequencer (paper section 3.1: "if these are ordered the same way as
+  /// the update ETs, then the overlap will be empty, yielding an SRlog").
+  /// A sequenced query waits until its site's applied watermark reaches its
+  /// position, reads there with zero inconsistency, and releases its
+  /// position (a no-op MSet) when it ends. Other sites skip the query's
+  /// position immediately. Off by default: queries pin the local watermark
+  /// instead (no coordination).
+  bool ordup_sequenced_queries = false;
+
+  /// Period of Lamport-clock heartbeats that advance VTNC watermarks
+  /// (0 disables; RITU-multi wants them on).
+  SimDuration heartbeat_interval_us = 50'000;
+
+  /// Poll interval used by the facade when retrying reads that returned
+  /// kUnavailable.
+  SimDuration read_retry_interval_us = 1'000;
+
+  /// Record every event into the history recorder (disable for very long
+  /// benchmark runs where only counters matter).
+  bool record_history = true;
+
+  /// --- Quasi-copies baseline ----------------------------------------------
+  /// Primary site holding the authoritative copies.
+  SiteId quasi_primary = 0;
+  /// Refresh a cached object after this many primary updates to it (the
+  /// "version condition" closeness predicate). 1 = eager refresh.
+  int64_t quasi_version_lag = 1;
+  /// Additional periodic refresh of all dirty objects (0 disables; the
+  /// "delay condition"). Rides the heartbeat schedule.
+  SimDuration quasi_refresh_interval_us = 0;
+};
+
+}  // namespace esr::core
+
+#endif  // ESR_ESR_CONFIG_H_

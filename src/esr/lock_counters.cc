@@ -1,0 +1,29 @@
+#include "esr/lock_counters.h"
+
+#include <cstdlib>
+
+#include "store/operation.h"
+
+namespace esr::core {
+
+std::vector<WeightedObject> WeighOperations(
+    const std::vector<store::Operation>& ops) {
+  std::vector<WeightedObject> out;
+  for (const store::Operation& op : ops) {
+    if (!op.IsUpdate()) continue;
+    const int64_t weight =
+        op.kind == store::OpKind::kIncrement ? std::llabs(op.operand) : 0;
+    bool found = false;
+    for (WeightedObject& w : out) {
+      if (w.object == op.object) {
+        w.weight += weight;
+        found = true;
+        break;
+      }
+    }
+    if (!found) out.push_back(WeightedObject{op.object, weight});
+  }
+  return out;
+}
+
+}  // namespace esr::core

@@ -1,0 +1,132 @@
+#ifndef ESR_ESR_LOCK_COUNTERS_H_
+#define ESR_ESR_LOCK_COUNTERS_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "esr/query_state.h"
+#include "store/operation.h"
+
+namespace esr::core {
+
+/// One object touched by an update ET, with the magnitude of the change
+/// (|delta| for increments; 0 for operation kinds whose value distance is
+/// state-dependent — value bounding constrains increment-class objects).
+struct WeightedObject {
+  ObjectId object = kInvalidObjectId;
+  int64_t weight = 0;
+};
+
+/// Per-object lock-counters: COMMU's divergence-bounding device (paper
+/// section 3.2), also reused by single-version RITU ("RITU reduces to
+/// COMMU") and by COMPE, where the counter counts *potential compensations*
+/// (applied-but-undecided tentative MSets).
+///
+/// An update ET increments the counter of every object it touches when the
+/// site learns of it (origin: at submit; replica: at MSet arrival) and the
+/// counter is decremented when the ET can no longer contribute
+/// inconsistency at this site (COMMU: stability; COMPE: global decision).
+/// A nonzero counter read by a query charges its inconsistency counter.
+///
+/// Alongside the count, the table tracks the summed *magnitude* of the
+/// in-progress changes per object. This implements the "data value"
+/// spatial consistency criterion the paper discusses in section 5.1
+/// (interdependent data / Controlled Inconsistency): a query can bound not
+/// just how many updates it may have missed, but by how much its values
+/// can be off.
+class LockCounterTable {
+ public:
+  void Increment(const std::vector<WeightedObject>& objects) {
+    for (const WeightedObject& w : objects) {
+      Cell& cell = counters_[w.object];
+      ++cell.current;
+      ++cell.cumulative;
+      cell.current_weight += w.weight;
+      cell.cumulative_weight += w.weight;
+    }
+  }
+
+  void Decrement(const std::vector<WeightedObject>& objects) {
+    for (const WeightedObject& w : objects) {
+      auto it = counters_.find(w.object);
+      assert(it != counters_.end() && it->second.current > 0);
+      --it->second.current;
+      it->second.current_weight -= w.weight;
+      assert(it->second.current_weight >= 0);
+    }
+  }
+
+  int64_t Count(ObjectId object) const {
+    auto it = counters_.find(object);
+    return it == counters_.end() ? 0 : it->second.current;
+  }
+
+  /// Summed magnitude of in-progress updates on `object`.
+  int64_t Weight(ObjectId object) const {
+    auto it = counters_.find(object);
+    return it == counters_.end() ? 0 : it->second.current_weight;
+  }
+
+  /// The inconsistency a query would be charged for reading `object` now:
+  /// the in-progress updates on the object it has not already been charged
+  /// for. The paper charges per overlapping update ET, so a re-read under
+  /// an unchanged counter adds nothing. Implemented with a cumulative
+  /// arrival mark per (query, object): charge = min(current,
+  /// cumulative - mark) — a tight upper bound on the number of current
+  /// updates the query has not yet accounted.
+  int64_t Charge(const QueryState& q, ObjectId object) const {
+    auto it = counters_.find(object);
+    if (it == counters_.end()) return 0;
+    auto mit = q.charged_marks.find(object);
+    const int64_t mark = mit == q.charged_marks.end() ? 0 : mit->second;
+    const int64_t fresh = it->second.cumulative - mark;
+    return fresh < it->second.current ? fresh : it->second.current;
+  }
+
+  /// Value-units analogue of Charge(): magnitude of in-progress change the
+  /// query has not yet accounted on `object`.
+  int64_t WeightCharge(const QueryState& q, ObjectId object) const {
+    auto it = counters_.find(object);
+    if (it == counters_.end()) return 0;
+    auto mit = q.charged_weight_marks.find(object);
+    const int64_t mark = mit == q.charged_weight_marks.end() ? 0 : mit->second;
+    const int64_t fresh = it->second.cumulative_weight - mark;
+    return fresh < it->second.current_weight ? fresh
+                                             : it->second.current_weight;
+  }
+
+  /// Commits the charges computed by Charge()/WeightCharge() (call after
+  /// the read is admitted): advances the query's marks to the cumulative
+  /// counts.
+  void CommitCharge(QueryState& q, ObjectId object) const {
+    auto it = counters_.find(object);
+    if (it == counters_.end()) return;
+    int64_t& mark = q.charged_marks[object];
+    if (it->second.cumulative > mark) mark = it->second.cumulative;
+    int64_t& wmark = q.charged_weight_marks[object];
+    if (it->second.cumulative_weight > wmark) {
+      wmark = it->second.cumulative_weight;
+    }
+  }
+
+ private:
+  struct Cell {
+    int64_t current = 0;     // in-progress updates touching the object
+    int64_t cumulative = 0;  // total updates ever counted (monotonic)
+    int64_t current_weight = 0;     // in-progress |delta| sum
+    int64_t cumulative_weight = 0;  // total |delta| ever counted
+  };
+  std::unordered_map<ObjectId, Cell> counters_;
+};
+
+/// Deduplicates `ops` into per-object weights: one entry per touched
+/// object, weight = summed |delta| of its increment operations.
+std::vector<WeightedObject> WeighOperations(
+    const std::vector<store::Operation>& ops);
+
+}  // namespace esr::core
+
+#endif  // ESR_ESR_LOCK_COUNTERS_H_

@@ -1,0 +1,65 @@
+#ifndef ESR_ESR_MSET_H_
+#define ESR_ESR_MSET_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "msg/mailbox.h"
+#include "store/operation.h"
+
+namespace esr::core {
+
+/// Protocol message types used by the replica control layer (range 100+).
+inline constexpr msg::MessageType kMsetMsg = 100;      // MSet propagation
+inline constexpr msg::MessageType kApplyAckMsg = 101;  // replica -> origin
+inline constexpr msg::MessageType kStableMsg = 102;    // origin -> all
+inline constexpr msg::MessageType kDecisionMsg = 103;  // COMPE commit/abort
+inline constexpr msg::MessageType kHeartbeatMsg = 104; // clock gossip (VTNC)
+
+/// A message set: the per-site representation of an update ET's replica
+/// maintenance work ("an update MSet is a set of replica maintenance
+/// operations which propagates updates to object replicas", paper
+/// section 2.2). One MSet is broadcast per update ET; its id is the ET id.
+struct Mset {
+  EtId et = kInvalidEtId;
+  SiteId origin = kInvalidSiteId;
+  /// ORDUP: position in the global total order (0 for unordered methods).
+  SequenceNumber global_order = 0;
+  /// Lamport timestamp drawn at the origin (drives RITU versions, VTNC
+  /// stability watermarks, and tie-breaking).
+  LamportTimestamp timestamp;
+  /// The update operations to apply at each replica.
+  std::vector<store::Operation> operations;
+  /// COMPE: true when this MSet is applied optimistically before its global
+  /// update has committed (it may later be compensated).
+  bool tentative = false;
+};
+
+/// Apply acknowledgment: replica tells the origin it has applied the MSet.
+struct ApplyAck {
+  EtId et = kInvalidEtId;
+  SiteId replica = kInvalidSiteId;
+};
+
+/// Stability notice: the origin has observed that every replica applied the
+/// MSet; all sites may release divergence-accounting state for it.
+struct StableNotice {
+  EtId et = kInvalidEtId;
+  LamportTimestamp timestamp;
+};
+
+/// COMPE global decision for a tentative update.
+struct Decision {
+  EtId et = kInvalidEtId;
+  bool commit = false;
+};
+
+/// Periodic Lamport-clock gossip. Keeps per-origin watermarks (and thus the
+/// VTNC) advancing even when a site originates no updates for a while.
+struct Heartbeat {
+  LamportTimestamp clock;
+};
+
+}  // namespace esr::core
+
+#endif  // ESR_ESR_MSET_H_

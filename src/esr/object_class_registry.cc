@@ -1,0 +1,62 @@
+#include "esr/object_class_registry.h"
+
+#include <string>
+
+namespace esr::core {
+
+Status ObjectClassRegistry::Admit(const store::Operation& op) {
+  if (!op.IsUpdate()) return Status::Ok();
+  auto it = classes_.find(op.object);
+  if (it == classes_.end()) {
+    // First update pins the class; the kind must at least self-commute.
+    store::Operation probe = op;
+    if (!op.CommutesWith(probe)) {
+      return Status::FailedPrecondition(
+          std::string(store::OpKindToString(op.kind)) +
+          " operations do not commute with themselves");
+    }
+    classes_.emplace(op.object, op.kind);
+    return Status::Ok();
+  }
+  if (it->second != op.kind) {
+    return Status::FailedPrecondition(
+        "object " + std::to_string(op.object) + " has class " +
+        std::string(store::OpKindToString(it->second)) + "; " +
+        std::string(store::OpKindToString(op.kind)) +
+        " updates would not commute");
+  }
+  return Status::Ok();
+}
+
+Status ObjectClassRegistry::AdmitAll(
+    const std::vector<store::Operation>& ops) {
+  // Validate first without registering, then register.
+  for (const store::Operation& op : ops) {
+    if (!op.IsUpdate()) continue;
+    auto it = classes_.find(op.object);
+    if (it != classes_.end() && it->second != op.kind) {
+      return Status::FailedPrecondition(
+          "object " + std::to_string(op.object) + " has class " +
+          std::string(store::OpKindToString(it->second)));
+    }
+    store::Operation probe = op;
+    if (!op.CommutesWith(probe)) {
+      return Status::FailedPrecondition(
+          std::string(store::OpKindToString(op.kind)) +
+          " operations do not commute with themselves");
+    }
+  }
+  for (const store::Operation& op : ops) {
+    if (op.IsUpdate()) ESR_RETURN_IF_ERROR(Admit(op));
+  }
+  return Status::Ok();
+}
+
+std::optional<store::OpKind> ObjectClassRegistry::ClassOf(
+    ObjectId object) const {
+  auto it = classes_.find(object);
+  if (it == classes_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace esr::core

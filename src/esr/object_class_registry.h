@@ -1,0 +1,47 @@
+#ifndef ESR_ESR_OBJECT_CLASS_REGISTRY_H_
+#define ESR_ESR_OBJECT_CLASS_REGISTRY_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "store/operation.h"
+
+namespace esr::core {
+
+/// Global (schema-level) registry of each object's update-operation class.
+///
+/// COMMU's guarantee rests on *all* update operations on an object being
+/// mutually commutative (paper section 3.2: "we assume that update
+/// operations on each object are commutative. If this is not the case, then
+/// care must be taken..."). That is a schema property, not a runtime
+/// discovery: an object is "a counter" (increments), "a scale factor"
+/// (multiplies), or "a timestamped record" (RITU blind writes). The
+/// registry pins an object's class on first update and rejects updates of a
+/// different, non-commuting class — turning the paper's assumption into an
+/// enforced admission rule.
+///
+/// The registry models globally replicated schema knowledge, so one
+/// instance is shared by all sites of a ReplicatedSystem.
+class ObjectClassRegistry {
+ public:
+  /// Checks (and on first touch, registers) `op`'s kind against the
+  /// object's class. Returns FailedPrecondition when the kinds cannot
+  /// commute.
+  Status Admit(const store::Operation& op);
+
+  /// Admits every update op in `ops` atomically (no registration happens
+  /// unless all pass).
+  Status AdmitAll(const std::vector<store::Operation>& ops);
+
+  /// Declared class of an object, if any update was admitted.
+  std::optional<store::OpKind> ClassOf(ObjectId object) const;
+
+ private:
+  std::unordered_map<ObjectId, store::OpKind> classes_;
+};
+
+}  // namespace esr::core
+
+#endif  // ESR_ESR_OBJECT_CLASS_REGISTRY_H_

@@ -1,0 +1,236 @@
+#include "esr/ordup.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace esr::core {
+
+OrdupMethod::OrdupMethod(const MethodContext& ctx)
+    : ReplicaControlMethod(ctx),
+      buffer_([this](SequenceNumber seq, const std::any& payload) {
+        ApplyOrdered(seq, payload);
+      }) {
+  assert(ctx_.sequencer != nullptr);
+  ctx_.mailbox->RegisterHandler(
+      kMsetMsg, [this](SiteId /*source*/, const std::any& body) {
+        const auto* mset = std::any_cast<Mset>(&body);
+        assert(mset != nullptr);
+        OnMsetDelivered(*mset);
+      });
+}
+
+void OrdupMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
+                               CommitFn done) {
+  const LamportTimestamp ts = ctx_.clock->Tick();
+  outgoing_ts_.emplace(et, ts);
+  // "Sorting time: at update" — the global order is obtained before the
+  // update commits, and that round trip is the price ORDUP pays up front.
+  ctx_.sequencer->Request([this, et, ts, ops = std::move(ops),
+                           done = std::move(done)](SequenceNumber seq) {
+    Mset mset;
+    mset.et = et;
+    mset.origin = ctx_.site;
+    mset.global_order = seq;
+    mset.timestamp = ts;
+    mset.operations = ops;
+    if (ctx_.config->record_history) {
+      analysis::UpdateRecord record;
+      record.et = et;
+      record.origin = ctx_.site;
+      record.commit_time = ctx_.simulator->Now();
+      record.ops = ops;
+      record.order = seq;
+      record.timestamp = ts;
+      ctx_.history->RecordUpdateCommit(std::move(record));
+    }
+    PropagateMset(mset);
+    buffer_.Offer(seq, std::any(std::move(mset)));
+    ctx_.counters->Increment("esr.updates_committed");
+    if (done) done(Status::Ok());
+  });
+}
+
+void OrdupMethod::OnMsetDelivered(const Mset& mset) {
+  buffer_.Offer(mset.global_order, std::any(mset));
+}
+
+void OrdupMethod::ApplyOrdered(SequenceNumber seq, const std::any& payload) {
+  const auto* mset = std::any_cast<Mset>(&payload);
+  assert(mset != nullptr);
+  if (mset->et == kInvalidEtId) {
+    // No-op MSet releasing a sequenced query's position: advance only.
+    (void)seq;
+    return;
+  }
+  Status s = ctx_.store->ApplyAll(mset->operations);
+  assert(s.ok());
+  (void)s;
+  // Index the write for query-overlap counting: one entry per (ET, object).
+  std::unordered_set<ObjectId> seen;
+  for (const store::Operation& op : mset->operations) {
+    if (op.IsUpdate() && seen.insert(op.object).second) {
+      applied_writes_[op.object].push_back(seq);
+    }
+  }
+  RecordApplied(*mset);
+}
+
+int64_t OrdupMethod::ChargeFor(const QueryState& query,
+                               ObjectId object) const {
+  auto it = applied_writes_.find(object);
+  if (it == applied_writes_.end()) return 0;
+  auto mit = query.charged_marks.find(object);
+  const SequenceNumber mark =
+      mit == query.charged_marks.end() ? query.order_pin : mit->second;
+  const std::vector<SequenceNumber>& seqs = it->second;
+  // Entries with order > mark (all applied entries are <= watermark).
+  return static_cast<int64_t>(
+      seqs.end() - std::upper_bound(seqs.begin(), seqs.end(), mark));
+}
+
+SequenceNumber OrdupMethod::QueryPosition(EtId query) const {
+  auto it = query_positions_.find(query);
+  return it == query_positions_.end() ? 0 : it->second;
+}
+
+void OrdupMethod::ReleasePositionRemotely(SequenceNumber position) {
+  Mset noop;
+  noop.et = kInvalidEtId;
+  noop.origin = ctx_.site;
+  noop.global_order = position;
+  noop.timestamp = ctx_.clock->Tick();
+  PropagateMset(noop);
+}
+
+Result<Value> OrdupMethod::TrySequencedRead(QueryState& query,
+                                            ObjectId object) {
+  auto it = query_positions_.find(query.id);
+  if (it == query_positions_.end()) {
+    // The sequence response has not arrived yet.
+    ++query.blocked_attempts;
+    return Status::Unavailable("awaiting the query's global order number");
+  }
+  const SequenceNumber position = it->second;
+  if (buffer_.Watermark() < position - 1) {
+    // Not yet at the query's serialization point: earlier updates are
+    // still outstanding.
+    ++query.blocked_attempts;
+    return Status::Unavailable("applier has not reached the query position");
+  }
+  // Watermark is exactly position-1 (the query's own number gaps the
+  // buffer, so it can never pass). Reads here are one-copy serializable —
+  // "the overlap will be empty, yielding an SRlog".
+  assert(buffer_.Watermark() == position - 1);
+  query.pinned = true;
+  query.order_pin = position - 1;
+  Value v = ctx_.store->Read(object);
+  ++query.reads;
+  if (ctx_.config->record_history) {
+    analysis::ReadRecord r;
+    r.query = query.id;
+    r.site = ctx_.site;
+    r.object = object;
+    r.value = v;
+    r.time = ctx_.simulator->Now();
+    r.inconsistency_increment = 0;
+    r.pin = query.order_pin;
+    r.site_apply_index = buffer_.Watermark();
+    ctx_.history->RecordRead(std::move(r));
+  }
+  return v;
+}
+
+Result<Value> OrdupMethod::TryQueryRead(QueryState& query, ObjectId object) {
+  if (ctx_.config->ordup_sequenced_queries) {
+    return TrySequencedRead(query, object);
+  }
+  if (!query.pinned) {
+    query.pinned = true;
+    query.order_pin = buffer_.Watermark();
+    // Strict (restarted, or epsilon already exhausted at start) queries run
+    // "in the global order": freeze the applier at the pin so every read
+    // sees exactly the state after update #pin.
+    if (query.strict || query.epsilon - query.inconsistency <= 0) {
+      PauseApplier();
+      query.holds_pause = true;
+    }
+  }
+  const int64_t inc = ChargeFor(query, object);
+  if (query.epsilon != kUnboundedEpsilon &&
+      query.inconsistency + inc > query.epsilon) {
+    // The conflicting updates are already applied; this attempt can never
+    // proceed within budget. The facade restarts the query strictly.
+    ctx_.counters->Increment("esr.query_limit_hits");
+    return Status::InconsistencyLimit(
+        "read of object " + std::to_string(object) + " would add " +
+        std::to_string(inc) + " units past epsilon");
+  }
+  query.inconsistency += inc;
+  query.charged_marks[object] = buffer_.Watermark();
+  Value v = ctx_.store->Read(object);
+  ++query.reads;
+  if (ctx_.config->record_history) {
+    analysis::ReadRecord r;
+    r.query = query.id;
+    r.site = ctx_.site;
+    r.object = object;
+    r.value = v;
+    r.time = ctx_.simulator->Now();
+    r.inconsistency_increment = inc;
+    r.pin = query.order_pin;
+    r.site_apply_index = buffer_.Watermark();
+    ctx_.history->RecordRead(std::move(r));
+  }
+  return v;
+}
+
+void OrdupMethod::OnQueryBegin(QueryState& query) {
+  if (!ctx_.config->ordup_sequenced_queries) return;
+  // The query takes its own number in the global order. Other sites skip
+  // the number right away; this site holds the gap until the query ends,
+  // so every read happens exactly at the query's serial position.
+  const EtId id = query.id;
+  ctx_.sequencer->Request([this, id](SequenceNumber position) {
+    ReleasePositionRemotely(position);
+    if (ended_before_position_.erase(id) > 0) {
+      // The query was abandoned before its number arrived: release the
+      // local gap too.
+      Mset noop;
+      noop.et = kInvalidEtId;
+      noop.global_order = position;
+      buffer_.Offer(position, std::any(std::move(noop)));
+      return;
+    }
+    query_positions_.emplace(id, position);
+  });
+}
+
+void OrdupMethod::OnQueryEnd(QueryState& query) {
+  if (query.holds_pause) {
+    query.holds_pause = false;
+    ResumeApplier();
+  }
+  if (ctx_.config->ordup_sequenced_queries) {
+    auto it = query_positions_.find(query.id);
+    if (it == query_positions_.end()) {
+      ended_before_position_.insert(query.id);
+      return;
+    }
+    Mset noop;
+    noop.et = kInvalidEtId;
+    noop.global_order = it->second;
+    buffer_.Offer(it->second, std::any(std::move(noop)));
+    query_positions_.erase(it);
+  }
+}
+
+void OrdupMethod::PauseApplier() {
+  if (pause_depth_++ == 0) buffer_.Pause();
+}
+
+void OrdupMethod::ResumeApplier() {
+  assert(pause_depth_ > 0);
+  if (--pause_depth_ == 0) buffer_.Resume();
+}
+
+}  // namespace esr::core

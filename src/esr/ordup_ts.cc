@@ -1,0 +1,138 @@
+#include "esr/ordup_ts.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace esr::core {
+
+OrdupTsMethod::OrdupTsMethod(const MethodContext& ctx)
+    : ReplicaControlMethod(ctx) {
+  assert(ctx_.config->queue.fifo &&
+         "ORDUP-TS watermarks require FIFO stable queues");
+  assert(ctx_.config->heartbeat_interval_us > 0 &&
+         "ORDUP-TS release progress requires clock heartbeats");
+  ctx_.mailbox->RegisterHandler(
+      kMsetMsg, [this](SiteId /*source*/, const std::any& body) {
+        const auto* mset = std::any_cast<Mset>(&body);
+        assert(mset != nullptr);
+        OnMsetDelivered(*mset);
+      });
+}
+
+void OrdupTsMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
+                                 CommitFn done) {
+  const LamportTimestamp ts = ctx_.clock->Tick();
+  outgoing_ts_.emplace(et, ts);
+  Mset mset;
+  mset.et = et;
+  mset.origin = ctx_.site;
+  mset.timestamp = ts;
+  mset.operations = std::move(ops);
+  if (ctx_.config->record_history) {
+    analysis::UpdateRecord record;
+    record.et = et;
+    record.origin = ctx_.site;
+    record.commit_time = ctx_.simulator->Now();
+    record.ops = mset.operations;
+    record.timestamp = ts;
+    ctx_.history->RecordUpdateCommit(std::move(record));
+  }
+  PropagateMset(mset);
+  // Local commit is immediate; the MSet still waits in the hold-back
+  // buffer until the timestamp order is closed below it.
+  holdback_.emplace(ts, std::move(mset));
+  ctx_.counters->Increment("esr.updates_committed");
+  TryRelease();
+  if (done) done(Status::Ok());
+}
+
+void OrdupTsMethod::OnMsetDelivered(const Mset& mset) {
+  holdback_.emplace(mset.timestamp, mset);
+  // The MSet's own timestamp advances its origin's watermark (the base
+  // records it in RecordApplied only at apply time, which is too late for
+  // release gating).
+  ctx_.stability->ObserveClock(mset.origin, mset.timestamp);
+  ctx_.clock->Observe(mset.timestamp);
+  TryRelease();
+}
+
+void OrdupTsMethod::TryRelease() {
+  if (pause_depth_ > 0) return;
+  while (!holdback_.empty()) {
+    const LamportTimestamp floor = ctx_.stability->WatermarkFloor();
+    auto it = holdback_.begin();
+    if (!(it->first <= floor)) break;
+    Mset mset = std::move(it->second);
+    holdback_.erase(it);
+    Status s = ctx_.store->ApplyAll(mset.operations);
+    assert(s.ok());
+    (void)s;
+    ++release_index_;
+    std::unordered_set<ObjectId> seen;
+    for (const store::Operation& op : mset.operations) {
+      if (op.IsUpdate() && seen.insert(op.object).second) {
+        applied_writes_[op.object].push_back(release_index_);
+      }
+    }
+    RecordApplied(mset);
+  }
+}
+
+int64_t OrdupTsMethod::ChargeFor(const QueryState& query,
+                                 ObjectId object) const {
+  auto it = applied_writes_.find(object);
+  if (it == applied_writes_.end()) return 0;
+  auto mit = query.charged_marks.find(object);
+  const int64_t mark =
+      mit == query.charged_marks.end() ? query.order_pin : mit->second;
+  const std::vector<int64_t>& indexes = it->second;
+  return static_cast<int64_t>(
+      indexes.end() - std::upper_bound(indexes.begin(), indexes.end(), mark));
+}
+
+Result<Value> OrdupTsMethod::TryQueryRead(QueryState& query,
+                                          ObjectId object) {
+  if (!query.pinned) {
+    query.pinned = true;
+    query.order_pin = release_index_;
+    if (query.strict || query.epsilon - query.inconsistency <= 0) {
+      ++pause_depth_;
+      query.holds_pause = true;
+    }
+  }
+  const int64_t inc = ChargeFor(query, object);
+  if (query.epsilon != kUnboundedEpsilon &&
+      query.inconsistency + inc > query.epsilon) {
+    ctx_.counters->Increment("esr.query_limit_hits");
+    return Status::InconsistencyLimit(
+        "read of object " + std::to_string(object) + " would add " +
+        std::to_string(inc) + " units past epsilon");
+  }
+  query.inconsistency += inc;
+  query.charged_marks[object] = release_index_;
+  Value v = ctx_.store->Read(object);
+  ++query.reads;
+  if (ctx_.config->record_history) {
+    analysis::ReadRecord r;
+    r.query = query.id;
+    r.site = ctx_.site;
+    r.object = object;
+    r.value = v;
+    r.time = ctx_.simulator->Now();
+    r.inconsistency_increment = inc;
+    r.pin = query.order_pin;
+    r.site_apply_index = release_index_;
+    ctx_.history->RecordRead(std::move(r));
+  }
+  return v;
+}
+
+void OrdupTsMethod::OnQueryEnd(QueryState& query) {
+  if (query.holds_pause) {
+    query.holds_pause = false;
+    assert(pause_depth_ > 0);
+    if (--pause_depth_ == 0) TryRelease();
+  }
+}
+
+}  // namespace esr::core

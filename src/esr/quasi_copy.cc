@@ -1,0 +1,140 @@
+#include "esr/quasi_copy.h"
+
+#include <cassert>
+
+namespace esr::core {
+
+QuasiCopyMethod::QuasiCopyMethod(const MethodContext& ctx)
+    : ReplicaControlMethod(ctx) {
+  ctx_.mailbox->RegisterHandler(
+      kMsetMsg, [this](SiteId /*source*/, const std::any& body) {
+        const auto* mset = std::any_cast<Mset>(&body);
+        assert(mset != nullptr);
+        OnMsetDelivered(*mset);
+      });
+  ctx_.mailbox->RegisterHandler(
+      kQuasiForward, [this](SiteId /*source*/, const std::any& body) {
+        const auto* fwd = std::any_cast<Forwarded>(&body);
+        assert(fwd != nullptr);
+        ApplyAtPrimary(fwd->et, fwd->origin, fwd->ops);
+      });
+  ctx_.mailbox->RegisterHandler(
+      kQuasiForwardAck, [this](SiteId /*source*/, const std::any& body) {
+        const auto* ack = std::any_cast<ForwardAck>(&body);
+        assert(ack != nullptr);
+        auto it = pending_.find(ack->et);
+        if (it == pending_.end()) return;
+        CommitFn done = std::move(it->second);
+        pending_.erase(it);
+        if (done) {
+          done(ack->ok ? Status::Ok()
+                       : Status::Aborted("rejected at primary"));
+        }
+      });
+}
+
+void QuasiCopyMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
+                                   CommitFn done) {
+  if (IsPrimary()) {
+    ApplyAtPrimary(et, ctx_.site, ops);
+    if (done) done(Status::Ok());
+    return;
+  }
+  // Forward to the primary; the commit callback fires on its ack — this is
+  // the synchronous round trip every quasi-copies update pays.
+  pending_.emplace(et, std::move(done));
+  ctx_.queues->Send(ctx_.config->quasi_primary,
+                    msg::Envelope{kQuasiForward,
+                                  Forwarded{et, ctx_.site, std::move(ops)}},
+                    /*size_bytes=*/256);
+  ctx_.counters->Increment("quasi.forwarded");
+}
+
+void QuasiCopyMethod::ApplyAtPrimary(EtId et, SiteId origin,
+                                     const std::vector<store::Operation>& ops) {
+  assert(IsPrimary());
+  Status s = ctx_.store->ApplyAll(ops);
+  assert(s.ok());
+  (void)s;
+  ctx_.counters->Increment("quasi.primary_applied");
+  if (ctx_.config->record_history) {
+    analysis::UpdateRecord record;
+    record.et = et;
+    record.origin = origin;
+    record.commit_time = ctx_.simulator->Now();
+    record.ops = ops;
+    ctx_.history->RecordUpdateCommit(std::move(record));
+    ctx_.history->RecordApply(et, ctx_.site, ctx_.simulator->Now());
+  }
+  // Closeness bookkeeping: refresh an object once its version lag hits the
+  // bound.
+  for (const store::Operation& op : ops) {
+    if (!op.IsUpdate()) continue;
+    dirty_.insert(op.object);
+    if (++lag_[op.object] >= ctx_.config->quasi_version_lag) {
+      RefreshObject(op.object);
+    }
+  }
+  if (origin != ctx_.site) {
+    ctx_.queues->Send(origin,
+                      msg::Envelope{kQuasiForwardAck, ForwardAck{et, true}},
+                      /*size_bytes=*/48);
+  }
+}
+
+void QuasiCopyMethod::RefreshObject(ObjectId object) {
+  assert(IsPrimary());
+  lag_[object] = 0;
+  dirty_.erase(object);
+  // Timestamped overwrite so reordered refreshes never regress a cache.
+  Mset refresh;
+  refresh.et = -(++refresh_seq_);  // synthetic id: not an update ET
+  refresh.origin = ctx_.site;
+  refresh.timestamp = ctx_.clock->Tick();
+  refresh.operations = {store::Operation::TimestampedWrite(
+      object, ctx_.store->Read(object), refresh.timestamp)};
+  PropagateMset(refresh);
+  ctx_.counters->Increment("quasi.refreshes");
+}
+
+void QuasiCopyMethod::FlushDirty() {
+  if (!IsPrimary()) return;
+  std::vector<ObjectId> objects(dirty_.begin(), dirty_.end());
+  for (ObjectId object : objects) RefreshObject(object);
+}
+
+void QuasiCopyMethod::OnWatermarkAdvance() {
+  // Heartbeats double as the delay-condition timer at the primary.
+  if (ctx_.config->quasi_refresh_interval_us > 0) FlushDirty();
+}
+
+void QuasiCopyMethod::OnMsetDelivered(const Mset& mset) {
+  // A cache refresh from the primary.
+  assert(!IsPrimary());
+  Status s = ctx_.store->ApplyAll(mset.operations);
+  assert(s.ok());
+  (void)s;
+  ctx_.counters->Increment("quasi.refresh_applied");
+}
+
+Result<Value> QuasiCopyMethod::TryQueryRead(QueryState& query,
+                                            ObjectId object) {
+  // Reads are local and unconditional; inconsistency is structural (cache
+  // lag), not metered — quasi-copies has no per-query epsilon control,
+  // which is precisely the contrast with ESR the paper draws.
+  query.pinned = true;
+  Value v = ctx_.store->Read(object);
+  ++query.reads;
+  if (ctx_.config->record_history) {
+    analysis::ReadRecord r;
+    r.query = query.id;
+    r.site = ctx_.site;
+    r.object = object;
+    r.value = v;
+    r.time = ctx_.simulator->Now();
+    ctx_.history->RecordRead(std::move(r));
+  }
+  return v;
+}
+
+}  // namespace esr::core

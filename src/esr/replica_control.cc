@@ -1,0 +1,208 @@
+#include "esr/replica_control.h"
+
+#include <cassert>
+
+#include "esr/commu.h"
+#include "esr/compe.h"
+#include "esr/ordup.h"
+#include "esr/ordup_ts.h"
+#include "esr/quasi_copy.h"
+#include "esr/ritu.h"
+
+namespace esr::core {
+
+std::string_view TransportToString(Transport transport) {
+  switch (transport) {
+    case Transport::kStableQueue:
+      return "stable-queue";
+    case Transport::kPersistentPipe:
+      return "persistent-pipe";
+  }
+  return "?";
+}
+
+std::string_view MethodToString(Method method) {
+  switch (method) {
+    case Method::kOrdup:
+      return "ORDUP";
+    case Method::kOrdupTs:
+      return "ORDUP-TS";
+    case Method::kCommu:
+      return "COMMU";
+    case Method::kRituMulti:
+      return "RITU-MV";
+    case Method::kRituSingle:
+      return "RITU-SV";
+    case Method::kCompe:
+      return "COMPE";
+    case Method::kCompeOrdered:
+      return "COMPE-ORD";
+    case Method::kSync2pc:
+      return "SYNC-2PC";
+    case Method::kSyncQuorum:
+      return "SYNC-QUORUM";
+    case Method::kQuasiCopy:
+      return "QUASI";
+  }
+  return "?";
+}
+
+ReplicaControlMethod::ReplicaControlMethod(MethodContext ctx)
+    : ctx_(std::move(ctx)) {
+  assert(ctx_.mailbox != nullptr);
+  // The MSet handler is registered by each concrete method (it owns the
+  // processing rule); the shared protocol messages are handled here.
+  ctx_.mailbox->RegisterHandler(
+      kApplyAckMsg, [this](SiteId source, const std::any& body) {
+        OnApplyAckMsg(source, body);
+      });
+  ctx_.mailbox->RegisterHandler(
+      kStableMsg, [this](SiteId source, const std::any& body) {
+        OnStableMsg(source, body);
+      });
+  ctx_.mailbox->RegisterHandler(
+      kHeartbeatMsg, [this](SiteId source, const std::any& body) {
+        OnHeartbeatMsg(source, body);
+      });
+}
+
+Status ReplicaControlMethod::AdmitUpdate(
+    const std::vector<store::Operation>& ops) {
+  for (const store::Operation& op : ops) {
+    if (!op.IsUpdate()) {
+      return Status::InvalidArgument(
+          "update ETs carry update operations only; reads belong in query "
+          "ETs");
+    }
+  }
+  return Status::Ok();
+}
+
+void ReplicaControlMethod::OnQueryBegin(QueryState& /*query*/) {}
+void ReplicaControlMethod::OnQueryEnd(QueryState& /*query*/) {}
+
+Status ReplicaControlMethod::SubmitDecision(EtId /*et*/, bool /*commit*/) {
+  return Status::FailedPrecondition(
+      "decisions apply to COMPE tentative updates only");
+}
+
+void ReplicaControlMethod::OnStable(EtId /*et*/) {}
+
+bool ReplicaControlMethod::ReadyForStable(EtId /*et*/) { return true; }
+
+void ReplicaControlMethod::PropagateMset(const Mset& mset) {
+  const int64_t size_bytes =
+      64 + 32 * static_cast<int64_t>(mset.operations.size());
+  for (SiteId s = 0; s < ctx_.num_sites; ++s) {
+    if (s == ctx_.site) continue;
+    ctx_.queues->Send(s, msg::Envelope{kMsetMsg, mset}, size_bytes);
+  }
+  ctx_.counters->Increment("esr.msets_propagated", ctx_.num_sites - 1);
+}
+
+void ReplicaControlMethod::RecordApplied(const Mset& mset) {
+  if (ctx_.config->record_history) {
+    ctx_.history->RecordApply(mset.et, ctx_.site, ctx_.simulator->Now());
+  }
+  ctx_.counters->Increment("esr.msets_applied");
+  ctx_.stability->ObserveMset(mset.et, mset.timestamp, mset.origin);
+  // Merge the MSet's timestamp into the local clock so that locally issued
+  // timestamps stay ahead of everything observed (VTNC monotonicity relies
+  // on this).
+  ctx_.clock->Observe(mset.timestamp);
+  if (mset.origin == ctx_.site) {
+    if (ctx_.stability->RecordAck(mset.et, ctx_.site)) {
+      MaybeBroadcastStable(mset.et);
+    }
+  } else {
+    ctx_.queues->Send(mset.origin,
+                      msg::Envelope{kApplyAckMsg, ApplyAck{mset.et, ctx_.site}},
+                      /*size_bytes=*/48);
+  }
+}
+
+void ReplicaControlMethod::OnApplyAckMsg(SiteId /*source*/,
+                                         const std::any& body) {
+  const auto* ack = std::any_cast<ApplyAck>(&body);
+  assert(ack != nullptr);
+  if (ctx_.stability->RecordAck(ack->et, ack->replica)) {
+    MaybeBroadcastStable(ack->et);
+  }
+}
+
+void ReplicaControlMethod::MaybeBroadcastStable(EtId et) {
+  fully_acked_.insert(et);
+  if (!ReadyForStable(et)) return;
+  auto it = outgoing_ts_.find(et);
+  assert(it != outgoing_ts_.end() && "stable ET not tracked at origin");
+  const LamportTimestamp ts = it->second;
+  outgoing_ts_.erase(it);
+  fully_acked_.erase(et);
+  for (SiteId s = 0; s < ctx_.num_sites; ++s) {
+    if (s == ctx_.site) continue;
+    ctx_.queues->Send(s, msg::Envelope{kStableMsg, StableNotice{et, ts}},
+                      /*size_bytes=*/48);
+  }
+  ctx_.counters->Increment("esr.stable");
+  ctx_.stability->MarkStable(et, ts);
+  OnStable(et);
+}
+
+void ReplicaControlMethod::OnStableMsg(SiteId /*source*/,
+                                       const std::any& body) {
+  const auto* notice = std::any_cast<StableNotice>(&body);
+  assert(notice != nullptr);
+  ctx_.clock->Observe(notice->timestamp);
+  ctx_.stability->ObserveClock(/*origin=*/notice->timestamp.site,
+                               notice->timestamp);
+  const bool was_stable = ctx_.stability->IsStable(notice->et);
+  ctx_.stability->MarkStable(notice->et, notice->timestamp);
+  if (!was_stable) OnStable(notice->et);
+  OnWatermarkAdvance();
+}
+
+void ReplicaControlMethod::SendHeartbeat() {
+  const LamportTimestamp now = ctx_.clock->Now();
+  for (SiteId s = 0; s < ctx_.num_sites; ++s) {
+    if (s == ctx_.site) continue;
+    ctx_.queues->Send(s, msg::Envelope{kHeartbeatMsg, Heartbeat{now}},
+                      /*size_bytes=*/32);
+  }
+}
+
+void ReplicaControlMethod::OnHeartbeatMsg(SiteId source,
+                                          const std::any& body) {
+  const auto* hb = std::any_cast<Heartbeat>(&body);
+  assert(hb != nullptr);
+  ctx_.clock->Observe(hb->clock);
+  ctx_.stability->ObserveClock(source, hb->clock);
+  OnWatermarkAdvance();
+}
+
+std::unique_ptr<ReplicaControlMethod> MakeMethod(const MethodContext& ctx) {
+  switch (ctx.config->method) {
+    case Method::kOrdup:
+      return std::make_unique<OrdupMethod>(ctx);
+    case Method::kOrdupTs:
+      return std::make_unique<OrdupTsMethod>(ctx);
+    case Method::kCommu:
+      return std::make_unique<CommuMethod>(ctx);
+    case Method::kRituMulti:
+      return std::make_unique<RituMethod>(ctx, /*multiversion=*/true);
+    case Method::kRituSingle:
+      return std::make_unique<RituMethod>(ctx, /*multiversion=*/false);
+    case Method::kCompe:
+      return std::make_unique<CompeMethod>(ctx, /*ordered=*/false);
+    case Method::kCompeOrdered:
+      return std::make_unique<CompeMethod>(ctx, /*ordered=*/true);
+    case Method::kQuasiCopy:
+      return std::make_unique<QuasiCopyMethod>(ctx);
+    case Method::kSync2pc:
+    case Method::kSyncQuorum:
+      assert(false && "synchronous baselines are wired by the facade");
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace esr::core

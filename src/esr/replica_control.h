@@ -1,0 +1,177 @@
+#ifndef ESR_ESR_REPLICA_CONTROL_H_
+#define ESR_ESR_REPLICA_CONTROL_H_
+
+#include <any>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/history.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "esr/config.h"
+#include "esr/mset.h"
+#include "esr/object_class_registry.h"
+#include "esr/query_state.h"
+#include "esr/stability_tracker.h"
+#include "msg/lamport_clock.h"
+#include "msg/mailbox.h"
+#include "msg/sequencer.h"
+#include "msg/reliable_transport.h"
+#include "sim/simulator.h"
+#include "store/mset_log.h"
+#include "store/object_store.h"
+#include "store/version_store.h"
+
+namespace esr::core {
+
+/// Everything a per-site replica control method instance needs. All
+/// pointers are owned by the ReplicatedSystem facade and outlive the method.
+struct MethodContext {
+  SiteId site = kInvalidSiteId;
+  int num_sites = 0;
+  sim::Simulator* simulator = nullptr;
+  msg::Mailbox* mailbox = nullptr;
+  msg::ReliableTransport* queues = nullptr;
+  msg::LamportClock* clock = nullptr;
+  msg::SequencerClient* sequencer = nullptr;
+  StabilityTracker* stability = nullptr;
+  store::ObjectStore* store = nullptr;
+  store::VersionStore* versions = nullptr;
+  store::MsetLog* mset_log = nullptr;
+  ObjectClassRegistry* registry = nullptr;  // shared, schema-level
+  analysis::HistoryRecorder* history = nullptr;  // shared
+  Counters* counters = nullptr;                  // shared
+  const SystemConfig* config = nullptr;
+  /// Iterates the query ETs currently active at this site (COMPE uses this
+  /// to charge queries affected by a compensation).
+  std::function<void(const std::function<void(QueryState&)>&)>
+      for_each_active_query;
+};
+
+/// Completion callback of an update ET submission. For asynchronous methods
+/// it fires at *local* commit (ordering assigned, MSets queued durably);
+/// remote propagation continues in the background — that asymmetry versus
+/// the synchronous baselines is the paper's whole point.
+using CommitFn = std::function<void(Status)>;
+
+/// Base class of the per-site replica control method instances.
+///
+/// The base owns the plumbing every forward/backward method shares —
+/// reliable MSet broadcast, apply-acknowledgment, stability notices, clock
+/// gossip — and defines the strategy points: admission, ordering/processing
+/// of update MSets, and divergence-bounded query reads.
+class ReplicaControlMethod {
+ public:
+  explicit ReplicaControlMethod(MethodContext ctx);
+  virtual ~ReplicaControlMethod() = default;
+
+  ReplicaControlMethod(const ReplicaControlMethod&) = delete;
+  ReplicaControlMethod& operator=(const ReplicaControlMethod&) = delete;
+
+  virtual std::string_view Name() const = 0;
+
+  /// Admission check: may `ops` run under this method? (COMMU:
+  /// commutativity classes; RITU: read independence.) Called at the origin
+  /// before SubmitUpdate.
+  virtual Status AdmitUpdate(const std::vector<store::Operation>& ops);
+
+  /// Commits an update ET at this (origin) site: assigns ordering metadata,
+  /// applies locally per the method's processing rule, enqueues MSets for
+  /// asynchronous propagation, and completes `done`.
+  virtual void SubmitUpdate(EtId et, std::vector<store::Operation> ops,
+                            CommitFn done) = 0;
+
+  /// A remote MSet arrived at this site (exactly once, via stable queues).
+  virtual void OnMsetDelivered(const Mset& mset) = 0;
+
+  /// Divergence-bounded query read. Returns the value, or kUnavailable
+  /// (retry later: the condition clears as the system progresses), or
+  /// kInconsistencyLimit (this attempt can never proceed within epsilon;
+  /// the caller restarts the query in strict mode).
+  virtual Result<Value> TryQueryRead(QueryState& query, ObjectId object) = 0;
+
+  /// A query ET started at this site (default: no-op).
+  virtual void OnQueryBegin(QueryState& query);
+
+  /// A query ET finished at this site (release pauses etc.; default no-op).
+  virtual void OnQueryEnd(QueryState& query);
+
+  /// COMPE only: the global outcome of a tentative update ET originated at
+  /// this site. Default: error (forward methods take no decisions).
+  virtual Status SubmitDecision(EtId et, bool commit);
+
+  /// An update ET became stable at this site (applied everywhere).
+  virtual void OnStable(EtId et);
+
+  /// Volatile-state hooks for crash/restart injection (stores, logs and
+  /// stable queues persist; derived classes drop what a real site would
+  /// lose).
+  virtual void OnCrash() {}
+  virtual void OnRestart() {}
+
+ protected:
+  /// Reliable broadcast of an MSet to every other site.
+  void PropagateMset(const Mset& mset);
+
+  /// Records a local application in the history and runs the
+  /// ack/stability protocol for it. Call after the method applied the
+  /// MSet's operations by its own rule.
+  void RecordApplied(const Mset& mset);
+
+  /// Sends this site's Lamport clock to everyone (heartbeat); scheduled
+  /// periodically by the facade.
+  void SendHeartbeat();
+
+  /// True when `et`'s stability notice may be broadcast once all acks are
+  /// in. COMPE overrides: tentative updates must also be decided-commit.
+  virtual bool ReadyForStable(EtId et);
+
+  /// Re-checks stability gating for `et` (called when acks complete, and by
+  /// COMPE when a commit decision unblocks an already-fully-acked ET).
+  void MaybeBroadcastStable(EtId et);
+
+  /// Called after an incoming heartbeat or stability notice advanced the
+  /// per-origin clock watermarks. Watermark-driven methods (ORDUP-TS)
+  /// override to re-check their release conditions. Default: no-op.
+  virtual void OnWatermarkAdvance() {}
+
+ public:
+  /// Called by the facade while draining to quiescence: push out anything
+  /// the method batches (quasi-copies flushes lagging cache refreshes).
+  /// Default: no-op.
+  virtual void OnQuiesceFlush() {}
+
+ protected:
+
+  MethodContext ctx_;
+
+ private:
+  friend class ReplicatedSystem;
+
+  void OnApplyAckMsg(SiteId source, const std::any& body);
+  void OnStableMsg(SiteId source, const std::any& body);
+  void OnHeartbeatMsg(SiteId source, const std::any& body);
+
+ protected:
+  /// Origin-side: timestamps of outgoing ETs awaiting stability (needed to
+  /// stamp the stability notice).
+  std::unordered_map<EtId, LamportTimestamp> outgoing_ts_;
+  /// Origin-side: ETs whose acks are complete but whose stability is gated
+  /// by ReadyForStable (COMPE: undecided).
+  std::unordered_set<EtId> fully_acked_;
+};
+
+/// Factory: builds the method instance for `config.method` at one site.
+/// Synchronous baselines are not built here (the facade wires cc::
+/// engines directly).
+std::unique_ptr<ReplicaControlMethod> MakeMethod(const MethodContext& ctx);
+
+}  // namespace esr::core
+
+#endif  // ESR_ESR_REPLICA_CONTROL_H_

@@ -1,0 +1,467 @@
+#include "esr/replicated_system.h"
+
+#include <cassert>
+
+#include "msg/sequencer.h"
+
+namespace esr::core {
+
+struct ReplicatedSystem::SiteRuntime {
+  explicit SiteRuntime(SiteId s) : id(s), clock(s) {}
+
+  SiteId id;
+  msg::LamportClock clock;
+  std::unique_ptr<msg::Mailbox> mailbox;
+  std::unique_ptr<msg::ReliableTransport> queues;
+  std::unique_ptr<msg::SequencerServer> seq_server;  // sequencer site only
+  std::unique_ptr<msg::SequencerClient> seq_client;
+  std::unique_ptr<StabilityTracker> stability;
+  store::ObjectStore store;
+  store::VersionStore versions;
+  store::MsetLog mset_log;
+  std::unique_ptr<ReplicaControlMethod> method;
+  std::unique_ptr<cc::TwoPhaseCommitEngine> tpc;
+  std::unique_ptr<cc::QuorumEngine> quorum;
+};
+
+ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
+    : config_(config) {
+  assert(config_.num_sites > 0);
+  network_ = std::make_unique<sim::Network>(&simulator_, config_.num_sites,
+                                            config_.network, config_.seed);
+  failures_ = std::make_unique<sim::FailureInjector>(
+      &simulator_, network_.get(), config_.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  sites_.reserve(config_.num_sites);
+  for (SiteId s = 0; s < config_.num_sites; ++s) {
+    sites_.push_back(std::make_unique<SiteRuntime>(s));
+  }
+  for (SiteId s = 0; s < config_.num_sites; ++s) {
+    SiteRuntime& site = *sites_[s];
+    site.mailbox = std::make_unique<msg::Mailbox>(network_.get(), s);
+    if (config_.transport == Transport::kPersistentPipe) {
+      site.queues = std::make_unique<msg::PersistentPipeManager>(
+          &simulator_, site.mailbox.get(), config_.pipe);
+    } else {
+      site.queues = std::make_unique<msg::StableQueueManager>(
+          &simulator_, site.mailbox.get(), config_.queue);
+    }
+    site.stability =
+        std::make_unique<StabilityTracker>(s, config_.num_sites);
+  }
+  // Sequencer server must exist before any client request can be handled;
+  // its handler lives on the home site's mailbox.
+  if (!IsSyncMethod()) {
+    SiteRuntime& home = *sites_[config_.sequencer_site];
+    home.seq_server = std::make_unique<msg::SequencerServer>(
+        home.mailbox.get(), home.queues.get());
+  }
+  for (SiteId s = 0; s < config_.num_sites; ++s) {
+    SiteRuntime& site = *sites_[s];
+    if (IsSyncMethod()) {
+      if (config_.method == Method::kSync2pc) {
+        site.tpc = std::make_unique<cc::TwoPhaseCommitEngine>(
+            site.mailbox.get(), site.queues.get(), &site.store,
+            config_.num_sites);
+      } else {
+        site.quorum = std::make_unique<cc::QuorumEngine>(
+            &simulator_, site.mailbox.get(), config_.num_sites,
+            cc::QuorumConfig{});
+      }
+      continue;
+    }
+    site.seq_client = std::make_unique<msg::SequencerClient>(
+        site.mailbox.get(), site.queues.get(), config_.sequencer_site);
+    MethodContext ctx;
+    ctx.site = s;
+    ctx.num_sites = config_.num_sites;
+    ctx.simulator = &simulator_;
+    ctx.mailbox = site.mailbox.get();
+    ctx.queues = site.queues.get();
+    ctx.clock = &site.clock;
+    ctx.sequencer = site.seq_client.get();
+    ctx.stability = site.stability.get();
+    ctx.store = &site.store;
+    ctx.versions = &site.versions;
+    ctx.mset_log = &site.mset_log;
+    ctx.registry = &registry_;
+    ctx.history = &history_;
+    ctx.counters = &counters_;
+    ctx.config = &config_;
+    ctx.for_each_active_query =
+        [this, s](const std::function<void(QueryState&)>& fn) {
+          for (auto& [_, q] : active_queries_) {
+            if (q.site == s) fn(q);
+          }
+        };
+    site.method = MakeMethod(ctx);
+  }
+
+  // Crash hooks: volatile state resets; stores/logs/queues persist.
+  failures_->on_crash = [this](SiteId s) {
+    if (sites_[s]->method) sites_[s]->method->OnCrash();
+    if (sites_[s]->tpc) sites_[s]->tpc->OnCrash();
+  };
+  failures_->on_restart = [this](SiteId s) {
+    if (sites_[s]->method) sites_[s]->method->OnRestart();
+  };
+
+  StartHeartbeats();
+}
+
+ReplicatedSystem::~ReplicatedSystem() = default;
+
+void ReplicatedSystem::StartHeartbeats() {
+  if (config_.heartbeat_interval_us <= 0 || IsSyncMethod()) return;
+  if (heartbeats_on_) return;
+  heartbeats_on_ = true;
+  for (SiteId s = 0; s < config_.num_sites; ++s) {
+    // Stagger the first beats so sites don't synchronize.
+    const SimDuration first =
+        config_.heartbeat_interval_us * (s + 1) / config_.num_sites;
+    // Self-rescheduling closure.
+    auto beat = std::make_shared<std::function<void()>>();
+    *beat = [this, s, beat]() {
+      if (!heartbeats_on_) return;
+      sites_[s]->method->SendHeartbeat();
+      simulator_.Schedule(config_.heartbeat_interval_us, *beat);
+    };
+    simulator_.Schedule(first, *beat);
+  }
+}
+
+Result<EtId> ReplicatedSystem::SubmitUpdate(SiteId origin,
+                                            std::vector<store::Operation> ops,
+                                            CommitFn done) {
+  if (origin < 0 || origin >= config_.num_sites) {
+    return Status::InvalidArgument("no such site");
+  }
+  const EtId et = next_et_++;
+  if (IsSyncMethod()) {
+    if (config_.record_history) {
+      analysis::UpdateRecord record;
+      record.et = et;
+      record.origin = origin;
+      record.commit_time = simulator_.Now();
+      record.ops = ops;
+      history_.RecordUpdateCommit(std::move(record));
+    }
+    auto wrapped = [this, et, done = std::move(done)](Status s) {
+      if (!s.ok() && config_.record_history) {
+        history_.RecordUpdateAborted(et);
+      }
+      if (done) done(s);
+    };
+    if (config_.method == Method::kSync2pc) {
+      sites_[origin]->tpc->ExecuteUpdate(std::move(ops), std::move(wrapped));
+    } else {
+      sites_[origin]->quorum->UpdateQuorum(std::move(ops),
+                                           std::move(wrapped));
+    }
+    return et;
+  }
+  Status admitted = sites_[origin]->method->AdmitUpdate(ops);
+  if (!admitted.ok()) {
+    --next_et_;
+    return admitted;
+  }
+  sites_[origin]->method->SubmitUpdate(et, std::move(ops), std::move(done));
+  return et;
+}
+
+Status ReplicatedSystem::Decide(EtId et, bool commit) {
+  if (IsSyncMethod()) {
+    return Status::FailedPrecondition("decisions apply to COMPE only");
+  }
+  const analysis::UpdateRecord* u = history_.FindUpdate(et);
+  // Without history we fall back to asking every site; with it we know the
+  // origin directly.
+  if (u != nullptr) {
+    return sites_[u->origin]->method->SubmitDecision(et, commit);
+  }
+  for (auto& site : sites_) {
+    Status s = site->method->SubmitDecision(et, commit);
+    if (s.ok()) return s;
+  }
+  return Status::NotFound("no origin knows tentative ET " +
+                          std::to_string(et));
+}
+
+Result<EtId> ReplicatedSystem::BeginSaga(SiteId origin) {
+  if (config_.method != Method::kCompe &&
+      config_.method != Method::kCompeOrdered) {
+    return Status::FailedPrecondition("sagas run under COMPE only");
+  }
+  if (origin < 0 || origin >= config_.num_sites) {
+    return Status::InvalidArgument("no such site");
+  }
+  const EtId saga = next_et_++;
+  sagas_.emplace(saga, Saga{origin, {}});
+  counters_.Increment("esr.sagas_begun");
+  return saga;
+}
+
+Result<EtId> ReplicatedSystem::SubmitSagaStep(EtId saga,
+                                              std::vector<store::Operation> ops,
+                                              CommitFn done) {
+  auto it = sagas_.find(saga);
+  if (it == sagas_.end()) {
+    return Status::NotFound("unknown or finished saga");
+  }
+  Result<EtId> step = SubmitUpdate(it->second.origin, std::move(ops),
+                                   std::move(done));
+  if (step.ok()) it->second.steps.push_back(*step);
+  return step;
+}
+
+Status ReplicatedSystem::EndSaga(EtId saga, bool commit) {
+  auto it = sagas_.find(saga);
+  if (it == sagas_.end()) {
+    return Status::NotFound("unknown or finished saga");
+  }
+  Saga record = std::move(it->second);
+  sagas_.erase(it);
+  if (commit) {
+    for (EtId step : record.steps) {
+      ESR_RETURN_IF_ERROR(Decide(step, true));
+    }
+    counters_.Increment("esr.sagas_committed");
+  } else {
+    // Compensate completed steps in reverse submission order.
+    for (auto sit = record.steps.rbegin(); sit != record.steps.rend();
+         ++sit) {
+      ESR_RETURN_IF_ERROR(Decide(*sit, false));
+    }
+    counters_.Increment("esr.sagas_aborted");
+  }
+  return Status::Ok();
+}
+
+EtId ReplicatedSystem::BeginQuery(SiteId site, int64_t epsilon,
+                                  int64_t value_epsilon) {
+  assert(site >= 0 && site < config_.num_sites);
+  assert(epsilon >= 0 && value_epsilon >= 0);
+  const EtId et = next_et_++;
+  QueryState q;
+  q.id = et;
+  q.site = site;
+  q.epsilon = epsilon;
+  q.value_epsilon = value_epsilon;
+  auto [it, inserted] = active_queries_.emplace(et, std::move(q));
+  assert(inserted);
+  if (!IsSyncMethod()) sites_[site]->method->OnQueryBegin(it->second);
+  counters_.Increment("esr.queries_begun");
+  return et;
+}
+
+Result<Value> ReplicatedSystem::TryRead(EtId query, ObjectId object) {
+  auto it = active_queries_.find(query);
+  if (it == active_queries_.end()) {
+    return Status::NotFound("unknown or finished query ET");
+  }
+  if (IsSyncMethod()) {
+    return Status::InvalidArgument(
+        "synchronous baselines serve reads via Read() only");
+  }
+  return sites_[it->second.site]->method->TryQueryRead(it->second, object);
+}
+
+void ReplicatedSystem::Read(EtId query, ObjectId object, ReadCallback done) {
+  auto it = active_queries_.find(query);
+  if (it == active_queries_.end()) {
+    done(Result<Value>(Status::NotFound("unknown or finished query ET")));
+    return;
+  }
+  QueryState& q = it->second;
+  if (IsSyncMethod()) {
+    auto record = [this, query, object, site = q.site,
+                   done = std::move(done)](Result<Value> v) {
+      if (v.ok() && config_.record_history) {
+        analysis::ReadRecord r;
+        r.query = query;
+        r.site = site;
+        r.object = object;
+        r.value = *v;
+        r.time = simulator_.Now();
+        history_.RecordRead(std::move(r));
+      }
+      auto qit = active_queries_.find(query);
+      if (qit != active_queries_.end()) ++qit->second.reads;
+      done(std::move(v));
+    };
+    if (config_.method == Method::kSync2pc) {
+      sites_[q.site]->tpc->ExecuteRead(object, std::move(record));
+    } else {
+      sites_[q.site]->quorum->ReadQuorum(object, std::move(record));
+    }
+    return;
+  }
+  Result<Value> r = sites_[q.site]->method->TryQueryRead(q, object);
+  if (r.ok()) {
+    done(std::move(r));
+    return;
+  }
+  if (r.status().IsInconsistencyLimit()) {
+    // Strict restart: release anything held, reset accounting, try again —
+    // the strict path cannot hit the limit.
+    sites_[q.site]->method->OnQueryEnd(q);
+    q.ResetForRestart();
+    counters_.Increment("esr.query_restarts");
+    Result<Value> retry = sites_[q.site]->method->TryQueryRead(q, object);
+    if (retry.ok()) {
+      done(std::move(retry));
+      return;
+    }
+    if (!retry.status().IsUnavailable()) {
+      done(std::move(retry));  // internal error; surface it
+      return;
+    }
+  }
+  // kUnavailable: poll until the condition clears.
+  ScheduleReadRetry(query, object, std::move(done));
+}
+
+void ReplicatedSystem::ScheduleReadRetry(EtId query, ObjectId object,
+                                         ReadCallback done) {
+  auto retry = std::make_shared<std::function<void()>>();
+  auto done_ptr = std::make_shared<ReadCallback>(std::move(done));
+  *retry = [this, query, object, done_ptr, retry]() {
+    auto it = active_queries_.find(query);
+    if (it == active_queries_.end()) {
+      (*done_ptr)(Result<Value>(Status::Aborted("query ended while blocked")));
+      return;
+    }
+    Result<Value> r =
+        sites_[it->second.site]->method->TryQueryRead(it->second, object);
+    if (r.ok()) {
+      (*done_ptr)(std::move(r));
+      return;
+    }
+    if (r.status().IsInconsistencyLimit()) {
+      sites_[it->second.site]->method->OnQueryEnd(it->second);
+      it->second.ResetForRestart();
+      counters_.Increment("esr.query_restarts");
+      simulator_.Schedule(0, *retry);
+      return;
+    }
+    simulator_.Schedule(config_.read_retry_interval_us, *retry);
+  };
+  simulator_.Schedule(config_.read_retry_interval_us, *retry);
+}
+
+Status ReplicatedSystem::EndQuery(EtId query) {
+  auto it = active_queries_.find(query);
+  if (it == active_queries_.end()) {
+    return Status::NotFound("unknown or finished query ET");
+  }
+  QueryState& q = it->second;
+  if (!IsSyncMethod()) sites_[q.site]->method->OnQueryEnd(q);
+  if (config_.record_history) {
+    analysis::QueryRecord record;
+    record.query = q.id;
+    record.site = q.site;
+    record.epsilon = q.epsilon;
+    record.final_inconsistency = q.inconsistency;
+    record.completed = true;
+    history_.RecordQueryEnd(record);
+  }
+  counters_.Increment("esr.queries_completed");
+  active_queries_.erase(it);
+  return Status::Ok();
+}
+
+const QueryState* ReplicatedSystem::query_state(EtId query) const {
+  auto it = active_queries_.find(query);
+  return it == active_queries_.end() ? nullptr : &it->second;
+}
+
+void ReplicatedSystem::RunUntilQuiescent() {
+  // Heartbeats self-perpetuate; silence them so the queue can drain.
+  const bool had_heartbeats = heartbeats_on_;
+  heartbeats_on_ = false;
+  simulator_.Run();
+  if (!IsSyncMethod()) {
+    // Flush a few explicit heartbeat rounds so every site's clock
+    // watermarks (and thus the VTNC / ORDUP-TS release floor) reflect the
+    // quiescent state — the periodic beats would have achieved this
+    // eventually. Three rounds: watermark advance -> releases -> acks ->
+    // stability -> final watermark advance.
+    for (int round = 0; round < 3; ++round) {
+      for (auto& site : sites_) {
+        site->method->OnQuiesceFlush();
+        site->method->SendHeartbeat();
+      }
+      simulator_.Run();
+    }
+  }
+  if (had_heartbeats) {
+    StartHeartbeats();
+  }
+}
+
+void ReplicatedSystem::RunFor(SimDuration duration) {
+  simulator_.RunUntil(simulator_.Now() + duration);
+}
+
+bool ReplicatedSystem::Converged() const {
+  if (config_.method == Method::kSyncQuorum) {
+    // Quorum replication never promises full-replica convergence (only
+    // quorum intersection); treat as trivially converged.
+    return true;
+  }
+  if (config_.method == Method::kRituMulti) {
+    const uint64_t digest0 = sites_[0]->versions.StateDigest();
+    for (const auto& site : sites_) {
+      if (site->versions.StateDigest() != digest0) return false;
+    }
+    return true;
+  }
+  const uint64_t digest0 = sites_[0]->store.StateDigest();
+  for (const auto& site : sites_) {
+    if (site->store.StateDigest() != digest0) return false;
+  }
+  return true;
+}
+
+Value ReplicatedSystem::SiteValue(SiteId site, ObjectId object) const {
+  assert(site >= 0 && site < config_.num_sites);
+  if (config_.method == Method::kSyncQuorum) {
+    return sites_[site]->quorum->LocalValue(object);
+  }
+  if (config_.method == Method::kRituMulti) {
+    auto v = sites_[site]->versions.ReadLatest(object);
+    return v.has_value() ? v->value : Value();
+  }
+  return sites_[site]->store.Read(object);
+}
+
+uint64_t ReplicatedSystem::SiteDigest(SiteId site) const {
+  if (config_.method == Method::kRituMulti) {
+    return sites_[site]->versions.StateDigest();
+  }
+  return sites_[site]->store.StateDigest();
+}
+
+store::ObjectStore& ReplicatedSystem::site_store(SiteId site) {
+  return sites_[site]->store;
+}
+store::VersionStore& ReplicatedSystem::site_versions(SiteId site) {
+  return sites_[site]->versions;
+}
+store::MsetLog& ReplicatedSystem::site_mset_log(SiteId site) {
+  return sites_[site]->mset_log;
+}
+msg::ReliableTransport& ReplicatedSystem::site_queues(SiteId site) {
+  return *sites_[site]->queues;
+}
+ReplicaControlMethod* ReplicatedSystem::site_method(SiteId site) {
+  return sites_[site]->method.get();
+}
+cc::TwoPhaseCommitEngine* ReplicatedSystem::site_tpc(SiteId site) {
+  return sites_[site]->tpc.get();
+}
+cc::QuorumEngine* ReplicatedSystem::site_quorum(SiteId site) {
+  return sites_[site]->quorum.get();
+}
+
+}  // namespace esr::core

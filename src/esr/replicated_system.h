@@ -1,0 +1,178 @@
+#ifndef ESR_ESR_REPLICATED_SYSTEM_H_
+#define ESR_ESR_REPLICATED_SYSTEM_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/history.h"
+#include "cc/quorum.h"
+#include "cc/two_phase_commit.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "esr/config.h"
+#include "esr/replica_control.h"
+#include "sim/failure_injector.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace esr::core {
+
+/// Callback receiving a query read's value.
+using ReadCallback = std::function<void(Result<Value>)>;
+
+/// The library's top-level object: a simulated distributed system of
+/// `config.num_sites` replica sites running one replica control method (or
+/// one of the synchronous coherency-control baselines).
+///
+/// Typical use:
+///
+///   SystemConfig config;
+///   config.method = Method::kCommu;
+///   ReplicatedSystem system(config);
+///   system.SubmitUpdate(/*origin=*/0, {Operation::Increment(kAcct, 10)});
+///   EtId q = system.BeginQuery(/*site=*/2, /*epsilon=*/3);
+///   system.Read(q, kAcct, [](Result<Value> v) { ... });
+///   system.EndQuery(q);
+///   system.RunUntilQuiescent();   // drains propagation
+///   assert(system.Converged());
+///
+/// All calls execute on the simulator's virtual time; nothing blocks the
+/// calling thread. Completion callbacks fire from simulator events.
+class ReplicatedSystem {
+ public:
+  explicit ReplicatedSystem(const SystemConfig& config);
+  ~ReplicatedSystem();
+
+  ReplicatedSystem(const ReplicatedSystem&) = delete;
+  ReplicatedSystem& operator=(const ReplicatedSystem&) = delete;
+
+  const SystemConfig& config() const { return config_; }
+  sim::Simulator& simulator() { return simulator_; }
+  sim::Network& network() { return *network_; }
+  sim::FailureInjector& failures() { return *failures_; }
+  analysis::HistoryRecorder& history() { return history_; }
+  Counters& counters() { return counters_; }
+
+  /// --- Update epsilon-transactions ---------------------------------------
+
+  /// Admits and commits an update ET at `origin`. Returns the ET id on
+  /// admission; `done` fires at local commit (async methods) or global
+  /// commit (sync baselines). Admission failures are returned immediately.
+  Result<EtId> SubmitUpdate(SiteId origin, std::vector<store::Operation> ops,
+                            CommitFn done = nullptr);
+
+  /// COMPE: announces the global outcome of a tentative update ET. Must be
+  /// called from the ET's origin site context.
+  Status Decide(EtId et, bool commit);
+
+  /// --- Sagas (COMPE only; paper section 4.2) ------------------------------
+  ///
+  /// A saga groups tentative update ETs whose decisions are deferred to
+  /// the saga's end: "during the saga each step may be uncompensated for.
+  /// By clearing the lock-counters only at the end of the entire saga the
+  /// query ETs have a conservative estimate (upper bound) of the total
+  /// potential inconsistency." EndSaga(commit) finalizes every step;
+  /// EndSaga(abort) compensates them in reverse submission order.
+
+  /// Opens a saga whose steps will originate at `origin`.
+  Result<EtId> BeginSaga(SiteId origin);
+
+  /// Submits one update ET as the saga's next step (committed
+  /// optimistically like any COMPE update; its decision waits for EndSaga).
+  Result<EtId> SubmitSagaStep(EtId saga, std::vector<store::Operation> ops,
+                              CommitFn done = nullptr);
+
+  /// Decides every step of the saga: all-commit, or all-abort in reverse
+  /// order (the classic saga compensation sequence).
+  Status EndSaga(EtId saga, bool commit);
+
+  /// --- Query epsilon-transactions ----------------------------------------
+
+  /// Starts a query ET at `site` with inconsistency limit `epsilon` and an
+  /// optional value-units limit (the magnitude of in-progress change the
+  /// query may ignore; enforced by the counter-based methods COMMU and
+  /// RITU-SV, see QueryState::value_epsilon).
+  EtId BeginQuery(SiteId site, int64_t epsilon = kUnboundedEpsilon,
+                  int64_t value_epsilon = kUnboundedEpsilon);
+
+  /// Single read attempt; may return kUnavailable (retry later) or
+  /// kInconsistencyLimit (restart required). Not supported by the sync
+  /// baselines (use Read).
+  Result<Value> TryRead(EtId query, ObjectId object);
+
+  /// Read with automatic retry/restart driven by the simulator: retries
+  /// kUnavailable every config.read_retry_interval_us and transparently
+  /// restarts the query in strict mode on kInconsistencyLimit. `done`
+  /// always eventually fires with a value (asynchronous methods guarantee
+  /// progress at quiescence).
+  void Read(EtId query, ObjectId object, ReadCallback done);
+
+  /// Finishes a query ET; releases any pause it holds and records it.
+  Status EndQuery(EtId query);
+
+  /// Inspection of a live query's state (null when unknown/finished).
+  const QueryState* query_state(EtId query) const;
+
+  /// --- Execution control ---------------------------------------------------
+
+  /// Runs the simulator until no events remain (all propagation, retries
+  /// and heartbeats drained). Heartbeats are stopped first so the event
+  /// queue can empty.
+  void RunUntilQuiescent();
+
+  /// Runs the simulator for `duration` of virtual time.
+  void RunFor(SimDuration duration);
+
+  /// --- State inspection ----------------------------------------------------
+
+  /// True when every replica holds identical object state.
+  bool Converged() const;
+
+  /// A replica's current value of an object (single-version methods read
+  /// the store; RITU-MV reads the latest version; quorum reads the local
+  /// versioned replica).
+  Value SiteValue(SiteId site, ObjectId object) const;
+
+  uint64_t SiteDigest(SiteId site) const;
+
+  store::ObjectStore& site_store(SiteId site);
+  store::VersionStore& site_versions(SiteId site);
+  store::MsetLog& site_mset_log(SiteId site);
+  msg::ReliableTransport& site_queues(SiteId site);
+  ReplicaControlMethod* site_method(SiteId site);
+  cc::TwoPhaseCommitEngine* site_tpc(SiteId site);
+  cc::QuorumEngine* site_quorum(SiteId site);
+
+ private:
+  struct SiteRuntime;
+
+  bool IsSyncMethod() const {
+    return config_.method == Method::kSync2pc ||
+           config_.method == Method::kSyncQuorum;
+  }
+  void StartHeartbeats();
+  void ScheduleReadRetry(EtId query, ObjectId object, ReadCallback done);
+
+  SystemConfig config_;
+  sim::Simulator simulator_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<sim::FailureInjector> failures_;
+  ObjectClassRegistry registry_;
+  analysis::HistoryRecorder history_;
+  Counters counters_;
+  std::vector<std::unique_ptr<SiteRuntime>> sites_;
+  EtId next_et_ = 1;
+  std::unordered_map<EtId, QueryState> active_queries_;
+  struct Saga {
+    SiteId origin;
+    std::vector<EtId> steps;
+  };
+  std::unordered_map<EtId, Saga> sagas_;
+  bool heartbeats_on_ = false;
+  std::vector<sim::EventId> heartbeat_events_;
+};
+
+}  // namespace esr::core
+
+#endif  // ESR_ESR_REPLICATED_SYSTEM_H_

@@ -1,0 +1,123 @@
+#include "esr/ritu.h"
+
+#include <cassert>
+
+namespace esr::core {
+
+RituMethod::RituMethod(const MethodContext& ctx, bool multiversion)
+    : CommuMethod(ctx), multiversion_(multiversion) {
+  // CommuMethod's constructor registered the kMsetMsg handler bound to the
+  // virtual OnMsetDelivered, which dispatches to this class.
+}
+
+Status RituMethod::AdmitUpdate(const std::vector<store::Operation>& ops) {
+  ESR_RETURN_IF_ERROR(ReplicaControlMethod::AdmitUpdate(ops));
+  for (const store::Operation& op : ops) {
+    if (!op.IsReadIndependent()) {
+      return Status::FailedPrecondition(
+          "RITU admits read-independent timestamped writes only; got " +
+          std::string(store::OpKindToString(op.kind)));
+    }
+  }
+  return ctx_.registry->AdmitAll(ops);
+}
+
+void RituMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
+                              CommitFn done) {
+  const LamportTimestamp ts = ctx_.clock->Tick();
+  // Stamp every write with the ET's timestamp; the store (or version store)
+  // resolves concurrent writes by it.
+  for (store::Operation& op : ops) op.timestamp = ts;
+  outgoing_ts_.emplace(et, ts);
+  Mset mset;
+  mset.et = et;
+  mset.origin = ctx_.site;
+  mset.timestamp = ts;
+  mset.operations = std::move(ops);
+  if (ctx_.config->record_history) {
+    analysis::UpdateRecord record;
+    record.et = et;
+    record.origin = ctx_.site;
+    record.commit_time = ctx_.simulator->Now();
+    record.ops = mset.operations;
+    record.timestamp = ts;
+    ctx_.history->RecordUpdateCommit(std::move(record));
+  }
+  PropagateMset(mset);
+  ApplyRitu(mset);
+  ctx_.counters->Increment("esr.updates_committed");
+  if (done) done(Status::Ok());
+}
+
+void RituMethod::OnMsetDelivered(const Mset& mset) { ApplyRitu(mset); }
+
+void RituMethod::ApplyRitu(const Mset& mset) {
+  if (multiversion_) {
+    for (const store::Operation& op : mset.operations) {
+      ctx_.versions->AppendVersion(op.object, op.timestamp, op.value);
+    }
+  } else {
+    // Single-version overwrite under the Thomas write rule, with the
+    // COMMU-style lock-counter window for divergence bounding.
+    std::vector<WeightedObject> objects = WeighOperations(mset.operations);
+    counters_.Increment(objects);
+    in_progress_.emplace(mset.et, std::move(objects));
+    Status s = ctx_.store->ApplyAll(mset.operations);
+    assert(s.ok());
+    (void)s;
+  }
+  RecordApplied(mset);
+}
+
+LamportTimestamp RituMethod::Vtnc() const { return ctx_.stability->Vtnc(); }
+
+Result<Value> RituMethod::TryQueryRead(QueryState& query, ObjectId object) {
+  if (!multiversion_) {
+    // "RITU reduces to COMMU" in single-version mode.
+    return CommuMethod::TryQueryRead(query, object);
+  }
+  if (!query.pinned) {
+    query.pinned = true;
+    query.vtnc_pin = ctx_.stability->Vtnc();
+  }
+  const LamportTimestamp pin = *query.vtnc_pin;
+  const auto latest = ctx_.versions->ReadLatest(object);
+  Value v;
+  int64_t inc = 0;
+  if (latest.has_value() && latest->timestamp > pin) {
+    const bool budget_left = query.epsilon == kUnboundedEpsilon ||
+                             query.inconsistency + 1 <= query.epsilon;
+    if (budget_left && !query.strict) {
+      // Read the fresh version and pay one unit ("each time a query ET
+      // reads such a version its inconsistency counter is increased by
+      // one").
+      v = latest->value;
+      inc = 1;
+    } else {
+      // Fall back to the pinned snapshot: versions at-or-below the pin are
+      // immutable and complete, so this read is serializable and free.
+      const auto snap = ctx_.versions->ReadAtOrBefore(object, pin);
+      v = snap.has_value() ? snap->value : Value();
+      ctx_.counters->Increment("esr.ritu_snapshot_reads");
+    }
+  } else {
+    v = latest.has_value() ? latest->value : Value();
+  }
+  query.inconsistency += inc;
+  ++query.reads;
+  if (ctx_.config->record_history) {
+    analysis::ReadRecord r;
+    r.query = query.id;
+    r.site = ctx_.site;
+    r.object = object;
+    r.value = v;
+    r.time = ctx_.simulator->Now();
+    r.inconsistency_increment = inc;
+    r.site_apply_index = static_cast<int64_t>(
+        ctx_.history->site_applies(ctx_.site).size());
+    ctx_.history->RecordRead(std::move(r));
+  }
+  return v;
+}
+
+}  // namespace esr::core

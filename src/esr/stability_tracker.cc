@@ -1,0 +1,88 @@
+#include "esr/stability_tracker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace esr::core {
+
+LamportTimestamp PredTimestamp(LamportTimestamp ts) {
+  if (ts.site > 0) return LamportTimestamp{ts.counter, ts.site - 1};
+  return LamportTimestamp{ts.counter - 1,
+                          std::numeric_limits<SiteId>::max()};
+}
+
+StabilityTracker::StabilityTracker(SiteId self, int num_sites)
+    : self_(self),
+      num_sites_(num_sites),
+      is_updater_(num_sites, true),
+      watermark_(num_sites, kZeroTimestamp) {}
+
+void StabilityTracker::SetUpdaterSites(const std::vector<SiteId>& updaters) {
+  std::fill(is_updater_.begin(), is_updater_.end(), false);
+  for (SiteId s : updaters) {
+    assert(s >= 0 && s < num_sites_);
+    is_updater_[s] = true;
+  }
+}
+
+void StabilityTracker::TrackOutgoing(EtId et, LamportTimestamp ts) {
+  ObserveMset(et, ts, self_);
+}
+
+bool StabilityTracker::RecordAck(EtId et, SiteId replica) {
+  if (stable_.count(et)) return false;  // duplicate late ack
+  auto& acked = acks_[et];
+  acked.insert(replica);
+  return static_cast<int>(acked.size()) >= num_sites_;
+}
+
+void StabilityTracker::ObserveMset(EtId et, LamportTimestamp ts,
+                                   SiteId origin) {
+  ObserveClock(origin, ts);
+  if (stable_.count(et) || outstanding_ts_.count(et)) return;
+  outstanding_by_ts_.emplace(ts, et);
+  outstanding_ts_.emplace(et, ts);
+}
+
+void StabilityTracker::ObserveClock(SiteId origin, LamportTimestamp clock) {
+  assert(origin >= 0 && origin < num_sites_);
+  watermark_[origin] = std::max(watermark_[origin], clock);
+}
+
+void StabilityTracker::MarkStable(EtId et, LamportTimestamp ts) {
+  if (!stable_.insert(et).second) return;  // already stable
+  auto it = outstanding_ts_.find(et);
+  if (it != outstanding_ts_.end()) {
+    outstanding_by_ts_.erase(it->second);
+    outstanding_ts_.erase(it);
+  } else {
+    // A stability notice can outrun the MSet itself only on non-FIFO
+    // channels; nothing outstanding to erase, but remember the timestamp
+    // watermark.
+    (void)ts;
+  }
+  acks_.erase(et);
+  if (on_stable) on_stable(et);
+}
+
+LamportTimestamp StabilityTracker::WatermarkFloor() const {
+  LamportTimestamp floor{std::numeric_limits<int64_t>::max(), 0};
+  for (SiteId o = 0; o < num_sites_; ++o) {
+    if (o == self_ || !is_updater_[o]) continue;
+    floor = std::min(floor, watermark_[o]);
+  }
+  return floor;
+}
+
+LamportTimestamp StabilityTracker::Vtnc() const {
+  // Watermark floor over updater origins (self excluded: a site always
+  // knows its own update activity, which is captured by outstanding_).
+  LamportTimestamp floor = WatermarkFloor();
+  if (!outstanding_by_ts_.empty()) {
+    floor = std::min(floor, PredTimestamp(outstanding_by_ts_.begin()->first));
+  }
+  return floor;
+}
+
+}  // namespace esr::core

@@ -1,0 +1,106 @@
+#ifndef ESR_ESR_STABILITY_TRACKER_H_
+#define ESR_ESR_STABILITY_TRACKER_H_
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace esr::core {
+
+/// Tracks which update ETs have become *stable* — applied at every replica —
+/// and derives the VTNC (visible transaction number counter) that RITU's
+/// multi-version divergence bounding reads below (paper section 3.3).
+///
+/// Protocol (driven by the replica control methods):
+///  * Origin calls TrackOutgoing() when it commits an update ET.
+///  * Every site (origin included) calls ObserveMset() when the MSet is
+///    applied locally, and the replicas send apply-acks to the origin, which
+///    feeds them to RecordAck(). When all sites acked, the origin broadcasts
+///    a stability notice and everyone calls MarkStable().
+///
+/// VTNC correctness relies on two facts: (1) each origin's Lamport clock is
+/// monotonic, so its MSets carry increasing timestamps, and (2) MSets and
+/// clock heartbeats travel over FIFO stable queues, so once a site has seen
+/// timestamp W from origin o, no *unknown* MSet from o with timestamp <= W
+/// can still be in flight to it. Hence
+///
+///   VTNC = max T such that T <= min_o watermark(o)  and every known
+///          non-stable MSet has timestamp > T,
+///
+/// is a timestamp below which no active or future update can create a
+/// version — exactly the Modular Synchronization visibility condition.
+class StabilityTracker {
+ public:
+  StabilityTracker(SiteId self, int num_sites);
+
+  /// Invoked (at this site) when an ET becomes stable.
+  std::function<void(EtId)> on_stable;
+
+  /// Origin side: starts tracking an outgoing update ET.
+  void TrackOutgoing(EtId et, LamportTimestamp ts);
+
+  /// Origin side: records an apply-ack from `replica` (the origin acks
+  /// itself when it applies locally). Returns true when every site has now
+  /// acknowledged — the caller should then broadcast the stability notice
+  /// and call MarkStable locally.
+  bool RecordAck(EtId et, SiteId replica);
+
+  /// Any site: the MSet (et, ts, origin) has been applied locally.
+  void ObserveMset(EtId et, LamportTimestamp ts, SiteId origin);
+
+  /// Any site: origin's Lamport clock has reached at least `clock`
+  /// (piggybacked on MSets and periodic heartbeats).
+  void ObserveClock(SiteId origin, LamportTimestamp clock);
+
+  /// Any site: the ET is stable everywhere. Fires on_stable once.
+  void MarkStable(EtId et, LamportTimestamp ts);
+
+  bool IsStable(EtId et) const { return stable_.count(et) > 0; }
+
+  /// Number of ETs known at this site that are not yet stable.
+  int64_t OutstandingCount() const {
+    return static_cast<int64_t>(outstanding_by_ts_.size());
+  }
+
+  /// Current VTNC (see class comment). Monotonically non-decreasing.
+  LamportTimestamp Vtnc() const;
+
+  /// Floor of the per-origin clock watermarks over the *other* updater
+  /// sites (self excluded — a site always knows its own activity). No
+  /// unknown MSet from any origin can carry a timestamp at or below this
+  /// floor; the decentralized ORDUP variant releases its hold-back buffer
+  /// up to it.
+  LamportTimestamp WatermarkFloor() const;
+
+  /// Restricts the origins whose watermarks constrain the VTNC. By default
+  /// all sites count; a deployment where only some sites originate updates
+  /// can exclude the pure readers so their silent clocks don't hold the
+  /// VTNC at zero (heartbeats make this optional).
+  void SetUpdaterSites(const std::vector<SiteId>& updaters);
+
+ private:
+  SiteId self_;
+  int num_sites_;
+  std::vector<bool> is_updater_;
+  /// Known-but-not-yet-stable ETs ordered by timestamp.
+  std::map<LamportTimestamp, EtId> outstanding_by_ts_;
+  std::unordered_map<EtId, LamportTimestamp> outstanding_ts_;
+  std::unordered_set<EtId> stable_;
+  /// Origin side: acks received per outgoing ET.
+  std::unordered_map<EtId, std::unordered_set<SiteId>> acks_;
+  /// Per-origin clock watermark (self is implicitly infinite: this site
+  /// always knows its own MSets).
+  std::vector<LamportTimestamp> watermark_;
+};
+
+/// Largest timestamp strictly smaller than `ts` (used to place the VTNC
+/// just below the first outstanding update).
+LamportTimestamp PredTimestamp(LamportTimestamp ts);
+
+}  // namespace esr::core
+
+#endif  // ESR_ESR_STABILITY_TRACKER_H_

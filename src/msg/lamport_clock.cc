@@ -1,0 +1,3 @@
+#include "msg/lamport_clock.h"
+
+// LamportClock is header-only; this translation unit anchors the library.

@@ -1,0 +1,37 @@
+#ifndef ESR_MSG_LAMPORT_CLOCK_H_
+#define ESR_MSG_LAMPORT_CLOCK_H_
+
+#include "common/types.h"
+
+namespace esr::msg {
+
+/// Lamport logical clock (Lamport 1978), one per site.
+///
+/// Supplies the globally unique, causality-consistent timestamps used by
+/// RITU's timestamped updates and by ORDUP's decentralized ordering variant.
+/// Uniqueness comes from the (counter, site) pair.
+class LamportClock {
+ public:
+  explicit LamportClock(SiteId site) : site_(site) {}
+
+  /// Advances the clock for a local event and returns the new timestamp.
+  LamportTimestamp Tick() { return LamportTimestamp{++counter_, site_}; }
+
+  /// Merges a timestamp observed on an incoming message (receive rule):
+  /// counter = max(local, remote) + 1.
+  LamportTimestamp Observe(const LamportTimestamp& remote) {
+    if (remote.counter > counter_) counter_ = remote.counter;
+    return Tick();
+  }
+
+  /// Current value without advancing.
+  LamportTimestamp Now() const { return LamportTimestamp{counter_, site_}; }
+
+ private:
+  int64_t counter_ = 0;
+  SiteId site_;
+};
+
+}  // namespace esr::msg
+
+#endif  // ESR_MSG_LAMPORT_CLOCK_H_

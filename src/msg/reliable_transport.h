@@ -1,0 +1,53 @@
+#ifndef ESR_MSG_RELIABLE_TRANSPORT_H_
+#define ESR_MSG_RELIABLE_TRANSPORT_H_
+
+#include <any>
+#include <functional>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace esr::msg {
+
+/// Reliable exactly-once delivery over the lossy network — the contract the
+/// paper assumes of its messaging substrate ("stable queues [5] and
+/// persistent pipes [17]"). Two implementations ship:
+///
+///   * StableQueueManager — per-message acknowledgments, selective
+///     retransmission, receiver-side dedup + (optional) hold-back
+///     reordering; supports FIFO and unordered delivery.
+///   * PersistentPipeManager — connection-style sliding window with
+///     cumulative acknowledgments and go-back-N retransmission; always
+///     FIFO.
+///
+/// Both persist unacknowledged entries (in the stable-storage sense: they
+/// survive simulated crashes, which only silence the network) and retry
+/// until delivery succeeds.
+class ReliableTransport {
+ public:
+  using DeliverHandler =
+      std::function<void(SiteId source, const std::any& payload)>;
+
+  virtual ~ReliableTransport() = default;
+
+  /// Enqueues `payload` for reliable delivery to `destination`.
+  virtual void Send(SiteId destination, std::any payload,
+                    int64_t size_bytes = 256) = 0;
+
+  /// Enqueues `payload` to every site except self.
+  virtual void Broadcast(std::any payload, int64_t size_bytes = 256) = 0;
+
+  /// Replaces the delivery handler (default: dispatch Envelope payloads
+  /// through the site's mailbox).
+  virtual void SetDeliverHandler(DeliverHandler handler) = 0;
+
+  /// Entries awaiting acknowledgment across all destinations.
+  virtual int64_t UnackedCount() const = 0;
+
+  /// Transport event counters (sent/retransmit/duplicate/delivered...).
+  virtual const Counters& counters() const = 0;
+};
+
+}  // namespace esr::msg
+
+#endif  // ESR_MSG_RELIABLE_TRANSPORT_H_

@@ -1,0 +1,51 @@
+#include "msg/sequencer.h"
+
+#include <cassert>
+
+namespace esr::msg {
+
+SequencerServer::SequencerServer(Mailbox* mailbox, ReliableTransport* queues)
+    : mailbox_(mailbox), queues_(queues) {
+  assert(mailbox != nullptr && queues != nullptr);
+  mailbox_->RegisterHandler(
+      kSeqRequest, [this](SiteId source, const std::any& body) {
+        const auto* req = std::any_cast<SeqRequest>(&body);
+        assert(req != nullptr);
+        const SequenceNumber seq = next_++;
+        queues_->Send(source,
+                      Envelope{kSeqResponse, SeqResponse{req->request_id, seq}},
+                      /*size_bytes=*/48);
+      });
+}
+
+SequencerClient::SequencerClient(Mailbox* mailbox, ReliableTransport* queues,
+                                 SiteId home)
+    : mailbox_(mailbox), queues_(queues), home_(home) {
+  assert(mailbox != nullptr && queues != nullptr);
+  mailbox_->RegisterHandler(
+      kSeqResponse, [this](SiteId /*source*/, const std::any& body) {
+        const auto* resp = std::any_cast<SeqResponse>(&body);
+        assert(resp != nullptr);
+        auto it = pending_.find(resp->request_id);
+        if (it == pending_.end()) return;  // duplicate response
+        Callback done = std::move(it->second);
+        pending_.erase(it);
+        done(resp->seq);
+      });
+}
+
+void SequencerClient::Request(Callback done) {
+  const int64_t id = next_request_id_++;
+  pending_.emplace(id, std::move(done));
+  // Requests go over the stable queue even to self: when self-hosted, the
+  // local server's kSeqRequest handler is registered on this same mailbox,
+  // and ReliableTransport does not loop back, so short-circuit locally.
+  if (mailbox_->self() == home_) {
+    mailbox_->Dispatch(home_, Envelope{kSeqRequest, SeqRequest{id}});
+  } else {
+    queues_->Send(home_, Envelope{kSeqRequest, SeqRequest{id}},
+                  /*size_bytes=*/48);
+  }
+}
+
+}  // namespace esr::msg

@@ -1,0 +1,69 @@
+#ifndef ESR_MSG_SEQUENCER_H_
+#define ESR_MSG_SEQUENCER_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "msg/mailbox.h"
+#include "msg/reliable_transport.h"
+
+namespace esr::msg {
+
+/// Centralized global order server (paper section 3.1: "such ordering can be
+/// generated easily by a centralized order server").
+///
+/// The server side runs at one designated site and hands out consecutive
+/// sequence numbers. Requests and responses travel over stable queues, so a
+/// lossy network or a temporarily crashed sequencer site delays but never
+/// loses an ordering request. Note the server orders *update ETs only*; the
+/// whole point of ESR is that queries need no global coordination (though
+/// ORDUP's divergence bounding may optionally assign query order numbers
+/// too, which reuses this same service).
+class SequencerServer {
+ public:
+  /// Attaches the server to `mailbox` (which must belong to the home site).
+  /// Sequence numbers start at 1.
+  explicit SequencerServer(Mailbox* mailbox, ReliableTransport* queues);
+
+  SequenceNumber LastIssued() const { return next_ - 1; }
+
+ private:
+  Mailbox* mailbox_;
+  ReliableTransport* queues_;
+  SequenceNumber next_ = 1;
+};
+
+/// Client stub used by every site to obtain global order numbers.
+class SequencerClient {
+ public:
+  using Callback = std::function<void(SequenceNumber)>;
+
+  /// `home` is the sequencer site. When `self == home`, requests short-
+  /// circuit locally through `local_server` (no messages).
+  SequencerClient(Mailbox* mailbox, ReliableTransport* queues, SiteId home);
+
+  /// Requests the next global sequence number; `done` fires when the
+  /// response arrives (immediately when self-hosted).
+  void Request(Callback done);
+
+ private:
+  Mailbox* mailbox_;
+  ReliableTransport* queues_;
+  SiteId home_;
+  int64_t next_request_id_ = 1;
+  std::unordered_map<int64_t, Callback> pending_;
+};
+
+/// Wire formats (shared between server and client).
+struct SeqRequest {
+  int64_t request_id;
+};
+struct SeqResponse {
+  int64_t request_id;
+  SequenceNumber seq;
+};
+
+}  // namespace esr::msg
+
+#endif  // ESR_MSG_SEQUENCER_H_

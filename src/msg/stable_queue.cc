@@ -1,0 +1,152 @@
+#include "msg/stable_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace esr::msg {
+
+namespace {
+
+/// Wire format of a stable-queue data message.
+struct QueueData {
+  SequenceNumber seq;
+  std::any payload;
+};
+
+/// Wire format of an acknowledgment.
+struct QueueAck {
+  SequenceNumber seq;
+};
+
+}  // namespace
+
+StableQueueManager::StableQueueManager(sim::Simulator* simulator,
+                                       Mailbox* mailbox,
+                                       StableQueueConfig config)
+    : simulator_(simulator), mailbox_(mailbox), config_(config) {
+  assert(simulator != nullptr && mailbox != nullptr);
+  // Default delivery: payloads that are themselves Envelopes are re-routed
+  // through the mailbox, so components receive queue-carried messages via
+  // the same handler registration as raw ones.
+  deliver_ = [mailbox](SiteId source, const std::any& payload) {
+    if (const auto* inner = std::any_cast<Envelope>(&payload)) {
+      mailbox->Dispatch(source, *inner);
+    }
+  };
+  mailbox_->RegisterHandler(kQueueData,
+                            [this](SiteId source, const std::any& body) {
+                              OnData(source, body);
+                            });
+  mailbox_->RegisterHandler(
+      kQueueAck,
+      [this](SiteId source, const std::any& body) { OnAck(source, body); });
+}
+
+void StableQueueManager::Send(SiteId destination, std::any payload,
+                              int64_t size_bytes) {
+  Outbound& out = outbound_[destination];
+  const SequenceNumber seq = out.next_seq++;
+  out.unacked.emplace(seq, std::make_pair(std::move(payload), size_bytes));
+  counters_.Increment("queue.sent");
+  mailbox_->Send(destination,
+                 Envelope{kQueueData,
+                          QueueData{seq, out.unacked.at(seq).first}},
+                 size_bytes);
+  ArmRetryTimer(destination);
+}
+
+void StableQueueManager::Broadcast(std::any payload, int64_t size_bytes) {
+  for (SiteId s = 0; s < mailbox_->network()->num_sites(); ++s) {
+    if (s == mailbox_->self()) continue;
+    Send(s, payload, size_bytes);
+  }
+}
+
+void StableQueueManager::TransmitAll(SiteId destination) {
+  Outbound& out = outbound_[destination];
+  for (const auto& [seq, entry] : out.unacked) {
+    counters_.Increment("queue.retransmit");
+    mailbox_->Send(destination, Envelope{kQueueData, QueueData{seq, entry.first}},
+                   entry.second);
+  }
+}
+
+void StableQueueManager::ArmRetryTimer(SiteId destination) {
+  Outbound& out = outbound_[destination];
+  if (out.retry_event != 0 || out.unacked.empty()) return;
+  out.retry_event =
+      simulator_->Schedule(config_.retry_interval_us, [this, destination]() {
+        Outbound& o = outbound_[destination];
+        o.retry_event = 0;
+        if (o.unacked.empty()) return;
+        TransmitAll(destination);
+        ArmRetryTimer(destination);
+      });
+}
+
+bool StableQueueManager::AlreadyDelivered(Inbound& in,
+                                          SequenceNumber seq) const {
+  return seq <= in.delivered_upto || in.delivered_sparse.count(seq) > 0;
+}
+
+void StableQueueManager::MarkDelivered(Inbound& in, SequenceNumber seq) {
+  in.delivered_sparse.insert(seq);
+  while (in.delivered_sparse.count(in.delivered_upto + 1)) {
+    in.delivered_sparse.erase(in.delivered_upto + 1);
+    ++in.delivered_upto;
+  }
+}
+
+void StableQueueManager::OnData(SiteId source, const std::any& body) {
+  const auto* data = std::any_cast<QueueData>(&body);
+  assert(data != nullptr);
+  // Always (re-)acknowledge: the original ack may have been lost.
+  mailbox_->Send(source, Envelope{kQueueAck, QueueAck{data->seq}},
+                 /*size_bytes=*/32);
+  Inbound& in = inbound_[source];
+  if (config_.fifo) {
+    if (data->seq < in.next_expected || in.holdback.count(data->seq)) {
+      counters_.Increment("queue.duplicate");
+      return;
+    }
+    in.holdback.emplace(data->seq, data->payload);
+    while (true) {
+      auto it = in.holdback.find(in.next_expected);
+      if (it == in.holdback.end()) break;
+      std::any payload = std::move(it->second);
+      in.holdback.erase(it);
+      ++in.next_expected;
+      counters_.Increment("queue.delivered");
+      if (deliver_) deliver_(source, payload);
+    }
+  } else {
+    if (AlreadyDelivered(in, data->seq)) {
+      counters_.Increment("queue.duplicate");
+      return;
+    }
+    MarkDelivered(in, data->seq);
+    counters_.Increment("queue.delivered");
+    if (deliver_) deliver_(source, data->payload);
+  }
+}
+
+void StableQueueManager::OnAck(SiteId source, const std::any& body) {
+  const auto* ack = std::any_cast<QueueAck>(&body);
+  assert(ack != nullptr);
+  Outbound& out = outbound_[source];
+  out.unacked.erase(ack->seq);
+  if (out.unacked.empty() && out.retry_event != 0) {
+    simulator_->Cancel(out.retry_event);
+    out.retry_event = 0;
+  }
+}
+
+int64_t StableQueueManager::UnackedCount() const {
+  int64_t n = 0;
+  for (const auto& [_, out] : outbound_) {
+    n += static_cast<int64_t>(out.unacked.size());
+  }
+  return n;
+}
+
+}  // namespace esr::msg

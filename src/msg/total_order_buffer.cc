@@ -1,0 +1,29 @@
+#include "msg/total_order_buffer.h"
+
+#include <utility>
+
+namespace esr::msg {
+
+void TotalOrderBuffer::Offer(SequenceNumber seq, std::any payload) {
+  if (seq < next_ || holdback_.count(seq)) return;  // duplicate
+  holdback_.emplace(seq, std::move(payload));
+  if (!paused_) Drain();
+}
+
+void TotalOrderBuffer::Resume() {
+  paused_ = false;
+  Drain();
+}
+
+void TotalOrderBuffer::Drain() {
+  while (!paused_) {
+    auto it = holdback_.find(next_);
+    if (it == holdback_.end()) break;
+    std::any payload = std::move(it->second);
+    holdback_.erase(it);
+    const SequenceNumber seq = next_++;
+    apply_(seq, payload);
+  }
+}
+
+}  // namespace esr::msg

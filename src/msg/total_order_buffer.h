@@ -1,0 +1,59 @@
+#ifndef ESR_MSG_TOTAL_ORDER_BUFFER_H_
+#define ESR_MSG_TOTAL_ORDER_BUFFER_H_
+
+#include <any>
+#include <functional>
+#include <map>
+
+#include "common/types.h"
+
+namespace esr::msg {
+
+/// Hold-back buffer that releases payloads in global sequence order.
+///
+/// ORDUP's MSet-delivery rule (paper section 3.1): "each site simply waits
+/// for the next MSet in the execution sequence to show up before running
+/// other MSets". MSets may arrive in any order (a "later" MSet can be
+/// delivered before an "earlier" one); this buffer holds them until the gap
+/// closes, then releases the contiguous run through the apply callback.
+class TotalOrderBuffer {
+ public:
+  using ApplyFn = std::function<void(SequenceNumber, const std::any&)>;
+
+  explicit TotalOrderBuffer(ApplyFn apply) : apply_(std::move(apply)) {}
+
+  /// Offers a payload with its global sequence number. Releases it (and any
+  /// now-contiguous successors) immediately if it is the next expected;
+  /// otherwise holds it. Duplicate sequence numbers are ignored.
+  void Offer(SequenceNumber seq, std::any payload);
+
+  /// Next sequence number the buffer is waiting for.
+  SequenceNumber NextExpected() const { return next_; }
+
+  /// Highest sequence number applied so far (0 when none): the site's
+  /// applied watermark, consulted by ORDUP's divergence bounding.
+  SequenceNumber Watermark() const { return next_ - 1; }
+
+  /// Number of payloads currently held back by a gap.
+  int64_t HeldCount() const { return static_cast<int64_t>(holdback_.size()); }
+
+  /// Pauses release at the *current* watermark: payloads keep accumulating
+  /// but none are applied until Resume(). ORDUP's strict queries use this to
+  /// read at an exact position in the global order.
+  void Pause() { paused_ = true; }
+  void Resume();
+
+  bool paused() const { return paused_; }
+
+ private:
+  void Drain();
+
+  ApplyFn apply_;
+  SequenceNumber next_ = 1;
+  std::map<SequenceNumber, std::any> holdback_;
+  bool paused_ = false;
+};
+
+}  // namespace esr::msg
+
+#endif  // ESR_MSG_TOTAL_ORDER_BUFFER_H_

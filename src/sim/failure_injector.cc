@@ -1,0 +1,59 @@
+#include "sim/failure_injector.h"
+
+#include <cassert>
+
+namespace esr::sim {
+
+FailureInjector::FailureInjector(Simulator* simulator, Network* network,
+                                 uint64_t seed)
+    : simulator_(simulator), network_(network), rng_(seed) {
+  assert(simulator != nullptr && network != nullptr);
+}
+
+void FailureInjector::ScheduleCrash(const CrashSpec& spec) {
+  simulator_->ScheduleAt(spec.crash_at, [this, site = spec.site]() {
+    network_->SetSiteDown(site);
+    network_->counters().Increment("failure.crash");
+    if (on_crash) on_crash(site);
+  });
+  if (spec.restart_at != kSimTimeMax) {
+    assert(spec.restart_at > spec.crash_at);
+    simulator_->ScheduleAt(spec.restart_at, [this, site = spec.site]() {
+      network_->SetSiteUp(site);
+      network_->counters().Increment("failure.restart");
+      if (on_restart) on_restart(site);
+    });
+  }
+}
+
+void FailureInjector::SchedulePartition(const PartitionSpec& spec) {
+  simulator_->ScheduleAt(spec.start_at, [this, groups = spec.groups]() {
+    network_->SetPartition(groups);
+    network_->counters().Increment("failure.partition");
+  });
+  if (spec.heal_at != kSimTimeMax) {
+    assert(spec.heal_at > spec.start_at);
+    simulator_->ScheduleAt(spec.heal_at, [this]() {
+      network_->HealPartition();
+      network_->counters().Increment("failure.heal");
+    });
+  }
+}
+
+void FailureInjector::ScheduleRandomCrashes(double crashes_per_second_per_site,
+                                            SimDuration downtime_us,
+                                            SimTime horizon) {
+  if (crashes_per_second_per_site <= 0) return;
+  const double mean_gap_us = 1e6 / crashes_per_second_per_site;
+  for (SiteId site = 0; site < network_->num_sites(); ++site) {
+    SimTime t = 0;
+    while (true) {
+      t += static_cast<SimTime>(rng_.Exponential(mean_gap_us));
+      if (t >= horizon) break;
+      ScheduleCrash(CrashSpec{site, t, t + downtime_us});
+      t += downtime_us;
+    }
+  }
+}
+
+}  // namespace esr::sim

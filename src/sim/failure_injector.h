@@ -1,0 +1,62 @@
+#ifndef ESR_SIM_FAILURE_INJECTOR_H_
+#define ESR_SIM_FAILURE_INJECTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace esr::sim {
+
+/// Declarative failure schedule entries.
+struct CrashSpec {
+  SiteId site = 0;
+  SimTime crash_at = 0;
+  /// Restart time; kSimTimeMax means the site never restarts.
+  SimTime restart_at = kSimTimeMax;
+};
+
+struct PartitionSpec {
+  std::vector<std::vector<SiteId>> groups;
+  SimTime start_at = 0;
+  /// Heal time; kSimTimeMax means the partition never heals.
+  SimTime heal_at = kSimTimeMax;
+};
+
+/// Drives site-crash and network-partition events against a Network on a
+/// fixed schedule or from random rates. The embedder supplies optional
+/// callbacks so higher layers can clear volatile state on crash (lock tables,
+/// in-memory buffers) while stable state (object store, stable queues)
+/// survives — matching the paper's recoverable-site assumption.
+class FailureInjector {
+ public:
+  FailureInjector(Simulator* simulator, Network* network, uint64_t seed);
+
+  /// Called when a site crashes / restarts (after the network state flips).
+  std::function<void(SiteId)> on_crash;
+  std::function<void(SiteId)> on_restart;
+
+  /// Installs a crash/restart pair on the simulator.
+  void ScheduleCrash(const CrashSpec& spec);
+
+  /// Installs a partition/heal pair on the simulator.
+  void SchedulePartition(const PartitionSpec& spec);
+
+  /// Random crash injection: each site independently crashes with rate
+  /// crashes-per-second (exponential inter-arrival), staying down for
+  /// `downtime_us`, over the window [0, horizon].
+  void ScheduleRandomCrashes(double crashes_per_second_per_site,
+                             SimDuration downtime_us, SimTime horizon);
+
+ private:
+  Simulator* simulator_;
+  Network* network_;
+  Rng rng_;
+};
+
+}  // namespace esr::sim
+
+#endif  // ESR_SIM_FAILURE_INJECTOR_H_

@@ -1,0 +1,106 @@
+#ifndef ESR_SIM_NETWORK_H_
+#define ESR_SIM_NETWORK_H_
+
+#include <any>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace esr::sim {
+
+/// Static link/network configuration.
+struct NetworkConfig {
+  /// One-way latency applied to every message (microseconds).
+  SimDuration base_latency_us = 1'000;
+  /// Uniform jitter added on top of base latency: U[0, jitter_us].
+  SimDuration jitter_us = 200;
+  /// Probability that a given message is silently dropped. Dropped messages
+  /// are recovered by the stable-queue retry protocol, never by the network.
+  double loss_probability = 0.0;
+  /// Bytes/second modeled for transmission delay; 0 disables the size term.
+  int64_t bandwidth_bytes_per_sec = 0;
+};
+
+/// Simulated message network between sites.
+///
+/// The network provides *unreliable, unordered* datagram delivery: messages
+/// may be lost (loss_probability, partitions, crashed receivers) and may be
+/// reordered (jitter). Reliable in-order delivery is built above this by
+/// msg::StableQueue, mirroring the paper's assumption that "stable queues
+/// persistently retry message delivery until successful" while the
+/// underlying network stays weak.
+class Network {
+ public:
+  /// Handler invoked at the receiving site when a message arrives. The
+  /// payload is a std::any supplied by the sender (by value; treat as
+  /// immutable).
+  using Receiver = std::function<void(SiteId source, const std::any& payload)>;
+
+  Network(Simulator* simulator, int num_sites, NetworkConfig config,
+          uint64_t seed);
+
+  int num_sites() const { return num_sites_; }
+
+  /// Registers the receive handler for `site` (replacing any previous one).
+  void RegisterReceiver(SiteId site, Receiver receiver);
+
+  /// Sends `payload` from `source` to `destination`. Delivery is scheduled
+  /// on the simulator unless the message is lost, a partition separates the
+  /// sites, or either endpoint is down at send/delivery time.
+  /// `size_bytes` feeds the bandwidth term of the latency model.
+  void Send(SiteId source, SiteId destination, std::any payload,
+            int64_t size_bytes = 128);
+
+  /// --- Topology and failure state -----------------------------------------
+
+  /// Overrides latency for the directed link source->destination.
+  void SetLinkLatency(SiteId source, SiteId destination,
+                      SimDuration latency_us);
+
+  /// Partitions the network into groups; messages cross groups only after
+  /// HealPartition(). Sites absent from every group form an implicit final
+  /// group. Takes effect for messages sent after the call.
+  void SetPartition(const std::vector<std::vector<SiteId>>& groups);
+
+  /// Removes any partition.
+  void HealPartition();
+
+  /// True when a partition currently separates a and b.
+  bool Partitioned(SiteId a, SiteId b) const;
+
+  /// Marks a site down: it neither sends nor receives. Messages already in
+  /// flight toward it are dropped at delivery time.
+  void SetSiteDown(SiteId site);
+  void SetSiteUp(SiteId site);
+  bool SiteUp(SiteId site) const { return site_up_[site]; }
+
+  /// Event accounting (sent/delivered/dropped_loss/dropped_partition/...).
+  const Counters& counters() const { return counters_; }
+  Counters& counters() { return counters_; }
+
+ private:
+  SimDuration SampleLatency(SiteId source, SiteId destination,
+                            int64_t size_bytes);
+
+  Simulator* simulator_;
+  int num_sites_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<Receiver> receivers_;
+  std::vector<bool> site_up_;
+  /// partition_group_[s] == -1 when unpartitioned.
+  std::vector<int> partition_group_;
+  bool partitioned_ = false;
+  std::unordered_map<int64_t, SimDuration> link_latency_;  // key src*N+dst
+  Counters counters_;
+};
+
+}  // namespace esr::sim
+
+#endif  // ESR_SIM_NETWORK_H_

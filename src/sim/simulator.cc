@@ -1,0 +1,71 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace esr::sim {
+
+EventId Simulator::Schedule(SimDuration delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  assert(when >= now_);
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id <= 0 || id >= next_id_) return false;
+  // Lazy cancellation: the event stays queued but is skipped when popped.
+  auto [_, inserted] = cancelled_.insert(id);
+  return inserted;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+int64_t Simulator::Run(int64_t max_events) {
+  int64_t executed = 0;
+  while (executed < max_events && Step()) ++executed;
+  return executed;
+}
+
+int64_t Simulator::RunUntil(SimTime until, int64_t max_events) {
+  int64_t executed = 0;
+  while (executed < max_events) {
+    // Peek: skip cancelled entries to find the next live event time.
+    bool ran = false;
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (cancelled_.count(top.id)) {
+        cancelled_.erase(top.id);
+        queue_.pop();
+        continue;
+      }
+      if (top.when > until) break;
+      Step();
+      ++executed;
+      ran = true;
+      break;
+    }
+    if (!ran) break;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+}  // namespace esr::sim

@@ -1,0 +1,83 @@
+#ifndef ESR_SIM_SIMULATOR_H_
+#define ESR_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace esr::sim {
+
+/// Identifier of a scheduled event; usable to cancel it.
+using EventId = int64_t;
+
+/// Deterministic single-threaded discrete-event simulator.
+///
+/// All protocol code in this library runs on top of a Simulator: message
+/// deliveries, retry timers, client think times, and failure injections are
+/// all events. Events at equal timestamps fire in scheduling order, so a
+/// (seed, configuration) pair fully determines an execution — the property
+/// the test suite and benchmark harness rely on.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time (microseconds).
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` microseconds from now (delay >= 0; a zero
+  /// delay runs after all currently-executing event's siblings, preserving
+  /// FIFO order among same-time events).
+  EventId Schedule(SimDuration delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute simulated time `when` (>= Now()).
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if already fired or cancelled.
+  bool Cancel(EventId id);
+
+  /// Runs events until the queue drains (quiescence). Returns the number of
+  /// events executed. `max_events` guards against runaway retry loops.
+  int64_t Run(int64_t max_events = 100'000'000);
+
+  /// Runs events with timestamp <= `until`, then sets Now() == until.
+  int64_t RunUntil(SimTime until, int64_t max_events = 100'000'000);
+
+  /// Runs a single event. Returns false when the queue is empty.
+  bool Step();
+
+  /// True when no events are pending.
+  bool Quiescent() const { return queue_.size() == cancelled_.size(); }
+
+  /// Number of pending (non-cancelled) events.
+  int64_t PendingEvents() const {
+    return static_cast<int64_t>(queue_.size() - cancelled_.size());
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    EventId id;  // also the FIFO tiebreaker among equal timestamps
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;  // min-heap on time
+      return a.id > b.id;                            // then FIFO
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace esr::sim
+
+#endif  // ESR_SIM_SIMULATOR_H_

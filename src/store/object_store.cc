@@ -1,0 +1,75 @@
+#include "store/object_store.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace esr::store {
+
+Status ObjectStore::Apply(const Operation& op) {
+  if (!op.IsUpdate()) {
+    return Status::InvalidArgument("cannot apply a read operation");
+  }
+  Entry& entry = entries_[op.object];
+  if (op.kind == OpKind::kTimestampedWrite) {
+    // Thomas write rule: ignore writes older than the latest applied one.
+    // This is exactly what makes RITU single-version updates
+    // order-insensitive ("an RITU update trying to overwrite a newer
+    // version is ignored", paper section 3.3).
+    if (op.timestamp < entry.write_timestamp) return Status::Ok();
+    entry.write_timestamp = op.timestamp;
+    entry.value = op.value;
+    return Status::Ok();
+  }
+  return op.ApplyTo(entry.value);
+}
+
+Status ObjectStore::ApplyAll(const std::vector<Operation>& ops) {
+  for (const Operation& op : ops) {
+    if (!op.IsUpdate()) continue;
+    ESR_RETURN_IF_ERROR(Apply(op));
+  }
+  return Status::Ok();
+}
+
+Value ObjectStore::Read(ObjectId object) const {
+  auto it = entries_.find(object);
+  if (it == entries_.end()) return Value();
+  return it->second.value;
+}
+
+void ObjectStore::Restore(ObjectId object, Value value) {
+  entries_[object].value = std::move(value);
+}
+
+LamportTimestamp ObjectStore::WriteTimestamp(ObjectId object) const {
+  auto it = entries_.find(object);
+  if (it == entries_.end()) return kZeroTimestamp;
+  return it->second.write_timestamp;
+}
+
+uint64_t ObjectStore::StateDigest() const {
+  // Order-independent over objects (sorted), FNV-1a over the rendering.
+  std::vector<ObjectId> ids = ObjectIds();
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (ObjectId id : ids) {
+    mix(std::to_string(id));
+    mix(Read(id).ToString());
+  }
+  return h;
+}
+
+std::vector<ObjectId> ObjectStore::ObjectIds() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, _] : entries_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace esr::store

@@ -1,0 +1,181 @@
+#include "store/operation.h"
+
+#include <sstream>
+
+namespace esr::store {
+
+std::string_view OpKindToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kIncrement:
+      return "increment";
+    case OpKind::kMultiply:
+      return "multiply";
+    case OpKind::kAppend:
+      return "append";
+    case OpKind::kTimestampedWrite:
+      return "ts_write";
+  }
+  return "unknown";
+}
+
+Operation Operation::Read(ObjectId object) {
+  Operation op;
+  op.kind = OpKind::kRead;
+  op.object = object;
+  return op;
+}
+
+Operation Operation::Write(ObjectId object, Value value) {
+  Operation op;
+  op.kind = OpKind::kWrite;
+  op.object = object;
+  op.value = std::move(value);
+  return op;
+}
+
+Operation Operation::Increment(ObjectId object, int64_t delta) {
+  Operation op;
+  op.kind = OpKind::kIncrement;
+  op.object = object;
+  op.operand = delta;
+  return op;
+}
+
+Operation Operation::Multiply(ObjectId object, int64_t factor) {
+  Operation op;
+  op.kind = OpKind::kMultiply;
+  op.object = object;
+  op.operand = factor;
+  return op;
+}
+
+Operation Operation::Append(ObjectId object, std::string suffix) {
+  Operation op;
+  op.kind = OpKind::kAppend;
+  op.object = object;
+  op.value = Value(std::move(suffix));
+  return op;
+}
+
+Operation Operation::TimestampedWrite(ObjectId object, Value value,
+                                      LamportTimestamp timestamp) {
+  Operation op;
+  op.kind = OpKind::kTimestampedWrite;
+  op.object = object;
+  op.value = std::move(value);
+  op.timestamp = timestamp;
+  return op;
+}
+
+bool Operation::CommutesWith(const Operation& other) const {
+  if (object != other.object) return true;
+  if (!IsUpdate() || !other.IsUpdate()) return true;  // R/R and R/U pairs
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case OpKind::kIncrement:
+    case OpKind::kMultiply:
+    case OpKind::kTimestampedWrite:
+      return true;
+    case OpKind::kWrite:
+    case OpKind::kAppend:
+      return false;
+    case OpKind::kRead:
+      return true;  // unreachable (handled above); keep -Wswitch happy
+  }
+  return false;
+}
+
+Operation Operation::Inverse() const {
+  // Only increments have an exact state-independent inverse; multiplies
+  // would need the before-image (integer division loses remainders) and
+  // writes/appends destroy information outright.
+  return Increment(object, -operand);
+}
+
+Status Operation::ApplyTo(Value& value) const {
+  switch (kind) {
+    case OpKind::kRead:
+      return Status::InvalidArgument("read operations do not mutate state");
+    case OpKind::kWrite:
+    case OpKind::kTimestampedWrite:
+      value = this->value;
+      return Status::Ok();
+    case OpKind::kIncrement:
+      if (!value.is_int()) {
+        return Status::FailedPrecondition("increment of non-integer value");
+      }
+      value = Value(value.AsInt() + operand);
+      return Status::Ok();
+    case OpKind::kMultiply:
+      if (!value.is_int()) {
+        return Status::FailedPrecondition("multiply of non-integer value");
+      }
+      value = Value(value.AsInt() * operand);
+      return Status::Ok();
+    case OpKind::kAppend:
+      if (!value.is_string()) {
+        // Appending to the default integer zero promotes to string; this is
+        // how directory-style objects are initialized.
+        if (value.is_int() && value.AsInt() == 0) {
+          value = Value(this->value.AsString());
+          return Status::Ok();
+        }
+        return Status::FailedPrecondition("append to non-string value");
+      }
+      value = Value(value.AsString() + this->value.AsString());
+      return Status::Ok();
+  }
+  return Status::Internal("unhandled operation kind");
+}
+
+std::string Operation::ToString() const {
+  std::ostringstream os;
+  os << OpKindToString(kind) << "(obj=" << object;
+  switch (kind) {
+    case OpKind::kIncrement:
+    case OpKind::kMultiply:
+      os << ", " << operand;
+      break;
+    case OpKind::kWrite:
+    case OpKind::kAppend:
+      os << ", " << value.ToString();
+      break;
+    case OpKind::kTimestampedWrite:
+      os << ", " << value.ToString() << " @" << esr::ToString(timestamp);
+      break;
+    case OpKind::kRead:
+      break;
+  }
+  os << ")";
+  return os.str();
+}
+
+bool MutuallyCommutative(const std::vector<Operation>& ops,
+                         const std::vector<Operation>& other) {
+  for (const Operation& a : ops) {
+    if (!a.IsUpdate()) continue;
+    for (const Operation& b : other) {
+      if (!b.IsUpdate()) continue;
+      if (!a.CommutesWith(b)) return false;
+    }
+  }
+  return true;
+}
+
+bool SelfCommutative(const std::vector<Operation>& ops) {
+  for (size_t i = 0; i < ops.size(); ++i) {
+    for (size_t j = i + 1; j < ops.size(); ++j) {
+      if (ops[i].IsUpdate() && ops[j].IsUpdate() &&
+          !ops[i].CommutesWith(ops[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace esr::store

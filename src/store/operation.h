@@ -1,0 +1,110 @@
+#ifndef ESR_STORE_OPERATION_H_
+#define ESR_STORE_OPERATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace esr::store {
+
+/// The kinds of data operations epsilon-transactions are built from.
+///
+/// The paper's replica control methods are distinguished by which *semantic
+/// classes* of operations they admit, so the operation layer exposes those
+/// classes as predicates: IsUpdate(), IsBlind() (read-independent), pairwise
+/// CommutesWith(), and HasExactInverse() (compensation).
+enum class OpKind {
+  /// Read the object's value; the only non-update operation.
+  kRead,
+  /// Absolute assignment. Blind (state-independent) but order-sensitive.
+  kWrite,
+  /// value += operand. Commutes with other increments; exactly invertible.
+  kIncrement,
+  /// value *= operand. Commutes with other multiplies; inverse requires the
+  /// before-image (integer division is lossy), so HasExactInverse() is false.
+  kMultiply,
+  /// String append. The canonical non-commutative, non-invertible update.
+  kAppend,
+  /// Timestamped blind write: the RITU operation. Order-insensitive because
+  /// the store resolves concurrent timestamped writes by the Thomas write
+  /// rule (older-timestamp writes are ignored) or by multi-versioning.
+  kTimestampedWrite,
+};
+
+std::string_view OpKindToString(OpKind kind);
+
+/// A single operation of an epsilon-transaction, bound to one object.
+///
+/// Plain value type: copy freely. Construct through the factory functions to
+/// keep the operand/value/timestamp fields consistent with the kind.
+struct Operation {
+  OpKind kind = OpKind::kRead;
+  ObjectId object = kInvalidObjectId;
+  /// Delta for kIncrement, factor for kMultiply; unused otherwise.
+  int64_t operand = 0;
+  /// Assigned value for kWrite / kTimestampedWrite; suffix for kAppend.
+  Value value;
+  /// Version timestamp for kTimestampedWrite.
+  LamportTimestamp timestamp;
+
+  static Operation Read(ObjectId object);
+  static Operation Write(ObjectId object, Value value);
+  static Operation Increment(ObjectId object, int64_t delta);
+  static Operation Multiply(ObjectId object, int64_t factor);
+  static Operation Append(ObjectId object, std::string suffix);
+  static Operation TimestampedWrite(ObjectId object, Value value,
+                                    LamportTimestamp timestamp);
+
+  /// True for every kind except kRead.
+  bool IsUpdate() const { return kind != OpKind::kRead; }
+
+  /// True when the operation's effect does not depend on the object's prior
+  /// state ("blind write"): kWrite and kTimestampedWrite.
+  bool IsBlind() const {
+    return kind == OpKind::kWrite || kind == OpKind::kTimestampedWrite;
+  }
+
+  /// True when this operation is *read-independent* in the RITU sense:
+  /// blind AND order-insensitive, i.e., applying a set of them in any order
+  /// (under the store's timestamp resolution) yields the same state.
+  bool IsReadIndependent() const { return kind == OpKind::kTimestampedWrite; }
+
+  /// Update-update commutativity. Operations on distinct objects always
+  /// commute. On the same object: increment/increment, multiply/multiply,
+  /// timestamped-write/timestamped-write (via the Thomas rule), and any pair
+  /// involving a read commute; everything else does not.
+  bool CommutesWith(const Operation& other) const;
+
+  /// True when an exact semantic inverse exists without a before-image
+  /// (only kIncrement). COMPE falls back to before-image restoration
+  /// recorded in the MSet log for the other kinds.
+  bool HasExactInverse() const { return kind == OpKind::kIncrement; }
+
+  /// Precondition: HasExactInverse().
+  Operation Inverse() const;
+
+  /// Applies this update to `value` in place. Returns FailedPrecondition on
+  /// a type mismatch (e.g., increment of a string value) and
+  /// InvalidArgument when called on a read.
+  Status ApplyTo(Value& value) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Operation&, const Operation&) = default;
+};
+
+/// True when every update operation in `ops` pairwise commutes with every
+/// update in `other` (the COMMU admission test between two MSets).
+bool MutuallyCommutative(const std::vector<Operation>& ops,
+                         const std::vector<Operation>& other);
+
+/// True when all updates within `ops` pairwise commute (self-commutative
+/// MSet).
+bool SelfCommutative(const std::vector<Operation>& ops);
+
+}  // namespace esr::store
+
+#endif  // ESR_STORE_OPERATION_H_

@@ -1,0 +1,72 @@
+#include "store/version_store.h"
+
+#include <algorithm>
+#include <string>
+
+namespace esr::store {
+
+void VersionStore::AppendVersion(ObjectId object, LamportTimestamp timestamp,
+                                 Value value) {
+  objects_[object][timestamp] = std::move(value);
+  max_timestamp_ = std::max(max_timestamp_, timestamp);
+}
+
+Status VersionStore::RemoveVersion(ObjectId object,
+                                   LamportTimestamp timestamp) {
+  auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return Status::NotFound("object has no versions");
+  }
+  if (it->second.erase(timestamp) == 0) {
+    return Status::NotFound("no version at timestamp " + ToString(timestamp));
+  }
+  return Status::Ok();
+}
+
+std::optional<Version> VersionStore::ReadLatest(ObjectId object) const {
+  auto it = objects_.find(object);
+  if (it == objects_.end() || it->second.empty()) return std::nullopt;
+  const auto& [ts, value] = *it->second.rbegin();
+  return Version{ts, value};
+}
+
+std::optional<Version> VersionStore::ReadAtOrBefore(ObjectId object,
+                                                    LamportTimestamp at) const {
+  auto it = objects_.find(object);
+  if (it == objects_.end() || it->second.empty()) return std::nullopt;
+  // upper_bound: first version strictly newer than `at`; step back one.
+  auto vit = it->second.upper_bound(at);
+  if (vit == it->second.begin()) return std::nullopt;
+  --vit;
+  return Version{vit->first, vit->second};
+}
+
+int64_t VersionStore::VersionCount(ObjectId object) const {
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return 0;
+  return static_cast<int64_t>(it->second.size());
+}
+
+uint64_t VersionStore::StateDigest() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(objects_.size());
+  for (const auto& [id, _] : objects_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (ObjectId id : ids) {
+    mix(std::to_string(id));
+    for (const auto& [ts, value] : objects_.at(id)) {
+      mix(ToString(ts));
+      mix(value.ToString());
+    }
+  }
+  return h;
+}
+
+}  // namespace esr::store

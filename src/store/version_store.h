@@ -1,0 +1,73 @@
+#ifndef ESR_STORE_VERSION_STORE_H_
+#define ESR_STORE_VERSION_STORE_H_
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace esr::store {
+
+/// One immutable version of an object.
+struct Version {
+  LamportTimestamp timestamp;
+  Value value;
+
+  friend bool operator==(const Version&, const Version&) = default;
+};
+
+/// Multi-version (append-only) object store: the substrate for RITU's
+/// multi-version mode (paper section 3.3).
+///
+/// Versions are totally ordered by Lamport timestamp. Visibility follows the
+/// Modular Synchronization Method's *visible transaction number counter*
+/// (VTNC): a query reading at-or-below the VTNC is serializable, because the
+/// VTNC is only advanced to timestamps below which no new version can ever
+/// be created. Reading above the VTNC is allowed — that is precisely the
+/// controlled inconsistency RITU charges against the query's inconsistency
+/// counter.
+class VersionStore {
+ public:
+  VersionStore() = default;
+
+  /// Appends a version. Appending an identical (timestamp, value) pair is
+  /// idempotent; appending a *different* value at an existing timestamp
+  /// replaces it (this is how COMPE compensates a multi-version update:
+  /// "adding another version with the same timestamp but bearing the
+  /// previous value").
+  void AppendVersion(ObjectId object, LamportTimestamp timestamp, Value value);
+
+  /// Removes the version at `timestamp` exactly (the other compensation
+  /// strategy for multi-version RITU). Returns NotFound if absent.
+  Status RemoveVersion(ObjectId object, LamportTimestamp timestamp);
+
+  /// Latest version by timestamp; nullopt when the object has no versions.
+  std::optional<Version> ReadLatest(ObjectId object) const;
+
+  /// Latest version with timestamp <= `at`; nullopt if none exists.
+  std::optional<Version> ReadAtOrBefore(ObjectId object,
+                                        LamportTimestamp at) const;
+
+  /// Number of versions stored for `object`.
+  int64_t VersionCount(ObjectId object) const;
+
+  /// Timestamp of the newest version across all objects (zero when empty);
+  /// used by stability tracking to advance the VTNC.
+  LamportTimestamp MaxTimestamp() const { return max_timestamp_; }
+
+  /// Deterministic digest over (object, timestamp, value) triples.
+  uint64_t StateDigest() const;
+
+ private:
+  // Per object: versions keyed (and thus sorted) by timestamp.
+  std::unordered_map<ObjectId, std::map<LamportTimestamp, Value>> objects_;
+  LamportTimestamp max_timestamp_;
+};
+
+}  // namespace esr::store
+
+#endif  // ESR_STORE_VERSION_STORE_H_

@@ -1,0 +1,134 @@
+#ifndef ESR_WORKLOAD_WORKLOAD_H_
+#define ESR_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "esr/replicated_system.h"
+
+namespace esr::workload {
+
+/// Parameterized query/update mix driven against a ReplicatedSystem. One
+/// spec describes one experiment cell; the benchmark harnesses sweep fields
+/// of it.
+struct WorkloadSpec {
+  /// Object universe; objects are ObjectIds [0, num_objects).
+  int64_t num_objects = 100;
+  /// Zipf skew over objects (0 = uniform).
+  double zipf_theta = 0.0;
+  /// Probability a client iteration issues an update ET (vs a query ET).
+  double update_fraction = 0.2;
+  /// Reads per query ET.
+  int reads_per_query = 4;
+  /// Update operations per update ET.
+  int ops_per_update = 2;
+  /// Inconsistency limit given to every query ET.
+  int64_t query_epsilon = core::kUnboundedEpsilon;
+  /// Mean think time between a client's consecutive ETs (exponential).
+  SimDuration think_time_us = 1'000;
+  /// Processing gap between a query ET's consecutive reads (0 = reads are
+  /// issued back-to-back). Nonzero gaps let updates drift past a running
+  /// query, exercising the inconsistency accounting.
+  SimDuration read_gap_us = 0;
+  int clients_per_site = 1;
+  /// Issue window: clients start at t=0 and stop issuing at this time.
+  SimTime duration_us = 1'000'000;
+
+  /// Which update operations the workload issues. kIncrement suits ORDUP/
+  /// COMMU/COMPE; kTimestampedWrite suits RITU; kMixedNonCommutative mixes
+  /// increments, writes and appends (ORDUP / COMPE-ordered only);
+  /// kTransfer moves amounts between object pairs (-x here, +x there),
+  /// preserving the global sum — the bank workload whose conservation
+  /// invariant the property tests check.
+  enum class UpdateKind {
+    kIncrement,
+    kTimestampedWrite,
+    kMixedNonCommutative,
+    kTransfer,
+  };
+  UpdateKind update_kind = UpdateKind::kIncrement;
+
+  /// COMPE: probability an update is globally aborted, and how long after
+  /// local commit the decision is announced.
+  double compe_abort_probability = 0.0;
+  SimDuration compe_decision_delay_us = 20'000;
+
+  /// Extra virtual time after the issue window to let in-flight work drain
+  /// before metrics are finalized.
+  SimDuration drain_us = 2'000'000;
+
+  uint64_t seed = 7;
+};
+
+/// Aggregate results of one workload run.
+struct WorkloadResult {
+  int64_t updates_committed = 0;
+  int64_t updates_rejected = 0;  // admission/throttle/abort failures
+  int64_t queries_started = 0;
+  int64_t queries_completed = 0;
+  int64_t reads_completed = 0;
+  int64_t query_blocked_attempts = 0;
+  int64_t query_restarts = 0;
+  Summary update_latency_us;
+  Summary query_latency_us;
+  Summary query_inconsistency;
+  SimTime issue_window_us = 0;
+
+  double UpdatesPerSec() const {
+    return issue_window_us > 0
+               ? updates_committed * 1e6 / static_cast<double>(issue_window_us)
+               : 0;
+  }
+  double QueriesPerSec() const {
+    return issue_window_us > 0
+               ? queries_completed * 1e6 /
+                     static_cast<double>(issue_window_us)
+               : 0;
+  }
+  /// Fraction of started queries that completed inside the run (an
+  /// availability measure under partitions).
+  double QueryCompletionRate() const {
+    return queries_started > 0 ? static_cast<double>(queries_completed) /
+                                     static_cast<double>(queries_started)
+                               : 1.0;
+  }
+
+  std::string ToString() const;
+};
+
+/// Drives closed-loop clients (clients_per_site at every site) against a
+/// ReplicatedSystem on its simulator. Each client alternates think time
+/// with one ET (update or query per update_fraction); queries perform
+/// reads_per_query dependent reads through ReplicatedSystem::Read, so
+/// blocking and strict restarts are exercised exactly as a real application
+/// would.
+class WorkloadRunner {
+ public:
+  WorkloadRunner(core::ReplicatedSystem* system, WorkloadSpec spec);
+
+  /// Runs the issue window plus drain and returns the metrics. The system
+  /// is left quiescent-ish (drained for spec.drain_us).
+  WorkloadResult Run();
+
+ private:
+  struct Client;
+
+  void StartClient(SiteId site, int index);
+  void ClientIteration(std::shared_ptr<Client> client);
+  void IssueUpdate(std::shared_ptr<Client> client);
+  void IssueQuery(std::shared_ptr<Client> client);
+  ObjectId PickObject(Rng& rng);
+
+  core::ReplicatedSystem* system_;
+  WorkloadSpec spec_;
+  Rng rng_;
+  WorkloadResult result_;
+  SimTime stop_time_ = 0;
+};
+
+}  // namespace esr::workload
+
+#endif  // ESR_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,124 @@
+// Conservation property: under a balanced-transfer workload (every update
+// ET moves an amount between two accounts), the global sum of all accounts
+// is invariant in any one-copy-serializable execution. At quiescence every
+// replica must therefore hold accounts summing to exactly zero — a sharp,
+// whole-system correctness probe that catches lost, duplicated, or
+// partially-applied MSets under any method and any failure pattern.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace esr::core {
+namespace {
+
+struct Case {
+  Method method;
+  uint64_t seed;
+  double loss;
+  bool failures;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name(MethodToString(info.param.method));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_seed" + std::to_string(info.param.seed) +
+         (info.param.loss > 0 ? "_lossy" : "") +
+         (info.param.failures ? "_failures" : "");
+}
+
+class ConservationProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ConservationProperty, TransfersConserveTheGlobalSum) {
+  const Case& c = GetParam();
+  SystemConfig config;
+  config.method = c.method;
+  config.num_sites = 4;
+  config.seed = c.seed;
+  config.network.loss_probability = c.loss;
+  config.network.jitter_us = 2'000;
+  ReplicatedSystem system(config);
+  if (c.failures) {
+    system.failures().ScheduleCrash(sim::CrashSpec{1, 50'000, 200'000});
+    system.failures().SchedulePartition(
+        sim::PartitionSpec{{{0, 1}, {2, 3}}, 250'000, 400'000});
+  }
+
+  workload::WorkloadSpec spec;
+  spec.seed = c.seed;
+  spec.num_objects = 10;
+  spec.update_fraction = 0.6;
+  spec.update_kind = workload::WorkloadSpec::UpdateKind::kTransfer;
+  spec.clients_per_site = 2;
+  spec.think_time_us = 5'000;
+  spec.duration_us = 500'000;
+  workload::WorkloadRunner runner(&system, spec);
+  auto result = runner.Run();
+  system.RunUntilQuiescent();
+
+  ASSERT_GT(result.updates_committed, 0);
+  ASSERT_TRUE(system.Converged());
+  for (SiteId s = 0; s < 4; ++s) {
+    int64_t sum = 0;
+    for (ObjectId account = 0; account < spec.num_objects; ++account) {
+      const Value v = system.SiteValue(s, account);
+      ASSERT_TRUE(v.is_int());
+      sum += v.AsInt();
+    }
+    EXPECT_EQ(sum, 0) << "money created or destroyed at site " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, ConservationProperty,
+    ::testing::Values(Case{Method::kOrdup, 201, 0.0, false},
+                      Case{Method::kOrdupTs, 202, 0.0, false},
+                      Case{Method::kCommu, 203, 0.0, false},
+                      Case{Method::kSync2pc, 204, 0.0, false},
+                      Case{Method::kQuasiCopy, 205, 0.0, false},
+                      Case{Method::kOrdup, 206, 0.2, true},
+                      Case{Method::kOrdupTs, 207, 0.2, true},
+                      Case{Method::kCommu, 208, 0.2, true},
+                      Case{Method::kQuasiCopy, 209, 0.2, true}),
+    CaseName);
+
+// COMPE transfers with mixed commit/abort decisions: committed transfers
+// conserve; aborted ones are compensated away entirely, so the sum is
+// still zero.
+TEST(ConservationProperty, CompeTransfersWithAbortsConserve) {
+  SystemConfig config;
+  config.method = Method::kCompe;
+  config.num_sites = 3;
+  config.seed = 210;
+  ReplicatedSystem system(config);
+  Rng rng(210);
+  std::vector<EtId> ets;
+  for (int i = 0; i < 40; ++i) {
+    const ObjectId from = rng.Uniform(0, 9);
+    const ObjectId to = (from + 1 + rng.Uniform(0, 8)) % 10;
+    const int64_t amount = rng.Uniform(1, 50);
+    auto r = system.SubmitUpdate(
+        static_cast<SiteId>(rng.Uniform(0, 2)),
+        {store::Operation::Increment(from, -amount),
+         store::Operation::Increment(to, amount)});
+    ASSERT_TRUE(r.ok());
+    ets.push_back(*r);
+    system.RunFor(rng.Uniform(1'000, 8'000));
+  }
+  for (size_t i = 0; i < ets.size(); ++i) {
+    ASSERT_TRUE(system.Decide(ets[i], i % 3 != 0).ok());
+  }
+  system.RunUntilQuiescent();
+  ASSERT_TRUE(system.Converged());
+  int64_t sum = 0;
+  for (ObjectId account = 0; account < 10; ++account) {
+    sum += system.SiteValue(0, account).AsInt();
+  }
+  EXPECT_EQ(sum, 0);
+}
+
+}  // namespace
+}  // namespace esr::core

@@ -1,0 +1,135 @@
+// Property sweep over epsilon: every completed query's charged
+// inconsistency is within its epsilon; epsilon = 0 queries are one-copy
+// serializable for the methods that promise it (ORDUP strict, RITU-MV
+// snapshots); and the measured per-query drift never exceeds what the
+// method charged for ORDUP (whose charge is exactly the conflicting
+// overlap).
+
+#include <gtest/gtest.h>
+
+#include "analysis/query_checker.h"
+#include "analysis/sr_checker.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace esr::core {
+namespace {
+
+struct Case {
+  Method method;
+  int64_t epsilon;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name(MethodToString(info.param.method));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_eps" +
+         (info.param.epsilon == kUnboundedEpsilon
+              ? std::string("inf")
+              : std::to_string(info.param.epsilon)) +
+         "_seed" + std::to_string(info.param.seed);
+}
+
+class EpsilonBoundProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EpsilonBoundProperty, ChargedWithinEpsilonAndZeroMeansSr) {
+  const Case& c = GetParam();
+  SystemConfig config;
+  config.method = c.method;
+  config.num_sites = 3;
+  config.seed = c.seed;
+  config.network.jitter_us = 1'000;
+  ReplicatedSystem system(config);
+
+  workload::WorkloadSpec spec;
+  spec.seed = c.seed;
+  spec.num_objects = 8;
+  spec.update_fraction = 0.5;
+  spec.reads_per_query = 3;
+  spec.read_gap_us = 4'000;  // queries span time so drift accrues
+  spec.query_epsilon = c.epsilon;
+  spec.clients_per_site = 2;
+  spec.duration_us = 300'000;
+  spec.think_time_us = 3'000;
+  if (c.method == Method::kRituMulti || c.method == Method::kRituSingle) {
+    spec.update_kind = workload::WorkloadSpec::UpdateKind::kTimestampedWrite;
+  }
+  workload::WorkloadRunner runner(&system, spec);
+  auto result = runner.Run();
+  system.RunUntilQuiescent();
+
+  ASSERT_GT(result.queries_completed, 0);
+  ASSERT_GT(result.updates_committed, 0);
+  ASSERT_TRUE(system.Converged());
+
+  auto sr = analysis::CheckUpdateSerializability(system.history(), 3);
+  ASSERT_TRUE(sr.serializable) << sr.violation;
+  auto reports = analysis::AnalyzeQueries(system.history(), sr.serial_order);
+  ASSERT_FALSE(reports.empty());
+  for (const auto& r : reports) {
+    if (c.epsilon != kUnboundedEpsilon) {
+      EXPECT_LE(r.charged, c.epsilon) << "query " << r.query;
+    }
+    if (c.epsilon == 0 &&
+        (c.method == Method::kOrdup || c.method == Method::kRituMulti)) {
+      EXPECT_TRUE(r.prefix_consistent)
+          << "epsilon=0 query " << r.query << " must be 1SR under "
+          << MethodToString(c.method);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EpsilonBoundProperty,
+    ::testing::Values(Case{Method::kOrdup, 0, 11},
+                      Case{Method::kOrdup, 2, 12},
+                      Case{Method::kOrdup, 8, 13},
+                      Case{Method::kOrdup, kUnboundedEpsilon, 14},
+                      Case{Method::kCommu, 0, 15},
+                      Case{Method::kCommu, 2, 16},
+                      Case{Method::kCommu, 8, 17},
+                      Case{Method::kCommu, kUnboundedEpsilon, 18},
+                      Case{Method::kRituMulti, 0, 19},
+                      Case{Method::kRituMulti, 2, 20},
+                      Case{Method::kRituMulti, kUnboundedEpsilon, 21},
+                      Case{Method::kRituSingle, 2, 22},
+                      Case{Method::kRituSingle, kUnboundedEpsilon, 23}),
+    CaseName);
+
+// ORDUP's charge is exactly its conflicting overlap: the observed drift a
+// query experienced is bounded by what it was charged.
+TEST(OrdupChargeExactness, ObservedConflictsMatchCharged) {
+  SystemConfig config;
+  config.method = Method::kOrdup;
+  config.num_sites = 3;
+  config.seed = 77;
+  ReplicatedSystem system(config);
+
+  workload::WorkloadSpec spec;
+  spec.seed = 77;
+  spec.num_objects = 4;
+  spec.update_fraction = 0.5;
+  spec.reads_per_query = 4;
+  spec.query_epsilon = kUnboundedEpsilon;
+  spec.duration_us = 200'000;
+  spec.think_time_us = 2'000;
+  workload::WorkloadRunner runner(&system, spec);
+  (void)runner.Run();
+  system.RunUntilQuiescent();
+
+  auto sr = analysis::CheckUpdateSerializability(system.history(), 3);
+  ASSERT_TRUE(sr.serializable);
+  auto reports = analysis::AnalyzeQueries(system.history(), sr.serial_order);
+  ASSERT_FALSE(reports.empty());
+  for (const auto& r : reports) {
+    EXPECT_LE(r.observed_conflicts, r.charged)
+        << "drift past the pin must have been charged (query " << r.query
+        << ")";
+  }
+}
+
+}  // namespace
+}  // namespace esr::core

@@ -1,0 +1,133 @@
+// Tests of the flat-log epsilon-serializability checker, including a
+// faithful reproduction of the paper's worked example log (1).
+
+#include "analysis/esr_log.h"
+
+#include <gtest/gtest.h>
+
+namespace esr::analysis {
+namespace {
+
+TEST(ParseLogTest, ParsesPaperNotation) {
+  auto log = ParseLog("R1(a) W1(b) W2(b) R3(a) W2(a) R3(b)");
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->ops.size(), 6u);
+  EXPECT_EQ(log->ops[0], (LogOp{1, false, 0}));  // a -> object 0
+  EXPECT_EQ(log->ops[1], (LogOp{1, true, 1}));   // b -> object 1
+  EXPECT_EQ(log->ops[4], (LogOp{2, true, 0}));
+}
+
+TEST(ParseLogTest, WhitespaceOptionalMultiDigitIds) {
+  auto log = ParseLog("R12(x)W3(long_name)");
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->ops[0].transaction, 12);
+  EXPECT_EQ(log->ops[1].object, 1);
+}
+
+TEST(ParseLogTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseLog("").ok());
+  EXPECT_FALSE(ParseLog("X1(a)").ok());
+  EXPECT_FALSE(ParseLog("R(a)").ok());
+  EXPECT_FALSE(ParseLog("R1 a").ok());
+  EXPECT_FALSE(ParseLog("R1(").ok());
+  EXPECT_FALSE(ParseLog("R1()").ok());
+}
+
+TEST(FlatLogTest, ClassifiesUpdateAndQueryTransactions) {
+  auto log = ParseLog("R1(a) W1(b) W2(b) R3(a) W2(a) R3(b)");
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->UpdateTransactions(), (std::vector<EtId>{1, 2}));
+  EXPECT_EQ(log->QueryTransactions(), (std::vector<EtId>{3}));
+}
+
+// The paper's example log (1): R1(a) W1(b) W2(b) R3(a) W2(a) R3(b).
+// "Even though [the second update] and Q3 are not SR, the deletion of Q3
+// results in the log being an SRlog ... As a result, log (1) still
+// qualifies as an epsilon-serial log."
+TEST(EsrLogTest, PaperExampleLog1IsEpsilonSerialButNotSerializable) {
+  auto log = ParseLog("R1(a) W1(b) W2(b) R3(a) W2(a) R3(b)");
+  ASSERT_TRUE(log.ok());
+  auto result = CheckEsrLog(*log);
+  EXPECT_TRUE(result.epsilon_serializable)
+      << "updates alone form a serial log";
+  EXPECT_FALSE(result.fully_serializable)
+      << "Q3 reads a before W2(a) but b after W2(b): no serial position";
+  ASSERT_EQ(result.overlaps.size(), 1u);
+  EXPECT_EQ(result.overlaps[0].query, 3);
+  EXPECT_EQ(result.overlaps[0].overlapping_updates, (std::vector<EtId>{2}))
+      << "transaction 1 finished before the query began; only the "
+         "interleaved update overlaps";
+}
+
+TEST(EsrLogTest, SerialLogIsBothSerializableAndEpsilonSerial) {
+  auto log = ParseLog("R1(a) W1(a) R2(a) W2(a) R3(a)");
+  ASSERT_TRUE(log.ok());
+  auto result = CheckEsrLog(*log);
+  EXPECT_TRUE(result.epsilon_serializable);
+  EXPECT_TRUE(result.fully_serializable);
+  ASSERT_EQ(result.overlaps.size(), 1u);
+  EXPECT_TRUE(result.overlaps[0].overlapping_updates.empty())
+      << "empty overlap: the query is SR (paper section 2.1)";
+}
+
+TEST(EsrLogTest, ConflictingUpdatesInterleavedAreNotEpsilonSerial) {
+  // Two updates write a and b in opposite orders around each other: the
+  // update subhistory itself has a cycle — not even epsilon-serial.
+  auto log = ParseLog("W1(a) W2(a) W2(b) W1(b)");
+  ASSERT_TRUE(log.ok());
+  auto result = CheckEsrLog(*log);
+  EXPECT_FALSE(result.epsilon_serializable);
+  EXPECT_FALSE(result.fully_serializable);
+}
+
+TEST(EsrLogTest, OverlapRequiresTouchingQueryObjects) {
+  // The update runs during the query but writes only object c, which the
+  // query never reads: no inconsistency can flow, so no overlap ("the term
+  // update ETs refers here to the set of update ETs that actually affect
+  // objects that the query ET seeks to access").
+  auto log = ParseLog("R3(a) W2(c) W2(c) R3(b)");
+  ASSERT_TRUE(log.ok());
+  auto result = CheckEsrLog(*log);
+  ASSERT_EQ(result.overlaps.size(), 1u);
+  EXPECT_TRUE(result.overlaps[0].overlapping_updates.empty());
+}
+
+TEST(EsrLogTest, UpdateStartedDuringQueryCounts) {
+  auto log = ParseLog("R3(a) W2(a) R3(a)");
+  ASSERT_TRUE(log.ok());
+  auto result = CheckEsrLog(*log);
+  ASSERT_EQ(result.overlaps.size(), 1u);
+  EXPECT_EQ(result.overlaps[0].overlapping_updates, (std::vector<EtId>{2}));
+}
+
+TEST(EsrLogTest, UpdateFinishedBeforeQueryDoesNotCount) {
+  auto log = ParseLog("W2(a) W2(b) R3(a) R3(b)");
+  ASSERT_TRUE(log.ok());
+  auto result = CheckEsrLog(*log);
+  ASSERT_EQ(result.overlaps.size(), 1u);
+  EXPECT_TRUE(result.overlaps[0].overlapping_updates.empty());
+  EXPECT_TRUE(result.fully_serializable);
+}
+
+TEST(EsrLogTest, MultipleQueriesEachGetOverlaps) {
+  auto log = ParseLog("R4(a) W1(a) R4(a) R5(b) W2(b) R5(b)");
+  ASSERT_TRUE(log.ok());
+  auto result = CheckEsrLog(*log);
+  ASSERT_EQ(result.overlaps.size(), 2u);
+  EXPECT_EQ(result.overlaps[0].query, 4);
+  EXPECT_EQ(result.overlaps[0].overlapping_updates, (std::vector<EtId>{1}));
+  EXPECT_EQ(result.overlaps[1].query, 5);
+  EXPECT_EQ(result.overlaps[1].overlapping_updates, (std::vector<EtId>{2}));
+}
+
+TEST(IsSerializableLogTest, SubsetSelection) {
+  auto log = ParseLog("W1(a) W2(a) W2(b) W1(b)");
+  ASSERT_TRUE(log.ok());
+  EXPECT_FALSE(IsSerializableLog(*log, {1, 2}));
+  EXPECT_TRUE(IsSerializableLog(*log, {1})) << "a single txn is serial";
+  EXPECT_TRUE(IsSerializableLog(*log, {2}));
+  EXPECT_TRUE(IsSerializableLog(*log, {})) << "empty set trivially SR";
+}
+
+}  // namespace
+}  // namespace esr::analysis

@@ -1,0 +1,70 @@
+#include "sim/failure_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace esr::sim {
+namespace {
+
+TEST(FailureInjectorTest, CrashAndRestartToggleSite) {
+  Simulator sim;
+  Network net(&sim, 3, NetworkConfig{}, 1);
+  FailureInjector inject(&sim, &net, 2);
+  int crashes = 0, restarts = 0;
+  inject.on_crash = [&](SiteId) { ++crashes; };
+  inject.on_restart = [&](SiteId) { ++restarts; };
+
+  inject.ScheduleCrash(CrashSpec{/*site=*/1, /*crash_at=*/100,
+                                 /*restart_at=*/200});
+  sim.RunUntil(150);
+  EXPECT_FALSE(net.SiteUp(1));
+  EXPECT_EQ(crashes, 1);
+  sim.Run();
+  EXPECT_TRUE(net.SiteUp(1));
+  EXPECT_EQ(restarts, 1);
+}
+
+TEST(FailureInjectorTest, PermanentCrashNeverRestarts) {
+  Simulator sim;
+  Network net(&sim, 2, NetworkConfig{}, 1);
+  FailureInjector inject(&sim, &net, 2);
+  inject.ScheduleCrash(CrashSpec{0, 50, kSimTimeMax});
+  sim.Run();
+  EXPECT_FALSE(net.SiteUp(0));
+}
+
+TEST(FailureInjectorTest, PartitionScheduleAppliesAndHeals) {
+  Simulator sim;
+  Network net(&sim, 4, NetworkConfig{}, 1);
+  FailureInjector inject(&sim, &net, 2);
+  inject.SchedulePartition(PartitionSpec{{{0, 1}, {2, 3}}, 100, 300});
+  sim.RunUntil(200);
+  EXPECT_TRUE(net.Partitioned(0, 2));
+  sim.Run();
+  EXPECT_FALSE(net.Partitioned(0, 2));
+}
+
+TEST(FailureInjectorTest, RandomCrashesRespectHorizon) {
+  Simulator sim;
+  Network net(&sim, 3, NetworkConfig{}, 1);
+  FailureInjector inject(&sim, &net, 7);
+  int crashes = 0;
+  inject.on_crash = [&](SiteId) { ++crashes; };
+  inject.ScheduleRandomCrashes(/*crashes_per_second_per_site=*/50.0,
+                               /*downtime_us=*/1'000,
+                               /*horizon=*/1'000'000);
+  sim.Run();
+  EXPECT_GT(crashes, 0);
+  // Every restart happened and all sites are back up at the end.
+  for (SiteId s = 0; s < 3; ++s) EXPECT_TRUE(net.SiteUp(s));
+}
+
+TEST(FailureInjectorTest, ZeroRateSchedulesNothing) {
+  Simulator sim;
+  Network net(&sim, 2, NetworkConfig{}, 1);
+  FailureInjector inject(&sim, &net, 7);
+  inject.ScheduleRandomCrashes(0.0, 1000, 1'000'000);
+  EXPECT_TRUE(sim.Quiescent());
+}
+
+}  // namespace
+}  // namespace esr::sim

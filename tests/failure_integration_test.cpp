@@ -1,0 +1,160 @@
+// Failure-injection integration tests: crashes, partitions and lossy links
+// against the full replica control stack. The paper's robustness claim: the
+// methods work "in face of very slow links, network partitions, and site
+// failures" because stable queues persistently retry.
+
+#include <gtest/gtest.h>
+
+#include "analysis/sr_checker.h"
+#include "test_util.h"
+
+namespace esr::core {
+namespace {
+
+using store::Operation;
+using test::Config;
+using test::MustSubmit;
+using test::RunQuery;
+
+TEST(FailureIntegrationTest, CommuSurvivesSiteCrashAndRestart) {
+  auto config = Config(Method::kCommu, 3, 51);
+  ReplicatedSystem system(config);
+  system.failures().ScheduleCrash(
+      sim::CrashSpec{/*site=*/2, /*crash_at=*/5'000, /*restart_at=*/400'000});
+  for (int i = 0; i < 10; ++i) {
+    MustSubmit(system, i % 2, {Operation::Increment(0, 1)});
+    system.RunFor(2'000);
+  }
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  EXPECT_EQ(system.SiteValue(2, 0).AsInt(), 10)
+      << "restarted site catches up via stable-queue retries";
+}
+
+TEST(FailureIntegrationTest, OrdupSurvivesSequencerSiteCrash) {
+  auto config = Config(Method::kOrdup, 3, 53);
+  config.sequencer_site = 0;
+  ReplicatedSystem system(config);
+  // Sequencer site crashes; updates submitted during the outage commit
+  // only after it restarts (ordering is unavailable meanwhile).
+  system.failures().ScheduleCrash(sim::CrashSpec{0, 1'000, 300'000});
+  system.RunFor(5'000);
+  int committed = 0;
+  for (int i = 0; i < 5; ++i) {
+    MustSubmit(system, 1, {Operation::Increment(0, 1)},
+               [&](Status s) { committed += s.ok() ? 1 : 0; });
+  }
+  system.RunFor(100'000);
+  EXPECT_EQ(committed, 0) << "no order numbers while the sequencer is down";
+  system.RunUntilQuiescent();
+  EXPECT_EQ(committed, 5);
+  EXPECT_TRUE(system.Converged());
+  EXPECT_EQ(system.SiteValue(2, 0).AsInt(), 5);
+}
+
+TEST(FailureIntegrationTest, PartitionedAsyncUpdatesMergeAfterHeal) {
+  auto config = Config(Method::kCommu, 4, 55);
+  ReplicatedSystem system(config);
+  system.network().SetPartition({{0, 1}, {2, 3}});
+  // Both partitions keep committing locally — the async availability win.
+  // Distinct deltas per site so partial states are distinguishable.
+  int committed = 0;
+  for (int i = 0; i < 4; ++i) {
+    MustSubmit(system, i, {Operation::Increment(0, 1 << i)},
+               [&](Status s) { committed += s.ok() ? 1 : 0; });
+  }
+  system.RunFor(200'000);
+  EXPECT_EQ(committed, 4) << "async commits proceed inside both partitions";
+  EXPECT_FALSE(system.Converged()) << "divergence while partitioned";
+  system.network().HealPartition();
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  EXPECT_EQ(system.SiteValue(3, 0).AsInt(), 1 + 2 + 4 + 8);
+}
+
+TEST(FailureIntegrationTest, RituMergesTimestampedWritesAfterPartition) {
+  auto config = Config(Method::kRituSingle, 4, 57);
+  ReplicatedSystem system(config);
+  system.network().SetPartition({{0, 1}, {2, 3}});
+  MustSubmit(system, 0, {Operation::TimestampedWrite(0, Value(int64_t{111}),
+                                                     kZeroTimestamp)});
+  system.RunFor(10'000);
+  MustSubmit(system, 2, {Operation::TimestampedWrite(0, Value(int64_t{222}),
+                                                     kZeroTimestamp)});
+  system.RunFor(100'000);
+  system.network().HealPartition();
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  // Both sides applied the same Thomas-rule winner.
+  const int64_t v = system.SiteValue(0, 0).AsInt();
+  EXPECT_TRUE(v == 111 || v == 222);
+  for (SiteId s = 1; s < 4; ++s) {
+    EXPECT_EQ(system.SiteValue(s, 0).AsInt(), v);
+  }
+}
+
+TEST(FailureIntegrationTest, QueriesKeepAnsweringDuringPartition) {
+  auto config = Config(Method::kCommu, 4, 59);
+  ReplicatedSystem system(config);
+  MustSubmit(system, 0, {Operation::Increment(0, 7)});
+  system.RunUntilQuiescent();
+  system.network().SetPartition({{0, 1}, {2, 3}});
+  // Site 3 still answers (possibly stale) queries — the availability story.
+  auto values = RunQuery(system, 3, kUnboundedEpsilon, {0});
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0].AsInt(), 7);
+  system.network().HealPartition();
+  system.RunUntilQuiescent();
+}
+
+TEST(FailureIntegrationTest, SlowLinkDelaysButPreservesConvergence) {
+  auto config = Config(Method::kOrdup, 3, 61);
+  ReplicatedSystem system(config);
+  system.network().SetLinkLatency(0, 2, 2'000'000);  // 2 s one-way
+  MustSubmit(system, 0, {Operation::Write(0, Value(int64_t{5}))});
+  system.RunFor(100'000);
+  EXPECT_EQ(system.SiteValue(1, 0).AsInt(), 5);
+  EXPECT_EQ(system.SiteValue(2, 0).AsInt(), 0) << "slow link lags";
+  system.RunUntilQuiescent();
+  EXPECT_EQ(system.SiteValue(2, 0).AsInt(), 5);
+  EXPECT_TRUE(system.Converged());
+}
+
+TEST(FailureIntegrationTest, CompeDecisionsSurvivePartition) {
+  auto config = Config(Method::kCompe, 3, 63);
+  ReplicatedSystem system(config);
+  const EtId keep = MustSubmit(system, 0, {Operation::Increment(0, 5)});
+  const EtId drop = MustSubmit(system, 0, {Operation::Increment(0, 50)});
+  system.RunUntilQuiescent();
+  system.network().SetPartition({{0}, {1, 2}});
+  ASSERT_TRUE(system.Decide(keep, true).ok());
+  ASSERT_TRUE(system.Decide(drop, false).ok());
+  system.RunFor(200'000);
+  // Replicas have not heard the decisions yet.
+  EXPECT_EQ(system.SiteValue(1, 0).AsInt(), 55);
+  system.network().HealPartition();
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  EXPECT_EQ(system.SiteValue(1, 0).AsInt(), 5);
+}
+
+TEST(FailureIntegrationTest, RepeatedCrashesStillConverge) {
+  auto config = Config(Method::kCommu, 3, 65);
+  config.network.loss_probability = 0.1;
+  ReplicatedSystem system(config);
+  system.failures().ScheduleCrash(sim::CrashSpec{1, 10'000, 60'000});
+  system.failures().ScheduleCrash(sim::CrashSpec{1, 120'000, 180'000});
+  system.failures().ScheduleCrash(sim::CrashSpec{2, 50'000, 90'000});
+  for (int i = 0; i < 20; ++i) {
+    MustSubmit(system, 0, {Operation::Increment(0, 1)});
+    system.RunFor(10'000);
+  }
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  EXPECT_EQ(system.SiteValue(1, 0).AsInt(), 20);
+  auto sr = analysis::CheckUpdateSerializability(system.history(), 3);
+  EXPECT_TRUE(sr.serializable) << sr.violation;
+}
+
+}  // namespace
+}  // namespace esr::core

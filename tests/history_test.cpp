@@ -1,0 +1,70 @@
+#include "analysis/history.h"
+
+#include <gtest/gtest.h>
+
+namespace esr::analysis {
+namespace {
+
+UpdateRecord MakeUpdate(EtId et, SiteId origin) {
+  UpdateRecord u;
+  u.et = et;
+  u.origin = origin;
+  u.ops = {store::Operation::Increment(0, 1)};
+  return u;
+}
+
+TEST(HistoryTest, UpdatesIndexedByEt) {
+  HistoryRecorder h;
+  h.RecordUpdateCommit(MakeUpdate(5, 1));
+  h.RecordUpdateCommit(MakeUpdate(9, 2));
+  ASSERT_NE(h.FindUpdate(5), nullptr);
+  EXPECT_EQ(h.FindUpdate(5)->origin, 1);
+  EXPECT_EQ(h.FindUpdate(404), nullptr);
+  EXPECT_EQ(h.updates().size(), 2u);
+}
+
+TEST(HistoryTest, AbortMarksExistingUpdate) {
+  HistoryRecorder h;
+  h.RecordUpdateCommit(MakeUpdate(5, 1));
+  h.RecordUpdateAborted(5);
+  EXPECT_TRUE(h.FindUpdate(5)->aborted);
+  h.RecordUpdateAborted(404);  // unknown: no-op
+}
+
+TEST(HistoryTest, ApplySequencesPerSite) {
+  HistoryRecorder h;
+  EXPECT_EQ(h.RecordApply(1, 0, 10), 1);
+  EXPECT_EQ(h.RecordApply(2, 0, 20), 2);
+  EXPECT_EQ(h.RecordApply(1, 1, 30), 1);
+  ASSERT_EQ(h.site_applies(0).size(), 2u);
+  EXPECT_EQ(h.site_applies(0)[1].et, 2);
+  EXPECT_EQ(h.site_applies(1).size(), 1u);
+  EXPECT_TRUE(h.site_applies(7).empty());
+}
+
+TEST(HistoryTest, ApplyCountAcrossSites) {
+  HistoryRecorder h;
+  h.RecordApply(1, 0, 10);
+  h.RecordApply(1, 1, 11);
+  h.RecordApply(2, 0, 12);
+  EXPECT_EQ(h.ApplyCount(1), 2);
+  EXPECT_EQ(h.ApplyCount(2), 1);
+  EXPECT_EQ(h.ApplyCount(3), 0);
+}
+
+TEST(HistoryTest, ReadsAndQueriesAppend) {
+  HistoryRecorder h;
+  ReadRecord r;
+  r.query = 7;
+  r.object = 3;
+  h.RecordRead(r);
+  QueryRecord q;
+  q.query = 7;
+  q.completed = true;
+  h.RecordQueryEnd(q);
+  EXPECT_EQ(h.reads().size(), 1u);
+  EXPECT_EQ(h.queries().size(), 1u);
+}
+
+}  // namespace
+}  // namespace esr::analysis

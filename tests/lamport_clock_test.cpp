@@ -1,0 +1,58 @@
+#include "msg/lamport_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace esr::msg {
+namespace {
+
+TEST(LamportClockTest, TickMonotonicallyIncreases) {
+  LamportClock clock(3);
+  LamportTimestamp a = clock.Tick();
+  LamportTimestamp b = clock.Tick();
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.site, 3);
+}
+
+TEST(LamportClockTest, ObserveJumpsAheadOfRemote) {
+  LamportClock clock(1);
+  LamportTimestamp remote{100, 0};
+  LamportTimestamp after = clock.Observe(remote);
+  EXPECT_GT(after.counter, remote.counter);
+  EXPECT_EQ(after.site, 1);
+}
+
+TEST(LamportClockTest, ObserveOfOldTimestampStillTicks) {
+  LamportClock clock(1);
+  clock.Tick();
+  clock.Tick();
+  LamportTimestamp now = clock.Now();
+  LamportTimestamp after = clock.Observe(LamportTimestamp{1, 0});
+  EXPECT_GT(after.counter, now.counter - 1);
+  EXPECT_GT(after, now);
+}
+
+TEST(LamportClockTest, SiteBreaksTies) {
+  LamportTimestamp a{5, 1}, b{5, 2};
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(LamportClockTest, NowDoesNotAdvance) {
+  LamportClock clock(0);
+  clock.Tick();
+  LamportTimestamp n1 = clock.Now();
+  LamportTimestamp n2 = clock.Now();
+  EXPECT_EQ(n1, n2);
+}
+
+TEST(LamportClockTest, CausalOrderAcrossTwoClocks) {
+  LamportClock a(0), b(1);
+  LamportTimestamp send = a.Tick();
+  LamportTimestamp receive = b.Observe(send);
+  LamportTimestamp later = b.Tick();
+  EXPECT_LT(send, receive);
+  EXPECT_LT(receive, later);
+}
+
+}  // namespace
+}  // namespace esr::msg

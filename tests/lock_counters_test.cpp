@@ -1,0 +1,146 @@
+#include "esr/lock_counters.h"
+
+#include <gtest/gtest.h>
+
+#include "store/operation.h"
+
+namespace esr::core {
+namespace {
+
+/// Count-only weighted entries (weight 0), the COMPE usage.
+std::vector<WeightedObject> Objs(std::vector<ObjectId> ids) {
+  std::vector<WeightedObject> out;
+  for (ObjectId id : ids) out.push_back(WeightedObject{id, 0});
+  return out;
+}
+
+TEST(LockCounterTableTest, IncrementDecrementBalance) {
+  LockCounterTable t;
+  t.Increment(Objs({0, 1}));
+  t.Increment(Objs({0}));
+  EXPECT_EQ(t.Count(0), 2);
+  EXPECT_EQ(t.Count(1), 1);
+  t.Decrement(Objs({0, 1}));
+  EXPECT_EQ(t.Count(0), 1);
+  EXPECT_EQ(t.Count(1), 0);
+  t.Decrement(Objs({0}));
+  EXPECT_EQ(t.Count(0), 0);
+}
+
+TEST(LockCounterTableTest, UntouchedObjectIsZero) {
+  LockCounterTable t;
+  EXPECT_EQ(t.Count(99), 0);
+}
+
+TEST(LockCounterTableTest, ChargeReflectsCurrentCount) {
+  LockCounterTable t;
+  QueryState q;
+  t.Increment(Objs({0}));
+  t.Increment(Objs({0}));
+  EXPECT_EQ(t.Charge(q, 0), 2);
+  t.CommitCharge(q, 0);
+  EXPECT_EQ(t.Charge(q, 0), 0) << "same in-flight updates charge once";
+}
+
+TEST(LockCounterTableTest, NewArrivalsChargeTheDifference) {
+  LockCounterTable t;
+  QueryState q;
+  t.Increment(Objs({0}));
+  t.CommitCharge(q, 0);  // charged 1
+  t.Increment(Objs({0}));
+  EXPECT_EQ(t.Charge(q, 0), 1) << "only the newly arrived update";
+}
+
+TEST(LockCounterTableTest, DepartedThenArrivedStillCharged) {
+  LockCounterTable t;
+  QueryState q;
+  t.Increment(Objs({0}));        // ET A
+  t.CommitCharge(q, 0);    // query charged for A
+  t.Decrement(Objs({0}));        // A stable
+  t.Increment(Objs({0}));        // ET B arrives
+  EXPECT_EQ(t.Charge(q, 0), 1) << "B is new, must be charged";
+}
+
+TEST(LockCounterTableTest, ChargeCappedByCurrentCount) {
+  LockCounterTable t;
+  QueryState q;
+  t.Increment(Objs({0}));
+  t.Decrement(Objs({0}));
+  t.Increment(Objs({0}));
+  t.Decrement(Objs({0}));
+  // Two arrivals total but none in progress: nothing to charge.
+  EXPECT_EQ(t.Charge(q, 0), 0);
+}
+
+TEST(LockCounterTableTest, IndependentQueriesIndependentMarks) {
+  LockCounterTable t;
+  QueryState q1, q2;
+  t.Increment(Objs({0}));
+  t.CommitCharge(q1, 0);
+  EXPECT_EQ(t.Charge(q2, 0), 1) << "q2 has not been charged yet";
+}
+
+TEST(LockCounterTableTest, ZeroCountObjectChargesNothing) {
+  LockCounterTable t;
+  QueryState q;
+  EXPECT_EQ(t.Charge(q, 5), 0);
+  t.CommitCharge(q, 5);  // no-op
+  EXPECT_EQ(t.Charge(q, 5), 0);
+}
+
+
+TEST(LockCounterTableTest, WeightsTrackMagnitude) {
+  LockCounterTable t;
+  t.Increment({WeightedObject{0, 10}, WeightedObject{1, 3}});
+  t.Increment({WeightedObject{0, 7}});
+  EXPECT_EQ(t.Weight(0), 17);
+  EXPECT_EQ(t.Weight(1), 3);
+  t.Decrement({WeightedObject{0, 10}, WeightedObject{1, 3}});
+  EXPECT_EQ(t.Weight(0), 7);
+  EXPECT_EQ(t.Weight(1), 0);
+}
+
+TEST(LockCounterTableTest, WeightChargeAndCommit) {
+  LockCounterTable t;
+  QueryState q;
+  t.Increment({WeightedObject{0, 10}});
+  EXPECT_EQ(t.WeightCharge(q, 0), 10);
+  t.CommitCharge(q, 0);
+  EXPECT_EQ(t.WeightCharge(q, 0), 0) << "same in-flight change charges once";
+  t.Increment({WeightedObject{0, 5}});
+  EXPECT_EQ(t.WeightCharge(q, 0), 5) << "only the new arrival's magnitude";
+}
+
+TEST(LockCounterTableTest, WeightChargeCappedByCurrentWeight) {
+  LockCounterTable t;
+  QueryState q;
+  t.Increment({WeightedObject{0, 10}});
+  t.Decrement({WeightedObject{0, 10}});
+  EXPECT_EQ(t.WeightCharge(q, 0), 0);
+}
+
+TEST(WeighOperationsTest, SumsIncrementMagnitudesPerObject) {
+  using store::Operation;
+  auto weighted = WeighOperations({Operation::Increment(0, 5),
+                                   Operation::Increment(0, -3),
+                                   Operation::Increment(1, 2),
+                                   Operation::Read(2)});
+  ASSERT_EQ(weighted.size(), 2u);
+  EXPECT_EQ(weighted[0].object, 0);
+  EXPECT_EQ(weighted[0].weight, 8) << "|5| + |-3|";
+  EXPECT_EQ(weighted[1].object, 1);
+  EXPECT_EQ(weighted[1].weight, 2);
+}
+
+TEST(WeighOperationsTest, NonIncrementsWeighZero) {
+  using store::Operation;
+  auto weighted = WeighOperations(
+      {Operation::Multiply(0, 4),
+       Operation::TimestampedWrite(1, Value(int64_t{9}), {1, 0})});
+  ASSERT_EQ(weighted.size(), 2u);
+  EXPECT_EQ(weighted[0].weight, 0);
+  EXPECT_EQ(weighted[1].weight, 0);
+}
+
+}  // namespace
+}  // namespace esr::core

@@ -1,0 +1,297 @@
+#include "cc/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace esr::cc {
+namespace {
+
+using store::OpKind;
+
+TEST(LockCompatibilityTest, Strict2plMatrix) {
+  const auto t = CompatibilityTable::kStrict2PL;
+  EXPECT_TRUE(LockCompatible(t, LockMode::kSharedStrict, OpKind::kRead,
+                             LockMode::kSharedStrict, OpKind::kRead));
+  EXPECT_FALSE(LockCompatible(t, LockMode::kSharedStrict, OpKind::kRead,
+                              LockMode::kExclusiveStrict, OpKind::kWrite));
+  EXPECT_FALSE(LockCompatible(t, LockMode::kExclusiveStrict, OpKind::kWrite,
+                              LockMode::kSharedStrict, OpKind::kRead));
+  EXPECT_FALSE(LockCompatible(t, LockMode::kExclusiveStrict, OpKind::kWrite,
+                              LockMode::kExclusiveStrict, OpKind::kWrite));
+}
+
+// Paper Table 2: rows/columns {R_U, W_U, R_Q}; R_U/R_U OK, everything with
+// W_U conflicts, R_Q compatible with all.
+TEST(LockCompatibilityTest, PaperTable2Ordup) {
+  const auto t = CompatibilityTable::kOrdupEt;
+  const auto RU = LockMode::kReadUpdate;
+  const auto WU = LockMode::kWriteUpdate;
+  const auto RQ = LockMode::kReadQuery;
+  const auto r = OpKind::kRead;
+  const auto w = OpKind::kWrite;
+
+  EXPECT_TRUE(LockCompatible(t, RU, r, RU, r));    // RU/RU: OK
+  EXPECT_FALSE(LockCompatible(t, RU, r, WU, w));   // RU/WU: conflict
+  EXPECT_FALSE(LockCompatible(t, WU, w, RU, r));   // WU/RU: conflict
+  EXPECT_FALSE(LockCompatible(t, WU, w, WU, w));   // WU/WU: conflict
+  EXPECT_TRUE(LockCompatible(t, RU, r, RQ, r));    // RU/RQ: OK
+  EXPECT_TRUE(LockCompatible(t, WU, w, RQ, r));    // WU/RQ: OK
+  EXPECT_TRUE(LockCompatible(t, RQ, r, RU, r));    // RQ/RU: OK
+  EXPECT_TRUE(LockCompatible(t, RQ, r, WU, w));    // RQ/WU: OK
+  EXPECT_TRUE(LockCompatible(t, RQ, r, RQ, r));    // RQ/RQ: OK
+}
+
+// Paper Table 3: like Table 2 but W_U cells are "Comm" — compatible iff the
+// operations commute.
+TEST(LockCompatibilityTest, PaperTable3Commu) {
+  const auto t = CompatibilityTable::kCommuEt;
+  const auto RU = LockMode::kReadUpdate;
+  const auto WU = LockMode::kWriteUpdate;
+  const auto RQ = LockMode::kReadQuery;
+  const auto r = OpKind::kRead;
+  const auto inc = OpKind::kIncrement;
+  const auto mul = OpKind::kMultiply;
+
+  EXPECT_TRUE(LockCompatible(t, RU, r, RU, r));
+  EXPECT_TRUE(LockCompatible(t, WU, inc, WU, inc)) << "commuting writes";
+  EXPECT_FALSE(LockCompatible(t, WU, inc, WU, mul)) << "non-commuting writes";
+  EXPECT_FALSE(LockCompatible(t, WU, OpKind::kWrite, WU, OpKind::kWrite));
+  // R_U within an update ET carries a real dependency: no commutativity
+  // with writes in our operation algebra ("few examples of commutativity
+  // between W_U and R_U").
+  EXPECT_FALSE(LockCompatible(t, WU, inc, RU, r));
+  EXPECT_FALSE(LockCompatible(t, RU, r, WU, inc));
+  // R_Q row and column all OK.
+  EXPECT_TRUE(LockCompatible(t, WU, inc, RQ, r));
+  EXPECT_TRUE(LockCompatible(t, RQ, r, WU, mul));
+}
+
+TEST(LockLevelCommutesTest, KindMatrix) {
+  EXPECT_TRUE(LockLevelCommutes(OpKind::kIncrement, OpKind::kIncrement));
+  EXPECT_TRUE(LockLevelCommutes(OpKind::kMultiply, OpKind::kMultiply));
+  EXPECT_TRUE(LockLevelCommutes(OpKind::kTimestampedWrite,
+                                OpKind::kTimestampedWrite));
+  EXPECT_FALSE(LockLevelCommutes(OpKind::kIncrement, OpKind::kMultiply));
+  EXPECT_FALSE(LockLevelCommutes(OpKind::kWrite, OpKind::kWrite));
+  EXPECT_FALSE(LockLevelCommutes(OpKind::kAppend, OpKind::kAppend));
+  EXPECT_FALSE(LockLevelCommutes(OpKind::kRead, OpKind::kIncrement));
+}
+
+TEST(LockManagerTest, GrantAndReleaseBasic) {
+  LockManager lm(CompatibilityTable::kStrict2PL);
+  EXPECT_TRUE(lm.Acquire(1, 0, LockMode::kExclusiveStrict, OpKind::kWrite,
+                         nullptr)
+                  .ok());
+  EXPECT_EQ(lm.HeldCount(1), 1);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.HeldCount(1), 0);
+}
+
+TEST(LockManagerTest, TryLockFailsWithoutQueueing) {
+  LockManager lm(CompatibilityTable::kStrict2PL);
+  ASSERT_TRUE(lm.Acquire(1, 0, LockMode::kExclusiveStrict, OpKind::kWrite,
+                         nullptr)
+                  .ok());
+  Status s =
+      lm.Acquire(2, 0, LockMode::kSharedStrict, OpKind::kRead, nullptr);
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(lm.WaiterCount(), 0);
+}
+
+TEST(LockManagerTest, WaiterGrantedOnRelease) {
+  LockManager lm(CompatibilityTable::kStrict2PL);
+  ASSERT_TRUE(lm.Acquire(1, 0, LockMode::kExclusiveStrict, OpKind::kWrite,
+                         nullptr)
+                  .ok());
+  bool granted = false;
+  Status s = lm.Acquire(2, 0, LockMode::kExclusiveStrict, OpKind::kWrite,
+                        [&]() { granted = true; });
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(lm.WaiterCount(), 1);
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(lm.HeldCount(2), 1);
+}
+
+TEST(LockManagerTest, FifoFairnessWriterNotStarved) {
+  LockManager lm(CompatibilityTable::kStrict2PL);
+  ASSERT_TRUE(
+      lm.Acquire(1, 0, LockMode::kSharedStrict, OpKind::kRead, nullptr).ok());
+  bool writer_granted = false;
+  ASSERT_TRUE(lm.Acquire(2, 0, LockMode::kExclusiveStrict, OpKind::kWrite,
+                         [&]() { writer_granted = true; })
+                  .IsUnavailable());
+  // A later reader must queue behind the waiting writer, not jump it.
+  bool reader_granted = false;
+  Status s = lm.Acquire(3, 0, LockMode::kSharedStrict, OpKind::kRead,
+                        [&]() { reader_granted = true; });
+  EXPECT_TRUE(s.IsUnavailable());
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(writer_granted);
+  EXPECT_FALSE(reader_granted);
+  lm.ReleaseAll(2);
+  EXPECT_TRUE(reader_granted);
+}
+
+TEST(LockManagerTest, ReentrantAcquireGrants) {
+  LockManager lm(CompatibilityTable::kStrict2PL);
+  ASSERT_TRUE(
+      lm.Acquire(1, 0, LockMode::kSharedStrict, OpKind::kRead, nullptr).ok());
+  EXPECT_TRUE(
+      lm.Acquire(1, 0, LockMode::kSharedStrict, OpKind::kRead, nullptr).ok());
+  EXPECT_EQ(lm.HeldCount(1), 1);
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleHolder) {
+  LockManager lm(CompatibilityTable::kStrict2PL);
+  ASSERT_TRUE(
+      lm.Acquire(1, 0, LockMode::kSharedStrict, OpKind::kRead, nullptr).ok());
+  EXPECT_TRUE(lm.Acquire(1, 0, LockMode::kExclusiveStrict, OpKind::kWrite,
+                         nullptr)
+                  .ok());
+  // Now exclusive: another reader must wait.
+  EXPECT_TRUE(
+      lm.Acquire(2, 0, LockMode::kSharedStrict, OpKind::kRead, nullptr)
+          .IsUnavailable());
+}
+
+TEST(LockManagerTest, DeadlockDetectedAndRequesterAborted) {
+  LockManager lm(CompatibilityTable::kStrict2PL);
+  ASSERT_TRUE(lm.Acquire(1, 0, LockMode::kExclusiveStrict, OpKind::kWrite,
+                         nullptr)
+                  .ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, LockMode::kExclusiveStrict, OpKind::kWrite,
+                         nullptr)
+                  .ok());
+  // 1 waits for 2's object.
+  ASSERT_TRUE(lm.Acquire(1, 1, LockMode::kExclusiveStrict, OpKind::kWrite,
+                         []() {})
+                  .IsUnavailable());
+  // 2 requesting 1's object would close the cycle: aborted immediately.
+  Status s = lm.Acquire(2, 0, LockMode::kExclusiveStrict, OpKind::kWrite,
+                        []() {});
+  EXPECT_TRUE(s.IsAborted());
+}
+
+TEST(LockManagerTest, VictimReleaseUnblocksWaiters) {
+  LockManager lm(CompatibilityTable::kStrict2PL);
+  ASSERT_TRUE(lm.Acquire(1, 0, LockMode::kExclusiveStrict, OpKind::kWrite,
+                         nullptr)
+                  .ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, LockMode::kExclusiveStrict, OpKind::kWrite,
+                         nullptr)
+                  .ok());
+  bool t1_granted = false;
+  ASSERT_TRUE(lm.Acquire(1, 1, LockMode::kExclusiveStrict, OpKind::kWrite,
+                         [&]() { t1_granted = true; })
+                  .IsUnavailable());
+  // Victim (txn 2) releases everything — txn 1 proceeds.
+  lm.ReleaseAll(2);
+  EXPECT_TRUE(t1_granted);
+}
+
+TEST(LockManagerTest, OrdupQueriesNeverBlock) {
+  LockManager lm(CompatibilityTable::kOrdupEt);
+  ASSERT_TRUE(lm.Acquire(1, 0, LockMode::kWriteUpdate, OpKind::kWrite,
+                         nullptr)
+                  .ok());
+  // A query read is compatible even with a held write-update lock.
+  EXPECT_TRUE(
+      lm.Acquire(2, 0, LockMode::kReadQuery, OpKind::kRead, nullptr).ok());
+}
+
+TEST(LockManagerTest, CommuConcurrentIncrementWriters) {
+  LockManager lm(CompatibilityTable::kCommuEt);
+  EXPECT_TRUE(lm.Acquire(1, 0, LockMode::kWriteUpdate, OpKind::kIncrement,
+                         nullptr)
+                  .ok());
+  EXPECT_TRUE(lm.Acquire(2, 0, LockMode::kWriteUpdate, OpKind::kIncrement,
+                         nullptr)
+                  .ok());
+  // But a multiply conflicts with held increments.
+  EXPECT_TRUE(lm.Acquire(3, 0, LockMode::kWriteUpdate, OpKind::kMultiply,
+                         nullptr)
+                  .IsUnavailable());
+}
+
+TEST(LockManagerTest, EveryGrantOfAHolderStaysVisible) {
+  // Regression: a txn holding RQ that later acquires RU must still block
+  // writers through the RU grant (the weaker RQ entry must not mask it).
+  LockManager lm(CompatibilityTable::kOrdupEt);
+  ASSERT_TRUE(
+      lm.Acquire(1, 0, LockMode::kReadQuery, OpKind::kRead, nullptr).ok());
+  ASSERT_TRUE(
+      lm.Acquire(1, 0, LockMode::kReadUpdate, OpKind::kRead, nullptr).ok());
+  EXPECT_TRUE(lm.Acquire(2, 0, LockMode::kWriteUpdate, OpKind::kWrite,
+                         nullptr)
+                  .IsUnavailable())
+      << "the RU grant must block the writer";
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.Acquire(2, 0, LockMode::kWriteUpdate, OpKind::kWrite,
+                         nullptr)
+                  .ok());
+}
+
+TEST(LockManagerTest, MixedWriteKindsOfOneHolderConstrainOthers) {
+  // A txn holding WU(increment) and WU(multiply) forces others to commute
+  // with BOTH — i.e., nobody else fits.
+  LockManager lm(CompatibilityTable::kCommuEt);
+  ASSERT_TRUE(lm.Acquire(1, 0, LockMode::kWriteUpdate, OpKind::kIncrement,
+                         nullptr)
+                  .ok());
+  ASSERT_TRUE(lm.Acquire(1, 0, LockMode::kWriteUpdate, OpKind::kMultiply,
+                         nullptr)
+                  .ok())
+      << "self-conflicts never block";
+  EXPECT_TRUE(lm.Acquire(2, 0, LockMode::kWriteUpdate, OpKind::kIncrement,
+                         nullptr)
+                  .IsUnavailable());
+  EXPECT_TRUE(lm.Acquire(3, 0, LockMode::kWriteUpdate, OpKind::kMultiply,
+                         nullptr)
+                  .IsUnavailable());
+  EXPECT_TRUE(
+      lm.Acquire(4, 0, LockMode::kReadQuery, OpKind::kRead, nullptr).ok())
+      << "query reads still pass";
+}
+
+TEST(LockManagerTest, WaitDieYoungerRequesterDies) {
+  LockManager lm(CompatibilityTable::kStrict2PL, WaitPolicy::kWaitDie);
+  ASSERT_TRUE(lm.Acquire(1, 0, LockMode::kExclusiveStrict, OpKind::kWrite,
+                         nullptr)
+                  .ok());
+  // Younger (larger id) requester conflicting with an older holder: dies.
+  Status s = lm.Acquire(2, 0, LockMode::kExclusiveStrict, OpKind::kWrite,
+                        []() {});
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(lm.WaiterCount(), 0);
+}
+
+TEST(LockManagerTest, WaitDieOlderRequesterWaits) {
+  LockManager lm(CompatibilityTable::kStrict2PL, WaitPolicy::kWaitDie);
+  ASSERT_TRUE(lm.Acquire(5, 0, LockMode::kExclusiveStrict, OpKind::kWrite,
+                         nullptr)
+                  .ok());
+  bool granted = false;
+  Status s = lm.Acquire(1, 0, LockMode::kExclusiveStrict, OpKind::kWrite,
+                        [&]() { granted = true; });
+  EXPECT_TRUE(s.IsUnavailable()) << "older requester may wait";
+  lm.ReleaseAll(5);
+  EXPECT_TRUE(granted);
+}
+
+TEST(LockManagerTest, ReleaseCancelsQueuedRequests) {
+  LockManager lm(CompatibilityTable::kStrict2PL);
+  ASSERT_TRUE(lm.Acquire(1, 0, LockMode::kExclusiveStrict, OpKind::kWrite,
+                         nullptr)
+                  .ok());
+  bool granted = false;
+  ASSERT_TRUE(lm.Acquire(2, 0, LockMode::kExclusiveStrict, OpKind::kWrite,
+                         [&]() { granted = true; })
+                  .IsUnavailable());
+  lm.ReleaseAll(2);  // txn 2 gives up while waiting
+  lm.ReleaseAll(1);
+  EXPECT_FALSE(granted);
+  EXPECT_EQ(lm.WaiterCount(), 0);
+}
+
+}  // namespace
+}  // namespace esr::cc

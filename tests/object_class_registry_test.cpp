@@ -1,0 +1,81 @@
+#include "esr/object_class_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace esr::core {
+namespace {
+
+using store::Operation;
+using store::OpKind;
+
+TEST(ObjectClassRegistryTest, FirstUpdatePinsClass) {
+  ObjectClassRegistry registry;
+  EXPECT_TRUE(registry.Admit(Operation::Increment(0, 1)).ok());
+  ASSERT_TRUE(registry.ClassOf(0).has_value());
+  EXPECT_EQ(*registry.ClassOf(0), OpKind::kIncrement);
+}
+
+TEST(ObjectClassRegistryTest, SameClassKeepsPassing) {
+  ObjectClassRegistry registry;
+  ASSERT_TRUE(registry.Admit(Operation::Increment(0, 1)).ok());
+  EXPECT_TRUE(registry.Admit(Operation::Increment(0, -5)).ok());
+}
+
+TEST(ObjectClassRegistryTest, CrossClassRejected) {
+  ObjectClassRegistry registry;
+  ASSERT_TRUE(registry.Admit(Operation::Increment(0, 1)).ok());
+  EXPECT_EQ(registry.Admit(Operation::Multiply(0, 2)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ObjectClassRegistryTest, NonSelfCommutingKindRejected) {
+  ObjectClassRegistry registry;
+  EXPECT_EQ(registry.Admit(Operation::Write(0, Value(int64_t{1}))).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry.Admit(Operation::Append(0, "x")).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(registry.ClassOf(0).has_value()) << "nothing registered";
+}
+
+TEST(ObjectClassRegistryTest, TimestampedWritesAreAdmissible) {
+  ObjectClassRegistry registry;
+  EXPECT_TRUE(registry
+                  .Admit(Operation::TimestampedWrite(0, Value(int64_t{1}),
+                                                     {1, 0}))
+                  .ok());
+}
+
+TEST(ObjectClassRegistryTest, ReadsIgnored) {
+  ObjectClassRegistry registry;
+  EXPECT_TRUE(registry.Admit(Operation::Read(0)).ok());
+  EXPECT_FALSE(registry.ClassOf(0).has_value());
+}
+
+TEST(ObjectClassRegistryTest, AdmitAllAtomicOnFailure) {
+  ObjectClassRegistry registry;
+  Status s = registry.AdmitAll({Operation::Increment(7, 1),
+                                Operation::Append(8, "x")});
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(registry.ClassOf(7).has_value())
+      << "no partial registration on failure";
+}
+
+TEST(ObjectClassRegistryTest, AdmitAllRegistersAllOnSuccess) {
+  ObjectClassRegistry registry;
+  ASSERT_TRUE(registry
+                  .AdmitAll({Operation::Increment(1, 1),
+                             Operation::Increment(2, 2)})
+                  .ok());
+  EXPECT_TRUE(registry.ClassOf(1).has_value());
+  EXPECT_TRUE(registry.ClassOf(2).has_value());
+}
+
+TEST(ObjectClassRegistryTest, PerObjectIndependence) {
+  ObjectClassRegistry registry;
+  ASSERT_TRUE(registry.Admit(Operation::Increment(0, 1)).ok());
+  EXPECT_TRUE(registry.Admit(Operation::Multiply(1, 2)).ok())
+      << "a different object may carry a different class";
+}
+
+}  // namespace
+}  // namespace esr::core

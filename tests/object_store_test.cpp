@@ -1,0 +1,110 @@
+#include "store/object_store.h"
+
+#include <gtest/gtest.h>
+
+namespace esr::store {
+namespace {
+
+TEST(ObjectStoreTest, FreshObjectsReadAsZero) {
+  ObjectStore store;
+  EXPECT_EQ(store.Read(42), Value());
+  EXPECT_EQ(store.ObjectCount(), 0);
+}
+
+TEST(ObjectStoreTest, ApplyIncrementAndMultiply) {
+  ObjectStore store;
+  ASSERT_TRUE(store.Apply(Operation::Increment(1, 10)).ok());
+  ASSERT_TRUE(store.Apply(Operation::Multiply(1, 3)).ok());
+  EXPECT_EQ(store.Read(1).AsInt(), 30);
+}
+
+TEST(ObjectStoreTest, ApplyAllSkipsReads) {
+  ObjectStore store;
+  ASSERT_TRUE(store
+                  .ApplyAll({Operation::Read(1), Operation::Increment(1, 5),
+                             Operation::Read(1)})
+                  .ok());
+  EXPECT_EQ(store.Read(1).AsInt(), 5);
+}
+
+TEST(ObjectStoreTest, ApplyRejectsReadOperation) {
+  ObjectStore store;
+  EXPECT_FALSE(store.Apply(Operation::Read(0)).ok());
+}
+
+TEST(ObjectStoreTest, ThomasWriteRuleIgnoresStaleWrites) {
+  ObjectStore store;
+  ASSERT_TRUE(store
+                  .Apply(Operation::TimestampedWrite(0, Value(int64_t{5}),
+                                                     {10, 0}))
+                  .ok());
+  // A write with an older timestamp is silently ignored.
+  ASSERT_TRUE(store
+                  .Apply(Operation::TimestampedWrite(0, Value(int64_t{3}),
+                                                     {5, 0}))
+                  .ok());
+  EXPECT_EQ(store.Read(0).AsInt(), 5);
+  EXPECT_EQ(store.WriteTimestamp(0), (LamportTimestamp{10, 0}));
+  // A newer write lands.
+  ASSERT_TRUE(store
+                  .Apply(Operation::TimestampedWrite(0, Value(int64_t{7}),
+                                                     {11, 1}))
+                  .ok());
+  EXPECT_EQ(store.Read(0).AsInt(), 7);
+}
+
+TEST(ObjectStoreTest, TimestampedWritesConvergeRegardlessOfOrder) {
+  std::vector<Operation> ops = {
+      Operation::TimestampedWrite(0, Value(int64_t{1}), {1, 0}),
+      Operation::TimestampedWrite(0, Value(int64_t{2}), {2, 1}),
+      Operation::TimestampedWrite(0, Value(int64_t{3}), {3, 0}),
+  };
+  ObjectStore forward, reverse;
+  ASSERT_TRUE(forward.ApplyAll(ops).ok());
+  std::reverse(ops.begin(), ops.end());
+  ASSERT_TRUE(reverse.ApplyAll(ops).ok());
+  EXPECT_EQ(forward.Read(0), reverse.Read(0));
+  EXPECT_EQ(forward.StateDigest(), reverse.StateDigest());
+}
+
+TEST(ObjectStoreTest, RestoreBypassesSemantics) {
+  ObjectStore store;
+  ASSERT_TRUE(store.Apply(Operation::Increment(9, 4)).ok());
+  store.Restore(9, Value(int64_t{-1}));
+  EXPECT_EQ(store.Read(9).AsInt(), -1);
+}
+
+TEST(ObjectStoreTest, DigestDiffersOnDifferentState) {
+  ObjectStore a, b;
+  ASSERT_TRUE(a.Apply(Operation::Increment(0, 1)).ok());
+  ASSERT_TRUE(b.Apply(Operation::Increment(0, 2)).ok());
+  EXPECT_NE(a.StateDigest(), b.StateDigest());
+}
+
+TEST(ObjectStoreTest, DigestEqualForEqualState) {
+  ObjectStore a, b;
+  ASSERT_TRUE(a.Apply(Operation::Increment(3, 7)).ok());
+  ASSERT_TRUE(b.Apply(Operation::Increment(3, 3)).ok());
+  ASSERT_TRUE(b.Apply(Operation::Increment(3, 4)).ok());
+  EXPECT_EQ(a.StateDigest(), b.StateDigest());
+}
+
+TEST(ObjectStoreTest, ObjectIdsSorted) {
+  ObjectStore store;
+  ASSERT_TRUE(store.Apply(Operation::Increment(9, 1)).ok());
+  ASSERT_TRUE(store.Apply(Operation::Increment(2, 1)).ok());
+  ASSERT_TRUE(store.Apply(Operation::Increment(5, 1)).ok());
+  EXPECT_EQ(store.ObjectIds(), (std::vector<ObjectId>{2, 5, 9}));
+}
+
+TEST(ObjectStoreTest, ApplyAllStopsAtFirstFailure) {
+  ObjectStore store;
+  ASSERT_TRUE(store.Apply(Operation::Append(1, "s")).ok());
+  Status s = store.ApplyAll(
+      {Operation::Increment(0, 1), Operation::Increment(1, 1)});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(store.Read(0).AsInt(), 1) << "first op applied before failure";
+}
+
+}  // namespace
+}  // namespace esr::store

@@ -1,0 +1,142 @@
+#include "store/operation.h"
+
+#include <gtest/gtest.h>
+
+namespace esr::store {
+namespace {
+
+TEST(OperationTest, FactoriesSetFields) {
+  Operation r = Operation::Read(7);
+  EXPECT_EQ(r.kind, OpKind::kRead);
+  EXPECT_EQ(r.object, 7);
+  EXPECT_FALSE(r.IsUpdate());
+
+  Operation inc = Operation::Increment(1, 5);
+  EXPECT_EQ(inc.operand, 5);
+  EXPECT_TRUE(inc.IsUpdate());
+
+  Operation w = Operation::Write(2, Value(int64_t{9}));
+  EXPECT_TRUE(w.IsBlind());
+  EXPECT_FALSE(w.IsReadIndependent()) << "plain writes are order-sensitive";
+
+  Operation tsw = Operation::TimestampedWrite(3, Value(int64_t{1}),
+                                              LamportTimestamp{4, 0});
+  EXPECT_TRUE(tsw.IsBlind());
+  EXPECT_TRUE(tsw.IsReadIndependent());
+}
+
+TEST(OperationTest, ApplySemantics) {
+  Value v(int64_t{10});
+  EXPECT_TRUE(Operation::Increment(0, 5).ApplyTo(v).ok());
+  EXPECT_EQ(v.AsInt(), 15);
+  EXPECT_TRUE(Operation::Multiply(0, 3).ApplyTo(v).ok());
+  EXPECT_EQ(v.AsInt(), 45);
+  EXPECT_TRUE(Operation::Write(0, Value(int64_t{2})).ApplyTo(v).ok());
+  EXPECT_EQ(v.AsInt(), 2);
+}
+
+TEST(OperationTest, ApplyReadFails) {
+  Value v;
+  EXPECT_FALSE(Operation::Read(0).ApplyTo(v).ok());
+}
+
+TEST(OperationTest, ApplyTypeMismatchFails) {
+  Value v(std::string("text"));
+  EXPECT_EQ(Operation::Increment(0, 1).ApplyTo(v).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Operation::Multiply(0, 2).ApplyTo(v).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(OperationTest, AppendPromotesFreshObjectAndConcatenates) {
+  Value v;  // default integer zero = uninitialized object
+  EXPECT_TRUE(Operation::Append(0, "a").ApplyTo(v).ok());
+  EXPECT_TRUE(Operation::Append(0, "b").ApplyTo(v).ok());
+  EXPECT_EQ(v.AsString(), "ab");
+  Value nonzero(int64_t{5});
+  EXPECT_FALSE(Operation::Append(0, "x").ApplyTo(nonzero).ok());
+}
+
+TEST(OperationTest, CommutativityMatrix) {
+  Operation inc1 = Operation::Increment(0, 1);
+  Operation inc2 = Operation::Increment(0, 2);
+  Operation mul = Operation::Multiply(0, 2);
+  Operation w = Operation::Write(0, Value(int64_t{1}));
+  Operation app = Operation::Append(0, "x");
+  Operation tsw1 =
+      Operation::TimestampedWrite(0, Value(int64_t{1}), {1, 0});
+  Operation tsw2 =
+      Operation::TimestampedWrite(0, Value(int64_t{2}), {2, 0});
+
+  EXPECT_TRUE(inc1.CommutesWith(inc2));
+  EXPECT_TRUE(mul.CommutesWith(mul));
+  EXPECT_TRUE(tsw1.CommutesWith(tsw2));
+  EXPECT_FALSE(inc1.CommutesWith(mul));
+  EXPECT_FALSE(w.CommutesWith(w));
+  EXPECT_FALSE(app.CommutesWith(app));
+  EXPECT_FALSE(w.CommutesWith(inc1));
+  EXPECT_FALSE(tsw1.CommutesWith(w));
+}
+
+TEST(OperationTest, DistinctObjectsAlwaysCommute) {
+  Operation w0 = Operation::Write(0, Value(int64_t{1}));
+  Operation w1 = Operation::Write(1, Value(int64_t{1}));
+  EXPECT_TRUE(w0.CommutesWith(w1));
+}
+
+TEST(OperationTest, ReadsCommuteWithUpdatesForQueryPurposes) {
+  // Query-ET reads interleave freely under ESR; the operation-level
+  // relation reflects that (update-ET read conflicts are handled by the
+  // lock table's R_U class instead).
+  Operation r = Operation::Read(0);
+  Operation w = Operation::Write(0, Value(int64_t{1}));
+  EXPECT_TRUE(r.CommutesWith(w));
+  EXPECT_TRUE(w.CommutesWith(r));
+}
+
+TEST(OperationTest, IncrementExactInverse) {
+  Operation inc = Operation::Increment(4, 7);
+  ASSERT_TRUE(inc.HasExactInverse());
+  Operation dec = inc.Inverse();
+  Value v(int64_t{100});
+  ASSERT_TRUE(inc.ApplyTo(v).ok());
+  ASSERT_TRUE(dec.ApplyTo(v).ok());
+  EXPECT_EQ(v.AsInt(), 100);
+}
+
+TEST(OperationTest, NonIncrementsHaveNoExactInverse) {
+  EXPECT_FALSE(Operation::Multiply(0, 2).HasExactInverse());
+  EXPECT_FALSE(Operation::Write(0, Value()).HasExactInverse());
+  EXPECT_FALSE(Operation::Append(0, "x").HasExactInverse());
+}
+
+TEST(OperationTest, MutuallyCommutativeSets) {
+  std::vector<Operation> incs = {Operation::Increment(0, 1),
+                                 Operation::Increment(1, 2)};
+  std::vector<Operation> more_incs = {Operation::Increment(0, 3)};
+  std::vector<Operation> muls = {Operation::Multiply(0, 2)};
+  std::vector<Operation> incs_other_object = {Operation::Increment(9, 3)};
+  EXPECT_TRUE(MutuallyCommutative(incs, more_incs));
+  EXPECT_FALSE(MutuallyCommutative(incs, muls));
+  EXPECT_TRUE(MutuallyCommutative(muls, incs_other_object))
+      << "different objects commute";
+}
+
+TEST(OperationTest, SelfCommutative) {
+  EXPECT_TRUE(SelfCommutative(
+      {Operation::Increment(0, 1), Operation::Increment(0, 2)}));
+  EXPECT_FALSE(SelfCommutative(
+      {Operation::Increment(0, 1), Operation::Multiply(0, 2)}));
+  EXPECT_TRUE(SelfCommutative({Operation::Write(0, Value(int64_t{1})),
+                               Operation::Write(1, Value(int64_t{2}))}));
+}
+
+TEST(OperationTest, ToStringIsHumanReadable) {
+  EXPECT_EQ(Operation::Increment(3, 10).ToString(), "increment(obj=3, 10)");
+  EXPECT_NE(Operation::Write(1, Value(std::string("v"))).ToString().find(
+                "write"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace esr::store

@@ -1,0 +1,190 @@
+#include "esr/ordup_ts.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/query_checker.h"
+#include "analysis/sr_checker.h"
+#include "test_util.h"
+
+namespace esr::core {
+namespace {
+
+using store::Operation;
+using test::Config;
+using test::MustSubmit;
+using test::RunQuery;
+
+TEST(OrdupTsTest, LocalCommitIsImmediateUnlikeCentralOrdup) {
+  auto config = Config(Method::kOrdupTs);
+  config.network.base_latency_us = 50'000;
+  ReplicatedSystem system(config);
+  SimTime committed_at = -1;
+  MustSubmit(system, 1, {Operation::Increment(0, 1)},
+             [&](Status) { committed_at = system.simulator().Now(); });
+  EXPECT_EQ(committed_at, 0)
+      << "no order-server round trip in the decentralized variant";
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+}
+
+TEST(OrdupTsTest, ReleaseWaitsForWatermarkFloor) {
+  auto config = Config(Method::kOrdupTs);
+  config.network.base_latency_us = 30'000;
+  config.heartbeat_interval_us = 10'000;
+  ReplicatedSystem system(config);
+  MustSubmit(system, 0, {Operation::Write(0, Value(int64_t{5}))});
+  auto* method = static_cast<OrdupTsMethod*>(system.site_method(0));
+  // Even the origin holds its own MSet until the other origins' clocks
+  // pass its timestamp.
+  EXPECT_EQ(method->ReleaseIndex(), 0);
+  EXPECT_EQ(method->HeldCount(), 1);
+  EXPECT_EQ(system.SiteValue(0, 0).AsInt(), 0);
+  system.RunUntilQuiescent();
+  EXPECT_EQ(method->ReleaseIndex(), 1);
+  EXPECT_EQ(system.SiteValue(0, 0).AsInt(), 5);
+}
+
+TEST(OrdupTsTest, NonCommutativeUpdatesConvergeInTimestampOrder) {
+  auto config = Config(Method::kOrdupTs, 4, 91);
+  config.network.jitter_us = 5'000;
+  ReplicatedSystem system(config);
+  for (int i = 0; i < 16; ++i) {
+    MustSubmit(system, i % 4,
+               {Operation::Write(0, Value(int64_t{100 + i})),
+                Operation::Append(1, "x")});
+    system.RunFor(2'000);
+  }
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  EXPECT_EQ(system.SiteValue(2, 1).AsString().size(), 16u);
+  auto sr = analysis::CheckUpdateSerializability(system.history(), 4);
+  EXPECT_TRUE(sr.serializable) << sr.violation;
+}
+
+TEST(OrdupTsTest, SurvivesLossAndReordering) {
+  auto config = Config(Method::kOrdupTs, 3, 93);
+  config.network.loss_probability = 0.2;
+  config.network.jitter_us = 4'000;
+  ReplicatedSystem system(config);
+  for (int i = 0; i < 20; ++i) {
+    MustSubmit(system, i % 3, {Operation::Increment(0, 1)});
+    system.RunFor(1'000);
+  }
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  EXPECT_EQ(system.SiteValue(1, 0).AsInt(), 20);
+}
+
+TEST(OrdupTsTest, EpsilonZeroQueryPausesReleaseAndIsSr) {
+  auto config = Config(Method::kOrdupTs);
+  ReplicatedSystem system(config);
+  MustSubmit(system, 0, {Operation::Increment(0, 1)});
+  system.RunUntilQuiescent();
+
+  const EtId q = system.BeginQuery(1, /*epsilon=*/0);
+  Result<Value> first = system.TryRead(q, 0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->AsInt(), 1);
+  MustSubmit(system, 0, {Operation::Increment(0, 100)});
+  system.RunFor(1'000'000);
+  Result<Value> second = system.TryRead(q, 0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->AsInt(), 1) << "release paused at the query's pin";
+  EXPECT_EQ(system.query_state(q)->inconsistency, 0);
+  ASSERT_TRUE(system.EndQuery(q).ok());
+  system.RunUntilQuiescent();
+  EXPECT_EQ(system.SiteValue(1, 0).AsInt(), 101);
+}
+
+TEST(OrdupTsTest, QueryChargedPerConflictingReleasedUpdate) {
+  auto config = Config(Method::kOrdupTs);
+  ReplicatedSystem system(config);
+  const EtId q = system.BeginQuery(1, /*epsilon=*/10);
+  ASSERT_TRUE(system.TryRead(q, 0).ok());
+  for (int i = 0; i < 3; ++i) {
+    MustSubmit(system, 0, {Operation::Increment(0, 1)});
+  }
+  system.RunUntilQuiescent();
+  Result<Value> second = system.TryRead(q, 0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->AsInt(), 3);
+  EXPECT_EQ(system.query_state(q)->inconsistency, 3);
+  ASSERT_TRUE(system.TryRead(q, 0).ok());
+  EXPECT_EQ(system.query_state(q)->inconsistency, 3) << "no double charge";
+  ASSERT_TRUE(system.EndQuery(q).ok());
+}
+
+TEST(OrdupTsTest, LimitForcesStrictRestartViaReadApi) {
+  auto config = Config(Method::kOrdupTs);
+  ReplicatedSystem system(config);
+  const EtId q = system.BeginQuery(1, /*epsilon=*/1);
+  ASSERT_TRUE(system.TryRead(q, 0).ok());
+  for (int i = 0; i < 4; ++i) {
+    MustSubmit(system, 0, {Operation::Increment(0, 1)});
+  }
+  system.RunUntilQuiescent();
+  Result<Value> direct = system.TryRead(q, 0);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_TRUE(direct.status().IsInconsistencyLimit());
+  bool done = false;
+  system.Read(q, 0, [&](Result<Value> v) {
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->AsInt(), 4);
+    done = true;
+  });
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(system.query_state(q)->restarts, 1);
+  ASSERT_TRUE(system.EndQuery(q).ok());
+}
+
+TEST(OrdupTsTest, Epsilon0QueriesPrefixConsistentUnderChurn) {
+  auto config = Config(Method::kOrdupTs, 3, 95);
+  config.network.jitter_us = 2'000;
+  config.heartbeat_interval_us = 5'000;
+  ReplicatedSystem system(config);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      MustSubmit(system, i,
+                 {Operation::Increment(i % 2, 1),
+                  Operation::Increment(2 + (i % 2), 1)});
+    }
+    system.RunFor(20'000);
+    RunQuery(system, round % 3, /*epsilon=*/0, {0, 1, 2, 3});
+  }
+  system.RunUntilQuiescent();
+  auto sr = analysis::CheckUpdateSerializability(system.history(), 3);
+  ASSERT_TRUE(sr.serializable) << sr.violation;
+  auto reports = analysis::AnalyzeQueries(system.history(), sr.serial_order);
+  ASSERT_EQ(reports.size(), 5u);
+  for (const auto& r : reports) {
+    EXPECT_TRUE(r.prefix_consistent)
+        << "epsilon=0 ORDUP-TS query " << r.query << " must be 1SR";
+  }
+}
+
+TEST(OrdupTsTest, CrashedOriginStallsReleasesButNotCommits) {
+  // The decentralized trade: no order-server dependency for COMMITS (they
+  // stay local even with site 0 down), but a dead origin freezes the
+  // watermark floor, so RELEASES stall everywhere until it returns — the
+  // classic weakness of watermark-based total order, demonstrated.
+  auto config = Config(Method::kOrdupTs, 3, 97);
+  ReplicatedSystem system(config);
+  system.failures().ScheduleCrash(sim::CrashSpec{0, 1'000, 800'000});
+  system.RunFor(5'000);
+  int committed = 0;
+  for (int i = 0; i < 5; ++i) {
+    MustSubmit(system, 1 + (i % 2), {Operation::Increment(0, 1)},
+               [&](Status s) { committed += s.ok(); });
+  }
+  EXPECT_EQ(committed, 5) << "commits are local; no order server involved";
+  system.RunFor(300'000);
+  EXPECT_EQ(system.SiteValue(1, 0).AsInt(), 0)
+      << "releases wait on the crashed origin's watermark";
+  system.RunUntilQuiescent();  // site 0 restarts; heartbeats resume
+  EXPECT_TRUE(system.Converged());
+  EXPECT_EQ(system.SiteValue(0, 0).AsInt(), 5);
+}
+
+}  // namespace
+}  // namespace esr::core

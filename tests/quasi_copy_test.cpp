@@ -1,0 +1,135 @@
+#include "esr/quasi_copy.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/sr_checker.h"
+#include "test_util.h"
+
+namespace esr::core {
+namespace {
+
+using store::Operation;
+using test::Config;
+using test::MustSubmit;
+using test::RunQuery;
+
+TEST(QuasiCopyTest, PrimaryAppliesAndCachesRefresh) {
+  auto config = Config(Method::kQuasiCopy);
+  ReplicatedSystem system(config);
+  MustSubmit(system, 0, {Operation::Increment(0, 5)});
+  system.RunUntilQuiescent();
+  for (SiteId s = 0; s < 3; ++s) {
+    EXPECT_EQ(system.SiteValue(s, 0).AsInt(), 5) << "site " << s;
+  }
+  EXPECT_TRUE(system.Converged());
+}
+
+TEST(QuasiCopyTest, RemoteUpdatePaysPrimaryRoundTrip) {
+  auto config = Config(Method::kQuasiCopy);
+  config.network.base_latency_us = 40'000;
+  config.network.jitter_us = 0;
+  ReplicatedSystem system(config);
+  SimTime committed_at = -1;
+  MustSubmit(system, 2, {Operation::Increment(0, 1)},
+             [&](Status s) {
+               ASSERT_TRUE(s.ok());
+               committed_at = system.simulator().Now();
+             });
+  system.RunUntilQuiescent();
+  EXPECT_GE(committed_at, 80'000) << "forward + ack round trip";
+}
+
+TEST(QuasiCopyTest, VersionLagBatchesRefreshes) {
+  auto config = Config(Method::kQuasiCopy);
+  config.quasi_version_lag = 3;
+  ReplicatedSystem system(config);
+  // Two updates: below the lag bound, caches stay stale.
+  MustSubmit(system, 0, {Operation::Increment(0, 1)});
+  MustSubmit(system, 0, {Operation::Increment(0, 1)});
+  system.RunFor(300'000);
+  EXPECT_EQ(system.SiteValue(0, 0).AsInt(), 2) << "primary current";
+  EXPECT_EQ(system.SiteValue(1, 0).AsInt(), 0) << "cache lags within bound";
+  auto* primary = static_cast<QuasiCopyMethod*>(system.site_method(0));
+  EXPECT_EQ(primary->DirtyCount(), 1);
+  // Third update trips the version condition.
+  MustSubmit(system, 0, {Operation::Increment(0, 1)});
+  system.RunFor(300'000);
+  EXPECT_EQ(system.SiteValue(1, 0).AsInt(), 3);
+  EXPECT_EQ(primary->DirtyCount(), 0);
+}
+
+TEST(QuasiCopyTest, QuiesceFlushConvergesLaggingCaches) {
+  auto config = Config(Method::kQuasiCopy);
+  config.quasi_version_lag = 100;  // never trips on its own
+  ReplicatedSystem system(config);
+  MustSubmit(system, 1, {Operation::Increment(0, 9)});
+  system.RunUntilQuiescent();  // drains with a final flush
+  EXPECT_TRUE(system.Converged());
+  EXPECT_EQ(system.SiteValue(2, 0).AsInt(), 9);
+}
+
+TEST(QuasiCopyTest, PeriodicRefreshViaDelayCondition) {
+  auto config = Config(Method::kQuasiCopy);
+  config.quasi_version_lag = 1'000;
+  config.quasi_refresh_interval_us = 50'000;
+  config.heartbeat_interval_us = 50'000;
+  ReplicatedSystem system(config);
+  MustSubmit(system, 0, {Operation::Increment(0, 4)});
+  system.RunFor(400'000);
+  EXPECT_EQ(system.SiteValue(2, 0).AsInt(), 4)
+      << "delay condition refreshed the cache without hitting the lag bound";
+}
+
+TEST(QuasiCopyTest, UpdatesAre1srAtPrimary) {
+  auto config = Config(Method::kQuasiCopy, 3, 111);
+  config.network.jitter_us = 3'000;
+  ReplicatedSystem system(config);
+  for (int i = 0; i < 15; ++i) {
+    MustSubmit(system, i % 3, {Operation::Write(0, Value(int64_t{i}))});
+    system.RunFor(2'000);
+  }
+  system.RunUntilQuiescent();
+  auto sr = analysis::CheckUpdateSerializability(system.history(), 3);
+  EXPECT_TRUE(sr.serializable) << sr.violation;
+  EXPECT_TRUE(system.Converged());
+}
+
+TEST(QuasiCopyTest, CachesAnswerStaleDuringPartitionUpdatesBlock) {
+  auto config = Config(Method::kQuasiCopy);
+  ReplicatedSystem system(config);
+  MustSubmit(system, 0, {Operation::Increment(0, 7)});
+  system.RunUntilQuiescent();
+  system.network().SetPartition({{0}, {1, 2}});
+  // Cache reads keep working (the read-only redundancy win)...
+  auto values = RunQuery(system, 2, kUnboundedEpsilon, {0});
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0].AsInt(), 7);
+  // ...but updates from the partitioned side block on the primary.
+  bool committed = false;
+  MustSubmit(system, 1, {Operation::Increment(0, 1)},
+             [&](Status) { committed = true; });
+  system.RunFor(400'000);
+  EXPECT_FALSE(committed) << "primary unreachable: no update 1SR possible";
+  system.network().HealPartition();
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(committed);
+  EXPECT_TRUE(system.Converged());
+}
+
+TEST(QuasiCopyTest, RefreshReorderingCannotRegressCaches) {
+  auto config = Config(Method::kQuasiCopy, 3, 113);
+  config.network.jitter_us = 8'000;
+  config.queue.fifo = false;  // allow refresh reordering
+  ReplicatedSystem system(config);
+  for (int i = 1; i <= 10; ++i) {
+    MustSubmit(system, 0, {Operation::Write(0, Value(int64_t{i}))});
+    system.RunFor(1'000);
+  }
+  system.RunUntilQuiescent();
+  // Timestamped refreshes: the newest value wins everywhere.
+  EXPECT_TRUE(system.Converged());
+  EXPECT_EQ(system.SiteValue(1, 0).AsInt(), 10);
+}
+
+}  // namespace
+}  // namespace esr::core

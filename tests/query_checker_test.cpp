@@ -1,0 +1,147 @@
+#include "analysis/query_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace esr::analysis {
+namespace {
+
+using store::Operation;
+
+UpdateRecord Update(EtId et, std::vector<Operation> ops) {
+  UpdateRecord u;
+  u.et = et;
+  u.origin = 0;
+  u.ops = std::move(ops);
+  return u;
+}
+
+ReadRecord Read(EtId query, ObjectId object, int64_t value,
+                int64_t site_apply_index = 0, SiteId site = 0) {
+  ReadRecord r;
+  r.query = query;
+  r.site = site;
+  r.object = object;
+  r.value = Value(value);
+  r.site_apply_index = site_apply_index;
+  return r;
+}
+
+QueryRecord Query(EtId query, int64_t epsilon, int64_t charged,
+                  SiteId site = 0) {
+  QueryRecord q;
+  q.query = query;
+  q.site = site;
+  q.epsilon = epsilon;
+  q.final_inconsistency = charged;
+  q.completed = true;
+  return q;
+}
+
+TEST(QueryCheckerTest, SerialStateReplaysPrefix) {
+  HistoryRecorder h;
+  h.RecordUpdateCommit(Update(1, {Operation::Increment(0, 10)}));
+  h.RecordUpdateCommit(Update(2, {Operation::Increment(0, 5)}));
+  auto full = ComputeSerialState(h, {1, 2});
+  EXPECT_EQ(full.at(0).AsInt(), 15);
+  auto prefix1 = ComputeSerialState(h, {1, 2}, 1);
+  EXPECT_EQ(prefix1.at(0).AsInt(), 10);
+  auto prefix0 = ComputeSerialState(h, {1, 2}, 0);
+  EXPECT_TRUE(prefix0.empty());
+}
+
+TEST(QueryCheckerTest, SerialStateSkipsAborted) {
+  HistoryRecorder h;
+  h.RecordUpdateCommit(Update(1, {Operation::Increment(0, 10)}));
+  h.RecordUpdateAborted(1);
+  auto full = ComputeSerialState(h, {1});
+  EXPECT_TRUE(full.empty() || full.at(0).AsInt() == 0);
+}
+
+TEST(QueryCheckerTest, PrefixConsistentReadVector) {
+  HistoryRecorder h;
+  h.RecordUpdateCommit(
+      Update(1, {Operation::Increment(0, 1), Operation::Increment(1, 1)}));
+  h.RecordUpdateCommit(
+      Update(2, {Operation::Increment(0, 1), Operation::Increment(1, 1)}));
+  // Query saw both objects after update 1: consistent with prefix 1.
+  h.RecordRead(Read(10, 0, 1));
+  h.RecordRead(Read(10, 1, 1));
+  EXPECT_TRUE(PrefixConsistent(h, {1, 2}, 10));
+}
+
+TEST(QueryCheckerTest, TornReadVectorIsInconsistent) {
+  HistoryRecorder h;
+  h.RecordUpdateCommit(
+      Update(1, {Operation::Increment(0, 1), Operation::Increment(1, 1)}));
+  h.RecordUpdateCommit(
+      Update(2, {Operation::Increment(0, 1), Operation::Increment(1, 1)}));
+  // Object 0 after both updates, object 1 after none: no prefix matches.
+  h.RecordRead(Read(10, 0, 2));
+  h.RecordRead(Read(10, 1, 0));
+  EXPECT_FALSE(PrefixConsistent(h, {1, 2}, 10));
+}
+
+TEST(QueryCheckerTest, ReadOfUntouchedObjectMatchesEverywhere) {
+  HistoryRecorder h;
+  h.RecordUpdateCommit(Update(1, {Operation::Increment(0, 1)}));
+  h.RecordRead(Read(10, 99, 0));  // untouched object at initial value
+  h.RecordRead(Read(10, 0, 1));
+  EXPECT_TRUE(PrefixConsistent(h, {1}, 10));
+}
+
+TEST(QueryCheckerTest, WrongValueOfUntouchedObjectFails) {
+  HistoryRecorder h;
+  h.RecordUpdateCommit(Update(1, {Operation::Increment(0, 1)}));
+  h.RecordRead(Read(10, 99, 7));  // impossible value
+  EXPECT_FALSE(PrefixConsistent(h, {1}, 10));
+}
+
+TEST(QueryCheckerTest, EmptyQueryIsConsistent) {
+  HistoryRecorder h;
+  h.RecordUpdateCommit(Update(1, {Operation::Increment(0, 1)}));
+  EXPECT_TRUE(PrefixConsistent(h, {1}, 42));
+}
+
+TEST(QueryCheckerTest, AnalyzeReportsChargedAndValueError) {
+  HistoryRecorder h;
+  h.RecordUpdateCommit(Update(1, {Operation::Increment(0, 10)}));
+  h.RecordApply(1, 0, 5);
+  // The query read 0 before the update landed locally (value 0), final
+  // converged value is 10 -> value error 10.
+  h.RecordRead(Read(20, 0, 0, /*site_apply_index=*/0));
+  h.RecordQueryEnd(Query(20, /*epsilon=*/3, /*charged=*/1));
+  auto reports = AnalyzeQueries(h, {1});
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].charged, 1);
+  EXPECT_EQ(reports[0].epsilon, 3);
+  EXPECT_DOUBLE_EQ(reports[0].max_value_error_vs_final, 10.0);
+  EXPECT_TRUE(reports[0].prefix_consistent)
+      << "reading the initial state is the empty prefix";
+}
+
+TEST(QueryCheckerTest, ObservedConflictsCountDriftAtTheSite) {
+  HistoryRecorder h;
+  h.RecordUpdateCommit(Update(1, {Operation::Increment(0, 1)}));
+  h.RecordUpdateCommit(Update(2, {Operation::Increment(0, 1)}));
+  h.RecordApply(1, 0, 5);
+  h.RecordApply(2, 0, 9);
+  // First read before anything applied; second read after both applies.
+  h.RecordRead(Read(20, 1, 0, /*site_apply_index=*/0));
+  h.RecordRead(Read(20, 0, 2, /*site_apply_index=*/2));
+  h.RecordQueryEnd(Query(20, 10, 2));
+  auto reports = AnalyzeQueries(h, {1, 2});
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].observed_conflicts, 2)
+      << "both updates of object 0 drifted past the first read";
+}
+
+TEST(QueryCheckerTest, IncompleteQueriesSkipped) {
+  HistoryRecorder h;
+  QueryRecord q = Query(20, 1, 0);
+  q.completed = false;
+  h.RecordQueryEnd(q);
+  EXPECT_TRUE(AnalyzeQueries(h, {}).empty());
+}
+
+}  // namespace
+}  // namespace esr::analysis

@@ -1,0 +1,100 @@
+#include "msg/sequencer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "msg/stable_queue.h"
+#include "sim/simulator.h"
+
+namespace esr::msg {
+namespace {
+
+class SequencerTest : public ::testing::Test {
+ protected:
+  void Build(sim::NetworkConfig net_config, int num_sites = 3) {
+    net_ = std::make_unique<sim::Network>(&sim_, num_sites, net_config, 5);
+    for (SiteId s = 0; s < num_sites; ++s) {
+      mailboxes_.push_back(std::make_unique<Mailbox>(net_.get(), s));
+      queues_.push_back(std::make_unique<StableQueueManager>(
+          &sim_, mailboxes_.back().get(), StableQueueConfig{}));
+    }
+    server_ = std::make_unique<SequencerServer>(mailboxes_[0].get(),
+                                                queues_[0].get());
+    for (SiteId s = 0; s < num_sites; ++s) {
+      clients_.push_back(std::make_unique<SequencerClient>(
+          mailboxes_[s].get(), queues_[s].get(), /*home=*/0));
+    }
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Network> net_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<StableQueueManager>> queues_;
+  std::unique_ptr<SequencerServer> server_;
+  std::vector<std::unique_ptr<SequencerClient>> clients_;
+};
+
+TEST_F(SequencerTest, IssuesConsecutiveNumbers) {
+  Build(sim::NetworkConfig{});
+  std::vector<SequenceNumber> got;
+  for (int i = 0; i < 5; ++i) {
+    clients_[1]->Request([&](SequenceNumber n) { got.push_back(n); });
+  }
+  sim_.Run();
+  ASSERT_EQ(got.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(got[i], i + 1);
+  EXPECT_EQ(server_->LastIssued(), 5);
+}
+
+TEST_F(SequencerTest, NumbersAreGloballyUnique) {
+  Build(sim::NetworkConfig{});
+  std::multiset<SequenceNumber> got;
+  for (SiteId s = 0; s < 3; ++s) {
+    for (int i = 0; i < 10; ++i) {
+      clients_[s]->Request([&](SequenceNumber n) { got.insert(n); });
+    }
+  }
+  sim_.Run();
+  ASSERT_EQ(got.size(), 30u);
+  std::set<SequenceNumber> unique(got.begin(), got.end());
+  EXPECT_EQ(unique.size(), 30u);
+  EXPECT_EQ(*unique.begin(), 1);
+  EXPECT_EQ(*unique.rbegin(), 30);
+}
+
+TEST_F(SequencerTest, SelfHostedClientShortCircuits) {
+  Build(sim::NetworkConfig{});
+  SequenceNumber got = 0;
+  clients_[0]->Request([&](SequenceNumber n) { got = n; });
+  sim_.Run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(SequencerTest, SurvivesMessageLoss) {
+  sim::NetworkConfig net;
+  net.loss_probability = 0.4;
+  Build(net);
+  int responses = 0;
+  for (int i = 0; i < 20; ++i) {
+    clients_[2]->Request([&](SequenceNumber) { ++responses; });
+  }
+  sim_.Run();
+  EXPECT_EQ(responses, 20);
+}
+
+TEST_F(SequencerTest, RequestsDeferredWhileSequencerDown) {
+  Build(sim::NetworkConfig{});
+  net_->SetSiteDown(0);
+  SequenceNumber got = 0;
+  clients_[1]->Request([&](SequenceNumber n) { got = n; });
+  sim_.RunUntil(100'000);
+  EXPECT_EQ(got, 0);
+  net_->SetSiteUp(0);
+  sim_.Run();
+  EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace esr::msg

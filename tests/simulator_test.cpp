@@ -1,0 +1,113 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace esr::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZeroAndQuiescent) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_TRUE(sim.Quiescent());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&]() { order.push_back(3); });
+  sim.Schedule(10, [&]() { order.push_back(1); });
+  sim.Schedule(20, [&]() { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, EqualTimestampsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i]() { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NestedSchedulingAdvancesTime) {
+  Simulator sim;
+  SimTime inner_time = -1;
+  sim.Schedule(10, [&]() {
+    sim.Schedule(5, [&]() { inner_time = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_time, 15);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAfterCurrentEvent) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(0, [&]() {
+    order.push_back(1);
+    sim.Schedule(0, [&]() { order.push_back(2); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.Schedule(10, [&]() { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelTwiceFails) {
+  Simulator sim;
+  EventId id = sim.Schedule(10, []() {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(9999));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(10, [&]() { ++count; });
+  sim.Schedule(20, [&]() { ++count; });
+  sim.Schedule(30, [&]() { ++count; });
+  sim.RunUntil(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.Now(), 20);
+  sim.Run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.Now(), 500);
+}
+
+TEST(SimulatorTest, MaxEventsGuardStopsRunawayLoops) {
+  Simulator sim;
+  std::function<void()> loop = [&]() { sim.Schedule(1, loop); };
+  sim.Schedule(1, loop);
+  const int64_t executed = sim.Run(/*max_events=*/100);
+  EXPECT_EQ(executed, 100);
+}
+
+TEST(SimulatorTest, PendingEventsCountsLiveOnly) {
+  Simulator sim;
+  EventId a = sim.Schedule(5, []() {});
+  sim.Schedule(6, []() {});
+  EXPECT_EQ(sim.PendingEvents(), 2);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.PendingEvents(), 1);
+}
+
+}  // namespace
+}  // namespace esr::sim

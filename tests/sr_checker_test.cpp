@@ -1,0 +1,130 @@
+#include "analysis/sr_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace esr::analysis {
+namespace {
+
+using store::Operation;
+
+UpdateRecord Update(EtId et, std::vector<Operation> ops,
+                    LamportTimestamp ts = {}) {
+  UpdateRecord u;
+  u.et = et;
+  u.origin = 0;
+  u.ops = std::move(ops);
+  u.timestamp = ts;
+  return u;
+}
+
+TEST(SrCheckerTest, EmptyHistoryIsSerializable) {
+  HistoryRecorder h;
+  auto result = CheckUpdateSerializability(h, 2);
+  EXPECT_TRUE(result.serializable);
+  EXPECT_TRUE(result.serial_order.empty());
+}
+
+TEST(SrCheckerTest, SameOrderEverywhereIsSerializable) {
+  HistoryRecorder h;
+  h.RecordUpdateCommit(Update(1, {Operation::Write(0, Value(int64_t{1}))}));
+  h.RecordUpdateCommit(Update(2, {Operation::Write(0, Value(int64_t{2}))}));
+  for (SiteId s = 0; s < 2; ++s) {
+    h.RecordApply(1, s, 10);
+    h.RecordApply(2, s, 20);
+  }
+  auto result = CheckUpdateSerializability(h, 2);
+  ASSERT_TRUE(result.serializable);
+  EXPECT_EQ(result.serial_order, (std::vector<EtId>{1, 2}));
+}
+
+TEST(SrCheckerTest, OppositeOrdersOfConflictingWritesAreNotSerializable) {
+  HistoryRecorder h;
+  h.RecordUpdateCommit(Update(1, {Operation::Write(0, Value(int64_t{1}))}));
+  h.RecordUpdateCommit(Update(2, {Operation::Write(0, Value(int64_t{2}))}));
+  h.RecordApply(1, 0, 10);
+  h.RecordApply(2, 0, 20);
+  h.RecordApply(2, 1, 10);
+  h.RecordApply(1, 1, 20);
+  auto result = CheckUpdateSerializability(h, 2);
+  EXPECT_FALSE(result.serializable);
+  EXPECT_FALSE(result.violation.empty());
+}
+
+TEST(SrCheckerTest, CommutingOpsInOppositeOrdersAreFine) {
+  HistoryRecorder h;
+  h.RecordUpdateCommit(Update(1, {Operation::Increment(0, 1)}));
+  h.RecordUpdateCommit(Update(2, {Operation::Increment(0, 2)}));
+  h.RecordApply(1, 0, 10);
+  h.RecordApply(2, 0, 20);
+  h.RecordApply(2, 1, 10);
+  h.RecordApply(1, 1, 20);
+  EXPECT_TRUE(CheckUpdateSerializability(h, 2).serializable);
+}
+
+TEST(SrCheckerTest, AbortedUpdatesExcluded) {
+  HistoryRecorder h;
+  h.RecordUpdateCommit(Update(1, {Operation::Write(0, Value(int64_t{1}))}));
+  h.RecordUpdateCommit(Update(2, {Operation::Write(0, Value(int64_t{2}))}));
+  h.RecordApply(1, 0, 10);
+  h.RecordApply(2, 0, 20);
+  h.RecordApply(2, 1, 10);
+  h.RecordApply(1, 1, 20);
+  h.RecordUpdateAborted(2);  // conflict partner compensated away
+  EXPECT_TRUE(CheckUpdateSerializability(h, 2).serializable);
+}
+
+TEST(SrCheckerTest, WitnessOrderRespectsPrecedence) {
+  HistoryRecorder h;
+  // 2 before 1 at every site; conflicting writes force 2 -> 1 in the
+  // witness despite the smaller id of 1.
+  h.RecordUpdateCommit(Update(1, {Operation::Write(0, Value(int64_t{1}))}));
+  h.RecordUpdateCommit(Update(2, {Operation::Write(0, Value(int64_t{2}))}));
+  for (SiteId s = 0; s < 2; ++s) {
+    h.RecordApply(2, s, 10);
+    h.RecordApply(1, s, 20);
+  }
+  auto result = CheckUpdateSerializability(h, 2);
+  ASSERT_TRUE(result.serializable);
+  EXPECT_EQ(result.serial_order, (std::vector<EtId>{2, 1}));
+}
+
+TEST(SrCheckerTest, TimestampTieBreakOrdersUnrelatedUpdates) {
+  HistoryRecorder h;
+  h.RecordUpdateCommit(Update(1, {Operation::Increment(0, 1)}, {9, 0}));
+  h.RecordUpdateCommit(Update(2, {Operation::Increment(1, 1)}, {3, 0}));
+  h.RecordApply(1, 0, 10);
+  h.RecordApply(2, 0, 20);
+  auto result = CheckUpdateSerializability(h, 1);
+  ASSERT_TRUE(result.serializable);
+  EXPECT_EQ(result.serial_order, (std::vector<EtId>{2, 1}))
+      << "independent updates sort by timestamp";
+}
+
+TEST(SrCheckerTest, UpdatesConflictHelper) {
+  auto a = Update(1, {Operation::Increment(0, 1)});
+  auto b = Update(2, {Operation::Increment(0, 2)});
+  auto c = Update(3, {Operation::Multiply(0, 2)});
+  auto d = Update(4, {Operation::Multiply(1, 2)});
+  EXPECT_FALSE(UpdatesConflict(a, b));
+  EXPECT_TRUE(UpdatesConflict(a, c));
+  EXPECT_FALSE(UpdatesConflict(a, d));
+}
+
+TEST(SrCheckerTest, ThreeWayCycleDetected) {
+  HistoryRecorder h;
+  for (EtId et = 1; et <= 3; ++et) {
+    h.RecordUpdateCommit(
+        Update(et, {Operation::Write(0, Value(int64_t{et}))}));
+  }
+  // site 0: 1 < 2 ; site 1: 2 < 3 ; site 2: 3 < 1  -> cycle
+  h.RecordApply(1, 0, 1);
+  h.RecordApply(2, 0, 2);
+  h.RecordApply(2, 1, 1);
+  h.RecordApply(3, 1, 2);
+  h.RecordApply(3, 2, 1);
+  h.RecordApply(1, 2, 2);
+  EXPECT_FALSE(CheckUpdateSerializability(h, 3).serializable);
+}
+
+}  // namespace
+}  // namespace esr::analysis

@@ -1,0 +1,110 @@
+#include "esr/stability_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace esr::core {
+namespace {
+
+TEST(PredTimestampTest, StepsDownWithinCounterThenAcross) {
+  EXPECT_EQ(PredTimestamp({5, 3}), (LamportTimestamp{5, 2}));
+  LamportTimestamp p = PredTimestamp({5, 0});
+  EXPECT_EQ(p.counter, 4);
+  EXPECT_LT(p, (LamportTimestamp{5, 0}));
+  EXPECT_LT((LamportTimestamp{4, 100}), p);  // pred is the LARGEST below
+}
+
+TEST(StabilityTrackerTest, AcksAccumulateUntilAllSites) {
+  StabilityTracker t(0, 3);
+  t.TrackOutgoing(1, {1, 0});
+  EXPECT_FALSE(t.RecordAck(1, 0));
+  EXPECT_FALSE(t.RecordAck(1, 1));
+  EXPECT_FALSE(t.RecordAck(1, 1));  // duplicate ack does not count twice
+  EXPECT_TRUE(t.RecordAck(1, 2));
+}
+
+TEST(StabilityTrackerTest, MarkStableFiresCallbackOnce) {
+  StabilityTracker t(0, 2);
+  int fired = 0;
+  t.on_stable = [&](EtId) { ++fired; };
+  t.ObserveMset(1, {1, 0}, 0);
+  t.MarkStable(1, {1, 0});
+  t.MarkStable(1, {1, 0});
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(t.IsStable(1));
+  EXPECT_EQ(t.OutstandingCount(), 0);
+}
+
+TEST(StabilityTrackerTest, StableNoticeBeforeMsetHandled) {
+  StabilityTracker t(0, 2);
+  t.MarkStable(5, {3, 1});
+  t.ObserveMset(5, {3, 1}, 1);  // late arrival must not resurrect it
+  EXPECT_EQ(t.OutstandingCount(), 0);
+}
+
+TEST(StabilityTrackerTest, VtncHeldDownByQuietOrigins) {
+  StabilityTracker t(0, 3);
+  // Origin 1 advanced to 100, origin 2 never spoke: VTNC floor is zero.
+  t.ObserveClock(1, {100, 1});
+  EXPECT_EQ(t.Vtnc(), kZeroTimestamp);
+}
+
+TEST(StabilityTrackerTest, VtncAdvancesWithWatermarks) {
+  StabilityTracker t(0, 3);
+  t.ObserveClock(1, {100, 1});
+  t.ObserveClock(2, {50, 2});
+  EXPECT_EQ(t.Vtnc(), (LamportTimestamp{50, 2}));
+}
+
+TEST(StabilityTrackerTest, OutstandingMsetCapsVtnc) {
+  StabilityTracker t(0, 3);
+  t.ObserveClock(1, {100, 1});
+  t.ObserveClock(2, {100, 2});
+  t.ObserveMset(7, {40, 1}, 1);
+  EXPECT_EQ(t.Vtnc(), PredTimestamp({40, 1}));
+  t.MarkStable(7, {40, 1});
+  EXPECT_EQ(t.Vtnc(), (LamportTimestamp{100, 1}));
+}
+
+TEST(StabilityTrackerTest, SelfOutstandingCountsButSelfWatermarkDoesNot) {
+  StabilityTracker t(0, 2);
+  t.ObserveClock(1, {100, 1});
+  // Self never "heartbeats" itself; only its outstanding updates matter.
+  EXPECT_EQ(t.Vtnc(), (LamportTimestamp{100, 1}));
+  t.TrackOutgoing(3, {30, 0});
+  EXPECT_EQ(t.Vtnc(), PredTimestamp({30, 0}));
+}
+
+TEST(StabilityTrackerTest, UpdaterSetExcludesQuietReaders) {
+  StabilityTracker t(0, 3);
+  t.ObserveClock(1, {100, 1});
+  // Site 2 is a pure reader; exclude it from the VTNC floor.
+  t.SetUpdaterSites({0, 1});
+  EXPECT_EQ(t.Vtnc(), (LamportTimestamp{100, 1}));
+}
+
+TEST(StabilityTrackerTest, VtncMonotoneUnderInterleavedTraffic) {
+  StabilityTracker t(0, 3);
+  LamportTimestamp last = t.Vtnc();
+  auto check = [&]() {
+    LamportTimestamp now = t.Vtnc();
+    EXPECT_GE(now, last);
+    last = now;
+  };
+  t.ObserveClock(1, {10, 1});
+  check();
+  t.ObserveClock(2, {20, 2});
+  check();
+  t.ObserveMset(1, {15, 1}, 1);
+  check();
+  t.ObserveClock(1, {30, 1});
+  check();
+  t.MarkStable(1, {15, 1});
+  check();
+  t.ObserveMset(2, {25, 2}, 2);
+  check();
+  t.MarkStable(2, {25, 2});
+  check();
+}
+
+}  // namespace
+}  // namespace esr::core

@@ -1,0 +1,79 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace esr {
+namespace {
+
+TEST(SummaryTest, EmptySummaryIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0);
+  EXPECT_EQ(s.min(), 0);
+  EXPECT_EQ(s.max(), 0);
+  EXPECT_EQ(s.Percentile(50), 0);
+}
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(SummaryTest, PercentilesNearestRank) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 50);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 99);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1);  // rank 0 clamps to first
+}
+
+TEST(SummaryTest, PercentileAfterInterleavedAdds) {
+  Summary s;
+  s.Add(5);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 5);
+  s.Add(1);
+  s.Add(9);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 5);
+  EXPECT_DOUBLE_EQ(s.max(), 9);
+}
+
+TEST(SummaryTest, ToStringMentionsCount) {
+  Summary s;
+  s.Add(1);
+  EXPECT_NE(s.ToString().find("n=1"), std::string::npos);
+}
+
+TEST(CountersTest, IncrementAndGet) {
+  Counters c;
+  c.Increment("a");
+  c.Increment("a", 4);
+  c.Increment("b");
+  EXPECT_EQ(c.Get("a"), 5);
+  EXPECT_EQ(c.Get("b"), 1);
+  EXPECT_EQ(c.Get("missing"), 0);
+}
+
+TEST(CountersTest, SnapshotSorted) {
+  Counters c;
+  c.Increment("z");
+  c.Increment("a");
+  auto snap = c.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "a");
+  EXPECT_EQ(snap[1].first, "z");
+}
+
+TEST(CountersTest, ToStringContainsEntries) {
+  Counters c;
+  c.Increment("net.sent", 3);
+  EXPECT_NE(c.ToString().find("net.sent=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,83 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace esr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::InconsistencyLimit("x").code(),
+            StatusCode::kInconsistencyLimit);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Aborted("boom").message(), "boom");
+}
+
+TEST(StatusTest, Predicates) {
+  EXPECT_TRUE(Status::Unavailable("").IsUnavailable());
+  EXPECT_TRUE(Status::Aborted("").IsAborted());
+  EXPECT_TRUE(Status::InconsistencyLimit("").IsInconsistencyLimit());
+  EXPECT_TRUE(Status::NotFound("").IsNotFound());
+  EXPECT_FALSE(Status().IsUnavailable());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::Aborted("deadlock").ToString(), "aborted: deadlock");
+  EXPECT_EQ(Status::NotFound("").ToString(), "not_found");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Aborted("a"), Status::Aborted("a"));
+  EXPECT_FALSE(Status::Aborted("a") == Status::Aborted("b"));
+  EXPECT_FALSE(Status::Aborted("a") == Status::Unavailable("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailsThenPropagates() {
+  ESR_RETURN_IF_ERROR(Status::Aborted("inner"));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_TRUE(FailsThenPropagates().IsAborted());
+}
+
+}  // namespace
+}  // namespace esr

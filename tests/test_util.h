@@ -1,0 +1,69 @@
+#ifndef ESR_TESTS_TEST_UTIL_H_
+#define ESR_TESTS_TEST_UTIL_H_
+
+#include <functional>
+#include <vector>
+
+#include "esr/replicated_system.h"
+
+namespace esr::test {
+
+/// Builds a default SystemConfig for a method.
+inline core::SystemConfig Config(core::Method method, int num_sites = 3,
+                                 uint64_t seed = 42) {
+  core::SystemConfig config;
+  config.method = method;
+  config.num_sites = num_sites;
+  config.seed = seed;
+  return config;
+}
+
+/// Submits an update and returns its ET id, failing the test on admission
+/// errors.
+inline EtId MustSubmit(core::ReplicatedSystem& system, SiteId origin,
+                       std::vector<store::Operation> ops,
+                       core::CommitFn done = nullptr) {
+  auto result = system.SubmitUpdate(origin, std::move(ops), std::move(done));
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : kInvalidEtId;
+}
+
+/// Runs a whole query ET synchronously from the test's point of view:
+/// begins the query, issues the reads back-to-back through the retrying
+/// Read API (driving the simulator until each completes), ends the query,
+/// and returns the values. `inconsistency_out`, if non-null, receives the
+/// query's final counter.
+inline std::vector<Value> RunQuery(core::ReplicatedSystem& system,
+                                   SiteId site, int64_t epsilon,
+                                   const std::vector<ObjectId>& objects,
+                                   int64_t* inconsistency_out = nullptr,
+                                   int64_t* restarts_out = nullptr) {
+  const EtId q = system.BeginQuery(site, epsilon);
+  std::vector<Value> values;
+  for (ObjectId object : objects) {
+    bool done = false;
+    system.Read(q, object, [&](Result<Value> v) {
+      EXPECT_TRUE(v.ok()) << v.status().ToString();
+      if (v.ok()) values.push_back(*v);
+      done = true;
+    });
+    // Drive the simulator until this read resolves (bounded).
+    int64_t guard = 0;
+    while (!done && guard++ < 10'000'000) {
+      if (!system.simulator().Step()) break;
+    }
+    EXPECT_TRUE(done) << "read never completed";
+    if (!done) break;
+  }
+  const core::QueryState* state = system.query_state(q);
+  if (state != nullptr) {
+    if (inconsistency_out != nullptr) *inconsistency_out = state->inconsistency;
+    if (restarts_out != nullptr) *restarts_out = state->restarts;
+  }
+  EXPECT_TRUE(system.EndQuery(q).ok());
+  return values;
+}
+
+}  // namespace esr::test
+
+#endif  // ESR_TESTS_TEST_UTIL_H_

@@ -1,0 +1,77 @@
+#include "cc/timestamp_ordering.h"
+
+#include <gtest/gtest.h>
+
+namespace esr::cc {
+namespace {
+
+TEST(TimestampOrderingTest, InOrderAccessesAccepted) {
+  TimestampOrdering to;
+  EXPECT_TRUE(to.UpdateRead({1, 0}, 0).ok());
+  EXPECT_TRUE(to.UpdateWrite({2, 0}, 0).ok());
+  EXPECT_TRUE(to.UpdateRead({3, 0}, 0).ok());
+  EXPECT_EQ(to.WriteTimestamp(0), (LamportTimestamp{2, 0}));
+  EXPECT_EQ(to.ReadTimestamp(0), (LamportTimestamp{3, 0}));
+}
+
+TEST(TimestampOrderingTest, StaleReadRejected) {
+  TimestampOrdering to;
+  ASSERT_TRUE(to.UpdateWrite({10, 0}, 0).ok());
+  EXPECT_TRUE(to.UpdateRead({5, 0}, 0).IsAborted());
+}
+
+TEST(TimestampOrderingTest, StaleWriteBehindReadRejected) {
+  TimestampOrdering to;
+  ASSERT_TRUE(to.UpdateRead({10, 0}, 0).ok());
+  EXPECT_TRUE(to.UpdateWrite({5, 0}, 0).IsAborted());
+}
+
+TEST(TimestampOrderingTest, StaleWriteBehindWriteRejectedWithoutThomas) {
+  TimestampOrdering to;
+  ASSERT_TRUE(to.UpdateWrite({10, 0}, 0).ok());
+  EXPECT_TRUE(to.UpdateWrite({5, 0}, 0).IsAborted());
+}
+
+TEST(TimestampOrderingTest, ThomasWriteRuleSkipsObsoleteWrite) {
+  TimestampOrdering to;
+  to.set_thomas_write_rule(true);
+  ASSERT_TRUE(to.UpdateWrite({10, 0}, 0).ok());
+  EXPECT_TRUE(to.UpdateWrite({5, 0}, 0).ok());
+  EXPECT_EQ(to.WriteTimestamp(0), (LamportTimestamp{10, 0}));
+}
+
+TEST(TimestampOrderingTest, QueryReadNeverAborts) {
+  TimestampOrdering to;
+  ASSERT_TRUE(to.UpdateWrite({10, 0}, 0).ok());
+  // Behind the write: one unit of inconsistency, not an abort.
+  EXPECT_EQ(to.QueryReadInconsistency({5, 0}, 0), 1);
+  // In order: free.
+  EXPECT_EQ(to.QueryReadInconsistency({11, 0}, 0), 0);
+  // Untouched object: free.
+  EXPECT_EQ(to.QueryReadInconsistency({1, 0}, 99), 0);
+}
+
+TEST(TimestampOrderingTest, QueryReadDoesNotBlockUpdates) {
+  TimestampOrdering to;
+  ASSERT_TRUE(to.UpdateWrite({10, 0}, 0).ok());
+  (void)to.QueryReadInconsistency({50, 0}, 0);
+  // The query's high timestamp must not have been recorded as a read:
+  // an update write at 20 still succeeds.
+  EXPECT_TRUE(to.UpdateWrite({20, 0}, 0).ok());
+}
+
+TEST(TimestampOrderingTest, PerObjectIsolation) {
+  TimestampOrdering to;
+  ASSERT_TRUE(to.UpdateWrite({10, 0}, 0).ok());
+  EXPECT_TRUE(to.UpdateWrite({5, 0}, 1).ok()) << "other object unaffected";
+}
+
+TEST(TimestampOrderingTest, ResetClearsState) {
+  TimestampOrdering to;
+  ASSERT_TRUE(to.UpdateWrite({10, 0}, 0).ok());
+  to.Reset();
+  EXPECT_TRUE(to.UpdateWrite({1, 0}, 0).ok());
+}
+
+}  // namespace
+}  // namespace esr::cc

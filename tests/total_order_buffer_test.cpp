@@ -1,0 +1,80 @@
+#include "msg/total_order_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace esr::msg {
+namespace {
+
+TEST(TotalOrderBufferTest, ReleasesInOrderDespiteArrivalOrder) {
+  std::vector<SequenceNumber> applied;
+  TotalOrderBuffer buffer(
+      [&](SequenceNumber seq, const std::any&) { applied.push_back(seq); });
+  buffer.Offer(3, {});
+  buffer.Offer(1, {});
+  EXPECT_EQ(applied, (std::vector<SequenceNumber>{1}));
+  buffer.Offer(2, {});
+  EXPECT_EQ(applied, (std::vector<SequenceNumber>{1, 2, 3}));
+  EXPECT_EQ(buffer.Watermark(), 3);
+  EXPECT_EQ(buffer.NextExpected(), 4);
+}
+
+TEST(TotalOrderBufferTest, DuplicatesIgnored) {
+  int applied = 0;
+  TotalOrderBuffer buffer(
+      [&](SequenceNumber, const std::any&) { ++applied; });
+  buffer.Offer(1, {});
+  buffer.Offer(1, {});
+  buffer.Offer(2, {});
+  buffer.Offer(2, {});
+  EXPECT_EQ(applied, 2);
+}
+
+TEST(TotalOrderBufferTest, HeldCountReflectsGaps) {
+  TotalOrderBuffer buffer([](SequenceNumber, const std::any&) {});
+  buffer.Offer(5, {});
+  buffer.Offer(3, {});
+  EXPECT_EQ(buffer.HeldCount(), 2);
+  buffer.Offer(1, {});
+  EXPECT_EQ(buffer.HeldCount(), 2);  // 3 and 5 still gapped (missing 2, 4)
+  buffer.Offer(2, {});
+  EXPECT_EQ(buffer.HeldCount(), 1);  // 5 waits for 4
+}
+
+TEST(TotalOrderBufferTest, PauseHoldsReleasesResumeDrains) {
+  std::vector<SequenceNumber> applied;
+  TotalOrderBuffer buffer(
+      [&](SequenceNumber seq, const std::any&) { applied.push_back(seq); });
+  buffer.Offer(1, {});
+  buffer.Pause();
+  buffer.Offer(2, {});
+  buffer.Offer(3, {});
+  EXPECT_EQ(applied.size(), 1u);
+  EXPECT_EQ(buffer.Watermark(), 1);
+  buffer.Resume();
+  EXPECT_EQ(applied, (std::vector<SequenceNumber>{1, 2, 3}));
+}
+
+TEST(TotalOrderBufferTest, PayloadPassedThrough) {
+  std::string got;
+  TotalOrderBuffer buffer([&](SequenceNumber, const std::any& p) {
+    got = std::any_cast<std::string>(p);
+  });
+  buffer.Offer(1, std::string("payload"));
+  EXPECT_EQ(got, "payload");
+}
+
+TEST(TotalOrderBufferTest, LateDuplicateOfAppliedSeqIgnored) {
+  int applied = 0;
+  TotalOrderBuffer buffer(
+      [&](SequenceNumber, const std::any&) { ++applied; });
+  buffer.Offer(1, {});
+  buffer.Offer(2, {});
+  buffer.Offer(1, {});  // already applied
+  EXPECT_EQ(applied, 2);
+}
+
+}  // namespace
+}  // namespace esr::msg

@@ -1,0 +1,139 @@
+// Value-units divergence bounding (extension; paper section 5.1 notes that
+// implementing the "data value" spatial consistency criterion requires the
+// replica control methods "to explicitly include these factors" — this is
+// that inclusion, for the counter-based methods).
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace esr::core {
+namespace {
+
+using store::Operation;
+using test::Config;
+using test::MustSubmit;
+
+TEST(ValueBoundTest, ReadWithinValueBudgetProceeds) {
+  auto config = Config(Method::kCommu);
+  config.network.base_latency_us = 20'000;
+  ReplicatedSystem system(config);
+  MustSubmit(system, 0, {Operation::Increment(0, 7)});
+  // One in-flight update of magnitude 7; a value budget of 10 covers it.
+  const EtId q = system.BeginQuery(0, kUnboundedEpsilon,
+                                   /*value_epsilon=*/10);
+  Result<Value> v = system.TryRead(q, 0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 7);
+  EXPECT_EQ(system.query_state(q)->value_inconsistency, 7);
+  ASSERT_TRUE(system.EndQuery(q).ok());
+}
+
+TEST(ValueBoundTest, ReadBeyondValueBudgetWaits) {
+  auto config = Config(Method::kCommu);
+  config.network.base_latency_us = 20'000;
+  ReplicatedSystem system(config);
+  MustSubmit(system, 0, {Operation::Increment(0, 100)});
+  const EtId q = system.BeginQuery(0, kUnboundedEpsilon,
+                                   /*value_epsilon=*/50);
+  Result<Value> direct = system.TryRead(q, 0);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_TRUE(direct.status().IsUnavailable());
+  // Once the big update is stable, the counter drains and the read passes
+  // with zero value inconsistency.
+  bool done = false;
+  system.Read(q, 0, [&](Result<Value> v) {
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->AsInt(), 100);
+    done = true;
+  });
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(system.query_state(q)->value_inconsistency, 0);
+  ASSERT_TRUE(system.EndQuery(q).ok());
+}
+
+TEST(ValueBoundTest, ValueAndCountBudgetsAreIndependent) {
+  auto config = Config(Method::kCommu);
+  config.network.base_latency_us = 20'000;
+  ReplicatedSystem system(config);
+  // Two small in-flight updates: count 2, magnitude 2.
+  MustSubmit(system, 0, {Operation::Increment(0, 1)});
+  MustSubmit(system, 0, {Operation::Increment(0, 1)});
+  // Tight count budget blocks even though the value budget is loose.
+  const EtId q1 = system.BeginQuery(0, /*epsilon=*/1,
+                                    /*value_epsilon=*/1'000);
+  EXPECT_TRUE(system.TryRead(q1, 0).status().IsUnavailable());
+  ASSERT_TRUE(system.EndQuery(q1).ok());
+  // Loose count budget + tight value budget also blocks.
+  const EtId q2 = system.BeginQuery(0, /*epsilon=*/10, /*value_epsilon=*/1);
+  EXPECT_TRUE(system.TryRead(q2, 0).status().IsUnavailable());
+  ASSERT_TRUE(system.EndQuery(q2).ok());
+  // Both loose: proceeds, charged on both meters.
+  const EtId q3 = system.BeginQuery(0, /*epsilon=*/10,
+                                    /*value_epsilon=*/10);
+  ASSERT_TRUE(system.TryRead(q3, 0).ok());
+  EXPECT_EQ(system.query_state(q3)->inconsistency, 2);
+  EXPECT_EQ(system.query_state(q3)->value_inconsistency, 2);
+  ASSERT_TRUE(system.EndQuery(q3).ok());
+}
+
+TEST(ValueBoundTest, ActualValueErrorBoundedByBudget) {
+  // The headline guarantee: with value budget V, a query's reading of a
+  // counter differs from the locally-converged value by at most V plus
+  // whatever is still unknown at this site. At quiescence "unknown" is
+  // empty, so |read - final| <= charged <= V.
+  auto config = Config(Method::kCommu, 3, 103);
+  config.network.base_latency_us = 15'000;
+  ReplicatedSystem system(config);
+  Rng rng(103);
+  int64_t posted = 0;
+  for (int i = 0; i < 30; ++i) {
+    const int64_t delta = rng.Uniform(1, 9);
+    posted += delta;
+    MustSubmit(system, static_cast<SiteId>(rng.Uniform(0, 2)),
+               {Operation::Increment(0, delta)});
+    system.RunFor(3'000);
+    if (i % 5 == 4) {
+      const EtId q = system.BeginQuery(0, kUnboundedEpsilon,
+                                       /*value_epsilon=*/12);
+      Result<Value> v = system.TryRead(q, 0);
+      if (v.ok()) {
+        const int64_t charged = system.query_state(q)->value_inconsistency;
+        EXPECT_LE(charged, 12);
+      }
+      ASSERT_TRUE(system.EndQuery(q).ok());
+    }
+  }
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  EXPECT_EQ(system.SiteValue(1, 0).AsInt(), posted);
+}
+
+TEST(ValueBoundTest, RituSingleVersionInheritsValueBounding) {
+  auto config = Config(Method::kRituSingle);
+  config.network.base_latency_us = 20'000;
+  ReplicatedSystem system(config);
+  // Timestamped writes weigh 0 (their value distance is state-dependent),
+  // so value budgets do not block them — only the count budget does.
+  MustSubmit(system, 0,
+             {Operation::TimestampedWrite(0, Value(int64_t{5}),
+                                          kZeroTimestamp)});
+  const EtId q = system.BeginQuery(0, kUnboundedEpsilon, /*value_epsilon=*/0);
+  Result<Value> v = system.TryRead(q, 0);
+  EXPECT_TRUE(v.ok()) << "zero-weight updates don't consume value budget";
+  ASSERT_TRUE(system.EndQuery(q).ok());
+}
+
+TEST(ValueBoundTest, DefaultValueBudgetIsUnbounded) {
+  auto config = Config(Method::kCommu);
+  config.network.base_latency_us = 20'000;
+  ReplicatedSystem system(config);
+  MustSubmit(system, 0, {Operation::Increment(0, 1'000'000)});
+  const EtId q = system.BeginQuery(0);  // both budgets unbounded
+  EXPECT_TRUE(system.TryRead(q, 0).ok());
+  ASSERT_TRUE(system.EndQuery(q).ok());
+}
+
+}  // namespace
+}  // namespace esr::core

@@ -1,0 +1,59 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace esr {
+namespace {
+
+TEST(ValueTest, DefaultIsIntegerZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_FALSE(v.is_string());
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(ValueTest, IntConstruction) {
+  Value v(int64_t{-42});
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), -42);
+}
+
+TEST(ValueTest, StringConstruction) {
+  Value v(std::string("hello"));
+  EXPECT_TRUE(v.is_string());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_EQ(v.AsString(), "hello");
+}
+
+TEST(ValueTest, EqualityByTypeAndContent) {
+  EXPECT_EQ(Value(int64_t{5}), Value(int64_t{5}));
+  EXPECT_FALSE(Value(int64_t{5}) == Value(int64_t{6}));
+  EXPECT_EQ(Value(std::string("a")), Value(std::string("a")));
+  EXPECT_FALSE(Value(std::string("a")) == Value(std::string("b")));
+  // An int and a string are never equal, even "0" vs 0.
+  EXPECT_FALSE(Value(int64_t{0}) == Value(std::string("0")));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value(std::string("x")).ToString(), "\"x\"");
+}
+
+TEST(ValueTest, StreamOperator) {
+  std::ostringstream os;
+  os << Value(int64_t{3}) << " " << Value(std::string("s"));
+  EXPECT_EQ(os.str(), "3 \"s\"");
+}
+
+TEST(ValueTest, CopySemantics) {
+  Value a(std::string("payload"));
+  Value b = a;
+  EXPECT_EQ(a, b);
+  b = Value(int64_t{1});
+  EXPECT_EQ(a.AsString(), "payload") << "copies are independent";
+}
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,106 @@
+#include "store/version_store.h"
+
+#include <gtest/gtest.h>
+
+namespace esr::store {
+namespace {
+
+TEST(VersionStoreTest, EmptyObjectHasNoVersions) {
+  VersionStore store;
+  EXPECT_FALSE(store.ReadLatest(0).has_value());
+  EXPECT_FALSE(store.ReadAtOrBefore(0, {100, 0}).has_value());
+  EXPECT_EQ(store.VersionCount(0), 0);
+}
+
+TEST(VersionStoreTest, AppendAndReadLatest) {
+  VersionStore store;
+  store.AppendVersion(1, {1, 0}, Value(int64_t{10}));
+  store.AppendVersion(1, {3, 0}, Value(int64_t{30}));
+  store.AppendVersion(1, {2, 0}, Value(int64_t{20}));  // out of order
+  auto latest = store.ReadLatest(1);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->value.AsInt(), 30);
+  EXPECT_EQ(latest->timestamp, (LamportTimestamp{3, 0}));
+  EXPECT_EQ(store.VersionCount(1), 3);
+}
+
+TEST(VersionStoreTest, ReadAtOrBeforeSelectsSnapshot) {
+  VersionStore store;
+  store.AppendVersion(0, {10, 0}, Value(int64_t{1}));
+  store.AppendVersion(0, {20, 0}, Value(int64_t{2}));
+  store.AppendVersion(0, {30, 0}, Value(int64_t{3}));
+
+  auto at25 = store.ReadAtOrBefore(0, {25, 0});
+  ASSERT_TRUE(at25.has_value());
+  EXPECT_EQ(at25->value.AsInt(), 2);
+
+  auto at20 = store.ReadAtOrBefore(0, {20, 0});
+  ASSERT_TRUE(at20.has_value());
+  EXPECT_EQ(at20->value.AsInt(), 2) << "at-or-before is inclusive";
+
+  EXPECT_FALSE(store.ReadAtOrBefore(0, {9, 99}).has_value());
+}
+
+TEST(VersionStoreTest, IdempotentAppend) {
+  VersionStore store;
+  store.AppendVersion(0, {5, 0}, Value(int64_t{7}));
+  store.AppendVersion(0, {5, 0}, Value(int64_t{7}));
+  EXPECT_EQ(store.VersionCount(0), 1);
+}
+
+TEST(VersionStoreTest, SameTimestampReplacesValueForCompensation) {
+  VersionStore store;
+  store.AppendVersion(0, {5, 0}, Value(int64_t{7}));
+  // COMPE's "add another version with the same timestamp but bearing the
+  // previous value".
+  store.AppendVersion(0, {5, 0}, Value(int64_t{0}));
+  EXPECT_EQ(store.ReadLatest(0)->value.AsInt(), 0);
+  EXPECT_EQ(store.VersionCount(0), 1);
+}
+
+TEST(VersionStoreTest, RemoveVersion) {
+  VersionStore store;
+  store.AppendVersion(0, {1, 0}, Value(int64_t{1}));
+  store.AppendVersion(0, {2, 0}, Value(int64_t{2}));
+  ASSERT_TRUE(store.RemoveVersion(0, {2, 0}).ok());
+  EXPECT_EQ(store.ReadLatest(0)->value.AsInt(), 1);
+  EXPECT_TRUE(store.RemoveVersion(0, {2, 0}).IsNotFound());
+  EXPECT_TRUE(store.RemoveVersion(9, {1, 0}).IsNotFound());
+}
+
+TEST(VersionStoreTest, DigestOrderIndependent) {
+  VersionStore a, b;
+  a.AppendVersion(0, {1, 0}, Value(int64_t{1}));
+  a.AppendVersion(1, {2, 0}, Value(int64_t{2}));
+  b.AppendVersion(1, {2, 0}, Value(int64_t{2}));
+  b.AppendVersion(0, {1, 0}, Value(int64_t{1}));
+  EXPECT_EQ(a.StateDigest(), b.StateDigest());
+}
+
+TEST(VersionStoreTest, DigestSensitiveToValues) {
+  VersionStore a, b;
+  a.AppendVersion(0, {1, 0}, Value(int64_t{1}));
+  b.AppendVersion(0, {1, 0}, Value(int64_t{2}));
+  EXPECT_NE(a.StateDigest(), b.StateDigest());
+}
+
+TEST(VersionStoreTest, MaxTimestampTracksNewest) {
+  VersionStore store;
+  EXPECT_EQ(store.MaxTimestamp(), kZeroTimestamp);
+  store.AppendVersion(0, {7, 2}, Value(int64_t{1}));
+  store.AppendVersion(1, {3, 0}, Value(int64_t{1}));
+  EXPECT_EQ(store.MaxTimestamp(), (LamportTimestamp{7, 2}));
+}
+
+TEST(VersionStoreTest, SiteBreaksTimestampTies) {
+  VersionStore store;
+  store.AppendVersion(0, {5, 1}, Value(int64_t{11}));
+  store.AppendVersion(0, {5, 2}, Value(int64_t{22}));
+  EXPECT_EQ(store.ReadLatest(0)->value.AsInt(), 22);
+  auto snap = store.ReadAtOrBefore(0, {5, 1});
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->value.AsInt(), 11);
+}
+
+}  // namespace
+}  // namespace esr::store

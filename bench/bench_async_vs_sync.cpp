@@ -60,6 +60,7 @@ Cell RunCell(Method method, SimDuration latency_us, int num_sites,
   }
   WorkloadRunner runner(&system, spec);
   auto result = runner.Run();
+  bench::CollectMetrics(system);
   return Cell{result.UpdatesPerSec(), result.QueriesPerSec(),
               result.update_latency_us.Percentile(50) / 1000.0,
               result.query_latency_us.Percentile(50) / 1000.0};
@@ -116,5 +117,6 @@ void SizeSweep() {
 int main() {
   esr::LatencySweep();
   esr::SizeSweep();
+  esr::bench::WriteMetricsSnapshot("bench_async_vs_sync");
   return 0;
 }

@@ -59,6 +59,7 @@ void AbortRateSweep() {
       WorkloadRunner runner(&system, spec);
       auto result = runner.Run();
       system.RunUntilQuiescent();
+      bench::CollectMetrics(system);
 
       int64_t fast = 0, general = 0, rolled = 0;
       for (SiteId s = 0; s < 3; ++s) {
@@ -130,5 +131,6 @@ void LogDepthMicro() {
 int main() {
   esr::AbortRateSweep();
   esr::LogDepthMicro();
+  esr::bench::WriteMetricsSnapshot("bench_compensation_cost");
   return 0;
 }

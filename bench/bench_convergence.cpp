@@ -110,6 +110,7 @@ Outcome RunBurst(Method method, double loss, SimDuration jitter_us,
   for (SiteId s = 0; s < 5; ++s) {
     out.retransmits += system.site_queues(s).counters().Get("queue.retransmit");
   }
+  bench::CollectMetrics(system);
   return out;
 }
 
@@ -145,6 +146,7 @@ int main() {
     }
   }
   table.Print();
+  esr::bench::WriteMetricsSnapshot("bench_convergence");
   std::printf(
       "\nExpected shape: every cell converges (no NEVER) and matches the\n"
       "serial oracle (the ESR guarantee); convergence time grows with loss\n"

@@ -95,6 +95,7 @@ void MacroBlockingSweep() {
     spec.duration_us = 1'000'000;
     workload::WorkloadRunner runner(&system, spec);
     auto result = runner.Run();
+    bench::CollectMetrics(system);
     const double blocked_per_query =
         result.queries_completed > 0
             ? static_cast<double>(result.query_blocked_attempts) /
@@ -136,6 +137,7 @@ void UpdateThrottleSweep() {
     spec.duration_us = 1'000'000;
     workload::WorkloadRunner runner(&system, spec);
     auto result = runner.Run();
+    bench::CollectMetrics(system);
     table.AddRow({limit == 0 ? "none" : std::to_string(limit),
                   Fmt(result.UpdatesPerSec()),
                   std::to_string(
@@ -155,6 +157,7 @@ void UpdateThrottleSweep() {
 int main(int argc, char** argv) {
   esr::MacroBlockingSweep();
   esr::UpdateThrottleSweep();
+  esr::bench::WriteMetricsSnapshot("bench_divergence_bounding");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

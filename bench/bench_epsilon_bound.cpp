@@ -60,6 +60,7 @@ void EpsilonSweep(Method method) {
     WorkloadRunner runner(&system, spec);
     auto result = runner.Run();
     system.RunUntilQuiescent();
+    bench::CollectMetrics(system);
 
     auto sr = analysis::CheckUpdateSerializability(system.history(), 3);
     auto reports =
@@ -111,5 +112,6 @@ int main() {
       "stability (blocked attempts high, latency high); the charged\n"
       "inconsistency and measured error shrink toward zero as epsilon\n"
       "does; 'bound held' stays yes.\n");
+  bench::WriteMetricsSnapshot("bench_epsilon_bound");
   return 0;
 }

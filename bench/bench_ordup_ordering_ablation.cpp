@@ -57,6 +57,7 @@ Cell Run(Method method, SimDuration latency_us, SimDuration heartbeat_us,
   WorkloadRunner runner(&system, spec);
   auto result = runner.Run();
   system.RunUntilQuiescent();
+  bench::CollectMetrics(system);
 
   Cell cell;
   cell.commit_p50_ms = result.update_latency_us.Percentile(50) / 1000.0;
@@ -110,5 +111,6 @@ int main() {
       "interval) — the ordering cost moves from the commit path to the\n"
       "release path. Query throughput is similar (queries never wait on\n"
       "ordering in either variant).\n");
+  WriteMetricsSnapshot("bench_ordup_ordering_ablation");
   return 0;
 }

@@ -89,6 +89,7 @@ Outcome Run(Method method, uint64_t seed) {
   system.RunUntilQuiescent();
   out.converged_after_heal =
       method == Method::kSyncQuorum ? true : system.Converged();
+  bench::CollectMetrics(system);
   return out;
 }
 
@@ -127,5 +128,6 @@ int main() {
       "blocks); weighted voting serves only the majority side.\n"
       "(COMPE availability counts local optimistic commits; decisions are\n"
       "deferred.)\n");
+  WriteMetricsSnapshot("bench_partition_availability");
   return 0;
 }

@@ -64,6 +64,7 @@ void RefreshPolicySweep() {
     workload::WorkloadRunner runner(&system, spec);
     auto result = runner.Run();
     system.RunUntilQuiescent();
+    bench::CollectMetrics(system);
 
     // Staleness: per read, |value - converged value| (counters).
     Summary err;
@@ -130,6 +131,7 @@ void PartitionProfile() {
     system.RunFor(heal_at - system.simulator().Now());
     system.network().HealPartition();
     system.RunUntilQuiescent();
+    bench::CollectMetrics(system);
     table.AddRow({std::string(core::MethodToString(method)),
                   std::to_string(committed), std::to_string(answered),
                   system.Converged() ? "yes" : "NO"});
@@ -147,5 +149,6 @@ void PartitionProfile() {
 int main() {
   esr::RefreshPolicySweep();
   esr::PartitionProfile();
+  esr::bench::WriteMetricsSnapshot("bench_quasi_copies");
   return 0;
 }

@@ -109,6 +109,7 @@ Cell Run(int64_t epsilon, SimDuration think_us, uint64_t seed) {
     }
   }
   system.RunUntilQuiescent();
+  bench::CollectMetrics(system);
 
   Cell cell;
   const int64_t snapshot_reads =
@@ -157,5 +158,6 @@ int main() {
       "growing epsilon buys fresh reads (staleness drops, inconsistency\n"
       "spent rises); with slow update gaps the VTNC keeps up and even\n"
       "epsilon=0 reads are fresh. Queries never block in any cell.\n");
+  WriteMetricsSnapshot("bench_ritu_vtnc");
   return 0;
 }

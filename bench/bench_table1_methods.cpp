@@ -54,6 +54,7 @@ SimTime CommitLatency(Method method) {
   });
   if (!r.ok()) return -1;
   system.RunUntilQuiescent();
+  bench::CollectMetrics(system);
   return committed_at;
 }
 
@@ -167,5 +168,6 @@ int main() {
       "COMMU/RITU restrict operation semantics with free delivery order;\n"
       "COMPENSATION is the backward method. Matches when no cell reads\n"
       "VIOLATED and only ORDUP shows a nonzero commit latency.\n");
+  WriteMetricsSnapshot("bench_table1_methods");
   return 0;
 }

@@ -43,6 +43,13 @@ void PrintMatrix(CompatibilityTable table_kind, const char* title,
                                  requested.kind, nullptr);
       (void)first;
       row.push_back(second.ok() ? "OK" : "conflict");
+      const char* table_label =
+          table_kind == CompatibilityTable::kStrict2PL ? "strict2pl" : "ordup";
+      bench::BenchMetrics()
+          .GetGauge("esr_lock_compat", {{"table", table_label},
+                                        {"held", held.label},
+                                        {"requested", requested.label}})
+          .Set(second.ok() ? 1 : 0);
     }
     table.AddRow(row);
   }
@@ -100,6 +107,7 @@ BENCHMARK(BM_CompatibilityCheck);
 
 int main(int argc, char** argv) {
   esr::RunTables();
+  esr::bench::WriteMetricsSnapshot("bench_table2_ordup_locks");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -28,7 +28,14 @@ struct Probe {
 bool ProbePair(const Probe& held, const Probe& requested) {
   LockManager lm(CompatibilityTable::kCommuEt);
   (void)lm.Acquire(1, 0, held.mode, held.kind, nullptr);
-  return lm.Acquire(2, 0, requested.mode, requested.kind, nullptr).ok();
+  const bool ok =
+      lm.Acquire(2, 0, requested.mode, requested.kind, nullptr).ok();
+  bench::BenchMetrics()
+      .GetGauge("esr_lock_compat", {{"table", "commu"},
+                                    {"held", held.label},
+                                    {"requested", requested.label}})
+      .Set(ok ? 1 : 0);
+  return ok;
 }
 
 void RunTables() {
@@ -113,6 +120,7 @@ BENCHMARK(BM_CommuWriteLockFanIn)->Arg(4)->Arg(16)->Arg(64);
 
 int main(int argc, char** argv) {
   esr::RunTables();
+  esr::bench::WriteMetricsSnapshot("bench_table3_commu_locks");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -73,6 +73,7 @@ Outcome Run(Transport transport, double loss, uint64_t seed) {
         c.Get("queue.retransmit") + c.Get("pipe.retransmit");
   }
   out.updates_per_sec = result.UpdatesPerSec();
+  bench::CollectMetrics(system);
   return out;
 }
 
@@ -111,5 +112,6 @@ int main() {
       "the stable queues' selective retransmission. Jitter also induces\n"
       "spurious fast retransmits (cumulative-ack ambiguity), visible as a\n"
       "higher retransmit floor even at zero loss.\n");
+  WriteMetricsSnapshot("bench_transport_ablation");
   return 0;
 }

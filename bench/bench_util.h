@@ -2,8 +2,11 @@
 #define ESR_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include "obs/metric_registry.h"
 
 namespace esr::bench {
 
@@ -65,6 +68,37 @@ inline std::string FmtInt(int64_t v) { return std::to_string(v); }
 /// Section banner for a bench binary's stdout.
 inline void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/// Per-binary metric registry that the experiments fold their systems'
+/// registries into; WriteMetricsSnapshot exports it at exit.
+inline obs::MetricRegistry& BenchMetrics() {
+  static obs::MetricRegistry registry;
+  return registry;
+}
+
+/// Folds one simulated system's metrics into the bench-wide registry.
+/// Templated so this header needs no dependency on the esr facade: any type
+/// with SampleGauges() and metrics() works.
+template <typename System>
+void CollectMetrics(System& system) {
+  system.SampleGauges();
+  BenchMetrics().Merge(system.metrics());
+}
+
+/// Writes the bench-wide registry as Prometheus text next to the binary's
+/// stdout results (`<bench_name>.metrics.prom`). Purely additive: measured
+/// results are produced before this runs and are unaffected.
+inline void WriteMetricsSnapshot(const std::string& bench_name) {
+  const std::string path = bench_name + ".metrics.prom";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::printf("\n[metrics] cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  out << BenchMetrics().PrometheusText();
+  std::printf("\n[metrics] wrote %s (%lld series)\n", path.c_str(),
+              static_cast<long long>(BenchMetrics().SeriesCount()));
 }
 
 }  // namespace esr::bench

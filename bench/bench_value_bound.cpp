@@ -70,6 +70,7 @@ void Sweep() {
       }
     }
     system.RunUntilQuiescent();
+    bench::CollectMetrics(system);
     const int64_t final_value = system.SiteValue(0, 0).AsInt();
     (void)final_value;
     // Actual error vs the *locally stable* value at read time is not
@@ -100,5 +101,6 @@ void Sweep() {
 
 int main() {
   esr::Sweep();
+  esr::bench::WriteMetricsSnapshot("bench_value_bound");
   return 0;
 }

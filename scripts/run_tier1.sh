@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification, mirroring ROADMAP.md:
+#   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+#
+# Usage:
+#   scripts/run_tier1.sh              # plain tier-1 build + ctest
+#   scripts/run_tier1.sh --sanitize   # same suite under AddressSanitizer
+#                                     # (separate build dir: build-asan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+CMAKE_ARGS=()
+if [[ "${1:-}" == "--sanitize" ]]; then
+  BUILD_DIR=build-asan
+  CMAKE_ARGS+=(-DESR_SANITIZE=ON)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR"
+ctest --output-on-failure -j "$(nproc)"

@@ -7,8 +7,13 @@
 namespace esr {
 
 void Summary::Add(double sample) {
+  if (samples_.empty()) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
   samples_.push_back(sample);
-  sorted_ = false;
   sum_ += sample;
 }
 
@@ -17,21 +22,13 @@ double Summary::mean() const {
   return sum_ / static_cast<double>(samples_.size());
 }
 
-double Summary::min() const {
-  if (samples_.empty()) return 0;
-  return *std::min_element(samples_.begin(), samples_.end());
-}
-
-double Summary::max() const {
-  if (samples_.empty()) return 0;
-  return *std::max_element(samples_.begin(), samples_.end());
-}
-
 double Summary::Percentile(double p) const {
   if (samples_.empty()) return 0;
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+  if (sorted_prefix_ < samples_.size()) {
+    const auto mid = samples_.begin() + static_cast<ptrdiff_t>(sorted_prefix_);
+    std::sort(mid, samples_.end());
+    std::inplace_merge(samples_.begin(), mid, samples_.end());
+    sorted_prefix_ = samples_.size();
   }
   p = std::clamp(p, 0.0, 100.0);
   const size_t rank = static_cast<size_t>(
@@ -46,36 +43,41 @@ std::string Summary::ToString() const {
   return os.str();
 }
 
+namespace {
+
+/// First entry with name >= `name` in a name-sorted counter vector.
+template <typename Vec>
+auto LowerBoundByName(Vec& counters, const std::string& name) {
+  return std::lower_bound(
+      counters.begin(), counters.end(), name,
+      [](const auto& entry, const std::string& n) { return entry.first < n; });
+}
+
+}  // namespace
+
 void Counters::Increment(const std::string& name, int64_t by) {
-  for (auto& [n, v] : counters_) {
-    if (n == name) {
-      v += by;
-      return;
-    }
+  auto it = LowerBoundByName(counters_, name);
+  if (it != counters_.end() && it->first == name) {
+    it->second += by;
+    return;
   }
-  counters_.emplace_back(name, by);
+  counters_.emplace(it, name, by);
 }
 
 int64_t Counters::Get(const std::string& name) const {
-  for (const auto& [n, v] : counters_) {
-    if (n == name) return v;
-  }
+  auto it = LowerBoundByName(counters_, name);
+  if (it != counters_.end() && it->first == name) return it->second;
   return 0;
 }
 
 std::string Counters::ToString() const {
-  auto sorted = counters_;
-  std::sort(sorted.begin(), sorted.end());
   std::ostringstream os;
-  for (const auto& [n, v] : sorted) os << n << "=" << v << "\n";
+  for (const auto& [n, v] : counters_) os << n << "=" << v << "\n";
   return os.str();
 }
 
-const std::vector<std::pair<std::string, int64_t>> Counters::Snapshot()
-    const {
-  auto sorted = counters_;
-  std::sort(sorted.begin(), sorted.end());
-  return sorted;
+std::vector<std::pair<std::string, int64_t>> Counters::Snapshot() const {
+  return counters_;
 }
 
 }  // namespace esr

@@ -13,6 +13,10 @@ namespace esr {
 ///
 /// Keeps all samples; our experiments produce at most a few million samples
 /// per series, so exact percentiles are affordable and simpler than a sketch.
+/// The sample vector maintains a sorted prefix: Percentile() sorts only the
+/// samples added since the last call and merges them in, so interleaved
+/// Add/Percentile sequences cost O(k log k + n) per call instead of a full
+/// O(n log n) re-sort.
 class Summary {
  public:
   void Add(double sample);
@@ -20,8 +24,8 @@ class Summary {
   int64_t count() const { return static_cast<int64_t>(samples_.size()); }
   double sum() const { return sum_; }
   double mean() const;
-  double min() const;
-  double max() const;
+  double min() const { return samples_.empty() ? 0 : min_; }
+  double max() const { return samples_.empty() ? 0 : max_; }
 
   /// Exact percentile by nearest-rank; p in [0, 100]. Returns 0 when empty.
   double Percentile(double p) const;
@@ -31,12 +35,16 @@ class Summary {
 
  private:
   mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  /// samples_[0 .. sorted_prefix_) is sorted; the tail is insertion order.
+  mutable size_t sorted_prefix_ = 0;
   double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
 };
 
 /// Monotonic named counters, for protocol event accounting (messages sent,
-/// retries, aborts, compensations, blocked reads, ...).
+/// retries, aborts, compensations, blocked reads, ...). Kept sorted by name
+/// so lookups are binary searches and snapshots need no sort.
 class Counters {
  public:
   void Increment(const std::string& name, int64_t by = 1);
@@ -45,9 +53,10 @@ class Counters {
   /// All counters in name order as "name=value" lines.
   std::string ToString() const;
 
-  const std::vector<std::pair<std::string, int64_t>> Snapshot() const;
+  std::vector<std::pair<std::string, int64_t>> Snapshot() const;
 
  private:
+  /// Invariant: sorted by name.
   std::vector<std::pair<std::string, int64_t>> counters_;
 };
 

@@ -57,6 +57,7 @@ void CommuMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
     record.timestamp = ts;
     ctx_.history->RecordUpdateCommit(std::move(record));
   }
+  TraceLocalCommit(et);
   PropagateMset(mset);
   ApplyNow(mset);
   ctx_.counters->Increment("esr.updates_committed");

@@ -71,6 +71,7 @@ void CompeMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
         }
         ctx_.counters->Increment("esr.compe_abort_before_order");
       }
+      TraceLocalCommit(mset.et);
       PropagateMset(mset);
       buffer_.Offer(seq, std::any(std::move(mset)));
       ctx_.counters->Increment("esr.updates_committed");
@@ -79,6 +80,7 @@ void CompeMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
     return;
   }
   record_commit(mset);
+  TraceLocalCommit(mset.et);
   PropagateMset(mset);
   ApplyLocal(mset);
   ctx_.counters->Increment("esr.updates_committed");
@@ -157,6 +159,11 @@ void CompeMethod::HandleDecision(EtId et, bool commit) {
   // Abort: compensate the local application (or suppress it if it has not
   // been released yet in ordered mode).
   ctx_.counters->Increment("esr.compe_aborts");
+  // The tracer keeps one terminal span per ET; the origin processes its own
+  // decision first, so the aborted span carries the origin site.
+  if (ctx_.tracer != nullptr && et > 0) {
+    ctx_.tracer->OnAborted(et, ctx_.site, ctx_.simulator->Now());
+  }
   if (ctx_.config->record_history) ctx_.history->RecordUpdateAborted(et);
   auto it = tentative_objects_.find(et);
   std::vector<WeightedObject> objects;

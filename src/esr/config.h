@@ -105,6 +105,11 @@ struct SystemConfig {
   /// benchmark runs where only counters matter).
   bool record_history = true;
 
+  /// Record ET lifecycle span events into the EtTracer (disable for very
+  /// long benchmark runs; live gauges and metric counters stay on either
+  /// way — only the per-event span vector stops growing).
+  bool record_spans = true;
+
   /// --- Quasi-copies baseline ----------------------------------------------
   /// Primary site holding the authoritative copies.
   SiteId quasi_primary = 0;

@@ -43,6 +43,7 @@ void OrdupMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
       record.timestamp = ts;
       ctx_.history->RecordUpdateCommit(std::move(record));
     }
+    TraceLocalCommit(et);
     PropagateMset(mset);
     buffer_.Offer(seq, std::any(std::move(mset)));
     ctx_.counters->Increment("esr.updates_committed");

@@ -37,6 +37,7 @@ void OrdupTsMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
     record.timestamp = ts;
     ctx_.history->RecordUpdateCommit(std::move(record));
   }
+  TraceLocalCommit(et);
   PropagateMset(mset);
   // Local commit is immediate; the MSet still waits in the hold-back
   // buffer until the timestamp order is closed below it.

@@ -57,6 +57,9 @@ void QuasiCopyMethod::ApplyAtPrimary(EtId et, SiteId origin,
   assert(s.ok());
   (void)s;
   ctx_.counters->Increment("quasi.primary_applied");
+  // No TraceLocalCommit: quasi-copy updates skip the stability protocol, so
+  // a commit span would float in esr_et_in_flight forever. The primary-apply
+  // counter above is the method's lifecycle signal.
   if (ctx_.config->record_history) {
     analysis::UpdateRecord record;
     record.et = et;

@@ -90,6 +90,12 @@ void ReplicaControlMethod::OnStable(EtId /*et*/) {}
 
 bool ReplicaControlMethod::ReadyForStable(EtId /*et*/) { return true; }
 
+void ReplicaControlMethod::TraceLocalCommit(EtId et) {
+  if (ctx_.tracer != nullptr && et > 0) {
+    ctx_.tracer->OnLocalCommit(et, ctx_.site, ctx_.simulator->Now());
+  }
+}
+
 void ReplicaControlMethod::PropagateMset(const Mset& mset) {
   const int64_t size_bytes =
       64 + 32 * static_cast<int64_t>(mset.operations.size());
@@ -98,6 +104,12 @@ void ReplicaControlMethod::PropagateMset(const Mset& mset) {
     ctx_.queues->Send(s, msg::Envelope{kMsetMsg, mset}, size_bytes);
   }
   ctx_.counters->Increment("esr.msets_propagated", ctx_.num_sites - 1);
+  // Gap-filler no-op MSets (et == kInvalidEtId) and synthetic quasi-copy
+  // refreshes (negative ids) are transport noise, not ET lifecycle events.
+  if (ctx_.tracer != nullptr && mset.et > 0) {
+    ctx_.tracer->OnEnqueue(mset.et, ctx_.site, ctx_.simulator->Now(),
+                           /*fanout=*/ctx_.num_sites - 1);
+  }
 }
 
 void ReplicaControlMethod::RecordApplied(const Mset& mset) {
@@ -105,6 +117,19 @@ void ReplicaControlMethod::RecordApplied(const Mset& mset) {
     ctx_.history->RecordApply(mset.et, ctx_.site, ctx_.simulator->Now());
   }
   ctx_.counters->Increment("esr.msets_applied");
+  if (ctx_.tracer != nullptr && mset.et > 0) {
+    ctx_.tracer->OnApply(mset.et, ctx_.site, ctx_.simulator->Now());
+  }
+  if (ctx_.metrics != nullptr) {
+    for (const store::Operation& op : mset.operations) {
+      ctx_.metrics
+          ->GetCounter("esr_ops_applied_total",
+                       {{"object_class",
+                         std::string(store::OpKindToString(op.kind))},
+                        {"site", std::to_string(ctx_.site)}})
+          .Increment();
+    }
+  }
   ctx_.stability->ObserveMset(mset.et, mset.timestamp, mset.origin);
   // Merge the MSet's timestamp into the local clock so that locally issued
   // timestamps stay ahead of everything observed (VTNC monotonicity relies
@@ -145,6 +170,9 @@ void ReplicaControlMethod::MaybeBroadcastStable(EtId et) {
   }
   ctx_.counters->Increment("esr.stable");
   ctx_.stability->MarkStable(et, ts);
+  if (ctx_.tracer != nullptr && et > 0) {
+    ctx_.tracer->OnStable(et, ctx_.site, ctx_.simulator->Now());
+  }
   OnStable(et);
 }
 
@@ -157,7 +185,15 @@ void ReplicaControlMethod::OnStableMsg(SiteId /*source*/,
                                notice->timestamp);
   const bool was_stable = ctx_.stability->IsStable(notice->et);
   ctx_.stability->MarkStable(notice->et, notice->timestamp);
-  if (!was_stable) OnStable(notice->et);
+  if (!was_stable) {
+    // Stability was already traced at the origin (the tracer keeps one
+    // terminal span per ET), so this call only settles bookkeeping for ETs
+    // whose origin-side notice raced a crash.
+    if (ctx_.tracer != nullptr && notice->et > 0) {
+      ctx_.tracer->OnStable(notice->et, ctx_.site, ctx_.simulator->Now());
+    }
+    OnStable(notice->et);
+  }
   OnWatermarkAdvance();
 }
 

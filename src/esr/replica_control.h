@@ -21,6 +21,8 @@
 #include "esr/stability_tracker.h"
 #include "msg/lamport_clock.h"
 #include "msg/mailbox.h"
+#include "obs/et_tracer.h"
+#include "obs/metric_registry.h"
 #include "msg/sequencer.h"
 #include "msg/reliable_transport.h"
 #include "sim/simulator.h"
@@ -47,6 +49,8 @@ struct MethodContext {
   ObjectClassRegistry* registry = nullptr;  // shared, schema-level
   analysis::HistoryRecorder* history = nullptr;  // shared
   Counters* counters = nullptr;                  // shared
+  obs::MetricRegistry* metrics = nullptr;        // shared
+  obs::EtTracer* tracer = nullptr;               // shared
   const SystemConfig* config = nullptr;
   /// Iterates the query ETs currently active at this site (COMPE uses this
   /// to charge queries affected by a compensation).
@@ -118,6 +122,11 @@ class ReplicaControlMethod {
  protected:
   /// Reliable broadcast of an MSet to every other site.
   void PropagateMset(const Mset& mset);
+
+  /// Marks `et` locally committed for the lifecycle tracer. Call at the
+  /// moment ordering metadata is assigned, *before* PropagateMset, so the
+  /// tracer knows the ET's origin when the enqueue span arrives.
+  void TraceLocalCommit(EtId et);
 
   /// Records a local application in the history and runs the
   /// ack/stability protocol for it. Call after the method applied the

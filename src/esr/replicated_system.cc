@@ -1,6 +1,8 @@
 #include "esr/replicated_system.h"
 
+#include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "msg/sequencer.h"
 
@@ -25,8 +27,17 @@ struct ReplicatedSystem::SiteRuntime {
 };
 
 ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
-    : config_(config) {
+    : config_(config), tracer_(&metrics_, config.num_sites) {
   assert(config_.num_sites > 0);
+  tracer_.set_record_events(config_.record_spans);
+  metrics_.Describe("esr_info", "Static run configuration (always 1)");
+  metrics_
+      .GetGauge("esr_info",
+                {{"method", std::string(MethodToString(config_.method))},
+                 {"transport",
+                  std::string(TransportToString(config_.transport))},
+                 {"sites", std::to_string(config_.num_sites)}})
+      .Set(1);
   network_ = std::make_unique<sim::Network>(&simulator_, config_.num_sites,
                                             config_.network, config_.seed);
   failures_ = std::make_unique<sim::FailureInjector>(
@@ -87,6 +98,8 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
     ctx.registry = &registry_;
     ctx.history = &history_;
     ctx.counters = &counters_;
+    ctx.metrics = &metrics_;
+    ctx.tracer = &tracer_;
     ctx.config = &config_;
     ctx.for_each_active_query =
         [this, s](const std::function<void(QueryState&)>& fn) {
@@ -165,6 +178,8 @@ Result<EtId> ReplicatedSystem::SubmitUpdate(SiteId origin,
     --next_et_;
     return admitted;
   }
+  tracer_.OnSubmit(et, origin, simulator_.Now());
+  metrics_.GetCounter("esr_updates_submitted_total").Increment();
   sites_[origin]->method->SubmitUpdate(et, std::move(ops), std::move(done));
   return et;
 }
@@ -366,6 +381,29 @@ Status ReplicatedSystem::EndQuery(EtId query) {
     history_.RecordQueryEnd(record);
   }
   counters_.Increment("esr.queries_completed");
+  const obs::LabelSet method_label = {
+      {"method", std::string(MethodToString(config_.method))}};
+  metrics_.GetCounter("esr_queries_completed_total", method_label)
+      .Increment();
+  metrics_.GetCounter("esr_query_reads_total", method_label)
+      .Increment(q.reads);
+  metrics_.GetCounter("esr_query_blocked_total", method_label)
+      .Increment(q.blocked_attempts);
+  metrics_.GetCounter("esr_query_restarts_total", method_label)
+      .Increment(q.restarts);
+  metrics_
+      .GetHistogram("esr_query_inconsistency", method_label,
+                    {0, 1, 2, 5, 10, 20, 50, 100, 1000})
+      .Observe(static_cast<double>(q.inconsistency));
+  if (q.epsilon != kUnboundedEpsilon && q.epsilon > 0) {
+    // How much of its divergence budget the query actually consumed — the
+    // paper's inconsistency-vs-epsilon accumulation, as a ratio in [0, 1].
+    metrics_
+        .GetHistogram("esr_query_epsilon_utilization", method_label,
+                      {0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0})
+        .Observe(static_cast<double>(q.inconsistency) /
+                 static_cast<double>(q.epsilon));
+  }
   active_queries_.erase(it);
   return Status::Ok();
 }
@@ -401,6 +439,111 @@ void ReplicatedSystem::RunUntilQuiescent() {
 
 void ReplicatedSystem::RunFor(SimDuration duration) {
   simulator_.RunUntil(simulator_.Now() + duration);
+}
+
+void ReplicatedSystem::SampleGauges() {
+  metrics_.Describe("esr_transport_unacked",
+                    "Reliable-transport entries awaiting ack, by origin and "
+                    "destination site");
+  metrics_.Describe("esr_outstanding_nonstable",
+                    "Update ETs known at a site but not yet globally stable");
+  metrics_.Describe("esr_mset_log_records",
+                    "MSet-log records retained at a site (rollback window)");
+  metrics_.Describe("esr_network_in_flight",
+                    "Datagrams scheduled for delivery but not yet delivered");
+  metrics_.Describe("esr_divergent_objects",
+                    "Objects whose value differs across replicas right now");
+  metrics_.Describe("esr_replica_divergence_max",
+                    "Largest cross-replica |max - min| over integer objects");
+  metrics_.Describe("esr_converged",
+                    "1 when every replica holds identical state");
+  for (SiteId s = 0; s < config_.num_sites; ++s) {
+    const SiteRuntime& site = *sites_[s];
+    const obs::LabelSet site_label = {{"site", std::to_string(s)}};
+    int64_t unacked = 0;
+    for (SiteId d = 0; d < config_.num_sites; ++d) {
+      if (d == s) continue;
+      unacked += site.queues->UnackedCount(d);
+    }
+    metrics_.GetGauge("esr_transport_unacked", site_label)
+        .Set(static_cast<double>(unacked));
+    if (site.stability != nullptr) {
+      metrics_.GetGauge("esr_outstanding_nonstable", site_label)
+          .Set(static_cast<double>(site.stability->OutstandingCount()));
+    }
+    metrics_.GetGauge("esr_mset_log_records", site_label)
+        .Set(static_cast<double>(site.mset_log.size()));
+    const store::MsetLog::CompensationStats& comp = site.mset_log.stats();
+    metrics_.GetGauge("esr_compensation_fast_path", site_label)
+        .Set(static_cast<double>(comp.fast_path));
+    metrics_.GetGauge("esr_compensation_rollbacks", site_label)
+        .Set(static_cast<double>(comp.general_rollbacks));
+    metrics_.GetGauge("esr_compensation_records_rolled_back", site_label)
+        .Set(static_cast<double>(comp.records_rolled_back));
+  }
+  metrics_.GetGauge("esr_network_in_flight")
+      .Set(static_cast<double>(network_->InFlightCount()));
+
+  // Per-object replica divergence over integer objects. Capped so the gauge
+  // family stays low-cardinality on wide keyspaces: beyond the cap only the
+  // aggregate counts are maintained.
+  constexpr size_t kMaxPerObjectSeries = 64;
+  const std::vector<ObjectId> objects =
+      config_.method == Method::kRituMulti ? sites_[0]->versions.ObjectIds()
+                                           : sites_[0]->store.ObjectIds();
+  int64_t divergent = 0;
+  int64_t max_divergence = 0;
+  for (const ObjectId object : objects) {
+    bool all_int = true;
+    bool differs = false;
+    int64_t lo = 0, hi = 0;
+    const Value first = SiteValue(0, object);
+    if (first.is_int()) lo = hi = first.AsInt();
+    for (SiteId s = 0; s < config_.num_sites; ++s) {
+      const Value v = SiteValue(s, object);
+      if (!(v == first)) differs = true;
+      if (v.is_int()) {
+        lo = std::min(lo, v.AsInt());
+        hi = std::max(hi, v.AsInt());
+      } else {
+        all_int = false;
+      }
+    }
+    const int64_t spread = (all_int && first.is_int()) ? hi - lo : 0;
+    if (differs) ++divergent;
+    max_divergence = std::max(max_divergence, spread);
+    if (static_cast<size_t>(object) < kMaxPerObjectSeries) {
+      metrics_
+          .GetGauge("esr_replica_divergence",
+                    {{"object", std::to_string(object)}})
+          .Set(static_cast<double>(spread));
+    }
+  }
+  metrics_.GetGauge("esr_divergent_objects")
+      .Set(static_cast<double>(divergent));
+  metrics_.GetGauge("esr_replica_divergence_max")
+      .Set(static_cast<double>(max_divergence));
+  metrics_.GetGauge("esr_converged").Set(Converged() ? 1 : 0);
+
+  // Mirror the ad-hoc string counters of the network and per-site
+  // transports as labeled gauges, so one snapshot carries every layer.
+  for (const auto& [name, value] : network_->counters().Snapshot()) {
+    metrics_.GetGauge("esr_network_events", {{"event", name}})
+        .Set(static_cast<double>(value));
+  }
+  for (SiteId s = 0; s < config_.num_sites; ++s) {
+    for (const auto& [name, value] : sites_[s]->queues->counters().Snapshot()) {
+      metrics_
+          .GetGauge("esr_transport_events",
+                    {{"event", name}, {"site", std::to_string(s)}})
+          .Set(static_cast<double>(value));
+    }
+  }
+}
+
+std::string ReplicatedSystem::MetricsSnapshot() {
+  SampleGauges();
+  return metrics_.PrometheusText();
 }
 
 bool ReplicatedSystem::Converged() const {

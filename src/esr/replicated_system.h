@@ -12,6 +12,8 @@
 #include "common/status.h"
 #include "esr/config.h"
 #include "esr/replica_control.h"
+#include "obs/et_tracer.h"
+#include "obs/metric_registry.h"
 #include "sim/failure_injector.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -53,6 +55,10 @@ class ReplicatedSystem {
   sim::FailureInjector& failures() { return *failures_; }
   analysis::HistoryRecorder& history() { return history_; }
   Counters& counters() { return counters_; }
+  obs::MetricRegistry& metrics() { return metrics_; }
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+  obs::EtTracer& tracer() { return tracer_; }
+  const obs::EtTracer& tracer() const { return tracer_; }
 
   /// --- Update epsilon-transactions ---------------------------------------
 
@@ -124,6 +130,18 @@ class ReplicatedSystem {
   /// Runs the simulator for `duration` of virtual time.
   void RunFor(SimDuration duration);
 
+  /// --- Observability --------------------------------------------------------
+
+  /// Refreshes the derived gauges that are pulled from component state
+  /// rather than pushed on events: per-site transport backlog, outstanding
+  /// non-stable ETs, MSet-log depth and compensation totals, network
+  /// in-flight datagrams, per-object replica divergence, and convergence.
+  void SampleGauges();
+
+  /// SampleGauges() + deterministic Prometheus text exposition of every
+  /// instrument. A (SystemConfig, seed) pair produces identical snapshots.
+  std::string MetricsSnapshot();
+
   /// --- State inspection ----------------------------------------------------
 
   /// True when every replica holds identical object state.
@@ -161,6 +179,8 @@ class ReplicatedSystem {
   ObjectClassRegistry registry_;
   analysis::HistoryRecorder history_;
   Counters counters_;
+  obs::MetricRegistry metrics_;
+  obs::EtTracer tracer_;
   std::vector<std::unique_ptr<SiteRuntime>> sites_;
   EtId next_et_ = 1;
   std::unordered_map<EtId, QueryState> active_queries_;

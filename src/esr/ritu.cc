@@ -43,6 +43,7 @@ void RituMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
     record.timestamp = ts;
     ctx_.history->RecordUpdateCommit(std::move(record));
   }
+  TraceLocalCommit(et);
   PropagateMset(mset);
   ApplyRitu(mset);
   ctx_.counters->Increment("esr.updates_committed");

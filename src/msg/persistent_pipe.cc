@@ -174,4 +174,11 @@ int64_t PersistentPipeManager::UnackedCount() const {
   return n;
 }
 
+int64_t PersistentPipeManager::UnackedCount(SiteId destination) const {
+  auto it = outbound_.find(destination);
+  return it == outbound_.end()
+             ? 0
+             : static_cast<int64_t>(it->second.buffered.size());
+}
+
 }  // namespace esr::msg

@@ -44,6 +44,7 @@ class PersistentPipeManager : public ReliableTransport {
             int64_t size_bytes = 256) override;
   void Broadcast(std::any payload, int64_t size_bytes = 256) override;
   int64_t UnackedCount() const override;
+  int64_t UnackedCount(SiteId destination) const override;
   const Counters& counters() const override { return counters_; }
 
  private:

@@ -44,6 +44,10 @@ class ReliableTransport {
   /// Entries awaiting acknowledgment across all destinations.
   virtual int64_t UnackedCount() const = 0;
 
+  /// Entries awaiting acknowledgment toward one destination (per-site
+  /// propagation backlog, surfaced as the esr_transport_unacked gauge).
+  virtual int64_t UnackedCount(SiteId destination) const = 0;
+
   /// Transport event counters (sent/retransmit/duplicate/delivered...).
   virtual const Counters& counters() const = 0;
 };

@@ -149,4 +149,11 @@ int64_t StableQueueManager::UnackedCount() const {
   return n;
 }
 
+int64_t StableQueueManager::UnackedCount(SiteId destination) const {
+  auto it = outbound_.find(destination);
+  return it == outbound_.end()
+             ? 0
+             : static_cast<int64_t>(it->second.unacked.size());
+}
+
 }  // namespace esr::msg

@@ -56,6 +56,9 @@ class StableQueueManager : public ReliableTransport {
   /// Number of entries awaiting acknowledgment (all destinations).
   int64_t UnackedCount() const override;
 
+  /// Entries awaiting acknowledgment toward `destination`.
+  int64_t UnackedCount(SiteId destination) const override;
+
   /// Event counters: sent, retransmits, duplicates dropped, delivered.
   const Counters& counters() const override { return counters_; }
 

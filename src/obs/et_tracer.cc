@@ -1,0 +1,160 @@
+#include "obs/et_tracer.h"
+
+#include <string>
+
+namespace esr::obs {
+
+std::string_view EtPhaseToString(EtPhase phase) {
+  switch (phase) {
+    case EtPhase::kSubmit:
+      return "submit";
+    case EtPhase::kLocalCommit:
+      return "local_commit";
+    case EtPhase::kEnqueue:
+      return "enqueue";
+    case EtPhase::kApply:
+      return "apply";
+    case EtPhase::kStable:
+      return "stable";
+    case EtPhase::kAborted:
+      return "aborted";
+  }
+  return "unknown";
+}
+
+EtTracer::EtTracer(MetricRegistry* metrics, int num_sites)
+    : metrics_(metrics), num_sites_(num_sites) {
+  queue_depth_.assign(static_cast<size_t>(num_sites < 0 ? 0 : num_sites), 0);
+  if (metrics_ != nullptr) {
+    metrics_->Describe("esr_et_phase_total",
+                       "ET lifecycle events by phase (and site for apply)");
+    metrics_->Describe("esr_mset_queue_depth",
+                       "MSets enqueued toward a site and not yet applied");
+    metrics_->Describe("esr_et_in_flight",
+                       "Committed update ETs not yet stable or aborted");
+    metrics_->Describe("esr_stability_lag_us",
+                       "Local-commit to global-stability lag per update ET");
+    metrics_->Describe("esr_apply_lag_us",
+                       "Local-commit to remote-apply lag per (ET, site)");
+  }
+}
+
+void EtTracer::Record(EtId et, EtPhase phase, SiteId site, SimTime now,
+                      int64_t detail) {
+  if (metrics_ != nullptr) {
+    LabelSet labels{{"phase", std::string(EtPhaseToString(phase))}};
+    if (phase == EtPhase::kApply) {
+      labels.push_back({"site", std::to_string(site)});
+    }
+    metrics_->GetCounter("esr_et_phase_total", std::move(labels)).Increment();
+  }
+  if (record_events_) {
+    events_.push_back({et, phase, site, now, detail});
+  }
+}
+
+void EtTracer::SetDepthGauge(SiteId site) {
+  if (metrics_ == nullptr) return;
+  metrics_
+      ->GetGauge("esr_mset_queue_depth", {{"site", std::to_string(site)}})
+      .Set(static_cast<double>(queue_depth_[static_cast<size_t>(site)]));
+}
+
+void EtTracer::OnSubmit(EtId et, SiteId origin, SimTime now) {
+  ets_[et].origin = origin;
+  Record(et, EtPhase::kSubmit, origin, now);
+}
+
+void EtTracer::OnLocalCommit(EtId et, SiteId origin, SimTime now) {
+  EtState& state = ets_[et];
+  state.origin = origin;
+  if (state.commit_time >= 0) return;  // Commit is traced once per ET.
+  state.commit_time = now;
+  // An ET aborted before its ordering callback ran (COMPE abort racing the
+  // sequencer) is already terminal: record the span but don't re-float it.
+  if (!state.terminal) {
+    ++in_flight_;
+    if (metrics_ != nullptr) {
+      metrics_->GetGauge("esr_et_in_flight")
+          .Set(static_cast<double>(in_flight_));
+    }
+  }
+  Record(et, EtPhase::kLocalCommit, origin, now);
+}
+
+void EtTracer::OnEnqueue(EtId et, SiteId origin, SimTime now, int fanout) {
+  EtState& state = ets_[et];
+  if (state.origin == kInvalidSiteId) state.origin = origin;
+  if (!state.enqueued) {
+    state.enqueued = true;
+    // The MSet is now pending at every site except its origin.
+    for (SiteId s = 0; s < num_sites_; ++s) {
+      if (s == origin) continue;
+      ++queue_depth_[static_cast<size_t>(s)];
+      SetDepthGauge(s);
+    }
+  }
+  Record(et, EtPhase::kEnqueue, origin, now, fanout);
+}
+
+void EtTracer::OnApply(EtId et, SiteId site, SimTime now) {
+  EtState& state = ets_[et];
+  if (state.enqueued && site != state.origin && site >= 0 &&
+      site < num_sites_ && queue_depth_[static_cast<size_t>(site)] > 0) {
+    --queue_depth_[static_cast<size_t>(site)];
+    SetDepthGauge(site);
+  }
+  if (metrics_ != nullptr && state.commit_time >= 0 && site != state.origin) {
+    metrics_
+        ->GetHistogram("esr_apply_lag_us", {{"site", std::to_string(site)}})
+        .Observe(static_cast<double>(now - state.commit_time));
+  }
+  Record(et, EtPhase::kApply, site, now);
+}
+
+void EtTracer::OnStable(EtId et, SiteId site, SimTime now) {
+  EtState& state = ets_[et];
+  // Stability is reached once per ET; the origin learns first and replicas
+  // are notified afterwards. Only the first observation is a span / lag
+  // sample; later per-site notifications keep the counters quiet too.
+  if (state.terminal) return;
+  state.terminal = true;
+  state.stable_time = now;
+  if (state.commit_time >= 0) --in_flight_;
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge("esr_et_in_flight")
+        .Set(static_cast<double>(in_flight_));
+    if (state.commit_time >= 0) {
+      metrics_->GetHistogram("esr_stability_lag_us")
+          .Observe(static_cast<double>(now - state.commit_time));
+    }
+  }
+  Record(et, EtPhase::kStable, site, now);
+}
+
+void EtTracer::OnAborted(EtId et, SiteId site, SimTime now) {
+  EtState& state = ets_[et];
+  if (state.terminal) return;
+  state.terminal = true;
+  if (state.commit_time >= 0) --in_flight_;
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge("esr_et_in_flight")
+        .Set(static_cast<double>(in_flight_));
+  }
+  Record(et, EtPhase::kAborted, site, now);
+}
+
+int64_t EtTracer::QueueDepth(SiteId site) const {
+  if (site < 0 || site >= num_sites_) return 0;
+  return queue_depth_[static_cast<size_t>(site)];
+}
+
+SimTime EtTracer::StabilityLag(EtId et) const {
+  auto it = ets_.find(et);
+  if (it == ets_.end()) return -1;
+  const EtState& state = it->second;
+  if (state.commit_time < 0 || state.stable_time < 0) return -1;
+  return state.stable_time - state.commit_time;
+}
+
+}  // namespace esr::obs

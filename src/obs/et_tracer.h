@@ -1,0 +1,109 @@
+#ifndef ESR_OBS_ET_TRACER_H_
+#define ESR_OBS_ET_TRACER_H_
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/metric_registry.h"
+
+namespace esr::obs {
+
+/// Phase of an update epsilon-transaction's replica lifecycle.
+///
+/// Maps one-to-one onto the paper's propagation pipeline: the ET is
+/// *submitted* at its origin, *commits locally* once ordering metadata is
+/// assigned, its MSet is *enqueued* on the stable queues toward every
+/// replica, each replica *applies* it, and when every site has acknowledged
+/// the apply the ET becomes *stable* everywhere. COMPE adds *aborted* as
+/// the alternative terminal phase (the update was compensated).
+enum class EtPhase {
+  kSubmit,
+  kLocalCommit,
+  kEnqueue,
+  kApply,
+  kStable,
+  kAborted,
+};
+
+std::string_view EtPhaseToString(EtPhase phase);
+
+/// One lifecycle event, stamped with simulated time — so traces of a seeded
+/// run are deterministic and diffable across executions.
+struct SpanEvent {
+  EtId et = kInvalidEtId;
+  EtPhase phase = EtPhase::kSubmit;
+  /// Site the event happened at (origin for submit/commit/enqueue/stable,
+  /// the applying replica for apply).
+  SiteId site = kInvalidSiteId;
+  SimTime time = 0;
+  /// Phase-specific detail: broadcast fanout for kEnqueue, 0 otherwise.
+  int64_t detail = 0;
+};
+
+/// Records span events for the full update-ET lifecycle and derives the
+/// live gauges the paper cares about:
+///
+///  * `esr_mset_queue_depth{site}` — MSets enqueued toward a site and not
+///    yet applied there (the per-site propagation backlog);
+///  * `esr_stability_lag_us` — commit-to-stable latency histogram (how long
+///    replicas stay potentially divergent per ET);
+///  * `esr_apply_lag_us{site}` — commit-to-remote-apply latency;
+///  * `esr_et_in_flight` — committed ETs not yet stable/aborted.
+///
+/// One tracer exists per ReplicatedSystem (shared by all sites, like the
+/// HistoryRecorder). Metric updates always happen; the span event vector is
+/// only appended when recording is enabled (SystemConfig::record_spans),
+/// so unbounded benchmark runs can keep gauges without growing memory.
+class EtTracer {
+ public:
+  /// `metrics` may be null (pure span recording); `num_sites` sizes the
+  /// per-site queue-depth accounting.
+  EtTracer(MetricRegistry* metrics, int num_sites);
+
+  void set_record_events(bool on) { record_events_ = on; }
+
+  void OnSubmit(EtId et, SiteId origin, SimTime now);
+  void OnLocalCommit(EtId et, SiteId origin, SimTime now);
+  void OnEnqueue(EtId et, SiteId origin, SimTime now, int fanout);
+  void OnApply(EtId et, SiteId site, SimTime now);
+  void OnStable(EtId et, SiteId site, SimTime now);
+  void OnAborted(EtId et, SiteId site, SimTime now);
+
+  const std::vector<SpanEvent>& events() const { return events_; }
+
+  /// MSets enqueued toward `site` and not yet applied there.
+  int64_t QueueDepth(SiteId site) const;
+
+  /// Committed ETs without a terminal (stable/aborted) event yet.
+  int64_t InFlightEts() const { return in_flight_; }
+
+  /// Commit-to-stable lag of `et` at its origin; -1 until it is stable.
+  SimTime StabilityLag(EtId et) const;
+
+ private:
+  struct EtState {
+    SiteId origin = kInvalidSiteId;
+    SimTime commit_time = -1;
+    SimTime stable_time = -1;
+    bool enqueued = false;
+    bool terminal = false;
+  };
+
+  void Record(EtId et, EtPhase phase, SiteId site, SimTime now,
+              int64_t detail = 0);
+  void SetDepthGauge(SiteId site);
+
+  MetricRegistry* metrics_;
+  int num_sites_;
+  bool record_events_ = true;
+  std::vector<SpanEvent> events_;
+  std::unordered_map<EtId, EtState> ets_;
+  std::vector<int64_t> queue_depth_;
+  int64_t in_flight_ = 0;
+};
+
+}  // namespace esr::obs
+
+#endif  // ESR_OBS_ET_TRACER_H_

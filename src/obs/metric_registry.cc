@@ -1,0 +1,254 @@
+#include "obs/metric_registry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace esr::obs {
+
+namespace {
+
+/// Deterministic, trim-trailing-zeros rendering: integers print without a
+/// decimal point, everything else with up to 10 significant digits.
+std::string FormatNumber(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string EscapeLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+LabelSet Canonicalize(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+/// Inserts extra labels (already canonical) plus one appended label, used
+/// for histogram `le` rendering.
+std::string RenderLabelsWith(const LabelSet& labels, const Label& extra) {
+  LabelSet all = labels;
+  all.push_back(extra);
+  return RenderLabels(Canonicalize(std::move(all)));
+}
+
+}  // namespace
+
+std::string RenderLabels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+std::vector<double> MetricRegistry::LatencyBucketsUs() {
+  std::vector<double> bounds;
+  for (double decade = 1; decade <= 1e8; decade *= 10) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2);
+    bounds.push_back(decade * 5);
+  }
+  bounds.push_back(1e9);
+  return bounds;
+}
+
+MetricRegistry::Family& MetricRegistry::FamilyFor(const std::string& name,
+                                                  Kind kind) {
+  Family& family = families_[name];
+  if (!family.kind_set) {
+    // The family may pre-exist from Describe(), which doesn't know the
+    // instrument kind; the first Get* call decides it.
+    family.kind = kind;
+    family.kind_set = true;
+  } else {
+    assert(family.kind == kind &&
+           "metric family re-registered with a different instrument kind");
+  }
+  return family;
+}
+
+Counter& MetricRegistry::GetCounter(const std::string& name, LabelSet labels) {
+  Family& family = FamilyFor(name, Kind::kCounter);
+  LabelSet canonical = Canonicalize(std::move(labels));
+  const std::string key = RenderLabels(canonical);
+  auto [it, inserted] = family.counters.try_emplace(key);
+  if (inserted) {
+    it->second = std::make_unique<Counter>();
+    family.label_sets.emplace(key, std::move(canonical));
+  }
+  return *it->second;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name, LabelSet labels) {
+  Family& family = FamilyFor(name, Kind::kGauge);
+  LabelSet canonical = Canonicalize(std::move(labels));
+  const std::string key = RenderLabels(canonical);
+  auto [it, inserted] = family.gauges.try_emplace(key);
+  if (inserted) {
+    it->second = std::make_unique<Gauge>();
+    family.label_sets.emplace(key, std::move(canonical));
+  }
+  return *it->second;
+}
+
+Histogram& MetricRegistry::GetHistogram(const std::string& name,
+                                        LabelSet labels,
+                                        std::vector<double> bounds) {
+  Family& family = FamilyFor(name, Kind::kHistogram);
+  LabelSet canonical = Canonicalize(std::move(labels));
+  const std::string key = RenderLabels(canonical);
+  auto [it, inserted] = family.histograms.try_emplace(key);
+  if (inserted) {
+    if (bounds.empty()) {
+      // Reuse the family's existing boundaries so every series in a family
+      // shares buckets (a Prometheus requirement for aggregation).
+      if (!family.histograms.empty()) {
+        for (const auto& [_, h] : family.histograms) {
+          if (h != nullptr) {
+            bounds = h->bounds();
+            break;
+          }
+        }
+      }
+      if (bounds.empty()) bounds = LatencyBucketsUs();
+    }
+    it->second = std::make_unique<Histogram>(std::move(bounds));
+    family.label_sets.emplace(key, std::move(canonical));
+  }
+  return *it->second;
+}
+
+void MetricRegistry::Describe(const std::string& name,
+                              const std::string& help) {
+  families_[name].help = help;
+}
+
+int64_t MetricRegistry::SeriesCount() const {
+  int64_t n = 0;
+  for (const auto& [_, family] : families_) {
+    n += static_cast<int64_t>(family.counters.size() + family.gauges.size() +
+                              family.histograms.size());
+  }
+  return n;
+}
+
+std::string MetricRegistry::PrometheusText() const {
+  std::ostringstream os;
+  for (const auto& [name, family] : families_) {
+    if (family.counters.empty() && family.gauges.empty() &&
+        family.histograms.empty()) {
+      continue;  // Describe()d but never populated.
+    }
+    if (!family.help.empty()) os << "# HELP " << name << " " << family.help
+                                 << "\n";
+    switch (family.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << name << " counter\n";
+        for (const auto& [key, counter] : family.counters) {
+          os << name << key << " " << counter->value() << "\n";
+        }
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n";
+        for (const auto& [key, gauge] : family.gauges) {
+          os << name << key << " " << FormatNumber(gauge->value()) << "\n";
+        }
+        break;
+      case Kind::kHistogram:
+        os << "# TYPE " << name << " histogram\n";
+        for (const auto& [key, histogram] : family.histograms) {
+          const LabelSet& labels = family.label_sets.at(key);
+          int64_t cumulative = 0;
+          for (size_t b = 0; b < histogram->bounds().size(); ++b) {
+            cumulative += histogram->bucket_counts()[b];
+            os << name << "_bucket"
+               << RenderLabelsWith(
+                      labels, {"le", FormatNumber(histogram->bounds()[b])})
+               << " " << cumulative << "\n";
+          }
+          os << name << "_bucket" << RenderLabelsWith(labels, {"le", "+Inf"})
+             << " " << histogram->count() << "\n";
+          os << name << "_sum" << key << " " << FormatNumber(histogram->sum())
+             << "\n";
+          os << name << "_count" << key << " " << histogram->count() << "\n";
+        }
+        break;
+    }
+  }
+  return os.str();
+}
+
+void MetricRegistry::Merge(const MetricRegistry& other) {
+  for (const auto& [name, family] : other.families_) {
+    if (!family.help.empty()) Describe(name, family.help);
+    for (const auto& [key, counter] : family.counters) {
+      GetCounter(name, family.label_sets.at(key)).Increment(counter->value());
+    }
+    for (const auto& [key, gauge] : family.gauges) {
+      GetGauge(name, family.label_sets.at(key)).Set(gauge->value());
+    }
+    for (const auto& [key, histogram] : family.histograms) {
+      Histogram& mine = GetHistogram(name, family.label_sets.at(key),
+                                     histogram->bounds());
+      if (mine.bounds() == histogram->bounds()) {
+        for (size_t b = 0; b < histogram->bucket_counts().size(); ++b) {
+          mine.counts_[b] += histogram->bucket_counts()[b];
+        }
+        mine.count_ += histogram->count();
+        mine.sum_ += histogram->sum();
+      } else {
+        // Boundary mismatch: fold observations through the bucket means so
+        // count/sum stay exact even though bucket shape is approximated.
+        for (size_t b = 0; b < histogram->bucket_counts().size(); ++b) {
+          const int64_t n = histogram->bucket_counts()[b];
+          if (n == 0) continue;
+          const double upper = b < histogram->bounds().size()
+                                   ? histogram->bounds()[b]
+                                   : histogram->sum() / histogram->count();
+          for (int64_t i = 0; i < n; ++i) mine.Observe(upper);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace esr::obs

@@ -1,0 +1,139 @@
+#ifndef ESR_OBS_METRIC_REGISTRY_H_
+#define ESR_OBS_METRIC_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace esr::obs {
+
+/// One metric label (key/value). Label sets are canonicalized — sorted by
+/// key — when a series is created, so `{a,b}` and `{b,a}` address the same
+/// series.
+using Label = std::pair<std::string, std::string>;
+using LabelSet = std::vector<Label>;
+
+/// Monotonic counter instrument.
+class Counter {
+ public:
+  void Increment(int64_t by = 1) { value_ += by; }
+  int64_t value() const { return value_; }
+
+ private:
+  friend class MetricRegistry;
+  int64_t value_ = 0;
+};
+
+/// Point-in-time gauge instrument; may move in either direction.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  friend class MetricRegistry;
+  double value_ = 0;
+};
+
+/// Fixed-boundary histogram (classic Prometheus shape: cumulative `le`
+/// buckets on export, exact count and sum).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Ascending upper bucket boundaries (exclusive of the implicit +Inf).
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1, the
+  /// last entry being the +Inf overflow bucket.
+  const std::vector<int64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  friend class MetricRegistry;
+  std::vector<double> bounds_;
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// Typed, labeled metric registry — the live counterpart of the post-hoc
+/// HistoryRecorder. One registry exists per ReplicatedSystem; protocol code
+/// increments instruments as events happen on the simulator, so a
+/// (configuration, seed) pair produces a bit-identical snapshot.
+///
+/// Instrument naming follows the Prometheus conventions used throughout the
+/// repo's observability layer: `esr_<noun>[_total|_us]`, snake_case, with
+/// low-cardinality labels only (`site`, `method`, `object_class`, `event` —
+/// see DESIGN.md "Observability").
+///
+/// Returned instrument references stay valid for the registry's lifetime.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name, LabelSet labels = {});
+  Gauge& GetGauge(const std::string& name, LabelSet labels = {});
+  /// `bounds` applies on first creation of the family only (empty selects
+  /// LatencyBucketsUs()); later calls reuse the existing boundaries.
+  Histogram& GetHistogram(const std::string& name, LabelSet labels = {},
+                          std::vector<double> bounds = {});
+
+  /// Attaches HELP text to a family (creating it lazily is fine — the text
+  /// is emitted once the family has series).
+  void Describe(const std::string& name, const std::string& help);
+
+  /// Deterministic Prometheus text exposition: families in name order,
+  /// series in label order, stable number formatting.
+  std::string PrometheusText() const;
+
+  /// Folds `other` into this registry: counters and histogram buckets add,
+  /// gauges take `other`'s value (last writer wins). Used by the benchmark
+  /// harness to aggregate the registries of many simulated systems into one
+  /// per-binary snapshot.
+  void Merge(const MetricRegistry& other);
+
+  /// Number of live series across all families.
+  int64_t SeriesCount() const;
+
+  /// Default exponential latency buckets in simulated microseconds
+  /// (1us .. 1e9us, powers of 10 with 1/2/5 steps).
+  static std::vector<double> LatencyBucketsUs();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Family {
+    Kind kind = Kind::kCounter;
+    /// False while the family only exists because of Describe(); the first
+    /// Get* call fixes the instrument kind.
+    bool kind_set = false;
+    std::string help;
+    /// Key: canonical rendered label string (`{k="v",...}` or "").
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    /// Canonical label sets per key, kept for Merge.
+    std::map<std::string, LabelSet> label_sets;
+  };
+
+  Family& FamilyFor(const std::string& name, Kind kind);
+
+  std::map<std::string, Family> families_;
+};
+
+/// Renders a canonical (sorted) label set as `{k="v",...}`; empty set
+/// renders as "". Values are escaped (backslash, quote, newline).
+std::string RenderLabels(const LabelSet& labels);
+
+}  // namespace esr::obs
+
+#endif  // ESR_OBS_METRIC_REGISTRY_H_

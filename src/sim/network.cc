@@ -59,11 +59,13 @@ void Network::Send(SiteId source, SiteId destination, std::any payload,
     return;
   }
   const SimDuration latency = SampleLatency(source, destination, size_bytes);
+  ++in_flight_;
   simulator_->Schedule(
       latency, [this, source, destination, payload = std::move(payload)]() {
         // Re-check receiver liveness and partition at delivery time: a site
         // that crashed, or a partition that formed, while the message was in
         // flight loses the message.
+        --in_flight_;
         if (!site_up_[destination]) {
           counters_.Increment("net.dropped_receiver_down");
           return;

@@ -84,6 +84,9 @@ class Network {
   const Counters& counters() const { return counters_; }
   Counters& counters() { return counters_; }
 
+  /// Datagrams scheduled for delivery but not yet delivered or dropped.
+  int64_t InFlightCount() const { return in_flight_; }
+
  private:
   SimDuration SampleLatency(SiteId source, SiteId destination,
                             int64_t size_bytes);
@@ -99,6 +102,7 @@ class Network {
   bool partitioned_ = false;
   std::unordered_map<int64_t, SimDuration> link_latency_;  // key src*N+dst
   Counters counters_;
+  int64_t in_flight_ = 0;
 };
 
 }  // namespace esr::sim

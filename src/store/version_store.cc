@@ -69,4 +69,12 @@ uint64_t VersionStore::StateDigest() const {
   return h;
 }
 
+std::vector<ObjectId> VersionStore::ObjectIds() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(objects_.size());
+  for (const auto& [id, _] : objects_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 }  // namespace esr::store

@@ -62,6 +62,9 @@ class VersionStore {
   /// Deterministic digest over (object, timestamp, value) triples.
   uint64_t StateDigest() const;
 
+  /// All object ids with at least one version, sorted.
+  std::vector<ObjectId> ObjectIds() const;
+
  private:
   // Per object: versions keyed (and thus sorted) by timestamp.
   std::unordered_map<ObjectId, std::map<LamportTimestamp, Value>> objects_;

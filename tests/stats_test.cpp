@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
 namespace esr {
 namespace {
 
@@ -41,6 +47,33 @@ TEST(SummaryTest, PercentileAfterInterleavedAdds) {
   s.Add(9);
   EXPECT_DOUBLE_EQ(s.Percentile(50), 5);
   EXPECT_DOUBLE_EQ(s.max(), 9);
+}
+
+TEST(SummaryTest, InterleavedAddPercentileMatchesFullSort) {
+  // Regression for the sorted-prefix incremental Percentile: interleaving
+  // Adds with Percentile reads must give the same answers as sorting the
+  // whole sample set from scratch every time.
+  Summary s;
+  std::vector<double> all;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double v = static_cast<double>(rng.Uniform(0, 10'000));
+    s.Add(v);
+    all.push_back(v);
+    if (i % 7 == 0) {
+      std::vector<double> sorted = all;
+      std::sort(sorted.begin(), sorted.end());
+      for (double p : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+        // Nearest-rank definition, matching Summary::Percentile.
+        const size_t rank = static_cast<size_t>(
+            std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+        EXPECT_DOUBLE_EQ(s.Percentile(p), sorted[rank == 0 ? 0 : rank - 1])
+            << "p" << p << " after " << all.size() << " adds";
+      }
+      EXPECT_DOUBLE_EQ(s.min(), sorted.front());
+      EXPECT_DOUBLE_EQ(s.max(), sorted.back());
+    }
+  }
 }
 
 TEST(SummaryTest, ToStringMentionsCount) {

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "test_util.h"
 
@@ -64,6 +66,79 @@ TEST(TraceExportTest, StringValuesEscaped) {
   EXPECT_NE(jsonl.find("\\n"), std::string::npos);
   // Exactly one newline: the record terminator.
   EXPECT_EQ(CountLines(jsonl), 1);
+}
+
+/// Splits JSONL into lines, asserting each line is one object.
+std::vector<std::string> ParseLines(const std::string& jsonl) {
+  std::vector<std::string> lines;
+  std::stringstream stream(jsonl);
+  std::string line;
+  while (std::getline(stream, line)) {
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"kind\":\""), std::string::npos) << line;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+int CountKind(const std::vector<std::string>& lines, const std::string& kind) {
+  int n = 0;
+  for (const auto& line : lines) {
+    n += line.find("\"kind\":\"" + kind + "\"") != std::string::npos;
+  }
+  return n;
+}
+
+TEST(TraceExportTest, RoundTripCountsMatchHistory) {
+  // Multi-site ORDUP run with a mixed workload: every record in the export
+  // must parse line-by-line and the per-kind counts must equal what the
+  // HistoryRecorder holds.
+  core::ReplicatedSystem system(Config(Method::kOrdup));
+  for (int i = 0; i < 6; ++i) {
+    MustSubmit(system, static_cast<SiteId>(i % 3),
+               {Operation::Increment(i % 2, 1)});
+    system.RunFor(3'000);
+  }
+  system.RunUntilQuiescent();
+  RunQuery(system, 2, core::kUnboundedEpsilon, {0, 1});
+
+  const auto lines = ParseLines(ExportHistoryJsonl(system.history(), 3));
+  const auto& h = system.history();
+  int64_t applies = 0;
+  for (SiteId s = 0; s < 3; ++s) {
+    applies += static_cast<int64_t>(h.site_applies(s).size());
+  }
+  EXPECT_EQ(CountKind(lines, "update"),
+            static_cast<int>(h.updates().size()));
+  EXPECT_EQ(CountKind(lines, "apply"), applies);
+  EXPECT_EQ(CountKind(lines, "read"), static_cast<int>(h.reads().size()));
+  EXPECT_EQ(CountKind(lines, "query"), static_cast<int>(h.queries().size()));
+  EXPECT_EQ(lines.size(),
+            h.updates().size() + static_cast<size_t>(applies) +
+                h.reads().size() + h.queries().size());
+}
+
+TEST(TraceExportTest, SpanExportRoundTrip) {
+  core::ReplicatedSystem system(Config(Method::kOrdup));
+  MustSubmit(system, 1, {Operation::Increment(0, 2)});
+  system.RunUntilQuiescent();
+
+  const std::string jsonl = ExportSpansJsonl(system.tracer());
+  const auto lines = ParseLines(jsonl);
+  EXPECT_EQ(lines.size(), system.tracer().events().size());
+  EXPECT_EQ(CountKind(lines, "span"), static_cast<int>(lines.size()));
+  // One line per lifecycle phase of the single ET, in recording order.
+  EXPECT_NE(lines.front().find("\"phase\":\"submit\""), std::string::npos);
+  EXPECT_NE(lines.back().find("\"phase\":\"stable\""), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "/esr_span_test.jsonl";
+  ASSERT_TRUE(WriteSpansJsonl(system.tracer(), path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), jsonl);
+  std::remove(path.c_str());
 }
 
 TEST(TraceExportTest, WritesFile) {

@@ -4,8 +4,10 @@
 #
 # Usage:
 #   scripts/run_tier1.sh              # plain tier-1 build + ctest
-#   scripts/run_tier1.sh --sanitize   # same suite under AddressSanitizer
-#                                     # (separate build dir: build-asan)
+#   scripts/run_tier1.sh --sanitize   # same suite under ASan + UBSan
+#                                     # (separate build dir: build-asan);
+#                                     # scripts/run_tier2.sh is the gate
+#                                     # wrapper for this mode
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

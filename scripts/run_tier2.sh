@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-2 gate: the full tier-1 suite rebuilt under ASan + UBSan
+# (-DESR_SANITIZE=ON, separate build dir: build-asan). Run this before
+# merging anything that touches src/; it is the recurring home for the
+# sanitizer coverage ROADMAP.md calls for.
+#
+# Usage:
+#   scripts/run_tier2.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# halt_on_error keeps UBSan findings from scrolling past as warnings.
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+exec scripts/run_tier1.sh --sanitize

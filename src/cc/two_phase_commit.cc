@@ -107,13 +107,17 @@ void TwoPhaseCommitEngine::OnPrepare(SiteId coordinator,
   }
   auto index = std::make_shared<size_t>(0);
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, txn, coordinator, objects, index, step]() {
+  *step = [this, txn, coordinator, objects, index,
+           weak = std::weak_ptr<std::function<void()>>(step)]() {
+    // Alive for the duration of this call via the invoking copy; re-shared
+    // into the grant callback so the chain owns itself without a cycle.
+    auto self = weak.lock();
     // The transaction may have been decided (aborted) while we waited.
     if (!prepared_.count(txn)) return;
     while (*index < objects->size()) {
       const ObjectId object = (*objects)[*index];
       Status s = locks_.Acquire(txn, object, LockMode::kExclusiveStrict,
-                                store::OpKind::kWrite, [step]() { (*step)(); });
+                                store::OpKind::kWrite, [self]() { (*self)(); });
       if (s.ok()) {
         ++*index;
         continue;

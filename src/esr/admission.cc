@@ -1,0 +1,103 @@
+#include "esr/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace esr::core {
+
+namespace {
+
+obs::LabelSet SiteLabels(SiteId site) {
+  return {{"site", std::to_string(site)}};
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionConfig& config,
+                                         int num_sites,
+                                         obs::MetricRegistry* metrics)
+    : config_(config),
+      scale_(static_cast<size_t>(num_sites),
+             std::clamp(config.initial_scale, 0.0, 1.0)),
+      metrics_(metrics) {
+  if (metrics_ == nullptr) return;
+  metrics_->Describe("esr_admission_scale",
+                     "Adaptive admission scale per site: 0 admits queries at "
+                     "their declared min epsilon, 1 at their declared max.");
+  metrics_->Describe("esr_admission_samples_total",
+                     "Admission controller sampling ticks per site.");
+  metrics_->Describe(
+      "esr_admission_adjustments_total",
+      "Admission controller scale moves per site and direction "
+      "(loosen = toward declared max, tighten = toward declared min).");
+  metrics_->Describe("esr_admission_last_utilization",
+                     "Mean epsilon utilization of queries completed in the "
+                     "site's most recent sampling interval that had any.");
+  for (SiteId s = 0; s < num_sites; ++s) {
+    metrics_->GetGauge("esr_admission_scale", SiteLabels(s)).Set(scale_[s]);
+  }
+}
+
+AdmissionController::Decision AdmissionController::Observe(
+    SiteId site, const Signals& signals) {
+  ++ticks_;
+  double& scale = scale_[site];
+  Decision decision = Decision::kHold;
+
+  if (signals.blocked > 0 || signals.restarts > 0) {
+    // Queries are paying for the tight budget: give back headroom fast,
+    // toward the declared max.
+    if (scale < 1.0) {
+      scale = std::min(1.0, scale + config_.step_up);
+      decision = Decision::kLoosen;
+    }
+  } else if (signals.completed > 0) {
+    const double mean_utilization =
+        signals.utilization_sum / static_cast<double>(signals.completed);
+    const bool calm = signals.queue_depth <= config_.calm_queue_depth &&
+                      signals.max_divergence <= config_.calm_divergence;
+    if (mean_utilization <= config_.low_utilization && calm && scale > 0.0) {
+      // Budgets are going unused while replicas are close together:
+      // consistency is currently free, so tighten toward the min.
+      scale = std::max(0.0, scale - config_.step_down);
+      decision = Decision::kTighten;
+    }
+  }
+
+  if (metrics_ != nullptr) {
+    const obs::LabelSet site_labels = SiteLabels(site);
+    metrics_->GetCounter("esr_admission_samples_total", site_labels)
+        .Increment();
+    metrics_->GetGauge("esr_admission_scale", site_labels).Set(scale);
+    if (signals.completed > 0) {
+      metrics_
+          ->GetGauge("esr_admission_last_utilization", site_labels)
+          .Set(signals.utilization_sum / static_cast<double>(signals.completed));
+    }
+    if (decision != Decision::kHold) {
+      metrics_
+          ->GetCounter(
+              "esr_admission_adjustments_total",
+              {{"site", std::to_string(site)},
+               {"direction",
+                decision == Decision::kLoosen ? "loosen" : "tighten"}})
+          .Increment();
+    }
+  }
+  return decision;
+}
+
+int64_t AdmissionController::Effective(SiteId site, int64_t min_epsilon,
+                                       int64_t max_epsilon) const {
+  if (max_epsilon == kUnboundedEpsilon) return max_epsilon;
+  if (min_epsilon >= max_epsilon) return max_epsilon;
+  const double scale = scale_[site];
+  const int64_t span = max_epsilon - min_epsilon;
+  const int64_t effective =
+      min_epsilon +
+      static_cast<int64_t>(std::llround(scale * static_cast<double>(span)));
+  return std::clamp(effective, min_epsilon, max_epsilon);
+}
+
+}  // namespace esr::core

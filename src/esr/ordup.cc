@@ -151,7 +151,8 @@ Result<Value> OrdupMethod::TryQueryRead(QueryState& query, ObjectId object) {
     // Strict (restarted, or epsilon already exhausted at start) queries run
     // "in the global order": freeze the applier at the pin so every read
     // sees exactly the state after update #pin.
-    if (query.strict || query.epsilon - query.inconsistency <= 0) {
+    if ((query.strict || query.epsilon - query.inconsistency <= 0) &&
+        !query.holds_pause) {
       PauseApplier();
       query.holds_pause = true;
     }
@@ -222,6 +223,17 @@ void OrdupMethod::OnQueryEnd(QueryState& query) {
     noop.global_order = it->second;
     buffer_.Offer(it->second, std::any(std::move(noop)));
     query_positions_.erase(it);
+  }
+}
+
+void OrdupMethod::OnQueryRestart(QueryState& query) {
+  // The restarted attempt is abandoned but the query lives on: release the
+  // applier pause (ResetForRestart() must not clear the flag itself — that
+  // would leave pause_depth_ elevated and the TotalOrderBuffer frozen).
+  // A sequenced query keeps its order position across restarts.
+  if (query.holds_pause) {
+    query.holds_pause = false;
+    ResumeApplier();
   }
 }
 

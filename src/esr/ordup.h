@@ -40,6 +40,7 @@ class OrdupMethod : public ReplicaControlMethod {
   Result<Value> TryQueryRead(QueryState& query, ObjectId object) override;
   void OnQueryBegin(QueryState& query) override;
   void OnQueryEnd(QueryState& query) override;
+  void OnQueryRestart(QueryState& query) override;
 
   /// Sequenced-query support (config.ordup_sequenced_queries): reads the
   /// query's assigned global position, or 0 if none yet.

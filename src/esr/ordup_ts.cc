@@ -96,7 +96,8 @@ Result<Value> OrdupTsMethod::TryQueryRead(QueryState& query,
   if (!query.pinned) {
     query.pinned = true;
     query.order_pin = release_index_;
-    if (query.strict || query.epsilon - query.inconsistency <= 0) {
+    if ((query.strict || query.epsilon - query.inconsistency <= 0) &&
+        !query.holds_pause) {
       ++pause_depth_;
       query.holds_pause = true;
     }
@@ -129,6 +130,16 @@ Result<Value> OrdupTsMethod::TryQueryRead(QueryState& query,
 }
 
 void OrdupTsMethod::OnQueryEnd(QueryState& query) {
+  if (query.holds_pause) {
+    query.holds_pause = false;
+    assert(pause_depth_ > 0);
+    if (--pause_depth_ == 0) TryRelease();
+  }
+}
+
+void OrdupTsMethod::OnQueryRestart(QueryState& query) {
+  // Same contract as ORDUP: the abandoned attempt's release pause must be
+  // handed back here, never dropped by ResetForRestart() alone.
   if (query.holds_pause) {
     query.holds_pause = false;
     assert(pause_depth_ > 0);

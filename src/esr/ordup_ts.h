@@ -45,6 +45,7 @@ class OrdupTsMethod : public ReplicaControlMethod {
   void OnMsetDelivered(const Mset& mset) override;
   Result<Value> TryQueryRead(QueryState& query, ObjectId object) override;
   void OnQueryEnd(QueryState& query) override;
+  void OnQueryRestart(QueryState& query) override;
 
   /// Number of MSets applied at this site (the release watermark).
   int64_t ReleaseIndex() const { return release_index_; }

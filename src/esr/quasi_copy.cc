@@ -106,11 +106,6 @@ void QuasiCopyMethod::FlushDirty() {
   for (ObjectId object : objects) RefreshObject(object);
 }
 
-void QuasiCopyMethod::OnWatermarkAdvance() {
-  // Heartbeats double as the delay-condition timer at the primary.
-  if (ctx_.config->quasi_refresh_interval_us > 0) FlushDirty();
-}
-
 void QuasiCopyMethod::OnMsetDelivered(const Mset& mset) {
   // A cache refresh from the primary.
   assert(!IsPrimary());

@@ -45,8 +45,8 @@ class QuasiCopyMethod : public ReplicaControlMethod {
   Result<Value> TryQueryRead(QueryState& query, ObjectId object) override;
 
   /// Flushes every dirty object to the caches (primary only; no-op
-  /// elsewhere). Also invoked by the heartbeat hook when a periodic
-  /// refresh interval is configured.
+  /// elsewhere). Invoked by the delay-condition refresh timer and at
+  /// quiescence.
   void FlushDirty();
 
   /// Objects currently lagging at the caches (primary's view).
@@ -54,8 +54,11 @@ class QuasiCopyMethod : public ReplicaControlMethod {
 
   void OnQuiesceFlush() override { FlushDirty(); }
 
- protected:
-  void OnWatermarkAdvance() override;
+  /// The "delay condition": the facade ticks this every
+  /// quasi_refresh_interval_us on a dedicated timer (historically it rode
+  /// the heartbeat schedule, so refresh silently ran at heartbeat cadence —
+  /// or never, with heartbeats off).
+  void OnRefreshTimer() override { FlushDirty(); }
 
  private:
   struct Forwarded {

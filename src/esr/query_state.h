@@ -14,6 +14,16 @@ namespace esr::core {
 inline constexpr int64_t kUnboundedEpsilon =
     std::numeric_limits<int64_t>::max();
 
+/// User-declared admission bounds for one query ET. The admission
+/// controller picks the *effective* epsilon inside [min, max]; with the
+/// controller disabled the query runs at the declared max.
+struct QueryBounds {
+  int64_t min_epsilon = 0;
+  int64_t max_epsilon = kUnboundedEpsilon;
+  int64_t min_value_epsilon = 0;
+  int64_t max_value_epsilon = kUnboundedEpsilon;
+};
+
 /// Mutable state of an in-progress query ET.
 ///
 /// The *inconsistency counter* is the paper's central bounding device: each
@@ -24,8 +34,15 @@ inline constexpr int64_t kUnboundedEpsilon =
 struct QueryState {
   EtId id = kInvalidEtId;
   SiteId site = kInvalidSiteId;
-  /// Divergence limit chosen by the user for this query ET.
+  /// *Effective* divergence limit the query runs under. With adaptive
+  /// admission this is what the controller granted inside
+  /// [declared min, declared_epsilon]; otherwise it equals the declared
+  /// bound. All method-side enforcement reads this field.
   int64_t epsilon = kUnboundedEpsilon;
+  /// Divergence limit the user declared (the max the query tolerates).
+  /// `epsilon <= declared_epsilon` always, so the paper's per-query bound
+  /// holds a fortiori against the declared value.
+  int64_t declared_epsilon = kUnboundedEpsilon;
   /// Inconsistency accumulated so far (never exceeds epsilon).
   int64_t inconsistency = 0;
 
@@ -34,6 +51,8 @@ struct QueryState {
   /// changes the query may have missed. Enforced by the counter-based
   /// methods (COMMU, RITU-SV).
   int64_t value_epsilon = kUnboundedEpsilon;
+  /// Value-units divergence limit the user declared.
+  int64_t declared_value_epsilon = kUnboundedEpsilon;
   /// Value-units inconsistency accumulated (never exceeds value_epsilon).
   int64_t value_inconsistency = 0;
 
@@ -78,16 +97,25 @@ struct QueryState {
 
   /// Resets per-attempt state for a strict restart (identity and the site
   /// stay; accounting starts over).
+  ///
+  /// Precondition: any method-side resources the attempt held — in
+  /// particular an ORDUP/ORDUP-TS applier pause — have been released via
+  /// ReplicaControlMethod::OnQueryRestart(). This function deliberately
+  /// does NOT touch `holds_pause`: clearing the flag here without resuming
+  /// the applier would leak the pause and freeze the site's
+  /// TotalOrderBuffer forever. If the precondition is violated the flag
+  /// stays true, the pin path skips re-acquiring, and OnQueryEnd still
+  /// releases the pause exactly once.
   void ResetForRestart() {
     inconsistency = 0;
     value_inconsistency = 0;
     pinned = false;
     order_pin = 0;
-    holds_pause = false;
     vtnc_pin.reset();
     charged_marks.clear();
     charged_weight_marks.clear();
     read_objects.clear();
+    compensation_hits = 0;
     ++restarts;
     strict = true;
   }

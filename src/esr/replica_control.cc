@@ -80,6 +80,7 @@ Status ReplicaControlMethod::AdmitUpdate(
 
 void ReplicaControlMethod::OnQueryBegin(QueryState& /*query*/) {}
 void ReplicaControlMethod::OnQueryEnd(QueryState& /*query*/) {}
+void ReplicaControlMethod::OnQueryRestart(QueryState& /*query*/) {}
 
 Status ReplicaControlMethod::SubmitDecision(EtId /*et*/, bool /*commit*/) {
   return Status::FailedPrecondition(

@@ -106,6 +106,13 @@ class ReplicaControlMethod {
   /// A query ET finished at this site (release pauses etc.; default no-op).
   virtual void OnQueryEnd(QueryState& query);
 
+  /// A query ET at this site hit kInconsistencyLimit and is about to be
+  /// strict-restarted via QueryState::ResetForRestart(). Unlike OnQueryEnd
+  /// the query is *not* over: methods must release per-attempt resources
+  /// (ORDUP/ORDUP-TS: the applier pause) but keep identity-scoped state
+  /// such as a sequenced-ORDUP order position. Default: no-op.
+  virtual void OnQueryRestart(QueryState& query);
+
   /// COMPE only: the global outcome of a tentative update ET originated at
   /// this site. Default: error (forward methods take no decisions).
   virtual Status SubmitDecision(EtId et, bool commit);
@@ -155,6 +162,11 @@ class ReplicaControlMethod {
   /// the method batches (quasi-copies flushes lagging cache refreshes).
   /// Default: no-op.
   virtual void OnQuiesceFlush() {}
+
+  /// Periodic method-owned timer tick, scheduled by the facade at
+  /// SystemConfig::quasi_refresh_interval_us independently of heartbeats.
+  /// Quasi-copies implements the "delay condition" here. Default: no-op.
+  virtual void OnRefreshTimer() {}
 
  protected:
 

@@ -119,7 +119,16 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
     if (sites_[s]->method) sites_[s]->method->OnRestart();
   };
 
+  if (config_.admission.enabled && !IsSyncMethod()) {
+    admission_ = std::make_unique<AdmissionController>(
+        config_.admission, config_.num_sites, &metrics_);
+    admission_totals_.resize(config_.num_sites);
+    admission_prev_.resize(config_.num_sites);
+  }
+
   StartHeartbeats();
+  StartQuasiRefresh();
+  StartAdmissionSampling();
 }
 
 ReplicatedSystem::~ReplicatedSystem() = default;
@@ -132,14 +141,81 @@ void ReplicatedSystem::StartHeartbeats() {
     // Stagger the first beats so sites don't synchronize.
     const SimDuration first =
         config_.heartbeat_interval_us * (s + 1) / config_.num_sites;
-    // Self-rescheduling closure.
+    // Self-rescheduling closure. The scheduled event copies own the
+    // function (shared_ptr); the closure holds only a weak self-reference,
+    // so the chain is freed as soon as it stops rescheduling.
     auto beat = std::make_shared<std::function<void()>>();
-    *beat = [this, s, beat]() {
+    *beat = [this, s, weak = std::weak_ptr<std::function<void()>>(beat)]() {
       if (!heartbeats_on_) return;
       sites_[s]->method->SendHeartbeat();
-      simulator_.Schedule(config_.heartbeat_interval_us, *beat);
+      if (auto self = weak.lock()) {
+        simulator_.Schedule(config_.heartbeat_interval_us,
+                            [self] { (*self)(); });
+      }
     };
-    simulator_.Schedule(first, *beat);
+    simulator_.Schedule(first, [beat] { (*beat)(); });
+  }
+}
+
+void ReplicatedSystem::StartQuasiRefresh() {
+  if (config_.quasi_refresh_interval_us <= 0 || IsSyncMethod()) return;
+  if (quasi_refresh_on_) return;
+  quasi_refresh_on_ = true;
+  // The delay condition runs on its own timer: refresh cadence must follow
+  // quasi_refresh_interval_us even when heartbeats are disabled or run at a
+  // different period.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, weak = std::weak_ptr<std::function<void()>>(tick)]() {
+    if (!quasi_refresh_on_) return;
+    for (auto& site : sites_) site->method->OnRefreshTimer();
+    if (auto self = weak.lock()) {
+      simulator_.Schedule(config_.quasi_refresh_interval_us,
+                          [self] { (*self)(); });
+    }
+  };
+  simulator_.Schedule(config_.quasi_refresh_interval_us, [tick] { (*tick)(); });
+}
+
+void ReplicatedSystem::StartAdmissionSampling() {
+  if (admission_ == nullptr) return;
+  if (admission_sampling_on_) return;
+  admission_sampling_on_ = true;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, weak = std::weak_ptr<std::function<void()>>(tick)]() {
+    if (!admission_sampling_on_) return;
+    SampleAdmissionSignals();
+    if (auto self = weak.lock()) {
+      simulator_.Schedule(config_.admission.sample_interval_us,
+                          [self] { (*self)(); });
+    }
+  };
+  simulator_.Schedule(config_.admission.sample_interval_us,
+                      [tick] { (*tick)(); });
+}
+
+void ReplicatedSystem::SampleAdmissionSignals() {
+  // System-wide divergence scan once per tick (not per site).
+  const DivergenceScan scan = ScanDivergence(/*export_per_object_gauges=*/false);
+  for (SiteId s = 0; s < config_.num_sites; ++s) {
+    // Cumulative view: completed-query totals plus the live queries'
+    // pressure counters (blocked_attempts/restarts are monotone per query
+    // and move into the totals at EndQuery, so the sum never regresses).
+    AdmissionTotals cum = admission_totals_[s];
+    for (const auto& [_, q] : active_queries_) {
+      if (q.site != s) continue;
+      cum.blocked += q.blocked_attempts;
+      cum.restarts += q.restarts;
+    }
+    AdmissionController::Signals sig;
+    sig.completed = cum.completed - admission_prev_[s].completed;
+    sig.utilization_sum =
+        cum.utilization_sum - admission_prev_[s].utilization_sum;
+    sig.blocked = cum.blocked - admission_prev_[s].blocked;
+    sig.restarts = cum.restarts - admission_prev_[s].restarts;
+    sig.queue_depth = tracer_.QueueDepth(s);
+    sig.max_divergence = scan.max_spread;
+    admission_->Observe(s, sig);
+    admission_prev_[s] = cum;
   }
 }
 
@@ -254,14 +330,34 @@ Status ReplicatedSystem::EndSaga(EtId saga, bool commit) {
 
 EtId ReplicatedSystem::BeginQuery(SiteId site, int64_t epsilon,
                                   int64_t value_epsilon) {
+  QueryBounds bounds;
+  bounds.max_epsilon = epsilon;
+  bounds.max_value_epsilon = value_epsilon;
+  bounds.min_epsilon = std::min(config_.admission.default_min_epsilon, epsilon);
+  bounds.min_value_epsilon =
+      std::min(config_.admission.default_min_epsilon, value_epsilon);
+  return BeginQuery(site, bounds);
+}
+
+EtId ReplicatedSystem::BeginQuery(SiteId site, const QueryBounds& bounds) {
   assert(site >= 0 && site < config_.num_sites);
-  assert(epsilon >= 0 && value_epsilon >= 0);
+  assert(bounds.min_epsilon >= 0 && bounds.max_epsilon >= 0);
+  assert(bounds.min_value_epsilon >= 0 && bounds.max_value_epsilon >= 0);
   const EtId et = next_et_++;
   QueryState q;
   q.id = et;
   q.site = site;
-  q.epsilon = epsilon;
-  q.value_epsilon = value_epsilon;
+  q.declared_epsilon = bounds.max_epsilon;
+  q.declared_value_epsilon = bounds.max_value_epsilon;
+  if (admission_ != nullptr) {
+    q.epsilon = admission_->Effective(site, bounds.min_epsilon,
+                                      bounds.max_epsilon);
+    q.value_epsilon = admission_->Effective(site, bounds.min_value_epsilon,
+                                            bounds.max_value_epsilon);
+  } else {
+    q.epsilon = bounds.max_epsilon;
+    q.value_epsilon = bounds.max_value_epsilon;
+  }
   auto [it, inserted] = active_queries_.emplace(et, std::move(q));
   assert(inserted);
   if (!IsSyncMethod()) sites_[site]->method->OnQueryBegin(it->second);
@@ -319,9 +415,7 @@ void ReplicatedSystem::Read(EtId query, ObjectId object, ReadCallback done) {
   if (r.status().IsInconsistencyLimit()) {
     // Strict restart: release anything held, reset accounting, try again —
     // the strict path cannot hit the limit.
-    sites_[q.site]->method->OnQueryEnd(q);
-    q.ResetForRestart();
-    counters_.Increment("esr.query_restarts");
+    RestartQuery(q);
     Result<Value> retry = sites_[q.site]->method->TryQueryRead(q, object);
     if (retry.ok()) {
       done(std::move(retry));
@@ -340,7 +434,8 @@ void ReplicatedSystem::ScheduleReadRetry(EtId query, ObjectId object,
                                          ReadCallback done) {
   auto retry = std::make_shared<std::function<void()>>();
   auto done_ptr = std::make_shared<ReadCallback>(std::move(done));
-  *retry = [this, query, object, done_ptr, retry]() {
+  *retry = [this, query, object, done_ptr,
+            weak = std::weak_ptr<std::function<void()>>(retry)]() {
     auto it = active_queries_.find(query);
     if (it == active_queries_.end()) {
       (*done_ptr)(Result<Value>(Status::Aborted("query ended while blocked")));
@@ -353,15 +448,27 @@ void ReplicatedSystem::ScheduleReadRetry(EtId query, ObjectId object,
       return;
     }
     if (r.status().IsInconsistencyLimit()) {
-      sites_[it->second.site]->method->OnQueryEnd(it->second);
-      it->second.ResetForRestart();
-      counters_.Increment("esr.query_restarts");
-      simulator_.Schedule(0, *retry);
+      RestartQuery(it->second);
+      if (auto self = weak.lock()) simulator_.Schedule(0, [self] { (*self)(); });
       return;
     }
-    simulator_.Schedule(config_.read_retry_interval_us, *retry);
+    if (auto self = weak.lock()) {
+      simulator_.Schedule(config_.read_retry_interval_us,
+                          [self] { (*self)(); });
+    }
   };
-  simulator_.Schedule(config_.read_retry_interval_us, *retry);
+  simulator_.Schedule(config_.read_retry_interval_us, [retry] { (*retry)(); });
+}
+
+void ReplicatedSystem::RestartQuery(QueryState& q) {
+  // Not OnQueryEnd: the query stays alive, so only per-attempt resources
+  // are released (the ORDUP applier pause in particular — see the
+  // ResetForRestart precondition). A sequenced-ORDUP query's order
+  // position survives the restart; ending it here would release the
+  // position permanently and hang the retry.
+  sites_[q.site]->method->OnQueryRestart(q);
+  q.ResetForRestart();
+  counters_.Increment("esr.query_restarts");
 }
 
 Status ReplicatedSystem::EndQuery(EtId query) {
@@ -398,11 +505,24 @@ Status ReplicatedSystem::EndQuery(EtId query) {
   if (q.epsilon != kUnboundedEpsilon && q.epsilon > 0) {
     // How much of its divergence budget the query actually consumed — the
     // paper's inconsistency-vs-epsilon accumulation, as a ratio in [0, 1].
+    // With adaptive admission this is utilization of the *effective*
+    // budget, which is exactly what the controller feeds back on.
+    const double utilization = static_cast<double>(q.inconsistency) /
+                               static_cast<double>(q.epsilon);
     metrics_
         .GetHistogram("esr_query_epsilon_utilization", method_label,
                       {0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0})
-        .Observe(static_cast<double>(q.inconsistency) /
-                 static_cast<double>(q.epsilon));
+        .Observe(utilization);
+    if (admission_ != nullptr) {
+      admission_totals_[q.site].completed += 1;
+      admission_totals_[q.site].utilization_sum += utilization;
+    }
+  }
+  if (admission_ != nullptr) {
+    // Move the query's pressure counters from the live view into the
+    // completed totals (the sampler folds live queries in itself).
+    admission_totals_[q.site].blocked += q.blocked_attempts;
+    admission_totals_[q.site].restarts += q.restarts;
   }
   active_queries_.erase(it);
   return Status::Ok();
@@ -414,9 +534,14 @@ const QueryState* ReplicatedSystem::query_state(EtId query) const {
 }
 
 void ReplicatedSystem::RunUntilQuiescent() {
-  // Heartbeats self-perpetuate; silence them so the queue can drain.
+  // Heartbeats (and the other periodic timers) self-perpetuate; silence
+  // them so the queue can drain.
   const bool had_heartbeats = heartbeats_on_;
+  const bool had_quasi_refresh = quasi_refresh_on_;
+  const bool had_admission = admission_sampling_on_;
   heartbeats_on_ = false;
+  quasi_refresh_on_ = false;
+  admission_sampling_on_ = false;
   simulator_.Run();
   if (!IsSyncMethod()) {
     // Flush a few explicit heartbeat rounds so every site's clock
@@ -434,6 +559,12 @@ void ReplicatedSystem::RunUntilQuiescent() {
   }
   if (had_heartbeats) {
     StartHeartbeats();
+  }
+  if (had_quasi_refresh) {
+    StartQuasiRefresh();
+  }
+  if (had_admission) {
+    StartAdmissionSampling();
   }
 }
 
@@ -484,15 +615,39 @@ void ReplicatedSystem::SampleGauges() {
   metrics_.GetGauge("esr_network_in_flight")
       .Set(static_cast<double>(network_->InFlightCount()));
 
-  // Per-object replica divergence over integer objects. Capped so the gauge
-  // family stays low-cardinality on wide keyspaces: beyond the cap only the
-  // aggregate counts are maintained.
+  const DivergenceScan scan = ScanDivergence(/*export_per_object_gauges=*/true);
+  metrics_.GetGauge("esr_divergent_objects")
+      .Set(static_cast<double>(scan.divergent_objects));
+  metrics_.GetGauge("esr_replica_divergence_max")
+      .Set(static_cast<double>(scan.max_spread));
+  metrics_.GetGauge("esr_converged").Set(Converged() ? 1 : 0);
+
+  // Mirror the ad-hoc string counters of the network and per-site
+  // transports as labeled gauges, so one snapshot carries every layer.
+  for (const auto& [name, value] : network_->counters().Snapshot()) {
+    metrics_.GetGauge("esr_network_events", {{"event", name}})
+        .Set(static_cast<double>(value));
+  }
+  for (SiteId s = 0; s < config_.num_sites; ++s) {
+    for (const auto& [name, value] : sites_[s]->queues->counters().Snapshot()) {
+      metrics_
+          .GetGauge("esr_transport_events",
+                    {{"event", name}, {"site", std::to_string(s)}})
+          .Set(static_cast<double>(value));
+    }
+  }
+}
+
+ReplicatedSystem::DivergenceScan ReplicatedSystem::ScanDivergence(
+    bool export_per_object_gauges) {
+  // Per-object replica divergence over integer objects. The per-object
+  // gauge family is capped so it stays low-cardinality on wide keyspaces:
+  // beyond the cap only the aggregates are maintained.
   constexpr size_t kMaxPerObjectSeries = 64;
   const std::vector<ObjectId> objects =
       config_.method == Method::kRituMulti ? sites_[0]->versions.ObjectIds()
                                            : sites_[0]->store.ObjectIds();
-  int64_t divergent = 0;
-  int64_t max_divergence = 0;
+  DivergenceScan scan;
   for (const ObjectId object : objects) {
     bool all_int = true;
     bool differs = false;
@@ -510,35 +665,17 @@ void ReplicatedSystem::SampleGauges() {
       }
     }
     const int64_t spread = (all_int && first.is_int()) ? hi - lo : 0;
-    if (differs) ++divergent;
-    max_divergence = std::max(max_divergence, spread);
-    if (static_cast<size_t>(object) < kMaxPerObjectSeries) {
+    if (differs) ++scan.divergent_objects;
+    scan.max_spread = std::max(scan.max_spread, spread);
+    if (export_per_object_gauges &&
+        static_cast<size_t>(object) < kMaxPerObjectSeries) {
       metrics_
           .GetGauge("esr_replica_divergence",
                     {{"object", std::to_string(object)}})
           .Set(static_cast<double>(spread));
     }
   }
-  metrics_.GetGauge("esr_divergent_objects")
-      .Set(static_cast<double>(divergent));
-  metrics_.GetGauge("esr_replica_divergence_max")
-      .Set(static_cast<double>(max_divergence));
-  metrics_.GetGauge("esr_converged").Set(Converged() ? 1 : 0);
-
-  // Mirror the ad-hoc string counters of the network and per-site
-  // transports as labeled gauges, so one snapshot carries every layer.
-  for (const auto& [name, value] : network_->counters().Snapshot()) {
-    metrics_.GetGauge("esr_network_events", {{"event", name}})
-        .Set(static_cast<double>(value));
-  }
-  for (SiteId s = 0; s < config_.num_sites; ++s) {
-    for (const auto& [name, value] : sites_[s]->queues->counters().Snapshot()) {
-      metrics_
-          .GetGauge("esr_transport_events",
-                    {{"event", name}, {"site", std::to_string(s)}})
-          .Set(static_cast<double>(value));
-    }
-  }
+  return scan;
 }
 
 std::string ReplicatedSystem::MetricsSnapshot() {

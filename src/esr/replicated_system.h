@@ -10,6 +10,7 @@
 #include "cc/two_phase_commit.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "esr/admission.h"
 #include "esr/config.h"
 #include "esr/replica_control.h"
 #include "obs/et_tracer.h"
@@ -59,6 +60,8 @@ class ReplicatedSystem {
   const obs::MetricRegistry& metrics() const { return metrics_; }
   obs::EtTracer& tracer() { return tracer_; }
   const obs::EtTracer& tracer() const { return tracer_; }
+  /// Null unless config.admission.enabled (and the method is asynchronous).
+  const AdmissionController* admission() const { return admission_.get(); }
 
   /// --- Update epsilon-transactions ---------------------------------------
 
@@ -98,9 +101,18 @@ class ReplicatedSystem {
   /// Starts a query ET at `site` with inconsistency limit `epsilon` and an
   /// optional value-units limit (the magnitude of in-progress change the
   /// query may ignore; enforced by the counter-based methods COMMU and
-  /// RITU-SV, see QueryState::value_epsilon).
+  /// RITU-SV, see QueryState::value_epsilon). With adaptive admission
+  /// enabled the declared values become the query's *max* bounds and the
+  /// min bound is config.admission.default_min_epsilon (clamped to the
+  /// declared value).
   EtId BeginQuery(SiteId site, int64_t epsilon = kUnboundedEpsilon,
                   int64_t value_epsilon = kUnboundedEpsilon);
+
+  /// Starts a query ET with explicit per-query admission bounds: the
+  /// adaptive controller grants an effective epsilon inside
+  /// [bounds.min_epsilon, bounds.max_epsilon] (and likewise for value
+  /// units); with the controller disabled the query runs at the max.
+  EtId BeginQuery(SiteId site, const QueryBounds& bounds);
 
   /// Single read attempt; may return kUnavailable (retry later) or
   /// kInconsistencyLimit (restart required). Not supported by the sync
@@ -170,7 +182,25 @@ class ReplicatedSystem {
            config_.method == Method::kSyncQuorum;
   }
   void StartHeartbeats();
+  /// Quasi-copies delay-condition timer: ticks every method's
+  /// OnRefreshTimer() at config.quasi_refresh_interval_us, independent of
+  /// the heartbeat schedule.
+  void StartQuasiRefresh();
+  /// Adaptive-admission sampling timer (config.admission.sample_interval_us).
+  void StartAdmissionSampling();
+  void SampleAdmissionSignals();
+  /// Strict restart: release method-held attempt resources, reset the
+  /// query's accounting, bump counters.
+  void RestartQuery(QueryState& q);
   void ScheduleReadRetry(EtId query, ObjectId object, ReadCallback done);
+
+  /// One pass over all objects comparing replica values (shared by
+  /// SampleGauges and the admission sampler).
+  struct DivergenceScan {
+    int64_t divergent_objects = 0;
+    int64_t max_spread = 0;
+  };
+  DivergenceScan ScanDivergence(bool export_per_object_gauges);
 
   SystemConfig config_;
   sim::Simulator simulator_;
@@ -191,6 +221,22 @@ class ReplicatedSystem {
   std::unordered_map<EtId, Saga> sagas_;
   bool heartbeats_on_ = false;
   std::vector<sim::EventId> heartbeat_events_;
+  bool quasi_refresh_on_ = false;
+  bool admission_sampling_on_ = false;
+
+  std::unique_ptr<AdmissionController> admission_;
+  /// Cumulative per-site admission signals from *completed* queries (live
+  /// queries are folded in at sample time, so the cumulative view stays
+  /// monotone as queries end).
+  struct AdmissionTotals {
+    int64_t completed = 0;
+    double utilization_sum = 0;
+    int64_t blocked = 0;
+    int64_t restarts = 0;
+  };
+  std::vector<AdmissionTotals> admission_totals_;
+  /// The cumulative view at the previous sampling tick (for deltas).
+  std::vector<AdmissionTotals> admission_prev_;
 };
 
 }  // namespace esr::core

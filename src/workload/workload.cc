@@ -163,7 +163,12 @@ void WorkloadRunner::IssueQuery(std::shared_ptr<Client> client) {
   ++result_.queries_started;
   auto reads_left = std::make_shared<int>(spec_.reads_per_query);
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, client, query, begin, reads_left, step]() {
+  *step = [this, client, query, begin, reads_left,
+           weak = std::weak_ptr<std::function<void()>>(step)]() {
+    // Alive for the duration of this call via the invoking copy; re-shared
+    // into the read callback below so the chain owns itself without a
+    // reference cycle.
+    auto self = weak.lock();
     if (*reads_left == 0) {
       const core::QueryState* q = system_->query_state(query);
       if (q != nullptr) {
@@ -184,14 +189,14 @@ void WorkloadRunner::IssueQuery(std::shared_ptr<Client> client) {
     }
     --*reads_left;
     const ObjectId object = PickObject(client->rng);
-    system_->Read(query, object, [this, step](Result<Value> v) {
+    system_->Read(query, object, [this, self](Result<Value> v) {
       if (v.ok()) {
         ++result_.reads_completed;
         if (spec_.read_gap_us > 0) {
           system_->simulator().Schedule(spec_.read_gap_us,
-                                        [step]() { (*step)(); });
+                                        [self]() { (*self)(); });
         } else {
-          (*step)();
+          (*self)();
         }
       } else {
         // Read failed terminally (e.g., query ended by teardown); the query

@@ -151,6 +151,25 @@ TEST(CompeTest, CompensationHitChargedToLiveQuery) {
   EXPECT_EQ(system.SiteValue(0, 0).AsInt(), 0);
 }
 
+TEST(CompeTest, RestartClearsCompensationHitsWithOtherCounters) {
+  // Regression: ResetForRestart() used to carry compensation_hits from the
+  // abandoned attempt into the restarted query's accounting.
+  ReplicatedSystem system(Config(Method::kCompe));
+  const EtId et = MustSubmit(system, 0, {Operation::Increment(0, 9)});
+  const EtId q = system.BeginQuery(0, /*epsilon=*/5);
+  ASSERT_TRUE(system.TryRead(q, 0).ok());
+  ASSERT_TRUE(system.Decide(et, false).ok());
+  ASSERT_EQ(system.query_state(q)->compensation_hits, 1);
+  QueryState copy = *system.query_state(q);
+  copy.ResetForRestart();
+  EXPECT_EQ(copy.compensation_hits, 0)
+      << "per-attempt counters must start over on restart";
+  EXPECT_EQ(copy.inconsistency, 0);
+  EXPECT_EQ(copy.restarts, 1);
+  ASSERT_TRUE(system.EndQuery(q).ok());
+  system.RunUntilQuiescent();
+}
+
 TEST(CompeTest, AbortedUpdatesExcludedFromSerialHistory) {
   ReplicatedSystem system(Config(Method::kCompe, 3, 41));
   std::vector<EtId> ets;

@@ -19,11 +19,15 @@ struct Fingerprint {
   int64_t queries = 0;
   int64_t msets_applied = 0;
   int64_t reads_recorded = 0;
+  int64_t blocked_attempts = 0;
+  int64_t restarts = 0;
+  double inconsistency_sum = 0;
 
   friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
 };
 
-Fingerprint RunOnce(Method method, Transport transport, uint64_t seed) {
+Fingerprint RunOnce(Method method, Transport transport, uint64_t seed,
+                    bool adaptive_admission = false) {
   SystemConfig config;
   config.method = method;
   config.transport = transport;
@@ -31,6 +35,10 @@ Fingerprint RunOnce(Method method, Transport transport, uint64_t seed) {
   config.seed = seed;
   config.network.loss_probability = 0.15;
   config.network.jitter_us = 2'000;
+  if (adaptive_admission) {
+    config.admission.enabled = true;
+    config.admission.initial_scale = 0.5;
+  }
   ReplicatedSystem system(config);
 
   workload::WorkloadSpec spec;
@@ -59,6 +67,9 @@ Fingerprint RunOnce(Method method, Transport transport, uint64_t seed) {
   fp.queries = result.queries_completed;
   fp.msets_applied = system.counters().Get("esr.msets_applied");
   fp.reads_recorded = static_cast<int64_t>(system.history().reads().size());
+  fp.blocked_attempts = result.query_blocked_attempts;
+  fp.restarts = result.query_restarts;
+  fp.inconsistency_sum = result.query_inconsistency.sum();
   return fp;
 }
 
@@ -73,6 +84,26 @@ TEST_P(Determinism, IdenticalRunsProduceIdenticalFingerprints) {
   // And a different seed genuinely changes the execution.
   const Fingerprint c = RunOnce(method, transport, 778);
   EXPECT_FALSE(a == c) << "seed must matter";
+}
+
+TEST(AdmissionDeterminism, AdaptiveControllerPreservesDeterminism) {
+  // The admission loop samples only simulated-time state, so enabling it
+  // must not cost the (configuration, seed) -> execution guarantee.
+  for (Method method :
+       {Method::kOrdup, Method::kOrdupTs, Method::kCommu,
+        Method::kRituSingle}) {
+    const Fingerprint a =
+        RunOnce(method, Transport::kStableQueue, 991, /*adaptive=*/true);
+    const Fingerprint b =
+        RunOnce(method, Transport::kStableQueue, 991, /*adaptive=*/true);
+    EXPECT_EQ(a, b) << "method " << MethodToString(method);
+    // And the controller genuinely changes the execution relative to
+    // static admission (it grants different effective budgets).
+    const Fingerprint c =
+        RunOnce(method, Transport::kStableQueue, 991, /*adaptive=*/false);
+    EXPECT_FALSE(a == c)
+        << "adaptive admission had no effect for " << MethodToString(method);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

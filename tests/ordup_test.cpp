@@ -148,6 +148,64 @@ TEST(OrdupTest, ExhaustedBudgetForcesStrictRestart) {
   ASSERT_TRUE(system.EndQuery(q).ok());
 }
 
+TEST(OrdupTest, RestartWhilePausedDoesNotLeakApplierPause) {
+  // Regression: ResetForRestart() used to clear holds_pause without going
+  // through ResumeApplier(), so a query restarted while holding the pause
+  // left pause_depth_ elevated and the site's TotalOrderBuffer frozen
+  // forever. The facade's restart path plus the strict re-read must leave
+  // the pause balanced.
+  ReplicatedSystem system(Config(Method::kOrdup));
+  ReplicaControlMethod* m = system.site_method(1);
+  QueryState q;
+  q.id = 999;
+  q.site = 1;
+  q.epsilon = 0;  // strict from the first read: acquires the pause
+  ASSERT_TRUE(m->TryQueryRead(q, 0).ok());
+  ASSERT_TRUE(q.holds_pause);
+  // Restart the attempt's accounting (as on kInconsistencyLimit).
+  q.ResetForRestart();
+  // The strict retry must not stack a second pause on the same query...
+  ASSERT_TRUE(m->TryQueryRead(q, 0).ok());
+  // ...and ending the query must release the applier completely.
+  m->OnQueryEnd(q);
+  EXPECT_FALSE(q.holds_pause);
+  MustSubmit(system, 0, {Operation::Increment(0, 7)});
+  system.RunUntilQuiescent();
+  EXPECT_EQ(system.SiteValue(1, 0).AsInt(), 7)
+      << "applier must make progress after the restart";
+  EXPECT_TRUE(system.Converged());
+}
+
+TEST(OrdupTest, OnQueryRestartReleasesPauseAndApplierProgresses) {
+  // The facade's restart sequence: OnQueryRestart() hands the pause back,
+  // ResetForRestart() wipes the attempt, and the applier runs again while
+  // the query is between attempts.
+  ReplicatedSystem system(Config(Method::kOrdup));
+  ReplicaControlMethod* m = system.site_method(1);
+  QueryState q;
+  q.id = 998;
+  q.site = 1;
+  q.epsilon = 0;
+  ASSERT_TRUE(m->TryQueryRead(q, 0).ok());
+  ASSERT_TRUE(q.holds_pause);
+  m->OnQueryRestart(q);
+  EXPECT_FALSE(q.holds_pause);
+  q.ResetForRestart();
+  EXPECT_EQ(q.restarts, 1);
+  EXPECT_TRUE(q.strict);
+  MustSubmit(system, 0, {Operation::Increment(0, 9)});
+  system.RunUntilQuiescent();
+  EXPECT_EQ(system.SiteValue(1, 0).AsInt(), 9)
+      << "no pause may survive the restart";
+  // The fresh strict attempt re-pins and re-pauses at the new watermark.
+  ASSERT_TRUE(m->TryQueryRead(q, 0).ok());
+  EXPECT_TRUE(q.holds_pause);
+  m->OnQueryEnd(q);
+  EXPECT_FALSE(q.holds_pause);
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+}
+
 TEST(OrdupTest, EpsilonZeroQueriesArePrefixConsistent) {
   auto config = Config(Method::kOrdup, 3, 13);
   config.network.jitter_us = 2'000;

@@ -163,6 +163,43 @@ TEST(OrdupTsTest, Epsilon0QueriesPrefixConsistentUnderChurn) {
   }
 }
 
+TEST(OrdupTsTest, RestartWhilePausedDoesNotLeakReleasePause) {
+  // Same regression as ORDUP's: a strict query restarted while pausing the
+  // release path must hand the pause back (OnQueryRestart), or the site's
+  // holdback buffer never drains again.
+  ReplicatedSystem system(Config(Method::kOrdupTs));
+  ReplicaControlMethod* m = system.site_method(1);
+  QueryState q;
+  q.id = 999;
+  q.site = 1;
+  q.epsilon = 0;  // strict from the first read: pauses the release
+  ASSERT_TRUE(m->TryQueryRead(q, 0).ok());
+  ASSERT_TRUE(q.holds_pause);
+  m->OnQueryRestart(q);
+  EXPECT_FALSE(q.holds_pause);
+  q.ResetForRestart();
+  MustSubmit(system, 0, {Operation::Increment(0, 5)});
+  system.RunUntilQuiescent();
+  EXPECT_EQ(system.SiteValue(1, 0).AsInt(), 5)
+      << "release path must make progress after the restart";
+  // And the facade-style sequence without the hook: reset while holding,
+  // strict re-read must not stack a second pause, OnQueryEnd releases all.
+  QueryState q2;
+  q2.id = 998;
+  q2.site = 1;
+  q2.epsilon = 0;
+  ASSERT_TRUE(m->TryQueryRead(q2, 0).ok());
+  ASSERT_TRUE(q2.holds_pause);
+  q2.ResetForRestart();
+  ASSERT_TRUE(m->TryQueryRead(q2, 0).ok());
+  m->OnQueryEnd(q2);
+  EXPECT_FALSE(q2.holds_pause);
+  MustSubmit(system, 0, {Operation::Increment(0, 2)});
+  system.RunUntilQuiescent();
+  EXPECT_EQ(system.SiteValue(1, 0).AsInt(), 7);
+  EXPECT_TRUE(system.Converged());
+}
+
 TEST(OrdupTsTest, CrashedOriginStallsReleasesButNotCommits) {
   // The decentralized trade: no order-server dependency for COMMITS (they
   // stay local even with site 0 down), but a dead origin freezes the

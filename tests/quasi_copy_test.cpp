@@ -80,6 +80,35 @@ TEST(QuasiCopyTest, PeriodicRefreshViaDelayCondition) {
       << "delay condition refreshed the cache without hitting the lag bound";
 }
 
+TEST(QuasiCopyTest, DelayConditionFiresWithHeartbeatsDisabled) {
+  // Regression: the periodic refresh used to ride the heartbeat schedule,
+  // so refresh_interval > 0 with heartbeats off silently never refreshed.
+  auto config = Config(Method::kQuasiCopy);
+  config.quasi_version_lag = 1'000;  // version condition out of the way
+  config.quasi_refresh_interval_us = 20'000;
+  config.heartbeat_interval_us = 0;
+  ReplicatedSystem system(config);
+  MustSubmit(system, 0, {Operation::Increment(0, 6)});
+  system.RunFor(200'000);
+  EXPECT_EQ(system.SiteValue(2, 0).AsInt(), 6)
+      << "delay condition must run on its own timer, not on heartbeats";
+}
+
+TEST(QuasiCopyTest, DelayConditionHonorsConfiguredInterval) {
+  // Regression: with both timers configured, refresh used to run at
+  // heartbeat cadence. A 20ms refresh interval under a 300ms heartbeat
+  // must still propagate well before the first heartbeat.
+  auto config = Config(Method::kQuasiCopy);
+  config.quasi_version_lag = 1'000;
+  config.quasi_refresh_interval_us = 20'000;
+  config.heartbeat_interval_us = 300'000;
+  ReplicatedSystem system(config);
+  MustSubmit(system, 0, {Operation::Increment(0, 8)});
+  system.RunFor(100'000);  // several refresh periods, zero heartbeats
+  EXPECT_EQ(system.SiteValue(1, 0).AsInt(), 8)
+      << "refresh cadence must follow quasi_refresh_interval_us";
+}
+
 TEST(QuasiCopyTest, UpdatesAre1srAtPrimary) {
   auto config = Config(Method::kQuasiCopy, 3, 111);
   config.network.jitter_us = 3'000;

@@ -13,6 +13,14 @@
 //   --update-fraction=F  --objects=N          --zipf=T
 //   --clients=N          --duration-ms=D      --seed=S
 //   --verify             (run the SR/ESR checkers; needs history)
+//
+// Durability / recovery (asynchronous methods only):
+//   --checkpoint-ms=C    enable WAL + periodic fuzzy checkpoints every C ms
+//   --recovery-dir=PATH  file-backed stable storage (site_<N>.wal/.ckpt
+//                        under PATH; implies --checkpoint-ms=50 unless set)
+//   --amnesia-crash=SITE:CRASH_MS:RESTART_MS
+//                        amnesia-crash SITE (loses all volatile state) and
+//                        recover it via checkpoint + WAL replay + catch-up
 
 #include <cstdio>
 #include <cstring>
@@ -63,6 +71,9 @@ int main(int argc, char** argv) {
   esr::workload::WorkloadSpec spec;
   spec.duration_us = 1'000'000;
   bool verify = false;
+  esr::SiteId crash_site = esr::kInvalidSiteId;
+  esr::SimTime crash_at_us = 0;
+  esr::SimTime restart_at_us = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -94,6 +105,27 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "seed", &value)) {
       config.seed = std::stoull(value);
       spec.seed = config.seed;
+    } else if (ParseFlag(argv[i], "checkpoint-ms", &value)) {
+      config.recovery.enabled = true;
+      config.recovery.checkpoint_interval_us = std::stoll(value) * 1000;
+    } else if (ParseFlag(argv[i], "recovery-dir", &value)) {
+      if (!config.recovery.enabled) {
+        config.recovery.enabled = true;
+        config.recovery.checkpoint_interval_us = 50'000;
+      }
+      config.recovery.backend = esr::recovery::StorageBackendKind::kFile;
+      config.recovery.dir = value;
+    } else if (ParseFlag(argv[i], "amnesia-crash", &value)) {
+      const size_t c1 = value.find(':');
+      const size_t c2 = c1 == std::string::npos ? c1 : value.find(':', c1 + 1);
+      if (c2 == std::string::npos) {
+        std::fprintf(stderr,
+                     "--amnesia-crash wants SITE:CRASH_MS:RESTART_MS\n");
+        return 2;
+      }
+      crash_site = std::stoi(value.substr(0, c1));
+      crash_at_us = std::stoll(value.substr(c1 + 1, c2 - c1 - 1)) * 1000;
+      restart_at_us = std::stoll(value.substr(c2 + 1)) * 1000;
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       verify = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -114,8 +146,24 @@ int main(int argc, char** argv) {
     spec.compe_abort_probability = 0.1;
   }
   config.record_history = verify;
+  if (config.recovery.enabled &&
+      (config.method == Method::kSync2pc ||
+       config.method == Method::kSyncQuorum ||
+       config.method == Method::kQuasiCopy)) {
+    std::fprintf(stderr,
+                 "recovery flags need an asynchronous ESR method\n");
+    return 2;
+  }
+  if (crash_site != esr::kInvalidSiteId && !config.recovery.enabled) {
+    config.recovery.enabled = true;
+    config.recovery.checkpoint_interval_us = 50'000;
+  }
 
   esr::core::ReplicatedSystem system(config);
+  if (crash_site != esr::kInvalidSiteId) {
+    system.failures().ScheduleCrash(esr::sim::CrashSpec{
+        crash_site, crash_at_us, restart_at_us, /*amnesia=*/true});
+  }
   esr::workload::WorkloadRunner runner(&system, spec);
   std::printf("method=%s sites=%d latency=%lldus loss=%.2f epsilon=%s "
               "update_fraction=%.2f seed=%llu\n",
@@ -132,6 +180,25 @@ int main(int argc, char** argv) {
   system.RunUntilQuiescent();
   std::printf("\n%s\n", result.ToString().c_str());
   std::printf("converged: %s\n", system.Converged() ? "yes" : "no");
+
+  if (crash_site != esr::kInvalidSiteId &&
+      system.recovery_manager() != nullptr) {
+    const auto& report = system.recovery_manager()->last_report(crash_site);
+    std::printf(
+        "recovery of site %d: checkpoint=%s, replayed %lld WAL records "
+        "(%lld MSets, %lld already reflected), %lld MSets via catch-up, "
+        "lag %.1f ms\n",
+        crash_site, report.had_checkpoint ? "yes" : "no",
+        static_cast<long long>(report.replayed_records),
+        static_cast<long long>(report.replayed_msets),
+        static_cast<long long>(report.skipped_reflected),
+        static_cast<long long>(report.catchup_msets),
+        report.catchup_done_at >= 0
+            ? static_cast<double>(report.catchup_done_at -
+                                  report.restarted_at) /
+                  1'000.0
+            : -1.0);
+  }
 
   if (verify) {
     auto sr = esr::analysis::CheckUpdateSerializability(system.history(),

@@ -11,4 +11,11 @@ cd "$(dirname "$0")/.."
 
 # halt_on_error keeps UBSan findings from scrolling past as warnings.
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
-exec scripts/run_tier1.sh --sanitize
+scripts/run_tier1.sh --sanitize
+
+# The durability/recovery suites get an explicit second pass under the
+# sanitizers: WAL replay + amnesia restart churn through buffer reuse and
+# re-registration paths that deserve the extra repetition.
+cd build-asan
+ctest --output-on-failure -R 'recovery|failure' --repeat until-fail:2 \
+  -j "$(nproc)"

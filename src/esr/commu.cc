@@ -74,7 +74,22 @@ void CommuMethod::ApplyNow(const Mset& mset) {
   RecordApplied(mset);
 }
 
-void CommuMethod::OnMsetDelivered(const Mset& mset) { ApplyNow(mset); }
+void CommuMethod::OnMsetDelivered(const Mset& mset) {
+  if (RecoveryFilterDelivery(mset)) return;
+  ApplyNow(mset);
+}
+
+void CommuMethod::OnReplayReflected(const Mset& mset) {
+  // The MSet's store effects are in the checkpoint, but its lock-counter
+  // contribution is volatile: re-arm it unless the ET is already stable
+  // (stability is what would have decremented the counter).
+  if (mset.et == kInvalidEtId) return;
+  if (ctx_.stability->IsStable(mset.et)) return;
+  if (in_progress_.count(mset.et) > 0) return;
+  std::vector<WeightedObject> objects = WeighOperations(mset.operations);
+  counters_.Increment(objects);
+  in_progress_.emplace(mset.et, std::move(objects));
+}
 
 void CommuMethod::OnStable(EtId et) {
   auto it = in_progress_.find(et);

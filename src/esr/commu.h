@@ -44,6 +44,8 @@ class CommuMethod : public ReplicaControlMethod {
   /// Current lock-counter of an object at this site (tests/benches).
   int64_t LockCount(ObjectId object) const { return counters_.Count(object); }
 
+  void OnReplayReflected(const Mset& mset) override;
+
  protected:
   /// Objects (with change magnitudes) updated by an ET, tracked until
   /// stability.

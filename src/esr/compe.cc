@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "recovery/recovery_manager.h"
+
 namespace esr::core {
 
 CompeMethod::CompeMethod(const MethodContext& ctx, bool ordered)
@@ -88,6 +90,7 @@ void CompeMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
 }
 
 void CompeMethod::OnMsetDelivered(const Mset& mset) {
+  if (RecoveryFilterDelivery(mset)) return;
   if (ordered_) {
     buffer_.Offer(mset.global_order, std::any(mset));
   } else {
@@ -99,6 +102,11 @@ void CompeMethod::ApplyOrdered(SequenceNumber /*seq*/,
                                const std::any& payload) {
   const auto* mset = std::any_cast<Mset>(&payload);
   assert(mset != nullptr);
+  if (mset->et == kInvalidEtId) {
+    // Gap-filler no-op (an orphaned order position released after an
+    // amnesia crash): advance the watermark only.
+    return;
+  }
   if (abort_before_apply_.erase(mset->et) > 0) {
     // The global abort outran the ordered release; never apply.
     ctx_.counters->Increment("esr.compe_apply_skipped");
@@ -143,9 +151,13 @@ void CompeMethod::OnDecisionMsg(SiteId /*source*/, const std::any& body) {
 }
 
 void CompeMethod::HandleDecision(EtId et, bool commit) {
+  if (ctx_.recovery != nullptr) ctx_.recovery->LogDecision(et, commit);
+  // During WAL replay the pre-crash run already recorded the decision in
+  // the shared history/tracer/counters; only the state transitions rerun.
+  const bool replaying = InReplay();
   if (commit) {
     decided_commit_.insert(et);
-    ctx_.counters->Increment("esr.compe_commits");
+    if (!replaying) ctx_.counters->Increment("esr.compe_commits");
     auto it = tentative_objects_.find(et);
     if (it != tentative_objects_.end()) {
       counters_.Decrement(it->second);
@@ -158,13 +170,15 @@ void CompeMethod::HandleDecision(EtId et, bool commit) {
   }
   // Abort: compensate the local application (or suppress it if it has not
   // been released yet in ordered mode).
-  ctx_.counters->Increment("esr.compe_aborts");
+  if (!replaying) ctx_.counters->Increment("esr.compe_aborts");
   // The tracer keeps one terminal span per ET; the origin processes its own
   // decision first, so the aborted span carries the origin site.
-  if (ctx_.tracer != nullptr && et > 0) {
+  if (ctx_.tracer != nullptr && et > 0 && !replaying) {
     ctx_.tracer->OnAborted(et, ctx_.site, ctx_.simulator->Now());
   }
-  if (ctx_.config->record_history) ctx_.history->RecordUpdateAborted(et);
+  if (ctx_.config->record_history && !replaying) {
+    ctx_.history->RecordUpdateAborted(et);
+  }
   auto it = tentative_objects_.find(et);
   std::vector<WeightedObject> objects;
   if (it != tentative_objects_.end()) {
@@ -176,7 +190,7 @@ void CompeMethod::HandleDecision(EtId et, bool commit) {
     Status s = ctx_.mset_log->Compensate(*ctx_.store, et);
     assert(s.ok());
     (void)s;
-    ctx_.counters->Increment("esr.compensations");
+    if (!replaying) ctx_.counters->Increment("esr.compensations");
     // Charge live queries that already read the compensated objects — the
     // paper's post-hoc accounting. Their up-front potential charge covered
     // this, so epsilon still bounds the total.
@@ -202,6 +216,55 @@ void CompeMethod::HandleDecision(EtId et, bool commit) {
 
 bool CompeMethod::ReadyForStable(EtId et) {
   return decided_commit_.count(et) > 0;
+}
+
+void CompeMethod::ReplayDecision(EtId et, bool commit) {
+  HandleDecision(et, commit);
+}
+
+void CompeMethod::SnapshotDurable(MethodDurableState& out) const {
+  ReplicaControlMethod::SnapshotDurable(out);
+  if (ordered_) out.order_watermark = buffer_.Watermark();
+  out.decided_commit.assign(decided_commit_.begin(), decided_commit_.end());
+  std::sort(out.decided_commit.begin(), out.decided_commit.end());
+  out.abort_before_apply.assign(abort_before_apply_.begin(),
+                                abort_before_apply_.end());
+  std::sort(out.abort_before_apply.begin(), out.abort_before_apply.end());
+}
+
+void CompeMethod::RestoreDurable(const MethodDurableState& in) {
+  ReplicaControlMethod::RestoreDurable(in);
+  if (ordered_) buffer_.RestoreWatermark(in.order_watermark);
+  decided_commit_ = std::unordered_set<EtId>(in.decided_commit.begin(),
+                                             in.decided_commit.end());
+  abort_before_apply_ = std::unordered_set<EtId>(in.abort_before_apply.begin(),
+                                                 in.abort_before_apply.end());
+  // Applied-but-undecided MSets survive in the restored MSet log (records
+  // are only dropped once stable); re-arm their potential-compensation
+  // counters. Decided-commit records keep no counter (it was released at
+  // decision time).
+  for (const store::MsetLog::RecordSnapshot& rec : ctx_.mset_log->Snapshot()) {
+    const EtId et = rec.mset_id;
+    if (decided_commit_.count(et) > 0 || tentative_objects_.count(et) > 0) {
+      continue;
+    }
+    std::vector<WeightedObject> objects = WeighOperations(rec.ops);
+    counters_.Increment(objects);
+    tentative_objects_.emplace(et, std::move(objects));
+  }
+}
+
+void CompeMethod::ReleaseOrphanPosition(SequenceNumber seq) {
+  if (!ordered_) return;
+  // The order position was granted to an update lost in an amnesia crash:
+  // fill the gap everywhere with a no-op MSet.
+  Mset noop;
+  noop.et = kInvalidEtId;
+  noop.origin = ctx_.site;
+  noop.global_order = seq;
+  noop.timestamp = ctx_.clock->Tick();
+  PropagateMset(noop);
+  buffer_.Offer(seq, std::any(std::move(noop)));
 }
 
 void CompeMethod::OnStable(EtId et) {

@@ -62,6 +62,11 @@ class CompeMethod : public ReplicaControlMethod {
   }
   bool DecidedCommit(EtId et) const { return decided_commit_.count(et) > 0; }
 
+  void SnapshotDurable(MethodDurableState& out) const override;
+  void RestoreDurable(const MethodDurableState& in) override;
+  void ReplayDecision(EtId et, bool commit) override;
+  void ReleaseOrphanPosition(SequenceNumber seq) override;
+
  protected:
   bool ReadyForStable(EtId et) override;
 

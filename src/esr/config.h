@@ -6,6 +6,7 @@
 
 #include "msg/persistent_pipe.h"
 #include "msg/stable_queue.h"
+#include "recovery/recovery_config.h"
 #include "sim/network.h"
 
 namespace esr::core {
@@ -160,6 +161,18 @@ struct SystemConfig {
   /// long benchmark runs; live gauges and metric counters stay on either
   /// way — only the per-event span vector stops growing).
   bool record_spans = true;
+
+  /// Bounded span recording: when > 0 the EtTracer keeps a uniform random
+  /// reservoir of at most this many span events (deterministic for a fixed
+  /// seed) instead of the exact unbounded vector. 0 = exact mode (default).
+  int64_t span_reservoir_size = 0;
+
+  /// Durable checkpoint + WAL recovery (src/recovery/). Off by default;
+  /// when enabled every site logs delivered MSets and protocol decisions
+  /// ahead of application, takes periodic fuzzy checkpoints, and an
+  /// amnesia-crashed site rebuilds via checkpoint + WAL replay + anti-
+  /// entropy catch-up instead of resuming with frozen volatile state.
+  recovery::RecoveryConfig recovery;
 
   /// --- Quasi-copies baseline ----------------------------------------------
   /// Primary site holding the authoritative copies.

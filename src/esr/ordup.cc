@@ -52,7 +52,30 @@ void OrdupMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
 }
 
 void OrdupMethod::OnMsetDelivered(const Mset& mset) {
+  if (RecoveryFilterDelivery(mset)) return;
   buffer_.Offer(mset.global_order, std::any(mset));
+}
+
+void OrdupMethod::SnapshotDurable(MethodDurableState& out) const {
+  ReplicaControlMethod::SnapshotDurable(out);
+  out.order_watermark = buffer_.Watermark();
+}
+
+void OrdupMethod::RestoreDurable(const MethodDurableState& in) {
+  ReplicaControlMethod::RestoreDurable(in);
+  buffer_.RestoreWatermark(in.order_watermark);
+}
+
+void OrdupMethod::ReleaseOrphanPosition(SequenceNumber seq) {
+  // The position was granted to an update that died in an amnesia crash:
+  // fill it with a no-op everywhere, locally included, so no site's
+  // hold-back buffer waits forever.
+  ReleasePositionRemotely(seq);
+  Mset noop;
+  noop.et = kInvalidEtId;
+  noop.origin = ctx_.site;
+  noop.global_order = seq;
+  buffer_.Offer(seq, std::any(std::move(noop)));
 }
 
 void OrdupMethod::ApplyOrdered(SequenceNumber seq, const std::any& payload) {

@@ -46,6 +46,10 @@ class OrdupMethod : public ReplicaControlMethod {
   /// query's assigned global position, or 0 if none yet.
   SequenceNumber QueryPosition(EtId query) const;
 
+  void SnapshotDurable(MethodDurableState& out) const override;
+  void RestoreDurable(const MethodDurableState& in) override;
+  void ReleaseOrphanPosition(SequenceNumber seq) override;
+
   /// Applied watermark of this site (highest contiguously applied order).
   SequenceNumber Watermark() const { return buffer_.Watermark(); }
 

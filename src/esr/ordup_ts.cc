@@ -48,6 +48,7 @@ void OrdupTsMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
 }
 
 void OrdupTsMethod::OnMsetDelivered(const Mset& mset) {
+  if (RecoveryFilterDelivery(mset)) return;
   holdback_.emplace(mset.timestamp, mset);
   // The MSet's own timestamp advances its origin's watermark (the base
   // records it in RecordApplied only at apply time, which is too late for
@@ -77,6 +78,16 @@ void OrdupTsMethod::TryRelease() {
     }
     RecordApplied(mset);
   }
+}
+
+void OrdupTsMethod::SnapshotDurable(MethodDurableState& out) const {
+  ReplicaControlMethod::SnapshotDurable(out);
+  out.release_index = release_index_;
+}
+
+void OrdupTsMethod::RestoreDurable(const MethodDurableState& in) {
+  ReplicaControlMethod::RestoreDurable(in);
+  release_index_ = in.release_index;
 }
 
 int64_t OrdupTsMethod::ChargeFor(const QueryState& query,

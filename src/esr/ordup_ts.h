@@ -52,6 +52,9 @@ class OrdupTsMethod : public ReplicaControlMethod {
   /// MSets currently held back waiting for the watermark floor.
   int64_t HeldCount() const { return static_cast<int64_t>(holdback_.size()); }
 
+  void SnapshotDurable(MethodDurableState& out) const override;
+  void RestoreDurable(const MethodDurableState& in) override;
+
  protected:
   void OnWatermarkAdvance() override { TryRelease(); }
 

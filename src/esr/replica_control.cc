@@ -1,6 +1,9 @@
 #include "esr/replica_control.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "recovery/recovery_manager.h"
 
 #include "esr/commu.h"
 #include "esr/compe.h"
@@ -91,6 +94,40 @@ void ReplicaControlMethod::OnStable(EtId /*et*/) {}
 
 bool ReplicaControlMethod::ReadyForStable(EtId /*et*/) { return true; }
 
+void ReplicaControlMethod::SnapshotDurable(MethodDurableState& out) const {
+  out.outgoing.assign(outgoing_ts_.begin(), outgoing_ts_.end());
+  std::sort(out.outgoing.begin(), out.outgoing.end());
+  out.fully_acked.assign(fully_acked_.begin(), fully_acked_.end());
+  std::sort(out.fully_acked.begin(), out.fully_acked.end());
+}
+
+void ReplicaControlMethod::RestoreDurable(const MethodDurableState& in) {
+  outgoing_ts_.clear();
+  for (const auto& [et, ts] : in.outgoing) outgoing_ts_.emplace(et, ts);
+  fully_acked_ = std::unordered_set<EtId>(in.fully_acked.begin(),
+                                          in.fully_acked.end());
+}
+
+void ReplicaControlMethod::OnReplayReflected(const Mset& /*mset*/) {}
+
+void ReplicaControlMethod::ReplayDecision(EtId /*et*/, bool /*commit*/) {}
+
+void ReplicaControlMethod::ReleaseOrphanPosition(SequenceNumber /*seq*/) {}
+
+bool ReplicaControlMethod::InReplay() const {
+  return ctx_.recovery != nullptr && ctx_.recovery->in_replay();
+}
+
+bool ReplicaControlMethod::RecoveryFilterDelivery(const Mset& mset) {
+  if (ctx_.recovery == nullptr) return false;
+  if (mset.et != kInvalidEtId && ctx_.recovery->AlreadyApplied(mset)) {
+    return true;
+  }
+  if (ctx_.recovery->MaybeHoldDelivery(mset)) return true;
+  ctx_.recovery->LogMset(mset);
+  return false;
+}
+
 void ReplicaControlMethod::TraceLocalCommit(EtId et) {
   if (ctx_.tracer != nullptr && et > 0) {
     ctx_.tracer->OnLocalCommit(et, ctx_.site, ctx_.simulator->Now());
@@ -98,6 +135,10 @@ void ReplicaControlMethod::TraceLocalCommit(EtId et) {
 }
 
 void ReplicaControlMethod::PropagateMset(const Mset& mset) {
+  // Write-ahead: the origin logs every MSet it broadcasts — including
+  // gap-filler no-ops, which a recovering ordered site needs to close its
+  // total-order holes — before the transport sees it.
+  if (ctx_.recovery != nullptr) ctx_.recovery->LogMset(mset);
   const int64_t size_bytes =
       64 + 32 * static_cast<int64_t>(mset.operations.size());
   for (SiteId s = 0; s < ctx_.num_sites; ++s) {
@@ -114,14 +155,17 @@ void ReplicaControlMethod::PropagateMset(const Mset& mset) {
 }
 
 void ReplicaControlMethod::RecordApplied(const Mset& mset) {
-  if (ctx_.config->record_history) {
+  // During WAL replay the pre-crash run already recorded this apply in the
+  // shared history/tracer/metrics; re-recording would double-count it.
+  const bool replaying = InReplay();
+  if (ctx_.config->record_history && !replaying) {
     ctx_.history->RecordApply(mset.et, ctx_.site, ctx_.simulator->Now());
   }
-  ctx_.counters->Increment("esr.msets_applied");
-  if (ctx_.tracer != nullptr && mset.et > 0) {
+  if (!replaying) ctx_.counters->Increment("esr.msets_applied");
+  if (ctx_.tracer != nullptr && mset.et > 0 && !replaying) {
     ctx_.tracer->OnApply(mset.et, ctx_.site, ctx_.simulator->Now());
   }
-  if (ctx_.metrics != nullptr) {
+  if (ctx_.metrics != nullptr && !replaying) {
     for (const store::Operation& op : mset.operations) {
       ctx_.metrics
           ->GetCounter("esr_ops_applied_total",
@@ -136,7 +180,16 @@ void ReplicaControlMethod::RecordApplied(const Mset& mset) {
   // timestamps stay ahead of everything observed (VTNC monotonicity relies
   // on this).
   ctx_.clock->Observe(mset.timestamp);
+  if (ctx_.recovery != nullptr) ctx_.recovery->OnApplied(mset);
   if (mset.origin == ctx_.site) {
+    // A recovered origin re-applying its own WAL-logged MSet must track it
+    // for the stability notice again (the pre-crash entry lived past the
+    // checkpoint and died with the site).
+    if (ctx_.recovery != nullptr && mset.et > 0 &&
+        !ctx_.stability->IsStable(mset.et) &&
+        outgoing_ts_.find(mset.et) == outgoing_ts_.end()) {
+      outgoing_ts_.emplace(mset.et, mset.timestamp);
+    }
     if (ctx_.stability->RecordAck(mset.et, ctx_.site)) {
       MaybeBroadcastStable(mset.et);
     }
@@ -151,6 +204,7 @@ void ReplicaControlMethod::OnApplyAckMsg(SiteId /*source*/,
                                          const std::any& body) {
   const auto* ack = std::any_cast<ApplyAck>(&body);
   assert(ack != nullptr);
+  if (ctx_.recovery != nullptr) ctx_.recovery->LogAck(ack->et, ack->replica);
   if (ctx_.stability->RecordAck(ack->et, ack->replica)) {
     MaybeBroadcastStable(ack->et);
   }
@@ -164,6 +218,7 @@ void ReplicaControlMethod::MaybeBroadcastStable(EtId et) {
   const LamportTimestamp ts = it->second;
   outgoing_ts_.erase(it);
   fully_acked_.erase(et);
+  if (ctx_.recovery != nullptr) ctx_.recovery->LogStable(et, ts);
   for (SiteId s = 0; s < ctx_.num_sites; ++s) {
     if (s == ctx_.site) continue;
     ctx_.queues->Send(s, msg::Envelope{kStableMsg, StableNotice{et, ts}},
@@ -187,6 +242,9 @@ void ReplicaControlMethod::OnStableMsg(SiteId /*source*/,
   const bool was_stable = ctx_.stability->IsStable(notice->et);
   ctx_.stability->MarkStable(notice->et, notice->timestamp);
   if (!was_stable) {
+    if (ctx_.recovery != nullptr) {
+      ctx_.recovery->LogStable(notice->et, notice->timestamp);
+    }
     // Stability was already traced at the origin (the tracer keeps one
     // terminal span per ET), so this call only settles bookkeeping for ETs
     // whose origin-side notice raced a crash.

@@ -30,6 +30,10 @@
 #include "store/object_store.h"
 #include "store/version_store.h"
 
+namespace esr::recovery {
+class SiteRecovery;
+}  // namespace esr::recovery
+
 namespace esr::core {
 
 /// Everything a per-site replica control method instance needs. All
@@ -52,10 +56,30 @@ struct MethodContext {
   obs::MetricRegistry* metrics = nullptr;        // shared
   obs::EtTracer* tracer = nullptr;               // shared
   const SystemConfig* config = nullptr;
+  /// Per-site durability handle; null unless SystemConfig::recovery.enabled.
+  /// Methods call its Log*/AlreadyApplied hooks at their message-processing
+  /// points; it is owned by the RecoveryManager (outside the site), so it
+  /// survives amnesia crashes.
+  recovery::SiteRecovery* recovery = nullptr;
   /// Iterates the query ETs currently active at this site (COMPE uses this
   /// to charge queries affected by a compensation).
   std::function<void(const std::function<void(QueryState&)>&)>
       for_each_active_query;
+};
+
+/// The method-specific durable state a fuzzy checkpoint carries, flattened
+/// into plain vectors so the recovery codec can frame it without knowing
+/// the concrete method type. Every method fills the fields it owns:
+/// `order_watermark` (ORDUP/ORDUP-TS/COMPE-ORD total-order position),
+/// `release_index` (ORDUP-TS holdback release cursor), COMPE decision sets,
+/// and the base class's origin-side stability bookkeeping.
+struct MethodDurableState {
+  SequenceNumber order_watermark = 0;
+  int64_t release_index = 0;
+  std::vector<EtId> decided_commit;
+  std::vector<EtId> abort_before_apply;
+  std::vector<std::pair<EtId, LamportTimestamp>> outgoing;
+  std::vector<EtId> fully_acked;
 };
 
 /// Completion callback of an update ET submission. For asynchronous methods
@@ -126,6 +150,29 @@ class ReplicaControlMethod {
   virtual void OnCrash() {}
   virtual void OnRestart() {}
 
+  /// Checkpoint support: exports/rebuilds the durable method position. The
+  /// base handles the origin-side stability bookkeeping (outgoing_ts_,
+  /// fully_acked_); derived methods extend with their ordering state and
+  /// must call the base implementation.
+  virtual void SnapshotDurable(MethodDurableState& out) const;
+  virtual void RestoreDurable(const MethodDurableState& in);
+
+  /// WAL replay of an MSet already reflected in the checkpoint being
+  /// restored: the store effects are present, but volatile divergence
+  /// bookkeeping may need rebuilding (COMMU lock counters for unstable
+  /// ETs). Default: no-op.
+  virtual void OnReplayReflected(const Mset& mset);
+
+  /// WAL replay of a COMPE commit/abort decision (duplicate-tolerant).
+  /// Default: no-op (only COMPE logs decisions).
+  virtual void ReplayDecision(EtId et, bool commit);
+
+  /// A sequencer position granted to this site was orphaned by an amnesia
+  /// crash (the requesting update died with the site). Ordered methods
+  /// release it as a no-op so the global total order keeps no gap.
+  /// Default: no-op.
+  virtual void ReleaseOrphanPosition(SequenceNumber seq);
+
  protected:
   /// Reliable broadcast of an MSet to every other site.
   void PropagateMset(const Mset& mset);
@@ -151,6 +198,19 @@ class ReplicaControlMethod {
   /// Re-checks stability gating for `et` (called when acks complete, and by
   /// COMPE when a commit decision unblocks an already-fully-acked ET).
   void MaybeBroadcastStable(EtId et);
+
+  /// Recovery gate for OnMsetDelivered: returns true when the delivery must
+  /// be skipped — a post-recovery duplicate of an MSet this site already
+  /// applied, or a foreground delivery parked until the catch-up exchange
+  /// completes (see SiteRecovery::MaybeHoldDelivery). Otherwise writes the
+  /// MSet to the WAL (a no-op during replay) and returns false. Call first
+  /// thing in every OnMsetDelivered override.
+  bool RecoveryFilterDelivery(const Mset& mset);
+
+  /// True while this site is replaying its WAL (shared observability side
+  /// effects — history, tracer — are suppressed so recovery does not
+  /// double-count applies the pre-crash run already recorded).
+  bool InReplay() const;
 
   /// Called after an incoming heartbeat or stability notice advanced the
   /// per-origin clock watermarks. Watermark-driven methods (ORDUP-TS)

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "msg/sequencer.h"
+#include "recovery/codec.h"
 
 namespace esr::core {
 
@@ -26,10 +30,108 @@ struct ReplicatedSystem::SiteRuntime {
   std::unique_ptr<cc::QuorumEngine> quorum;
 };
 
+namespace {
+
+/// Checkpoint blob codecs. The facade encodes the method / stability state
+/// whose concrete shape only it knows; the recovery subsystem carries the
+/// blobs as opaque bytes inside the CRC-framed checkpoint. A blob that
+/// fails to decode falls back to the empty state — the WAL replay that
+/// follows every checkpoint load rebuilds it.
+std::string EncodeMethodState(const MethodDurableState& m) {
+  recovery::Encoder enc;
+  enc.U64(static_cast<uint64_t>(m.order_watermark));
+  enc.I64(m.release_index);
+  enc.U32(static_cast<uint32_t>(m.decided_commit.size()));
+  for (EtId et : m.decided_commit) enc.I64(et);
+  enc.U32(static_cast<uint32_t>(m.abort_before_apply.size()));
+  for (EtId et : m.abort_before_apply) enc.I64(et);
+  enc.U32(static_cast<uint32_t>(m.outgoing.size()));
+  for (const auto& [et, ts] : m.outgoing) {
+    enc.I64(et);
+    enc.Ts(ts);
+  }
+  enc.U32(static_cast<uint32_t>(m.fully_acked.size()));
+  for (EtId et : m.fully_acked) enc.I64(et);
+  return enc.Take();
+}
+
+MethodDurableState DecodeMethodState(std::string_view bytes) {
+  recovery::Decoder dec(bytes);
+  MethodDurableState m;
+  m.order_watermark = static_cast<SequenceNumber>(dec.U64());
+  m.release_index = dec.I64();
+  for (uint32_t i = 0, n = dec.U32(); i < n && dec.ok(); ++i) {
+    m.decided_commit.push_back(dec.I64());
+  }
+  for (uint32_t i = 0, n = dec.U32(); i < n && dec.ok(); ++i) {
+    m.abort_before_apply.push_back(dec.I64());
+  }
+  for (uint32_t i = 0, n = dec.U32(); i < n && dec.ok(); ++i) {
+    const EtId et = dec.I64();
+    m.outgoing.emplace_back(et, dec.Ts());
+  }
+  for (uint32_t i = 0, n = dec.U32(); i < n && dec.ok(); ++i) {
+    m.fully_acked.push_back(dec.I64());
+  }
+  if (!dec.ok()) return MethodDurableState{};
+  return m;
+}
+
+std::string EncodeStabilitySnapshot(const StabilityTracker::Snapshot& s) {
+  recovery::Encoder enc;
+  enc.U32(static_cast<uint32_t>(s.outstanding.size()));
+  for (const auto& [et, ts] : s.outstanding) {
+    enc.I64(et);
+    enc.Ts(ts);
+  }
+  enc.U32(static_cast<uint32_t>(s.stable.size()));
+  for (EtId et : s.stable) enc.I64(et);
+  enc.U32(static_cast<uint32_t>(s.acks.size()));
+  for (const auto& [et, sites] : s.acks) {
+    enc.I64(et);
+    enc.U32(static_cast<uint32_t>(sites.size()));
+    for (SiteId site : sites) enc.I64(static_cast<int64_t>(site));
+  }
+  enc.U32(static_cast<uint32_t>(s.watermark.size()));
+  for (const LamportTimestamp& ts : s.watermark) enc.Ts(ts);
+  return enc.Take();
+}
+
+StabilityTracker::Snapshot DecodeStabilitySnapshot(std::string_view bytes) {
+  recovery::Decoder dec(bytes);
+  StabilityTracker::Snapshot s;
+  for (uint32_t i = 0, n = dec.U32(); i < n && dec.ok(); ++i) {
+    const EtId et = dec.I64();
+    s.outstanding.emplace_back(et, dec.Ts());
+  }
+  for (uint32_t i = 0, n = dec.U32(); i < n && dec.ok(); ++i) {
+    s.stable.push_back(dec.I64());
+  }
+  for (uint32_t i = 0, n = dec.U32(); i < n && dec.ok(); ++i) {
+    const EtId et = dec.I64();
+    std::vector<SiteId> sites;
+    for (uint32_t j = 0, k = dec.U32(); j < k && dec.ok(); ++j) {
+      sites.push_back(static_cast<SiteId>(dec.I64()));
+    }
+    s.acks.emplace_back(et, std::move(sites));
+  }
+  for (uint32_t i = 0, n = dec.U32(); i < n && dec.ok(); ++i) {
+    s.watermark.push_back(dec.Ts());
+  }
+  if (!dec.ok()) return StabilityTracker::Snapshot{};
+  return s;
+}
+
+}  // namespace
+
 ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
     : config_(config), tracer_(&metrics_, config.num_sites) {
   assert(config_.num_sites > 0);
   tracer_.set_record_events(config_.record_spans);
+  if (config_.span_reservoir_size > 0) {
+    tracer_.ConfigureSpanReservoir(config_.span_reservoir_size,
+                                   config_.seed ^ 0xA5A5A5A5ULL);
+  }
   metrics_.Describe("esr_info", "Static run configuration (always 1)");
   metrics_
       .GetGauge("esr_info",
@@ -42,6 +144,17 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
                                             config_.network, config_.seed);
   failures_ = std::make_unique<sim::FailureInjector>(
       &simulator_, network_.get(), config_.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  if (config_.recovery.enabled && !IsSyncMethod()) {
+    // Sequenced ORDUP queries take order positions that are released as
+    // local-only no-ops at remote sites and never WAL-logged, so the total
+    // order could not be reconstructed after an amnesia crash. The
+    // quasi-copies baseline predates the durability hooks entirely.
+    assert(!config_.ordup_sequenced_queries);
+    assert(config_.method != Method::kQuasiCopy);
+    recovery_ = std::make_unique<recovery::RecoveryManager>(
+        &simulator_, &metrics_, config_.recovery, config_.num_sites);
+  }
 
   sites_.reserve(config_.num_sites);
   for (SiteId s = 0; s < config_.num_sites; ++s) {
@@ -83,39 +196,27 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
     }
     site.seq_client = std::make_unique<msg::SequencerClient>(
         site.mailbox.get(), site.queues.get(), config_.sequencer_site);
-    MethodContext ctx;
-    ctx.site = s;
-    ctx.num_sites = config_.num_sites;
-    ctx.simulator = &simulator_;
-    ctx.mailbox = site.mailbox.get();
-    ctx.queues = site.queues.get();
-    ctx.clock = &site.clock;
-    ctx.sequencer = site.seq_client.get();
-    ctx.stability = site.stability.get();
-    ctx.store = &site.store;
-    ctx.versions = &site.versions;
-    ctx.mset_log = &site.mset_log;
-    ctx.registry = &registry_;
-    ctx.history = &history_;
-    ctx.counters = &counters_;
-    ctx.metrics = &metrics_;
-    ctx.tracer = &tracer_;
-    ctx.config = &config_;
-    ctx.for_each_active_query =
-        [this, s](const std::function<void(QueryState&)>& fn) {
-          for (auto& [_, q] : active_queries_) {
-            if (q.site == s) fn(q);
-          }
-        };
-    site.method = MakeMethod(ctx);
+    site.method = MakeMethod(MakeContext(s));
+    if (recovery_ != nullptr) BindRecoverySite(s);
   }
 
-  // Crash hooks: volatile state resets; stores/logs/queues persist.
-  failures_->on_crash = [this](SiteId s) {
+  // Crash hooks. Fail-stop (the default): volatile state freezes and the
+  // method's OnCrash/OnRestart pair resets what a real site would lose.
+  // Amnesia (recovery enabled): the site loses *all* volatile state and
+  // comes back through checkpoint + WAL replay + catch-up.
+  failures_->on_crash = [this](SiteId s, bool amnesia) {
+    if (amnesia && recovery_ != nullptr) {
+      AmnesiaCrash(s);
+      return;
+    }
     if (sites_[s]->method) sites_[s]->method->OnCrash();
     if (sites_[s]->tpc) sites_[s]->tpc->OnCrash();
   };
-  failures_->on_restart = [this](SiteId s) {
+  failures_->on_restart = [this](SiteId s, bool amnesia) {
+    if (amnesia && recovery_ != nullptr) {
+      AmnesiaRestart(s);
+      return;
+    }
     if (sites_[s]->method) sites_[s]->method->OnRestart();
   };
 
@@ -129,9 +230,204 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
   StartHeartbeats();
   StartQuasiRefresh();
   StartAdmissionSampling();
+  StartCheckpoints();
 }
 
 ReplicatedSystem::~ReplicatedSystem() = default;
+
+MethodContext ReplicatedSystem::MakeContext(SiteId s) {
+  SiteRuntime& site = *sites_[s];
+  MethodContext ctx;
+  ctx.site = s;
+  ctx.num_sites = config_.num_sites;
+  ctx.simulator = &simulator_;
+  ctx.mailbox = site.mailbox.get();
+  ctx.queues = site.queues.get();
+  ctx.clock = &site.clock;
+  ctx.sequencer = site.seq_client.get();
+  ctx.stability = site.stability.get();
+  ctx.store = &site.store;
+  ctx.versions = &site.versions;
+  ctx.mset_log = &site.mset_log;
+  ctx.registry = &registry_;
+  ctx.history = &history_;
+  ctx.counters = &counters_;
+  ctx.metrics = &metrics_;
+  ctx.tracer = &tracer_;
+  ctx.config = &config_;
+  ctx.recovery = recovery_ != nullptr ? recovery_->site(s) : nullptr;
+  ctx.for_each_active_query =
+      [this, s](const std::function<void(QueryState&)>& fn) {
+        for (auto& [_, q] : active_queries_) {
+          if (q.site == s) fn(q);
+        }
+      };
+  return ctx;
+}
+
+void ReplicatedSystem::BindRecoverySite(SiteId s) {
+  // The bindings capture [this, s] and dereference the *current* site
+  // objects at call time, so one BindSite at construction covers every
+  // later method/stability instance an amnesia restart creates.
+  recovery::SiteBindings b;
+  b.snapshot = [this, s](recovery::CheckpointData& out) {
+    SiteRuntime& site = *sites_[s];
+    out.clock_counter = site.clock.Now().counter;
+    out.store_entries = site.store.SnapshotEntries();
+    out.versions = site.versions.SnapshotVersions();
+    out.mset_log = site.mset_log.Snapshot();
+    MethodDurableState m;
+    site.method->SnapshotDurable(m);
+    out.order_watermark = m.order_watermark;
+    out.method_blob = EncodeMethodState(m);
+    out.stability_blob = EncodeStabilitySnapshot(site.stability->ExportSnapshot());
+  };
+  b.restore = [this, s](const recovery::CheckpointData& data) {
+    SiteRuntime& site = *sites_[s];
+    for (const auto& [object, value, ts] : data.store_entries) {
+      site.store.RestoreEntry(object, value, ts);
+    }
+    for (const auto& [object, ts, value] : data.versions) {
+      site.versions.AppendVersion(object, ts, value);
+    }
+    // The MSet log must be back before RestoreDurable: COMPE rebuilds its
+    // tentative lock counters by scanning it.
+    for (const store::MsetLog::RecordSnapshot& rec : data.mset_log) {
+      site.mset_log.RestoreRecord(rec);
+    }
+    if (data.clock_counter > 0) {
+      site.clock.Observe(LamportTimestamp{data.clock_counter, s});
+    }
+    site.stability->RestoreSnapshot(
+        DecodeStabilitySnapshot(data.stability_blob));
+    site.method->RestoreDurable(DecodeMethodState(data.method_blob));
+  };
+  b.deliver = [this, s](const Mset& mset) {
+    sites_[s]->method->OnMsetDelivered(mset);
+  };
+  b.replay_reflected = [this, s](const Mset& mset) {
+    sites_[s]->method->OnReplayReflected(mset);
+  };
+  b.decide = [this, s](EtId et, bool commit) {
+    sites_[s]->method->ReplayDecision(et, commit);
+  };
+  b.ack = [this, s](EtId et, SiteId replica) {
+    // Route through the normal ack path: duplicate-tolerant, and it
+    // re-broadcasts the stability notice when the replayed ack was the one
+    // the crash swallowed.
+    sites_[s]->method->OnApplyAckMsg(replica,
+                                     std::any(ApplyAck{et, replica}));
+  };
+  b.stable = [this, s](EtId et, const LamportTimestamp& ts) {
+    sites_[s]->method->OnStableMsg(ts.site,
+                                   std::any(StableNotice{et, ts}));
+  };
+  b.is_stable = [this, s](EtId et) {
+    return sites_[s]->stability->IsStable(et);
+  };
+  b.outstanding = [this, s]() {
+    return sites_[s]->stability->OutstandingFrom(s);
+  };
+  b.unstable = [this, s]() {
+    return sites_[s]->stability->ExportSnapshot().outstanding;
+  };
+  recovery_->BindSite(s, std::move(b));
+
+  SiteRuntime& site = *sites_[s];
+  site.mailbox->RegisterHandler(
+      recovery::kCatchupRequestMsg,
+      [this, s](SiteId /*source*/, const std::any& body) {
+        const auto* req = std::any_cast<recovery::CatchupRequest>(&body);
+        assert(req != nullptr);
+        recovery::CatchupResponse resp =
+            recovery_->BuildCatchupResponse(s, *req);
+        const int64_t size_bytes =
+            64 + 96 * static_cast<int64_t>(resp.msets.size());
+        sites_[s]->queues->Send(
+            req->from,
+            msg::Envelope{recovery::kCatchupResponseMsg, std::move(resp)},
+            size_bytes);
+      });
+  site.mailbox->RegisterHandler(
+      recovery::kCatchupResponseMsg,
+      [this, s](SiteId /*source*/, const std::any& body) {
+        const auto* resp = std::any_cast<recovery::CatchupResponse>(&body);
+        assert(resp != nullptr);
+        recovery_->ApplyCatchupResponse(s, *resp);
+      });
+  site.seq_client->set_orphan_handler([this, s](SequenceNumber seq) {
+    sites_[s]->method->ReleaseOrphanPosition(seq);
+  });
+}
+
+void ReplicatedSystem::AmnesiaCrash(SiteId s) {
+  // The unflushed WAL tail dies with the site.
+  recovery_->OnCrash(s);
+  // Pending sequencer callbacks capture protocol state that just died;
+  // their granted positions will be released as no-ops on arrival.
+  if (sites_[s]->seq_client) sites_[s]->seq_client->AbandonPending();
+  // Query ETs running at the site die with it.
+  for (auto it = active_queries_.begin(); it != active_queries_.end();) {
+    if (it->second.site == s) {
+      counters_.Increment("esr.queries_lost_in_crash");
+      it = active_queries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // The method instance itself is torn down at restart (simulator events
+  // in flight may still reference it); while the site is down the network
+  // delivers nothing to it.
+}
+
+void ReplicatedSystem::AmnesiaRestart(SiteId s) {
+  SiteRuntime& site = *sites_[s];
+  // All volatile state is gone: fresh stores, logs, clock, stability
+  // tracker, and a fresh method instance (its mailbox registrations
+  // replace the dead one's). Transport queues and the sequencer survive —
+  // they model stable storage / a remote service.
+  site.method.reset();
+  site.store = store::ObjectStore();
+  site.versions = store::VersionStore();
+  site.mset_log = store::MsetLog();
+  site.clock = msg::LamportClock(s);
+  site.stability = std::make_unique<StabilityTracker>(s, config_.num_sites);
+  site.method = MakeMethod(MakeContext(s));
+  // Checkpoint load + WAL replay, then anti-entropy catch-up with every
+  // peer for whatever the WAL never saw (the dropped unflushed tail, and
+  // anything delivered while the site was down).
+  recovery_->RecoverSite(s);
+  recovery::CatchupRequest request = recovery_->BuildCatchupRequest(s);
+  recovery_->BeginCatchup(s, config_.num_sites - 1);
+  const int64_t size_bytes = 64 + 16 * config_.num_sites;
+  for (SiteId d = 0; d < config_.num_sites; ++d) {
+    if (d == s) continue;
+    site.queues->Send(d, msg::Envelope{recovery::kCatchupRequestMsg, request},
+                      size_bytes);
+  }
+}
+
+void ReplicatedSystem::StartCheckpoints() {
+  if (recovery_ == nullptr || config_.recovery.checkpoint_interval_us <= 0) {
+    return;
+  }
+  if (checkpoints_on_) return;
+  checkpoints_on_ = true;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, weak = std::weak_ptr<std::function<void()>>(tick)]() {
+    if (!checkpoints_on_) return;
+    for (SiteId s = 0; s < config_.num_sites; ++s) {
+      // A down site cannot run its checkpointer.
+      if (network_->SiteUp(s)) recovery_->TakeCheckpoint(s);
+    }
+    if (auto self = weak.lock()) {
+      simulator_.Schedule(config_.recovery.checkpoint_interval_us,
+                          [self] { (*self)(); });
+    }
+  };
+  simulator_.Schedule(config_.recovery.checkpoint_interval_us,
+                      [tick] { (*tick)(); });
+}
 
 void ReplicatedSystem::StartHeartbeats() {
   if (config_.heartbeat_interval_us <= 0 || IsSyncMethod()) return;
@@ -224,6 +520,11 @@ Result<EtId> ReplicatedSystem::SubmitUpdate(SiteId origin,
                                             CommitFn done) {
   if (origin < 0 || origin >= config_.num_sites) {
     return Status::InvalidArgument("no such site");
+  }
+  if (recovery_ != nullptr && !network_->SiteUp(origin)) {
+    // With the amnesia fault model a down site has lost its method state;
+    // admitting an update there would write into the doomed instance.
+    return Status::Unavailable("origin site is down");
   }
   const EtId et = next_et_++;
   if (IsSyncMethod()) {
@@ -539,9 +840,11 @@ void ReplicatedSystem::RunUntilQuiescent() {
   const bool had_heartbeats = heartbeats_on_;
   const bool had_quasi_refresh = quasi_refresh_on_;
   const bool had_admission = admission_sampling_on_;
+  const bool had_checkpoints = checkpoints_on_;
   heartbeats_on_ = false;
   quasi_refresh_on_ = false;
   admission_sampling_on_ = false;
+  checkpoints_on_ = false;
   simulator_.Run();
   if (!IsSyncMethod()) {
     // Flush a few explicit heartbeat rounds so every site's clock
@@ -566,6 +869,9 @@ void ReplicatedSystem::RunUntilQuiescent() {
   if (had_admission) {
     StartAdmissionSampling();
   }
+  if (had_checkpoints) {
+    StartCheckpoints();
+  }
 }
 
 void ReplicatedSystem::RunFor(SimDuration duration) {
@@ -588,6 +894,10 @@ void ReplicatedSystem::SampleGauges() {
                     "Largest cross-replica |max - min| over integer objects");
   metrics_.Describe("esr_converged",
                     "1 when every replica holds identical state");
+  metrics_.Describe("esr_replica_divergence_by_class",
+                    "Largest cross-replica spread per object class");
+  metrics_.Describe("esr_divergent_objects_by_class",
+                    "Objects diverging across replicas, per object class");
   for (SiteId s = 0; s < config_.num_sites; ++s) {
     const SiteRuntime& site = *sites_[s];
     const obs::LabelSet site_label = {{"site", std::to_string(s)}};
@@ -648,6 +958,13 @@ ReplicatedSystem::DivergenceScan ReplicatedSystem::ScanDivergence(
       config_.method == Method::kRituMulti ? sites_[0]->versions.ObjectIds()
                                            : sites_[0]->store.ObjectIds();
   DivergenceScan scan;
+  // Per-class aggregation mirrors the `object_class` label scheme of
+  // esr_ops_applied_total; ordered map for a deterministic exposition.
+  struct ClassAgg {
+    int64_t max_spread = 0;
+    int64_t divergent = 0;
+  };
+  std::map<std::string, ClassAgg> by_class;
   for (const ObjectId object : objects) {
     bool all_int = true;
     bool differs = false;
@@ -667,13 +984,28 @@ ReplicatedSystem::DivergenceScan ReplicatedSystem::ScanDivergence(
     const int64_t spread = (all_int && first.is_int()) ? hi - lo : 0;
     if (differs) ++scan.divergent_objects;
     scan.max_spread = std::max(scan.max_spread, spread);
-    if (export_per_object_gauges &&
-        static_cast<size_t>(object) < kMaxPerObjectSeries) {
-      metrics_
-          .GetGauge("esr_replica_divergence",
-                    {{"object", std::to_string(object)}})
-          .Set(static_cast<double>(spread));
+    if (export_per_object_gauges) {
+      if (static_cast<size_t>(object) < kMaxPerObjectSeries) {
+        metrics_
+            .GetGauge("esr_replica_divergence",
+                      {{"object", std::to_string(object)}})
+            .Set(static_cast<double>(spread));
+      }
+      const std::optional<store::OpKind> kind = registry_.ClassOf(object);
+      ClassAgg& agg =
+          by_class[kind.has_value()
+                       ? std::string(store::OpKindToString(*kind))
+                       : std::string("unclassified")];
+      agg.max_spread = std::max(agg.max_spread, spread);
+      if (differs) ++agg.divergent;
     }
+  }
+  for (const auto& [object_class, agg] : by_class) {
+    const obs::LabelSet labels = {{"object_class", object_class}};
+    metrics_.GetGauge("esr_replica_divergence_by_class", labels)
+        .Set(static_cast<double>(agg.max_spread));
+    metrics_.GetGauge("esr_divergent_objects_by_class", labels)
+        .Set(static_cast<double>(agg.divergent));
   }
   return scan;
 }

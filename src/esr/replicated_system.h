@@ -15,6 +15,7 @@
 #include "esr/replica_control.h"
 #include "obs/et_tracer.h"
 #include "obs/metric_registry.h"
+#include "recovery/recovery_manager.h"
 #include "sim/failure_injector.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -62,6 +63,11 @@ class ReplicatedSystem {
   const obs::EtTracer& tracer() const { return tracer_; }
   /// Null unless config.admission.enabled (and the method is asynchronous).
   const AdmissionController* admission() const { return admission_.get(); }
+  /// Null unless config.recovery.enabled (and the method is asynchronous).
+  recovery::RecoveryManager* recovery_manager() { return recovery_.get(); }
+  const recovery::RecoveryManager* recovery_manager() const {
+    return recovery_.get();
+  }
 
   /// --- Update epsilon-transactions ---------------------------------------
 
@@ -181,6 +187,19 @@ class ReplicatedSystem {
     return config_.method == Method::kSync2pc ||
            config_.method == Method::kSyncQuorum;
   }
+  /// Assembles a site's MethodContext (also used when an amnesia restart
+  /// recreates the method instance).
+  MethodContext MakeContext(SiteId s);
+  /// Installs the per-site recovery bindings, the catch-up message
+  /// handlers, and the sequencer orphan handler.
+  void BindRecoverySite(SiteId s);
+  /// Amnesia fault hooks (recovery enabled): the crashed site loses all
+  /// volatile state and, on restart, rebuilds via checkpoint + WAL replay +
+  /// anti-entropy catch-up.
+  void AmnesiaCrash(SiteId s);
+  void AmnesiaRestart(SiteId s);
+  /// Periodic fuzzy checkpoints (config.recovery.checkpoint_interval_us).
+  void StartCheckpoints();
   void StartHeartbeats();
   /// Quasi-copies delay-condition timer: ticks every method's
   /// OnRefreshTimer() at config.quasi_refresh_interval_us, independent of
@@ -223,7 +242,9 @@ class ReplicatedSystem {
   std::vector<sim::EventId> heartbeat_events_;
   bool quasi_refresh_on_ = false;
   bool admission_sampling_on_ = false;
+  bool checkpoints_on_ = false;
 
+  std::unique_ptr<recovery::RecoveryManager> recovery_;
   std::unique_ptr<AdmissionController> admission_;
   /// Cumulative per-site admission signals from *completed* queries (live
   /// queries are folded in at sample time, so the cumulative view stays

@@ -50,7 +50,16 @@ void RituMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
   if (done) done(Status::Ok());
 }
 
-void RituMethod::OnMsetDelivered(const Mset& mset) { ApplyRitu(mset); }
+void RituMethod::OnMsetDelivered(const Mset& mset) {
+  if (RecoveryFilterDelivery(mset)) return;
+  ApplyRitu(mset);
+}
+
+void RituMethod::OnReplayReflected(const Mset& mset) {
+  // Multi-version mode keeps everything durable in the version snapshot;
+  // single-version mode re-arms COMMU's volatile lock-counters.
+  if (!multiversion_) CommuMethod::OnReplayReflected(mset);
+}
 
 void RituMethod::ApplyRitu(const Mset& mset) {
   if (multiversion_) {

@@ -49,6 +49,8 @@ class RituMethod : public CommuMethod {
 
   bool multiversion() const { return multiversion_; }
 
+  void OnReplayReflected(const Mset& mset) override;
+
  private:
   /// Applies a RITU MSet by the mode's rule and runs the shared
   /// ack/stability/lock-counter protocol.

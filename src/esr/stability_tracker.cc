@@ -66,6 +66,52 @@ void StabilityTracker::MarkStable(EtId et, LamportTimestamp ts) {
   if (on_stable) on_stable(et);
 }
 
+StabilityTracker::Snapshot StabilityTracker::ExportSnapshot() const {
+  Snapshot snap;
+  for (const auto& [ts, et] : outstanding_by_ts_) {
+    snap.outstanding.emplace_back(et, ts);
+  }
+  snap.stable.assign(stable_.begin(), stable_.end());
+  std::sort(snap.stable.begin(), snap.stable.end());
+  for (const auto& [et, acked] : acks_) {
+    std::vector<SiteId> sites(acked.begin(), acked.end());
+    std::sort(sites.begin(), sites.end());
+    snap.acks.emplace_back(et, std::move(sites));
+  }
+  std::sort(snap.acks.begin(), snap.acks.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  snap.watermark = watermark_;
+  return snap;
+}
+
+void StabilityTracker::RestoreSnapshot(const Snapshot& snapshot) {
+  outstanding_by_ts_.clear();
+  outstanding_ts_.clear();
+  stable_.clear();
+  acks_.clear();
+  for (const auto& [et, ts] : snapshot.outstanding) {
+    outstanding_by_ts_.emplace(ts, et);
+    outstanding_ts_.emplace(et, ts);
+  }
+  stable_.insert(snapshot.stable.begin(), snapshot.stable.end());
+  for (const auto& [et, sites] : snapshot.acks) {
+    acks_[et].insert(sites.begin(), sites.end());
+  }
+  for (size_t o = 0; o < watermark_.size() && o < snapshot.watermark.size();
+       ++o) {
+    watermark_[o] = snapshot.watermark[o];
+  }
+}
+
+std::vector<std::pair<EtId, LamportTimestamp>> StabilityTracker::
+    OutstandingFrom(SiteId origin) const {
+  std::vector<std::pair<EtId, LamportTimestamp>> out;
+  for (const auto& [ts, et] : outstanding_by_ts_) {
+    if (ts.site == origin) out.emplace_back(et, ts);
+  }
+  return out;
+}
+
 LamportTimestamp StabilityTracker::WatermarkFloor() const {
   LamportTimestamp floor{std::numeric_limits<int64_t>::max(), 0};
   for (SiteId o = 0; o < num_sites_; ++o) {

@@ -82,6 +82,24 @@ class StabilityTracker {
   /// VTNC at zero (heartbeats make this optional).
   void SetUpdaterSites(const std::vector<SiteId>& updaters);
 
+  /// Checkpointable image of the tracker (all vectors sorted, so snapshots
+  /// of a seeded run are deterministic). on_stable and the updater-site
+  /// restriction are configuration, not state, and are not captured.
+  struct Snapshot {
+    std::vector<std::pair<EtId, LamportTimestamp>> outstanding;
+    std::vector<EtId> stable;
+    std::vector<std::pair<EtId, std::vector<SiteId>>> acks;
+    std::vector<LamportTimestamp> watermark;
+  };
+
+  Snapshot ExportSnapshot() const;
+  void RestoreSnapshot(const Snapshot& snapshot);
+
+  /// Applied-but-not-stable ETs this site originated, with their
+  /// timestamps — what a recovering origin asks its peers about.
+  std::vector<std::pair<EtId, LamportTimestamp>> OutstandingFrom(
+      SiteId origin) const;
+
  private:
   SiteId self_;
   int num_sites_;

@@ -26,12 +26,23 @@ SequencerClient::SequencerClient(Mailbox* mailbox, ReliableTransport* queues,
       kSeqResponse, [this](SiteId /*source*/, const std::any& body) {
         const auto* resp = std::any_cast<SeqResponse>(&body);
         assert(resp != nullptr);
+        if (abandoned_.erase(resp->request_id) > 0) {
+          // The requester crashed with amnesia after asking; the granted
+          // position must still be accounted for in the total order.
+          if (orphan_handler_) orphan_handler_(resp->seq);
+          return;
+        }
         auto it = pending_.find(resp->request_id);
         if (it == pending_.end()) return;  // duplicate response
         Callback done = std::move(it->second);
         pending_.erase(it);
         done(resp->seq);
       });
+}
+
+void SequencerClient::AbandonPending() {
+  for (const auto& [id, _] : pending_) abandoned_.insert(id);
+  pending_.clear();
 }
 
 void SequencerClient::Request(Callback done) {

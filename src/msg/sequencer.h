@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/types.h"
 #include "msg/mailbox.h"
@@ -47,12 +48,30 @@ class SequencerClient {
   /// response arrives (immediately when self-hosted).
   void Request(Callback done);
 
+  /// Amnesia-crash support: forgets every pending callback (they capture
+  /// protocol state that died with the site) but remembers the request ids,
+  /// so when the server's responses eventually arrive — requests persist in
+  /// the stable queues — the granted positions are handed to
+  /// `orphan_handler` instead of vanishing as holes in the total order.
+  void AbandonPending();
+
+  /// Receives sequence numbers granted to abandoned requests.
+  void set_orphan_handler(std::function<void(SequenceNumber)> handler) {
+    orphan_handler_ = std::move(handler);
+  }
+
+  int64_t PendingCount() const {
+    return static_cast<int64_t>(pending_.size());
+  }
+
  private:
   Mailbox* mailbox_;
   ReliableTransport* queues_;
   SiteId home_;
   int64_t next_request_id_ = 1;
   std::unordered_map<int64_t, Callback> pending_;
+  std::unordered_set<int64_t> abandoned_;
+  std::function<void(SequenceNumber)> orphan_handler_;
 };
 
 /// Wire formats (shared between server and client).

@@ -43,6 +43,16 @@ class TotalOrderBuffer {
   void Pause() { paused_ = true; }
   void Resume();
 
+  /// Recovery: restores the applied watermark of a checkpoint into a fresh
+  /// buffer (everything at or below `watermark` is reflected in the
+  /// restored state and will be ignored if re-offered). Only valid on an
+  /// empty, never-used buffer.
+  void RestoreWatermark(SequenceNumber watermark) {
+    if (next_ == 1 && holdback_.empty() && watermark >= 0) {
+      next_ = watermark + 1;
+    }
+  }
+
   bool paused() const { return paused_; }
 
  private:

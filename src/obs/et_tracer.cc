@@ -39,6 +39,16 @@ EtTracer::EtTracer(MetricRegistry* metrics, int num_sites)
   }
 }
 
+void EtTracer::ConfigureSpanReservoir(int64_t size, uint64_t seed) {
+  reservoir_size_ = size > 0 ? size : 0;
+  reservoir_rng_ = Rng(seed);
+  span_seen_ = 0;
+  events_.clear();
+  if (reservoir_size_ > 0) {
+    events_.reserve(static_cast<size_t>(reservoir_size_));
+  }
+}
+
 void EtTracer::Record(EtId et, EtPhase phase, SiteId site, SimTime now,
                       int64_t detail) {
   if (metrics_ != nullptr) {
@@ -49,7 +59,19 @@ void EtTracer::Record(EtId et, EtPhase phase, SiteId site, SimTime now,
     metrics_->GetCounter("esr_et_phase_total", std::move(labels)).Increment();
   }
   if (record_events_) {
-    events_.push_back({et, phase, site, now, detail});
+    ++span_seen_;
+    if (reservoir_size_ <= 0) {
+      events_.push_back({et, phase, site, now, detail});
+    } else if (static_cast<int64_t>(events_.size()) < reservoir_size_) {
+      events_.push_back({et, phase, site, now, detail});
+    } else {
+      // Algorithm R: the k-th event replaces a uniform slot with
+      // probability size/k, keeping every event equally likely to survive.
+      const int64_t slot = reservoir_rng_.Uniform(0, span_seen_ - 1);
+      if (slot < reservoir_size_) {
+        events_[static_cast<size_t>(slot)] = {et, phase, site, now, detail};
+      }
+    }
   }
 }
 

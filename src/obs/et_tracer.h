@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/types.h"
 #include "obs/metric_registry.h"
 
@@ -64,6 +65,20 @@ class EtTracer {
 
   void set_record_events(bool on) { record_events_ = on; }
 
+  /// Bounded span recording: keep a uniform random sample of at most `size`
+  /// span events (Vitter's Algorithm R) instead of the full exact vector.
+  /// Long benchmark runs get representative spans in O(size) memory; the
+  /// sample of a seeded run is deterministic. `size <= 0` restores the
+  /// default exact mode. events() order is insertion/replacement order, not
+  /// time order, in reservoir mode.
+  void ConfigureSpanReservoir(int64_t size, uint64_t seed);
+
+  /// Total span events offered to the recorder (recorded or sampled-over).
+  int64_t SpanEventsSeen() const { return span_seen_; }
+
+  /// The configured reservoir capacity (0 = exact recording).
+  int64_t SpanReservoirSize() const { return reservoir_size_; }
+
   void OnSubmit(EtId et, SiteId origin, SimTime now);
   void OnLocalCommit(EtId et, SiteId origin, SimTime now);
   void OnEnqueue(EtId et, SiteId origin, SimTime now, int fanout);
@@ -98,6 +113,10 @@ class EtTracer {
   MetricRegistry* metrics_;
   int num_sites_;
   bool record_events_ = true;
+  /// 0 = exact (unbounded) recording; > 0 = reservoir sampling capacity.
+  int64_t reservoir_size_ = 0;
+  int64_t span_seen_ = 0;
+  Rng reservoir_rng_{0};
   std::vector<SpanEvent> events_;
   std::unordered_map<EtId, EtState> ets_;
   std::vector<int64_t> queue_depth_;

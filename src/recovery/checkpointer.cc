@@ -1,0 +1,104 @@
+#include "recovery/checkpointer.h"
+
+#include "recovery/codec.h"
+
+namespace esr::recovery {
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x45535243u;  // "ESRC"
+constexpr uint32_t kCheckpointVersion = 1;
+
+}  // namespace
+
+std::string EncodeCheckpoint(const CheckpointData& data) {
+  Encoder enc;
+  enc.U32(kCheckpointMagic);
+  enc.U32(kCheckpointVersion);
+  enc.I64(data.last_lsn);
+  enc.I64(data.clock_counter);
+  enc.I64(data.order_watermark);
+  enc.U32(static_cast<uint32_t>(data.applied.size()));
+  for (const LamportTimestamp& ts : data.applied) enc.Ts(ts);
+  enc.U32(static_cast<uint32_t>(data.store_entries.size()));
+  for (const auto& [object, value, write_ts] : data.store_entries) {
+    enc.I64(object);
+    enc.Val(value);
+    enc.Ts(write_ts);
+  }
+  enc.U32(static_cast<uint32_t>(data.versions.size()));
+  for (const auto& [object, ts, value] : data.versions) {
+    enc.I64(object);
+    enc.Ts(ts);
+    enc.Val(value);
+  }
+  enc.U32(static_cast<uint32_t>(data.mset_log.size()));
+  for (const store::MsetLog::RecordSnapshot& record : data.mset_log) {
+    enc.I64(record.mset_id);
+    enc.U32(static_cast<uint32_t>(record.ops.size()));
+    for (const store::Operation& op : record.ops) enc.Op(op);
+    enc.U32(static_cast<uint32_t>(record.before_images.size()));
+    for (const auto& [object, value] : record.before_images) {
+      enc.I64(object);
+      enc.Val(value);
+    }
+  }
+  enc.Str(data.method_blob);
+  enc.Str(data.stability_blob);
+
+  std::string out;
+  FrameAppend(out, enc.Take());
+  return out;
+}
+
+bool DecodeCheckpoint(std::string_view bytes, CheckpointData* out) {
+  size_t pos = 0;
+  std::string_view payload;
+  if (!FrameNext(bytes, &pos, &payload)) return false;
+  Decoder dec(payload);
+  if (dec.U32() != kCheckpointMagic) return false;
+  if (dec.U32() != kCheckpointVersion) return false;
+  CheckpointData data;
+  data.last_lsn = dec.I64();
+  data.clock_counter = dec.I64();
+  data.order_watermark = dec.I64();
+  uint32_t n = dec.U32();
+  for (uint32_t i = 0; i < n && dec.ok(); ++i) data.applied.push_back(dec.Ts());
+  n = dec.U32();
+  for (uint32_t i = 0; i < n && dec.ok(); ++i) {
+    ObjectId object = dec.I64();
+    Value value = dec.Val();
+    LamportTimestamp write_ts = dec.Ts();
+    data.store_entries.emplace_back(object, std::move(value), write_ts);
+  }
+  n = dec.U32();
+  for (uint32_t i = 0; i < n && dec.ok(); ++i) {
+    ObjectId object = dec.I64();
+    LamportTimestamp ts = dec.Ts();
+    Value value = dec.Val();
+    data.versions.emplace_back(object, ts, std::move(value));
+  }
+  n = dec.U32();
+  for (uint32_t i = 0; i < n && dec.ok(); ++i) {
+    store::MsetLog::RecordSnapshot record;
+    record.mset_id = dec.I64();
+    uint32_t ops = dec.U32();
+    for (uint32_t k = 0; k < ops && dec.ok(); ++k) {
+      record.ops.push_back(dec.Op());
+    }
+    uint32_t images = dec.U32();
+    for (uint32_t k = 0; k < images && dec.ok(); ++k) {
+      ObjectId object = dec.I64();
+      Value value = dec.Val();
+      record.before_images.emplace_back(object, std::move(value));
+    }
+    data.mset_log.push_back(std::move(record));
+  }
+  data.method_blob = dec.Str();
+  data.stability_blob = dec.Str();
+  if (!dec.ok()) return false;
+  *out = std::move(data);
+  return true;
+}
+
+}  // namespace esr::recovery

@@ -1,0 +1,60 @@
+#ifndef ESR_RECOVERY_CHECKPOINTER_H_
+#define ESR_RECOVERY_CHECKPOINTER_H_
+
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+#include "store/mset_log.h"
+
+namespace esr::recovery {
+
+/// One fuzzy checkpoint of a site — "fuzzy" in the classical sense that it
+/// is taken between events without quiescing the system, but because the
+/// simulator is single-threaded a snapshot taken inside one event is
+/// trivially atomic with respect to protocol state.
+///
+/// The applied-timestamp vector (`applied[origin]` = timestamp of the
+/// newest MSet from `origin` applied here) is THE uniform watermark: stable
+/// queues are FIFO per origin and every method applies a given origin's
+/// MSets in timestamp order, so an MSet is reflected in the checkpoint iff
+/// `mset.timestamp <= applied[mset.origin]`. Method-specific positions ride
+/// along: `order_watermark` (ORDUP / COMPE-ORD total-order position),
+/// `method_blob` / `stability_blob` (opaque method + stability-tracker
+/// state, encoded by the facade which knows the concrete method type).
+struct CheckpointData {
+  /// Highest WAL LSN reflected in this snapshot; replay starts after it.
+  int64_t last_lsn = 0;
+  /// Lamport clock counter at snapshot time.
+  int64_t clock_counter = 0;
+  /// Total-order delivery watermark (0 for unordered methods).
+  SequenceNumber order_watermark = 0;
+  /// Per-origin applied-MSet timestamp vector, indexed by SiteId.
+  std::vector<LamportTimestamp> applied;
+  /// Single-version store image: (object, value, write_timestamp).
+  std::vector<std::tuple<ObjectId, Value, LamportTimestamp>> store_entries;
+  /// Multi-version store image: (object, timestamp, value).
+  std::vector<std::tuple<ObjectId, LamportTimestamp, Value>> versions;
+  /// COMPE compensation log (records still at risk of rollback).
+  std::vector<store::MsetLog::RecordSnapshot> mset_log;
+  std::string method_blob;
+  std::string stability_blob;
+};
+
+/// Serializes a checkpoint as one CRC-framed record (magic + format
+/// version inside), so a torn checkpoint write is detected and rejected as
+/// a whole.
+std::string EncodeCheckpoint(const CheckpointData& data);
+
+/// Decodes a checkpoint produced by EncodeCheckpoint. Returns false (and
+/// leaves `out` default) for empty, torn, corrupt, or wrong-version bytes —
+/// the caller then recovers from an empty initial state plus full WAL
+/// replay.
+bool DecodeCheckpoint(std::string_view bytes, CheckpointData* out);
+
+}  // namespace esr::recovery
+
+#endif  // ESR_RECOVERY_CHECKPOINTER_H_

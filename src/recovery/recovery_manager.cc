@@ -1,0 +1,444 @@
+#include "recovery/recovery_manager.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+namespace esr::recovery {
+
+namespace {
+
+obs::LabelSet SiteLabel(SiteId site) {
+  return {{"site", std::to_string(site)}};
+}
+
+}  // namespace
+
+SiteRecovery::SiteRecovery(SiteId site, int num_sites,
+                           std::unique_ptr<Wal> wal)
+    : site_(site), wal_(std::move(wal)) {
+  applied_.assign(static_cast<size_t>(num_sites), kZeroTimestamp);
+  dropped_floor_.assign(static_cast<size_t>(num_sites), kZeroTimestamp);
+  ckpt_applied_.assign(static_cast<size_t>(num_sites), kZeroTimestamp);
+}
+
+bool SiteRecovery::AlreadyApplied(const core::Mset& mset) const {
+  if (mset.et == kInvalidEtId) {
+    // ORDUP noop filler: only the checkpointed total-order watermark can
+    // prove it reflected; outside replay the order buffer deduplicates.
+    return in_replay_ && mset.global_order > 0 &&
+           mset.global_order <= ckpt_order_watermark_;
+  }
+  if (mset.origin < 0 ||
+      mset.origin >= static_cast<SiteId>(applied_.size())) {
+    return false;
+  }
+  return mset.timestamp <= applied_[static_cast<size_t>(mset.origin)];
+}
+
+void SiteRecovery::LogMset(const core::Mset& mset) {
+  if (in_replay_) return;
+  wal_->AppendMset(mset);
+}
+
+void SiteRecovery::LogDecision(EtId et, bool commit) {
+  if (in_replay_) return;
+  wal_->AppendDecision(et, commit);
+}
+
+void SiteRecovery::LogAck(EtId et, SiteId replica) {
+  if (in_replay_) return;
+  wal_->AppendAck(et, replica);
+}
+
+void SiteRecovery::LogStable(EtId et, const LamportTimestamp& ts) {
+  if (in_replay_) return;
+  wal_->AppendStable(et, ts);
+}
+
+bool SiteRecovery::MaybeHoldDelivery(const core::Mset& mset) {
+  if (pending_catchup_ <= 0 || in_replay_ || applying_catchup_) return false;
+  held_.push_back(mset);
+  return true;
+}
+
+void SiteRecovery::OnApplied(const core::Mset& mset) {
+  if (mset.et == kInvalidEtId || mset.origin < 0 ||
+      mset.origin >= static_cast<SiteId>(applied_.size())) {
+    return;
+  }
+  LamportTimestamp& watermark = applied_[static_cast<size_t>(mset.origin)];
+  watermark = std::max(watermark, mset.timestamp);
+}
+
+RecoveryManager::RecoveryManager(sim::Simulator* simulator,
+                                 obs::MetricRegistry* metrics,
+                                 const RecoveryConfig& config, int num_sites)
+    : simulator_(simulator),
+      metrics_(metrics),
+      config_(config),
+      num_sites_(num_sites),
+      storage_(MakeStorage(config)) {
+  sites_.reserve(static_cast<size_t>(num_sites));
+  for (SiteId s = 0; s < num_sites; ++s) {
+    auto wal = std::make_unique<Wal>(simulator_, storage_.get(), s, config_,
+                                     metrics_);
+    sites_.push_back(std::unique_ptr<SiteRecovery>(
+        new SiteRecovery(s, num_sites, std::move(wal))));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Describe("esr_checkpoints_total", "Fuzzy checkpoints taken");
+    metrics_->Describe("esr_checkpoint_bytes",
+                       "Size of the latest checkpoint");
+    metrics_->Describe("esr_wal_bytes",
+                       "Stored WAL size after the latest checkpoint");
+    metrics_->Describe("esr_recovery_amnesia_crashes_total",
+                       "Amnesia crashes (volatile state lost)");
+    metrics_->Describe("esr_recovery_runs_total", "Recovery runs completed");
+    metrics_->Describe("esr_recovery_replayed_records_total",
+                       "WAL records scanned during replay");
+    metrics_->Describe("esr_recovery_replayed_msets_total",
+                       "MSets re-delivered from the WAL during replay");
+    metrics_->Describe("esr_recovery_skipped_reflected_total",
+                       "Replayed MSets already reflected in the checkpoint");
+    metrics_->Describe("esr_recovery_catchup_msets_total",
+                       "MSets obtained from peers during catch-up");
+    metrics_->Describe("esr_recovery_incomplete_catchup_total",
+                       "Catch-up responses limited by peer WAL truncation");
+    metrics_->Describe("esr_recovery_catchup_lag_us",
+                       "Restart to catch-up-complete latency");
+  }
+}
+
+RecoveryManager::~RecoveryManager() = default;
+
+void RecoveryManager::BindSite(SiteId s, SiteBindings bindings) {
+  sites_[static_cast<size_t>(s)]->bindings_ = std::move(bindings);
+}
+
+void RecoveryManager::OnCrash(SiteId s) {
+  SiteRecovery& site = *sites_[static_cast<size_t>(s)];
+  site.wal_->DropUnflushed();
+  // A crash mid-catch-up abandons the exchange; the next restart runs a
+  // fresh one (parked deliveries are re-obtainable from peer WALs).
+  site.pending_catchup_ = 0;
+  site.applying_catchup_ = false;
+  site.held_.clear();
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("esr_recovery_amnesia_crashes_total", SiteLabel(s))
+        .Increment();
+  }
+}
+
+std::vector<LamportTimestamp> RecoveryManager::DurablyRecoverableFloor()
+    const {
+  std::vector<LamportTimestamp> floor;
+  for (SiteId u = 0; u < num_sites_; ++u) {
+    const SiteRecovery& peer = *sites_[static_cast<size_t>(u)];
+    std::vector<LamportTimestamp> recoverable = peer.ckpt_applied_;
+    recoverable.resize(static_cast<size_t>(num_sites_), kZeroTimestamp);
+    for (const WalRecord& record : peer.wal_->ReadAll()) {
+      if (record.type != WalRecordType::kMset) continue;
+      const core::Mset& mset = record.mset;
+      if (mset.et == kInvalidEtId || mset.origin < 0 ||
+          mset.origin >= num_sites_) {
+        continue;
+      }
+      LamportTimestamp& w = recoverable[static_cast<size_t>(mset.origin)];
+      w = std::max(w, mset.timestamp);
+    }
+    if (u == 0) {
+      floor = std::move(recoverable);
+      continue;
+    }
+    for (size_t o = 0; o < floor.size(); ++o) {
+      floor[o] = std::min(floor[o], recoverable[o]);
+    }
+  }
+  return floor;
+}
+
+void RecoveryManager::TakeCheckpoint(SiteId s) {
+  SiteRecovery& site = *sites_[static_cast<size_t>(s)];
+  site.wal_->Flush();
+
+  CheckpointData data;
+  data.applied = site.applied_;
+  site.bindings_.snapshot(data);
+  data.last_lsn = site.wal_->next_lsn() - 1;
+  std::string encoded = EncodeCheckpoint(data);
+  storage_->WriteCheckpoint(s, encoded);
+  site.ckpt_applied_ = data.applied;
+  site.ckpt_applied_.resize(static_cast<size_t>(num_sites_), kZeroTimestamp);
+
+  // Truncate: decisions/acks/stables are reflected in the checkpoint blobs.
+  // A real MSet can go once it is (a) reflected here, (b) globally stable,
+  // and (c) durably recoverable at EVERY site — (b) alone is not enough
+  // under amnesia, because an applied-but-unflushed MSet dies with its
+  // site's volatile state and then only a peer's WAL can re-supply it. A
+  // noop filler can go once the checkpointed total-order watermark passed
+  // it.
+  const std::vector<LamportTimestamp> durable_floor = DurablyRecoverableFloor();
+  site.wal_->Truncate([&](const WalRecord& record) {
+    switch (record.type) {
+      case WalRecordType::kDecision:
+      case WalRecordType::kAck:
+      case WalRecordType::kStable:
+        return false;
+      case WalRecordType::kMset:
+        break;
+    }
+    const core::Mset& mset = record.mset;
+    if (mset.et == kInvalidEtId) {
+      return !(mset.global_order > 0 &&
+               mset.global_order <= data.order_watermark);
+    }
+    const bool reflected =
+        mset.origin >= 0 &&
+        mset.origin < static_cast<SiteId>(data.applied.size()) &&
+        mset.timestamp <= data.applied[static_cast<size_t>(mset.origin)];
+    const bool stable =
+        site.bindings_.is_stable && site.bindings_.is_stable(mset.et);
+    const bool durable_everywhere =
+        mset.origin < static_cast<SiteId>(durable_floor.size()) &&
+        mset.timestamp <= durable_floor[static_cast<size_t>(mset.origin)];
+    if (reflected && stable && durable_everywhere) {
+      LamportTimestamp& floor =
+          site.dropped_floor_[static_cast<size_t>(mset.origin)];
+      floor = std::max(floor, mset.timestamp);
+      return false;
+    }
+    return true;
+  });
+
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("esr_checkpoints_total", SiteLabel(s)).Increment();
+    metrics_->GetGauge("esr_checkpoint_bytes", SiteLabel(s))
+        .Set(static_cast<double>(encoded.size()));
+    metrics_->GetGauge("esr_wal_bytes", SiteLabel(s))
+        .Set(static_cast<double>(site.wal_->StorageBytes()));
+  }
+}
+
+static void RecoverySortMsets(std::vector<core::Mset>& msets) {
+  std::sort(msets.begin(), msets.end(),
+            [](const core::Mset& a, const core::Mset& b) {
+              if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+              if (a.global_order != b.global_order) {
+                return a.global_order < b.global_order;
+              }
+              return a.et < b.et;
+            });
+}
+
+void RecoveryManager::RecoverSite(SiteId s) {
+  SiteRecovery& site = *sites_[static_cast<size_t>(s)];
+  site.report_ = RecoveryReport{};
+  site.report_.restarted_at = simulator_->Now();
+
+  CheckpointData data;
+  if (DecodeCheckpoint(storage_->ReadCheckpoint(s), &data)) {
+    site.report_.had_checkpoint = true;
+    site.report_.checkpoint_lsn = data.last_lsn;
+  }
+  data.applied.resize(static_cast<size_t>(num_sites_), kZeroTimestamp);
+  site.applied_ = data.applied;
+  site.ckpt_applied_ = data.applied;
+  site.ckpt_order_watermark_ = data.order_watermark;
+
+  site.in_replay_ = true;
+  site.bindings_.restore(data);
+  for (const WalRecord& record : site.wal_->ReadAll()) {
+    switch (record.type) {
+      case WalRecordType::kMset:
+        if (site.AlreadyApplied(record.mset)) {
+          ++site.report_.skipped_reflected;
+          if (record.mset.et != kInvalidEtId &&
+              site.bindings_.replay_reflected) {
+            site.bindings_.replay_reflected(record.mset);
+          }
+        } else {
+          ++site.report_.replayed_msets;
+          site.bindings_.deliver(record.mset);
+        }
+        break;
+      case WalRecordType::kDecision:
+        site.bindings_.decide(record.et, record.commit);
+        break;
+      case WalRecordType::kAck:
+        site.bindings_.ack(record.et, record.replica);
+        break;
+      case WalRecordType::kStable:
+        site.bindings_.stable(record.et, record.ts);
+        break;
+    }
+    ++site.report_.replayed_records;
+  }
+  site.in_replay_ = false;
+
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("esr_recovery_runs_total", SiteLabel(s)).Increment();
+    metrics_->GetCounter("esr_recovery_replayed_records_total", SiteLabel(s))
+        .Increment(site.report_.replayed_records);
+    metrics_->GetCounter("esr_recovery_replayed_msets_total", SiteLabel(s))
+        .Increment(site.report_.replayed_msets);
+    metrics_->GetCounter("esr_recovery_skipped_reflected_total", SiteLabel(s))
+        .Increment(site.report_.skipped_reflected);
+  }
+}
+
+CatchupRequest RecoveryManager::BuildCatchupRequest(SiteId s) {
+  SiteRecovery& site = *sites_[static_cast<size_t>(s)];
+  CatchupRequest request;
+  request.from = s;
+  request.applied = site.applied_;
+  if (site.bindings_.outstanding) {
+    request.outstanding = site.bindings_.outstanding();
+  }
+  if (site.bindings_.unstable) {
+    request.unstable = site.bindings_.unstable();
+  }
+  return request;
+}
+
+CatchupResponse RecoveryManager::BuildCatchupResponse(
+    SiteId responder, const CatchupRequest& request) {
+  SiteRecovery& site = *sites_[static_cast<size_t>(responder)];
+  // The decision of what to serve reads durable state only, so buffered
+  // appends must be visible.
+  site.wal_->Flush();
+
+  CatchupResponse response;
+  response.from = responder;
+  for (SiteId o = 0; o < num_sites_; ++o) {
+    const LamportTimestamp floor =
+        site.dropped_floor_[static_cast<size_t>(o)];
+    const LamportTimestamp requester_has =
+        o < static_cast<SiteId>(request.applied.size())
+            ? request.applied[static_cast<size_t>(o)]
+            : kZeroTimestamp;
+    if (requester_has < floor) response.complete = false;
+  }
+
+  std::unordered_set<EtId> seen_ets;
+  std::set<std::pair<SiteId, SequenceNumber>> seen_noops;
+  std::unordered_set<EtId> seen_decisions;
+  for (const WalRecord& record : site.wal_->ReadAll()) {
+    if (record.type == WalRecordType::kDecision) {
+      if (seen_decisions.insert(record.et).second) {
+        response.decisions.emplace_back(record.et, record.commit);
+      }
+      continue;
+    }
+    if (record.type != WalRecordType::kMset) continue;
+    const core::Mset& mset = record.mset;
+    if (mset.et == kInvalidEtId) {
+      if (mset.global_order > 0 &&
+          seen_noops.emplace(mset.origin, mset.global_order).second) {
+        response.msets.push_back(mset);
+      }
+      continue;
+    }
+    const LamportTimestamp requester_has =
+        mset.origin >= 0 &&
+                mset.origin < static_cast<SiteId>(request.applied.size())
+            ? request.applied[static_cast<size_t>(mset.origin)]
+            : kZeroTimestamp;
+    if (mset.timestamp <= requester_has) continue;
+    if (seen_ets.insert(mset.et).second) response.msets.push_back(mset);
+  }
+  RecoverySortMsets(response.msets);
+
+  for (const auto& [et, ts] : request.outstanding) {
+    if (site.bindings_.is_stable && site.bindings_.is_stable(et)) {
+      response.stable_known.emplace_back(et, ts);
+    } else if (request.from >= 0 &&
+               request.from < static_cast<SiteId>(site.applied_.size()) &&
+               ts <= site.applied_[static_cast<size_t>(request.from)]) {
+      response.acked.push_back(et);
+    }
+  }
+
+  // Stability reconciliation (applied after the MSets on the requester):
+  // report every ET this peer knows stable among (a) the MSets shipped
+  // above — the requester is about to apply them and would otherwise wait
+  // for a stability notice that was already broadcast — and (b) the
+  // requester's applied-but-unstable set, whose notices may have died in
+  // its unflushed WAL tail.
+  std::unordered_set<EtId> stable_reported;
+  for (const auto& [et, ts] : response.stable_known) stable_reported.insert(et);
+  if (site.bindings_.is_stable) {
+    for (const core::Mset& mset : response.msets) {
+      if (mset.et != kInvalidEtId && site.bindings_.is_stable(mset.et) &&
+          stable_reported.insert(mset.et).second) {
+        response.stable_known.emplace_back(mset.et, mset.timestamp);
+      }
+    }
+    for (const auto& [et, ts] : request.unstable) {
+      if (site.bindings_.is_stable(et) && stable_reported.insert(et).second) {
+        response.stable_known.emplace_back(et, ts);
+      }
+    }
+  }
+  return response;
+}
+
+void RecoveryManager::BeginCatchup(SiteId s, int expected_responses) {
+  SiteRecovery& site = *sites_[static_cast<size_t>(s)];
+  site.pending_catchup_ = expected_responses;
+  if (expected_responses <= 0) {
+    site.report_.catchup_done_at = simulator_->Now();
+  }
+}
+
+void RecoveryManager::ApplyCatchupResponse(SiteId s,
+                                           const CatchupResponse& response) {
+  SiteRecovery& site = *sites_[static_cast<size_t>(s)];
+  if (!response.complete && metrics_ != nullptr) {
+    metrics_->GetCounter("esr_recovery_incomplete_catchup_total", SiteLabel(s))
+        .Increment();
+  }
+  int64_t delivered = 0;
+  site.applying_catchup_ = true;
+  for (const core::Mset& mset : response.msets) {
+    if (mset.et != kInvalidEtId && site.AlreadyApplied(mset)) continue;
+    ++delivered;
+    site.bindings_.deliver(mset);
+  }
+  site.report_.catchup_msets += delivered;
+  for (EtId et : response.acked) {
+    site.bindings_.ack(et, response.from);
+  }
+  for (const auto& [et, commit] : response.decisions) {
+    site.bindings_.decide(et, commit);
+  }
+  for (const auto& [et, ts] : response.stable_known) {
+    site.bindings_.stable(et, ts);
+  }
+  site.applying_catchup_ = false;
+  if (metrics_ != nullptr && delivered > 0) {
+    metrics_->GetCounter("esr_recovery_catchup_msets_total", SiteLabel(s))
+        .Increment(delivered);
+  }
+  if (site.pending_catchup_ > 0 && --site.pending_catchup_ == 0) {
+    site.report_.catchup_done_at = simulator_->Now();
+    if (metrics_ != nullptr) {
+      metrics_->GetHistogram("esr_recovery_catchup_lag_us")
+          .Observe(static_cast<double>(site.report_.catchup_done_at -
+                                       site.report_.restarted_at));
+    }
+    // Release the foreground deliveries parked during the exchange, oldest
+    // first; duplicates of MSets a response already carried are dropped by
+    // the AlreadyApplied gate in RecoveryFilterDelivery.
+    std::vector<core::Mset> held = std::move(site.held_);
+    site.held_.clear();
+    RecoverySortMsets(held);
+    for (const core::Mset& mset : held) {
+      site.bindings_.deliver(mset);
+    }
+  }
+}
+
+}  // namespace esr::recovery

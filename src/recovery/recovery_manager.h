@@ -1,0 +1,238 @@
+#ifndef ESR_RECOVERY_RECOVERY_MANAGER_H_
+#define ESR_RECOVERY_RECOVERY_MANAGER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "esr/mset.h"
+#include "msg/mailbox.h"
+#include "obs/metric_registry.h"
+#include "recovery/checkpointer.h"
+#include "recovery/recovery_config.h"
+#include "recovery/storage.h"
+#include "recovery/wal.h"
+#include "sim/simulator.h"
+
+namespace esr::recovery {
+
+/// Anti-entropy catch-up protocol messages (replica-control range 100+;
+/// 100..104 are taken by mset.h).
+inline constexpr msg::MessageType kCatchupRequestMsg = 105;
+inline constexpr msg::MessageType kCatchupResponseMsg = 106;
+
+/// Recovering site -> peer: "send me what I missed". `applied` is the
+/// requester's per-origin applied-timestamp watermark after local replay;
+/// `outstanding` lists the requester-originated ETs that are applied
+/// locally but not yet known stable (the peer reports which of those it
+/// has applied / knows stable, so the origin can finish their accounting).
+struct CatchupRequest {
+  SiteId from = kInvalidSiteId;
+  std::vector<LamportTimestamp> applied;
+  std::vector<std::pair<EtId, LamportTimestamp>> outstanding;
+  /// ALL ETs applied locally but not known stable, regardless of origin: a
+  /// stability notice that died in the requester's unflushed WAL tail is
+  /// never re-broadcast, so peers must say which of these they know stable
+  /// (otherwise e.g. a re-armed COMMU lock counter would never drain).
+  std::vector<std::pair<EtId, LamportTimestamp>> unstable;
+};
+
+/// Peer -> recovering site. `complete` is false when the peer has already
+/// truncated WAL records the requester would have needed. Truncation waits
+/// for every site to hold an MSet durably (see DurablyRecoverableFloor), so
+/// in practice this flags misconfiguration; it is counted in
+/// esr_recovery_incomplete_catchup_total.
+struct CatchupResponse {
+  SiteId from = kInvalidSiteId;
+  bool complete = true;
+  /// MSets past the requester's watermark, timestamp-sorted, deduplicated.
+  std::vector<core::Mset> msets;
+  /// COMPE decisions the peer has logged.
+  std::vector<std::pair<EtId, bool>> decisions;
+  /// Of the requester's `outstanding` ETs: those this peer has applied
+  /// (an apply-ack the origin may have lost).
+  std::vector<EtId> acked;
+  /// Of the requester's `outstanding` ETs: those this peer knows stable.
+  std::vector<std::pair<EtId, LamportTimestamp>> stable_known;
+};
+
+/// How a recovery run went; exposed for tests and the recovery benchmark.
+struct RecoveryReport {
+  bool had_checkpoint = false;
+  int64_t checkpoint_lsn = 0;
+  int64_t replayed_records = 0;
+  /// WAL MSets re-delivered through the method (not reflected in ckpt).
+  int64_t replayed_msets = 0;
+  /// WAL MSets already reflected in the checkpoint (counters rebuilt only).
+  int64_t skipped_reflected = 0;
+  int64_t catchup_msets = 0;
+  SimTime restarted_at = 0;
+  /// Simulated time when the last expected catch-up response was applied;
+  /// -1 while catch-up is still in flight.
+  SimTime catchup_done_at = -1;
+};
+
+/// Callbacks the ReplicatedSystem facade installs per site. They are the
+/// seam that keeps this subsystem below esr_core in the layering: the
+/// facade knows the concrete method/stability types and encodes them into
+/// the opaque checkpoint blobs; this subsystem only orchestrates.
+struct SiteBindings {
+  /// Fills store images, watermarks, and the opaque blobs.
+  std::function<void(CheckpointData&)> snapshot;
+  /// Rebuilds the site from a decoded checkpoint (or a default-constructed
+  /// one when no checkpoint exists).
+  std::function<void(const CheckpointData&)> restore;
+  /// Normal-path MSet delivery (the kMsetMsg handler body). Used both for
+  /// WAL replay and catch-up application.
+  std::function<void(const core::Mset&)> deliver;
+  /// Replay of an MSet already reflected in the checkpoint: methods rebuild
+  /// volatile divergence bookkeeping (e.g. COMMU lock counters) only.
+  std::function<void(const core::Mset&)> replay_reflected;
+  /// COMPE decision replay / catch-up (duplicate-tolerant).
+  std::function<void(EtId, bool)> decide;
+  /// Origin-side apply-ack replay / catch-up (duplicate-tolerant).
+  std::function<void(EtId, SiteId)> ack;
+  /// Stability-notice replay / catch-up (duplicate-tolerant).
+  std::function<void(EtId, const LamportTimestamp&)> stable;
+  /// True when this site knows `et` is globally stable.
+  std::function<bool(EtId)> is_stable;
+  /// Requester-side: locally-applied-but-unstable ETs this site originated.
+  std::function<std::vector<std::pair<EtId, LamportTimestamp>>()> outstanding;
+  /// Requester-side: ALL locally-applied-but-unstable ETs (any origin).
+  std::function<std::vector<std::pair<EtId, LamportTimestamp>>()> unstable;
+};
+
+class RecoveryManager;
+
+/// Per-site durability handle. Protocol code reaches it through
+/// MethodContext::recovery (null when recovery is disabled) and calls the
+/// Log* hooks at the same points where the corresponding messages are
+/// processed; during WAL replay the hooks are no-ops so replay never
+/// re-logs.
+class SiteRecovery {
+ public:
+  bool in_replay() const { return in_replay_; }
+
+  /// True when `mset` is already reflected in this site's state: real MSets
+  /// by the per-origin applied-timestamp watermark (stable queues are FIFO
+  /// per origin and methods apply a given origin's MSets in timestamp
+  /// order), ORDUP noop fillers by the checkpointed total-order watermark.
+  bool AlreadyApplied(const core::Mset& mset) const;
+
+  void LogMset(const core::Mset& mset);
+  void LogDecision(EtId et, bool commit);
+  void LogAck(EtId et, SiteId replica);
+  void LogStable(EtId et, const LamportTimestamp& ts);
+
+  /// Catch-up gate for foreground MSet deliveries. While the catch-up
+  /// exchange is in flight, a retransmitted post-outage MSet may arrive
+  /// BEFORE the peer response carrying an older one this site lost with its
+  /// unflushed WAL tail; applying it would advance the per-origin watermark
+  /// past the hole and make the catch-up copy look like a duplicate. So
+  /// deliveries are parked here until every response has been applied, then
+  /// re-delivered in timestamp order. Returns true when `mset` was parked.
+  bool MaybeHoldDelivery(const core::Mset& mset);
+
+  /// Advances the applied watermark; called from RecordApplied.
+  void OnApplied(const core::Mset& mset);
+
+  Wal& wal() { return *wal_; }
+  const std::vector<LamportTimestamp>& applied() const { return applied_; }
+  const RecoveryReport& report() const { return report_; }
+
+ private:
+  friend class RecoveryManager;
+
+  SiteRecovery(SiteId site, int num_sites, std::unique_ptr<Wal> wal);
+
+  SiteId site_;
+  std::unique_ptr<Wal> wal_;
+  SiteBindings bindings_;
+  /// applied_[origin]: timestamp of the newest MSet from `origin` applied
+  /// at this site.
+  std::vector<LamportTimestamp> applied_;
+  /// dropped_floor_[origin]: newest per-origin MSet timestamp this site has
+  /// truncated out of its WAL — the limit of what it can serve to peers.
+  std::vector<LamportTimestamp> dropped_floor_;
+  /// applied_ as of this site's latest checkpoint: the durable part of the
+  /// watermark. Together with the flushed WAL it bounds what the site can
+  /// reconstruct after an amnesia crash.
+  std::vector<LamportTimestamp> ckpt_applied_;
+  /// Total-order watermark of the checkpoint being replayed (noop test).
+  SequenceNumber ckpt_order_watermark_ = 0;
+  bool in_replay_ = false;
+  int pending_catchup_ = 0;
+  /// True while ApplyCatchupResponse feeds MSets through the method (those
+  /// must bypass the MaybeHoldDelivery gate that parks foreground traffic).
+  bool applying_catchup_ = false;
+  /// Foreground deliveries parked until catch-up completes.
+  std::vector<core::Mset> held_;
+  RecoveryReport report_;
+};
+
+/// Owns the durable storage and the per-site recovery state — deliberately
+/// OUTSIDE the sites, so an amnesia crash (which wipes a site's volatile
+/// state) cannot touch it: this object *is* the simulated stable storage,
+/// plus the recovery orchestration over it.
+///
+/// The facade drives the lifecycle: Log* hooks during normal operation,
+/// OnCrash when an amnesia crash hits, then on restart RecoverSite (load
+/// checkpoint + replay WAL suffix) followed by the catch-up exchange
+/// (Build/Apply helpers here; message transport in the facade).
+class RecoveryManager {
+ public:
+  RecoveryManager(sim::Simulator* simulator, obs::MetricRegistry* metrics,
+                  const RecoveryConfig& config, int num_sites);
+  ~RecoveryManager();
+
+  SiteRecovery* site(SiteId s) { return sites_[static_cast<size_t>(s)].get(); }
+  const RecoveryConfig& config() const { return config_; }
+  StorageBackend* storage() { return storage_.get(); }
+
+  void BindSite(SiteId s, SiteBindings bindings);
+
+  /// Amnesia crash: the unflushed WAL tail is lost with the site.
+  void OnCrash(SiteId s);
+
+  /// Takes a fuzzy checkpoint of `s` and truncates its WAL down to the
+  /// records a peer (or a future replay) could still need.
+  void TakeCheckpoint(SiteId s);
+
+  /// Restart path: loads the latest valid checkpoint (or starts empty),
+  /// restores the site through its bindings, and replays the WAL.
+  void RecoverSite(SiteId s);
+
+  /// Catch-up protocol steps; the facade moves the structs between sites.
+  CatchupRequest BuildCatchupRequest(SiteId s);
+  CatchupResponse BuildCatchupResponse(SiteId responder,
+                                       const CatchupRequest& request);
+  void BeginCatchup(SiteId s, int expected_responses);
+  void ApplyCatchupResponse(SiteId s, const CatchupResponse& response);
+
+  const RecoveryReport& last_report(SiteId s) const {
+    return sites_[static_cast<size_t>(s)]->report_;
+  }
+
+ private:
+  /// Per-origin timestamp floor below which EVERY site can reconstruct the
+  /// MSet from its own durable state (latest checkpoint + flushed WAL).
+  /// Truncation must not drop MSets above this floor: global stability only
+  /// proves every site *applied* them, and an amnesia crash can still lose
+  /// an applied-but-unflushed MSet — which only a peer's WAL can then heal.
+  std::vector<LamportTimestamp> DurablyRecoverableFloor() const;
+
+  sim::Simulator* simulator_;
+  obs::MetricRegistry* metrics_;
+  RecoveryConfig config_;
+  int num_sites_;
+  std::unique_ptr<StorageBackend> storage_;
+  std::vector<std::unique_ptr<SiteRecovery>> sites_;
+};
+
+}  // namespace esr::recovery
+
+#endif  // ESR_RECOVERY_RECOVERY_MANAGER_H_

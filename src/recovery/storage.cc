@@ -1,0 +1,94 @@
+#include "recovery/storage.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace esr::recovery {
+
+void MemoryStorage::AppendWal(SiteId site, std::string_view bytes) {
+  wal_[site].append(bytes);
+}
+
+std::string MemoryStorage::ReadWal(SiteId site) const {
+  auto it = wal_.find(site);
+  return it == wal_.end() ? std::string() : it->second;
+}
+
+void MemoryStorage::ReplaceWal(SiteId site, std::string bytes) {
+  wal_[site] = std::move(bytes);
+}
+
+void MemoryStorage::WriteCheckpoint(SiteId site, std::string bytes) {
+  ckpt_[site] = std::move(bytes);
+}
+
+std::string MemoryStorage::ReadCheckpoint(SiteId site) const {
+  auto it = ckpt_.find(site);
+  return it == ckpt_.end() ? std::string() : it->second;
+}
+
+namespace {
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+void WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+}  // namespace
+
+FileStorage::FileStorage(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+std::string FileStorage::WalPath(SiteId site) const {
+  return dir_ + "/site_" + std::to_string(site) + ".wal";
+}
+
+std::string FileStorage::CkptPath(SiteId site) const {
+  return dir_ + "/site_" + std::to_string(site) + ".ckpt";
+}
+
+void FileStorage::AppendWal(SiteId site, std::string_view bytes) {
+  std::ofstream out(WalPath(site), std::ios::binary | std::ios::app);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string FileStorage::ReadWal(SiteId site) const {
+  return ReadFileOrEmpty(WalPath(site));
+}
+
+void FileStorage::ReplaceWal(SiteId site, std::string bytes) {
+  WriteFileAtomic(WalPath(site), bytes);
+}
+
+void FileStorage::WriteCheckpoint(SiteId site, std::string bytes) {
+  WriteFileAtomic(CkptPath(site), bytes);
+}
+
+std::string FileStorage::ReadCheckpoint(SiteId site) const {
+  return ReadFileOrEmpty(CkptPath(site));
+}
+
+std::unique_ptr<StorageBackend> MakeStorage(const RecoveryConfig& config) {
+  if (config.backend == StorageBackendKind::kFile) {
+    return std::make_unique<FileStorage>(config.dir.empty() ? "." : config.dir);
+  }
+  return std::make_unique<MemoryStorage>();
+}
+
+}  // namespace esr::recovery

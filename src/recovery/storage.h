@@ -1,0 +1,71 @@
+#ifndef ESR_RECOVERY_STORAGE_H_
+#define ESR_RECOVERY_STORAGE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "recovery/recovery_config.h"
+
+namespace esr::recovery {
+
+/// Byte-level durable medium under the WAL and checkpointer: one append-only
+/// WAL blob and one atomically-replaced checkpoint blob per site. Framing,
+/// CRCs, and record semantics live above this interface.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  virtual void AppendWal(SiteId site, std::string_view bytes) = 0;
+  virtual std::string ReadWal(SiteId site) const = 0;
+  /// Atomically replaces the site's WAL contents (used by truncation).
+  virtual void ReplaceWal(SiteId site, std::string bytes) = 0;
+
+  /// Atomically replaces the site's checkpoint.
+  virtual void WriteCheckpoint(SiteId site, std::string bytes) = 0;
+  /// Empty string when no checkpoint has ever been written.
+  virtual std::string ReadCheckpoint(SiteId site) const = 0;
+};
+
+/// Deterministic in-memory stable storage: per-site byte strings held by the
+/// RecoveryManager (not the site), so they survive amnesia crashes.
+class MemoryStorage : public StorageBackend {
+ public:
+  void AppendWal(SiteId site, std::string_view bytes) override;
+  std::string ReadWal(SiteId site) const override;
+  void ReplaceWal(SiteId site, std::string bytes) override;
+  void WriteCheckpoint(SiteId site, std::string bytes) override;
+  std::string ReadCheckpoint(SiteId site) const override;
+
+ private:
+  std::unordered_map<SiteId, std::string> wal_;
+  std::unordered_map<SiteId, std::string> ckpt_;
+};
+
+/// File-backed storage under `dir`: site_<N>.wal (append) and site_<N>.ckpt
+/// (write-temp-then-rename replace). Creates `dir` on construction.
+class FileStorage : public StorageBackend {
+ public:
+  explicit FileStorage(std::string dir);
+
+  void AppendWal(SiteId site, std::string_view bytes) override;
+  std::string ReadWal(SiteId site) const override;
+  void ReplaceWal(SiteId site, std::string bytes) override;
+  void WriteCheckpoint(SiteId site, std::string bytes) override;
+  std::string ReadCheckpoint(SiteId site) const override;
+
+ private:
+  std::string WalPath(SiteId site) const;
+  std::string CkptPath(SiteId site) const;
+
+  std::string dir_;
+};
+
+/// Builds the backend named by `config.backend`.
+std::unique_ptr<StorageBackend> MakeStorage(const RecoveryConfig& config);
+
+}  // namespace esr::recovery
+
+#endif  // ESR_RECOVERY_STORAGE_H_

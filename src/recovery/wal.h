@@ -1,0 +1,101 @@
+#ifndef ESR_RECOVERY_WAL_H_
+#define ESR_RECOVERY_WAL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "esr/mset.h"
+#include "obs/metric_registry.h"
+#include "recovery/recovery_config.h"
+#include "recovery/storage.h"
+#include "sim/simulator.h"
+
+namespace esr::recovery {
+
+/// What a WAL record describes. The four types mirror the replica-control
+/// message flow: a delivered MSet, a COMPE commit/abort decision, an apply
+/// acknowledgment received at the origin, and a global-stability notice.
+enum class WalRecordType : uint8_t {
+  kMset = 1,
+  kDecision = 2,
+  kAck = 3,
+  kStable = 4,
+};
+
+/// One decoded WAL record. Only the fields relevant to `type` are
+/// meaningful (mset for kMset; et+commit for kDecision; et+replica for
+/// kAck; et+ts for kStable).
+struct WalRecord {
+  WalRecordType type = WalRecordType::kMset;
+  int64_t lsn = 0;
+  core::Mset mset;
+  EtId et = kInvalidEtId;
+  bool commit = false;
+  SiteId replica = kInvalidSiteId;
+  LamportTimestamp ts;
+};
+
+/// Per-site write-ahead log with group-commit batching.
+///
+/// Appends buffer in volatile memory and reach stable storage on Flush():
+/// either when `group_commit_records` records accumulate or when the group
+/// commit timer (armed when the buffer goes non-empty) fires. The unflushed
+/// tail is exactly the data-loss window of an amnesia crash — DropUnflushed
+/// models the crash, ReadAll never sees those records.
+///
+/// Records are length+CRC framed (codec.h); ReadAll stops at the first torn
+/// or corrupt frame. LSNs are assigned at append time and preserved across
+/// truncation, so `next_lsn` always moves forward even after a restart.
+class Wal {
+ public:
+  Wal(sim::Simulator* simulator, StorageBackend* storage, SiteId site,
+      const RecoveryConfig& config, obs::MetricRegistry* metrics);
+
+  int64_t AppendMset(const core::Mset& mset);
+  int64_t AppendDecision(EtId et, bool commit);
+  int64_t AppendAck(EtId et, SiteId replica);
+  int64_t AppendStable(EtId et, const LamportTimestamp& ts);
+
+  /// Forces the buffered tail to stable storage.
+  void Flush();
+
+  /// Amnesia crash: the volatile tail vanishes. Also disarms the timer.
+  void DropUnflushed();
+
+  /// Decodes everything durably stored (buffered appends are NOT visible —
+  /// callers that need them must Flush first).
+  std::vector<WalRecord> ReadAll() const;
+
+  /// Rewrites the stored WAL keeping only records where `keep` returns
+  /// true, preserving their LSNs. Flushes first so the decision sees every
+  /// record. Returns the number of records dropped.
+  int64_t Truncate(const std::function<bool(const WalRecord&)>& keep);
+
+  int64_t next_lsn() const { return next_lsn_; }
+  int64_t UnflushedCount() const {
+    return static_cast<int64_t>(buffer_.size());
+  }
+  int64_t StorageBytes() const;
+
+ private:
+  std::string EncodeRecord(const WalRecord& record) const;
+  int64_t Append(WalRecord record);
+  void ArmTimer();
+
+  sim::Simulator* simulator_;
+  StorageBackend* storage_;
+  SiteId site_;
+  RecoveryConfig config_;
+  obs::MetricRegistry* metrics_;
+
+  std::vector<WalRecord> buffer_;
+  int64_t next_lsn_ = 1;
+  sim::EventId timer_ = 0;
+  bool timer_armed_ = false;
+};
+
+}  // namespace esr::recovery
+
+#endif  // ESR_RECOVERY_WAL_H_

@@ -10,19 +10,43 @@ FailureInjector::FailureInjector(Simulator* simulator, Network* network,
   assert(simulator != nullptr && network != nullptr);
 }
 
+void FailureInjector::CrashNow(SiteId site, bool amnesia) {
+  auto& window = down_[site];
+  window.second = window.second || amnesia;
+  if (window.first++ > 0) return;  // already down: deepen the window only
+  network_->SetSiteDown(site);
+  network_->counters().Increment("failure.crash");
+  if (on_crash) on_crash(site, window.second);
+}
+
+void FailureInjector::RestartNow(SiteId site) {
+  auto it = down_.find(site);
+  assert(it != down_.end() && it->second.first > 0);
+  if (--it->second.first > 0) return;  // another crash window still covers it
+  const bool amnesia = it->second.second;
+  down_.erase(it);
+  // SetSiteUp revives only the endpoint; partition membership is separate
+  // Network state, so restarting inside a partition window must not (and
+  // does not) resurrect any cross-partition link.
+  network_->SetSiteUp(site);
+  network_->counters().Increment("failure.restart");
+  if (on_restart) on_restart(site, amnesia);
+}
+
+int FailureInjector::DownDepth(SiteId site) const {
+  auto it = down_.find(site);
+  return it == down_.end() ? 0 : it->second.first;
+}
+
 void FailureInjector::ScheduleCrash(const CrashSpec& spec) {
-  simulator_->ScheduleAt(spec.crash_at, [this, site = spec.site]() {
-    network_->SetSiteDown(site);
-    network_->counters().Increment("failure.crash");
-    if (on_crash) on_crash(site);
-  });
+  simulator_->ScheduleAt(spec.crash_at,
+                         [this, site = spec.site, amnesia = spec.amnesia]() {
+                           CrashNow(site, amnesia);
+                         });
   if (spec.restart_at != kSimTimeMax) {
     assert(spec.restart_at > spec.crash_at);
-    simulator_->ScheduleAt(spec.restart_at, [this, site = spec.site]() {
-      network_->SetSiteUp(site);
-      network_->counters().Increment("failure.restart");
-      if (on_restart) on_restart(site);
-    });
+    simulator_->ScheduleAt(spec.restart_at,
+                           [this, site = spec.site]() { RestartNow(site); });
   }
 }
 
@@ -42,7 +66,7 @@ void FailureInjector::SchedulePartition(const PartitionSpec& spec) {
 
 void FailureInjector::ScheduleRandomCrashes(double crashes_per_second_per_site,
                                             SimDuration downtime_us,
-                                            SimTime horizon) {
+                                            SimTime horizon, bool amnesia) {
   if (crashes_per_second_per_site <= 0) return;
   const double mean_gap_us = 1e6 / crashes_per_second_per_site;
   for (SiteId site = 0; site < network_->num_sites(); ++site) {
@@ -50,7 +74,7 @@ void FailureInjector::ScheduleRandomCrashes(double crashes_per_second_per_site,
     while (true) {
       t += static_cast<SimTime>(rng_.Exponential(mean_gap_us));
       if (t >= horizon) break;
-      ScheduleCrash(CrashSpec{site, t, t + downtime_us});
+      ScheduleCrash(CrashSpec{site, t, t + downtime_us, amnesia});
       t += downtime_us;
     }
   }

@@ -121,4 +121,29 @@ std::vector<int64_t> MsetLog::MsetIds() const {
   return ids;
 }
 
+std::vector<MsetLog::RecordSnapshot> MsetLog::Snapshot() const {
+  std::vector<RecordSnapshot> out;
+  out.reserve(records_.size());
+  for (const Record& r : records_) {
+    RecordSnapshot snap;
+    snap.mset_id = r.mset_id;
+    snap.ops = r.ops;
+    snap.before_images.assign(r.before_images.begin(), r.before_images.end());
+    std::sort(snap.before_images.begin(), snap.before_images.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void MsetLog::RestoreRecord(const RecordSnapshot& snapshot) {
+  Record record;
+  record.mset_id = snapshot.mset_id;
+  record.ops = snapshot.ops;
+  for (const auto& [object, value] : snapshot.before_images) {
+    record.before_images.emplace(object, value);
+  }
+  records_.push_back(std::move(record));
+}
+
 }  // namespace esr::store

@@ -69,6 +69,21 @@ class MsetLog {
   std::vector<int64_t> MsetIds() const;
   const CompensationStats& stats() const { return stats_; }
 
+  /// Checkpointable image of one log record; before-images sorted by object
+  /// so snapshots of a seeded run are deterministic.
+  struct RecordSnapshot {
+    int64_t mset_id = 0;
+    std::vector<Operation> ops;
+    std::vector<std::pair<ObjectId, Value>> before_images;
+  };
+
+  /// Snapshots every record, front (oldest) to back.
+  std::vector<RecordSnapshot> Snapshot() const;
+
+  /// Re-appends one checkpointed record verbatim (no store mutation — the
+  /// store contents are restored separately by the checkpoint).
+  void RestoreRecord(const RecordSnapshot& snapshot);
+
  private:
   struct Record {
     int64_t mset_id;

@@ -72,4 +72,22 @@ std::vector<ObjectId> ObjectStore::ObjectIds() const {
   return ids;
 }
 
+std::vector<std::tuple<ObjectId, Value, LamportTimestamp>>
+ObjectStore::SnapshotEntries() const {
+  std::vector<std::tuple<ObjectId, Value, LamportTimestamp>> out;
+  out.reserve(entries_.size());
+  for (ObjectId id : ObjectIds()) {
+    const Entry& entry = entries_.at(id);
+    out.emplace_back(id, entry.value, entry.write_timestamp);
+  }
+  return out;
+}
+
+void ObjectStore::RestoreEntry(ObjectId object, Value value,
+                               LamportTimestamp write_timestamp) {
+  Entry& entry = entries_[object];
+  entry.value = std::move(value);
+  entry.write_timestamp = write_timestamp;
+}
+
 }  // namespace esr::store

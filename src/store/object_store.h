@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -58,6 +59,16 @@ class ObjectStore {
 
   /// All materialized object ids, sorted.
   std::vector<ObjectId> ObjectIds() const;
+
+  /// The checkpointable image of the store: sorted (object, value,
+  /// write_timestamp) triples.
+  std::vector<std::tuple<ObjectId, Value, LamportTimestamp>> SnapshotEntries()
+      const;
+
+  /// Restores one checkpointed entry including its Thomas-rule write
+  /// timestamp (Restore() would reset it).
+  void RestoreEntry(ObjectId object, Value value,
+                    LamportTimestamp write_timestamp);
 
  private:
   struct Entry {

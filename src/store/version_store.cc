@@ -77,4 +77,15 @@ std::vector<ObjectId> VersionStore::ObjectIds() const {
   return ids;
 }
 
+std::vector<std::tuple<ObjectId, LamportTimestamp, Value>>
+VersionStore::SnapshotVersions() const {
+  std::vector<std::tuple<ObjectId, LamportTimestamp, Value>> out;
+  for (ObjectId id : ObjectIds()) {
+    for (const auto& [ts, value] : objects_.at(id)) {
+      out.emplace_back(id, ts, value);
+    }
+  }
+  return out;
+}
+
 }  // namespace esr::store

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <optional>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -64,6 +65,11 @@ class VersionStore {
 
   /// All object ids with at least one version, sorted.
   std::vector<ObjectId> ObjectIds() const;
+
+  /// The checkpointable image: (object, timestamp, value) triples sorted by
+  /// object then timestamp. Restore by replaying through AppendVersion.
+  std::vector<std::tuple<ObjectId, LamportTimestamp, Value>> SnapshotVersions()
+      const;
 
  private:
   // Per object: versions keyed (and thus sorted) by timestamp.

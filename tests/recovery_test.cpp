@@ -1,0 +1,291 @@
+// Unit tests for the durability subsystem: CRC-framed codec, the per-site
+// WAL with group commit, the storage backends, and checkpoint
+// encode/decode. Integration with the replica control methods lives in
+// recovery_integration_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/metric_registry.h"
+#include "recovery/checkpointer.h"
+#include "recovery/codec.h"
+#include "recovery/storage.h"
+#include "recovery/wal.h"
+#include "sim/simulator.h"
+
+namespace esr::recovery {
+namespace {
+
+core::Mset SampleMset(EtId et, SiteId origin) {
+  core::Mset mset;
+  mset.et = et;
+  mset.origin = origin;
+  mset.global_order = 7;
+  mset.timestamp = LamportTimestamp{42, origin};
+  mset.operations = {store::Operation::Increment(3, 5),
+                     store::Operation::Write(4, Value(int64_t{9}))};
+  mset.tentative = true;
+  return mset;
+}
+
+TEST(CodecTest, ScalarAndCompositeRoundtrip) {
+  Encoder enc;
+  enc.U8(250);
+  enc.U32(0xDEADBEEFu);
+  enc.U64(0x0123456789ABCDEFull);
+  enc.I64(-77);
+  enc.Str("hello wal");
+  enc.Ts(LamportTimestamp{9, 2});
+  enc.Val(Value(int64_t{-3}));
+  enc.MsetRec(SampleMset(11, 1));
+  const std::string bytes = enc.Take();
+
+  Decoder dec(bytes);
+  EXPECT_EQ(dec.U8(), 250);
+  EXPECT_EQ(dec.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(dec.I64(), -77);
+  EXPECT_EQ(dec.Str(), "hello wal");
+  const LamportTimestamp ts = dec.Ts();
+  EXPECT_EQ(ts.counter, 9);
+  EXPECT_EQ(ts.site, 2);
+  EXPECT_EQ(dec.Val().AsInt(), -3);
+  const core::Mset mset = dec.MsetRec();
+  EXPECT_TRUE(dec.ok());
+  EXPECT_TRUE(dec.AtEnd());
+  EXPECT_EQ(mset.et, 11);
+  EXPECT_EQ(mset.origin, 1);
+  EXPECT_EQ(mset.global_order, 7);
+  ASSERT_EQ(mset.operations.size(), 2u);
+  EXPECT_TRUE(mset.tentative);
+}
+
+TEST(CodecTest, DecoderLatchesOnTruncatedInput) {
+  Encoder enc;
+  enc.U64(123);
+  std::string bytes = enc.Take();
+  bytes.resize(bytes.size() - 1);
+  Decoder dec(bytes);
+  dec.U64();
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.U32(), 0u) << "getters return defaults once latched";
+}
+
+TEST(CodecTest, FramingStopsAtTornAndCorruptFrames) {
+  std::string log;
+  FrameAppend(log, "alpha");
+  FrameAppend(log, "beta");
+  FrameAppend(log, "gamma");
+
+  size_t pos = 0;
+  std::string_view payload;
+  ASSERT_TRUE(FrameNext(log, &pos, &payload));
+  EXPECT_EQ(payload, "alpha");
+  ASSERT_TRUE(FrameNext(log, &pos, &payload));
+  EXPECT_EQ(payload, "beta");
+  ASSERT_TRUE(FrameNext(log, &pos, &payload));
+  EXPECT_EQ(payload, "gamma");
+  EXPECT_FALSE(FrameNext(log, &pos, &payload)) << "clean end of log";
+
+  // Torn tail: the last frame lost bytes in the crash.
+  std::string torn = log.substr(0, log.size() - 3);
+  pos = 0;
+  ASSERT_TRUE(FrameNext(torn, &pos, &payload));
+  ASSERT_TRUE(FrameNext(torn, &pos, &payload));
+  EXPECT_FALSE(FrameNext(torn, &pos, &payload)) << "torn frame rejected";
+
+  // Bit flip inside the second frame's payload: CRC must catch it.
+  std::string corrupt = log;
+  corrupt[8 + 5 + 8 + 2] ^= 0x40;  // inside "beta"'s payload
+  pos = 0;
+  ASSERT_TRUE(FrameNext(corrupt, &pos, &payload));
+  EXPECT_EQ(payload, "alpha");
+  EXPECT_FALSE(FrameNext(corrupt, &pos, &payload)) << "CRC mismatch stops";
+}
+
+TEST(CodecTest, Crc32DetectsChanges) {
+  EXPECT_NE(Crc32("abc"), Crc32("abd"));
+  EXPECT_EQ(Crc32("abc"), Crc32("abc"));
+  EXPECT_NE(Crc32(""), Crc32("a"));
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  RecoveryConfig Config(int batch, SimDuration timer_us) {
+    RecoveryConfig config;
+    config.enabled = true;
+    config.group_commit_records = batch;
+    config.group_commit_interval_us = timer_us;
+    return config;
+  }
+
+  sim::Simulator sim_;
+  obs::MetricRegistry metrics_;
+  MemoryStorage storage_;
+};
+
+TEST_F(WalTest, GroupCommitFlushesAtBatchSize) {
+  Wal wal(&sim_, &storage_, 0, Config(3, 1'000'000), &metrics_);
+  wal.AppendMset(SampleMset(1, 0));
+  wal.AppendMset(SampleMset(2, 0));
+  EXPECT_EQ(wal.UnflushedCount(), 2);
+  EXPECT_TRUE(wal.ReadAll().empty()) << "buffered tail not durable yet";
+  wal.AppendMset(SampleMset(3, 0));  // hits the batch size
+  EXPECT_EQ(wal.UnflushedCount(), 0);
+  const std::vector<WalRecord> records = wal.ReadAll();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].lsn, 1);
+  EXPECT_EQ(records[2].lsn, 3);
+  EXPECT_EQ(records[2].mset.et, 3);
+}
+
+TEST_F(WalTest, GroupCommitTimerFlushesSmallBatches) {
+  Wal wal(&sim_, &storage_, 0, Config(64, 5'000), &metrics_);
+  wal.AppendAck(9, 1);
+  EXPECT_EQ(wal.UnflushedCount(), 1);
+  sim_.RunUntil(10'000);
+  EXPECT_EQ(wal.UnflushedCount(), 0) << "timer flushed the lone record";
+  const std::vector<WalRecord> records = wal.ReadAll();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, WalRecordType::kAck);
+  EXPECT_EQ(records[0].et, 9);
+  EXPECT_EQ(records[0].replica, 1);
+}
+
+TEST_F(WalTest, DropUnflushedModelsAmnesiaDataLoss) {
+  Wal wal(&sim_, &storage_, 0, Config(4, 1'000'000), &metrics_);
+  wal.AppendMset(SampleMset(1, 0));
+  wal.AppendMset(SampleMset(2, 0));
+  wal.Flush();
+  wal.AppendDecision(2, true);  // stays in the volatile tail
+  EXPECT_EQ(wal.UnflushedCount(), 1);
+  wal.DropUnflushed();
+  EXPECT_EQ(wal.UnflushedCount(), 0);
+  const std::vector<WalRecord> records = wal.ReadAll();
+  ASSERT_EQ(records.size(), 2u) << "only the flushed prefix survives";
+  EXPECT_EQ(records[1].mset.et, 2);
+  // LSNs keep advancing past the hole left by the dropped record.
+  EXPECT_GE(wal.next_lsn(), 4);
+}
+
+TEST_F(WalTest, TruncatePreservesLsnsOfKeptRecords) {
+  Wal wal(&sim_, &storage_, 0, Config(1, 1'000'000), &metrics_);
+  for (EtId et = 1; et <= 5; ++et) wal.AppendMset(SampleMset(et, 0));
+  const int64_t before_bytes = wal.StorageBytes();
+  const int64_t dropped =
+      wal.Truncate([](const WalRecord& rec) { return rec.lsn > 2; });
+  EXPECT_EQ(dropped, 2);
+  EXPECT_LT(wal.StorageBytes(), before_bytes);
+  const std::vector<WalRecord> records = wal.ReadAll();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].lsn, 3);
+  EXPECT_EQ(records[2].lsn, 5);
+  EXPECT_EQ(wal.next_lsn(), 6) << "truncation never reuses LSNs";
+}
+
+TEST_F(WalTest, AllRecordTypesRoundtrip) {
+  Wal wal(&sim_, &storage_, 0, Config(1, 1'000'000), &metrics_);
+  wal.AppendMset(SampleMset(1, 2));
+  wal.AppendDecision(1, false);
+  wal.AppendAck(1, 2);
+  wal.AppendStable(1, LamportTimestamp{5, 2});
+  const std::vector<WalRecord> records = wal.ReadAll();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].type, WalRecordType::kMset);
+  EXPECT_EQ(records[1].type, WalRecordType::kDecision);
+  EXPECT_FALSE(records[1].commit);
+  EXPECT_EQ(records[2].type, WalRecordType::kAck);
+  EXPECT_EQ(records[2].replica, 2);
+  EXPECT_EQ(records[3].type, WalRecordType::kStable);
+  EXPECT_EQ(records[3].ts.counter, 5);
+}
+
+TEST(StorageTest, MemoryBackendIsolatesSites) {
+  MemoryStorage storage;
+  storage.AppendWal(0, "aa");
+  storage.AppendWal(0, "bb");
+  storage.AppendWal(1, "cc");
+  EXPECT_EQ(storage.ReadWal(0), "aabb");
+  EXPECT_EQ(storage.ReadWal(1), "cc");
+  EXPECT_EQ(storage.ReadWal(2), "");
+  storage.ReplaceWal(0, "zz");
+  EXPECT_EQ(storage.ReadWal(0), "zz");
+  EXPECT_EQ(storage.ReadCheckpoint(0), "");
+  storage.WriteCheckpoint(0, "ck1");
+  storage.WriteCheckpoint(0, "ck2");
+  EXPECT_EQ(storage.ReadCheckpoint(0), "ck2") << "checkpoint is replaced";
+}
+
+TEST(StorageTest, FileBackendPersistsAcrossInstances) {
+  const std::string dir = "recovery_test_storage";
+  std::filesystem::remove_all(dir);
+  {
+    FileStorage storage(dir);
+    storage.AppendWal(3, "wal-bytes");
+    storage.WriteCheckpoint(3, "ckpt-bytes");
+  }
+  {
+    // A second instance over the same directory models a process restart.
+    FileStorage storage(dir);
+    EXPECT_EQ(storage.ReadWal(3), "wal-bytes");
+    EXPECT_EQ(storage.ReadCheckpoint(3), "ckpt-bytes");
+    storage.ReplaceWal(3, "short");
+    EXPECT_EQ(storage.ReadWal(3), "short");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+CheckpointData SampleCheckpoint() {
+  CheckpointData data;
+  data.last_lsn = 17;
+  data.clock_counter = 99;
+  data.order_watermark = 6;
+  data.applied = {LamportTimestamp{4, 0}, LamportTimestamp{9, 1}};
+  data.store_entries.emplace_back(1, Value(int64_t{10}),
+                                  LamportTimestamp{3, 0});
+  data.versions.emplace_back(1, LamportTimestamp{3, 0}, Value(int64_t{10}));
+  store::MsetLog::RecordSnapshot rec;
+  rec.mset_id = 8;
+  rec.ops = {store::Operation::Increment(1, 2)};
+  rec.before_images.emplace_back(1, Value(int64_t{8}));
+  data.mset_log.push_back(std::move(rec));
+  data.method_blob = "method";
+  data.stability_blob = "stability";
+  return data;
+}
+
+TEST(CheckpointTest, EncodeDecodeRoundtrip) {
+  const std::string bytes = EncodeCheckpoint(SampleCheckpoint());
+  CheckpointData out;
+  ASSERT_TRUE(DecodeCheckpoint(bytes, &out));
+  EXPECT_EQ(out.last_lsn, 17);
+  EXPECT_EQ(out.clock_counter, 99);
+  EXPECT_EQ(out.order_watermark, 6);
+  ASSERT_EQ(out.applied.size(), 2u);
+  EXPECT_EQ(out.applied[1].counter, 9);
+  ASSERT_EQ(out.store_entries.size(), 1u);
+  EXPECT_EQ(std::get<1>(out.store_entries[0]).AsInt(), 10);
+  ASSERT_EQ(out.versions.size(), 1u);
+  ASSERT_EQ(out.mset_log.size(), 1u);
+  EXPECT_EQ(out.mset_log[0].mset_id, 8);
+  ASSERT_EQ(out.mset_log[0].before_images.size(), 1u);
+  EXPECT_EQ(out.method_blob, "method");
+  EXPECT_EQ(out.stability_blob, "stability");
+}
+
+TEST(CheckpointTest, RejectsEmptyTornAndCorruptBytes) {
+  const std::string bytes = EncodeCheckpoint(SampleCheckpoint());
+  CheckpointData out;
+  EXPECT_FALSE(DecodeCheckpoint("", &out));
+  EXPECT_FALSE(DecodeCheckpoint(bytes.substr(0, bytes.size() / 2), &out));
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  EXPECT_FALSE(DecodeCheckpoint(corrupt, &out));
+  EXPECT_FALSE(DecodeCheckpoint("garbage-not-a-checkpoint", &out));
+}
+
+}  // namespace
+}  // namespace esr::recovery

@@ -205,6 +205,9 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
   // Amnesia (recovery enabled): the site loses *all* volatile state and
   // comes back through checkpoint + WAL replay + catch-up.
   failures_->on_crash = [this](SiteId s, bool amnesia) {
+    // Whatever the crash kind, `s` stops responding: any recovering site
+    // waiting on its catch-up response must stop counting it.
+    if (recovery_ != nullptr) recovery_->OnPeerDown(s);
     if (amnesia && recovery_ != nullptr) {
       AmnesiaCrash(s);
       return;
@@ -393,12 +396,19 @@ void ReplicatedSystem::AmnesiaRestart(SiteId s) {
   site.clock = msg::LamportClock(s);
   site.stability = std::make_unique<StabilityTracker>(s, config_.num_sites);
   site.method = MakeMethod(MakeContext(s));
-  // Checkpoint load + WAL replay, then anti-entropy catch-up with every
-  // peer for whatever the WAL never saw (the dropped unflushed tail, and
-  // anything delivered while the site was down).
+  // Checkpoint load + WAL replay, then anti-entropy catch-up for whatever
+  // the WAL never saw (the dropped unflushed tail, and anything delivered
+  // while the site was down). Only currently-up peers count as expected
+  // responders — a down (possibly never-restarting) peer would park
+  // foreground deliveries forever. The request still goes to every peer:
+  // the reliable queues hold it, and a late response applies idempotently.
   recovery_->RecoverSite(s);
   recovery::CatchupRequest request = recovery_->BuildCatchupRequest(s);
-  recovery_->BeginCatchup(s, config_.num_sites - 1);
+  std::vector<SiteId> up_peers;
+  for (SiteId d = 0; d < config_.num_sites; ++d) {
+    if (d != s && network_->SiteUp(d)) up_peers.push_back(d);
+  }
+  recovery_->BeginCatchup(s, up_peers);
   const int64_t size_bytes = 64 + 16 * config_.num_sites;
   for (SiteId d = 0; d < config_.num_sites; ++d) {
     if (d == s) continue;

@@ -59,7 +59,9 @@ void SiteRecovery::LogStable(EtId et, const LamportTimestamp& ts) {
 }
 
 bool SiteRecovery::MaybeHoldDelivery(const core::Mset& mset) {
-  if (pending_catchup_ <= 0 || in_replay_ || applying_catchup_) return false;
+  if (catchup_waiting_.empty() || in_replay_ || applying_catchup_) {
+    return false;
+  }
   held_.push_back(mset);
   return true;
 }
@@ -107,6 +109,10 @@ RecoveryManager::RecoveryManager(sim::Simulator* simulator,
                        "MSets obtained from peers during catch-up");
     metrics_->Describe("esr_recovery_incomplete_catchup_total",
                        "Catch-up responses limited by peer WAL truncation");
+    metrics_->Describe("esr_recovery_stale_catchup_total",
+                       "Catch-up responses ignored for a stale exchange id");
+    metrics_->Describe("esr_recovery_catchup_peer_skipped_total",
+                       "Catch-up responders skipped because they were down");
     metrics_->Describe("esr_recovery_catchup_lag_us",
                        "Restart to catch-up-complete latency");
   }
@@ -122,8 +128,9 @@ void RecoveryManager::OnCrash(SiteId s) {
   SiteRecovery& site = *sites_[static_cast<size_t>(s)];
   site.wal_->DropUnflushed();
   // A crash mid-catch-up abandons the exchange; the next restart runs a
-  // fresh one (parked deliveries are re-obtainable from peer WALs).
-  site.pending_catchup_ = 0;
+  // fresh one (parked deliveries are re-obtainable from peer WALs), with a
+  // new exchange id so in-flight responses to this one are ignored.
+  site.catchup_waiting_.clear();
   site.applying_catchup_ = false;
   site.held_.clear();
   if (metrics_ != nullptr) {
@@ -132,9 +139,8 @@ void RecoveryManager::OnCrash(SiteId s) {
   }
 }
 
-std::vector<LamportTimestamp> RecoveryManager::DurablyRecoverableFloor()
-    const {
-  std::vector<LamportTimestamp> floor;
+RecoveryManager::TruncationView RecoveryManager::BuildTruncationView() const {
+  TruncationView view;
   for (SiteId u = 0; u < num_sites_; ++u) {
     const SiteRecovery& peer = *sites_[static_cast<size_t>(u)];
     std::vector<LamportTimestamp> recoverable = peer.ckpt_applied_;
@@ -142,22 +148,34 @@ std::vector<LamportTimestamp> RecoveryManager::DurablyRecoverableFloor()
     for (const WalRecord& record : peer.wal_->ReadAll()) {
       if (record.type != WalRecordType::kMset) continue;
       const core::Mset& mset = record.mset;
-      if (mset.et == kInvalidEtId || mset.origin < 0 ||
-          mset.origin >= num_sites_) {
-        continue;
-      }
+      if (mset.et == kInvalidEtId) continue;
+      view.needed_decisions.insert(mset.et);
+      if (mset.origin < 0 || mset.origin >= num_sites_) continue;
       LamportTimestamp& w = recoverable[static_cast<size_t>(mset.origin)];
       w = std::max(w, mset.timestamp);
     }
+    // Buffered appends are NOT durable (they do not raise the floor), but
+    // the next flush may make them so — their decisions must stay
+    // servable.
+    for (const WalRecord& record : peer.wal_->UnflushedRecords()) {
+      if (record.type == WalRecordType::kMset &&
+          record.mset.et != kInvalidEtId) {
+        view.needed_decisions.insert(record.mset.et);
+      }
+    }
+    view.needed_decisions.insert(peer.ckpt_tentative_ets_.begin(),
+                                 peer.ckpt_tentative_ets_.end());
     if (u == 0) {
-      floor = std::move(recoverable);
+      view.durable_floor = std::move(recoverable);
+      view.order_floor = peer.ckpt_order_watermark_;
       continue;
     }
-    for (size_t o = 0; o < floor.size(); ++o) {
-      floor[o] = std::min(floor[o], recoverable[o]);
+    for (size_t o = 0; o < view.durable_floor.size(); ++o) {
+      view.durable_floor[o] = std::min(view.durable_floor[o], recoverable[o]);
     }
+    view.order_floor = std::min(view.order_floor, peer.ckpt_order_watermark_);
   }
-  return floor;
+  return view;
 }
 
 void RecoveryManager::TakeCheckpoint(SiteId s) {
@@ -172,18 +190,40 @@ void RecoveryManager::TakeCheckpoint(SiteId s) {
   storage_->WriteCheckpoint(s, encoded);
   site.ckpt_applied_ = data.applied;
   site.ckpt_applied_.resize(static_cast<size_t>(num_sites_), kZeroTimestamp);
+  site.ckpt_order_watermark_ = data.order_watermark;
+  site.ckpt_tentative_ets_.clear();
+  for (const store::MsetLog::RecordSnapshot& rec : data.mset_log) {
+    site.ckpt_tentative_ets_.insert(rec.mset_id);
+  }
 
-  // Truncate: decisions/acks/stables are reflected in the checkpoint blobs.
-  // A real MSet can go once it is (a) reflected here, (b) globally stable,
-  // and (c) durably recoverable at EVERY site — (b) alone is not enough
-  // under amnesia, because an applied-but-unflushed MSet dies with its
-  // site's volatile state and then only a peer's WAL can re-supply it. A
-  // noop filler can go once the checkpointed total-order watermark passed
-  // it.
-  const std::vector<LamportTimestamp> durable_floor = DurablyRecoverableFloor();
+  // Truncate: acks/stables are reflected in the checkpoint blobs and can
+  // always go. A decision must stay servable to recovering peers for as
+  // long as ANY site's durable state can still reconstruct the decided ET
+  // tentatively (catch-up serves decisions from WAL records only; an abort
+  // truncated everywhere while a crashed site's checkpoint re-arms the
+  // tentative mset could never reach it again). A committed MSet can go
+  // once it is (a) reflected here, (b) globally stable, and (c) durably
+  // recoverable at EVERY site — (b) alone is not enough under amnesia,
+  // because an applied-but-unflushed MSet dies with its site's volatile
+  // state and then only a peer's WAL can re-supply it. An aborted MSet
+  // never becomes stable; it can go once its compensation is reflected in
+  // the checkpoint just written (the abort record precedes it in this WAL,
+  // so the rollback ran before the snapshot) and every site's durable
+  // order watermark has passed its total-order position — a recovering
+  // ordered site below that position would still need the record to fill
+  // its hold-back buffer. A noop filler can go once the checkpointed
+  // total-order watermark passed it.
+  const TruncationView view = BuildTruncationView();
+  std::unordered_set<EtId> aborted;
+  for (const WalRecord& record : site.wal_->ReadAll()) {
+    if (record.type == WalRecordType::kDecision && !record.commit) {
+      aborted.insert(record.et);
+    }
+  }
   site.wal_->Truncate([&](const WalRecord& record) {
     switch (record.type) {
       case WalRecordType::kDecision:
+        return view.needed_decisions.count(record.et) > 0;
       case WalRecordType::kAck:
       case WalRecordType::kStable:
         return false;
@@ -202,12 +242,19 @@ void RecoveryManager::TakeCheckpoint(SiteId s) {
     const bool stable =
         site.bindings_.is_stable && site.bindings_.is_stable(mset.et);
     const bool durable_everywhere =
-        mset.origin < static_cast<SiteId>(durable_floor.size()) &&
-        mset.timestamp <= durable_floor[static_cast<size_t>(mset.origin)];
+        mset.origin < static_cast<SiteId>(view.durable_floor.size()) &&
+        mset.timestamp <= view.durable_floor[static_cast<size_t>(mset.origin)];
     if (reflected && stable && durable_everywhere) {
       LamportTimestamp& floor =
           site.dropped_floor_[static_cast<size_t>(mset.origin)];
       floor = std::max(floor, mset.timestamp);
+      return false;
+    }
+    const bool order_passed_everywhere =
+        mset.global_order == 0 || mset.global_order <= view.order_floor;
+    if (reflected && order_passed_everywhere && aborted.count(mset.et) > 0) {
+      // No dropped_floor_ bump: a requester behind this timestamp never
+      // needs an aborted MSet, so not serving it is not incompleteness.
       return false;
     }
     return true;
@@ -247,6 +294,10 @@ void RecoveryManager::RecoverSite(SiteId s) {
   site.applied_ = data.applied;
   site.ckpt_applied_ = data.applied;
   site.ckpt_order_watermark_ = data.order_watermark;
+  site.ckpt_tentative_ets_.clear();
+  for (const store::MsetLog::RecordSnapshot& rec : data.mset_log) {
+    site.ckpt_tentative_ets_.insert(rec.mset_id);
+  }
 
   site.in_replay_ = true;
   site.bindings_.restore(data);
@@ -293,6 +344,7 @@ CatchupRequest RecoveryManager::BuildCatchupRequest(SiteId s) {
   SiteRecovery& site = *sites_[static_cast<size_t>(s)];
   CatchupRequest request;
   request.from = s;
+  request.exchange = ++site.catchup_exchange_;
   request.applied = site.applied_;
   if (site.bindings_.outstanding) {
     request.outstanding = site.bindings_.outstanding();
@@ -312,6 +364,7 @@ CatchupResponse RecoveryManager::BuildCatchupResponse(
 
   CatchupResponse response;
   response.from = responder;
+  response.exchange = request.exchange;
   for (SiteId o = 0; o < num_sites_; ++o) {
     const LamportTimestamp floor =
         site.dropped_floor_[static_cast<size_t>(o)];
@@ -385,17 +438,61 @@ CatchupResponse RecoveryManager::BuildCatchupResponse(
   return response;
 }
 
-void RecoveryManager::BeginCatchup(SiteId s, int expected_responses) {
+void RecoveryManager::BeginCatchup(SiteId s, const std::vector<SiteId>& peers) {
   SiteRecovery& site = *sites_[static_cast<size_t>(s)];
-  site.pending_catchup_ = expected_responses;
-  if (expected_responses <= 0) {
-    site.report_.catchup_done_at = simulator_->Now();
+  site.catchup_waiting_.clear();
+  for (SiteId p : peers) {
+    if (p != s) site.catchup_waiting_.insert(p);
+  }
+  if (site.catchup_waiting_.empty()) FinishCatchup(site);
+}
+
+void RecoveryManager::OnPeerDown(SiteId down) {
+  for (auto& site_ptr : sites_) {
+    SiteRecovery& site = *site_ptr;
+    if (site.catchup_waiting_.erase(down) == 0) continue;
+    if (metrics_ != nullptr) {
+      metrics_
+          ->GetCounter("esr_recovery_catchup_peer_skipped_total",
+                       SiteLabel(site.site_))
+          .Increment();
+    }
+    if (site.catchup_waiting_.empty()) FinishCatchup(site);
+  }
+}
+
+void RecoveryManager::FinishCatchup(SiteRecovery& site) {
+  site.catchup_waiting_.clear();
+  site.report_.catchup_done_at = simulator_->Now();
+  if (metrics_ != nullptr) {
+    metrics_->GetHistogram("esr_recovery_catchup_lag_us")
+        .Observe(static_cast<double>(site.report_.catchup_done_at -
+                                     site.report_.restarted_at));
+  }
+  // Release the foreground deliveries parked during the exchange, oldest
+  // first; duplicates of MSets a response already carried are dropped by
+  // the AlreadyApplied gate in RecoveryFilterDelivery.
+  std::vector<core::Mset> held = std::move(site.held_);
+  site.held_.clear();
+  RecoverySortMsets(held);
+  for (const core::Mset& mset : held) {
+    site.bindings_.deliver(mset);
   }
 }
 
 void RecoveryManager::ApplyCatchupResponse(SiteId s,
                                            const CatchupResponse& response) {
   SiteRecovery& site = *sites_[static_cast<size_t>(s)];
+  if (response.exchange != site.catchup_exchange_) {
+    // Response to an exchange abandoned by a crash; the reliable queues
+    // retained it. Applying it would complete the current exchange early
+    // and release held deliveries before the real responses arrive.
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("esr_recovery_stale_catchup_total", SiteLabel(s))
+          .Increment();
+    }
+    return;
+  }
   if (!response.complete && metrics_ != nullptr) {
     metrics_->GetCounter("esr_recovery_incomplete_catchup_total", SiteLabel(s))
         .Increment();
@@ -422,22 +519,12 @@ void RecoveryManager::ApplyCatchupResponse(SiteId s,
     metrics_->GetCounter("esr_recovery_catchup_msets_total", SiteLabel(s))
         .Increment(delivered);
   }
-  if (site.pending_catchup_ > 0 && --site.pending_catchup_ == 0) {
-    site.report_.catchup_done_at = simulator_->Now();
-    if (metrics_ != nullptr) {
-      metrics_->GetHistogram("esr_recovery_catchup_lag_us")
-          .Observe(static_cast<double>(site.report_.catchup_done_at -
-                                       site.report_.restarted_at));
-    }
-    // Release the foreground deliveries parked during the exchange, oldest
-    // first; duplicates of MSets a response already carried are dropped by
-    // the AlreadyApplied gate in RecoveryFilterDelivery.
-    std::vector<core::Mset> held = std::move(site.held_);
-    site.held_.clear();
-    RecoverySortMsets(held);
-    for (const core::Mset& mset : held) {
-      site.bindings_.deliver(mset);
-    }
+  // A late response from a peer already dropped from the waiting set (it
+  // crashed mid-exchange and came back) is applied above for healing but
+  // must not complete the exchange twice.
+  if (site.catchup_waiting_.erase(response.from) > 0 &&
+      site.catchup_waiting_.empty()) {
+    FinishCatchup(site);
   }
 }
 

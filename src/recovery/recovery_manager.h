@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -32,6 +33,13 @@ inline constexpr msg::MessageType kCatchupResponseMsg = 106;
 /// has applied / knows stable, so the origin can finish their accounting).
 struct CatchupRequest {
   SiteId from = kInvalidSiteId;
+  /// Monotonically increasing per-requester exchange id. A site that
+  /// amnesia-crashes mid-catch-up abandons the exchange; responses to it
+  /// may still be retained (and eventually delivered) by the reliable
+  /// queues, so the next exchange must be able to tell them apart —
+  /// otherwise a stale response would complete the new exchange early and
+  /// release held foreground deliveries before the real responses arrive.
+  int64_t exchange = 0;
   std::vector<LamportTimestamp> applied;
   std::vector<std::pair<EtId, LamportTimestamp>> outstanding;
   /// ALL ETs applied locally but not known stable, regardless of origin: a
@@ -43,11 +51,14 @@ struct CatchupRequest {
 
 /// Peer -> recovering site. `complete` is false when the peer has already
 /// truncated WAL records the requester would have needed. Truncation waits
-/// for every site to hold an MSet durably (see DurablyRecoverableFloor), so
-/// in practice this flags misconfiguration; it is counted in
+/// for every site to hold an MSet durably (see TruncationView), so in
+/// practice this flags misconfiguration; it is counted in
 /// esr_recovery_incomplete_catchup_total.
 struct CatchupResponse {
   SiteId from = kInvalidSiteId;
+  /// Echo of CatchupRequest::exchange; responses whose id does not match
+  /// the requester's current exchange are ignored.
+  int64_t exchange = 0;
   bool complete = true;
   /// MSets past the requester's watermark, timestamp-sorted, deduplicated.
   std::vector<core::Mset> msets;
@@ -162,10 +173,21 @@ class SiteRecovery {
   /// watermark. Together with the flushed WAL it bounds what the site can
   /// reconstruct after an amnesia crash.
   std::vector<LamportTimestamp> ckpt_applied_;
-  /// Total-order watermark of the checkpoint being replayed (noop test).
+  /// Durable total-order watermark: the position of this site's latest
+  /// checkpoint. Used as the noop-dedup test during replay and, via the
+  /// cross-site minimum, as the floor below which no recovering site still
+  /// needs a WAL record to fill its order buffer.
   SequenceNumber ckpt_order_watermark_ = 0;
+  /// ETs whose MSet-log records (tentative, still at rollback risk) are in
+  /// this site's latest checkpoint: an amnesia restart re-arms them, so
+  /// their COMPE decisions must stay servable from peer WALs.
+  std::unordered_set<EtId> ckpt_tentative_ets_;
   bool in_replay_ = false;
-  int pending_catchup_ = 0;
+  /// Peers whose catch-up response for the current exchange is still
+  /// outstanding; empty when no exchange is in flight.
+  std::unordered_set<SiteId> catchup_waiting_;
+  /// Current exchange id; bumped by every BuildCatchupRequest.
+  int64_t catchup_exchange_ = 0;
   /// True while ApplyCatchupResponse feeds MSets through the method (those
   /// must bypass the MaybeHoldDelivery gate that parks foreground traffic).
   bool applying_catchup_ = false;
@@ -198,6 +220,14 @@ class RecoveryManager {
   /// Amnesia crash: the unflushed WAL tail is lost with the site.
   void OnCrash(SiteId s);
 
+  /// Any crash (amnesia or fail-stop) of `down` makes it unresponsive:
+  /// recovering sites waiting on its catch-up response stop counting it so
+  /// their exchange can complete (a liveness stall under combined failures
+  /// otherwise — a never-restarting peer would park foreground deliveries
+  /// forever). If the peer does come back, its late response still applies
+  /// idempotently as long as the exchange id matches.
+  void OnPeerDown(SiteId down);
+
   /// Takes a fuzzy checkpoint of `s` and truncates its WAL down to the
   /// records a peer (or a future replay) could still need.
   void TakeCheckpoint(SiteId s);
@@ -207,10 +237,14 @@ class RecoveryManager {
   void RecoverSite(SiteId s);
 
   /// Catch-up protocol steps; the facade moves the structs between sites.
+  /// BeginCatchup takes the peers whose responses are awaited — the facade
+  /// passes the currently-up peers only (down peers are reached by the
+  /// request through the reliable queues anyway and their late responses
+  /// apply idempotently, but the exchange must not block on them).
   CatchupRequest BuildCatchupRequest(SiteId s);
   CatchupResponse BuildCatchupResponse(SiteId responder,
                                        const CatchupRequest& request);
-  void BeginCatchup(SiteId s, int expected_responses);
+  void BeginCatchup(SiteId s, const std::vector<SiteId>& peers);
   void ApplyCatchupResponse(SiteId s, const CatchupResponse& response);
 
   const RecoveryReport& last_report(SiteId s) const {
@@ -218,12 +252,34 @@ class RecoveryManager {
   }
 
  private:
-  /// Per-origin timestamp floor below which EVERY site can reconstruct the
-  /// MSet from its own durable state (latest checkpoint + flushed WAL).
-  /// Truncation must not drop MSets above this floor: global stability only
-  /// proves every site *applied* them, and an amnesia crash can still lose
-  /// an applied-but-unflushed MSet — which only a peer's WAL can then heal.
-  std::vector<LamportTimestamp> DurablyRecoverableFloor() const;
+  /// Cross-site state a checkpoint's truncation decision needs. The
+  /// RecoveryManager owns every site's stable storage, so it can evaluate
+  /// these global conditions directly.
+  struct TruncationView {
+    /// Per-origin timestamp floor below which EVERY site can reconstruct
+    /// the MSet from its own durable state (latest checkpoint + flushed
+    /// WAL). Truncation must not drop committed MSets above this floor:
+    /// global stability only proves every site *applied* them, and an
+    /// amnesia crash can still lose an applied-but-unflushed MSet — which
+    /// only a peer's WAL can then heal.
+    std::vector<LamportTimestamp> durable_floor;
+    /// Minimum checkpointed total-order watermark across sites: below it no
+    /// recovering site still needs a record to fill its order buffer.
+    SequenceNumber order_floor = 0;
+    /// ETs whose tentative application is reconstructible from SOME site's
+    /// WAL (flushed or still buffered — the buffer may yet become durable)
+    /// or latest checkpoint's MSet log. Catch-up serves COMPE decisions
+    /// from peer WALs, so a decision record must survive truncation until
+    /// its ET leaves this set: an abort truncated everywhere while a
+    /// crashed site's durable state still re-arms the mset tentatively
+    /// could never reach that site again — permanent divergence.
+    std::unordered_set<EtId> needed_decisions;
+  };
+  TruncationView BuildTruncationView() const;
+
+  /// Completes the current exchange: stamps the report, records the lag,
+  /// and re-delivers the parked foreground MSets in timestamp order.
+  void FinishCatchup(SiteRecovery& site);
 
   sim::Simulator* simulator_;
   obs::MetricRegistry* metrics_;

@@ -5,6 +5,16 @@
 #include <fstream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define ESR_STORAGE_POSIX 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
 namespace esr::recovery {
 
 void MemoryStorage::AppendWal(SiteId site, std::string_view bytes) {
@@ -39,14 +49,103 @@ std::string ReadFileOrEmpty(const std::string& path) {
   return std::move(buf).str();
 }
 
+#if ESR_STORAGE_POSIX
+
+void ReportIoError(const char* op, const std::string& path) {
+  std::fprintf(stderr, "esr recovery storage: %s failed for %s: %s\n", op,
+               path.c_str(), std::strerror(errno));
+}
+
+// write(2) the whole buffer, retrying short writes and EINTR.
+bool WriteAll(int fd, const char* data, size_t size, const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ReportIoError("write", path);
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// fsync the directory holding `path` so a rename into it is durable.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    ReportIoError("open(dir)", dir);
+    return;
+  }
+  if (::fsync(fd) != 0) ReportIoError("fsync(dir)", dir);
+  ::close(fd);
+}
+
+void AppendFileDurable(const std::string& path, std::string_view bytes) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    ReportIoError("open", path);
+    return;
+  }
+  if (WriteAll(fd, bytes.data(), bytes.size(), path) && ::fsync(fd) != 0) {
+    ReportIoError("fsync", path);
+  }
+  ::close(fd);
+}
+
+void WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    ReportIoError("open", tmp);
+    return;
+  }
+  const bool wrote = WriteAll(fd, bytes.data(), bytes.size(), tmp);
+  if (wrote && ::fsync(fd) != 0) ReportIoError("fsync", tmp);
+  ::close(fd);
+  if (!wrote) return;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ReportIoError("rename", path);
+    return;
+  }
+  SyncParentDir(path);
+}
+
+#else  // !ESR_STORAGE_POSIX
+
+// Fallback without durability guarantees; the POSIX path above is the one
+// the --recovery-dir fault model relies on.
+void AppendFileDurable(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "esr recovery storage: append failed for %s\n",
+                 path.c_str());
+  }
+}
+
 void WriteFileAtomic(const std::string& path, const std::string& bytes) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      std::fprintf(stderr, "esr recovery storage: write failed for %s\n",
+                   tmp.c_str());
+      return;
+    }
   }
-  std::rename(tmp.c_str(), path.c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "esr recovery storage: rename failed for %s\n",
+                 path.c_str());
+  }
 }
+
+#endif  // ESR_STORAGE_POSIX
 
 }  // namespace
 
@@ -64,8 +163,7 @@ std::string FileStorage::CkptPath(SiteId site) const {
 }
 
 void FileStorage::AppendWal(SiteId site, std::string_view bytes) {
-  std::ofstream out(WalPath(site), std::ios::binary | std::ios::app);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  AppendFileDurable(WalPath(site), bytes);
 }
 
 std::string FileStorage::ReadWal(SiteId site) const {

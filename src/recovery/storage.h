@@ -46,6 +46,11 @@ class MemoryStorage : public StorageBackend {
 
 /// File-backed storage under `dir`: site_<N>.wal (append) and site_<N>.ckpt
 /// (write-temp-then-rename replace). Creates `dir` on construction.
+///
+/// On POSIX, every append/replace fsyncs the file (and the directory after a
+/// rename) before returning, and I/O errors are reported to stderr — so
+/// "durably flushed" means what the fault model claims even across a real
+/// process crash. Elsewhere a best-effort ofstream fallback is used.
 class FileStorage : public StorageBackend {
  public:
   explicit FileStorage(std::string dir);

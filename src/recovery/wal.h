@@ -77,6 +77,11 @@ class Wal {
   int64_t UnflushedCount() const {
     return static_cast<int64_t>(buffer_.size());
   }
+  /// The buffered (not yet durable) tail. Truncation planning reads this to
+  /// stay conservative about records that may still BECOME durable on the
+  /// next flush — e.g. a tentative MSet whose decision must then remain
+  /// servable from peer WALs.
+  const std::vector<WalRecord>& UnflushedRecords() const { return buffer_; }
   int64_t StorageBytes() const;
 
  private:

@@ -298,6 +298,95 @@ TEST(RecoveryIntegrationTest, FileBackedStorageRecovers) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(RecoveryIntegrationTest, AbortDecidedJustBeforeCrashSurvivesTruncation) {
+  // The lost-abort scenario: site 2 applies two tentative increments, both
+  // reflected in its 20ms checkpoint. The decisions (commit `keep`, abort
+  // `gone`) arrive and are acked just before its amnesia crash, so the
+  // reliable queues never redeliver them — and with the lazy group commit
+  // below they die in the unflushed WAL tail. During the long outage the
+  // peers checkpoint many times; if those checkpoints truncated the
+  // decision records, catch-up (which serves decisions from peer WALs)
+  // could never re-supply the abort, and the recovered site would re-arm
+  // `gone` tentatively forever: value 107 instead of 100, divergence.
+  SystemConfig config = CrashConfig(Method::kCompe, 113);
+  config.recovery.checkpoint_interval_us = 20'000;
+  config.recovery.group_commit_records = 1024;
+  config.recovery.group_commit_interval_us = 1'000'000;
+  ReplicatedSystem system(config);
+  system.failures().ScheduleCrash(
+      sim::CrashSpec{2, /*crash_at=*/38'000, /*restart_at=*/150'000,
+                     /*amnesia=*/true});
+  const EtId keep =
+      MustSubmit(system, 0, {Operation::Increment(0, 100)});
+  const EtId gone = MustSubmit(system, 0, {Operation::Increment(0, 7)});
+  system.RunFor(25'000);  // applied tentatively everywhere; ckpt at 20ms
+  ASSERT_TRUE(system.Decide(keep, true).ok());
+  ASSERT_TRUE(system.Decide(gone, false).ok());
+  system.RunFor(10'000);   // decisions delivered + acked; crash at 38ms
+  system.RunFor(110'000);  // peers checkpoint through the outage
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  EXPECT_EQ(system.SiteValue(2, 0).AsInt(), 100);
+  EXPECT_EQ(system.SiteValue(0, 0).AsInt(), 100);
+  EXPECT_FALSE(system.site_mset_log(2).Contains(gone))
+      << "the recovered site never compensated the aborted update";
+}
+
+TEST(RecoveryIntegrationTest, CatchupCompletesWhileAPeerStaysDown) {
+  // Site 1 fail-stops and never comes back; site 2 amnesia-crashes through
+  // the usual window. Catch-up must complete with only site 0 responding —
+  // counting the dead peer would park every foreground delivery at site 2
+  // forever. RunFor horizons only: the reliable queues keep retrying the
+  // dead site, so the event queue never drains.
+  SystemConfig config = CrashConfig(Method::kCommu, 115);
+  ReplicatedSystem system(config);
+  system.failures().ScheduleCrash(
+      sim::CrashSpec{1, /*crash_at=*/20'000, /*restart_at=*/kSimTimeMax,
+                     /*amnesia=*/false});
+  system.failures().ScheduleCrash(kAmnesia);
+  for (int i = 0; i < 12; ++i) {
+    MustSubmit(system, 0, {Operation::Increment(0, 1)});
+    system.RunFor(10'000);
+  }
+  system.RunFor(300'000);
+  EXPECT_GE(system.recovery_manager()->last_report(2).catchup_done_at, 0)
+      << "catch-up still waiting on the dead peer";
+  EXPECT_EQ(system.SiteValue(2, 0).AsInt(), 12);
+  EXPECT_EQ(system.SiteValue(0, 0).AsInt(), 12);
+}
+
+TEST(RecoveryIntegrationTest, AbortedMsetsAreTruncatedFromWals) {
+  // Aborted ETs never become stable, so the stability-gated truncation
+  // rule alone would pin them (and their decisions) in every WAL forever.
+  // After the compensations are reflected in checkpoints everywhere, a few
+  // more rounds must drain both the MSet records and, once no WAL can
+  // re-arm the ETs, the abort decisions.
+  SystemConfig config = CrashConfig(Method::kCompe, 117);
+  config.recovery.checkpoint_interval_us = 20'000;
+  ReplicatedSystem system(config);
+  std::vector<EtId> ets;
+  for (int i = 0; i < 6; ++i) {
+    ets.push_back(MustSubmit(system, i % 2, {Operation::Increment(0, 1)}));
+    system.RunFor(10'000);
+    ASSERT_TRUE(system.Decide(ets.back(), false).ok());
+    system.RunFor(5'000);
+  }
+  system.RunFor(100'000);  // >= 5 checkpoint rounds past the last abort
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  EXPECT_EQ(system.SiteValue(0, 0).AsInt(), 0);
+  for (SiteId s = 0; s < 3; ++s) {
+    for (const recovery::WalRecord& record :
+         system.recovery_manager()->site(s)->wal().ReadAll()) {
+      EXPECT_NE(record.type, recovery::WalRecordType::kMset)
+          << "aborted MSet pinned in site " << s << "'s WAL";
+      EXPECT_NE(record.type, recovery::WalRecordType::kDecision)
+          << "decision for a fully-truncated ET pinned in site " << s
+          << "'s WAL";
+    }
+  }
+}
+
 TEST(RecoveryIntegrationTest, SubmitAtDownSiteIsRejected) {
   SystemConfig config = CrashConfig(Method::kCommu, 111);
   ReplicatedSystem system(config);

@@ -12,6 +12,7 @@
 #include "obs/metric_registry.h"
 #include "recovery/checkpointer.h"
 #include "recovery/codec.h"
+#include "recovery/recovery_manager.h"
 #include "recovery/storage.h"
 #include "recovery/wal.h"
 #include "sim/simulator.h"
@@ -285,6 +286,162 @@ TEST(CheckpointTest, RejectsEmptyTornAndCorruptBytes) {
   corrupt[corrupt.size() / 2] ^= 0x01;
   EXPECT_FALSE(DecodeCheckpoint(corrupt, &out));
   EXPECT_FALSE(DecodeCheckpoint("garbage-not-a-checkpoint", &out));
+}
+
+// Catch-up exchange lifecycle and WAL truncation policy, exercised against
+// a bare RecoveryManager with recording stub bindings (no methods, no
+// network). The full-stack versions live in recovery_integration_test.cpp.
+class RecoveryManagerTest : public ::testing::Test {
+ protected:
+  static RecoveryConfig ManagerConfig() {
+    RecoveryConfig config;
+    config.enabled = true;
+    // Batch size 1: every append is durable immediately, so the truncation
+    // tests see a deterministic WAL without pumping the group-commit timer.
+    config.group_commit_records = 1;
+    config.group_commit_interval_us = 1'000;
+    return config;
+  }
+
+  static core::Mset UnorderedMset(EtId et, SiteId origin, int64_t counter) {
+    core::Mset mset;
+    mset.et = et;
+    mset.origin = origin;
+    mset.global_order = 0;
+    mset.timestamp = LamportTimestamp{counter, origin};
+    mset.operations = {store::Operation::Increment(0, 1)};
+    mset.tentative = true;
+    return mset;
+  }
+
+  void BindRecording(SiteId s) {
+    SiteBindings b;
+    b.snapshot = [](CheckpointData&) {};
+    b.restore = [](const CheckpointData&) {};
+    b.deliver = [this, s](const core::Mset& mset) {
+      delivered_[static_cast<size_t>(s)].push_back(mset.et);
+    };
+    b.replay_reflected = [](const core::Mset&) {};
+    b.decide = [](EtId, bool) {};
+    b.ack = [](EtId, SiteId) {};
+    b.stable = [](EtId, const LamportTimestamp&) {};
+    b.is_stable = [](EtId) { return false; };
+    manager_.BindSite(s, std::move(b));
+  }
+
+  int64_t CounterValue(const std::string& name, SiteId s) {
+    return metrics_.GetCounter(name, {{"site", std::to_string(s)}}).value();
+  }
+
+  sim::Simulator sim_;
+  obs::MetricRegistry metrics_;
+  RecoveryManager manager_{&sim_, &metrics_, ManagerConfig(), 3};
+  std::vector<std::vector<EtId>> delivered_{3};
+};
+
+TEST_F(RecoveryManagerTest, StaleCatchupResponseIsIgnored) {
+  BindRecording(0);
+  // First exchange, abandoned by a second crash before any response lands.
+  const CatchupRequest r1 = manager_.BuildCatchupRequest(0);
+  manager_.BeginCatchup(0, {1, 2});
+  manager_.OnCrash(0);
+  // Second exchange: a fresh restart, new id.
+  const CatchupRequest r2 = manager_.BuildCatchupRequest(0);
+  manager_.BeginCatchup(0, {1, 2});
+  ASSERT_GT(r2.exchange, r1.exchange);
+
+  // A response to the abandoned exchange arrives late (the reliable queues
+  // retained it). It must not count toward the new exchange.
+  CatchupResponse stale;
+  stale.from = 1;
+  stale.exchange = r1.exchange;
+  manager_.ApplyCatchupResponse(0, stale);
+  CatchupResponse stale2;
+  stale2.from = 2;
+  stale2.exchange = r1.exchange;
+  manager_.ApplyCatchupResponse(0, stale2);
+  EXPECT_EQ(manager_.last_report(0).catchup_done_at, -1)
+      << "stale responses completed the new exchange";
+  EXPECT_EQ(CounterValue("esr_recovery_stale_catchup_total", 0), 2);
+
+  // The real responses complete it; a duplicate does not double-complete.
+  CatchupResponse fresh1;
+  fresh1.from = 1;
+  fresh1.exchange = r2.exchange;
+  manager_.ApplyCatchupResponse(0, fresh1);
+  manager_.ApplyCatchupResponse(0, fresh1);
+  EXPECT_EQ(manager_.last_report(0).catchup_done_at, -1);
+  CatchupResponse fresh2;
+  fresh2.from = 2;
+  fresh2.exchange = r2.exchange;
+  manager_.ApplyCatchupResponse(0, fresh2);
+  EXPECT_GE(manager_.last_report(0).catchup_done_at, 0);
+}
+
+TEST_F(RecoveryManagerTest, PeerDownCompletesCatchupAndReleasesHeld) {
+  BindRecording(0);
+  const CatchupRequest request = manager_.BuildCatchupRequest(0);
+  manager_.BeginCatchup(0, {1, 2});
+
+  // Foreground delivery parked while the exchange is in flight.
+  EXPECT_TRUE(manager_.site(0)->MaybeHoldDelivery(UnorderedMset(7, 1, 5)));
+  EXPECT_TRUE(delivered_[0].empty());
+
+  // Peer 2 crashes mid-exchange: it stops counting as an expected
+  // responder, so peer 1's response alone completes the exchange and the
+  // parked delivery is released.
+  manager_.OnPeerDown(2);
+  EXPECT_EQ(manager_.last_report(0).catchup_done_at, -1);
+  CatchupResponse resp;
+  resp.from = 1;
+  resp.exchange = request.exchange;
+  manager_.ApplyCatchupResponse(0, resp);
+  EXPECT_GE(manager_.last_report(0).catchup_done_at, 0);
+  ASSERT_EQ(delivered_[0].size(), 1u);
+  EXPECT_EQ(delivered_[0][0], 7);
+  EXPECT_EQ(CounterValue("esr_recovery_catchup_peer_skipped_total", 0), 1);
+
+  // With every peer down the exchange completes immediately.
+  BindRecording(1);
+  manager_.BuildCatchupRequest(1);
+  manager_.BeginCatchup(1, {0, 2});
+  manager_.OnPeerDown(0);
+  EXPECT_EQ(manager_.last_report(1).catchup_done_at, -1);
+  manager_.OnPeerDown(2);
+  EXPECT_GE(manager_.last_report(1).catchup_done_at, 0);
+}
+
+TEST_F(RecoveryManagerTest, AbortDecisionRetainedWhileAnyWalHoldsTheMset) {
+  // Every site logged the tentative MSet (et=5) and its abort decision; the
+  // compensation already ran, so checkpoints contain neither (the stub
+  // snapshot leaves the MSet log empty) and is_stable stays false forever.
+  const core::Mset mset = UnorderedMset(5, 0, 10);
+  for (SiteId s = 0; s < 3; ++s) {
+    BindRecording(s);
+    manager_.site(s)->LogMset(mset);
+    manager_.site(s)->LogDecision(5, /*commit=*/false);
+    manager_.site(s)->OnApplied(mset);
+  }
+
+  // Round 1: each site drops its aborted MSet (abort logged + compensation
+  // reflected) but must keep the decision — some OTHER WAL still holds the
+  // MSet while this site checkpoints, and until the last one drops it a
+  // recovering site could re-arm the tentative apply and need the abort.
+  for (SiteId s = 0; s < 3; ++s) {
+    manager_.TakeCheckpoint(s);
+    std::vector<WalRecord> records = manager_.site(s)->wal().ReadAll();
+    ASSERT_EQ(records.size(), 1u) << "site " << s;
+    EXPECT_EQ(records[0].type, WalRecordType::kDecision) << "site " << s;
+    EXPECT_EQ(records[0].et, 5) << "site " << s;
+    EXPECT_FALSE(records[0].commit) << "site " << s;
+  }
+
+  // Round 2: no durable state anywhere can reconstruct et=5 tentatively,
+  // so the decisions prune too — aborted work does not pin the WAL.
+  for (SiteId s = 0; s < 3; ++s) {
+    manager_.TakeCheckpoint(s);
+    EXPECT_TRUE(manager_.site(s)->wal().ReadAll().empty()) << "site " << s;
+  }
 }
 
 }  // namespace

@@ -21,10 +21,26 @@
 //   --amnesia-crash=SITE:CRASH_MS:RESTART_MS
 //                        amnesia-crash SITE (loses all volatile state) and
 //                        recover it via checkpoint + WAL replay + catch-up
+//
+// Live metrics scrape endpoint:
+//   --serve-metrics-port=N  serve GET /metrics and /healthz on
+//                           127.0.0.1:N (0 = OS-assigned port, printed)
+//   --metrics-publish-ms=M  snapshot-publish cadence in simulated ms
+//                           (default 100)
+//   --run-forever           keep issuing workload windows (one
+//                           --duration-ms window plus drain per iteration,
+//                           wall-clock paced) until SIGINT/SIGTERM, so a
+//                           Prometheus can scrape the live session
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
+
+#include "obs/http_exporter.h"
 
 #include "analysis/query_checker.h"
 #include "analysis/sr_checker.h"
@@ -62,6 +78,10 @@ bool ParseMethod(const std::string& s, Method* method) {
   return true;
 }
 
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int /*sig*/) { g_stop.store(true); }
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -71,6 +91,7 @@ int main(int argc, char** argv) {
   esr::workload::WorkloadSpec spec;
   spec.duration_us = 1'000'000;
   bool verify = false;
+  bool run_forever = false;
   esr::SiteId crash_site = esr::kInvalidSiteId;
   esr::SimTime crash_at_us = 0;
   esr::SimTime restart_at_us = 0;
@@ -126,6 +147,12 @@ int main(int argc, char** argv) {
       crash_site = std::stoi(value.substr(0, c1));
       crash_at_us = std::stoll(value.substr(c1 + 1, c2 - c1 - 1)) * 1000;
       restart_at_us = std::stoll(value.substr(c2 + 1)) * 1000;
+    } else if (ParseFlag(argv[i], "serve-metrics-port", &value)) {
+      config.metrics_port = std::stoi(value);
+    } else if (ParseFlag(argv[i], "metrics-publish-ms", &value)) {
+      config.metrics_publish_interval_us = std::stoll(value) * 1000;
+    } else if (std::strcmp(argv[i], "--run-forever") == 0) {
+      run_forever = true;
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       verify = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -144,6 +171,17 @@ int main(int argc, char** argv) {
   if (config.method == Method::kCompe ||
       config.method == Method::kCompeOrdered) {
     spec.compe_abort_probability = 0.1;
+  }
+  if (run_forever) {
+    if (verify) {
+      std::fprintf(stderr,
+                   "--run-forever ignores --verify (history would grow "
+                   "without bound)\n");
+      verify = false;
+    }
+    // An endless session must keep memory bounded: no history, and span
+    // recording switches to the deterministic reservoir.
+    if (config.span_reservoir_size <= 0) config.span_reservoir_size = 4096;
   }
   config.record_history = verify;
   if (config.recovery.enabled &&
@@ -176,6 +214,49 @@ int main(int argc, char** argv) {
                   : std::to_string(spec.query_epsilon).c_str(),
               spec.update_fraction,
               static_cast<unsigned long long>(config.seed));
+  if (system.metrics_exporter() != nullptr) {
+    std::printf("metrics: http://127.0.0.1:%d/metrics (snapshot published "
+                "every %lld simulated ms)\n",
+                system.metrics_exporter()->port(),
+                static_cast<long long>(config.metrics_publish_interval_us /
+                                       1000));
+    std::fflush(stdout);
+  }
+
+  if (run_forever) {
+    // Long-running scrapeable session: one issue window + drain of
+    // simulated time per iteration, wall-clock paced so the session is
+    // watchable (and doesn't pin a core). SIGINT/SIGTERM ends it cleanly.
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    unsigned long long iterations = 0;
+    long long updates = 0, queries = 0;
+    while (!g_stop.load()) {
+      auto window = runner.Run();
+      updates += window.updates_committed;
+      queries += window.queries_completed;
+      ++iterations;
+      if (iterations % 10 == 1) {
+        std::printf("[sim t=%.1fs] iter=%llu updates=%lld queries=%lld "
+                    "scrapes=%lld\n",
+                    static_cast<double>(system.simulator().Now()) / 1e6,
+                    iterations, updates, queries,
+                    static_cast<long long>(
+                        system.metrics_exporter() != nullptr
+                            ? system.metrics_exporter()->scrapes_total()
+                            : 0));
+        std::fflush(stdout);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    system.RunUntilQuiescent();
+    std::printf("\nstopped after %llu iterations: updates=%lld queries=%lld "
+                "converged=%s\n",
+                iterations, updates, queries,
+                system.Converged() ? "yes" : "no");
+    return 0;
+  }
+
   auto result = runner.Run();
   system.RunUntilQuiescent();
   std::printf("\n%s\n", result.ToString().c_str());

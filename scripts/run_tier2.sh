@@ -15,7 +15,10 @@ scripts/run_tier1.sh --sanitize
 
 # The durability/recovery suites get an explicit second pass under the
 # sanitizers: WAL replay + amnesia restart churn through buffer reuse and
-# re-registration paths that deserve the extra repetition.
+# re-registration paths that deserve the extra repetition. The metrics
+# exporter rides along because its scrape thread is the codebase's only
+# real concurrency — the snapshot-handoff and shutdown races are exactly
+# what ASan/TSan-class tooling exists to catch.
 cd build-asan
-ctest --output-on-failure -R 'recovery|failure' --repeat until-fail:2 \
-  -j "$(nproc)"
+ctest --output-on-failure -R 'recovery|failure|http_exporter' \
+  --repeat until-fail:2 -j "$(nproc)"

@@ -167,6 +167,19 @@ struct SystemConfig {
   /// seed) instead of the exact unbounded vector. 0 = exact mode (default).
   int64_t span_reservoir_size = 0;
 
+  /// --- Live metrics scrape endpoint ---------------------------------------
+  /// TCP port for the pull-based Prometheus HTTP exporter (obs::HttpExporter
+  /// serving GET /metrics and GET /healthz on a loopback socket from its own
+  /// thread). -1 disables (default); 0 binds an OS-assigned ephemeral port
+  /// (read it back via ReplicatedSystem::metrics_exporter()->port()).
+  int metrics_port = -1;
+
+  /// Simulated-time cadence of PublishMetricsSnapshot(): how often the sim
+  /// loop renders a fresh exposition and hands it to the exporter thread.
+  /// 0 disables the periodic publisher (explicit PublishMetricsSnapshot()
+  /// calls still work). Only meaningful with metrics_port >= 0.
+  SimDuration metrics_publish_interval_us = 100'000;
+
   /// Durable checkpoint + WAL recovery (src/recovery/). Off by default;
   /// when enabled every site logs delivered MSets and protocol decisions
   /// ahead of application, takes periodic fuzzy checkpoints, and an

@@ -7,7 +7,10 @@
 #include <string>
 #include <utility>
 
+#include <cstdio>
+
 #include "msg/sequencer.h"
+#include "obs/http_exporter.h"
 #include "recovery/codec.h"
 
 namespace esr::core {
@@ -230,10 +233,28 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
     admission_prev_.resize(config_.num_sites);
   }
 
+  if (config_.metrics_port >= 0) {
+    metrics_channel_ = std::make_shared<obs::MetricsSnapshotChannel>();
+    obs::HttpExporterConfig exporter_config;
+    exporter_config.port = config_.metrics_port;
+    metrics_exporter_ = std::make_unique<obs::HttpExporter>(
+        metrics_channel_, exporter_config);
+    const Status started = metrics_exporter_->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "esr: metrics exporter disabled: %s\n",
+                   started.ToString().c_str());
+      metrics_exporter_.reset();
+    }
+    // First snapshot immediately: /metrics is never empty, even before the
+    // simulator takes its first step.
+    PublishMetricsSnapshot();
+  }
+
   StartHeartbeats();
   StartQuasiRefresh();
   StartAdmissionSampling();
   StartCheckpoints();
+  StartMetricsPublisher();
 }
 
 ReplicatedSystem::~ReplicatedSystem() = default;
@@ -497,6 +518,30 @@ void ReplicatedSystem::StartAdmissionSampling() {
   };
   simulator_.Schedule(config_.admission.sample_interval_us,
                       [tick] { (*tick)(); });
+}
+
+void ReplicatedSystem::StartMetricsPublisher() {
+  if (metrics_channel_ == nullptr || config_.metrics_publish_interval_us <= 0) {
+    return;
+  }
+  if (metrics_publish_on_) return;
+  metrics_publish_on_ = true;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, weak = std::weak_ptr<std::function<void()>>(tick)]() {
+    if (!metrics_publish_on_) return;
+    PublishMetricsSnapshot();
+    if (auto self = weak.lock()) {
+      simulator_.Schedule(config_.metrics_publish_interval_us,
+                          [self] { (*self)(); });
+    }
+  };
+  simulator_.Schedule(config_.metrics_publish_interval_us,
+                      [tick] { (*tick)(); });
+}
+
+void ReplicatedSystem::PublishMetricsSnapshot() {
+  if (metrics_channel_ == nullptr) return;
+  metrics_channel_->Publish(MetricsSnapshot(), simulator_.Now());
 }
 
 void ReplicatedSystem::SampleAdmissionSignals() {
@@ -851,10 +896,12 @@ void ReplicatedSystem::RunUntilQuiescent() {
   const bool had_quasi_refresh = quasi_refresh_on_;
   const bool had_admission = admission_sampling_on_;
   const bool had_checkpoints = checkpoints_on_;
+  const bool had_metrics_publish = metrics_publish_on_;
   heartbeats_on_ = false;
   quasi_refresh_on_ = false;
   admission_sampling_on_ = false;
   checkpoints_on_ = false;
+  metrics_publish_on_ = false;
   simulator_.Run();
   if (!IsSyncMethod()) {
     // Flush a few explicit heartbeat rounds so every site's clock
@@ -882,6 +929,12 @@ void ReplicatedSystem::RunUntilQuiescent() {
   if (had_checkpoints) {
     StartCheckpoints();
   }
+  if (had_metrics_publish) {
+    StartMetricsPublisher();
+  }
+  // A scraper watching the session should see the drained state, not the
+  // last pre-drain cadence tick.
+  PublishMetricsSnapshot();
 }
 
 void ReplicatedSystem::RunFor(SimDuration duration) {

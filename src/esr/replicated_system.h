@@ -20,6 +20,11 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 
+namespace esr::obs {
+class HttpExporter;
+class MetricsSnapshotChannel;
+}  // namespace esr::obs
+
 namespace esr::core {
 
 /// Callback receiving a query read's value.
@@ -160,6 +165,20 @@ class ReplicatedSystem {
   /// instrument. A (SystemConfig, seed) pair produces identical snapshots.
   std::string MetricsSnapshot();
 
+  /// Renders MetricsSnapshot() and publishes it to the exporter's snapshot
+  /// channel (no-op with the scrape endpoint disabled). Runs automatically
+  /// every config.metrics_publish_interval_us of simulated time while the
+  /// simulator advances, and once more when RunUntilQuiescent() drains.
+  void PublishMetricsSnapshot();
+
+  /// Live scrape endpoint (config.metrics_port >= 0); null when disabled
+  /// or when the exporter failed to bind.
+  obs::HttpExporter* metrics_exporter() { return metrics_exporter_.get(); }
+  /// The sim→exporter snapshot handoff cell; null when disabled.
+  const obs::MetricsSnapshotChannel* metrics_channel() const {
+    return metrics_channel_.get();
+  }
+
   /// --- State inspection ----------------------------------------------------
 
   /// True when every replica holds identical object state.
@@ -208,6 +227,9 @@ class ReplicatedSystem {
   /// Adaptive-admission sampling timer (config.admission.sample_interval_us).
   void StartAdmissionSampling();
   void SampleAdmissionSignals();
+  /// Periodic snapshot publishing for the live scrape endpoint
+  /// (config.metrics_publish_interval_us of simulated time).
+  void StartMetricsPublisher();
   /// Strict restart: release method-held attempt resources, reset the
   /// query's accounting, bump counters.
   void RestartQuery(QueryState& q);
@@ -243,6 +265,14 @@ class ReplicatedSystem {
   bool quasi_refresh_on_ = false;
   bool admission_sampling_on_ = false;
   bool checkpoints_on_ = false;
+  bool metrics_publish_on_ = false;
+
+  /// Live scrape endpoint (config.metrics_port >= 0): the sim loop
+  /// publishes immutable snapshots into the channel; the exporter thread
+  /// serves them. shared_ptr because the exporter thread outlives any one
+  /// snapshot and holds its own reference to the channel.
+  std::shared_ptr<obs::MetricsSnapshotChannel> metrics_channel_;
+  std::unique_ptr<obs::HttpExporter> metrics_exporter_;
 
   std::unique_ptr<recovery::RecoveryManager> recovery_;
   std::unique_ptr<AdmissionController> admission_;

@@ -1,0 +1,317 @@
+#include "obs/http_exporter.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ESR_HTTP_EXPORTER_POSIX 1
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace esr::obs {
+
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void MetricsSnapshotChannel::Publish(std::string text, int64_t sim_time_us) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->text = std::move(text);
+  snap->sim_time_us = sim_time_us;
+  snap->wall_us = SteadyNowUs();
+  snap->sequence = publishes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  latest_.store(std::move(snap), std::memory_order_release);
+}
+
+std::shared_ptr<const MetricsSnapshotChannel::Snapshot>
+MetricsSnapshotChannel::Load() const {
+  return latest_.load(std::memory_order_acquire);
+}
+
+HttpExporter::HttpExporter(
+    std::shared_ptr<const MetricsSnapshotChannel> channel,
+    HttpExporterConfig config)
+    : channel_(std::move(channel)), config_(std::move(config)) {}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+#ifdef ESR_HTTP_EXPORTER_POSIX
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// One in-flight client connection: request bytes accumulate in `in` until
+/// the header terminator, then the rendered response drains from `out`.
+struct Connection {
+  int fd = -1;
+  std::string in;
+  std::string out;
+  size_t out_off = 0;
+  bool writing = false;
+};
+
+void CloseConnection(Connection& conn) {
+  if (conn.fd >= 0) close(conn.fd);
+  conn.fd = -1;
+}
+
+}  // namespace
+
+Status HttpExporter::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("exporter already started");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable bind address '" +
+                                   config_.bind_address + "'");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(listen_fd_, 16) != 0 || !SetNonBlocking(listen_fd_)) {
+    const std::string err = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("bind/listen on " + config_.bind_address + ":" +
+                               std::to_string(config_.port) + ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) == 0) {
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  }
+  if (pipe(wake_fds_) != 0 || !SetNonBlocking(wake_fds_[0])) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("self-pipe setup failed");
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::Ok();
+}
+
+void HttpExporter::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  const char byte = 'x';
+  // Best effort: the poll loop also notices `running_` on its next wake.
+  (void)!write(wake_fds_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+}
+
+void HttpExporter::Serve() {
+  std::vector<Connection> conns;
+  while (running_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+    // Bounded connection count: once at the limit, stop accepting — new
+    // clients queue in the kernel backlog until a slot frees up.
+    const bool can_accept =
+        conns.size() < static_cast<size_t>(config_.max_connections);
+    if (can_accept) fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const Connection& conn : conns) {
+      fds.push_back(
+          pollfd{conn.fd, static_cast<short>(conn.writing ? POLLOUT : POLLIN),
+                 0});
+    }
+    if (poll(fds.data(), fds.size(), /*timeout_ms=*/250) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[0].revents != 0) {
+      char drain[64];
+      while (read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    size_t next = 1;
+    if (can_accept && fds[next++].revents != 0) {
+      while (conns.size() < static_cast<size_t>(config_.max_connections)) {
+        const int fd = accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        if (!SetNonBlocking(fd)) {
+          close(fd);
+          continue;
+        }
+        Connection conn;
+        conn.fd = fd;
+        conns.push_back(std::move(conn));
+      }
+    }
+    // `fds[next..]` lines up with the first conns.size() entries as of the
+    // poll call; connections accepted above have no revents yet.
+    for (size_t i = 0; next < fds.size(); ++i, ++next) {
+      Connection& conn = conns[i];
+      const short revents = fds[next].revents;
+      if (revents == 0) continue;
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        CloseConnection(conn);
+        continue;
+      }
+      if (!conn.writing && (revents & (POLLIN | POLLHUP)) != 0) {
+        char buf[1024];
+        bool closed = false;
+        for (;;) {
+          const ssize_t n = read(conn.fd, buf, sizeof(buf));
+          if (n > 0) {
+            conn.in.append(buf, static_cast<size_t>(n));
+            continue;
+          }
+          if (n == 0) closed = true;  // EOF before a full request
+          break;
+        }
+        const size_t header_end = conn.in.find("\r\n\r\n");
+        if (header_end != std::string::npos) {
+          // Request line: METHOD SP PATH [SP HTTP/x.y]
+          const size_t line_end = conn.in.find("\r\n");
+          const std::string line = conn.in.substr(0, line_end);
+          const size_t sp1 = line.find(' ');
+          const size_t sp2 =
+              sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+          std::string method =
+              sp1 == std::string::npos ? line : line.substr(0, sp1);
+          std::string path =
+              sp1 == std::string::npos
+                  ? ""
+                  : line.substr(sp1 + 1, sp2 == std::string::npos
+                                             ? std::string::npos
+                                             : sp2 - sp1 - 1);
+          const size_t query = path.find('?');
+          if (query != std::string::npos) path.resize(query);
+          conn.out = BuildResponse(method, path);
+          conn.out_off = 0;
+          conn.writing = true;
+        } else if (static_cast<int64_t>(conn.in.size()) >
+                   config_.max_request_bytes) {
+          conn.out =
+              "HTTP/1.0 400 Bad Request\r\nConnection: close\r\n"
+              "Content-Length: 0\r\n\r\n";
+          conn.out_off = 0;
+          conn.writing = true;
+        } else if (closed) {
+          CloseConnection(conn);
+          continue;
+        }
+      }
+      if (conn.writing) {
+        for (;;) {
+          const ssize_t n = write(conn.fd, conn.out.data() + conn.out_off,
+                                  conn.out.size() - conn.out_off);
+          if (n > 0) {
+            conn.out_off += static_cast<size_t>(n);
+            if (conn.out_off == conn.out.size()) {
+              CloseConnection(conn);
+              break;
+            }
+            continue;
+          }
+          break;  // EAGAIN (wait for POLLOUT) or a hard error (next poll
+                  // reports POLLERR/POLLHUP)
+        }
+      }
+    }
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const Connection& c) { return c.fd < 0; }),
+                conns.end());
+  }
+  for (Connection& conn : conns) CloseConnection(conn);
+}
+
+#else  // !ESR_HTTP_EXPORTER_POSIX
+
+Status HttpExporter::Start() {
+  return Status::FailedPrecondition(
+      "HTTP exporter needs POSIX sockets on this platform");
+}
+
+void HttpExporter::Stop() {}
+
+void HttpExporter::Serve() {}
+
+#endif  // ESR_HTTP_EXPORTER_POSIX
+
+std::string HttpExporter::MetricsBody() {
+  const std::shared_ptr<const MetricsSnapshotChannel::Snapshot> snap =
+      channel_ != nullptr ? channel_->Load() : nullptr;
+  const int64_t scrapes =
+      scrapes_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::string body = snap != nullptr ? snap->text : std::string();
+  if (!body.empty() && body.back() != '\n') body += '\n';
+  body +=
+      "# HELP esr_exporter_scrapes_total Scrapes served on /metrics by this "
+      "exporter\n"
+      "# TYPE esr_exporter_scrapes_total counter\n"
+      "esr_exporter_scrapes_total " +
+      std::to_string(scrapes) +
+      "\n"
+      "# HELP esr_exporter_snapshot_age_us Wall-clock age of the served "
+      "snapshot in microseconds (-1 before the first publish)\n"
+      "# TYPE esr_exporter_snapshot_age_us gauge\n"
+      "esr_exporter_snapshot_age_us " +
+      std::to_string(snap != nullptr
+                         ? std::max<int64_t>(0, SteadyNowUs() - snap->wall_us)
+                         : -1) +
+      "\n"
+      "# HELP esr_exporter_snapshot_sim_time_us Simulated time at which the "
+      "served snapshot was published (-1 before the first publish)\n"
+      "# TYPE esr_exporter_snapshot_sim_time_us gauge\n"
+      "esr_exporter_snapshot_sim_time_us " +
+      std::to_string(snap != nullptr ? snap->sim_time_us : -1) + "\n";
+  return body;
+}
+
+std::string HttpExporter::BuildResponse(const std::string& method,
+                                        const std::string& path) {
+  std::string status_line;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (method == "GET" && path == "/metrics") {
+    status_line = "HTTP/1.0 200 OK";
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = MetricsBody();
+  } else if (method == "GET" && path == "/healthz") {
+    status_line = "HTTP/1.0 200 OK";
+    body = "ok\n";
+  } else {
+    status_line = "HTTP/1.0 404 Not Found";
+    body = "not found\n";
+  }
+  return status_line + "\r\nContent-Type: " + content_type +
+         "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n" + body;
+}
+
+}  // namespace esr::obs

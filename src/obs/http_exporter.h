@@ -1,0 +1,120 @@
+#ifndef ESR_OBS_HTTP_EXPORTER_H_
+#define ESR_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace esr::obs {
+
+/// Single-writer / single-reader handoff cell between the (single-threaded)
+/// simulator loop and the exporter thread. The simulator side renders a full
+/// Prometheus exposition and Publish()es it; the exporter side Load()s an
+/// immutable shared_ptr to the latest snapshot. Neither side ever mutates a
+/// published snapshot, so the only synchronization is the pointer swap
+/// itself — no lock is held while either thread touches the bytes.
+class MetricsSnapshotChannel {
+ public:
+  struct Snapshot {
+    /// Fully rendered Prometheus text exposition.
+    std::string text;
+    /// Simulated time at which the sim loop published this snapshot.
+    int64_t sim_time_us = -1;
+    /// Wall-clock publish instant (steady-clock microseconds), used by the
+    /// exporter to derive esr_exporter_snapshot_age_us.
+    int64_t wall_us = 0;
+    /// Monotonic publish sequence number (1 for the first snapshot).
+    int64_t sequence = 0;
+  };
+
+  /// Publishes a new snapshot (sim-loop thread only).
+  void Publish(std::string text, int64_t sim_time_us);
+
+  /// Latest published snapshot; null before the first Publish(). The
+  /// returned object is immutable and safe to read from any thread.
+  std::shared_ptr<const Snapshot> Load() const;
+
+  /// Number of Publish() calls so far.
+  int64_t publishes() const { return publishes_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::shared_ptr<const Snapshot>> latest_;
+  std::atomic<int64_t> publishes_{0};
+};
+
+struct HttpExporterConfig {
+  /// Address the listening socket binds; loopback by default. Use
+  /// "0.0.0.0" to let a remote Prometheus scrape the session.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an OS-assigned ephemeral port (read back via
+  /// HttpExporter::port()).
+  int port = 0;
+  /// Bound on concurrently open client connections. While the bound is
+  /// reached new connections wait in the kernel accept backlog.
+  int max_connections = 16;
+  /// Requests larger than this are answered 400 and closed.
+  int64_t max_request_bytes = 4096;
+};
+
+/// Dependency-free POSIX-socket HTTP/1.0 server serving the latest metrics
+/// snapshot: `GET /metrics` returns the published exposition plus exporter
+/// self-metrics (esr_exporter_scrapes_total, esr_exporter_snapshot_age_us,
+/// esr_exporter_snapshot_sim_time_us), `GET /healthz` returns "ok", every
+/// other request 404s. One background thread runs a non-blocking
+/// accept/poll loop over the listening socket and a bounded set of client
+/// connections; every response closes the connection (Connection: close).
+///
+/// Threading contract: the exporter thread never touches the simulator or
+/// the MetricRegistry — it only Load()s immutable snapshots from the
+/// channel (see DESIGN.md §9, "Live scrape endpoint").
+class HttpExporter {
+ public:
+  explicit HttpExporter(std::shared_ptr<const MetricsSnapshotChannel> channel,
+                        HttpExporterConfig config = {});
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds, listens and spawns the serving thread. Returns InvalidArgument
+  /// for an unparseable bind address, Unavailable when the bind/listen
+  /// fails (port in use, privileged port), FailedPrecondition off-POSIX.
+  Status Start();
+
+  /// Stops the serving thread and closes every socket. Idempotent; also
+  /// invoked by the destructor.
+  void Stop();
+
+  /// Port actually bound (resolves ephemeral port 0); -1 before Start().
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  /// Scrapes served on /metrics so far (also exported as
+  /// esr_exporter_scrapes_total on every scrape).
+  int64_t scrapes_total() const {
+    return scrapes_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  /// Renders the full HTTP response for one parsed request line.
+  std::string BuildResponse(const std::string& method,
+                            const std::string& path);
+  std::string MetricsBody();
+
+  std::shared_ptr<const MetricsSnapshotChannel> channel_;
+  HttpExporterConfig config_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<int> port_{-1};
+  std::atomic<int64_t> scrapes_total_{0};
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written by Stop
+};
+
+}  // namespace esr::obs
+
+#endif  // ESR_OBS_HTTP_EXPORTER_H_

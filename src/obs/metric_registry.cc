@@ -42,6 +42,26 @@ std::string EscapeLabelValue(const std::string& s) {
   return out;
 }
 
+/// HELP text escaping per the Prometheus text format: backslash and
+/// newline only (quotes stay literal in HELP lines).
+std::string EscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 LabelSet Canonicalize(LabelSet labels) {
   std::sort(labels.begin(), labels.end());
   return labels;
@@ -74,6 +94,14 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::Observe(double v) {
+  if (!std::isfinite(v)) {
+    // A NaN comparison makes lower_bound land in an arbitrary bucket, and
+    // NaN/Inf poison sum_ for every later export. Drop the sample; the
+    // registry surfaces the drop as esr_metrics_invalid_observations_total.
+    ++invalid_count_;
+    if (invalid_total_ != nullptr) invalid_total_->Increment();
+    return;
+  }
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   ++counts_[static_cast<size_t>(it - bounds_.begin())];
   ++count_;
@@ -153,6 +181,13 @@ Histogram& MetricRegistry::GetHistogram(const std::string& name,
     }
     it->second = std::make_unique<Histogram>(std::move(bounds));
     family.label_sets.emplace(key, std::move(canonical));
+    // Surface dropped (NaN / non-finite) samples. Created eagerly with the
+    // first histogram so the series exports 0 before the first drop.
+    Describe("esr_metrics_invalid_observations_total",
+             "Histogram samples dropped because the observed value was NaN "
+             "or non-finite");
+    it->second->invalid_total_ = &GetCounter(
+        "esr_metrics_invalid_observations_total");
   }
   return *it->second;
 }
@@ -178,8 +213,9 @@ std::string MetricRegistry::PrometheusText() const {
         family.histograms.empty()) {
       continue;  // Describe()d but never populated.
     }
-    if (!family.help.empty()) os << "# HELP " << name << " " << family.help
-                                 << "\n";
+    if (!family.help.empty()) {
+      os << "# HELP " << name << " " << EscapeHelp(family.help) << "\n";
+    }
     switch (family.kind) {
       case Kind::kCounter:
         os << "# TYPE " << name << " counter\n";
@@ -236,17 +272,40 @@ void MetricRegistry::Merge(const MetricRegistry& other) {
         mine.count_ += histogram->count();
         mine.sum_ += histogram->sum();
       } else {
-        // Boundary mismatch: fold observations through the bucket means so
-        // count/sum stay exact even though bucket shape is approximated.
-        for (size_t b = 0; b < histogram->bucket_counts().size(); ++b) {
-          const int64_t n = histogram->bucket_counts()[b];
-          if (n == 0) continue;
-          const double upper = b < histogram->bounds().size()
-                                   ? histogram->bounds()[b]
-                                   : histogram->sum() / histogram->count();
-          for (int64_t i = 0; i < n; ++i) mine.Observe(upper);
+        // Boundary mismatch: fold whole buckets at a representative value —
+        // the bucket's own upper bound for finite buckets, and for the +Inf
+        // overflow bucket the residual mean (total sum minus the finite
+        // buckets' upper-bound mass), clamped to at least the largest finite
+        // bound so overflow mass never migrates back into the finite range.
+        // Counts are accumulated per bucket (O(buckets), not O(samples)),
+        // and count/sum transfer exactly; only bucket shape is approximated.
+        const std::vector<double>& src_bounds = histogram->bounds();
+        const std::vector<int64_t>& src_counts = histogram->bucket_counts();
+        double bounded_mass = 0;
+        for (size_t b = 0; b < src_bounds.size(); ++b) {
+          bounded_mass += static_cast<double>(src_counts[b]) * src_bounds[b];
         }
+        for (size_t b = 0; b < src_counts.size(); ++b) {
+          const int64_t n = src_counts[b];
+          if (n == 0) continue;
+          double rep;
+          if (b < src_bounds.size()) {
+            rep = src_bounds[b];
+          } else {
+            rep = (histogram->sum() - bounded_mass) / static_cast<double>(n);
+            if (!src_bounds.empty()) rep = std::max(rep, src_bounds.back());
+            if (!std::isfinite(rep)) {
+              rep = src_bounds.empty() ? 0 : src_bounds.back();
+            }
+          }
+          const auto it =
+              std::lower_bound(mine.bounds_.begin(), mine.bounds_.end(), rep);
+          mine.counts_[static_cast<size_t>(it - mine.bounds_.begin())] += n;
+        }
+        mine.count_ += histogram->count();
+        mine.sum_ += histogram->sum();
       }
+      mine.invalid_count_ += histogram->invalid_count();
     }
   }
 }

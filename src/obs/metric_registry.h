@@ -45,10 +45,16 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
+  /// Records a sample. NaN / non-finite values are dropped (they would land
+  /// in an arbitrary bucket and poison sum()) and counted in
+  /// invalid_count() plus, when the histogram lives in a registry, the
+  /// esr_metrics_invalid_observations_total counter.
   void Observe(double v);
 
   int64_t count() const { return count_; }
   double sum() const { return sum_; }
+  /// Samples dropped by Observe() because the value was NaN or non-finite.
+  int64_t invalid_count() const { return invalid_count_; }
   /// Ascending upper bucket boundaries (exclusive of the implicit +Inf).
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1, the
@@ -61,6 +67,11 @@ class Histogram {
   std::vector<int64_t> counts_;
   int64_t count_ = 0;
   double sum_ = 0;
+  int64_t invalid_count_ = 0;
+  /// Registry-owned drop counter (esr_metrics_invalid_observations_total);
+  /// null for standalone histograms. Instrument references stay valid for
+  /// the registry's lifetime, so the raw pointer is safe.
+  Counter* invalid_total_ = nullptr;
 };
 
 /// Typed, labeled metric registry — the live counterpart of the post-hoc

@@ -1,0 +1,190 @@
+// Exposition-format regression suite for MetricRegistry::PrometheusText()
+// and Merge(): a golden-file rendering (HELP/label escaping, boundary
+// placement, counter-vs-gauge formatting), the NaN-observation drop, the
+// mismatched-bounds Merge fold, and the strict format validator run against
+// a real ReplicatedSystem snapshot.
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metric_registry.h"
+#include "test_util.h"
+
+namespace esr::obs {
+namespace {
+
+using core::Method;
+using store::Operation;
+using test::Config;
+using test::MustSubmit;
+using test::ValidatePrometheusExposition;
+
+TEST(MetricsExpositionTest, GoldenRendering) {
+  MetricRegistry registry;
+  registry.Describe("esr_demo_total",
+                    "Counts demo events\nsecond line with \\ backslash");
+  registry.GetCounter("esr_demo_total", {{"site", "0"}}).Increment(3);
+  registry.GetCounter("esr_demo_total", {{"site", "1"}}).Increment(4);
+  registry.Describe("esr_temp", "Current temperature");
+  registry.GetGauge("esr_temp").Set(0.5);
+  registry.GetGauge("esr_level", {{"quote", "say \"hi\"\n"}, {"path", "a\\b"}})
+      .Set(3);
+  registry.Describe("esr_lat_us", "Latency");
+  Histogram& h = registry.GetHistogram("esr_lat_us", {{"site", "0"}}, {10, 100});
+  h.Observe(10);    // == bound: lands in le="10" (le is inclusive)
+  h.Observe(10.5);  // le="100"
+  h.Observe(250);   // +Inf overflow
+
+  const std::string expected =
+      "# HELP esr_demo_total Counts demo events\\nsecond line with \\\\ "
+      "backslash\n"
+      "# TYPE esr_demo_total counter\n"
+      "esr_demo_total{site=\"0\"} 3\n"
+      "esr_demo_total{site=\"1\"} 4\n"
+      "# HELP esr_lat_us Latency\n"
+      "# TYPE esr_lat_us histogram\n"
+      "esr_lat_us_bucket{le=\"10\",site=\"0\"} 1\n"
+      "esr_lat_us_bucket{le=\"100\",site=\"0\"} 2\n"
+      "esr_lat_us_bucket{le=\"+Inf\",site=\"0\"} 3\n"
+      "esr_lat_us_sum{site=\"0\"} 270.5\n"
+      "esr_lat_us_count{site=\"0\"} 3\n"
+      "# TYPE esr_level gauge\n"
+      "esr_level{path=\"a\\\\b\",quote=\"say \\\"hi\\\"\\n\"} 3\n"
+      "# HELP esr_metrics_invalid_observations_total Histogram samples "
+      "dropped because the observed value was NaN or non-finite\n"
+      "# TYPE esr_metrics_invalid_observations_total counter\n"
+      "esr_metrics_invalid_observations_total 0\n"
+      "# HELP esr_temp Current temperature\n"
+      "# TYPE esr_temp gauge\n"
+      "esr_temp 0.5\n";
+  const std::string text = registry.PrometheusText();
+  EXPECT_EQ(text, expected);
+  EXPECT_EQ(ValidatePrometheusExposition(text), "");
+}
+
+TEST(MetricsExpositionTest, HelpTextIsEscaped) {
+  // Regression: an embedded newline used to split the HELP line, corrupting
+  // the stream (the continuation parsed as a nameless sample).
+  MetricRegistry registry;
+  registry.Describe("esr_x_total", "first\nsecond \\ third");
+  registry.GetCounter("esr_x_total").Increment();
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# HELP esr_x_total first\\nsecond \\\\ third\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("\nsecond"), std::string::npos);
+  EXPECT_EQ(ValidatePrometheusExposition(text), "");
+}
+
+TEST(MetricsExpositionTest, NanAndInfObservationsAreDropped) {
+  // Regression: a NaN sample used to land in an arbitrary bucket (NaN
+  // comparison inside lower_bound) and poison sum_ for every later export.
+  MetricRegistry registry;
+  Histogram& h = registry.GetHistogram("esr_lat_us", {}, {10, 100});
+  h.Observe(5);
+  h.Observe(std::numeric_limits<double>::quiet_NaN());
+  h.Observe(std::numeric_limits<double>::infinity());
+  h.Observe(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.sum(), 5);
+  const std::vector<int64_t> expected_buckets = {1, 0, 0};
+  EXPECT_EQ(h.bucket_counts(), expected_buckets);
+  EXPECT_EQ(h.invalid_count(), 3);
+  EXPECT_EQ(
+      registry.GetCounter("esr_metrics_invalid_observations_total").value(),
+      3);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("esr_metrics_invalid_observations_total 3"),
+            std::string::npos);
+  // The poisoned exports this bug caused ("esr_lat_us_sum nan") are gone.
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(ValidatePrometheusExposition(text), "");
+}
+
+TEST(MetricsExpositionTest, ObservationAtBucketBoundIsInclusive) {
+  MetricRegistry registry;
+  Histogram& h = registry.GetHistogram("esr_lat_us", {}, {10, 100});
+  h.Observe(10);
+  h.Observe(100);
+  const std::vector<int64_t> expected = {1, 1, 0};
+  EXPECT_EQ(h.bucket_counts(), expected);
+}
+
+TEST(MetricsExpositionTest, MergeMismatchedBoundsKeepsOverflowAndExactSums) {
+  // Regression (two defects): the mismatched-bounds fold replayed
+  // observations one-by-one at per-bucket upper bounds, with the +Inf
+  // overflow bucket folded at the *global* mean sum()/count() — so (a) the
+  // merged sum was inflated by the upper-bound approximation, and (b) when
+  // small observations dominated, overflow mass migrated down into finite
+  // destination buckets.
+  MetricRegistry src_registry;
+  Histogram& src =
+      src_registry.GetHistogram("esr_lat_us", {}, {10, 1000});
+  for (int i = 0; i < 8; ++i) src.Observe(1);  // finite mass: global mean low
+  src.Observe(2000);                           // overflow observation
+  ASSERT_DOUBLE_EQ(src.sum(), 2008);           // global mean ~223 < 1000
+
+  MetricRegistry dst_registry;
+  dst_registry.GetHistogram("esr_lat_us", {}, {50, 500});
+  dst_registry.Merge(src_registry);
+
+  Histogram& merged = dst_registry.GetHistogram("esr_lat_us");
+  // Overflow stays overflow: the representative is clamped to at least the
+  // source's largest finite bound (1000 > dest's 500), never the global
+  // mean (223, which would land in le="500").
+  const std::vector<int64_t> expected = {8, 0, 1};
+  EXPECT_EQ(merged.bucket_counts(), expected);
+  // count/sum transfer exactly (pre-fix: sum = 8*10 + 223.1 = 303.1).
+  EXPECT_EQ(merged.count(), 9);
+  EXPECT_DOUBLE_EQ(merged.sum(), 2008);
+}
+
+TEST(MetricsExpositionTest, MergeCarriesInvalidObservationCounts) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.GetHistogram("esr_lat_us", {}, {10});
+  Histogram& hb = b.GetHistogram("esr_lat_us", {}, {10});
+  hb.Observe(std::numeric_limits<double>::quiet_NaN());
+  a.Merge(b);
+  EXPECT_EQ(a.GetHistogram("esr_lat_us").invalid_count(), 1);
+  // The registry-level counter merges through the normal counter path.
+  EXPECT_EQ(a.GetCounter("esr_metrics_invalid_observations_total").value(), 1);
+}
+
+TEST(MetricsExpositionTest, ValidatorCatchesCorruptedStreams) {
+  EXPECT_EQ(ValidatePrometheusExposition(""), "");
+  EXPECT_NE(ValidatePrometheusExposition("esr_x 1\n"), "");  // no TYPE
+  EXPECT_NE(ValidatePrometheusExposition("# TYPE esr_x counter\nesr_x one\n"),
+            "");  // bad value
+  EXPECT_NE(
+      ValidatePrometheusExposition(
+          "# TYPE esr_x counter\nesr_x 1\nesr_x 2\n"),
+      "");  // duplicate series
+  EXPECT_NE(ValidatePrometheusExposition(
+                "# TYPE esr_h histogram\n"
+                "esr_h_bucket{le=\"10\"} 5\n"
+                "esr_h_bucket{le=\"+Inf\"} 3\n"  // non-cumulative
+                "esr_h_sum 1\nesr_h_count 3\n"),
+            "");
+  EXPECT_NE(ValidatePrometheusExposition("# HELP esr_x broken\nmid-help\n"),
+            "");  // what an unescaped HELP newline used to produce
+}
+
+TEST(MetricsExpositionTest, FullSystemSnapshotIsStrictlyWellFormed) {
+  core::ReplicatedSystem system(Config(Method::kOrdup, 3, 11));
+  for (int i = 0; i < 6; ++i) {
+    MustSubmit(system, static_cast<SiteId>(i % 3),
+               {Operation::Increment(i % 4, 1)});
+    system.RunFor(2'000);
+  }
+  system.RunUntilQuiescent();
+  const std::string snapshot = system.MetricsSnapshot();
+  EXPECT_FALSE(snapshot.empty());
+  EXPECT_EQ(ValidatePrometheusExposition(snapshot), "");
+}
+
+}  // namespace
+}  // namespace esr::obs

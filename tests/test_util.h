@@ -1,12 +1,225 @@
 #ifndef ESR_TESTS_TEST_UTIL_H_
 #define ESR_TESTS_TEST_UTIL_H_
 
+#include <cctype>
+#include <cstdlib>
 #include <functional>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "esr/replicated_system.h"
 
 namespace esr::test {
+
+/// Strict Prometheus text-format (0.0.4) check used by the golden-file and
+/// exporter tests. Returns "" when `text` is a well-formed exposition, else
+/// a one-line description of the first violation. Checks: line shapes
+/// (HELP/TYPE comments, `name{labels} value` samples), metric-name and
+/// label syntax with escape handling, one TYPE per family declared before
+/// its samples, no duplicate series, parseable sample values, histogram
+/// bucket runs cumulative with a final +Inf bucket equal to `_count`.
+inline std::string ValidatePrometheusExposition(const std::string& text) {
+  if (text.empty()) return "";  // an empty exposition is trivially valid
+  if (text.back() != '\n') return "exposition does not end with a newline";
+
+  auto valid_name = [](const std::string& s) {
+    if (s.empty()) return false;
+    if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_' &&
+        s[0] != ':') {
+      return false;
+    }
+    for (char c : s) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+          c != ':') {
+        return false;
+      }
+    }
+    return true;
+  };
+  /// Family a sample name belongs to, given the declared TYPEs (histogram
+  /// samples carry _bucket/_sum/_count suffixes).
+  auto family_of = [](const std::string& sample,
+                      const std::map<std::string, std::string>& types) {
+    if (types.count(sample) != 0) return sample;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const size_t len = std::string(suffix).size();
+      if (sample.size() > len &&
+          sample.compare(sample.size() - len, len, suffix) == 0) {
+        const std::string base = sample.substr(0, sample.size() - len);
+        if (types.count(base) != 0) return base;
+      }
+    }
+    return std::string();
+  };
+
+  std::map<std::string, std::string> types;  // family -> counter|gauge|...
+  std::set<std::string> families_with_samples;
+  std::set<std::string> seen_series;
+  // State of the current histogram bucket run (one series' le sequence).
+  std::string run_key;  // name + labels-without-le; "" = no open run
+  double run_prev = 0;
+  bool run_saw_inf = false;
+  double run_inf_value = 0;
+
+  size_t pos = 0;
+  int lineno = 0;
+  while (pos < text.size()) {
+    ++lineno;
+    const size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::string where = " (line " + std::to_string(lineno) + ")";
+    if (line.empty()) return "blank line" + where;
+
+    if (line[0] == '#') {
+      // "# HELP name text" / "# TYPE name kind"; other comments pass.
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+        const bool is_type = line.rfind("# TYPE ", 0) == 0;
+        const size_t name_at = 7;
+        const size_t sp = line.find(' ', name_at);
+        const std::string name = line.substr(
+            name_at, sp == std::string::npos ? std::string::npos
+                                             : sp - name_at);
+        if (!valid_name(name)) return "bad metric name in comment" + where;
+        if (is_type) {
+          const std::string kind =
+              sp == std::string::npos ? "" : line.substr(sp + 1);
+          if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+              kind != "summary" && kind != "untyped") {
+            return "unknown TYPE kind '" + kind + "'" + where;
+          }
+          if (types.count(name) != 0) return "duplicate TYPE" + where;
+          if (families_with_samples.count(name) != 0) {
+            return "TYPE after samples of " + name + where;
+          }
+          types[name] = kind;
+        }
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    const std::string name = line.substr(0, i);
+    if (!valid_name(name)) return "bad sample name" + where;
+    std::string labels;
+    std::string le_value;
+    if (i < line.size() && line[i] == '{') {
+      const size_t open = i;
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        // label name
+        const size_t lname_at = i;
+        while (i < line.size() && line[i] != '=') ++i;
+        const std::string lname = line.substr(lname_at, i - lname_at);
+        if (!valid_name(lname) || lname[0] == ':') {
+          return "bad label name" + where;
+        }
+        if (i + 1 >= line.size() || line[i + 1] != '"') {
+          return "label value not quoted" + where;
+        }
+        i += 2;
+        std::string lvalue;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') {
+            if (i + 1 >= line.size() ||
+                (line[i + 1] != '\\' && line[i + 1] != '"' &&
+                 line[i + 1] != 'n')) {
+              return "bad escape in label value" + where;
+            }
+            lvalue += line[i + 1];
+            i += 2;
+          } else {
+            lvalue += line[i];
+            ++i;
+          }
+        }
+        if (i >= line.size()) return "unterminated label value" + where;
+        ++i;  // closing quote
+        if (lname == "le") le_value = lvalue;
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i >= line.size()) return "unterminated label set" + where;
+      ++i;  // '}'
+      labels = line.substr(open, i - open);
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return "missing value separator" + where;
+    }
+    const std::string value_str = line.substr(i + 1);
+    double value = 0;
+    if (value_str == "+Inf") {
+      value = std::numeric_limits<double>::infinity();
+    } else if (value_str == "-Inf") {
+      value = -std::numeric_limits<double>::infinity();
+    } else if (value_str == "NaN") {
+      value = 0;
+    } else {
+      char* end = nullptr;
+      value = std::strtod(value_str.c_str(), &end);
+      if (value_str.empty() || end == nullptr || *end != '\0') {
+        return "unparseable sample value '" + value_str + "'" + where;
+      }
+    }
+
+    const std::string family = family_of(name, types);
+    if (family.empty()) return "sample " + name + " has no TYPE" + where;
+    families_with_samples.insert(family);
+    if (!seen_series.insert(name + labels).second) {
+      return "duplicate series " + name + labels + where;
+    }
+
+    // Histogram bucket runs: per series, cumulative le buckets ending in
+    // +Inf, with _count equal to the +Inf bucket.
+    const bool is_bucket =
+        types[family] == "histogram" && name == family + "_bucket";
+    if (is_bucket) {
+      // Strip the le label so the run key identifies the series.
+      std::string key = name;
+      const size_t le_at = labels.find("le=\"");
+      if (le_at == std::string::npos) {
+        return "histogram bucket without le label" + where;
+      }
+      key += labels.substr(0, le_at) +
+             labels.substr(labels.find_first_of(",}", le_at));
+      if (key != run_key) {
+        if (!run_key.empty() && !run_saw_inf) {
+          return "bucket run without +Inf before " + name + labels + where;
+        }
+        run_key = key;
+        run_prev = 0;
+        run_saw_inf = false;
+      }
+      if (value + 1e-9 < run_prev) {
+        return "non-cumulative bucket " + name + labels + where;
+      }
+      run_prev = value;
+      if (le_value == "+Inf") {
+        run_saw_inf = true;
+        run_inf_value = value;
+      }
+    } else {
+      if (!run_key.empty()) {
+        if (!run_saw_inf) return "bucket run without +Inf bucket" + where;
+        if (name == family + "_count" && value != run_inf_value) {
+          return family + "_count != +Inf bucket" + where;
+        }
+        if (name != family + "_sum" && name != family + "_count") {
+          run_key.clear();
+        }
+      }
+      if (name == family + "_count") run_key.clear();
+    }
+  }
+  if (!run_key.empty() && !run_saw_inf) {
+    return "exposition ends mid bucket run";
+  }
+  return "";
+}
 
 /// Builds a default SystemConfig for a method.
 inline core::SystemConfig Config(core::Method method, int num_sites = 3,

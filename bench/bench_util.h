@@ -10,6 +10,91 @@
 
 namespace esr::bench {
 
+/// Machine-readable mirror of a bench binary's printed output: every
+/// Banner() opens a section, every Table::Print() records the table under
+/// the current section, and WriteMetricsSnapshot() serializes the result
+/// as `<bench_name>.bench.json` next to the `.metrics.prom` snapshot
+/// (scripts/run_benches.sh folds all of them into BENCH_RESULTS.json).
+class BenchResultsCollector {
+ public:
+  static BenchResultsCollector& Instance() {
+    static BenchResultsCollector collector;
+    return collector;
+  }
+
+  void BeginSection(const std::string& title) {
+    sections_.push_back(Section{title, {}});
+  }
+
+  void AddTable(const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows) {
+    if (sections_.empty()) BeginSection("");
+    sections_.back().tables.push_back(TableData{headers, rows});
+  }
+
+  std::string Json(const std::string& bench_name) const {
+    std::string out = "{\"bench\":\"" + Escape(bench_name) +
+                      "\",\"sections\":[";
+    for (size_t s = 0; s < sections_.size(); ++s) {
+      if (s > 0) out += ",";
+      out += "{\"title\":\"" + Escape(sections_[s].title) + "\",\"tables\":[";
+      const auto& tables = sections_[s].tables;
+      for (size_t t = 0; t < tables.size(); ++t) {
+        if (t > 0) out += ",";
+        out += "{\"headers\":" + Array(tables[t].headers) + ",\"rows\":[";
+        for (size_t r = 0; r < tables[t].rows.size(); ++r) {
+          if (r > 0) out += ",";
+          out += Array(tables[t].rows[r]);
+        }
+        out += "]}";
+      }
+      out += "]}";
+    }
+    out += "]}";
+    return out;
+  }
+
+ private:
+  struct TableData {
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+  struct Section {
+    std::string title;
+    std::vector<TableData> tables;
+  };
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  static std::string Array(const std::vector<std::string>& cells) {
+    std::string out = "[";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + Escape(cells[i]) + "\"";
+    }
+    out += "]";
+    return out;
+  }
+
+  std::vector<Section> sections_;
+};
+
 /// Fixed-width console table, markdown-ish, used by every experiment
 /// harness so EXPERIMENTS.md can quote the output verbatim.
 class Table {
@@ -22,6 +107,7 @@ class Table {
   }
 
   void Print() const {
+    BenchResultsCollector::Instance().AddTable(headers_, rows_);
     std::vector<size_t> widths(headers_.size());
     for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
     for (const auto& row : rows_) {
@@ -67,6 +153,7 @@ inline std::string FmtInt(int64_t v) { return std::to_string(v); }
 
 /// Section banner for a bench binary's stdout.
 inline void Banner(const std::string& title) {
+  BenchResultsCollector::Instance().BeginSection(title);
   std::printf("\n=== %s ===\n\n", title.c_str());
 }
 
@@ -99,6 +186,14 @@ inline void WriteMetricsSnapshot(const std::string& bench_name) {
   out << BenchMetrics().PrometheusText();
   std::printf("\n[metrics] wrote %s (%lld series)\n", path.c_str(),
               static_cast<long long>(BenchMetrics().SeriesCount()));
+  const std::string json_path = bench_name + ".bench.json";
+  std::ofstream json_out(json_path, std::ios::trunc);
+  if (!json_out) {
+    std::printf("[results] cannot open %s for writing\n", json_path.c_str());
+    return;
+  }
+  json_out << BenchResultsCollector::Instance().Json(bench_name) << "\n";
+  std::printf("[results] wrote %s\n", json_path.c_str());
 }
 
 }  // namespace esr::bench

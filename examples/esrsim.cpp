@@ -31,6 +31,14 @@
 //                           --duration-ms window plus drain per iteration,
 //                           wall-clock paced) until SIGINT/SIGTERM, so a
 //                           Prometheus can scrape the live session
+//
+// Causal tracing / critical path:
+//   --trace-ets=N        record hop-level traces for the most recent N
+//                        update ETs; prints the critical-path report at
+//                        exit and serves GET /traces when the metrics
+//                        endpoint is on
+//   --trace-out=FILE     write per-ET waterfalls + the aggregate report as
+//                        JSONL to FILE (implies --trace-ets=512)
 
 #include <atomic>
 #include <chrono>
@@ -42,6 +50,7 @@
 
 #include "obs/http_exporter.h"
 
+#include "analysis/critical_path.h"
 #include "analysis/query_checker.h"
 #include "analysis/sr_checker.h"
 #include "esr/replicated_system.h"
@@ -92,6 +101,7 @@ int main(int argc, char** argv) {
   spec.duration_us = 1'000'000;
   bool verify = false;
   bool run_forever = false;
+  std::string trace_out;
   esr::SiteId crash_site = esr::kInvalidSiteId;
   esr::SimTime crash_at_us = 0;
   esr::SimTime restart_at_us = 0;
@@ -147,6 +157,12 @@ int main(int argc, char** argv) {
       crash_site = std::stoi(value.substr(0, c1));
       crash_at_us = std::stoll(value.substr(c1 + 1, c2 - c1 - 1)) * 1000;
       restart_at_us = std::stoll(value.substr(c2 + 1)) * 1000;
+    } else if (ParseFlag(argv[i], "trace-ets", &value)) {
+      config.record_hops = true;
+      config.trace_max_ets = std::stoll(value);
+    } else if (ParseFlag(argv[i], "trace-out", &value)) {
+      trace_out = value;
+      config.record_hops = true;
     } else if (ParseFlag(argv[i], "serve-metrics-port", &value)) {
       config.metrics_port = std::stoi(value);
     } else if (ParseFlag(argv[i], "metrics-publish-ms", &value)) {
@@ -220,8 +236,40 @@ int main(int argc, char** argv) {
                 system.metrics_exporter()->port(),
                 static_cast<long long>(config.metrics_publish_interval_us /
                                        1000));
+    if (config.record_hops) {
+      std::printf("traces: http://127.0.0.1:%d/traces (last %lld ET "
+                  "waterfalls)\n",
+                  system.metrics_exporter()->port(),
+                  static_cast<long long>(config.trace_max_ets));
+    }
     std::fflush(stdout);
   }
+
+  auto emit_traces = [&]() {
+    const esr::obs::HopTracer* hops = system.hop_tracer();
+    if (hops == nullptr) return;
+    esr::analysis::ProtocolTypes types;
+    types.mset = esr::core::kMsetMsg;
+    types.apply_ack = esr::core::kApplyAckMsg;
+    types.stable = esr::core::kStableMsg;
+    const std::string method_name(
+        esr::core::MethodToString(config.method));
+    std::printf("\n%s", esr::analysis::RenderReportTable(
+                            esr::analysis::BuildReport(
+                                hops->completed(), method_name, types))
+                            .c_str());
+    if (!trace_out.empty()) {
+      const esr::Status written = esr::analysis::WriteWaterfallsJsonl(
+          hops->completed(), method_name, trace_out, types);
+      if (written.ok()) {
+        std::printf("wrote %zu waterfalls to %s\n", hops->completed().size(),
+                    trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     written.ToString().c_str());
+      }
+    }
+  };
 
   if (run_forever) {
     // Long-running scrapeable session: one issue window + drain of
@@ -250,6 +298,7 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
     system.RunUntilQuiescent();
+    emit_traces();
     std::printf("\nstopped after %llu iterations: updates=%lld queries=%lld "
                 "converged=%s\n",
                 iterations, updates, queries,
@@ -261,6 +310,7 @@ int main(int argc, char** argv) {
   system.RunUntilQuiescent();
   std::printf("\n%s\n", result.ToString().c_str());
   std::printf("converged: %s\n", system.Converged() ? "yes" : "no");
+  emit_traces();
 
   if (crash_site != esr::kInvalidSiteId &&
       system.recovery_manager() != nullptr) {

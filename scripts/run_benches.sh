@@ -1,5 +1,8 @@
 #!/usr/bin/env sh
 # Regenerates every experiment table (EXPERIMENTS.md's source of truth).
+# Each bench also drops a machine-readable <name>.bench.json (written by
+# bench_util.h's WriteMetricsSnapshot); this script folds them into one
+# BENCH_RESULTS.json in the current directory.
 # Usage: scripts/run_benches.sh [build-dir]   (default: build)
 set -e
 BUILD="${1:-build}"
@@ -11,3 +14,28 @@ for b in "$BUILD"/bench/bench_*; do
   "$b"
   echo
 done
+
+# Fold per-bench JSON results (written into the CWD by each binary) into a
+# single document: {"benches":[<bench1>,<bench2>,...]}. Plain sh, no jq.
+OUT="BENCH_RESULTS.json"
+found=0
+for j in ./*.bench.json; do
+  [ -f "$j" ] && found=1 && break
+done
+if [ "$found" -eq 1 ]; then
+  {
+    printf '{"benches":['
+    first=1
+    for j in ./*.bench.json; do
+      [ -f "$j" ] || continue
+      [ "$first" -eq 1 ] || printf ','
+      first=0
+      # Each file is a single JSON object on one line (plus trailing newline).
+      tr -d '\n' < "$j"
+    done
+    printf ']}\n'
+  } > "$OUT"
+  echo "wrote $OUT"
+else
+  echo "no *.bench.json files found; skipped $OUT"
+fi

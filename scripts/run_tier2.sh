@@ -18,7 +18,11 @@ scripts/run_tier1.sh --sanitize
 # re-registration paths that deserve the extra repetition. The metrics
 # exporter rides along because its scrape thread is the codebase's only
 # real concurrency — the snapshot-handoff and shutdown races are exactly
-# what ASan/TSan-class tooling exists to catch.
+# what ASan/TSan-class tooling exists to catch. The tracing suites join
+# the pass because hop recording threads per-message context through every
+# transport (bounded-eviction and finalize paths deserve the repetition)
+# and /traces shares the exporter's snapshot handoff.
 cd build-asan
-ctest --output-on-failure -R 'recovery|failure|http_exporter' \
+ctest --output-on-failure \
+  -R 'recovery|failure|http_exporter|hop_trace|critical_path|quantile' \
   --repeat until-fail:2 -j "$(nproc)"

@@ -1,0 +1,344 @@
+#include "analysis/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace esr::analysis {
+
+namespace {
+
+const obs::HopRecord* FindQueueHop(const obs::EtTrace& t, int32_t msg_type,
+                                   SiteId from, SiteId to) {
+  for (const obs::HopRecord& hop : t.hops) {
+    if (hop.kind == obs::HopKind::kQueue && hop.msg_type == msg_type &&
+        hop.from == from && hop.to == to) {
+      return &hop;
+    }
+  }
+  return nullptr;
+}
+
+const obs::HopRecord* FindSeqHop(const obs::EtTrace& t) {
+  for (const obs::HopRecord& hop : t.hops) {
+    if (hop.kind == obs::HopKind::kSeqRtt) return &hop;
+  }
+  return nullptr;
+}
+
+/// Closing time of a hop: hand-off when recorded, raw arrival otherwise.
+SimTime HopEnd(const obs::HopRecord* hop) {
+  if (hop == nullptr) return -1;
+  return hop->end >= 0 ? hop->end : hop->arrive;
+}
+
+/// Telescopes raw milestones into segments: each milestone is clamped to
+/// [previous, ceiling], and a missing one (-1) collapses onto the previous
+/// so its would-be segment has zero length and the next segment absorbs
+/// the time. Guarantees the segments exactly tile [milestones[0], ceiling].
+void Telescope(std::vector<SimTime>& milestones, SimTime ceiling) {
+  for (size_t i = 1; i < milestones.size(); ++i) {
+    SimTime m = milestones[i];
+    if (m < 0) m = milestones[i - 1];
+    m = std::max(m, milestones[i - 1]);
+    if (ceiling >= 0) m = std::min(m, ceiling);
+    milestones[i] = m;
+  }
+}
+
+int64_t Percentile(const std::vector<int64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void AppendHopJson(std::ostringstream& os, const obs::HopRecord& hop) {
+  os << "{\"span\":" << hop.span << ",\"kind\":\""
+     << obs::HopKindToString(hop.kind) << "\",\"msg_type\":" << hop.msg_type
+     << ",\"from\":" << hop.from << ",\"to\":" << hop.to
+     << ",\"begin\":" << hop.begin << ",\"arrive\":" << hop.arrive
+     << ",\"end\":" << hop.end << "}";
+}
+
+void AppendWaterfallJson(std::ostringstream& os, const obs::EtTrace& trace,
+                         const Waterfall& w) {
+  os << "{\"et\":" << w.et << ",\"origin\":" << w.origin
+     << ",\"object_class\":\"" << w.object_class << "\",\"aborted\":"
+     << (w.aborted ? "true" : "false")
+     << ",\"critical_site\":" << w.critical_site
+     << ",\"submit\":" << w.submit_time << ",\"commit\":" << w.commit_time
+     << ",\"stable\":" << w.stable_time
+     << ",\"commit_to_stable_us\":" << w.CommitToStableUs() << ",\"segments\":[";
+  for (size_t i = 0; i < w.segments.size(); ++i) {
+    if (i > 0) os << ",";
+    const Segment& seg = w.segments[i];
+    os << "{\"name\":\"" << seg.name << "\",\"begin\":" << seg.begin
+       << ",\"end\":" << seg.end << ",\"us\":" << seg.Duration() << "}";
+  }
+  os << "],\"hops\":[";
+  for (size_t i = 0; i < trace.hops.size(); ++i) {
+    if (i > 0) os << ",";
+    AppendHopJson(os, trace.hops[i]);
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+const std::vector<std::string>& SegmentNames() {
+  static const std::vector<std::string> kNames = {
+      "submit_wait",      "sequencer_rtt",     "commit_wait",
+      "origin_queue_wait", "network_transit",  "remote_queue_wait",
+      "order_wait",        "ack_transit",      "stability_fan_in"};
+  return kNames;
+}
+
+Waterfall BuildWaterfall(const obs::EtTrace& t, const ProtocolTypes& types) {
+  Waterfall w;
+  w.et = t.et;
+  w.origin = t.origin;
+  w.object_class = t.object_class;
+  w.aborted = t.aborted;
+  w.submit_time = t.submit_time;
+  w.commit_time = t.commit_time;
+  w.stable_time = t.stable_time;
+
+  // The critical replica: the one whose apply-ack closed at the origin
+  // last. Ties and missing acks fall back to the slowest remote apply.
+  const obs::HopRecord* ack_hop = nullptr;
+  SimTime last_ack = -1;
+  for (const obs::HopRecord& hop : t.hops) {
+    if (hop.kind != obs::HopKind::kQueue || hop.msg_type != types.apply_ack ||
+        hop.to != t.origin) {
+      continue;
+    }
+    const SimTime end = HopEnd(&hop);
+    if (end > last_ack) {
+      last_ack = end;
+      ack_hop = &hop;
+    }
+  }
+  if (ack_hop != nullptr) {
+    w.critical_site = ack_hop->from;
+  } else {
+    SimTime worst = -1;
+    for (size_t s = 0; s < t.apply_time.size(); ++s) {
+      if (static_cast<SiteId>(s) == t.origin) continue;
+      if (t.apply_time[s] > worst) {
+        worst = t.apply_time[s];
+        w.critical_site = static_cast<SiteId>(s);
+      }
+    }
+  }
+
+  const obs::HopRecord* seq = FindSeqHop(t);
+  const obs::HopRecord* mset =
+      w.critical_site != kInvalidSiteId
+          ? FindQueueHop(t, types.mset, t.origin, w.critical_site)
+          : nullptr;
+  const SimTime apply =
+      (w.critical_site >= 0 &&
+       static_cast<size_t>(w.critical_site) < t.apply_time.size())
+          ? t.apply_time[w.critical_site]
+          : -1;
+
+  // An ET that never committed (aborted pre-order) anchors its post-commit
+  // window at submission; the whole lag lands in stability_fan_in.
+  const SimTime commit = t.commit_time >= 0 ? t.commit_time : t.submit_time;
+  const SimTime stable = t.stable_time >= 0 ? t.stable_time : commit;
+
+  std::vector<SimTime> pre = {t.submit_time, seq != nullptr ? seq->begin : -1,
+                              HopEnd(seq), commit};
+  Telescope(pre, commit);
+  std::vector<SimTime> post = {commit,
+                               mset != nullptr ? mset->begin : -1,
+                               mset != nullptr ? mset->arrive : -1,
+                               HopEnd(mset),
+                               apply,
+                               HopEnd(ack_hop),
+                               stable};
+  Telescope(post, stable);
+
+  const std::vector<std::string>& names = SegmentNames();
+  w.segments.reserve(names.size());
+  for (size_t i = 0; i + 1 < pre.size(); ++i) {
+    w.segments.push_back(Segment{names[i], pre[i], pre[i + 1]});
+  }
+  for (size_t i = 0; i + 1 < post.size(); ++i) {
+    w.segments.push_back(Segment{names[3 + i], post[i], post[i + 1]});
+  }
+  return w;
+}
+
+CriticalPathReport BuildReport(const std::deque<obs::EtTrace>& traces,
+                               std::string method,
+                               const ProtocolTypes& types) {
+  CriticalPathReport report;
+  report.method = std::move(method);
+  const std::vector<std::string>& names = SegmentNames();
+  report.segments.resize(names.size());
+  for (size_t i = 0; i < names.size(); ++i) report.segments[i].name = names[i];
+
+  struct ClassTotals {
+    int64_t ets = 0;
+    std::vector<int64_t> per_segment;
+  };
+  std::map<std::string, ClassTotals> by_class;
+  std::vector<int64_t> lags;
+  lags.reserve(traces.size());
+
+  for (const obs::EtTrace& t : traces) {
+    const Waterfall w = BuildWaterfall(t, types);
+    ++report.traced_ets;
+    if (w.aborted) ++report.aborted_ets;
+    lags.push_back(w.CommitToStableUs());
+    ClassTotals& cls = by_class[w.object_class];
+    ++cls.ets;
+    cls.per_segment.resize(names.size(), 0);
+    size_t dominant = 0;
+    int64_t dominant_us = -1;
+    for (size_t i = 0; i < w.segments.size() && i < names.size(); ++i) {
+      const int64_t us = w.segments[i].Duration();
+      report.segments[i].total_us += us;
+      report.segments[i].max_us = std::max(report.segments[i].max_us, us);
+      cls.per_segment[i] += us;
+      if (us > dominant_us) {
+        dominant_us = us;
+        dominant = i;
+      }
+    }
+    if (dominant_us > 0) ++report.segments[dominant].dominant_in;
+  }
+
+  int64_t best = -1;
+  for (const CriticalPathReport::SegmentAgg& seg : report.segments) {
+    if (seg.total_us > best) {
+      best = seg.total_us;
+      report.dominant_segment = seg.name;
+    }
+  }
+  for (const auto& [object_class, totals] : by_class) {
+    CriticalPathReport::ClassAgg agg;
+    agg.object_class = object_class;
+    agg.ets = totals.ets;
+    int64_t cls_best = -1;
+    for (size_t i = 0; i < totals.per_segment.size(); ++i) {
+      if (totals.per_segment[i] > cls_best) {
+        cls_best = totals.per_segment[i];
+        agg.dominant_segment = names[i];
+      }
+    }
+    report.by_class.push_back(std::move(agg));
+  }
+  std::sort(lags.begin(), lags.end());
+  report.lag_p50_us = Percentile(lags, 0.50);
+  report.lag_p95_us = Percentile(lags, 0.95);
+  report.lag_p99_us = Percentile(lags, 0.99);
+  return report;
+}
+
+std::string WaterfallsJson(const std::deque<obs::EtTrace>& traces,
+                           int64_t max_ets, const ProtocolTypes& types) {
+  std::ostringstream os;
+  os << "[";
+  const size_t count = traces.size();
+  const size_t first =
+      max_ets > 0 && static_cast<size_t>(max_ets) < count
+          ? count - static_cast<size_t>(max_ets)
+          : 0;
+  bool wrote = false;
+  for (size_t i = first; i < count; ++i) {
+    if (wrote) os << ",";
+    AppendWaterfallJson(os, traces[i], BuildWaterfall(traces[i], types));
+    wrote = true;
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string WaterfallsJsonl(const std::deque<obs::EtTrace>& traces,
+                            const std::string& method,
+                            const ProtocolTypes& types) {
+  std::ostringstream os;
+  for (const obs::EtTrace& t : traces) {
+    AppendWaterfallJson(os, t, BuildWaterfall(t, types));
+    os << "\n";
+  }
+  const CriticalPathReport report = BuildReport(traces, method, types);
+  os << "{\"kind\":\"report\",\"method\":\"" << report.method
+     << "\",\"traced_ets\":" << report.traced_ets
+     << ",\"aborted_ets\":" << report.aborted_ets << ",\"dominant_segment\":\""
+     << report.dominant_segment << "\",\"lag_p50_us\":" << report.lag_p50_us
+     << ",\"lag_p95_us\":" << report.lag_p95_us
+     << ",\"lag_p99_us\":" << report.lag_p99_us << ",\"segments\":[";
+  for (size_t i = 0; i < report.segments.size(); ++i) {
+    if (i > 0) os << ",";
+    const CriticalPathReport::SegmentAgg& seg = report.segments[i];
+    os << "{\"name\":\"" << seg.name << "\",\"total_us\":" << seg.total_us
+       << ",\"max_us\":" << seg.max_us
+       << ",\"dominant_in\":" << seg.dominant_in << "}";
+  }
+  os << "],\"by_class\":[";
+  for (size_t i = 0; i < report.by_class.size(); ++i) {
+    if (i > 0) os << ",";
+    const CriticalPathReport::ClassAgg& cls = report.by_class[i];
+    os << "{\"object_class\":\"" << cls.object_class
+       << "\",\"ets\":" << cls.ets << ",\"dominant_segment\":\""
+       << cls.dominant_segment << "\"}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+Status WriteWaterfallsJsonl(const std::deque<obs::EtTrace>& traces,
+                            const std::string& method, const std::string& path,
+                            const ProtocolTypes& types) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  out << WaterfallsJsonl(traces, method, types);
+  out.close();
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+std::string RenderReportTable(const CriticalPathReport& report) {
+  std::ostringstream os;
+  os << "critical path (method=" << report.method
+     << ", traced_ets=" << report.traced_ets
+     << ", aborted=" << report.aborted_ets << ")\n";
+  int64_t grand_total = 0;
+  for (const auto& seg : report.segments) grand_total += seg.total_us;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-18s %12s %12s %8s %9s\n", "segment",
+                "total_us", "max_us", "share", "dominant");
+  os << line;
+  for (const auto& seg : report.segments) {
+    const double share =
+        grand_total > 0
+            ? 100.0 * static_cast<double>(seg.total_us) /
+                  static_cast<double>(grand_total)
+            : 0.0;
+    std::snprintf(line, sizeof(line), "%-18s %12lld %12lld %7.1f%% %9lld\n",
+                  seg.name.c_str(), static_cast<long long>(seg.total_us),
+                  static_cast<long long>(seg.max_us), share,
+                  static_cast<long long>(seg.dominant_in));
+    os << line;
+  }
+  os << "dominant segment: "
+     << (report.dominant_segment.empty() ? "none" : report.dominant_segment)
+     << "\n";
+  os << "commit->stable lag: p50=" << report.lag_p50_us
+     << "us p95=" << report.lag_p95_us << "us p99=" << report.lag_p99_us
+     << "us\n";
+  for (const auto& cls : report.by_class) {
+    os << "  class " << cls.object_class << ": ets=" << cls.ets
+       << " dominant=" << cls.dominant_segment << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace esr::analysis

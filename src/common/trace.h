@@ -1,0 +1,40 @@
+#ifndef ESR_COMMON_TRACE_H_
+#define ESR_COMMON_TRACE_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace esr {
+
+/// Causal trace context that rides every protocol message (POD, copied by
+/// value — propagating it allocates nothing, so tracing can stay stamped on
+/// the wire structs even when no tracer is installed).
+///
+/// Propagation rules:
+///  * The facade mints a context at SubmitUpdate (et, origin site).
+///  * Every message caused by that ET — MSet propagation, sequencer
+///    request/response, apply acks, stability notices, compensation
+///    decisions — carries a copy in its msg::Envelope.
+///  * Reliable transports copy the inner envelope's context onto the outer
+///    wire datagram (and stamp `msg_type`/`parent_span`), so the simulated
+///    network can attribute raw datagram transit to the same ET.
+///  * Contexts with `et <= 0` are ignored by tracing: et 0/-1 are the
+///    invalid/no-op ids and negative ids are synthetic (quasi-copy refresh).
+struct TraceContext {
+  EtId et = kInvalidEtId;
+  /// Span id of the enclosing hop (stamped by the transport that opened the
+  /// hop; 0 when the message is not inside a traced hop).
+  int64_t parent_span = 0;
+  /// Site that originated the ET (not necessarily the message sender).
+  SiteId origin = kInvalidSiteId;
+  /// Inner protocol message type this context is attached to (stamped by
+  /// the reliable transports for datagram-level attribution).
+  int32_t msg_type = 0;
+
+  bool valid() const { return et > 0; }
+};
+
+}  // namespace esr
+
+#endif  // ESR_COMMON_TRACE_H_

@@ -37,6 +37,14 @@ class AdmissionController {
     /// Sum of inconsistency/effective-epsilon over those completions
     /// (the esr_query_epsilon_utilization feed).
     double utilization_sum = 0;
+    /// Queries completed at the site with a bounded non-zero effective
+    /// *value* epsilon (section 5.1's value-units criterion).
+    int64_t value_completed = 0;
+    /// Sum of value_inconsistency/effective-value-epsilon over those
+    /// completions. Feeds the value scale, which adapts independently of
+    /// the count scale: a workload can saturate one budget while leaving
+    /// the other idle.
+    double value_utilization_sum = 0;
     /// kUnavailable read attempts at the site (COMMU/RITU/COMPE blocking).
     int64_t blocked = 0;
     /// Strict restarts at the site (ORDUP/ORDUP-TS kInconsistencyLimit).
@@ -66,8 +74,21 @@ class AdmissionController {
   int64_t Effective(SiteId site, int64_t min_epsilon,
                     int64_t max_epsilon) const;
 
-  /// Current scale in [0, 1] for a site.
+  /// Same interpolation for the value-units budget, driven by the value
+  /// scale. Count-epsilon and value-epsilon utilizations are different
+  /// signals (a few large-magnitude updates exhaust the value budget while
+  /// barely touching the count budget, and vice versa), so the two scales
+  /// tighten independently; the loosen path (blocked/restarted queries)
+  /// moves both, because a blocked read does not say which budget starved
+  /// it.
+  int64_t EffectiveValue(SiteId site, int64_t min_epsilon,
+                         int64_t max_epsilon) const;
+
+  /// Current count-epsilon scale in [0, 1] for a site.
   double scale(SiteId site) const { return scale_[site]; }
+
+  /// Current value-epsilon scale in [0, 1] for a site.
+  double value_scale(SiteId site) const { return value_scale_[site]; }
 
   /// Total sampling ticks observed (all sites).
   int64_t ticks() const { return ticks_; }
@@ -75,8 +96,13 @@ class AdmissionController {
   const AdmissionConfig& config() const { return config_; }
 
  private:
+  /// Shared scale-move logic for one site's count or value scale.
+  Decision Adjust(double& scale, bool pressured, int64_t completed,
+                  double utilization_sum, bool calm);
+
   AdmissionConfig config_;
   std::vector<double> scale_;
+  std::vector<double> value_scale_;
   int64_t ticks_ = 0;
   obs::MetricRegistry* metrics_;  // not owned; may be null in unit tests
 };

@@ -78,7 +78,7 @@ void CompeMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
       buffer_.Offer(seq, std::any(std::move(mset)));
       ctx_.counters->Increment("esr.updates_committed");
       if (done) done(Status::Ok());
-    });
+    }, TraceContext{.et = et, .origin = ctx_.site});
     return;
   }
   record_commit(mset);
@@ -135,10 +135,11 @@ Status CompeMethod::SubmitDecision(EtId et, bool commit) {
     return Status::NotFound("ET " + std::to_string(et) +
                             " is not a tentative update at this origin");
   }
+  msg::Envelope decision{kDecisionMsg, Decision{et, commit}};
+  decision.trace = TraceContext{.et = et, .origin = ctx_.site};
   for (SiteId s = 0; s < ctx_.num_sites; ++s) {
     if (s == ctx_.site) continue;
-    ctx_.queues->Send(s, msg::Envelope{kDecisionMsg, Decision{et, commit}},
-                      /*size_bytes=*/48);
+    ctx_.queues->Send(s, decision, /*size_bytes=*/48);
   }
   HandleDecision(et, commit);
   return Status::Ok();
@@ -175,6 +176,9 @@ void CompeMethod::HandleDecision(EtId et, bool commit) {
   // decision first, so the aborted span carries the origin site.
   if (ctx_.tracer != nullptr && et > 0 && !replaying) {
     ctx_.tracer->OnAborted(et, ctx_.site, ctx_.simulator->Now());
+  }
+  if (ctx_.hops != nullptr && et > 0 && !replaying) {
+    ctx_.hops->OnAborted(et, ctx_.simulator->Now());
   }
   if (ctx_.config->record_history && !replaying) {
     ctx_.history->RecordUpdateAborted(et);

@@ -167,6 +167,17 @@ struct SystemConfig {
   /// seed) instead of the exact unbounded vector. 0 = exact mode (default).
   int64_t span_reservoir_size = 0;
 
+  /// Hop-level causal tracing (obs::HopTracer): record per-message hop
+  /// spans — transport deliveries, sequencer round trips, total-order
+  /// waits, catch-up exchanges — for the critical-path waterfall analyzer.
+  /// Off by default; when off no tracer is installed and the per-message
+  /// hot path is untouched.
+  bool record_hops = false;
+
+  /// Completed hop traces kept (FIFO ring, oldest evicted) when
+  /// record_hops is on. Sizes /traces and the waterfall reports.
+  int64_t trace_max_ets = 512;
+
   /// --- Live metrics scrape endpoint ---------------------------------------
   /// TCP port for the pull-based Prometheus HTTP exporter (obs::HttpExporter
   /// serving GET /metrics and GET /healthz on a loopback socket from its own

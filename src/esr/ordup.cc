@@ -48,7 +48,7 @@ void OrdupMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
     buffer_.Offer(seq, std::any(std::move(mset)));
     ctx_.counters->Increment("esr.updates_committed");
     if (done) done(Status::Ok());
-  });
+  }, TraceContext{.et = et, .origin = ctx_.site});
 }
 
 void OrdupMethod::OnMsetDelivered(const Mset& mset) {

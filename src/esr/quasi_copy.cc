@@ -43,9 +43,9 @@ void QuasiCopyMethod::SubmitUpdate(EtId et, std::vector<store::Operation> ops,
   // Forward to the primary; the commit callback fires on its ack — this is
   // the synchronous round trip every quasi-copies update pays.
   pending_.emplace(et, std::move(done));
-  ctx_.queues->Send(ctx_.config->quasi_primary,
-                    msg::Envelope{kQuasiForward,
-                                  Forwarded{et, ctx_.site, std::move(ops)}},
+  msg::Envelope forward{kQuasiForward, Forwarded{et, ctx_.site, std::move(ops)}};
+  forward.trace = TraceContext{.et = et, .origin = ctx_.site};
+  ctx_.queues->Send(ctx_.config->quasi_primary, std::move(forward),
                     /*size_bytes=*/256);
   ctx_.counters->Increment("quasi.forwarded");
 }
@@ -79,9 +79,9 @@ void QuasiCopyMethod::ApplyAtPrimary(EtId et, SiteId origin,
     }
   }
   if (origin != ctx_.site) {
-    ctx_.queues->Send(origin,
-                      msg::Envelope{kQuasiForwardAck, ForwardAck{et, true}},
-                      /*size_bytes=*/48);
+    msg::Envelope ack{kQuasiForwardAck, ForwardAck{et, true}};
+    ack.trace = TraceContext{.et = et, .origin = origin};
+    ctx_.queues->Send(origin, std::move(ack), /*size_bytes=*/48);
   }
 }
 

@@ -119,6 +119,12 @@ bool ReplicaControlMethod::InReplay() const {
 }
 
 bool ReplicaControlMethod::RecoveryFilterDelivery(const Mset& mset) {
+  // The MSet just reached this site's method: the total-order wait starts
+  // here (closed by RecordApplied). This must run before the
+  // recovery==nullptr early-out or non-recovery runs would lose the hop.
+  if (ctx_.hops != nullptr && mset.et > 0 && !InReplay()) {
+    ctx_.hops->OrderWaitBegin(mset.et, ctx_.site, ctx_.simulator->Now());
+  }
   if (ctx_.recovery == nullptr) return false;
   if (mset.et != kInvalidEtId && ctx_.recovery->AlreadyApplied(mset)) {
     return true;
@@ -132,6 +138,9 @@ void ReplicaControlMethod::TraceLocalCommit(EtId et) {
   if (ctx_.tracer != nullptr && et > 0) {
     ctx_.tracer->OnLocalCommit(et, ctx_.site, ctx_.simulator->Now());
   }
+  if (ctx_.hops != nullptr && et > 0) {
+    ctx_.hops->OnLocalCommit(et, ctx_.simulator->Now());
+  }
 }
 
 void ReplicaControlMethod::PropagateMset(const Mset& mset) {
@@ -141,9 +150,11 @@ void ReplicaControlMethod::PropagateMset(const Mset& mset) {
   if (ctx_.recovery != nullptr) ctx_.recovery->LogMset(mset);
   const int64_t size_bytes =
       64 + 32 * static_cast<int64_t>(mset.operations.size());
+  msg::Envelope envelope{kMsetMsg, mset};
+  envelope.trace = TraceContext{.et = mset.et, .origin = mset.origin};
   for (SiteId s = 0; s < ctx_.num_sites; ++s) {
     if (s == ctx_.site) continue;
-    ctx_.queues->Send(s, msg::Envelope{kMsetMsg, mset}, size_bytes);
+    ctx_.queues->Send(s, envelope, size_bytes);
   }
   ctx_.counters->Increment("esr.msets_propagated", ctx_.num_sites - 1);
   // Gap-filler no-op MSets (et == kInvalidEtId) and synthetic quasi-copy
@@ -164,6 +175,9 @@ void ReplicaControlMethod::RecordApplied(const Mset& mset) {
   if (!replaying) ctx_.counters->Increment("esr.msets_applied");
   if (ctx_.tracer != nullptr && mset.et > 0 && !replaying) {
     ctx_.tracer->OnApply(mset.et, ctx_.site, ctx_.simulator->Now());
+  }
+  if (ctx_.hops != nullptr && mset.et > 0 && !replaying) {
+    ctx_.hops->OnApply(mset.et, ctx_.site, ctx_.simulator->Now());
   }
   if (ctx_.metrics != nullptr && !replaying) {
     for (const store::Operation& op : mset.operations) {
@@ -194,9 +208,9 @@ void ReplicaControlMethod::RecordApplied(const Mset& mset) {
       MaybeBroadcastStable(mset.et);
     }
   } else {
-    ctx_.queues->Send(mset.origin,
-                      msg::Envelope{kApplyAckMsg, ApplyAck{mset.et, ctx_.site}},
-                      /*size_bytes=*/48);
+    msg::Envelope ack{kApplyAckMsg, ApplyAck{mset.et, ctx_.site}};
+    ack.trace = TraceContext{.et = mset.et, .origin = mset.origin};
+    ctx_.queues->Send(mset.origin, std::move(ack), /*size_bytes=*/48);
   }
 }
 
@@ -219,15 +233,19 @@ void ReplicaControlMethod::MaybeBroadcastStable(EtId et) {
   outgoing_ts_.erase(it);
   fully_acked_.erase(et);
   if (ctx_.recovery != nullptr) ctx_.recovery->LogStable(et, ts);
+  msg::Envelope notice{kStableMsg, StableNotice{et, ts}};
+  notice.trace = TraceContext{.et = et, .origin = ctx_.site};
   for (SiteId s = 0; s < ctx_.num_sites; ++s) {
     if (s == ctx_.site) continue;
-    ctx_.queues->Send(s, msg::Envelope{kStableMsg, StableNotice{et, ts}},
-                      /*size_bytes=*/48);
+    ctx_.queues->Send(s, notice, /*size_bytes=*/48);
   }
   ctx_.counters->Increment("esr.stable");
   ctx_.stability->MarkStable(et, ts);
   if (ctx_.tracer != nullptr && et > 0) {
     ctx_.tracer->OnStable(et, ctx_.site, ctx_.simulator->Now());
+  }
+  if (ctx_.hops != nullptr && et > 0) {
+    ctx_.hops->OnStable(et, ctx_.simulator->Now());
   }
   OnStable(et);
 }

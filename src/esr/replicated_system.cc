@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "analysis/critical_path.h"
 #include "msg/sequencer.h"
 #include "obs/http_exporter.h"
 #include "recovery/codec.h"
@@ -148,6 +149,19 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
   failures_ = std::make_unique<sim::FailureInjector>(
       &simulator_, network_.get(), config_.seed ^ 0x9e3779b97f4a7c15ULL);
 
+  if (config_.record_hops) {
+    hop_tracer_ = std::make_unique<obs::HopTracer>(config_.num_sites,
+                                                   config_.trace_max_ets);
+    // The network reports every successful delivery whose wire envelope
+    // carries a valid trace — the per-hop "arrive" milestone (raw datagram
+    // at the destination, before any transport hold-back).
+    network_->SetHopObserver([this](const TraceContext& trace, SiteId source,
+                                    SiteId destination, SimTime /*sent_at*/,
+                                    SimTime now) {
+      hop_tracer_->NetArrive(trace, source, destination, now);
+    });
+  }
+
   if (config_.recovery.enabled && !IsSyncMethod()) {
     // Sequenced ORDUP queries take order positions that are released as
     // local-only no-ops at remote sites and never WAL-logged, so the total
@@ -173,6 +187,7 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
       site.queues = std::make_unique<msg::StableQueueManager>(
           &simulator_, site.mailbox.get(), config_.queue);
     }
+    if (hop_tracer_ != nullptr) site.queues->set_hop_tracer(hop_tracer_.get());
     site.stability =
         std::make_unique<StabilityTracker>(s, config_.num_sites);
   }
@@ -199,6 +214,9 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
     }
     site.seq_client = std::make_unique<msg::SequencerClient>(
         site.mailbox.get(), site.queues.get(), config_.sequencer_site);
+    if (hop_tracer_ != nullptr) {
+      site.seq_client->set_hop_tracer(hop_tracer_.get());
+    }
     site.method = MakeMethod(MakeContext(s));
     if (recovery_ != nullptr) BindRecoverySite(s);
   }
@@ -278,6 +296,7 @@ MethodContext ReplicatedSystem::MakeContext(SiteId s) {
   ctx.counters = &counters_;
   ctx.metrics = &metrics_;
   ctx.tracer = &tracer_;
+  ctx.hops = hop_tracer_.get();
   ctx.config = &config_;
   ctx.recovery = recovery_ != nullptr ? recovery_->site(s) : nullptr;
   ctx.for_each_active_query =
@@ -377,6 +396,10 @@ void ReplicatedSystem::BindRecoverySite(SiteId s) {
       [this, s](SiteId /*source*/, const std::any& body) {
         const auto* resp = std::any_cast<recovery::CatchupResponse>(&body);
         assert(resp != nullptr);
+        if (hop_tracer_ != nullptr) {
+          hop_tracer_->CatchupEnd(resp->exchange, s, resp->from,
+                                  simulator_.Now());
+        }
         recovery_->ApplyCatchupResponse(s, *resp);
       });
   site.seq_client->set_orphan_handler([this, s](SequenceNumber seq) {
@@ -433,6 +456,9 @@ void ReplicatedSystem::AmnesiaRestart(SiteId s) {
   const int64_t size_bytes = 64 + 16 * config_.num_sites;
   for (SiteId d = 0; d < config_.num_sites; ++d) {
     if (d == s) continue;
+    if (hop_tracer_ != nullptr) {
+      hop_tracer_->CatchupBegin(request.exchange, s, d, simulator_.Now());
+    }
     site.queues->Send(d, msg::Envelope{recovery::kCatchupRequestMsg, request},
                       size_bytes);
   }
@@ -541,7 +567,17 @@ void ReplicatedSystem::StartMetricsPublisher() {
 
 void ReplicatedSystem::PublishMetricsSnapshot() {
   if (metrics_channel_ == nullptr) return;
-  metrics_channel_->Publish(MetricsSnapshot(), simulator_.Now());
+  metrics_channel_->Publish(MetricsSnapshot(), simulator_.Now(), TracesJson());
+}
+
+std::string ReplicatedSystem::TracesJson() const {
+  if (hop_tracer_ == nullptr) return "[]";
+  analysis::ProtocolTypes types;
+  types.mset = kMsetMsg;
+  types.apply_ack = kApplyAckMsg;
+  types.stable = kStableMsg;
+  return analysis::WaterfallsJson(hop_tracer_->completed(),
+                                  config_.trace_max_ets, types);
 }
 
 void ReplicatedSystem::SampleAdmissionSignals() {
@@ -561,6 +597,10 @@ void ReplicatedSystem::SampleAdmissionSignals() {
     sig.completed = cum.completed - admission_prev_[s].completed;
     sig.utilization_sum =
         cum.utilization_sum - admission_prev_[s].utilization_sum;
+    sig.value_completed =
+        cum.value_completed - admission_prev_[s].value_completed;
+    sig.value_utilization_sum =
+        cum.value_utilization_sum - admission_prev_[s].value_utilization_sum;
     sig.blocked = cum.blocked - admission_prev_[s].blocked;
     sig.restarts = cum.restarts - admission_prev_[s].restarts;
     sig.queue_depth = tracer_.QueueDepth(s);
@@ -611,6 +651,10 @@ Result<EtId> ReplicatedSystem::SubmitUpdate(SiteId origin,
     return admitted;
   }
   tracer_.OnSubmit(et, origin, simulator_.Now());
+  if (hop_tracer_ != nullptr) {
+    hop_tracer_->OnSubmit(et, origin, simulator_.Now(),
+                          ObjectClassLabel(ops));
+  }
   metrics_.GetCounter("esr_updates_submitted_total").Increment();
   sites_[origin]->method->SubmitUpdate(et, std::move(ops), std::move(done));
   return et;
@@ -708,8 +752,8 @@ EtId ReplicatedSystem::BeginQuery(SiteId site, const QueryBounds& bounds) {
   if (admission_ != nullptr) {
     q.epsilon = admission_->Effective(site, bounds.min_epsilon,
                                       bounds.max_epsilon);
-    q.value_epsilon = admission_->Effective(site, bounds.min_value_epsilon,
-                                            bounds.max_value_epsilon);
+    q.value_epsilon = admission_->EffectiveValue(site, bounds.min_value_epsilon,
+                                                 bounds.max_value_epsilon);
   } else {
     q.epsilon = bounds.max_epsilon;
     q.value_epsilon = bounds.max_value_epsilon;
@@ -873,6 +917,13 @@ Status ReplicatedSystem::EndQuery(EtId query) {
       admission_totals_[q.site].completed += 1;
       admission_totals_[q.site].utilization_sum += utilization;
     }
+  }
+  if (q.value_epsilon != kUnboundedEpsilon && q.value_epsilon > 0 &&
+      admission_ != nullptr) {
+    admission_totals_[q.site].value_completed += 1;
+    admission_totals_[q.site].value_utilization_sum +=
+        static_cast<double>(q.value_inconsistency) /
+        static_cast<double>(q.value_epsilon);
   }
   if (admission_ != nullptr) {
     // Move the query's pressure counters from the live view into the
@@ -1076,6 +1127,17 @@ ReplicatedSystem::DivergenceScan ReplicatedSystem::ScanDivergence(
 std::string ReplicatedSystem::MetricsSnapshot() {
   SampleGauges();
   return metrics_.PrometheusText();
+}
+
+std::string ReplicatedSystem::ObjectClassLabel(
+    const std::vector<store::Operation>& ops) const {
+  for (const store::Operation& op : ops) {
+    if (!op.IsUpdate()) continue;
+    const std::optional<store::OpKind> kind = registry_.ClassOf(op.object);
+    return kind.has_value() ? std::string(store::OpKindToString(*kind))
+                            : std::string("unclassified");
+  }
+  return "unclassified";
 }
 
 bool ReplicatedSystem::Converged() const {

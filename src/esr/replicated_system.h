@@ -14,6 +14,7 @@
 #include "esr/config.h"
 #include "esr/replica_control.h"
 #include "obs/et_tracer.h"
+#include "obs/hop_tracer.h"
 #include "obs/metric_registry.h"
 #include "recovery/recovery_manager.h"
 #include "sim/failure_injector.h"
@@ -66,6 +67,9 @@ class ReplicatedSystem {
   const obs::MetricRegistry& metrics() const { return metrics_; }
   obs::EtTracer& tracer() { return tracer_; }
   const obs::EtTracer& tracer() const { return tracer_; }
+  /// Hop-level causal tracer; null unless config.record_hops.
+  obs::HopTracer* hop_tracer() { return hop_tracer_.get(); }
+  const obs::HopTracer* hop_tracer() const { return hop_tracer_.get(); }
   /// Null unless config.admission.enabled (and the method is asynchronous).
   const AdmissionController* admission() const { return admission_.get(); }
   /// Null unless config.recovery.enabled (and the method is asynchronous).
@@ -171,6 +175,11 @@ class ReplicatedSystem {
   /// simulator advances, and once more when RunUntilQuiescent() drains.
   void PublishMetricsSnapshot();
 
+  /// Recent completed ET waterfalls as a JSON array ("[]" when hop tracing
+  /// is off). The same rendering is published to the snapshot channel so
+  /// the exporter thread can serve GET /traces without touching sim state.
+  std::string TracesJson() const;
+
   /// Live scrape endpoint (config.metrics_port >= 0); null when disabled
   /// or when the exporter failed to bind.
   obs::HttpExporter* metrics_exporter() { return metrics_exporter_.get(); }
@@ -243,6 +252,10 @@ class ReplicatedSystem {
   };
   DivergenceScan ScanDivergence(bool export_per_object_gauges);
 
+  /// Class label for an update's first mutated object ("unclassified" when
+  /// none is registered) — the object_class tag on hop traces.
+  std::string ObjectClassLabel(const std::vector<store::Operation>& ops) const;
+
   SystemConfig config_;
   sim::Simulator simulator_;
   std::unique_ptr<sim::Network> network_;
@@ -252,6 +265,10 @@ class ReplicatedSystem {
   Counters counters_;
   obs::MetricRegistry metrics_;
   obs::EtTracer tracer_;
+  /// Hop-level causal tracer (config.record_hops); shared by every site's
+  /// transport, sequencer client, and method instance. Null when disabled —
+  /// all call sites guard on the pointer.
+  std::unique_ptr<obs::HopTracer> hop_tracer_;
   std::vector<std::unique_ptr<SiteRuntime>> sites_;
   EtId next_et_ = 1;
   std::unordered_map<EtId, QueryState> active_queries_;
@@ -282,6 +299,8 @@ class ReplicatedSystem {
   struct AdmissionTotals {
     int64_t completed = 0;
     double utilization_sum = 0;
+    int64_t value_completed = 0;
+    double value_utilization_sum = 0;
     int64_t blocked = 0;
     int64_t restarts = 0;
   };

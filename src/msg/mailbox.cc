@@ -31,8 +31,9 @@ void Mailbox::Dispatch(SiteId source, const Envelope& envelope) {
 
 void Mailbox::Send(SiteId destination, Envelope envelope,
                    int64_t size_bytes) {
+  const TraceContext trace = envelope.trace;
   network_->Send(self_, destination, std::any(std::move(envelope)),
-                 size_bytes);
+                 size_bytes, trace);
 }
 
 }  // namespace esr::msg

@@ -5,6 +5,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "common/trace.h"
 #include "common/types.h"
 #include "sim/network.h"
 
@@ -23,9 +24,12 @@ inline constexpr MessageType kPipeData = 5;
 inline constexpr MessageType kPipeAck = 6;
 
 /// Typed message envelope carried over the (untyped) simulated network.
+/// `trace` is the causal context of the ET this message belongs to (POD,
+/// default-invalid; carrying it costs no allocation).
 struct Envelope {
   MessageType type = 0;
   std::any body;
+  TraceContext trace;
 };
 
 /// Per-site message dispatcher. Components register one handler per message

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/hop_tracer.h"
+
 namespace esr::msg {
 
 namespace {
@@ -63,9 +65,30 @@ void PersistentPipeManager::Transmit(SiteId destination, SequenceNumber seq) {
   } else {
     out.max_transmitted = seq;
   }
-  mailbox_->Send(destination,
-                 Envelope{kPipeData, PipeData{seq, it->second.payload}},
-                 it->second.size_bytes);
+  Envelope wire{kPipeData, PipeData{seq, it->second.payload}};
+  if (hops_ != nullptr) {
+    if (const auto* inner = std::any_cast<Envelope>(&it->second.payload);
+        inner != nullptr && inner->trace.valid()) {
+      // First transmission opens the hop (QueueSend ignores retransmits);
+      // the wire datagram carries the context either way so the network
+      // can attribute its transit.
+      hops_->QueueSend(inner->trace, inner->type, mailbox_->self(),
+                       destination, simulator_->Now());
+      wire.trace = inner->trace;
+      wire.trace.msg_type = inner->type;
+    }
+  }
+  mailbox_->Send(destination, std::move(wire), it->second.size_bytes);
+}
+
+void PersistentPipeManager::RecordDeliverHop(SiteId source,
+                                             const std::any& payload) {
+  if (hops_ == nullptr) return;
+  if (const auto* inner = std::any_cast<Envelope>(&payload);
+      inner != nullptr && inner->trace.valid()) {
+    hops_->QueueDeliver(inner->trace, inner->type, source, mailbox_->self(),
+                        simulator_->Now());
+  }
 }
 
 void PersistentPipeManager::Pump(SiteId destination) {
@@ -101,6 +124,7 @@ void PersistentPipeManager::OnData(SiteId source, const std::any& body) {
   if (data->seq == in.expected) {
     ++in.expected;
     counters_.Increment("pipe.delivered");
+    RecordDeliverHop(source, data->payload);
     if (deliver_) deliver_(source, data->payload);
     // Drain the reorder buffer's contiguous run.
     auto it = in.reorder.find(in.expected);
@@ -109,6 +133,7 @@ void PersistentPipeManager::OnData(SiteId source, const std::any& body) {
       in.reorder.erase(it);
       ++in.expected;
       counters_.Increment("pipe.delivered");
+      RecordDeliverHop(source, payload);
       if (deliver_) deliver_(source, payload);
       it = in.reorder.find(in.expected);
     }

@@ -47,6 +47,8 @@ class PersistentPipeManager : public ReliableTransport {
   int64_t UnackedCount(SiteId destination) const override;
   const Counters& counters() const override { return counters_; }
 
+  void set_hop_tracer(obs::HopTracer* hops) override { hops_ = hops; }
+
  private:
   struct Segment {
     std::any payload;
@@ -78,6 +80,7 @@ class PersistentPipeManager : public ReliableTransport {
   void OnData(SiteId source, const std::any& body);
   void OnAck(SiteId source, const std::any& body);
   void Transmit(SiteId destination, SequenceNumber seq);
+  void RecordDeliverHop(SiteId source, const std::any& payload);
 
   sim::Simulator* simulator_;
   Mailbox* mailbox_;
@@ -86,6 +89,7 @@ class PersistentPipeManager : public ReliableTransport {
   std::unordered_map<SiteId, Outbound> outbound_;
   std::unordered_map<SiteId, Inbound> inbound_;
   Counters counters_;
+  obs::HopTracer* hops_ = nullptr;
 };
 
 }  // namespace esr::msg

@@ -7,6 +7,10 @@
 #include "common/stats.h"
 #include "common/types.h"
 
+namespace esr::obs {
+class HopTracer;
+}  // namespace esr::obs
+
 namespace esr::msg {
 
 /// Reliable exactly-once delivery over the lossy network — the contract the
@@ -50,6 +54,11 @@ class ReliableTransport {
 
   /// Transport event counters (sent/retransmit/duplicate/delivered...).
   virtual const Counters& counters() const = 0;
+
+  /// Installs the hop tracer (may be null = tracing off, the default).
+  /// Transports then record a kQueue hop per (ET, message type,
+  /// destination): opened at first transmission, closed at hand-off.
+  virtual void set_hop_tracer(obs::HopTracer* hops) = 0;
 };
 
 }  // namespace esr::msg

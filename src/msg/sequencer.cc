@@ -1,6 +1,9 @@
 #include "msg/sequencer.h"
 
 #include <cassert>
+#include <utility>
+
+#include "obs/hop_tracer.h"
 
 namespace esr::msg {
 
@@ -12,9 +15,9 @@ SequencerServer::SequencerServer(Mailbox* mailbox, ReliableTransport* queues)
         const auto* req = std::any_cast<SeqRequest>(&body);
         assert(req != nullptr);
         const SequenceNumber seq = next_++;
-        queues_->Send(source,
-                      Envelope{kSeqResponse, SeqResponse{req->request_id, seq}},
-                      /*size_bytes=*/48);
+        Envelope resp{kSeqResponse, SeqResponse{req->request_id, seq}};
+        resp.trace = req->trace;
+        queues_->Send(source, std::move(resp), /*size_bytes=*/48);
       });
 }
 
@@ -34,9 +37,13 @@ SequencerClient::SequencerClient(Mailbox* mailbox, ReliableTransport* queues,
         }
         auto it = pending_.find(resp->request_id);
         if (it == pending_.end()) return;  // duplicate response
-        Callback done = std::move(it->second);
+        Pending pending = std::move(it->second);
         pending_.erase(it);
-        done(resp->seq);
+        if (hops_ != nullptr && pending.trace.valid()) {
+          hops_->SeqEnd(pending.trace.et, mailbox_->self(), home_,
+                        mailbox_->network()->simulator()->Now());
+        }
+        pending.done(resp->seq);
       });
 }
 
@@ -45,17 +52,22 @@ void SequencerClient::AbandonPending() {
   pending_.clear();
 }
 
-void SequencerClient::Request(Callback done) {
+void SequencerClient::Request(Callback done, TraceContext trace) {
   const int64_t id = next_request_id_++;
-  pending_.emplace(id, std::move(done));
+  if (hops_ != nullptr && trace.valid()) {
+    hops_->SeqBegin(trace.et, mailbox_->self(), home_,
+                    mailbox_->network()->simulator()->Now());
+  }
+  pending_.emplace(id, Pending{std::move(done), trace});
   // Requests go over the stable queue even to self: when self-hosted, the
   // local server's kSeqRequest handler is registered on this same mailbox,
   // and ReliableTransport does not loop back, so short-circuit locally.
+  Envelope req{kSeqRequest, SeqRequest{id, trace}};
+  req.trace = trace;
   if (mailbox_->self() == home_) {
-    mailbox_->Dispatch(home_, Envelope{kSeqRequest, SeqRequest{id}});
+    mailbox_->Dispatch(home_, req);
   } else {
-    queues_->Send(home_, Envelope{kSeqRequest, SeqRequest{id}},
-                  /*size_bytes=*/48);
+    queues_->Send(home_, std::move(req), /*size_bytes=*/48);
   }
 }
 

@@ -45,8 +45,13 @@ class SequencerClient {
   SequencerClient(Mailbox* mailbox, ReliableTransport* queues, SiteId home);
 
   /// Requests the next global sequence number; `done` fires when the
-  /// response arrives (immediately when self-hosted).
-  void Request(Callback done);
+  /// response arrives (immediately when self-hosted). `trace` (optional)
+  /// ties the round trip to an ET for hop tracing; it rides the request to
+  /// the server and back on the response.
+  void Request(Callback done, TraceContext trace = {});
+
+  /// Installs the hop tracer recording kSeqRtt spans (null = off).
+  void set_hop_tracer(obs::HopTracer* hops) { hops_ = hops; }
 
   /// Amnesia-crash support: forgets every pending callback (they capture
   /// protocol state that died with the site) but remembers the request ids,
@@ -65,18 +70,27 @@ class SequencerClient {
   }
 
  private:
+  struct Pending {
+    Callback done;
+    TraceContext trace;
+  };
+
   Mailbox* mailbox_;
   ReliableTransport* queues_;
   SiteId home_;
   int64_t next_request_id_ = 1;
-  std::unordered_map<int64_t, Callback> pending_;
+  std::unordered_map<int64_t, Pending> pending_;
   std::unordered_set<int64_t> abandoned_;
   std::function<void(SequenceNumber)> orphan_handler_;
+  obs::HopTracer* hops_ = nullptr;
 };
 
 /// Wire formats (shared between server and client).
 struct SeqRequest {
   int64_t request_id;
+  /// Causal context of the requesting ET; echoed onto the response
+  /// envelope by the server so both legs of the round trip are traceable.
+  TraceContext trace;
 };
 struct SeqResponse {
   int64_t request_id;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/hop_tracer.h"
+
 namespace esr::msg {
 
 namespace {
@@ -42,16 +44,44 @@ StableQueueManager::StableQueueManager(sim::Simulator* simulator,
       [this](SiteId source, const std::any& body) { OnAck(source, body); });
 }
 
+Envelope StableQueueManager::WireEnvelope(SequenceNumber seq,
+                                          const std::any& payload) const {
+  Envelope wire{kQueueData, QueueData{seq, payload}};
+  if (hops_ != nullptr) {
+    if (const auto* inner = std::any_cast<Envelope>(&payload);
+        inner != nullptr && inner->trace.valid()) {
+      wire.trace = inner->trace;
+      wire.trace.msg_type = inner->type;
+    }
+  }
+  return wire;
+}
+
+void StableQueueManager::RecordDeliverHop(SiteId source,
+                                          const std::any& payload) {
+  if (hops_ == nullptr) return;
+  if (const auto* inner = std::any_cast<Envelope>(&payload);
+      inner != nullptr && inner->trace.valid()) {
+    hops_->QueueDeliver(inner->trace, inner->type, source, mailbox_->self(),
+                        simulator_->Now());
+  }
+}
+
 void StableQueueManager::Send(SiteId destination, std::any payload,
                               int64_t size_bytes) {
   Outbound& out = outbound_[destination];
   const SequenceNumber seq = out.next_seq++;
   out.unacked.emplace(seq, std::make_pair(std::move(payload), size_bytes));
   counters_.Increment("queue.sent");
-  mailbox_->Send(destination,
-                 Envelope{kQueueData,
-                          QueueData{seq, out.unacked.at(seq).first}},
-                 size_bytes);
+  const std::any& stored = out.unacked.at(seq).first;
+  if (hops_ != nullptr) {
+    if (const auto* inner = std::any_cast<Envelope>(&stored);
+        inner != nullptr && inner->trace.valid()) {
+      hops_->QueueSend(inner->trace, inner->type, mailbox_->self(),
+                       destination, simulator_->Now());
+    }
+  }
+  mailbox_->Send(destination, WireEnvelope(seq, stored), size_bytes);
   ArmRetryTimer(destination);
 }
 
@@ -66,8 +96,7 @@ void StableQueueManager::TransmitAll(SiteId destination) {
   Outbound& out = outbound_[destination];
   for (const auto& [seq, entry] : out.unacked) {
     counters_.Increment("queue.retransmit");
-    mailbox_->Send(destination, Envelope{kQueueData, QueueData{seq, entry.first}},
-                   entry.second);
+    mailbox_->Send(destination, WireEnvelope(seq, entry.first), entry.second);
   }
 }
 
@@ -117,6 +146,7 @@ void StableQueueManager::OnData(SiteId source, const std::any& body) {
       in.holdback.erase(it);
       ++in.next_expected;
       counters_.Increment("queue.delivered");
+      RecordDeliverHop(source, payload);
       if (deliver_) deliver_(source, payload);
     }
   } else {
@@ -126,6 +156,7 @@ void StableQueueManager::OnData(SiteId source, const std::any& body) {
     }
     MarkDelivered(in, data->seq);
     counters_.Increment("queue.delivered");
+    RecordDeliverHop(source, data->payload);
     if (deliver_) deliver_(source, data->payload);
   }
 }

@@ -62,6 +62,8 @@ class StableQueueManager : public ReliableTransport {
   /// Event counters: sent, retransmits, duplicates dropped, delivered.
   const Counters& counters() const override { return counters_; }
 
+  void set_hop_tracer(obs::HopTracer* hops) override { hops_ = hops; }
+
  private:
   struct Outbound {
     SequenceNumber next_seq = 1;
@@ -83,6 +85,11 @@ class StableQueueManager : public ReliableTransport {
   bool AlreadyDelivered(Inbound& in, SequenceNumber seq) const;
   void MarkDelivered(Inbound& in, SequenceNumber seq);
 
+  /// Builds the outgoing wire envelope for an entry, stamping the inner
+  /// envelope's trace context (plus msg_type) onto it when tracing is on.
+  Envelope WireEnvelope(SequenceNumber seq, const std::any& payload) const;
+  void RecordDeliverHop(SiteId source, const std::any& payload);
+
   sim::Simulator* simulator_;
   Mailbox* mailbox_;
   StableQueueConfig config_;
@@ -90,6 +97,7 @@ class StableQueueManager : public ReliableTransport {
   std::unordered_map<SiteId, Outbound> outbound_;
   std::unordered_map<SiteId, Inbound> inbound_;
   Counters counters_;
+  obs::HopTracer* hops_ = nullptr;
 };
 
 }  // namespace esr::msg

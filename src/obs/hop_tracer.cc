@@ -1,0 +1,258 @@
+#include "obs/hop_tracer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace esr::obs {
+
+namespace {
+
+/// FNV-1a, folding arbitrary integers in.
+struct Fnv {
+  uint64_t h = 1469598103934665603ull;
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  void Mix(const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    Mix(s.size());
+  }
+};
+
+}  // namespace
+
+std::string_view HopKindToString(HopKind kind) {
+  switch (kind) {
+    case HopKind::kQueue: return "queue";
+    case HopKind::kSeqRtt: return "seq_rtt";
+    case HopKind::kOrderWait: return "order_wait";
+    case HopKind::kCatchup: return "catchup";
+  }
+  return "unknown";
+}
+
+HopTracer::HopTracer(int num_sites, int64_t max_completed, int64_t max_open)
+    : num_sites_(num_sites),
+      max_completed_(std::max<int64_t>(1, max_completed)),
+      max_open_(std::max<int64_t>(1, max_open)) {}
+
+EtTrace* HopTracer::Find(EtId et) {
+  if (et <= 0) return nullptr;
+  auto it = open_.find(et);
+  return it == open_.end() ? nullptr : &it->second;
+}
+
+HopRecord* HopTracer::FindHop(EtTrace& t, HopKind kind, int32_t msg_type,
+                              SiteId from, SiteId to) {
+  for (auto& hop : t.hops) {
+    if (hop.kind == kind && hop.msg_type == msg_type && hop.from == from &&
+        hop.to == to) {
+      return &hop;
+    }
+  }
+  return nullptr;
+}
+
+HopRecord* HopTracer::AddHop(EtTrace& t, HopKind kind, int32_t msg_type,
+                             SiteId from, SiteId to) {
+  if (static_cast<int64_t>(t.hops.size()) >= kMaxHopsPerEt) {
+    ++t.dropped_hops;
+    ++dropped_hops_;
+    return nullptr;
+  }
+  HopRecord hop;
+  hop.span = next_span_++;
+  hop.kind = kind;
+  hop.msg_type = msg_type;
+  hop.from = from;
+  hop.to = to;
+  t.hops.push_back(hop);
+  return &t.hops.back();
+}
+
+void HopTracer::OnSubmit(EtId et, SiteId origin, SimTime now,
+                         std::string object_class) {
+  if (et <= 0 || open_.count(et) != 0) return;
+  if (static_cast<int64_t>(open_.size()) >= max_open_) {
+    // Deterministic eviction: drop the oldest (smallest) et id.
+    EtId victim = kInvalidEtId;
+    for (const auto& [id, _] : open_) {
+      if (victim == kInvalidEtId || id < victim) victim = id;
+    }
+    open_.erase(victim);
+    ++dropped_ets_;
+  }
+  EtTrace t;
+  t.et = et;
+  t.origin = origin;
+  t.object_class = std::move(object_class);
+  t.submit_time = now;
+  t.apply_time.assign(num_sites_, -1);
+  open_.emplace(et, std::move(t));
+}
+
+void HopTracer::OnLocalCommit(EtId et, SimTime now) {
+  if (EtTrace* t = Find(et); t != nullptr && t->commit_time < 0) {
+    t->commit_time = now;
+  }
+}
+
+void HopTracer::OnApply(EtId et, SiteId site, SimTime now) {
+  EtTrace* t = Find(et);
+  if (t == nullptr) return;
+  if (site >= 0 && site < num_sites_ && t->apply_time[site] < 0) {
+    t->apply_time[site] = now;
+  }
+  if (HopRecord* hop = FindHop(*t, HopKind::kOrderWait, 0, site, site);
+      hop != nullptr && hop->end < 0) {
+    hop->end = now;
+  }
+}
+
+void HopTracer::OnStable(EtId et, SimTime now) { Finalize(et, now, false); }
+
+void HopTracer::OnAborted(EtId et, SimTime now) { Finalize(et, now, true); }
+
+void HopTracer::Finalize(EtId et, SimTime now, bool aborted) {
+  auto it = open_.find(et);
+  if (et <= 0 || it == open_.end()) return;
+  EtTrace t = std::move(it->second);
+  open_.erase(it);
+  t.stable_time = now;
+  t.aborted = aborted;
+  completed_.push_back(std::move(t));
+  ++completed_total_;
+  while (static_cast<int64_t>(completed_.size()) > max_completed_) {
+    completed_.pop_front();
+  }
+}
+
+int64_t HopTracer::QueueSend(const TraceContext& trace, int32_t msg_type,
+                             SiteId from, SiteId to, SimTime now) {
+  EtTrace* t = Find(trace.et);
+  if (t == nullptr) return 0;
+  // Retransmissions re-enter here with the same key: first send wins.
+  if (FindHop(*t, HopKind::kQueue, msg_type, from, to) != nullptr) return 0;
+  HopRecord* hop = AddHop(*t, HopKind::kQueue, msg_type, from, to);
+  if (hop == nullptr) return 0;
+  hop->begin = now;
+  return hop->span;
+}
+
+void HopTracer::NetArrive(const TraceContext& trace, SiteId from, SiteId to,
+                          SimTime now) {
+  EtTrace* t = Find(trace.et);
+  if (t == nullptr) return;
+  HopRecord* hop = FindHop(*t, HopKind::kQueue, trace.msg_type, from, to);
+  if (hop != nullptr && hop->arrive < 0 && hop->end < 0) hop->arrive = now;
+}
+
+void HopTracer::QueueDeliver(const TraceContext& trace, int32_t msg_type,
+                             SiteId from, SiteId to, SimTime now) {
+  EtTrace* t = Find(trace.et);
+  if (t == nullptr) return;
+  HopRecord* hop = FindHop(*t, HopKind::kQueue, msg_type, from, to);
+  if (hop != nullptr && hop->end < 0) {
+    if (hop->arrive < 0) hop->arrive = now;
+    hop->end = now;
+  }
+}
+
+void HopTracer::SeqBegin(EtId et, SiteId from, SiteId to, SimTime now) {
+  EtTrace* t = Find(et);
+  if (t == nullptr) return;
+  if (FindHop(*t, HopKind::kSeqRtt, 0, from, to) != nullptr) return;
+  if (HopRecord* hop = AddHop(*t, HopKind::kSeqRtt, 0, from, to);
+      hop != nullptr) {
+    hop->begin = now;
+  }
+}
+
+void HopTracer::SeqEnd(EtId et, SiteId from, SiteId to, SimTime now) {
+  EtTrace* t = Find(et);
+  if (t == nullptr) return;
+  if (HopRecord* hop = FindHop(*t, HopKind::kSeqRtt, 0, from, to);
+      hop != nullptr && hop->end < 0) {
+    hop->end = now;
+  }
+}
+
+void HopTracer::OrderWaitBegin(EtId et, SiteId site, SimTime now) {
+  EtTrace* t = Find(et);
+  if (t == nullptr) return;
+  if (FindHop(*t, HopKind::kOrderWait, 0, site, site) != nullptr) return;
+  if (HopRecord* hop = AddHop(*t, HopKind::kOrderWait, 0, site, site);
+      hop != nullptr) {
+    hop->begin = now;
+  }
+}
+
+void HopTracer::CatchupBegin(int64_t exchange, SiteId from, SiteId to,
+                             SimTime now) {
+  if (static_cast<int64_t>(catchup_hops_.size()) >= kMaxCatchupHops) {
+    ++dropped_hops_;
+    return;
+  }
+  HopRecord hop;
+  hop.span = exchange;
+  hop.kind = HopKind::kCatchup;
+  hop.from = from;
+  hop.to = to;
+  hop.begin = now;
+  catchup_hops_.push_back(hop);
+}
+
+void HopTracer::CatchupEnd(int64_t exchange, SiteId from, SiteId to,
+                           SimTime now) {
+  // Responses arrive in the order requests resolved; scan backwards so the
+  // open hop for this exchange is found quickly.
+  for (auto it = catchup_hops_.rbegin(); it != catchup_hops_.rend(); ++it) {
+    if (it->span == exchange && it->from == from && it->to == to &&
+        it->end < 0) {
+      it->end = now;
+      return;
+    }
+  }
+}
+
+uint64_t HopTracer::Digest() const {
+  Fnv f;
+  f.Mix(static_cast<uint64_t>(completed_total_));
+  f.Mix(static_cast<uint64_t>(dropped_ets_));
+  f.Mix(static_cast<uint64_t>(dropped_hops_));
+  for (const auto& t : completed_) {
+    f.Mix(static_cast<uint64_t>(t.et));
+    f.Mix(static_cast<uint64_t>(t.origin));
+    f.Mix(t.object_class);
+    f.Mix(static_cast<uint64_t>(t.submit_time));
+    f.Mix(static_cast<uint64_t>(t.commit_time));
+    f.Mix(static_cast<uint64_t>(t.stable_time));
+    f.Mix(t.aborted ? 1 : 0);
+    for (SimTime at : t.apply_time) f.Mix(static_cast<uint64_t>(at));
+    for (const auto& hop : t.hops) {
+      f.Mix(static_cast<uint64_t>(hop.kind));
+      f.Mix(static_cast<uint64_t>(hop.msg_type));
+      f.Mix(static_cast<uint64_t>(hop.from));
+      f.Mix(static_cast<uint64_t>(hop.to));
+      f.Mix(static_cast<uint64_t>(hop.begin));
+      f.Mix(static_cast<uint64_t>(hop.arrive));
+      f.Mix(static_cast<uint64_t>(hop.end));
+    }
+  }
+  for (const auto& hop : catchup_hops_) {
+    f.Mix(static_cast<uint64_t>(hop.span));
+    f.Mix(static_cast<uint64_t>(hop.from));
+    f.Mix(static_cast<uint64_t>(hop.to));
+    f.Mix(static_cast<uint64_t>(hop.begin));
+    f.Mix(static_cast<uint64_t>(hop.end));
+  }
+  return f.h;
+}
+
+}  // namespace esr::obs

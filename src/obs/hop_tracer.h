@@ -1,0 +1,159 @@
+#ifndef ESR_OBS_HOP_TRACER_H_
+#define ESR_OBS_HOP_TRACER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/trace.h"
+#include "common/types.h"
+
+namespace esr::obs {
+
+/// What a hop span measures.
+enum class HopKind {
+  /// One reliable-transport delivery: begin = transport send, arrive =
+  /// first raw-datagram arrival at the destination (before hold-back
+  /// reordering), end = hand-off to the destination component.
+  kQueue,
+  /// Sequencer round trip: begin = SequencerClient::Request, end = grant
+  /// callback dispatch at the requester.
+  kSeqRtt,
+  /// Total-order wait at a replica: begin = MSet handed to the method,
+  /// end = MSet applied (ORDUP/ORDUP-TS hold out-of-order MSets here).
+  kOrderWait,
+  /// Recovery catch-up exchange: begin = CatchupRequest sent, end =
+  /// matching CatchupResponse applied at the requester.
+  kCatchup,
+};
+
+std::string_view HopKindToString(HopKind kind);
+
+/// One traced hop. Timestamps are simulated microseconds; -1 = "never
+/// happened" (e.g. an in-flight hop when its ET reached a terminal phase).
+struct HopRecord {
+  int64_t span = 0;  ///< Unique, monotone per tracer (export identity).
+  HopKind kind = HopKind::kQueue;
+  /// Inner protocol message type for kQueue hops (kMsetMsg, kApplyAckMsg,
+  /// kStableMsg, ...); 0 for the other kinds.
+  int32_t msg_type = 0;
+  SiteId from = kInvalidSiteId;
+  SiteId to = kInvalidSiteId;
+  SimTime begin = -1;
+  SimTime arrive = -1;
+  SimTime end = -1;
+};
+
+/// Everything recorded about one update ET, hop level. Lifecycle timestamps
+/// mirror EtTracer's phases so the two join trivially.
+struct EtTrace {
+  EtId et = kInvalidEtId;
+  SiteId origin = kInvalidSiteId;
+  std::string object_class;
+  SimTime submit_time = -1;
+  SimTime commit_time = -1;
+  /// Stability time at the origin; doubles as the abort time for aborted
+  /// (compensated) ETs.
+  SimTime stable_time = -1;
+  bool aborted = false;
+  std::vector<SimTime> apply_time;  ///< Per site; -1 until applied there.
+  std::vector<HopRecord> hops;
+  int64_t dropped_hops = 0;  ///< Hops over the per-ET cap, not recorded.
+};
+
+/// Records hop-level causal traces for update ETs. One instance per
+/// ReplicatedSystem, shared by every site (like EtTracer); only the sim
+/// thread touches it. Off by default — the facade installs it only when
+/// SystemConfig::record_hops is set, and every call site guards on the
+/// pointer, so disabled tracing costs nothing on the hot path.
+///
+/// All containers are bounded: at most `max_open` ETs are tracked
+/// concurrently (overflow evicts the smallest et id — deterministic),
+/// completed traces live in a FIFO ring of `max_completed`, and each ET
+/// keeps at most kMaxHopsPerEt hops (the rest are counted, not stored).
+/// Under a fixed (config, seed) the recorded traces are deterministic.
+class HopTracer {
+ public:
+  static constexpr int64_t kMaxHopsPerEt = 128;
+  static constexpr int64_t kMaxCatchupHops = 1024;
+
+  HopTracer(int num_sites, int64_t max_completed, int64_t max_open = 4096);
+
+  /// --- ET lifecycle (mirrors EtTracer) ------------------------------------
+
+  void OnSubmit(EtId et, SiteId origin, SimTime now,
+                std::string object_class);
+  void OnLocalCommit(EtId et, SimTime now);
+  /// Records the apply time at `site` and closes that site's kOrderWait hop.
+  void OnApply(EtId et, SiteId site, SimTime now);
+  void OnStable(EtId et, SimTime now);
+  void OnAborted(EtId et, SimTime now);
+
+  /// --- Hop events ----------------------------------------------------------
+
+  /// Opens a kQueue hop (no-op if one with the same key is already open or
+  /// closed — retransmissions keep the first). Returns the hop's span id,
+  /// 0 when nothing was recorded.
+  int64_t QueueSend(const TraceContext& trace, int32_t msg_type, SiteId from,
+                    SiteId to, SimTime now);
+  /// First raw-datagram arrival for an open kQueue hop (first wins); keyed
+  /// by the context's stamped msg_type. Called from the network observer.
+  void NetArrive(const TraceContext& trace, SiteId from, SiteId to,
+                 SimTime now);
+  /// Closes a kQueue hop at component hand-off (first wins).
+  void QueueDeliver(const TraceContext& trace, int32_t msg_type, SiteId from,
+                    SiteId to, SimTime now);
+
+  void SeqBegin(EtId et, SiteId from, SiteId to, SimTime now);
+  void SeqEnd(EtId et, SiteId from, SiteId to, SimTime now);
+
+  /// Opens the total-order-wait hop for (et, site); closed by OnApply.
+  void OrderWaitBegin(EtId et, SiteId site, SimTime now);
+
+  /// Catch-up exchanges are not tied to a single ET; they live in their own
+  /// bounded list, keyed by the requester's monotone exchange id (stored in
+  /// HopRecord::span).
+  void CatchupBegin(int64_t exchange, SiteId from, SiteId to, SimTime now);
+  void CatchupEnd(int64_t exchange, SiteId from, SiteId to, SimTime now);
+
+  /// --- Results -------------------------------------------------------------
+
+  /// Completed (stable/aborted) traces, oldest first, FIFO-bounded.
+  const std::deque<EtTrace>& completed() const { return completed_; }
+  const std::vector<HopRecord>& catchup_hops() const { return catchup_hops_; }
+
+  int num_sites() const { return num_sites_; }
+  int64_t completed_total() const { return completed_total_; }
+  int64_t dropped_ets() const { return dropped_ets_; }
+  int64_t dropped_hops() const { return dropped_hops_; }
+
+  /// FNV-1a digest over every completed trace (and catch-up hop) in
+  /// recording order — the determinism-test fingerprint.
+  uint64_t Digest() const;
+
+ private:
+  EtTrace* Find(EtId et);
+  HopRecord* FindHop(EtTrace& t, HopKind kind, int32_t msg_type, SiteId from,
+                     SiteId to);
+  HopRecord* AddHop(EtTrace& t, HopKind kind, int32_t msg_type, SiteId from,
+                    SiteId to);
+  void Finalize(EtId et, SimTime now, bool aborted);
+
+  int num_sites_;
+  int64_t max_completed_;
+  int64_t max_open_;
+  int64_t next_span_ = 1;
+  int64_t completed_total_ = 0;
+  int64_t dropped_ets_ = 0;
+  int64_t dropped_hops_ = 0;
+  std::unordered_map<EtId, EtTrace> open_;
+  std::deque<EtTrace> completed_;
+  std::vector<HopRecord> catchup_hops_;
+};
+
+}  // namespace esr::obs
+
+#endif  // ESR_OBS_HOP_TRACER_H_

@@ -29,9 +29,11 @@ int64_t SteadyNowUs() {
 
 }  // namespace
 
-void MetricsSnapshotChannel::Publish(std::string text, int64_t sim_time_us) {
+void MetricsSnapshotChannel::Publish(std::string text, int64_t sim_time_us,
+                                     std::string traces_json) {
   auto snap = std::make_shared<Snapshot>();
   snap->text = std::move(text);
+  snap->traces_json = std::move(traces_json);
   snap->sim_time_us = sim_time_us;
   snap->wall_us = SteadyNowUs();
   snap->sequence = publishes_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -302,6 +304,14 @@ std::string HttpExporter::BuildResponse(const std::string& method,
     status_line = "HTTP/1.0 200 OK";
     content_type = "text/plain; version=0.0.4; charset=utf-8";
     body = MetricsBody();
+  } else if (method == "GET" && path == "/traces") {
+    const std::shared_ptr<const MetricsSnapshotChannel::Snapshot> snap =
+        channel_ != nullptr ? channel_->Load() : nullptr;
+    status_line = "HTTP/1.0 200 OK";
+    content_type = "application/json";
+    body = snap != nullptr ? snap->traces_json : std::string("[]");
+    if (body.empty()) body = "[]";
+    body += "\n";
   } else if (method == "GET" && path == "/healthz") {
     status_line = "HTTP/1.0 200 OK";
     body = "ok\n";

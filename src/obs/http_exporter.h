@@ -22,6 +22,10 @@ class MetricsSnapshotChannel {
   struct Snapshot {
     /// Fully rendered Prometheus text exposition.
     std::string text;
+    /// Rendered JSON array of recent ET waterfalls, served as GET /traces
+    /// ("[]" when hop tracing is disabled). Rendered by the sim loop so the
+    /// exporter thread never touches tracer state.
+    std::string traces_json = "[]";
     /// Simulated time at which the sim loop published this snapshot.
     int64_t sim_time_us = -1;
     /// Wall-clock publish instant (steady-clock microseconds), used by the
@@ -32,7 +36,8 @@ class MetricsSnapshotChannel {
   };
 
   /// Publishes a new snapshot (sim-loop thread only).
-  void Publish(std::string text, int64_t sim_time_us);
+  void Publish(std::string text, int64_t sim_time_us,
+               std::string traces_json = "[]");
 
   /// Latest published snapshot; null before the first Publish(). The
   /// returned object is immutable and safe to read from any thread.
@@ -63,8 +68,9 @@ struct HttpExporterConfig {
 /// Dependency-free POSIX-socket HTTP/1.0 server serving the latest metrics
 /// snapshot: `GET /metrics` returns the published exposition plus exporter
 /// self-metrics (esr_exporter_scrapes_total, esr_exporter_snapshot_age_us,
-/// esr_exporter_snapshot_sim_time_us), `GET /healthz` returns "ok", every
-/// other request 404s. One background thread runs a non-blocking
+/// esr_exporter_snapshot_sim_time_us), `GET /traces` returns the latest
+/// published waterfall JSON, `GET /healthz` returns "ok", every other
+/// request 404s. One background thread runs a non-blocking
 /// accept/poll loop over the listening socket and a bounded set of client
 /// connections; every response closes the connection (Connection: close).
 ///

@@ -88,9 +88,94 @@ std::string RenderLabels(const LabelSet& labels) {
   return out;
 }
 
+P2Quantile::P2Quantile(double q) : q_(q) {
+  desired_[0] = 1;
+  desired_[1] = 1 + 2 * q;
+  desired_[2] = 1 + 4 * q;
+  desired_[3] = 3 + 2 * q;
+  desired_[4] = 5;
+  rates_[0] = 0;
+  rates_[1] = q / 2;
+  rates_[2] = q;
+  rates_[3] = (1 + q) / 2;
+  rates_[4] = 1;
+}
+
+void P2Quantile::Observe(double v) {
+  if (count_ < 5) {
+    heights_[count_++] = v;
+    if (count_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+  // Cell containing v; the extremes absorb out-of-range samples.
+  int k;
+  if (v < heights_[0]) {
+    heights_[0] = v;
+    k = 0;
+  } else if (v >= heights_[4]) {
+    heights_[4] = v;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && v >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += rates_[i];
+  ++count_;
+  // Nudge the three middle markers toward their desired positions:
+  // piecewise-parabolic (P²) height prediction, falling back to linear
+  // interpolation when the parabola would cross a neighbour.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+        (d <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+      const double sign = d >= 0 ? 1 : -1;
+      const double np = positions_[i + 1] - positions_[i];
+      const double nm = positions_[i - 1] - positions_[i];
+      const double parabolic =
+          heights_[i] +
+          sign / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + sign) *
+                   (heights_[i + 1] - heights_[i]) / np +
+               (positions_[i + 1] - positions_[i] - sign) *
+                   (heights_[i] - heights_[i - 1]) / (-nm));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const int j = i + static_cast<int>(sign);
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (count_ <= 0) return std::nan("");
+  if (count_ >= 5) return heights_[2];
+  // Exact order statistic over the partial (unsorted until 5) prefix.
+  double sorted[5];
+  std::copy(heights_, heights_ + count_, sorted);
+  std::sort(sorted, sorted + count_);
+  int64_t idx = static_cast<int64_t>(
+      std::ceil(q_ * static_cast<double>(count_))) - 1;
+  idx = std::max<int64_t>(0, std::min<int64_t>(idx, count_ - 1));
+  return sorted[idx];
+}
+
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   assert(std::is_sorted(bounds_.begin(), bounds_.end()));
   counts_.assign(bounds_.size() + 1, 0);
+  quantiles_.reserve(std::size(kQuantiles));
+  for (double q : kQuantiles) quantiles_.emplace_back(q);
+}
+
+double Histogram::QuantileValue(double q) const {
+  for (const P2Quantile& estimator : quantiles_) {
+    if (estimator.quantile() == q) return estimator.Value();
+  }
+  return std::nan("");
 }
 
 void Histogram::Observe(double v) {
@@ -106,6 +191,7 @@ void Histogram::Observe(double v) {
   ++counts_[static_cast<size_t>(it - bounds_.begin())];
   ++count_;
   sum_ += v;
+  for (P2Quantile& estimator : quantiles_) estimator.Observe(v);
 }
 
 std::vector<double> MetricRegistry::LatencyBucketsUs() {
@@ -246,6 +332,32 @@ std::string MetricRegistry::PrometheusText() const {
           os << name << "_sum" << key << " " << FormatNumber(histogram->sum())
              << "\n";
           os << name << "_count" << key << " " << histogram->count() << "\n";
+        }
+        // Companion gauge family with the streaming P² estimates. Emitted
+        // once a series has the five samples the estimator needs; its own
+        // TYPE line because `<name>_quantile` is a distinct family in the
+        // text format (the suffix is not part of the histogram grammar).
+        {
+          bool any_estimates = false;
+          for (const auto& [key, histogram] : family.histograms) {
+            if (histogram->quantile_sample_count() >= 5) {
+              any_estimates = true;
+              break;
+            }
+          }
+          if (any_estimates) {
+            os << "# TYPE " << name << "_quantile gauge\n";
+            for (const auto& [key, histogram] : family.histograms) {
+              if (histogram->quantile_sample_count() < 5) continue;
+              const LabelSet& labels = family.label_sets.at(key);
+              for (double q : Histogram::kQuantiles) {
+                os << name << "_quantile"
+                   << RenderLabelsWith(labels, {"quantile", FormatNumber(q)})
+                   << " " << FormatNumber(histogram->QuantileValue(q))
+                   << "\n";
+              }
+            }
+          }
         }
         break;
     }

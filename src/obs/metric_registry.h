@@ -39,10 +39,40 @@ class Gauge {
   double value_ = 0;
 };
 
+/// Streaming quantile estimate via the P² algorithm (Jain & Chlamtac,
+/// CACM 1985): five markers, O(1) memory and O(1) work per sample, no
+/// stored observations. Exact for the first five samples, then the middle
+/// markers track the target quantile by parabolic interpolation.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void Observe(double v);
+
+  int64_t count() const { return count_; }
+  double quantile() const { return q_; }
+  /// Current estimate (the exact order statistic until five samples have
+  /// arrived; NaN before the first sample).
+  double Value() const;
+
+ private:
+  double q_;
+  int64_t count_ = 0;
+  double heights_[5] = {0, 0, 0, 0, 0};
+  double positions_[5] = {1, 2, 3, 4, 5};
+  double desired_[5] = {0, 0, 0, 0, 0};
+  double rates_[5] = {0, 0, 0, 0, 0};
+};
+
 /// Fixed-boundary histogram (classic Prometheus shape: cumulative `le`
-/// buckets on export, exact count and sum).
+/// buckets on export, exact count and sum). Additionally keeps fixed-memory
+/// P² estimators for the quantiles in kQuantiles, exported as a companion
+/// `<name>_quantile` gauge family once five samples have arrived.
 class Histogram {
  public:
+  /// Quantiles every histogram tracks (p50/p95/p99).
+  static constexpr double kQuantiles[3] = {0.5, 0.95, 0.99};
+
   explicit Histogram(std::vector<double> bounds);
 
   /// Records a sample. NaN / non-finite values are dropped (they would land
@@ -60,11 +90,24 @@ class Histogram {
   /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1, the
   /// last entry being the +Inf overflow bucket.
   const std::vector<int64_t>& bucket_counts() const { return counts_; }
+  /// P² estimate for one of kQuantiles (NaN for an untracked quantile or
+  /// an empty histogram). Estimates are stream-order dependent but
+  /// deterministic for a seeded run; Merge() does not combine them (P²
+  /// marker states of different streams cannot be merged), so merged
+  /// registries re-estimate from whatever is observed after the merge.
+  double QuantileValue(double q) const;
+  /// Samples the P² estimators have actually seen. Differs from count()
+  /// after a Merge: merged observations fold into buckets but not into the
+  /// estimators, so exposition gates the `_quantile` family on this.
+  int64_t quantile_sample_count() const {
+    return quantiles_.empty() ? 0 : quantiles_.front().count();
+  }
 
  private:
   friend class MetricRegistry;
   std::vector<double> bounds_;
   std::vector<int64_t> counts_;
+  std::vector<P2Quantile> quantiles_;
   int64_t count_ = 0;
   double sum_ = 0;
   int64_t invalid_count_ = 0;

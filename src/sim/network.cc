@@ -41,7 +41,7 @@ SimDuration Network::SampleLatency(SiteId source, SiteId destination,
 }
 
 void Network::Send(SiteId source, SiteId destination, std::any payload,
-                   int64_t size_bytes) {
+                   int64_t size_bytes, TraceContext trace) {
   assert(source >= 0 && source < num_sites_);
   assert(destination >= 0 && destination < num_sites_);
   counters_.Increment("net.sent");
@@ -59,9 +59,11 @@ void Network::Send(SiteId source, SiteId destination, std::any payload,
     return;
   }
   const SimDuration latency = SampleLatency(source, destination, size_bytes);
+  const SimTime sent_at = simulator_->Now();
   ++in_flight_;
   simulator_->Schedule(
-      latency, [this, source, destination, payload = std::move(payload)]() {
+      latency, [this, source, destination, sent_at, trace,
+                payload = std::move(payload)]() {
         // Re-check receiver liveness and partition at delivery time: a site
         // that crashed, or a partition that formed, while the message was in
         // flight loses the message.
@@ -75,6 +77,10 @@ void Network::Send(SiteId source, SiteId destination, std::any payload,
           return;
         }
         counters_.Increment("net.delivered");
+        if (hop_observer_ && trace.valid()) {
+          hop_observer_(trace, source, destination, sent_at,
+                        simulator_->Now());
+        }
         if (receivers_[destination]) receivers_[destination](source, payload);
       });
 }

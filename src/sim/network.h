@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "sim/simulator.h"
 
@@ -42,10 +43,19 @@ class Network {
   /// immutable).
   using Receiver = std::function<void(SiteId source, const std::any& payload)>;
 
+  /// Observer invoked at successful delivery of a datagram that carries a
+  /// valid TraceContext: (trace, source, destination, send time, delivery
+  /// time). Installed once by the facade when hop tracing is on; the sim
+  /// layer stays observability-free.
+  using HopObserver = std::function<void(const TraceContext& trace,
+                                         SiteId source, SiteId destination,
+                                         SimTime sent_at, SimTime now)>;
+
   Network(Simulator* simulator, int num_sites, NetworkConfig config,
           uint64_t seed);
 
   int num_sites() const { return num_sites_; }
+  Simulator* simulator() const { return simulator_; }
 
   /// Registers the receive handler for `site` (replacing any previous one).
   void RegisterReceiver(SiteId site, Receiver receiver);
@@ -53,9 +63,15 @@ class Network {
   /// Sends `payload` from `source` to `destination`. Delivery is scheduled
   /// on the simulator unless the message is lost, a partition separates the
   /// sites, or either endpoint is down at send/delivery time.
-  /// `size_bytes` feeds the bandwidth term of the latency model.
+  /// `size_bytes` feeds the bandwidth term of the latency model. `trace`
+  /// (optional, POD) attributes the datagram to an ET for hop tracing.
   void Send(SiteId source, SiteId destination, std::any payload,
-            int64_t size_bytes = 128);
+            int64_t size_bytes = 128, TraceContext trace = {});
+
+  /// Installs (or clears) the hop-tracing delivery observer.
+  void SetHopObserver(HopObserver observer) {
+    hop_observer_ = std::move(observer);
+  }
 
   /// --- Topology and failure state -----------------------------------------
 
@@ -103,6 +119,7 @@ class Network {
   std::unordered_map<int64_t, SimDuration> link_latency_;  // key src*N+dst
   Counters counters_;
   int64_t in_flight_ = 0;
+  HopObserver hop_observer_;
 };
 
 }  // namespace esr::sim

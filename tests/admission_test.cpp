@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "test_util.h"
 
 namespace esr::core {
@@ -94,6 +96,65 @@ TEST(AdmissionControllerTest, ScalesAreIndependentPerSite) {
   EXPECT_DOUBLE_EQ(c.scale(0), 0.0);
   EXPECT_GT(c.scale(1), 0.0);
   EXPECT_DOUBLE_EQ(c.scale(2), 0.0);
+}
+
+TEST(AdmissionControllerTest, ValueScaleAdaptsIndependentlyOfCountScale) {
+  AdmissionConfig cfg = ControllerConfig(1.0);
+  AdmissionController c(cfg, 1, nullptr);
+
+  // A workload of few large-magnitude updates: count budgets sit idle
+  // (mean utilization 0.05) while value budgets are nearly exhausted
+  // (mean 0.9). Only the count scale should tighten.
+  Signals skewed;
+  skewed.completed = 4;
+  skewed.utilization_sum = 0.2;
+  skewed.value_completed = 4;
+  skewed.value_utilization_sum = 3.6;
+  EXPECT_EQ(c.Observe(0, skewed), Decision::kTighten);
+  EXPECT_DOUBLE_EQ(c.scale(0), 1.0 - cfg.step_down);
+  EXPECT_DOUBLE_EQ(c.value_scale(0), 1.0) << "hot value budget must hold";
+
+  // The mirror image — many tiny updates: count budget hot, value budget
+  // idle. The count scale holds while the value scale tightens.
+  Signals mirrored;
+  mirrored.completed = 4;
+  mirrored.utilization_sum = 3.6;
+  mirrored.value_completed = 4;
+  mirrored.value_utilization_sum = 0.2;
+  c.Observe(0, mirrored);
+  EXPECT_DOUBLE_EQ(c.scale(0), 1.0 - cfg.step_down)
+      << "hot count budget must hold";
+  EXPECT_DOUBLE_EQ(c.value_scale(0), 1.0 - cfg.step_down);
+
+  // Queries with no bounded value epsilon contribute no value signal, so
+  // the value scale stays put even while the count scale keeps moving.
+  Signals count_only;
+  count_only.completed = 4;
+  count_only.utilization_sum = 0.2;
+  c.Observe(0, count_only);
+  EXPECT_DOUBLE_EQ(c.scale(0), 1.0 - 2 * cfg.step_down);
+  EXPECT_DOUBLE_EQ(c.value_scale(0), 1.0 - cfg.step_down);
+
+  // Blocked queries cannot be attributed to one budget: both loosen
+  // (saturating at 1.0 with the default step_up of 0.25).
+  Signals blocked;
+  blocked.blocked = 2;
+  EXPECT_EQ(c.Observe(0, blocked), Decision::kLoosen);
+  EXPECT_DOUBLE_EQ(c.scale(0),
+                   std::min(1.0, 1.0 - 2 * cfg.step_down + cfg.step_up));
+  EXPECT_DOUBLE_EQ(c.value_scale(0),
+                   std::min(1.0, 1.0 - cfg.step_down + cfg.step_up));
+
+  // EffectiveValue interpolates with the value scale, not the count scale.
+  AdmissionController half(ControllerConfig(0.5), 1, nullptr);
+  Signals tighten_count;
+  tighten_count.completed = 4;
+  tighten_count.utilization_sum = 0;
+  for (int i = 0; i < 50; ++i) half.Observe(0, tighten_count);
+  EXPECT_DOUBLE_EQ(half.scale(0), 0.0);
+  EXPECT_EQ(half.Effective(0, 0, 10), 0);
+  EXPECT_EQ(half.EffectiveValue(0, 0, 10), 5)
+      << "value scale untouched by count-only tightening";
 }
 
 TEST(AdmissionControllerTest, EmitsDecisionMetrics) {

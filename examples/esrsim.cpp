@@ -32,6 +32,14 @@
 //                           wall-clock paced) until SIGINT/SIGTERM, so a
 //                           Prometheus can scrape the live session
 //
+// Sequencer (ordered methods: ordup, compe-ord):
+//   --sequencer-standby=S   standby sequencer at site S; seal–failover–
+//                           unseal takeover when the home site crashes
+//   --seq-batch-max=N       coalesce up to N concurrent order requests per
+//                           site into one wire batch (default 1: off)
+//   --seq-batch-linger-us=L flush a partial batch L simulated us after its
+//                           first request (default 0: immediately)
+//
 // Causal tracing / critical path:
 //   --trace-ets=N        record hop-level traces for the most recent N
 //                        update ETs; prints the critical-path report at
@@ -157,6 +165,12 @@ int main(int argc, char** argv) {
       crash_site = std::stoi(value.substr(0, c1));
       crash_at_us = std::stoll(value.substr(c1 + 1, c2 - c1 - 1)) * 1000;
       restart_at_us = std::stoll(value.substr(c2 + 1)) * 1000;
+    } else if (ParseFlag(argv[i], "sequencer-standby", &value)) {
+      config.sequencer_standby = std::stoi(value);
+    } else if (ParseFlag(argv[i], "seq-batch-max", &value)) {
+      config.seq_batch_max = std::stoi(value);
+    } else if (ParseFlag(argv[i], "seq-batch-linger-us", &value)) {
+      config.seq_batch_linger_us = std::stoll(value);
     } else if (ParseFlag(argv[i], "trace-ets", &value)) {
       config.record_hops = true;
       config.trace_max_ets = std::stoll(value);

@@ -21,8 +21,11 @@ scripts/run_tier1.sh --sanitize
 # what ASan/TSan-class tooling exists to catch. The tracing suites join
 # the pass because hop recording threads per-message context through every
 # transport (bounded-eviction and finalize paths deserve the repetition)
-# and /traces shares the exporter's snapshot handoff.
+# and /traces shares the exporter's snapshot handoff. The sequencer suites
+# join because seal–probe–unseal failover tears down and resurrects order
+# servers mid-run — handler re-registration and weak_ptr linger guards are
+# classic use-after-free territory.
 cd build-asan
 ctest --output-on-failure \
-  -R 'recovery|failure|http_exporter|hop_trace|critical_path|quantile' \
+  -R 'recovery|failure|http_exporter|hop_trace|critical_path|quantile|sequencer' \
   --repeat until-fail:2 -j "$(nproc)"

@@ -66,6 +66,9 @@ class CompeMethod : public ReplicaControlMethod {
   void RestoreDurable(const MethodDurableState& in) override;
   void ReplayDecision(EtId et, bool commit) override;
   void ReleaseOrphanPosition(SequenceNumber seq) override;
+  SequenceNumber MaxOrderSeen() const override {
+    return buffer_.MaxOffered();
+  }
 
  protected:
   bool ReadyForStable(EtId et) override;

@@ -127,6 +127,30 @@ struct SystemConfig {
   /// Site hosting the centralized order server (ORDUP, COMPE-ordered).
   SiteId sequencer_site = 0;
 
+  /// Standby order server site: kept sealed (refuses grants) until the
+  /// failure injector reports the active sequencer site down, then takes
+  /// over via seal–probe–unseal in a fresh epoch. kInvalidSiteId (default)
+  /// disables failover — a sequencer crash stalls ordering until restart.
+  SiteId sequencer_standby = kInvalidSiteId;
+
+  /// Group sequencing: a site's SequencerClient coalesces concurrent order
+  /// requests and flushes a contiguous-block request once `seq_batch_max`
+  /// are queued or `seq_batch_linger_us` after the first, whichever comes
+  /// first. (1, 0) — the defaults — reproduce the original
+  /// one-grant-per-round-trip behavior exactly.
+  int32_t seq_batch_max = 1;
+  SimDuration seq_batch_linger_us = 0;
+
+  /// Modeled per-request-message service time at the order server (the
+  /// sequencer as a single-server queue). 0 = infinitely fast server, the
+  /// original behavior; > 0 makes the sequencer a contended resource whose
+  /// load batching amortizes.
+  SimDuration seq_service_us = 0;
+
+  /// Delay between the failure injector reporting the sequencer site down
+  /// and the standby starting its takeover (models failure detection).
+  SimDuration seq_failover_detect_us = 10'000;
+
   /// COMMU: when > 0, an update ET must wait (kUnavailable at submit) while
   /// any of its objects' lock-counters is at or above this limit — the
   /// paper's "limit the update ETs in addition to query ETs" option.

@@ -49,6 +49,9 @@ class OrdupMethod : public ReplicaControlMethod {
   void SnapshotDurable(MethodDurableState& out) const override;
   void RestoreDurable(const MethodDurableState& in) override;
   void ReleaseOrphanPosition(SequenceNumber seq) override;
+  SequenceNumber MaxOrderSeen() const override {
+    return buffer_.MaxOffered();
+  }
 
   /// Applied watermark of this site (highest contiguously applied order).
   SequenceNumber Watermark() const { return buffer_.Watermark(); }

@@ -177,6 +177,12 @@ class ReplicaControlMethod {
   /// Default: no-op.
   virtual void ReleaseOrphanPosition(SequenceNumber seq);
 
+  /// Highest total-order position this site has observed at the protocol
+  /// layer (applied or held back), independent of its sequencer client's
+  /// own grants. A sequencer takeover probes this to recover the grant
+  /// high watermark. Methods that consume no global order return 0.
+  virtual SequenceNumber MaxOrderSeen() const { return 0; }
+
  protected:
   /// Reliable broadcast of an MSet to every other site.
   void PropagateMset(const Mset& mset);

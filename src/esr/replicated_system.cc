@@ -191,12 +191,41 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
     site.stability =
         std::make_unique<StabilityTracker>(s, config_.num_sites);
   }
-  // Sequencer server must exist before any client request can be handled;
-  // its handler lives on the home site's mailbox.
+  // Sequencer servers must exist before any client request can be handled;
+  // their handlers live on the hosting sites' mailboxes. The active server
+  // grants from epoch 1; the standby (if configured) starts sealed and only
+  // grants after a takeover.
+  seq_home_ = config_.sequencer_site;
   if (!IsSyncMethod()) {
-    SiteRuntime& home = *sites_[config_.sequencer_site];
+    SiteRuntime& home = *sites_[seq_home_];
     home.seq_server = std::make_unique<msg::SequencerServer>(
         home.mailbox.get(), home.queues.get());
+    if (config_.sequencer_standby != kInvalidSiteId &&
+        config_.sequencer_standby != seq_home_) {
+      assert(config_.sequencer_standby >= 0 &&
+             config_.sequencer_standby < config_.num_sites);
+      SiteRuntime& standby = *sites_[config_.sequencer_standby];
+      standby.seq_server = std::make_unique<msg::SequencerServer>(
+          standby.mailbox.get(), standby.queues.get(), /*start_sealed=*/true);
+    }
+    metrics_.Describe("esr_seq_grants_total",
+                      "Global order positions granted by the sequencer");
+    metrics_.Describe("esr_seq_batches_total",
+                      "Batched grant responses sent by the sequencer");
+    metrics_.Describe("esr_seq_batch_size",
+                      "Order positions granted per batch request");
+    metrics_.Describe("esr_seq_epoch", "Current sequencer grant epoch");
+    metrics_.Describe("esr_seq_rtt_us",
+                      "Order request round-trip time (request to grant)");
+    metrics_.Describe("esr_seq_sealed_drops_total",
+                      "Order requests dropped by a sealed or wrong-epoch "
+                      "server");
+    metrics_.Describe("esr_seq_stale_grants_total",
+                      "Grants from superseded epochs discarded by clients");
+    metrics_.Describe("esr_seq_abandoned_dropped_total",
+                      "Abandoned request ids dropped on epoch change");
+    metrics_.Describe("esr_seq_failovers_total",
+                      "Completed sequencer seal-failover-unseal handovers");
   }
   for (SiteId s = 0; s < config_.num_sites; ++s) {
     SiteRuntime& site = *sites_[s];
@@ -214,11 +243,30 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
     }
     site.seq_client = std::make_unique<msg::SequencerClient>(
         site.mailbox.get(), site.queues.get(), config_.sequencer_site);
+    site.seq_client->set_batching(config_.seq_batch_max,
+                                  config_.seq_batch_linger_us);
+    site.seq_client->set_metrics(&metrics_);
+    site.seq_client->set_high_watermark_provider([this, s]() {
+      return sites_[s]->method ? sites_[s]->method->MaxOrderSeen()
+                               : SequenceNumber{0};
+    });
+    site.seq_client->set_orphan_handler([this, s](SequenceNumber seq) {
+      if (sites_[s]->method) sites_[s]->method->ReleaseOrphanPosition(seq);
+    });
     if (hop_tracer_ != nullptr) {
       site.seq_client->set_hop_tracer(hop_tracer_.get());
     }
     site.method = MakeMethod(MakeContext(s));
     if (recovery_ != nullptr) BindRecoverySite(s);
+  }
+  if (!IsSyncMethod()) {
+    // Server knobs install after methods exist: the local high-watermark
+    // reader dereferences the hosting site's method at probe time.
+    ConfigureSeqServer(seq_home_);
+    if (config_.sequencer_standby != kInvalidSiteId &&
+        config_.sequencer_standby != seq_home_) {
+      ConfigureSeqServer(config_.sequencer_standby);
+    }
   }
 
   // Crash hooks. Fail-stop (the default): volatile state freezes and the
@@ -229,6 +277,13 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
     // Whatever the crash kind, `s` stops responding: any recovering site
     // waiting on its catch-up response must stop counting it.
     if (recovery_ != nullptr) recovery_->OnPeerDown(s);
+    // Losing the active sequencer site arms the standby takeover (any
+    // crash kind — either way the order service stops answering).
+    if (!IsSyncMethod() && s == seq_home_ &&
+        config_.sequencer_standby != kInvalidSiteId &&
+        config_.sequencer_standby != s) {
+      ScheduleSequencerFailover(s);
+    }
     if (amnesia && recovery_ != nullptr) {
       AmnesiaCrash(s);
       return;
@@ -241,6 +296,11 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
       AmnesiaRestart(s);
       return;
     }
+    // A deposed primary returning fail-stop still holds its frozen grant
+    // cursor in the sealed-forever old epoch; sealing makes that explicit
+    // (retransmitted requests from the stable queues are dropped, not
+    // granted at stale positions).
+    if (sites_[s]->seq_server && s != seq_home_) sites_[s]->seq_server->Seal();
     if (sites_[s]->method) sites_[s]->method->OnRestart();
   };
 
@@ -315,6 +375,13 @@ void ReplicatedSystem::BindRecoverySite(SiteId s) {
   recovery::SiteBindings b;
   b.snapshot = [this, s](recovery::CheckpointData& out) {
     SiteRuntime& site = *sites_[s];
+    if (s == seq_home_ && site.seq_server && !site.seq_server->sealed()) {
+      // Durable sequencer floor: a checkpoint at the active order server
+      // records next-to-grant + epoch, so an amnesia restart re-seeds at
+      // least here instead of restarting grants at 1.
+      out.seq_next = site.seq_server->NextToGrant();
+      out.seq_epoch = site.seq_server->epoch();
+    }
     out.clock_counter = site.clock.Now().counter;
     out.store_entries = site.store.SnapshotEntries();
     out.versions = site.versions.SnapshotVersions();
@@ -327,6 +394,10 @@ void ReplicatedSystem::BindRecoverySite(SiteId s) {
   };
   b.restore = [this, s](const recovery::CheckpointData& data) {
     SiteRuntime& site = *sites_[s];
+    // Staged for AmnesiaRestart (which runs RecoverSite -> this binding
+    // synchronously): the re-seed floor of a restarted order server.
+    seq_restored_floor_ = data.seq_next;
+    seq_restored_epoch_ = data.seq_epoch;
     for (const auto& [object, value, ts] : data.store_entries) {
       site.store.RestoreEntry(object, value, ts);
     }
@@ -402,9 +473,6 @@ void ReplicatedSystem::BindRecoverySite(SiteId s) {
         }
         recovery_->ApplyCatchupResponse(s, *resp);
       });
-  site.seq_client->set_orphan_handler([this, s](SequenceNumber seq) {
-    sites_[s]->method->ReleaseOrphanPosition(seq);
-  });
 }
 
 void ReplicatedSystem::AmnesiaCrash(SiteId s) {
@@ -431,8 +499,10 @@ void ReplicatedSystem::AmnesiaRestart(SiteId s) {
   SiteRuntime& site = *sites_[s];
   // All volatile state is gone: fresh stores, logs, clock, stability
   // tracker, and a fresh method instance (its mailbox registrations
-  // replace the dead one's). Transport queues and the sequencer survive —
-  // they model stable storage / a remote service.
+  // replace the dead one's). Transport queues and the sequencer *client*
+  // survive — they model stable storage: requests already handed to the
+  // queues outlive the crash, and the client's abandoned-id set is the
+  // bookkeeping that routes their eventual grants to the orphan release.
   site.method.reset();
   site.store = store::ObjectStore();
   site.versions = store::VersionStore();
@@ -446,13 +516,40 @@ void ReplicatedSystem::AmnesiaRestart(SiteId s) {
   // responders — a down (possibly never-restarting) peer would park
   // foreground deliveries forever. The request still goes to every peer:
   // the reliable queues hold it, and a late response applies idempotently.
+  seq_restored_floor_ = 0;
+  seq_restored_epoch_ = 0;
   recovery_->RecoverSite(s);
   recovery::CatchupRequest request = recovery_->BuildCatchupRequest(s);
-  std::vector<SiteId> up_peers;
-  for (SiteId d = 0; d < config_.num_sites; ++d) {
-    if (d != s && network_->SiteUp(d)) up_peers.push_back(d);
-  }
+  const std::vector<SiteId> up_peers = UpPeers(s);
   recovery_->BeginCatchup(s, up_peers);
+  // A hosted order server is volatile too: its grant cursor died with the
+  // site. Never resume it where it stood (that is the duplicate-grant
+  // bug) — rebuild sealed and re-seed from the durable checkpoint floor
+  // plus a peer high-watermark probe, unsealing in a fresh epoch.
+  if (site.seq_server != nullptr) {
+    site.seq_server.reset();
+    if (s == seq_home_) {
+      site.seq_server = std::make_unique<msg::SequencerServer>(
+          site.mailbox.get(), site.queues.get(), /*start_sealed=*/true,
+          std::max<int64_t>(seq_restored_epoch_, 1));
+      ConfigureSeqServer(s);
+      site.seq_server->BeginTakeover(seq_restored_floor_, up_peers);
+    } else if (s == config_.sequencer_standby) {
+      // A standby that lost its (sealed, stateless) server resumes standby
+      // duty with a fresh one; a later takeover recovers epoch and floor.
+      site.seq_server = std::make_unique<msg::SequencerServer>(
+          site.mailbox.get(), site.queues.get(), /*start_sealed=*/true);
+      ConfigureSeqServer(s);
+    } else {
+      // Deposed primary: its epoch is sealed forever. Stub out the dead
+      // server's mailbox registrations so retransmitted requests are
+      // swallowed instead of dispatched into freed memory.
+      site.mailbox->RegisterHandler(msg::kSeqRequest,
+                                    [](SiteId, const std::any&) {});
+      site.mailbox->RegisterHandler(msg::kSeqProbeResponse,
+                                    [](SiteId, const std::any&) {});
+    }
+  }
   const int64_t size_bytes = 64 + 16 * config_.num_sites;
   for (SiteId d = 0; d < config_.num_sites; ++d) {
     if (d == s) continue;
@@ -462,6 +559,46 @@ void ReplicatedSystem::AmnesiaRestart(SiteId s) {
     site.queues->Send(d, msg::Envelope{recovery::kCatchupRequestMsg, request},
                       size_bytes);
   }
+}
+
+void ReplicatedSystem::ConfigureSeqServer(SiteId s) {
+  msg::SequencerServer* server = sites_[s]->seq_server.get();
+  assert(server != nullptr);
+  server->set_metrics(&metrics_);
+  server->set_service_time_us(config_.seq_service_us);
+  server->set_local_high_watermark([this, s]() {
+    SequenceNumber mark = 0;
+    if (sites_[s]->seq_client) mark = sites_[s]->seq_client->MaxGrantSeen();
+    if (sites_[s]->method) {
+      mark = std::max(mark, sites_[s]->method->MaxOrderSeen());
+    }
+    return mark;
+  });
+}
+
+void ReplicatedSystem::ScheduleSequencerFailover(SiteId down_home) {
+  simulator_.Schedule(config_.seq_failover_detect_us, [this, down_home]() {
+    if (seq_home_ != down_home) return;      // someone already took over
+    if (network_->SiteUp(down_home)) return;  // home came back; no takeover
+    const SiteId standby = config_.sequencer_standby;
+    if (!network_->SiteUp(standby)) return;  // standby is down too
+    SiteRuntime& site = *sites_[standby];
+    if (site.seq_server == nullptr) return;
+    seq_home_ = standby;
+    // Probe floor 1: the standby holds no durable server checkpoint — the
+    // peer probe plus its own local watermark recover the floor. FIFO
+    // stable queues guarantee any grant the old epoch managed to send a
+    // peer is processed there before this probe, so the answer covers it.
+    site.seq_server->BeginTakeover(/*durable_floor=*/1, UpPeers(standby));
+  });
+}
+
+std::vector<SiteId> ReplicatedSystem::UpPeers(SiteId exclude) const {
+  std::vector<SiteId> peers;
+  for (SiteId d = 0; d < config_.num_sites; ++d) {
+    if (d != exclude && network_->SiteUp(d)) peers.push_back(d);
+  }
+  return peers;
 }
 
 void ReplicatedSystem::StartCheckpoints() {
@@ -1012,9 +1149,15 @@ void ReplicatedSystem::SampleGauges() {
                     "Largest cross-replica spread per object class");
   metrics_.Describe("esr_divergent_objects_by_class",
                     "Objects diverging across replicas, per object class");
+  metrics_.Describe("esr_seq_pending",
+                    "Order requests queued or in flight at a site");
   for (SiteId s = 0; s < config_.num_sites; ++s) {
     const SiteRuntime& site = *sites_[s];
     const obs::LabelSet site_label = {{"site", std::to_string(s)}};
+    if (site.seq_client != nullptr) {
+      metrics_.GetGauge("esr_seq_pending", site_label)
+          .Set(static_cast<double>(site.seq_client->PendingCount()));
+    }
     int64_t unacked = 0;
     for (SiteId d = 0; d < config_.num_sites; ++d) {
       if (d == s) continue;
@@ -1199,6 +1342,12 @@ cc::TwoPhaseCommitEngine* ReplicatedSystem::site_tpc(SiteId site) {
 }
 cc::QuorumEngine* ReplicatedSystem::site_quorum(SiteId site) {
   return sites_[site]->quorum.get();
+}
+msg::SequencerClient* ReplicatedSystem::site_seq_client(SiteId site) {
+  return sites_[site]->seq_client.get();
+}
+msg::SequencerServer* ReplicatedSystem::site_seq_server(SiteId site) {
+  return sites_[site]->seq_server.get();
 }
 
 }  // namespace esr::core

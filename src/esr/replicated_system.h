@@ -208,6 +208,14 @@ class ReplicatedSystem {
   cc::TwoPhaseCommitEngine* site_tpc(SiteId site);
   cc::QuorumEngine* site_quorum(SiteId site);
 
+  /// Site currently hosting the active order server (moves on failover).
+  SiteId sequencer_home() const { return seq_home_; }
+  /// A site's order-server client (null for the sync baselines).
+  msg::SequencerClient* site_seq_client(SiteId site);
+  /// The order server hosted at `site` (null unless `site` is the
+  /// configured sequencer home or standby).
+  msg::SequencerServer* site_seq_server(SiteId site);
+
  private:
   struct SiteRuntime;
 
@@ -226,6 +234,15 @@ class ReplicatedSystem {
   /// anti-entropy catch-up.
   void AmnesiaCrash(SiteId s);
   void AmnesiaRestart(SiteId s);
+  /// Installs metrics, the service-time model, and the local
+  /// high-watermark reader on the order server hosted at `s`.
+  void ConfigureSeqServer(SiteId s);
+  /// Arms the standby takeover after the active sequencer site went down
+  /// (fires config_.seq_failover_detect_us later; skipped if the home came
+  /// back, the standby is down, or a failover already happened).
+  void ScheduleSequencerFailover(SiteId down_home);
+  /// Currently-up sites except `exclude` (takeover probe targets).
+  std::vector<SiteId> UpPeers(SiteId exclude) const;
   /// Periodic fuzzy checkpoints (config.recovery.checkpoint_interval_us).
   void StartCheckpoints();
   void StartHeartbeats();
@@ -270,6 +287,14 @@ class ReplicatedSystem {
   /// all call sites guard on the pointer.
   std::unique_ptr<obs::HopTracer> hop_tracer_;
   std::vector<std::unique_ptr<SiteRuntime>> sites_;
+  /// Site whose order server currently grants (starts at
+  /// config_.sequencer_site, moves to the standby on failover).
+  SiteId seq_home_ = 0;
+  /// Sequencer durable floor staged by the checkpoint-restore binding for
+  /// the AmnesiaRestart re-seed (0/0 when the checkpoint predates v2 or
+  /// the site held no active server).
+  SequenceNumber seq_restored_floor_ = 0;
+  int64_t seq_restored_epoch_ = 0;
   EtId next_et_ = 1;
   std::unordered_map<EtId, QueryState> active_queries_;
   struct Saga {

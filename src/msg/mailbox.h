@@ -22,6 +22,9 @@ inline constexpr MessageType kSeqRequest = 3;
 inline constexpr MessageType kSeqResponse = 4;
 inline constexpr MessageType kPipeData = 5;
 inline constexpr MessageType kPipeAck = 6;
+inline constexpr MessageType kSeqProbeRequest = 7;
+inline constexpr MessageType kSeqProbeResponse = 8;
+inline constexpr MessageType kSeqEpochAnnounce = 9;
 
 /// Typed message envelope carried over the (untyped) simulated network.
 /// `trace` is the causal context of the ET this message belongs to (POD,

@@ -1,74 +1,406 @@
 #include "msg/sequencer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 #include "obs/hop_tracer.h"
+#include "obs/metric_registry.h"
+#include "sim/simulator.h"
 
 namespace esr::msg {
+namespace {
 
-SequencerServer::SequencerServer(Mailbox* mailbox, ReliableTransport* queues)
-    : mailbox_(mailbox), queues_(queues) {
+/// Wire size of the small fixed-shape sequencer control messages.
+constexpr int64_t kSeqMsgBytes = 48;
+/// Marginal bytes per extra coalesced request in a batch (the batch header
+/// dominates; each entry only adds to a count).
+constexpr int64_t kSeqBatchEntryBytes = 4;
+
+const std::vector<double> kBatchSizeBounds = {1, 2, 4, 8, 16, 32, 64, 128};
+const std::vector<double> kRttBounds = {100,    250,    500,    1'000,
+                                        2'500,  5'000,  10'000, 25'000,
+                                        50'000, 100'000};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SequencerServer
+// ---------------------------------------------------------------------------
+
+SequencerServer::SequencerServer(Mailbox* mailbox, ReliableTransport* queues,
+                                 bool start_sealed, int64_t epoch,
+                                 SequenceNumber first)
+    : mailbox_(mailbox),
+      queues_(queues),
+      next_(first),
+      epoch_(epoch),
+      sealed_(start_sealed) {
   assert(mailbox != nullptr && queues != nullptr);
-  mailbox_->RegisterHandler(
-      kSeqRequest, [this](SiteId source, const std::any& body) {
-        const auto* req = std::any_cast<SeqRequest>(&body);
-        assert(req != nullptr);
-        const SequenceNumber seq = next_++;
-        Envelope resp{kSeqResponse, SeqResponse{req->request_id, seq}};
-        resp.trace = req->trace;
-        queues_->Send(source, std::move(resp), /*size_bytes=*/48);
+  assert(epoch >= 1 && first >= 1);
+  mailbox_->RegisterHandler(kSeqRequest,
+                            [this](SiteId source, const std::any& body) {
+                              HandleRequest(source, body);
+                            });
+  mailbox_->RegisterHandler(kSeqProbeResponse,
+                            [this](SiteId source, const std::any& body) {
+                              HandleProbeResponse(source, body);
+                            });
+}
+
+SequencerServer::~SequencerServer() = default;
+
+void SequencerServer::set_metrics(obs::MetricRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge("esr_seq_epoch").Set(static_cast<double>(epoch_));
+  }
+}
+
+void SequencerServer::Seal() { sealed_ = true; }
+
+void SequencerServer::HandleRequest(SiteId source, const std::any& body) {
+  const auto* req = std::any_cast<SeqBatchRequest>(&body);
+  assert(req != nullptr);
+  if (sealed_ || recovering_ || req->epoch != epoch_) {
+    // Sealed epoch, mid-takeover, or a request stamped for another epoch:
+    // dropped, not an error — the requester re-sends once it processes the
+    // epoch announce for the successor.
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("esr_seq_sealed_drops_total").Increment();
+    }
+    return;
+  }
+  assert(req->count >= 1);
+  // Positions are assigned at arrival (FIFO), even when the response is
+  // delayed by the service-time model: order is fixed by arrival order.
+  const SequenceNumber first = next_;
+  next_ += req->count;
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("esr_seq_grants_total").Increment(req->count);
+    metrics_->GetCounter("esr_seq_batches_total").Increment();
+    metrics_
+        ->GetHistogram("esr_seq_batch_size", /*labels=*/{}, kBatchSizeBounds)
+        .Observe(static_cast<double>(req->count));
+  }
+  if (service_time_us_ <= 0) {
+    SendGrant(source, req->request_id, first, req->count, req->trace);
+    return;
+  }
+  // One unit of service time per request *message* — precisely the cost
+  // batching amortizes. Responses are serialized through a busy-until
+  // horizon, modeling the sequencer as a single-server queue.
+  sim::Simulator* simulator = mailbox_->network()->simulator();
+  busy_until_ = std::max(busy_until_, simulator->Now()) + service_time_us_;
+  simulator->ScheduleAt(
+      busy_until_, [this, alive = std::weak_ptr<int>(alive_), source,
+                    id = req->request_id, first, count = req->count,
+                    trace = req->trace]() {
+        if (alive.expired()) return;  // server died (amnesia) meanwhile
+        SendGrant(source, id, first, count, trace);
       });
 }
+
+void SequencerServer::SendGrant(SiteId source, int64_t request_id,
+                                SequenceNumber first, int32_t count,
+                                const TraceContext& trace) {
+  Envelope resp{kSeqResponse, SeqBatchGrant{request_id, first, count, epoch_},
+                trace};
+  if (source == mailbox_->self()) {
+    mailbox_->Dispatch(source, resp);
+  } else {
+    queues_->Send(source, std::move(resp),
+                  kSeqMsgBytes + count * kSeqBatchEntryBytes);
+  }
+}
+
+void SequencerServer::BeginTakeover(SequenceNumber durable_floor,
+                                    const std::vector<SiteId>& peers) {
+  sealed_ = true;
+  recovering_ = true;
+  // `durable_floor` is a floor on next-to-grant (the checkpointed value);
+  // peer probes and the local watermark arrive as highest-position-seen and
+  // convert with +1. Taking the max of all of them can never land at or
+  // below a position that was already granted.
+  recovered_floor_ = std::max({durable_floor, next_, SequenceNumber{1}});
+  recovered_epoch_ = epoch_;
+  if (local_high_watermark_) {
+    recovered_floor_ = std::max(recovered_floor_, local_high_watermark_() + 1);
+  }
+  awaiting_probe_.clear();
+  ++probe_id_;
+  for (SiteId peer : peers) {
+    if (peer == mailbox_->self()) continue;
+    awaiting_probe_.insert(peer);
+  }
+  if (awaiting_probe_.empty()) {
+    FinishTakeover();
+    return;
+  }
+  for (SiteId peer : awaiting_probe_) {
+    queues_->Send(peer,
+                  Envelope{kSeqProbeRequest,
+                           SeqProbeRequest{probe_id_, mailbox_->self()},
+                           TraceContext{}},
+                  kSeqMsgBytes);
+  }
+}
+
+void SequencerServer::HandleProbeResponse(SiteId /*source*/,
+                                          const std::any& body) {
+  const auto* resp = std::any_cast<SeqProbeResponse>(&body);
+  assert(resp != nullptr);
+  if (!recovering_ || resp->probe_id != probe_id_) return;  // stale probe
+  if (awaiting_probe_.erase(resp->from) == 0) return;       // duplicate
+  recovered_floor_ = std::max(recovered_floor_, resp->max_seen + 1);
+  recovered_epoch_ = std::max(recovered_epoch_, resp->epoch);
+  if (awaiting_probe_.empty()) FinishTakeover();
+}
+
+void SequencerServer::FinishTakeover() {
+  next_ = recovered_floor_;
+  epoch_ = std::max(epoch_, recovered_epoch_) + 1;
+  sealed_ = false;
+  recovering_ = false;
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge("esr_seq_epoch").Set(static_cast<double>(epoch_));
+    metrics_->GetCounter("esr_seq_failovers_total").Increment();
+  }
+  // Every client — including the one co-located with this server — learns
+  // the new (epoch, home, floor) and re-sends anything outstanding.
+  const SeqEpochAnnounce announce{epoch_, mailbox_->self(), next_};
+  queues_->Broadcast(Envelope{kSeqEpochAnnounce, announce, TraceContext{}},
+                     kSeqMsgBytes);
+  mailbox_->Dispatch(mailbox_->self(),
+                     Envelope{kSeqEpochAnnounce, announce, TraceContext{}});
+}
+
+// ---------------------------------------------------------------------------
+// SequencerClient
+// ---------------------------------------------------------------------------
 
 SequencerClient::SequencerClient(Mailbox* mailbox, ReliableTransport* queues,
                                  SiteId home)
     : mailbox_(mailbox), queues_(queues), home_(home) {
   assert(mailbox != nullptr && queues != nullptr);
-  mailbox_->RegisterHandler(
-      kSeqResponse, [this](SiteId /*source*/, const std::any& body) {
-        const auto* resp = std::any_cast<SeqResponse>(&body);
-        assert(resp != nullptr);
-        if (abandoned_.erase(resp->request_id) > 0) {
-          // The requester crashed with amnesia after asking; the granted
-          // position must still be accounted for in the total order.
-          if (orphan_handler_) orphan_handler_(resp->seq);
-          return;
-        }
-        auto it = pending_.find(resp->request_id);
-        if (it == pending_.end()) return;  // duplicate response
-        Pending pending = std::move(it->second);
-        pending_.erase(it);
-        if (hops_ != nullptr && pending.trace.valid()) {
-          hops_->SeqEnd(pending.trace.et, mailbox_->self(), home_,
-                        mailbox_->network()->simulator()->Now());
-        }
-        pending.done(resp->seq);
-      });
+  mailbox_->RegisterHandler(kSeqResponse,
+                            [this](SiteId source, const std::any& body) {
+                              HandleGrant(source, body);
+                            });
+  mailbox_->RegisterHandler(kSeqEpochAnnounce,
+                            [this](SiteId source, const std::any& body) {
+                              HandleEpochAnnounce(source, body);
+                            });
+  mailbox_->RegisterHandler(kSeqProbeRequest,
+                            [this](SiteId source, const std::any& body) {
+                              HandleProbeRequest(source, body);
+                            });
 }
 
-void SequencerClient::AbandonPending() {
-  for (const auto& [id, _] : pending_) abandoned_.insert(id);
-  pending_.clear();
+void SequencerClient::set_batching(int32_t batch_max, SimDuration linger_us) {
+  batch_max_ = std::max(batch_max, int32_t{1});
+  linger_us_ = std::max<SimDuration>(linger_us, 0);
 }
 
 void SequencerClient::Request(Callback done, TraceContext trace) {
-  const int64_t id = next_request_id_++;
+  Entry entry;
+  entry.done = std::move(done);
+  entry.trace = trace;
+  entry.begin = mailbox_->network()->simulator()->Now();
+  entry.seq_to = home_;
   if (hops_ != nullptr && trace.valid()) {
-    hops_->SeqBegin(trace.et, mailbox_->self(), home_,
-                    mailbox_->network()->simulator()->Now());
+    hops_->SeqBegin(trace.et, mailbox_->self(), home_, entry.begin);
   }
-  pending_.emplace(id, Pending{std::move(done), trace});
+  queue_.push_back(std::move(entry));
+  if (static_cast<int32_t>(queue_.size()) >= batch_max_) {
+    Flush();
+    return;
+  }
+  if (!linger_scheduled_) {
+    linger_scheduled_ = true;
+    mailbox_->network()->simulator()->Schedule(
+        linger_us_, [this, alive = std::weak_ptr<int>(alive_)]() {
+          if (alive.expired()) return;
+          linger_scheduled_ = false;
+          Flush();
+        });
+  }
+}
+
+void SequencerClient::Flush() {
+  if (queue_.empty()) return;
+  linger_scheduled_ = false;
+  const int64_t id = next_request_id_++;
+  const int32_t count = static_cast<int32_t>(queue_.size());
+  // The batch rides on the causal context of its first (oldest) request so
+  // both legs of the round trip stay traceable.
+  const TraceContext trace = queue_.front().trace;
+  auto [it, inserted] = inflight_.emplace(id, std::move(queue_));
+  assert(inserted);
+  (void)it;
+  queue_.clear();
+  Envelope req{kSeqRequest, SeqBatchRequest{id, count, epoch_, trace}, trace};
   // Requests go over the stable queue even to self: when self-hosted, the
   // local server's kSeqRequest handler is registered on this same mailbox,
   // and ReliableTransport does not loop back, so short-circuit locally.
-  Envelope req{kSeqRequest, SeqRequest{id, trace}};
-  req.trace = trace;
   if (mailbox_->self() == home_) {
     mailbox_->Dispatch(home_, req);
   } else {
-    queues_->Send(home_, std::move(req), /*size_bytes=*/48);
+    queues_->Send(home_, std::move(req),
+                  kSeqMsgBytes + count * kSeqBatchEntryBytes);
   }
+}
+
+void SequencerClient::HandleGrant(SiteId /*source*/, const std::any& body) {
+  const auto* grant = std::any_cast<SeqBatchGrant>(&body);
+  assert(grant != nullptr);
+  if (grant->epoch != epoch_) {
+    // A grant from a superseded epoch (the sequencer failed over while it
+    // was in flight). Positions at or above the new epoch's floor were
+    // re-granted by the takeover and must be discarded — releasing them
+    // would double-fill the total order. Positions *below* the floor were
+    // never seen by the takeover probe and never re-granted: they are
+    // permanent holes every hold-back buffer would wait on forever, so
+    // release them as orphan no-ops. (With cascaded failovers faster than
+    // announce propagation an intermediate epoch could in principle have
+    // re-granted such a position; the single-failure assumption — see
+    // DESIGN.md — rules that out.)
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("esr_seq_stale_grants_total").Increment();
+    }
+    if (orphan_handler_) {
+      const SequenceNumber stale_last = grant->first + grant->count - 1;
+      for (SequenceNumber seq = grant->first;
+           seq <= stale_last && seq < epoch_first_; ++seq) {
+        orphan_handler_(seq);
+      }
+    }
+    return;
+  }
+  const SequenceNumber last = grant->first + grant->count - 1;
+  if (auto orphan = abandoned_.find(grant->request_id);
+      orphan != abandoned_.end()) {
+    // The requester crashed with amnesia after asking; the granted
+    // positions must still be accounted for in the total order.
+    assert(orphan->second == grant->count);
+    abandoned_.erase(orphan);
+    max_grant_seen_ = std::max(max_grant_seen_, last);
+    if (orphan_handler_) {
+      for (SequenceNumber seq = grant->first; seq <= last; ++seq) {
+        orphan_handler_(seq);
+      }
+    }
+    return;
+  }
+  auto it = inflight_.find(grant->request_id);
+  if (it == inflight_.end()) return;  // duplicate response
+  std::vector<Entry> entries = std::move(it->second);
+  inflight_.erase(it);
+  assert(static_cast<int32_t>(entries.size()) == grant->count);
+  max_grant_seen_ = std::max(max_grant_seen_, last);
+  const SimTime now = mailbox_->network()->simulator()->Now();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    Entry& entry = entries[i];
+    CloseSpan(entry);
+    if (metrics_ != nullptr && entry.begin >= 0) {
+      metrics_->GetHistogram("esr_seq_rtt_us", /*labels=*/{}, kRttBounds)
+          .Observe(static_cast<double>(now - entry.begin));
+    }
+    entry.done(grant->first + static_cast<SequenceNumber>(i));
+  }
+}
+
+void SequencerClient::HandleEpochAnnounce(SiteId /*source*/,
+                                          const std::any& body) {
+  const auto* ann = std::any_cast<SeqEpochAnnounce>(&body);
+  assert(ann != nullptr);
+  if (ann->epoch <= epoch_) return;  // stale or duplicate announce
+  epoch_ = ann->epoch;
+  epoch_first_ = ann->first;
+  home_ = ann->home;
+  // The announced floor is a lower bound on the order's high watermark;
+  // folding it in keeps probe answers monotone across cascaded failovers.
+  max_grant_seen_ = std::max(max_grant_seen_, ann->first - 1);
+  // Grants for abandoned requests were issued (if ever) by the sealed
+  // epoch and will be discarded as stale — nothing will arrive for these
+  // ids anymore. Dropping them here is what bounds abandoned_.
+  if (!abandoned_.empty()) {
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("esr_seq_abandoned_dropped_total")
+          .Increment(static_cast<int64_t>(abandoned_.size()));
+    }
+    abandoned_.clear();
+  }
+  // Everything in flight was granted (at best) by the sealed epoch; re-send
+  // it all to the new home as one batch, oldest first, ahead of anything
+  // not yet flushed. Spans are not re-opened: the measured RTT honestly
+  // includes the failover delay.
+  if (!inflight_.empty()) {
+    std::vector<Entry> resend;
+    for (auto& [id, entries] : inflight_) {
+      for (Entry& entry : entries) resend.push_back(std::move(entry));
+    }
+    inflight_.clear();
+    for (Entry& entry : queue_) resend.push_back(std::move(entry));
+    queue_ = std::move(resend);
+  }
+  Flush();
+}
+
+void SequencerClient::HandleProbeRequest(SiteId /*source*/,
+                                         const std::any& body) {
+  const auto* probe = std::any_cast<SeqProbeRequest>(&body);
+  assert(probe != nullptr);
+  const SeqProbeResponse resp{probe->probe_id, mailbox_->self(),
+                              LocalHighWatermark(), epoch_};
+  if (probe->from == mailbox_->self()) {
+    mailbox_->Dispatch(probe->from,
+                       Envelope{kSeqProbeResponse, resp, TraceContext{}});
+  } else {
+    queues_->Send(probe->from,
+                  Envelope{kSeqProbeResponse, resp, TraceContext{}},
+                  kSeqMsgBytes);
+  }
+}
+
+SequenceNumber SequencerClient::LocalHighWatermark() const {
+  SequenceNumber mark = max_grant_seen_;
+  if (high_watermark_provider_) {
+    mark = std::max(mark, high_watermark_provider_());
+  }
+  return mark;
+}
+
+void SequencerClient::AbandonPending() {
+  // The requester's volatile state is gone; close every open round-trip
+  // span now (the trip ends here — leaving them unterminated would skew
+  // the critical-path waterfall).
+  for (Entry& entry : queue_) CloseSpan(entry);
+  for (auto& [id, entries] : inflight_) {
+    for (Entry& entry : entries) CloseSpan(entry);
+    // The request is already in the stable queues and will be granted;
+    // remember how many positions to release as orphans.
+    abandoned_[id] = static_cast<int32_t>(entries.size());
+  }
+  // Queued entries were never sent — no grant will ever arrive for them,
+  // so they simply vanish with the crash.
+  queue_.clear();
+  inflight_.clear();
+  linger_scheduled_ = false;
+}
+
+void SequencerClient::CloseSpan(const Entry& entry) {
+  if (hops_ == nullptr || !entry.trace.valid()) return;
+  hops_->SeqEnd(entry.trace.et, mailbox_->self(), entry.seq_to,
+                mailbox_->network()->simulator()->Now());
+}
+
+int64_t SequencerClient::PendingCount() const {
+  int64_t pending = static_cast<int64_t>(queue_.size());
+  for (const auto& [id, entries] : inflight_) {
+    pending += static_cast<int64_t>(entries.size());
+  }
+  return pending;
 }
 
 }  // namespace esr::msg

@@ -2,37 +2,118 @@
 #define ESR_MSG_SEQUENCER_H_
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/types.h"
 #include "msg/mailbox.h"
 #include "msg/reliable_transport.h"
 
+namespace esr::obs {
+class MetricRegistry;
+}  // namespace esr::obs
+
 namespace esr::msg {
 
 /// Centralized global order server (paper section 3.1: "such ordering can be
-/// generated easily by a centralized order server").
+/// generated easily by a centralized order server"), grown into a batched,
+/// epoched, failover-capable ordering pipeline:
 ///
-/// The server side runs at one designated site and hands out consecutive
-/// sequence numbers. Requests and responses travel over stable queues, so a
-/// lossy network or a temporarily crashed sequencer site delays but never
-/// loses an ordering request. Note the server orders *update ETs only*; the
-/// whole point of ESR is that queries need no global coordination (though
-/// ORDUP's divergence bounding may optionally assign query order numbers
-/// too, which reuses this same service).
+///   * **Group sequencing** — clients coalesce concurrent Request()s and the
+///     server grants contiguous blocks (SeqBatchRequest{count} ->
+///     SeqBatchGrant{first, count}), amortizing one round trip (and one unit
+///     of server service time) over N updates, group-commit style.
+///   * **Epoched grants** — every grant carries the epoch it was issued in.
+///     A failover (standby takeover, or the home site's own amnesia restart)
+///     seals the old epoch, recovers the high watermark from a durable floor
+///     plus a peer probe, and unseals at `watermark + 1` in a strictly
+///     higher epoch. Clients discard grants from superseded epochs and
+///     re-request, so a sequencer crash delays but never corrupts the order.
+///
+/// Requests and responses travel over stable queues, so a lossy network or a
+/// temporarily crashed sequencer site delays but never loses an ordering
+/// request. The server orders *update ETs only*; the whole point of ESR is
+/// that queries need no global coordination (though ORDUP's divergence
+/// bounding may optionally assign query order numbers too, which reuses this
+/// same service).
 class SequencerServer {
  public:
   /// Attaches the server to `mailbox` (which must belong to the home site).
-  /// Sequence numbers start at 1.
-  explicit SequencerServer(Mailbox* mailbox, ReliableTransport* queues);
+  /// An active server starts unsealed in `epoch` granting from `first`; a
+  /// standby starts sealed and only begins granting after BeginTakeover()
+  /// completes its seal–probe–unseal handover.
+  SequencerServer(Mailbox* mailbox, ReliableTransport* queues,
+                  bool start_sealed = false, int64_t epoch = 1,
+                  SequenceNumber first = 1);
+  ~SequencerServer();
 
   SequenceNumber LastIssued() const { return next_ - 1; }
+  /// The durable-floor value a checkpoint should persist: re-seeding a
+  /// restarted server at or above this can never reissue a granted position.
+  SequenceNumber NextToGrant() const { return next_; }
+  int64_t epoch() const { return epoch_; }
+  bool sealed() const { return sealed_; }
+
+  /// Seals this epoch permanently: every further request is dropped (the
+  /// requester re-sends to the new home once it sees the epoch announce).
+  /// Used on a deposed primary that comes back after a standby took over.
+  void Seal();
+
+  /// Seal–failover–unseal: seals (if not already), probes `peers` for the
+  /// highest granted position and epoch they have observed, and once every
+  /// probed peer has answered unseals at
+  ///   max(durable_floor, peer watermarks, local watermark) + 1
+  /// in max(own epoch, peer epochs) + 1, then broadcasts a
+  /// SeqEpochAnnounce so every client re-targets and re-requests. With no
+  /// reachable peers the handover completes immediately from the durable
+  /// floor and local knowledge alone.
+  void BeginTakeover(SequenceNumber durable_floor,
+                     const std::vector<SiteId>& peers);
+
+  /// Metrics sink for the esr_seq_* server families (null = off).
+  void set_metrics(obs::MetricRegistry* metrics);
+
+  /// Models the server's per-request-message processing cost: grant
+  /// responses are serialized through a busy-until horizon, so under load
+  /// the sequencer becomes the queueing bottleneck batching exists to
+  /// relieve. 0 (default) responds synchronously — the original behavior.
+  void set_service_time_us(SimDuration us) { service_time_us_ = us; }
+
+  /// How this site's own high watermark is read during a takeover probe
+  /// (the co-located client / method's max observed position).
+  void set_local_high_watermark(std::function<SequenceNumber()> fn) {
+    local_high_watermark_ = std::move(fn);
+  }
 
  private:
+  void HandleRequest(SiteId source, const std::any& body);
+  void HandleProbeResponse(SiteId source, const std::any& body);
+  void FinishTakeover();
+  void SendGrant(SiteId source, int64_t request_id, SequenceNumber first,
+                 int32_t count, const TraceContext& trace);
+
   Mailbox* mailbox_;
   ReliableTransport* queues_;
   SequenceNumber next_ = 1;
+  int64_t epoch_ = 1;
+  bool sealed_ = false;
+  SimDuration service_time_us_ = 0;
+  SimTime busy_until_ = 0;
+  /// Takeover state: outstanding probe id, peers still expected to answer,
+  /// and the running (floor, epoch) maxima over everything heard so far.
+  bool recovering_ = false;
+  int64_t probe_id_ = 0;
+  std::unordered_set<SiteId> awaiting_probe_;
+  SequenceNumber recovered_floor_ = 0;
+  int64_t recovered_epoch_ = 0;
+  std::function<SequenceNumber()> local_high_watermark_;
+  obs::MetricRegistry* metrics_ = nullptr;
+  /// Liveness anchor for deferred (service-time) grant events: an amnesia
+  /// crash destroys the server while responses may still be scheduled.
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
 };
 
 /// Client stub used by every site to obtain global order numbers.
@@ -40,61 +121,148 @@ class SequencerClient {
  public:
   using Callback = std::function<void(SequenceNumber)>;
 
-  /// `home` is the sequencer site. When `self == home`, requests short-
-  /// circuit locally through `local_server` (no messages).
+  /// `home` is the (current) sequencer site. When `self == home`, requests
+  /// short-circuit locally through the co-located server (no messages).
+  /// `home` moves when a SeqEpochAnnounce reports a failover.
   SequencerClient(Mailbox* mailbox, ReliableTransport* queues, SiteId home);
 
-  /// Requests the next global sequence number; `done` fires when the
-  /// response arrives (immediately when self-hosted). `trace` (optional)
-  /// ties the round trip to an ET for hop tracing; it rides the request to
-  /// the server and back on the response.
+  /// Requests the next global sequence number; `done` fires when the grant
+  /// arrives (immediately when self-hosted and unbatched). `trace`
+  /// (optional) ties the round trip to an ET for hop tracing. Concurrent
+  /// requests coalesce per the batching knobs.
   void Request(Callback done, TraceContext trace = {});
+
+  /// Group-sequencing knobs: a wire batch is flushed as soon as `batch_max`
+  /// requests are queued, or `linger_us` after the first queued request,
+  /// whichever comes first. (1, 0) — the default — sends every request
+  /// immediately and alone, the original one-grant-per-round-trip shape.
+  void set_batching(int32_t batch_max, SimDuration linger_us);
 
   /// Installs the hop tracer recording kSeqRtt spans (null = off).
   void set_hop_tracer(obs::HopTracer* hops) { hops_ = hops; }
 
+  /// Metrics sink for the esr_seq_* client families (null = off).
+  void set_metrics(obs::MetricRegistry* metrics) { metrics_ = metrics; }
+
   /// Amnesia-crash support: forgets every pending callback (they capture
-  /// protocol state that died with the site) but remembers the request ids,
-  /// so when the server's responses eventually arrive — requests persist in
-  /// the stable queues — the granted positions are handed to
+  /// protocol state that died with the site) but remembers the in-flight
+  /// request ids, so when the server's grants eventually arrive — requests
+  /// persist in the stable queues — the granted positions are handed to
   /// `orphan_handler` instead of vanishing as holes in the total order.
+  /// Closes (cancels) the pending kSeqRtt hop spans: the requester is dead,
+  /// so the round trips end here rather than dangling unterminated.
   void AbandonPending();
 
-  /// Receives sequence numbers granted to abandoned requests.
+  /// Receives sequence numbers granted to abandoned requests. A batched
+  /// abandoned request releases every position of its block, one call per
+  /// position.
   void set_orphan_handler(std::function<void(SequenceNumber)> handler) {
     orphan_handler_ = std::move(handler);
   }
 
-  int64_t PendingCount() const {
-    return static_cast<int64_t>(pending_.size());
+  /// How a takeover probe reads this site's protocol-level high watermark
+  /// (the method's max observed total-order position); combined with the
+  /// client's own max grant seen when answering SeqProbeRequest.
+  void set_high_watermark_provider(std::function<SequenceNumber()> fn) {
+    high_watermark_provider_ = std::move(fn);
   }
 
+  /// Requests queued or in flight (entries, not wire batches).
+  int64_t PendingCount() const;
+  /// Abandoned request ids still awaiting their orphaned grants.
+  int64_t AbandonedCount() const {
+    return static_cast<int64_t>(abandoned_.size());
+  }
+
+  int64_t epoch() const { return epoch_; }
+  SiteId home() const { return home_; }
+  /// Highest position this client has ever seen granted (any request).
+  SequenceNumber MaxGrantSeen() const { return max_grant_seen_; }
+
  private:
-  struct Pending {
+  struct Entry {
     Callback done;
     TraceContext trace;
+    SimTime begin = -1;
+    /// Sequencer site at request time — kSeqRtt spans are keyed by (from,
+    /// to), so the close must name the home the span was opened against
+    /// even if a failover moved home_ since.
+    SiteId seq_to = kInvalidSiteId;
   };
+
+  void HandleGrant(SiteId source, const std::any& body);
+  void HandleEpochAnnounce(SiteId source, const std::any& body);
+  void HandleProbeRequest(SiteId source, const std::any& body);
+  /// Sends everything in queue_ as one wire batch (batch_max_ is a flush
+  /// trigger, not a hard cap — an epoch-change re-send may exceed it).
+  void Flush();
+  void CloseSpan(const Entry& entry);
+  SequenceNumber LocalHighWatermark() const;
 
   Mailbox* mailbox_;
   ReliableTransport* queues_;
   SiteId home_;
+  int64_t epoch_ = 1;
+  /// First position of the current epoch (from its announce; 1 initially).
+  /// Stale-grant positions below this were never re-granted — they are
+  /// holes in the total order and must be released as orphan no-ops.
+  SequenceNumber epoch_first_ = 1;
+  int32_t batch_max_ = 1;
+  SimDuration linger_us_ = 0;
   int64_t next_request_id_ = 1;
-  std::unordered_map<int64_t, Pending> pending_;
-  std::unordered_set<int64_t> abandoned_;
+  /// Requests accumulated toward the next wire batch.
+  std::vector<Entry> queue_;
+  bool linger_scheduled_ = false;
+  /// In-flight wire batches by request id; ordered so an epoch-change
+  /// re-send preserves submission order.
+  std::map<int64_t, std::vector<Entry>> inflight_;
+  /// Abandoned in-flight batches: request id -> position count to orphan.
+  std::unordered_map<int64_t, int32_t> abandoned_;
+  SequenceNumber max_grant_seen_ = 0;
   std::function<void(SequenceNumber)> orphan_handler_;
+  std::function<SequenceNumber()> high_watermark_provider_;
   obs::HopTracer* hops_ = nullptr;
+  obs::MetricRegistry* metrics_ = nullptr;
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
 };
 
 /// Wire formats (shared between server and client).
-struct SeqRequest {
+struct SeqBatchRequest {
   int64_t request_id;
-  /// Causal context of the requesting ET; echoed onto the response
-  /// envelope by the server so both legs of the round trip are traceable.
+  /// Positions requested — one per coalesced Request().
+  int32_t count;
+  /// The client's epoch; a server drops requests from another epoch (the
+  /// client re-sends after it processes the matching announce).
+  int64_t epoch;
+  /// Causal context of the first requesting ET in the batch; echoed onto
+  /// the response envelope so both legs of the round trip are traceable.
   TraceContext trace;
 };
-struct SeqResponse {
+struct SeqBatchGrant {
   int64_t request_id;
-  SequenceNumber seq;
+  /// First granted position; the block is [first, first + count).
+  SequenceNumber first;
+  int32_t count;
+  /// Epoch the grant was issued in; clients discard superseded epochs.
+  int64_t epoch;
+};
+/// Takeover probe: "what is the highest granted position you have seen?"
+struct SeqProbeRequest {
+  int64_t probe_id;
+  SiteId from;
+};
+struct SeqProbeResponse {
+  int64_t probe_id;
+  SiteId from;
+  SequenceNumber max_seen;
+  int64_t epoch;
+};
+/// Failover completion notice: grants resume from `first` in `epoch` at
+/// site `home`. Clients re-target and re-send everything outstanding.
+struct SeqEpochAnnounce {
+  int64_t epoch;
+  SiteId home;
+  SequenceNumber first;
 };
 
 }  // namespace esr::msg

@@ -1,10 +1,12 @@
 #include "msg/total_order_buffer.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace esr::msg {
 
 void TotalOrderBuffer::Offer(SequenceNumber seq, std::any payload) {
+  max_offered_ = std::max(max_offered_, seq);
   if (seq < next_ || holdback_.count(seq)) return;  // duplicate
   holdback_.emplace(seq, std::move(payload));
   if (!paused_) Drain();

@@ -1,6 +1,7 @@
 #ifndef ESR_MSG_TOTAL_ORDER_BUFFER_H_
 #define ESR_MSG_TOTAL_ORDER_BUFFER_H_
 
+#include <algorithm>
 #include <any>
 #include <functional>
 #include <map>
@@ -37,6 +38,10 @@ class TotalOrderBuffer {
   /// Number of payloads currently held back by a gap.
   int64_t HeldCount() const { return static_cast<int64_t>(holdback_.size()); }
 
+  /// Highest sequence number ever offered (applied or still held back):
+  /// the protocol-level high watermark a sequencer-takeover probe reports.
+  SequenceNumber MaxOffered() const { return max_offered_; }
+
   /// Pauses release at the *current* watermark: payloads keep accumulating
   /// but none are applied until Resume(). ORDUP's strict queries use this to
   /// read at an exact position in the global order.
@@ -50,6 +55,7 @@ class TotalOrderBuffer {
   void RestoreWatermark(SequenceNumber watermark) {
     if (next_ == 1 && holdback_.empty() && watermark >= 0) {
       next_ = watermark + 1;
+      max_offered_ = std::max(max_offered_, watermark);
     }
   }
 
@@ -60,6 +66,7 @@ class TotalOrderBuffer {
 
   ApplyFn apply_;
   SequenceNumber next_ = 1;
+  SequenceNumber max_offered_ = 0;
   std::map<SequenceNumber, std::any> holdback_;
   bool paused_ = false;
 };

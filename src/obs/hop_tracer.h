@@ -123,6 +123,11 @@ class HopTracer {
 
   /// Completed (stable/aborted) traces, oldest first, FIFO-bounded.
   const std::deque<EtTrace>& completed() const { return completed_; }
+  /// Still-open (in-flight) traces — tests scan these too when asserting
+  /// that every span of a given kind was terminated.
+  const std::unordered_map<EtId, EtTrace>& open_traces() const {
+    return open_;
+  }
   const std::vector<HopRecord>& catchup_hops() const { return catchup_hops_; }
 
   int num_sites() const { return num_sites_; }

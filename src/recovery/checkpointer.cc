@@ -7,7 +7,10 @@ namespace esr::recovery {
 namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x45535243u;  // "ESRC"
-constexpr uint32_t kCheckpointVersion = 1;
+/// v2 added the sequencer durable floor (seq_next, seq_epoch). v1 blobs
+/// still decode — the sequencer fields stay 0 and the restarted server
+/// falls back to the peer high-watermark probe alone.
+constexpr uint32_t kCheckpointVersion = 2;
 
 }  // namespace
 
@@ -18,6 +21,8 @@ std::string EncodeCheckpoint(const CheckpointData& data) {
   enc.I64(data.last_lsn);
   enc.I64(data.clock_counter);
   enc.I64(data.order_watermark);
+  enc.I64(data.seq_next);
+  enc.I64(data.seq_epoch);
   enc.U32(static_cast<uint32_t>(data.applied.size()));
   for (const LamportTimestamp& ts : data.applied) enc.Ts(ts);
   enc.U32(static_cast<uint32_t>(data.store_entries.size()));
@@ -57,11 +62,16 @@ bool DecodeCheckpoint(std::string_view bytes, CheckpointData* out) {
   if (!FrameNext(bytes, &pos, &payload)) return false;
   Decoder dec(payload);
   if (dec.U32() != kCheckpointMagic) return false;
-  if (dec.U32() != kCheckpointVersion) return false;
+  const uint32_t version = dec.U32();
+  if (version < 1 || version > kCheckpointVersion) return false;
   CheckpointData data;
   data.last_lsn = dec.I64();
   data.clock_counter = dec.I64();
   data.order_watermark = dec.I64();
+  if (version >= 2) {
+    data.seq_next = dec.I64();
+    data.seq_epoch = dec.I64();
+  }
   uint32_t n = dec.U32();
   for (uint32_t i = 0; i < n && dec.ok(); ++i) data.applied.push_back(dec.Ts());
   n = dec.U32();

@@ -32,6 +32,12 @@ struct CheckpointData {
   int64_t clock_counter = 0;
   /// Total-order delivery watermark (0 for unordered methods).
   SequenceNumber order_watermark = 0;
+  /// Active order server state at the checkpointed site (0/0 everywhere
+  /// else): the durable floor an amnesia-restarted sequencer re-seeds its
+  /// grant cursor from — combined with a peer high-watermark probe — so
+  /// granted positions are never reissued.
+  SequenceNumber seq_next = 0;
+  int64_t seq_epoch = 0;
   /// Per-origin applied-MSet timestamp vector, indexed by SiteId.
   std::vector<LamportTimestamp> applied;
   /// Single-version store image: (object, value, write_timestamp).

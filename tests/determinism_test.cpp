@@ -106,6 +106,51 @@ TEST(AdmissionDeterminism, AdaptiveControllerPreservesDeterminism) {
   }
 }
 
+TEST(BatchingDeterminism, BatchedMatchesUnbatchedFinalState) {
+  // Group sequencing changes message timing, not semantics: under a
+  // commutative increment-only schedule the drained final state must be
+  // identical with batching on or off, and the batched execution itself
+  // must remain a pure function of (config, seed). ORDUP-TS consumes no
+  // sequencer (decentralized Lamport ordering) — it rides along to pin
+  // down that the knobs are inert there.
+  using store::Operation;
+  for (Method method :
+       {Method::kOrdup, Method::kOrdupTs, Method::kCompeOrdered}) {
+    SCOPED_TRACE(std::string(MethodToString(method)));
+    auto run = [&](int32_t batch_max, SimDuration linger_us) {
+      SystemConfig config = test::Config(method, 3, 881);
+      config.seq_batch_max = batch_max;
+      config.seq_batch_linger_us = linger_us;
+      ReplicatedSystem system(config);
+      const bool compe = method == Method::kCompeOrdered;
+      for (int i = 0; i < 12; ++i) {
+        // Two concurrent submissions per round give batches something to
+        // coalesce.
+        const EtId a =
+            test::MustSubmit(system, 1, {Operation::Increment(0, 1)});
+        const EtId b =
+            test::MustSubmit(system, 2, {Operation::Increment(1, i)});
+        if (compe) {
+          EXPECT_TRUE(system.Decide(a, true).ok());
+          EXPECT_TRUE(system.Decide(b, true).ok());
+        }
+        system.RunFor(8'000);
+      }
+      system.RunUntilQuiescent();
+      EXPECT_TRUE(system.Converged());
+      std::vector<uint64_t> digests;
+      for (SiteId s = 0; s < 3; ++s) digests.push_back(system.SiteDigest(s));
+      return digests;
+    };
+    const std::vector<uint64_t> unbatched = run(1, 0);
+    const std::vector<uint64_t> batched = run(8, 1'000);
+    const std::vector<uint64_t> batched_again = run(8, 1'000);
+    EXPECT_EQ(batched, batched_again) << "batched run must be deterministic";
+    EXPECT_EQ(unbatched, batched)
+        << "batching must not change the converged final state";
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllMethods, Determinism,
     ::testing::Values(

@@ -156,6 +156,50 @@ TEST(HopTraceTest, SegmentsTileTheTracedWindows) {
   EXPECT_NE(json.find("\"segments\""), std::string::npos);
 }
 
+TEST(HopTraceTest, OrphanedSeqSpansAreClosed) {
+  SystemConfig config = Config(Method::kOrdup, 3, 17);
+  config.record_hops = true;
+  config.recovery.enabled = true;
+  config.recovery.checkpoint_interval_us = 40'000;
+  ReplicatedSystem system(config);
+  // Updates flow from site 1 (not the sequencer home, so every order
+  // request is a real round trip). It dies with amnesia 0.5ms after a
+  // submit — the request is still in flight — so the grant comes back
+  // orphaned. The abandoned early return used to skip SeqEnd, leaving the
+  // round-trip span dangling and skewing the critical-path waterfall.
+  for (int i = 0; i < 6; ++i) {
+    MustSubmit(system, 1, {Operation::Increment(0, 1)});
+    system.RunFor(10'000);
+  }
+  MustSubmit(system, 1, {Operation::Increment(0, 1)});
+  system.failures().ScheduleCrash(
+      sim::CrashSpec{/*site=*/1, system.simulator().Now() + 500,
+                     system.simulator().Now() + 100'000, /*amnesia=*/true});
+  system.RunFor(150'000);
+  system.RunUntilQuiescent();
+
+  const obs::HopTracer* hops = system.hop_tracer();
+  ASSERT_NE(hops, nullptr);
+  int seq_spans = 0;
+  int orphaned_spans = 0;  // spans of ETs that never reached commit
+  int unterminated = 0;
+  auto scan = [&](const obs::EtTrace& trace) {
+    for (const obs::HopRecord& hop : trace.hops) {
+      if (hop.kind != obs::HopKind::kSeqRtt) continue;
+      ++seq_spans;
+      if (trace.commit_time < 0) ++orphaned_spans;
+      if (hop.begin >= 0 && hop.end < 0) ++unterminated;
+    }
+  };
+  for (const obs::EtTrace& trace : hops->completed()) scan(trace);
+  for (const auto& [et, trace] : hops->open_traces()) scan(trace);
+  EXPECT_GT(seq_spans, 0);
+  EXPECT_GT(orphaned_spans, 0)
+      << "the crash was supposed to orphan an in-flight order request";
+  EXPECT_EQ(unterminated, 0)
+      << "an abandoned sequencer round trip left its span dangling";
+}
+
 TEST(HopTraceTest, CompletedRingIsBounded) {
   SystemConfig config = Config(Method::kCommu, 2, 13);
   config.record_hops = true;

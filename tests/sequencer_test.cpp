@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "msg/stable_queue.h"
+#include "obs/metric_registry.h"
 #include "sim/simulator.h"
 
 namespace esr::msg {
@@ -94,6 +95,166 @@ TEST_F(SequencerTest, RequestsDeferredWhileSequencerDown) {
   net_->SetSiteUp(0);
   sim_.Run();
   EXPECT_EQ(got, 1);
+}
+
+// --- Group sequencing ------------------------------------------------------
+
+TEST_F(SequencerTest, BatchMaxCoalescesRequestsIntoOneWireBatch) {
+  Build(sim::NetworkConfig{});
+  obs::MetricRegistry metrics;
+  server_->set_metrics(&metrics);
+  clients_[1]->set_batching(/*batch_max=*/4, /*linger_us=*/1'000);
+  std::vector<SequenceNumber> got;
+  for (int i = 0; i < 4; ++i) {
+    clients_[1]->Request([&](SequenceNumber n) { got.push_back(n); });
+  }
+  sim_.Run();
+  ASSERT_EQ(got.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(got[i], i + 1);
+  // Four requests, one wire batch.
+  EXPECT_EQ(metrics.GetCounter("esr_seq_batches_total").value(), 1);
+  EXPECT_EQ(metrics.GetCounter("esr_seq_grants_total").value(), 4);
+}
+
+TEST_F(SequencerTest, LingerFlushesPartialBatch) {
+  Build(sim::NetworkConfig{});
+  obs::MetricRegistry metrics;
+  server_->set_metrics(&metrics);
+  clients_[1]->set_batching(/*batch_max=*/8, /*linger_us=*/500);
+  std::vector<SequenceNumber> got;
+  for (int i = 0; i < 3; ++i) {
+    clients_[1]->Request([&](SequenceNumber n) { got.push_back(n); });
+  }
+  // Below batch_max: nothing may be sent before the linger expires.
+  sim_.RunUntil(400);
+  EXPECT_TRUE(got.empty());
+  sim_.Run();
+  ASSERT_EQ(got.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(got[i], i + 1);
+  EXPECT_EQ(metrics.GetCounter("esr_seq_batches_total").value(), 1);
+}
+
+// --- Seal–failover–unseal --------------------------------------------------
+
+TEST_F(SequencerTest, TakeoverRecoversHighWatermarkFromPeers) {
+  Build(sim::NetworkConfig{});
+  std::vector<SequenceNumber> got;
+  for (int i = 0; i < 4; ++i) {
+    clients_[1]->Request([&](SequenceNumber n) { got.push_back(n); });
+  }
+  sim_.Run();
+  ASSERT_EQ(got.size(), 4u);
+
+  // Home dies; a standby at site 2 takes over, probing the surviving peer.
+  net_->SetSiteDown(0);
+  auto standby = std::make_unique<SequencerServer>(
+      mailboxes_[2].get(), queues_[2].get(), /*start_sealed=*/true);
+  standby->BeginTakeover(/*durable_floor=*/1, /*peers=*/{1});
+  sim_.RunUntil(200'000);
+  EXPECT_FALSE(standby->sealed());
+  EXPECT_EQ(standby->epoch(), 2);
+  // Client 1 saw grants up to 4, so the new epoch must resume at 5.
+  EXPECT_EQ(standby->NextToGrant(), 5);
+  EXPECT_EQ(clients_[1]->home(), 2);
+  EXPECT_EQ(clients_[1]->epoch(), 2);
+
+  clients_[1]->Request([&](SequenceNumber n) { got.push_back(n); });
+  sim_.RunUntil(400'000);
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(got.back(), 5);
+
+  net_->SetSiteUp(0);  // let the queued announce drain so Run() terminates
+  sim_.Run();
+  std::set<SequenceNumber> unique(got.begin(), got.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST_F(SequencerTest, TakeoverWithoutPeersUsesDurableFloor) {
+  Build(sim::NetworkConfig{});
+  auto standby = std::make_unique<SequencerServer>(
+      mailboxes_[2].get(), queues_[2].get(), /*start_sealed=*/true);
+  standby->BeginTakeover(/*durable_floor=*/6, /*peers=*/{});
+  // No peers: the handover completes synchronously from the durable floor.
+  EXPECT_FALSE(standby->sealed());
+  EXPECT_EQ(standby->NextToGrant(), 6);
+  EXPECT_EQ(standby->epoch(), 2);
+  sim_.Run();  // drain the epoch announce broadcast
+}
+
+TEST_F(SequencerTest, StaleEpochGrantsAreDiscardedAndHolesReleased) {
+  Build(sim::NetworkConfig{});
+  obs::MetricRegistry metrics;
+  clients_[1]->set_metrics(&metrics);
+  std::vector<SequenceNumber> orphans;
+  clients_[1]->set_orphan_handler(
+      [&](SequenceNumber n) { orphans.push_back(n); });
+  std::vector<SequenceNumber> got;
+  // The request leaves toward home 0 (epoch 1) ...
+  clients_[1]->Request([&](SequenceNumber n) { got.push_back(n); });
+  // ... then a failover moves the client to epoch 2 / home 2 before the
+  // epoch-1 grant can arrive. The client re-sends to the new home.
+  auto successor = std::make_unique<SequencerServer>(
+      mailboxes_[2].get(), queues_[2].get(), /*start_sealed=*/false,
+      /*epoch=*/2, /*first=*/101);
+  mailboxes_[1]->Dispatch(
+      2, Envelope{kSeqEpochAnnounce, SeqEpochAnnounce{2, 2, 101}, {}});
+  sim_.Run();
+  // Exactly one grant fired — from the successor — and the superseded
+  // epoch-1 grant was not double-delivered. Its position 1 lies below the
+  // new epoch's floor (101), i.e. the takeover never re-granted it: it is
+  // a hole in the total order and must be released as an orphan no-op.
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 101);
+  EXPECT_EQ(metrics.GetCounter("esr_seq_stale_grants_total").value(), 1);
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_EQ(orphans[0], 1);
+  EXPECT_EQ(clients_[1]->MaxGrantSeen(), 101);
+}
+
+// --- Amnesia / orphaned grants ---------------------------------------------
+
+TEST_F(SequencerTest, AbandonedBatchReleasesEveryPositionAsOrphan) {
+  Build(sim::NetworkConfig{});
+  clients_[1]->set_batching(/*batch_max=*/3, /*linger_us=*/0);
+  std::vector<SequenceNumber> orphans;
+  clients_[1]->set_orphan_handler(
+      [&](SequenceNumber n) { orphans.push_back(n); });
+  int callbacks = 0;
+  for (int i = 0; i < 3; ++i) {
+    clients_[1]->Request([&](SequenceNumber) { ++callbacks; });
+  }
+  // The batch is in flight; the requester dies with amnesia.
+  clients_[1]->AbandonPending();
+  EXPECT_EQ(clients_[1]->AbandonedCount(), 1);
+  EXPECT_EQ(clients_[1]->PendingCount(), 0);
+  sim_.Run();
+  // The grant still arrives (stable queues) and every position of the
+  // block is released as an orphan; no dead callback runs.
+  EXPECT_EQ(callbacks, 0);
+  ASSERT_EQ(orphans.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(orphans[i], i + 1);
+  EXPECT_EQ(clients_[1]->AbandonedCount(), 0);
+  EXPECT_EQ(clients_[1]->MaxGrantSeen(), 3);
+}
+
+TEST_F(SequencerTest, AbandonedIdsDroppedOnEpochChange) {
+  Build(sim::NetworkConfig{});
+  obs::MetricRegistry metrics;
+  clients_[1]->set_metrics(&metrics);
+  int orphan_calls = 0;
+  clients_[1]->set_orphan_handler([&](SequenceNumber) { ++orphan_calls; });
+  clients_[1]->Request([](SequenceNumber) {});
+  clients_[1]->AbandonPending();
+  EXPECT_EQ(clients_[1]->AbandonedCount(), 1);
+  // An epoch change means the old epoch's grant (if ever issued) will be
+  // discarded as stale — the abandoned bookkeeping must not grow forever.
+  mailboxes_[1]->Dispatch(
+      2, Envelope{kSeqEpochAnnounce, SeqEpochAnnounce{2, 2, 1}, {}});
+  EXPECT_EQ(clients_[1]->AbandonedCount(), 0);
+  EXPECT_EQ(metrics.GetCounter("esr_seq_abandoned_dropped_total").value(), 1);
+  sim_.Run();
+  // The epoch-1 grant arrives, is stale, and must not leak an orphan call.
+  EXPECT_EQ(orphan_calls, 0);
 }
 
 }  // namespace

@@ -40,6 +40,15 @@
 //   --seq-batch-linger-us=L flush a partial batch L simulated us after its
 //                           first request (default 0: immediately)
 //
+// Partial replication (ORDUP only):
+//   --shards=K              split the object universe into K shards; each
+//                           site stores and orders only the shards it owns
+//   --replication-factor=R  owners per shard (default 2, clamped to --sites)
+//   --single-shard-fraction=F
+//                           fraction of update ETs confined to one shard
+//                           (cross-shard ETs pay the multi-sequencer commit
+//                           rule; default 0: objects picked independently)
+//
 // Causal tracing / critical path:
 //   --trace-ets=N        record hop-level traces for the most recent N
 //                        update ETs; prints the critical-path report at
@@ -165,6 +174,12 @@ int main(int argc, char** argv) {
       crash_site = std::stoi(value.substr(0, c1));
       crash_at_us = std::stoll(value.substr(c1 + 1, c2 - c1 - 1)) * 1000;
       restart_at_us = std::stoll(value.substr(c2 + 1)) * 1000;
+    } else if (ParseFlag(argv[i], "shards", &value)) {
+      config.shard.num_shards = std::stoi(value);
+    } else if (ParseFlag(argv[i], "replication-factor", &value)) {
+      config.shard.replication_factor = std::stoi(value);
+    } else if (ParseFlag(argv[i], "single-shard-fraction", &value)) {
+      spec.single_shard_fraction = std::stod(value);
     } else if (ParseFlag(argv[i], "sequencer-standby", &value)) {
       config.sequencer_standby = std::stoi(value);
     } else if (ParseFlag(argv[i], "seq-batch-max", &value)) {
@@ -222,6 +237,12 @@ int main(int argc, char** argv) {
                  "recovery flags need an asynchronous ESR method\n");
     return 2;
   }
+  if (config.shard.num_shards > 1 && config.method != Method::kOrdup) {
+    std::fprintf(stderr,
+                 "partial replication (--shards > 1) requires "
+                 "--method=ordup\n");
+    return 2;
+  }
   if (crash_site != esr::kInvalidSiteId && !config.recovery.enabled) {
     config.recovery.enabled = true;
     config.recovery.checkpoint_interval_us = 50'000;
@@ -244,6 +265,12 @@ int main(int argc, char** argv) {
                   : std::to_string(spec.query_epsilon).c_str(),
               spec.update_fraction,
               static_cast<unsigned long long>(config.seed));
+  if (config.shard.num_shards > 1) {
+    std::printf("partial replication: shards=%d replication_factor=%d "
+                "single_shard_fraction=%.2f\n",
+                config.shard.num_shards, config.shard.replication_factor,
+                spec.single_shard_fraction);
+  }
   if (system.metrics_exporter() != nullptr) {
     std::printf("metrics: http://127.0.0.1:%d/metrics (snapshot published "
                 "every %lld simulated ms)\n",

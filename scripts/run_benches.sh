@@ -3,39 +3,54 @@
 # Each bench also drops a machine-readable <name>.bench.json (written by
 # bench_util.h's WriteMetricsSnapshot); this script folds them into one
 # BENCH_RESULTS.json in the current directory.
+#
+# A failing bench does not abort the sweep: the remaining benches still
+# run, BENCH_RESULTS.json is still written with whatever results exist,
+# and its "failed" field lists the benches that exited nonzero (empty
+# array = clean sweep). The script's own exit code is nonzero iff any
+# bench failed, so CI still gates on it.
 # Usage: scripts/run_benches.sh [build-dir]   (default: build)
-set -e
+set -u
 BUILD="${1:-build}"
+FAILED=""
 for b in "$BUILD"/bench/bench_*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "==================================================================="
   echo "# $(basename "$b")"
   echo "==================================================================="
-  "$b"
+  if ! "$b"; then
+    echo "FAILED: $(basename "$b") exited nonzero; continuing" >&2
+    FAILED="$FAILED $(basename "$b")"
+  fi
   echo
 done
 
 # Fold per-bench JSON results (written into the CWD by each binary) into a
-# single document: {"benches":[<bench1>,<bench2>,...]}. Plain sh, no jq.
+# single document: {"benches":[...],"failed":[...]}. Plain sh, no jq.
+# Written unconditionally — a midway crash must still leave a parseable
+# record of the benches that did complete.
 OUT="BENCH_RESULTS.json"
-found=0
-for j in ./*.bench.json; do
-  [ -f "$j" ] && found=1 && break
-done
-if [ "$found" -eq 1 ]; then
-  {
-    printf '{"benches":['
-    first=1
-    for j in ./*.bench.json; do
-      [ -f "$j" ] || continue
-      [ "$first" -eq 1 ] || printf ','
-      first=0
-      # Each file is a single JSON object on one line (plus trailing newline).
-      tr -d '\n' < "$j"
-    done
-    printf ']}\n'
-  } > "$OUT"
-  echo "wrote $OUT"
-else
-  echo "no *.bench.json files found; skipped $OUT"
+{
+  printf '{"benches":['
+  first=1
+  for j in ./*.bench.json; do
+    [ -f "$j" ] || continue
+    [ "$first" -eq 1 ] || printf ','
+    first=0
+    # Each file is a single JSON object on one line (plus trailing newline).
+    tr -d '\n' < "$j"
+  done
+  printf '],"failed":['
+  first=1
+  for f in $FAILED; do
+    [ "$first" -eq 1 ] || printf ','
+    first=0
+    printf '"%s"' "$f"
+  done
+  printf ']}\n'
+} > "$OUT"
+echo "wrote $OUT"
+if [ -n "$FAILED" ]; then
+  echo "bench failures:$FAILED" >&2
+  exit 1
 fi

@@ -24,8 +24,11 @@ scripts/run_tier1.sh --sanitize
 # and /traces shares the exporter's snapshot handoff. The sequencer suites
 # join because seal–probe–unseal failover tears down and resurrects order
 # servers mid-run — handler re-registration and weak_ptr linger guards are
-# classic use-after-free territory.
+# classic use-after-free territory. The sharding suites join because
+# partial replication tears through the same hazards at once: per-shard
+# sequencer failover, owner-crash amnesia recovery, and cross-site query
+# shadows whose lifetimes end at three different owners.
 cd build-asan
 ctest --output-on-failure \
-  -R 'recovery|failure|http_exporter|hop_trace|critical_path|quantile|sequencer' \
+  -R 'recovery|failure|http_exporter|hop_trace|critical_path|quantile|sequencer|shard' \
   --repeat until-fail:2 -j "$(nproc)"

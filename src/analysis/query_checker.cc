@@ -154,18 +154,27 @@ std::vector<QueryErrorReport> AnalyzeQueries(
 
     auto rit = reads_by_query.find(q.query);
     if (rit != reads_by_query.end()) {
-      // Drift: conflicting updates applied at the query's site between its
-      // first read and each later read, restricted to the object each read
-      // touched.
-      int64_t first_index = INT64_MAX;
+      // Drift: conflicting updates applied at the site that served each
+      // read, between the query's first read at that site and the read
+      // itself, restricted to the object the read touched. Reads are
+      // grouped by serving site (not the query's origin) because under
+      // partial replication forwarded reads execute at owner sites whose
+      // apply sequences are independent of — and differently numbered
+      // from — the origin's. Unsharded runs have every read at q.site, so
+      // the grouping degenerates to the old single-window accounting.
+      std::unordered_map<SiteId, int64_t> first_index_by_site;
       for (const ReadRecord* r : rit->second) {
-        first_index = std::min(first_index, r->site_apply_index);
+        auto [fit, inserted] =
+            first_index_by_site.try_emplace(r->site, r->site_apply_index);
+        if (!inserted) fit->second = std::min(fit->second, r->site_apply_index);
       }
-      const std::vector<ApplyRecord>& applies =
-          history.site_applies(q.site);
       for (const ReadRecord* r : rit->second) {
-        for (int64_t idx = first_index + 1; idx <= r->site_apply_index;
-             ++idx) {
+        const std::vector<ApplyRecord>& applies =
+            history.site_applies(r->site);
+        const int64_t first_index = first_index_by_site[r->site];
+        const int64_t last = std::min(
+            r->site_apply_index, static_cast<int64_t>(applies.size()));
+        for (int64_t idx = first_index + 1; idx <= last; ++idx) {
           const UpdateRecord* u =
               history.FindUpdate(applies[static_cast<size_t>(idx - 1)].et);
           if (u == nullptr) continue;

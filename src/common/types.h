@@ -19,9 +19,14 @@ using ObjectId = int64_t;
 /// facade; encodes nothing (pure identity).
 using EtId = int64_t;
 
+/// Identifier of a placement shard under partial replication. Shards are
+/// numbered densely from 0; a system with one shard is fully replicated.
+using ShardId = int32_t;
+
 constexpr EtId kInvalidEtId = -1;
 constexpr SiteId kInvalidSiteId = -1;
 constexpr ObjectId kInvalidObjectId = -1;
+constexpr ShardId kInvalidShardId = -1;
 
 /// Simulated time, in microseconds since simulation start.
 using SimTime = int64_t;

@@ -7,6 +7,7 @@
 #include "msg/persistent_pipe.h"
 #include "msg/stable_queue.h"
 #include "recovery/recovery_config.h"
+#include "shard/placement_map.h"
 #include "sim/network.h"
 
 namespace esr::core {
@@ -214,6 +215,15 @@ struct SystemConfig {
   /// 0 disables the periodic publisher (explicit PublishMetricsSnapshot()
   /// calls still work). Only meaningful with metrics_port >= 0.
   SimDuration metrics_publish_interval_us = 100'000;
+
+  /// Partial replication (src/shard/): shard.num_shards > 1 partitions the
+  /// object universe across per-shard replica sets of
+  /// shard.replication_factor owner sites each. Updates, apply-acks and
+  /// stability notices route to owner sites only; ordering runs one
+  /// sequencer per shard. ORDUP only (asserted at facade construction);
+  /// the default (1 shard) preserves the fully-replicated behavior and its
+  /// determinism digests exactly.
+  shard::ShardConfig shard;
 
   /// Durable checkpoint + WAL recovery (src/recovery/). Off by default;
   /// when enabled every site logs delivered MSets and protocol decisions

@@ -1,9 +1,11 @@
 #ifndef ESR_ESR_MSET_H_
 #define ESR_ESR_MSET_H_
 
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
+#include "common/value.h"
 #include "msg/mailbox.h"
 #include "store/operation.h"
 
@@ -15,6 +17,12 @@ inline constexpr msg::MessageType kApplyAckMsg = 101;  // replica -> origin
 inline constexpr msg::MessageType kStableMsg = 102;    // origin -> all
 inline constexpr msg::MessageType kDecisionMsg = 103;  // COMPE commit/abort
 inline constexpr msg::MessageType kHeartbeatMsg = 104; // clock gossip (VTNC)
+// (105, 106 are kCatchupRequestMsg / kCatchupResponseMsg, recovery layer.)
+/// Partial replication: a query read forwarded to an owner site, its
+/// response, and the end-of-query notice that releases owner-side state.
+inline constexpr msg::MessageType kQueryReadRequestMsg = 107;
+inline constexpr msg::MessageType kQueryReadResponseMsg = 108;
+inline constexpr msg::MessageType kQueryFinishMsg = 109;
 
 /// A message set: the per-site representation of an update ET's replica
 /// maintenance work ("an update MSet is a set of replica maintenance
@@ -33,6 +41,11 @@ struct Mset {
   /// COMPE: true when this MSet is applied optimistically before its global
   /// update has committed (it may later be compensated).
   bool tentative = false;
+  /// Partial replication (sharded ORDUP): the per-shard sequencer positions
+  /// this MSet occupies, sorted by shard. Empty = unsharded (global_order
+  /// carries the position instead). An owner site applies the MSet when it
+  /// is at the head of EVERY owned shard stream named here.
+  std::vector<std::pair<ShardId, SequenceNumber>> shard_positions;
 };
 
 /// Apply acknowledgment: replica tells the origin it has applied the MSet.
@@ -58,6 +71,41 @@ struct Decision {
 /// VTNC) advancing even when a site originates no updates for a while.
 struct Heartbeat {
   LamportTimestamp clock;
+};
+
+/// Partial replication: one divergence-bounded read of a non-locally-owned
+/// object, forwarded by the querying site's facade to an owner of the
+/// object's shard. The owner executes it against a shadow query state and
+/// charges at most `epsilon_budget` inconsistency (the origin query's
+/// remaining budget at send time, so the total across local and forwarded
+/// reads never exceeds the declared epsilon).
+struct QueryReadRequest {
+  EtId query = kInvalidEtId;
+  int64_t request_id = 0;
+  ObjectId object = kInvalidObjectId;
+  int64_t epsilon_budget = 0;
+  /// Strict re-execution attempt number (QueryState::restarts at the
+  /// origin). A bump tells the owner to restart its shadow state too.
+  int64_t attempt = 0;
+  bool strict = false;
+};
+
+struct QueryReadResponse {
+  EtId query = kInvalidEtId;
+  int64_t request_id = 0;
+  ObjectId object = kInvalidObjectId;
+  /// kOk, kUnavailable (owner keeps retrying; informational), or
+  /// kInconsistencyLimit (origin must strict-restart the whole query).
+  int32_t status_code = 0;
+  Value value;
+  /// Inconsistency charged by this read at the owner (<= epsilon_budget).
+  int64_t inconsistency_charged = 0;
+};
+
+/// Origin -> owners: the query ended (or died with its site); release the
+/// shadow query state and any applier pause it holds.
+struct QueryFinish {
+  EtId query = kInvalidEtId;
 };
 
 }  // namespace esr::core

@@ -1,0 +1,371 @@
+#include "esr/ordup_sharded.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace esr::core {
+
+namespace {
+/// Non-owned shards report "infinity" in checkpoint watermarks: this site
+/// never needs records of those streams.
+constexpr SequenceNumber kShardWatermarkInfinity =
+    std::numeric_limits<SequenceNumber>::max();
+}  // namespace
+
+ShardedOrdupMethod::ShardedOrdupMethod(const MethodContext& ctx)
+    : ReplicaControlMethod(ctx) {
+  assert(ctx_.placement != nullptr);
+  assert(static_cast<int>(ctx_.shard_sequencers.size()) ==
+         ctx_.placement->num_shards());
+  for (ShardId k : ctx_.placement->OwnedShards(ctx_.site)) {
+    streams_[k];  // default-construct the stream
+  }
+  ctx_.mailbox->RegisterHandler(
+      kMsetMsg, [this](SiteId /*source*/, const std::any& body) {
+        const auto* mset = std::any_cast<Mset>(&body);
+        assert(mset != nullptr);
+        OnMsetDelivered(*mset);
+      });
+}
+
+void ShardedOrdupMethod::SubmitUpdate(EtId et,
+                                      std::vector<store::Operation> ops,
+                                      CommitFn done) {
+  const LamportTimestamp ts = ctx_.clock->Tick();
+  outgoing_ts_.emplace(et, ts);
+  std::vector<ShardId> shards = ctx_.placement->ShardsOf(ops);
+  assert(!shards.empty());
+  if (shards.size() == 1) {
+    // Single-shard fast path: one round trip to the shard's own sequencer
+    // and no coordination with any non-owner site.
+    const ShardId k = shards.front();
+    ctx_.shard_sequencers[k]->Request(
+        [this, et, ts, k, ops = std::move(ops),
+         done = std::move(done)](SequenceNumber seq) mutable {
+          FinishCommit(et, ts, std::move(ops), {{k, seq}}, std::move(done));
+        },
+        TraceContext{.et = et, .origin = ctx_.site});
+    return;
+  }
+  auto state = std::make_shared<CrossCommit>();
+  state->et = et;
+  state->ts = ts;
+  state->ops = std::move(ops);
+  state->done = std::move(done);
+  state->shards = std::move(shards);
+  AcquireNextShard(std::move(state));
+}
+
+void ShardedOrdupMethod::AcquireNextShard(
+    std::shared_ptr<CrossCommit> state) {
+  if (state->next_shard == state->shards.size()) {
+    // Every touched shard's position is held under its cross lock; the
+    // vector is now immutable, so release all locks and commit.
+    for (const auto& [k, token] : state->tokens) {
+      ctx_.shard_sequencers[k]->ReleaseCross(token);
+    }
+    FinishCommit(state->et, state->ts, std::move(state->ops),
+                 std::move(state->positions), std::move(state->done));
+    return;
+  }
+  const ShardId k = state->shards[state->next_shard];
+  ctx_.shard_sequencers[k]->RequestCross(
+      [this, state, k](SequenceNumber pos, int64_t token) {
+        state->positions.emplace_back(k, pos);
+        state->tokens.emplace_back(k, token);
+        ++state->next_shard;
+        AcquireNextShard(state);
+      },
+      TraceContext{.et = state->et, .origin = ctx_.site});
+}
+
+void ShardedOrdupMethod::FinishCommit(
+    EtId et, LamportTimestamp ts, std::vector<store::Operation> ops,
+    std::vector<std::pair<ShardId, SequenceNumber>> positions,
+    CommitFn done) {
+  Mset mset;
+  mset.et = et;
+  mset.origin = ctx_.site;
+  mset.global_order = 0;  // per-shard positions carry the order
+  mset.timestamp = ts;
+  mset.operations = std::move(ops);
+  mset.shard_positions = std::move(positions);
+  std::sort(mset.shard_positions.begin(), mset.shard_positions.end());
+  if (ctx_.config->record_history) {
+    analysis::UpdateRecord record;
+    record.et = et;
+    record.origin = ctx_.site;
+    record.commit_time = ctx_.simulator->Now();
+    record.ops = mset.operations;
+    record.order = mset.shard_positions.front().second;
+    record.timestamp = ts;
+    ctx_.history->RecordUpdateCommit(std::move(record));
+  }
+  // Owner-set stability: the ET is stable once every owner of its shards
+  // applied it — non-owners never see it and never ack.
+  std::vector<ShardId> shards;
+  shards.reserve(mset.shard_positions.size());
+  for (const auto& [k, pos] : mset.shard_positions) shards.push_back(k);
+  const std::vector<SiteId> owners = ctx_.placement->OwnersOf(shards);
+  ctx_.stability->SetExpected(et, static_cast<int>(owners.size()));
+  TraceLocalCommit(et);
+  PropagateMset(mset);
+  OfferMset(mset);  // applies locally iff this site owns a touched shard
+  ctx_.counters->Increment("esr.updates_committed");
+  if (done) done(Status::Ok());
+}
+
+void ShardedOrdupMethod::OnMsetDelivered(const Mset& mset) {
+  if (RecoveryFilterDelivery(mset)) return;
+  if (InReplay() && mset.origin == ctx_.site) {
+    // A WAL-replayed own MSet whose shards this site does not own never
+    // reaches ApplyNow (no owned stream holds it), but the origin-side ack
+    // expectation still has to come back.
+    bool names_owned_stream = false;
+    for (const auto& [k, p] : mset.shard_positions) {
+      (void)p;
+      if (streams_.count(k) != 0) names_owned_stream = true;
+    }
+    if (!names_owned_stream) {
+      MaybeReinstallOrigin(mset);
+      return;
+    }
+  }
+  OfferMset(mset);
+}
+
+void ShardedOrdupMethod::OfferMset(const Mset& mset) {
+  auto shared = std::make_shared<const Mset>(mset);
+  bool offered = false;
+  for (const auto& [k, p] : mset.shard_positions) {
+    auto it = streams_.find(k);
+    if (it == streams_.end()) continue;  // not owned at this site
+    ShardStream& st = it->second;
+    st.max_offered = std::max(st.max_offered, p);
+    if (p < st.next) continue;  // duplicate of an applied position
+    st.pending.emplace(p, shared);
+    offered = true;
+  }
+  if (offered) Drain();
+}
+
+bool ShardedOrdupMethod::AtBarrier(const Mset& mset) const {
+  for (const auto& [k, p] : mset.shard_positions) {
+    auto it = streams_.find(k);
+    if (it == streams_.end()) continue;
+    if (it->second.next != p) return false;
+  }
+  return true;
+}
+
+void ShardedOrdupMethod::Drain() {
+  if (pause_depth_ > 0) return;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Ascending shard order keeps the drain deterministic. A head MSet that
+    // spans streams applies only when at the head of all of them; applying
+    // one MSet can unblock another, so restart from the lowest shard.
+    for (auto& [k, st] : streams_) {
+      auto it = st.pending.find(st.next);
+      if (it == st.pending.end()) continue;
+      const std::shared_ptr<const Mset> mset = it->second;
+      if (!AtBarrier(*mset)) continue;
+      ApplyNow(*mset);
+      progress = true;
+      break;
+    }
+    if (pause_depth_ > 0) return;
+  }
+}
+
+void ShardedOrdupMethod::ApplyNow(const Mset& mset) {
+  // Advance (and clear) every owned stream the MSet names, atomically with
+  // respect to the drain: the barrier held, so each named stream is at
+  // exactly this MSet's position.
+  for (const auto& [k, p] : mset.shard_positions) {
+    auto it = streams_.find(k);
+    if (it == streams_.end()) continue;
+    assert(it->second.next == p);
+    it->second.pending.erase(p);
+    it->second.next = p + 1;
+  }
+  if (mset.et == kInvalidEtId) return;  // orphan filler: advance only
+  // Apply only the operations on objects this site owns; the rest belong
+  // to owners of the MSet's other shards.
+  Mset local = mset;
+  local.operations.clear();
+  for (const store::Operation& op : mset.operations) {
+    if (ctx_.placement->OwnsObject(ctx_.site, op.object)) {
+      local.operations.push_back(op);
+    }
+  }
+  Status s = ctx_.store->ApplyAll(local.operations);
+  assert(s.ok());
+  (void)s;
+  ++apply_index_;
+  std::unordered_set<ObjectId> seen;
+  for (const store::Operation& op : local.operations) {
+    if (op.IsUpdate() && seen.insert(op.object).second) {
+      applied_writes_[op.object].push_back(apply_index_);
+    }
+  }
+  if (InReplay()) MaybeReinstallOrigin(mset);
+  RecordApplied(local);
+}
+
+void ShardedOrdupMethod::MaybeReinstallOrigin(const Mset& mset) {
+  if (mset.origin != ctx_.site || mset.et <= 0) return;
+  if (ctx_.stability->IsStable(mset.et)) return;
+  if (outgoing_ts_.find(mset.et) == outgoing_ts_.end()) {
+    outgoing_ts_.emplace(mset.et, mset.timestamp);
+  }
+  std::vector<ShardId> shards;
+  shards.reserve(mset.shard_positions.size());
+  for (const auto& [k, pos] : mset.shard_positions) shards.push_back(k);
+  ctx_.stability->SetExpected(
+      mset.et,
+      static_cast<int>(ctx_.placement->OwnersOf(shards).size()));
+  outgoing_targets_[mset.et] = MsetTargets(mset);
+}
+
+void ShardedOrdupMethod::OnReplayReflected(const Mset& mset) {
+  // A checkpoint-reflected MSet replayed from the WAL: store effects are
+  // present (or the site never applies it — a non-owner origin), but the
+  // origin-side ack expectation must still be rebuilt.
+  MaybeReinstallOrigin(mset);
+}
+
+void ShardedOrdupMethod::SnapshotDurable(MethodDurableState& out) const {
+  ReplicaControlMethod::SnapshotDurable(out);
+  out.shard_watermarks.clear();
+  for (ShardId k = 0; k < ctx_.placement->num_shards(); ++k) {
+    auto it = streams_.find(k);
+    out.shard_watermarks.emplace_back(
+        k, it != streams_.end() ? it->second.next - 1
+                                : kShardWatermarkInfinity);
+  }
+}
+
+void ShardedOrdupMethod::RestoreDurable(const MethodDurableState& in) {
+  ReplicaControlMethod::RestoreDurable(in);
+  for (const auto& [k, wm] : in.shard_watermarks) {
+    auto it = streams_.find(k);
+    if (it == streams_.end() || wm == kShardWatermarkInfinity) continue;
+    ShardStream& st = it->second;
+    if (st.next == 1 && st.pending.empty() && wm >= 0) {
+      st.next = wm + 1;
+      st.max_offered = std::max(st.max_offered, wm);
+    }
+  }
+}
+
+void ShardedOrdupMethod::ReleaseOrphanShardPosition(ShardId shard,
+                                                    SequenceNumber seq) {
+  // The position was granted to an update that died in an amnesia crash:
+  // fill it with a no-op at every owner (locally included, if this site
+  // owns the shard) so no owner's stream waits forever.
+  Mset noop;
+  noop.et = kInvalidEtId;
+  noop.origin = ctx_.site;
+  noop.timestamp = ctx_.clock->Tick();
+  noop.shard_positions = {{shard, seq}};
+  PropagateMset(noop);
+  OfferMset(noop);
+}
+
+SequenceNumber ShardedOrdupMethod::ShardOrderSeen(ShardId shard) const {
+  auto it = streams_.find(shard);
+  if (it == streams_.end()) return 0;
+  return std::max(it->second.max_offered, it->second.next - 1);
+}
+
+SequenceNumber ShardedOrdupMethod::ShardWatermark(ShardId shard) const {
+  auto it = streams_.find(shard);
+  return it == streams_.end() ? 0 : it->second.next - 1;
+}
+
+int64_t ShardedOrdupMethod::ChargeFor(const QueryState& query,
+                                      ObjectId object) const {
+  auto it = applied_writes_.find(object);
+  if (it == applied_writes_.end()) return 0;
+  auto mit = query.charged_marks.find(object);
+  const int64_t mark =
+      mit == query.charged_marks.end()
+          ? static_cast<int64_t>(query.order_pin)
+          : mit->second;
+  const std::vector<int64_t>& idxs = it->second;
+  return static_cast<int64_t>(
+      idxs.end() - std::upper_bound(idxs.begin(), idxs.end(), mark));
+}
+
+Result<Value> ShardedOrdupMethod::TryQueryRead(QueryState& query,
+                                               ObjectId object) {
+  if (!ctx_.placement->OwnsObject(ctx_.site, object)) {
+    // The facade forwards reads of non-owned objects to an owner site
+    // before reaching the method; getting here is a routing bug.
+    assert(false && "read of a non-owned object reached the method");
+    return Status::FailedPrecondition("object not owned at this site");
+  }
+  if (!query.pinned) {
+    query.pinned = true;
+    query.order_pin = apply_index_;
+    // Strict (restarted, or epsilon already exhausted at start) queries
+    // read at an exact point of the site's apply order: freeze all owned
+    // streams at the pin.
+    if ((query.strict || query.epsilon - query.inconsistency <= 0) &&
+        !query.holds_pause) {
+      PauseApplier();
+      query.holds_pause = true;
+    }
+  }
+  const int64_t inc = ChargeFor(query, object);
+  if (query.epsilon != kUnboundedEpsilon &&
+      query.inconsistency + inc > query.epsilon) {
+    ctx_.counters->Increment("esr.query_limit_hits");
+    return Status::InconsistencyLimit(
+        "read of object " + std::to_string(object) + " would add " +
+        std::to_string(inc) + " units past epsilon");
+  }
+  query.inconsistency += inc;
+  query.charged_marks[object] = apply_index_;
+  Value v = ctx_.store->Read(object);
+  ++query.reads;
+  if (ctx_.config->record_history) {
+    analysis::ReadRecord r;
+    r.query = query.id;
+    r.site = ctx_.site;
+    r.object = object;
+    r.value = v;
+    r.time = ctx_.simulator->Now();
+    r.inconsistency_increment = inc;
+    r.pin = query.order_pin;
+    r.site_apply_index = apply_index_;
+    ctx_.history->RecordRead(std::move(r));
+  }
+  return v;
+}
+
+void ShardedOrdupMethod::OnQueryEnd(QueryState& query) {
+  if (query.holds_pause) {
+    query.holds_pause = false;
+    ResumeApplier();
+  }
+}
+
+void ShardedOrdupMethod::OnQueryRestart(QueryState& query) {
+  if (query.holds_pause) {
+    query.holds_pause = false;
+    ResumeApplier();
+  }
+}
+
+void ShardedOrdupMethod::PauseApplier() { ++pause_depth_; }
+
+void ShardedOrdupMethod::ResumeApplier() {
+  assert(pause_depth_ > 0);
+  if (--pause_depth_ == 0) Drain();
+}
+
+}  // namespace esr::core

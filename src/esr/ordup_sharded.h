@@ -1,0 +1,116 @@
+#ifndef ESR_ESR_ORDUP_SHARDED_H_
+#define ESR_ESR_ORDUP_SHARDED_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "esr/replica_control.h"
+
+namespace esr::core {
+
+/// ORDUP under partial replication (one sequencer per placement shard).
+///
+/// *Ordering*: each shard has its own order server; an update touching one
+/// shard takes exactly one position from that shard's sequencer (one round
+/// trip — never coordinating with non-owner sites). An update spanning
+/// shards acquires one position per touched shard in ascending shard order
+/// through the sequencer's cross-shard protocol: every touched shard's
+/// server grants a position and holds a per-shard lock until the origin has
+/// collected all of them, then the origin releases every lock. Two
+/// cross-shard updates sharing two or more shards are serialized by their
+/// lowest common shard while both hold it, so their relative positions
+/// agree on every shard they share — the per-shard total orders compose
+/// into one serializable order. Ascending acquisition makes the locking
+/// deadlock-free.
+///
+/// *MSet delivery*: the MSet carries its (shard, position) vector and is
+/// delivered to the owner sites of its shards only. Each owner runs one
+/// hold-back stream per owned shard and applies an MSet when it is at the
+/// head of EVERY owned stream the MSet names (a barrier across the site's
+/// streams); it then advances all of them at once. Only operations on
+/// locally-owned objects are applied.
+///
+/// *Divergence bounding*: as unsharded ORDUP, with the site-local apply
+/// index (one tick per applied MSet) in place of the global watermark: a
+/// query pins the index at first read and is charged one unit per
+/// conflicting update applied past its pin; strict queries pause the
+/// site's streams and read at an exact point of the site's apply order.
+/// Reads of non-owned objects are forwarded by the facade to an owner.
+class ShardedOrdupMethod : public ReplicaControlMethod {
+ public:
+  explicit ShardedOrdupMethod(const MethodContext& ctx);
+
+  std::string_view Name() const override { return "ORDUP-SHARD"; }
+
+  void SubmitUpdate(EtId et, std::vector<store::Operation> ops,
+                    CommitFn done) override;
+  void OnMsetDelivered(const Mset& mset) override;
+  Result<Value> TryQueryRead(QueryState& query, ObjectId object) override;
+  void OnQueryEnd(QueryState& query) override;
+  void OnQueryRestart(QueryState& query) override;
+
+  void SnapshotDurable(MethodDurableState& out) const override;
+  void RestoreDurable(const MethodDurableState& in) override;
+  void OnReplayReflected(const Mset& mset) override;
+  void ReleaseOrphanShardPosition(ShardId shard, SequenceNumber seq) override;
+  SequenceNumber ShardOrderSeen(ShardId shard) const override;
+
+  /// Applied watermark of one owned shard stream (tests/bench).
+  SequenceNumber ShardWatermark(ShardId shard) const;
+  /// Total MSets applied at this site (the query-pin apply index).
+  int64_t ApplyIndex() const { return apply_index_; }
+
+ private:
+  /// One hold-back stream per owned shard, releasing positions in order.
+  struct ShardStream {
+    SequenceNumber next = 1;
+    SequenceNumber max_offered = 0;
+    std::map<SequenceNumber, std::shared_ptr<const Mset>> pending;
+  };
+
+  /// In-flight cross-shard position acquisition (ascending shard order).
+  struct CrossCommit {
+    EtId et = kInvalidEtId;
+    LamportTimestamp ts;
+    std::vector<store::Operation> ops;
+    CommitFn done;
+    std::vector<ShardId> shards;
+    size_t next_shard = 0;
+    std::vector<std::pair<ShardId, SequenceNumber>> positions;
+    std::vector<std::pair<ShardId, int64_t>> tokens;
+  };
+
+  void AcquireNextShard(std::shared_ptr<CrossCommit> state);
+  void FinishCommit(EtId et, LamportTimestamp ts,
+                    std::vector<store::Operation> ops,
+                    std::vector<std::pair<ShardId, SequenceNumber>> positions,
+                    CommitFn done);
+  /// Inserts the MSet into every owned stream it names, then drains.
+  void OfferMset(const Mset& mset);
+  /// True when the MSet is at the head of all owned streams it names.
+  bool AtBarrier(const Mset& mset) const;
+  void Drain();
+  void ApplyNow(const Mset& mset);
+  /// Replay-time origin bookkeeping: a recovered origin re-seeing its own
+  /// MSet re-installs the owner-set ack expectation and stability-notice
+  /// targets that died with the site.
+  void MaybeReinstallOrigin(const Mset& mset);
+  int64_t ChargeFor(const QueryState& query, ObjectId object) const;
+  void PauseApplier();
+  void ResumeApplier();
+
+  /// Owned shard id -> hold-back stream, ascending (deterministic drain).
+  std::map<ShardId, ShardStream> streams_;
+  /// Site-local apply index: +1 per MSet applied here (any shard).
+  int64_t apply_index_ = 0;
+  /// Per object: apply indices of applied update ETs that wrote it
+  /// (appended in order, hence sorted).
+  std::unordered_map<ObjectId, std::vector<int64_t>> applied_writes_;
+  int pause_depth_ = 0;
+};
+
+}  // namespace esr::core
+
+#endif  // ESR_ESR_ORDUP_SHARDED_H_

@@ -8,6 +8,7 @@
 #include "esr/commu.h"
 #include "esr/compe.h"
 #include "esr/ordup.h"
+#include "esr/ordup_sharded.h"
 #include "esr/ordup_ts.h"
 #include "esr/quasi_copy.h"
 #include "esr/ritu.h"
@@ -143,6 +144,34 @@ void ReplicaControlMethod::TraceLocalCommit(EtId et) {
   }
 }
 
+std::vector<SiteId> ReplicaControlMethod::MsetTargets(const Mset& mset) const {
+  std::vector<SiteId> targets;
+  if (ctx_.placement != nullptr && !mset.shard_positions.empty()) {
+    std::vector<ShardId> shards;
+    shards.reserve(mset.shard_positions.size());
+    for (const auto& [shard, pos] : mset.shard_positions) shards.push_back(shard);
+    targets = ctx_.placement->OwnersOf(shards);
+    targets.erase(std::remove(targets.begin(), targets.end(), ctx_.site),
+                  targets.end());
+  } else {
+    targets.reserve(ctx_.num_sites - 1);
+    for (SiteId s = 0; s < ctx_.num_sites; ++s) {
+      if (s != ctx_.site) targets.push_back(s);
+    }
+  }
+  return targets;
+}
+
+std::vector<SiteId> ReplicaControlMethod::OutgoingTargetSites() const {
+  std::vector<SiteId> sites;
+  for (const auto& [et, targets] : outgoing_targets_) {
+    sites.insert(sites.end(), targets.begin(), targets.end());
+  }
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  return sites;
+}
+
 void ReplicaControlMethod::PropagateMset(const Mset& mset) {
   // Write-ahead: the origin logs every MSet it broadcasts — including
   // gap-filler no-ops, which a recovering ordered site needs to close its
@@ -152,16 +181,21 @@ void ReplicaControlMethod::PropagateMset(const Mset& mset) {
       64 + 32 * static_cast<int64_t>(mset.operations.size());
   msg::Envelope envelope{kMsetMsg, mset};
   envelope.trace = TraceContext{.et = mset.et, .origin = mset.origin};
-  for (SiteId s = 0; s < ctx_.num_sites; ++s) {
-    if (s == ctx_.site) continue;
-    ctx_.queues->Send(s, envelope, size_bytes);
+  const std::vector<SiteId> targets = MsetTargets(mset);
+  for (SiteId s : targets) ctx_.queues->Send(s, envelope, size_bytes);
+  // Remember where this ET went so its stability notice (and nothing else)
+  // follows the same owner-routed path.
+  if (ctx_.placement != nullptr && mset.et > 0 &&
+      mset.origin == ctx_.site) {
+    outgoing_targets_[mset.et] = targets;
   }
-  ctx_.counters->Increment("esr.msets_propagated", ctx_.num_sites - 1);
+  ctx_.counters->Increment("esr.msets_propagated",
+                           static_cast<int64_t>(targets.size()));
   // Gap-filler no-op MSets (et == kInvalidEtId) and synthetic quasi-copy
   // refreshes (negative ids) are transport noise, not ET lifecycle events.
   if (ctx_.tracer != nullptr && mset.et > 0) {
     ctx_.tracer->OnEnqueue(mset.et, ctx_.site, ctx_.simulator->Now(),
-                           /*fanout=*/ctx_.num_sites - 1);
+                           /*fanout=*/static_cast<int>(targets.size()));
   }
 }
 
@@ -235,9 +269,20 @@ void ReplicaControlMethod::MaybeBroadcastStable(EtId et) {
   if (ctx_.recovery != nullptr) ctx_.recovery->LogStable(et, ts);
   msg::Envelope notice{kStableMsg, StableNotice{et, ts}};
   notice.trace = TraceContext{.et = et, .origin = ctx_.site};
-  for (SiteId s = 0; s < ctx_.num_sites; ++s) {
-    if (s == ctx_.site) continue;
-    ctx_.queues->Send(s, notice, /*size_bytes=*/48);
+  const auto targets_it = outgoing_targets_.find(et);
+  if (targets_it != outgoing_targets_.end()) {
+    for (SiteId s : targets_it->second) {
+      if (s == ctx_.site) continue;
+      ctx_.queues->Send(s, notice, /*size_bytes=*/48);
+    }
+    outgoing_targets_.erase(targets_it);
+  } else {
+    // Fully replicated, or the owner record was lost to an amnesia crash:
+    // broadcast. Non-owners just mark an unknown ET stable — harmless.
+    for (SiteId s = 0; s < ctx_.num_sites; ++s) {
+      if (s == ctx_.site) continue;
+      ctx_.queues->Send(s, notice, /*size_bytes=*/48);
+    }
   }
   ctx_.counters->Increment("esr.stable");
   ctx_.stability->MarkStable(et, ts);
@@ -295,6 +340,9 @@ void ReplicaControlMethod::OnHeartbeatMsg(SiteId source,
 std::unique_ptr<ReplicaControlMethod> MakeMethod(const MethodContext& ctx) {
   switch (ctx.config->method) {
     case Method::kOrdup:
+      if (ctx.placement != nullptr) {
+        return std::make_unique<ShardedOrdupMethod>(ctx);
+      }
       return std::make_unique<OrdupMethod>(ctx);
     case Method::kOrdupTs:
       return std::make_unique<OrdupTsMethod>(ctx);

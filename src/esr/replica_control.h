@@ -65,6 +65,14 @@ struct MethodContext {
   /// points; it is owned by the RecoveryManager (outside the site), so it
   /// survives amnesia crashes.
   recovery::SiteRecovery* recovery = nullptr;
+  /// Partial replication: the deterministic object -> shard -> owner-set
+  /// map, shared across sites. Null (default) = fully replicated; non-null
+  /// switches MSet/ack/stability routing to owner sites and selects the
+  /// sharded ORDUP method.
+  const shard::PlacementMap* placement = nullptr;
+  /// Per-shard sequencer clients of this site, indexed by ShardId. Empty
+  /// unless placement is set (then `sequencer` above is unused).
+  std::vector<msg::SequencerClient*> shard_sequencers;
   /// Iterates the query ETs currently active at this site (COMPE uses this
   /// to charge queries affected by a compensation).
   std::function<void(const std::function<void(QueryState&)>&)>
@@ -80,6 +88,11 @@ struct MethodContext {
 struct MethodDurableState {
   SequenceNumber order_watermark = 0;
   int64_t release_index = 0;
+  /// Sharded ORDUP: per-shard delivery watermarks — position p of shard k
+  /// is reflected in the checkpoint iff p <= the entry for k. Owned shards
+  /// carry their real stream cursor; non-owned shards report
+  /// "infinity" (this site never needs their records). Sorted by shard.
+  std::vector<std::pair<ShardId, SequenceNumber>> shard_watermarks;
   std::vector<EtId> decided_commit;
   std::vector<EtId> abort_before_apply;
   std::vector<std::pair<EtId, LamportTimestamp>> outgoing;
@@ -177,15 +190,38 @@ class ReplicaControlMethod {
   /// Default: no-op.
   virtual void ReleaseOrphanPosition(SequenceNumber seq);
 
+  /// Per-shard variant of ReleaseOrphanPosition (sharded ORDUP only).
+  virtual void ReleaseOrphanShardPosition(ShardId /*shard*/,
+                                          SequenceNumber /*seq*/) {}
+
   /// Highest total-order position this site has observed at the protocol
   /// layer (applied or held back), independent of its sequencer client's
   /// own grants. A sequencer takeover probes this to recover the grant
   /// high watermark. Methods that consume no global order return 0.
   virtual SequenceNumber MaxOrderSeen() const { return 0; }
 
+  /// Per-shard variant of MaxOrderSeen (sharded ORDUP only).
+  virtual SequenceNumber ShardOrderSeen(ShardId /*shard*/) const { return 0; }
+
  protected:
-  /// Reliable broadcast of an MSet to every other site.
+  /// Reliable propagation of an MSet. Fully replicated: broadcast to every
+  /// other site. Partial replication (the MSet carries shard_positions and
+  /// ctx_.placement is set): delivered only to the owner sites of its
+  /// shards; the owner set is also remembered so the stability notice later
+  /// goes to the same sites and nowhere else.
   void PropagateMset(const Mset& mset);
+
+  /// The sites an MSet is delivered to (owner routing; self excluded).
+  std::vector<SiteId> MsetTargets(const Mset& mset) const;
+
+ public:
+  /// Union of the owner sites this origin's un-stable outgoing MSets were
+  /// routed to, sorted. Under partial replication these are the only peers
+  /// that can answer ack/stability questions about those ETs, so a
+  /// recovering origin adds them to its catch-up target set.
+  std::vector<SiteId> OutgoingTargetSites() const;
+
+ protected:
 
   /// Marks `et` locally committed for the lifecycle tracer. Call at the
   /// moment ordering metadata is assigned, *before* PropagateMset, so the
@@ -256,6 +292,11 @@ class ReplicaControlMethod {
   /// Origin-side: ETs whose acks are complete but whose stability is gated
   /// by ReadyForStable (COMPE: undecided).
   std::unordered_set<EtId> fully_acked_;
+  /// Origin-side, partial replication: the owner sites each outgoing ET's
+  /// MSet was delivered to — the stability notice's target set. Rebuilt
+  /// from the MSet's placement on WAL replay; absent entries fall back to
+  /// broadcast (safe: non-owners ignore unknown ETs).
+  std::unordered_map<EtId, std::vector<SiteId>> outgoing_targets_;
 };
 
 /// Factory: builds the method instance for `config.method` at one site.

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -25,6 +26,11 @@ struct ReplicatedSystem::SiteRuntime {
   std::unique_ptr<msg::ReliableTransport> queues;
   std::unique_ptr<msg::SequencerServer> seq_server;  // sequencer site only
   std::unique_ptr<msg::SequencerClient> seq_client;
+  /// Partial replication: indexed by shard. A site hosts shard k's server
+  /// only when it is the shard's first owner (home) or second owner
+  /// (standby); every site holds a client per shard. Empty when unsharded.
+  std::vector<std::unique_ptr<msg::SequencerServer>> shard_seq_servers;
+  std::vector<std::unique_ptr<msg::SequencerClient>> shard_seq_clients;
   std::unique_ptr<StabilityTracker> stability;
   store::ObjectStore store;
   store::VersionStore versions;
@@ -56,6 +62,11 @@ std::string EncodeMethodState(const MethodDurableState& m) {
   }
   enc.U32(static_cast<uint32_t>(m.fully_acked.size()));
   for (EtId et : m.fully_acked) enc.I64(et);
+  enc.U32(static_cast<uint32_t>(m.shard_watermarks.size()));
+  for (const auto& [shard, wm] : m.shard_watermarks) {
+    enc.U32(static_cast<uint32_t>(shard));
+    enc.I64(wm);
+  }
   return enc.Take();
 }
 
@@ -77,6 +88,10 @@ MethodDurableState DecodeMethodState(std::string_view bytes) {
   for (uint32_t i = 0, n = dec.U32(); i < n && dec.ok(); ++i) {
     m.fully_acked.push_back(dec.I64());
   }
+  for (uint32_t i = 0, n = dec.U32(); i < n && dec.ok(); ++i) {
+    const ShardId shard = static_cast<ShardId>(dec.U32());
+    m.shard_watermarks.emplace_back(shard, dec.I64());
+  }
   if (!dec.ok()) return MethodDurableState{};
   return m;
 }
@@ -95,6 +110,11 @@ std::string EncodeStabilitySnapshot(const StabilityTracker::Snapshot& s) {
     enc.I64(et);
     enc.U32(static_cast<uint32_t>(sites.size()));
     for (SiteId site : sites) enc.I64(static_cast<int64_t>(site));
+  }
+  enc.U32(static_cast<uint32_t>(s.expected.size()));
+  for (const auto& [et, count] : s.expected) {
+    enc.I64(et);
+    enc.U32(static_cast<uint32_t>(count));
   }
   enc.U32(static_cast<uint32_t>(s.watermark.size()));
   for (const LamportTimestamp& ts : s.watermark) enc.Ts(ts);
@@ -118,6 +138,10 @@ StabilityTracker::Snapshot DecodeStabilitySnapshot(std::string_view bytes) {
       sites.push_back(static_cast<SiteId>(dec.I64()));
     }
     s.acks.emplace_back(et, std::move(sites));
+  }
+  for (uint32_t i = 0, n = dec.U32(); i < n && dec.ok(); ++i) {
+    const EtId et = dec.I64();
+    s.expected.emplace_back(et, static_cast<int32_t>(dec.U32()));
   }
   for (uint32_t i = 0, n = dec.U32(); i < n && dec.ok(); ++i) {
     s.watermark.push_back(dec.Ts());
@@ -171,6 +195,23 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
     assert(config_.method != Method::kQuasiCopy);
     recovery_ = std::make_unique<recovery::RecoveryManager>(
         &simulator_, &metrics_, config_.recovery, config_.num_sites);
+  }
+
+  if (config_.shard.num_shards > 1) {
+    // Partial replication is implemented for ORDUP only (the total-order
+    // method whose sequencer the per-shard ordering generalizes), and
+    // sequenced ORDUP queries take *global* order positions that have no
+    // meaning under per-shard ordering.
+    assert(config_.method == Method::kOrdup);
+    assert(!config_.ordup_sequenced_queries);
+    placement_ = std::make_unique<shard::PlacementMap>(config_.shard,
+                                                       config_.num_sites);
+    metrics_
+        .GetGauge("esr_info",
+                  {{"shards", std::to_string(placement_->num_shards())},
+                   {"replication_factor",
+                    std::to_string(placement_->replication_factor())}})
+        .Set(1);
   }
 
   sites_.reserve(config_.num_sites);
@@ -227,6 +268,34 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
     metrics_.Describe("esr_seq_failovers_total",
                       "Completed sequencer seal-failover-unseal handovers");
   }
+  if (placement_ != nullptr) {
+    // One order server per shard, hosted at the shard's first owner with
+    // the second owner (RF >= 2) as sealed standby. Per-shard message-type
+    // offsets let every instance share the hosting site's mailbox.
+    shard_seq_home_.resize(placement_->num_shards());
+    shard_seq_standby_.assign(placement_->num_shards(), kInvalidSiteId);
+    for (auto& site : sites_) {
+      site->shard_seq_servers.resize(placement_->num_shards());
+      site->shard_seq_clients.resize(placement_->num_shards());
+    }
+    for (ShardId k = 0; k < placement_->num_shards(); ++k) {
+      const std::vector<SiteId>& owners = placement_->Owners(k);
+      shard_seq_home_[k] = owners.front();
+      const msg::MessageType offset =
+          msg::kShardSeqTypeBase + k * msg::kShardSeqTypeStride;
+      SiteRuntime& home = *sites_[shard_seq_home_[k]];
+      home.shard_seq_servers[k] = std::make_unique<msg::SequencerServer>(
+          home.mailbox.get(), home.queues.get(), /*start_sealed=*/false,
+          /*epoch=*/1, /*first=*/1, offset);
+      if (owners.size() >= 2) {
+        shard_seq_standby_[k] = owners[1];
+        SiteRuntime& standby = *sites_[shard_seq_standby_[k]];
+        standby.shard_seq_servers[k] = std::make_unique<msg::SequencerServer>(
+            standby.mailbox.get(), standby.queues.get(),
+            /*start_sealed=*/true, /*epoch=*/1, /*first=*/1, offset);
+      }
+    }
+  }
   for (SiteId s = 0; s < config_.num_sites; ++s) {
     SiteRuntime& site = *sites_[s];
     if (IsSyncMethod()) {
@@ -256,6 +325,29 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
     if (hop_tracer_ != nullptr) {
       site.seq_client->set_hop_tracer(hop_tracer_.get());
     }
+    if (placement_ != nullptr) {
+      for (ShardId k = 0; k < placement_->num_shards(); ++k) {
+        auto client = std::make_unique<msg::SequencerClient>(
+            site.mailbox.get(), site.queues.get(), shard_seq_home_[k],
+            msg::kShardSeqTypeBase + k * msg::kShardSeqTypeStride);
+        client->set_batching(config_.seq_batch_max,
+                             config_.seq_batch_linger_us);
+        client->set_metrics(&metrics_);
+        client->set_metric_shard(k);
+        client->set_high_watermark_provider([this, s, k]() {
+          return sites_[s]->method ? sites_[s]->method->ShardOrderSeen(k)
+                                   : SequenceNumber{0};
+        });
+        client->set_orphan_handler([this, s, k](SequenceNumber seq) {
+          if (sites_[s]->method) {
+            sites_[s]->method->ReleaseOrphanShardPosition(k, seq);
+          }
+        });
+        if (hop_tracer_ != nullptr) client->set_hop_tracer(hop_tracer_.get());
+        site.shard_seq_clients[k] = std::move(client);
+      }
+      BindQueryForwarding(s);
+    }
     site.method = MakeMethod(MakeContext(s));
     if (recovery_ != nullptr) BindRecoverySite(s);
   }
@@ -266,6 +358,14 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
     if (config_.sequencer_standby != kInvalidSiteId &&
         config_.sequencer_standby != seq_home_) {
       ConfigureSeqServer(config_.sequencer_standby);
+    }
+  }
+  if (placement_ != nullptr) {
+    for (ShardId k = 0; k < placement_->num_shards(); ++k) {
+      ConfigureShardSeqServer(shard_seq_home_[k], k);
+      if (shard_seq_standby_[k] != kInvalidSiteId) {
+        ConfigureShardSeqServer(shard_seq_standby_[k], k);
+      }
     }
   }
 
@@ -284,6 +384,15 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
         config_.sequencer_standby != s) {
       ScheduleSequencerFailover(s);
     }
+    if (placement_ != nullptr) {
+      for (ShardId k = 0; k < placement_->num_shards(); ++k) {
+        if (s == shard_seq_home_[k] &&
+            shard_seq_standby_[k] != kInvalidSiteId &&
+            shard_seq_standby_[k] != s) {
+          ScheduleShardSequencerFailover(k, s);
+        }
+      }
+    }
     if (amnesia && recovery_ != nullptr) {
       AmnesiaCrash(s);
       return;
@@ -301,6 +410,12 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
     // (retransmitted requests from the stable queues are dropped, not
     // granted at stale positions).
     if (sites_[s]->seq_server && s != seq_home_) sites_[s]->seq_server->Seal();
+    for (size_t k = 0; k < sites_[s]->shard_seq_servers.size(); ++k) {
+      if (sites_[s]->shard_seq_servers[k] != nullptr &&
+          s != shard_seq_home_[k]) {
+        sites_[s]->shard_seq_servers[k]->Seal();
+      }
+    }
     if (sites_[s]->method) sites_[s]->method->OnRestart();
   };
 
@@ -347,6 +462,10 @@ MethodContext ReplicatedSystem::MakeContext(SiteId s) {
   ctx.queues = site.queues.get();
   ctx.clock = &site.clock;
   ctx.sequencer = site.seq_client.get();
+  ctx.placement = placement_.get();
+  for (const auto& client : site.shard_seq_clients) {
+    ctx.shard_sequencers.push_back(client.get());
+  }
   ctx.stability = site.stability.get();
   ctx.store = &site.store;
   ctx.versions = &site.versions;
@@ -389,6 +508,7 @@ void ReplicatedSystem::BindRecoverySite(SiteId s) {
     MethodDurableState m;
     site.method->SnapshotDurable(m);
     out.order_watermark = m.order_watermark;
+    out.shard_watermarks = m.shard_watermarks;
     out.method_blob = EncodeMethodState(m);
     out.stability_blob = EncodeStabilitySnapshot(site.stability->ExportSnapshot());
   };
@@ -445,6 +565,14 @@ void ReplicatedSystem::BindRecoverySite(SiteId s) {
   b.unstable = [this, s]() {
     return sites_[s]->stability->ExportSnapshot().outstanding;
   };
+  b.shard_watermarks = [this, s]() {
+    // The post-replay stream cursors (owned shards) / infinity markers
+    // (non-owned) — what a catch-up request reports so peers serve exactly
+    // the sharded MSets past them.
+    MethodDurableState m;
+    sites_[s]->method->SnapshotDurable(m);
+    return m.shard_watermarks;
+  };
   recovery_->BindSite(s, std::move(b));
 
   SiteRuntime& site = *sites_[s];
@@ -481,11 +609,38 @@ void ReplicatedSystem::AmnesiaCrash(SiteId s) {
   // Pending sequencer callbacks capture protocol state that just died;
   // their granted positions will be released as no-ops on arrival.
   if (sites_[s]->seq_client) sites_[s]->seq_client->AbandonPending();
-  // Query ETs running at the site die with it.
+  for (auto& client : sites_[s]->shard_seq_clients) {
+    if (client) client->AbandonPending();
+  }
+  // Query ETs running at the site die with it. A dead origin can never
+  // send QueryFinish, so any owner-side shadow state its forwarded reads
+  // created (strict applier pauses in particular) is released directly —
+  // the facade-level equivalent of an owner's lease on the origin expiring.
   for (auto it = active_queries_.begin(); it != active_queries_.end();) {
     if (it->second.site == s) {
       counters_.Increment("esr.queries_lost_in_crash");
+      ReleaseQueryShadows(it->first);
       it = active_queries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = pending_remote_reads_.begin();
+       it != pending_remote_reads_.end();) {
+    // The read callback captures state of the dead site; the eventual
+    // response (if any) finds no pending entry and is dropped.
+    if (it->second.origin == s) {
+      it = pending_remote_reads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Shadows hosted AT the crashed owner died with its method instance
+  // (their applier pauses included) — drop them without calling into the
+  // doomed method. A later forwarded read rebuilds a fresh shadow.
+  for (auto it = shadow_queries_.begin(); it != shadow_queries_.end();) {
+    if (it->first.first == s) {
+      it = shadow_queries_.erase(it);
     } else {
       ++it;
     }
@@ -521,7 +676,34 @@ void ReplicatedSystem::AmnesiaRestart(SiteId s) {
   recovery_->RecoverSite(s);
   recovery::CatchupRequest request = recovery_->BuildCatchupRequest(s);
   const std::vector<SiteId> up_peers = UpPeers(s);
-  recovery_->BeginCatchup(s, up_peers);
+  // Partial replication: catch-up runs against the co-owners (the only
+  // peers whose shard streams overlap this site's) plus the owner sites of
+  // any un-stable ET this site originated on shards it does not own — the
+  // only peers able to answer ack/stability questions about those ETs.
+  // Unsharded: every peer, as before.
+  std::vector<SiteId> catchup_targets;
+  if (placement_ != nullptr) {
+    catchup_targets = placement_->CoOwners(s);
+    for (SiteId d : site.method->OutgoingTargetSites()) {
+      catchup_targets.push_back(d);
+    }
+    std::sort(catchup_targets.begin(), catchup_targets.end());
+    catchup_targets.erase(
+        std::unique(catchup_targets.begin(), catchup_targets.end()),
+        catchup_targets.end());
+    catchup_targets.erase(
+        std::remove(catchup_targets.begin(), catchup_targets.end(), s),
+        catchup_targets.end());
+  } else {
+    for (SiteId d = 0; d < config_.num_sites; ++d) {
+      if (d != s) catchup_targets.push_back(d);
+    }
+  }
+  std::vector<SiteId> expected_responders;
+  for (SiteId d : catchup_targets) {
+    if (network_->SiteUp(d)) expected_responders.push_back(d);
+  }
+  recovery_->BeginCatchup(s, expected_responders);
   // A hosted order server is volatile too: its grant cursor died with the
   // site. Never resume it where it stood (that is the duplicate-grant
   // bug) — rebuild sealed and re-seed from the durable checkpoint floor
@@ -550,9 +732,42 @@ void ReplicatedSystem::AmnesiaRestart(SiteId s) {
                                     [](SiteId, const std::any&) {});
     }
   }
+  // Hosted per-shard order servers rebuild the same way as the global one:
+  // never resume the dead cursor — sealed rebuild, re-seed from the peer
+  // probe (the durable per-shard floor is the co-owners' stream cursors and
+  // this site's own surviving client watermark), unseal in a fresh epoch.
+  if (placement_ != nullptr) {
+    for (ShardId k = 0; k < placement_->num_shards(); ++k) {
+      if (site.shard_seq_servers[k] == nullptr) continue;
+      const msg::MessageType offset =
+          msg::kShardSeqTypeBase + k * msg::kShardSeqTypeStride;
+      site.shard_seq_servers[k].reset();
+      if (s == shard_seq_home_[k] || s == shard_seq_standby_[k]) {
+        site.shard_seq_servers[k] = std::make_unique<msg::SequencerServer>(
+            site.mailbox.get(), site.queues.get(), /*start_sealed=*/true,
+            /*epoch=*/1, /*first=*/1, offset);
+        ConfigureShardSeqServer(s, k);
+        if (s == shard_seq_home_[k]) {
+          site.shard_seq_servers[k]->BeginTakeover(/*durable_floor=*/1,
+                                                   up_peers);
+        }
+      } else {
+        // Deposed shard home (a failover moved the shard's service away
+        // while this site was down): swallow retransmissions to the dead
+        // server's per-shard message types.
+        site.mailbox->RegisterHandler(msg::kSeqRequest + offset,
+                                      [](SiteId, const std::any&) {});
+        site.mailbox->RegisterHandler(msg::kSeqProbeResponse + offset,
+                                      [](SiteId, const std::any&) {});
+        site.mailbox->RegisterHandler(msg::kSeqCrossRequest + offset,
+                                      [](SiteId, const std::any&) {});
+        site.mailbox->RegisterHandler(msg::kSeqCrossRelease + offset,
+                                      [](SiteId, const std::any&) {});
+      }
+    }
+  }
   const int64_t size_bytes = 64 + 16 * config_.num_sites;
-  for (SiteId d = 0; d < config_.num_sites; ++d) {
-    if (d == s) continue;
+  for (SiteId d : catchup_targets) {
     if (hop_tracer_ != nullptr) {
       hop_tracer_->CatchupBegin(request.exchange, s, d, simulator_.Now());
     }
@@ -573,6 +788,39 @@ void ReplicatedSystem::ConfigureSeqServer(SiteId s) {
       mark = std::max(mark, sites_[s]->method->MaxOrderSeen());
     }
     return mark;
+  });
+}
+
+void ReplicatedSystem::ConfigureShardSeqServer(SiteId s, ShardId k) {
+  msg::SequencerServer* server = sites_[s]->shard_seq_servers[k].get();
+  assert(server != nullptr);
+  server->set_metrics(&metrics_);
+  server->set_metric_shard(k);
+  server->set_service_time_us(config_.seq_service_us);
+  server->set_local_high_watermark([this, s, k]() {
+    SequenceNumber mark = 0;
+    if (sites_[s]->shard_seq_clients[k]) {
+      mark = sites_[s]->shard_seq_clients[k]->MaxGrantSeen();
+    }
+    if (sites_[s]->method) {
+      mark = std::max(mark, sites_[s]->method->ShardOrderSeen(k));
+    }
+    return mark;
+  });
+}
+
+void ReplicatedSystem::ScheduleShardSequencerFailover(ShardId k,
+                                                      SiteId down_home) {
+  simulator_.Schedule(config_.seq_failover_detect_us, [this, k, down_home]() {
+    if (shard_seq_home_[k] != down_home) return;  // someone already took over
+    if (network_->SiteUp(down_home)) return;  // home came back; no takeover
+    const SiteId standby = shard_seq_standby_[k];
+    if (standby == kInvalidSiteId || !network_->SiteUp(standby)) return;
+    SiteRuntime& site = *sites_[standby];
+    if (site.shard_seq_servers[k] == nullptr) return;
+    shard_seq_home_[k] = standby;
+    site.shard_seq_servers[k]->BeginTakeover(/*durable_floor=*/1,
+                                             UpPeers(standby));
   });
 }
 
@@ -911,6 +1159,14 @@ Result<Value> ReplicatedSystem::TryRead(EtId query, ObjectId object) {
     return Status::InvalidArgument(
         "synchronous baselines serve reads via Read() only");
   }
+  if (placement_ != nullptr &&
+      !placement_->OwnsObject(it->second.site, object)) {
+    // The single-attempt API is strictly local; reads of non-owned objects
+    // go through Read(), which forwards them to an owner site.
+    return Status::Unavailable(
+        "object " + std::to_string(object) +
+        " is not owned at the query's site; use Read()");
+  }
   return sites_[it->second.site]->method->TryQueryRead(it->second, object);
 }
 
@@ -942,6 +1198,10 @@ void ReplicatedSystem::Read(EtId query, ObjectId object, ReadCallback done) {
     } else {
       sites_[q.site]->quorum->ReadQuorum(object, std::move(record));
     }
+    return;
+  }
+  if (placement_ != nullptr && !placement_->OwnsObject(q.site, object)) {
+    ForwardRead(query, object, std::move(done));
     return;
   }
   Result<Value> r = sites_[q.site]->method->TryQueryRead(q, object);
@@ -997,6 +1257,146 @@ void ReplicatedSystem::ScheduleReadRetry(EtId query, ObjectId object,
   simulator_.Schedule(config_.read_retry_interval_us, [retry] { (*retry)(); });
 }
 
+void ReplicatedSystem::ForwardRead(EtId query, ObjectId object,
+                                   ReadCallback done) {
+  auto it = active_queries_.find(query);
+  assert(it != active_queries_.end());
+  QueryState& q = it->second;
+  const ShardId shard = placement_->ShardOf(object);
+  // Deterministic owner choice: the shard's first owner (also its order
+  // server home, so the forwarded read lands where the stream is freshest).
+  const SiteId owner = placement_->Owners(shard).front();
+  QueryReadRequest req;
+  req.query = query;
+  req.request_id = next_read_request_id_++;
+  req.object = object;
+  // The origin's *remaining* budget at send time: however many owners the
+  // query fans out to, no single charge can push the total past epsilon.
+  req.epsilon_budget = q.epsilon == kUnboundedEpsilon
+                           ? kUnboundedEpsilon
+                           : q.epsilon - q.inconsistency;
+  req.attempt = q.restarts;
+  req.strict = q.strict;
+  pending_remote_reads_.emplace(req.request_id,
+                                RemoteRead{query, q.site, std::move(done)});
+  std::vector<SiteId>& owners = forwarded_owners_[query];
+  if (std::find(owners.begin(), owners.end(), owner) == owners.end()) {
+    owners.push_back(owner);
+  }
+  counters_.Increment("esr.reads_forwarded");
+  sites_[q.site]->queues->Send(
+      owner, msg::Envelope{kQueryReadRequestMsg, req}, /*size_bytes=*/64);
+}
+
+void ReplicatedSystem::BindQueryForwarding(SiteId s) {
+  SiteRuntime& site = *sites_[s];
+  site.mailbox->RegisterHandler(
+      kQueryReadRequestMsg, [this, s](SiteId source, const std::any& body) {
+        const auto* req = std::any_cast<QueryReadRequest>(&body);
+        assert(req != nullptr);
+        auto [it, fresh] =
+            shadow_queries_.try_emplace(std::make_pair(s, req->query));
+        QueryState& shadow = it->second;
+        if (fresh) {
+          shadow.id = req->query;
+          shadow.site = s;
+          shadow.restarts = req->attempt;
+        } else if (req->attempt > shadow.restarts) {
+          // The origin strict-restarted since this shadow's last read:
+          // restart the shadow too (release its pause, reset accounting).
+          sites_[s]->method->OnQueryRestart(shadow);
+          shadow.ResetForRestart();
+          shadow.restarts = req->attempt;
+        }
+        if (req->strict) shadow.strict = true;
+        // Re-anchor the shadow's limit so its remaining budget equals the
+        // origin's remaining budget at send time.
+        shadow.epsilon = req->epsilon_budget == kUnboundedEpsilon
+                             ? kUnboundedEpsilon
+                             : shadow.inconsistency + req->epsilon_budget;
+        const int64_t before = shadow.inconsistency;
+        Result<Value> r = sites_[s]->method->TryQueryRead(shadow, req->object);
+        QueryReadResponse resp;
+        resp.query = req->query;
+        resp.request_id = req->request_id;
+        resp.object = req->object;
+        if (r.ok()) {
+          resp.status_code = static_cast<int32_t>(StatusCode::kOk);
+          resp.value = *r;
+          resp.inconsistency_charged = shadow.inconsistency - before;
+        } else {
+          resp.status_code = static_cast<int32_t>(r.status().code());
+        }
+        counters_.Increment("esr.forwarded_reads_served");
+        sites_[s]->queues->Send(
+            source, msg::Envelope{kQueryReadResponseMsg, resp},
+            /*size_bytes=*/64);
+      });
+  site.mailbox->RegisterHandler(
+      kQueryReadResponseMsg, [this](SiteId /*source*/, const std::any& body) {
+        const auto* resp = std::any_cast<QueryReadResponse>(&body);
+        assert(resp != nullptr);
+        auto pit = pending_remote_reads_.find(resp->request_id);
+        if (pit == pending_remote_reads_.end()) return;  // origin died
+        RemoteRead pending = std::move(pit->second);
+        pending_remote_reads_.erase(pit);
+        auto qit = active_queries_.find(resp->query);
+        if (qit == active_queries_.end()) {
+          pending.done(Result<Value>(
+              Status::Aborted("query ended while a read was forwarded")));
+          return;
+        }
+        QueryState& q = qit->second;
+        const auto code = static_cast<StatusCode>(resp->status_code);
+        if (code == StatusCode::kOk) {
+          q.inconsistency += resp->inconsistency_charged;
+          ++q.reads;
+          if (config_.record_history) {
+            analysis::ReadRecord r;
+            r.query = q.id;
+            r.site = q.site;
+            r.object = resp->object;
+            r.value = resp->value;
+            r.time = simulator_.Now();
+            r.inconsistency_increment = resp->inconsistency_charged;
+            history_.RecordRead(std::move(r));
+          }
+          pending.done(Result<Value>(resp->value));
+          return;
+        }
+        if (code == StatusCode::kInconsistencyLimit) {
+          // Strict restart + re-forward: the bumped attempt number tells
+          // the owner to restart its shadow, and the strict re-read cannot
+          // hit the limit again.
+          RestartQuery(q);
+          ForwardRead(resp->query, resp->object, std::move(pending.done));
+          return;
+        }
+        pending.done(Result<Value>(Status(code, "forwarded read failed")));
+      });
+  site.mailbox->RegisterHandler(
+      kQueryFinishMsg, [this, s](SiteId /*source*/, const std::any& body) {
+        const auto* fin = std::any_cast<QueryFinish>(&body);
+        assert(fin != nullptr);
+        auto it = shadow_queries_.find(std::make_pair(s, fin->query));
+        if (it == shadow_queries_.end()) return;
+        sites_[s]->method->OnQueryEnd(it->second);
+        shadow_queries_.erase(it);
+      });
+}
+
+void ReplicatedSystem::ReleaseQueryShadows(EtId query) {
+  for (auto it = shadow_queries_.begin(); it != shadow_queries_.end();) {
+    if (it->first.second == query) {
+      sites_[it->first.first]->method->OnQueryEnd(it->second);
+      it = shadow_queries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  forwarded_owners_.erase(query);
+}
+
 void ReplicatedSystem::RestartQuery(QueryState& q) {
   // Not OnQueryEnd: the query stays alive, so only per-attempt resources
   // are released (the ORDUP applier pause in particular — see the
@@ -1015,6 +1415,16 @@ Status ReplicatedSystem::EndQuery(EtId query) {
   }
   QueryState& q = it->second;
   if (!IsSyncMethod()) sites_[q.site]->method->OnQueryEnd(q);
+  auto fit = forwarded_owners_.find(query);
+  if (fit != forwarded_owners_.end()) {
+    // Release the owner-side shadows (and any strict pause they hold).
+    for (SiteId owner : fit->second) {
+      sites_[q.site]->queues->Send(
+          owner, msg::Envelope{kQueryFinishMsg, QueryFinish{query}},
+          /*size_bytes=*/32);
+    }
+    forwarded_owners_.erase(fit);
+  }
   if (config_.record_history) {
     analysis::QueryRecord record;
     record.query = q.id;
@@ -1149,14 +1559,23 @@ void ReplicatedSystem::SampleGauges() {
                     "Largest cross-replica spread per object class");
   metrics_.Describe("esr_divergent_objects_by_class",
                     "Objects diverging across replicas, per object class");
+  metrics_.Describe("esr_replica_divergence_by_shard",
+                    "Largest cross-owner spread per placement shard");
+  metrics_.Describe("esr_divergent_objects_by_shard",
+                    "Objects diverging across owner replicas, per placement "
+                    "shard");
   metrics_.Describe("esr_seq_pending",
                     "Order requests queued or in flight at a site");
   for (SiteId s = 0; s < config_.num_sites; ++s) {
     const SiteRuntime& site = *sites_[s];
     const obs::LabelSet site_label = {{"site", std::to_string(s)}};
     if (site.seq_client != nullptr) {
+      int64_t seq_pending = site.seq_client->PendingCount();
+      for (const auto& client : site.shard_seq_clients) {
+        if (client) seq_pending += client->PendingCount();
+      }
       metrics_.GetGauge("esr_seq_pending", site_label)
-          .Set(static_cast<double>(site.seq_client->PendingCount()));
+          .Set(static_cast<double>(seq_pending));
     }
     int64_t unacked = 0;
     for (SiteId d = 0; d < config_.num_sites; ++d) {
@@ -1211,9 +1630,23 @@ ReplicatedSystem::DivergenceScan ReplicatedSystem::ScanDivergence(
   // gauge family is capped so it stays low-cardinality on wide keyspaces:
   // beyond the cap only the aggregates are maintained.
   constexpr size_t kMaxPerObjectSeries = 64;
-  const std::vector<ObjectId> objects =
-      config_.method == Method::kRituMulti ? sites_[0]->versions.ObjectIds()
-                                           : sites_[0]->store.ObjectIds();
+  // Partial replication compares an object across the owner sites of its
+  // shard only (non-owners hold nothing for it); the object universe is
+  // the union over sites, since each site stores just its owned subset.
+  std::vector<ObjectId> objects;
+  if (placement_ != nullptr) {
+    std::set<ObjectId> all;
+    for (const auto& site : sites_) {
+      for (ObjectId object : site->store.ObjectIds()) all.insert(object);
+    }
+    objects.assign(all.begin(), all.end());
+  } else {
+    objects = config_.method == Method::kRituMulti
+                  ? sites_[0]->versions.ObjectIds()
+                  : sites_[0]->store.ObjectIds();
+  }
+  std::vector<SiteId> everyone;
+  for (SiteId s = 0; s < config_.num_sites; ++s) everyone.push_back(s);
   DivergenceScan scan;
   // Per-class aggregation mirrors the `object_class` label scheme of
   // esr_ops_applied_total; ordered map for a deterministic exposition.
@@ -1222,13 +1655,20 @@ ReplicatedSystem::DivergenceScan ReplicatedSystem::ScanDivergence(
     int64_t divergent = 0;
   };
   std::map<std::string, ClassAgg> by_class;
+  std::map<ShardId, ClassAgg> by_shard;
   for (const ObjectId object : objects) {
+    ShardId shard = kInvalidShardId;
+    const std::vector<SiteId>* readers = &everyone;
+    if (placement_ != nullptr) {
+      shard = placement_->ShardOf(object);
+      readers = &placement_->Owners(shard);
+    }
     bool all_int = true;
     bool differs = false;
     int64_t lo = 0, hi = 0;
-    const Value first = SiteValue(0, object);
+    const Value first = SiteValue(readers->front(), object);
     if (first.is_int()) lo = hi = first.AsInt();
-    for (SiteId s = 0; s < config_.num_sites; ++s) {
+    for (SiteId s : *readers) {
       const Value v = SiteValue(s, object);
       if (!(v == first)) differs = true;
       if (v.is_int()) {
@@ -1255,6 +1695,11 @@ ReplicatedSystem::DivergenceScan ReplicatedSystem::ScanDivergence(
                        : std::string("unclassified")];
       agg.max_spread = std::max(agg.max_spread, spread);
       if (differs) ++agg.divergent;
+      if (placement_ != nullptr) {
+        ClassAgg& sagg = by_shard[shard];
+        sagg.max_spread = std::max(sagg.max_spread, spread);
+        if (differs) ++sagg.divergent;
+      }
     }
   }
   for (const auto& [object_class, agg] : by_class) {
@@ -1262,6 +1707,13 @@ ReplicatedSystem::DivergenceScan ReplicatedSystem::ScanDivergence(
     metrics_.GetGauge("esr_replica_divergence_by_class", labels)
         .Set(static_cast<double>(agg.max_spread));
     metrics_.GetGauge("esr_divergent_objects_by_class", labels)
+        .Set(static_cast<double>(agg.divergent));
+  }
+  for (const auto& [shard, agg] : by_shard) {
+    const obs::LabelSet labels = {{"shard", std::to_string(shard)}};
+    metrics_.GetGauge("esr_replica_divergence_by_shard", labels)
+        .Set(static_cast<double>(agg.max_spread));
+    metrics_.GetGauge("esr_divergent_objects_by_shard", labels)
         .Set(static_cast<double>(agg.divergent));
   }
   return scan;
@@ -1293,6 +1745,24 @@ bool ReplicatedSystem::Converged() const {
     const uint64_t digest0 = sites_[0]->versions.StateDigest();
     for (const auto& site : sites_) {
       if (site->versions.StateDigest() != digest0) return false;
+    }
+    return true;
+  }
+  if (placement_ != nullptr) {
+    // Owner-aware convergence: an object must agree across the owner sites
+    // of its shard; non-owners do not replicate it at all, so whole-store
+    // digests are expected to differ between sites.
+    std::set<ObjectId> objects;
+    for (const auto& site : sites_) {
+      for (ObjectId object : site->store.ObjectIds()) objects.insert(object);
+    }
+    for (ObjectId object : objects) {
+      const std::vector<SiteId>& owners =
+          placement_->Owners(placement_->ShardOf(object));
+      const Value first = sites_[owners.front()]->store.Read(object);
+      for (size_t i = 1; i < owners.size(); ++i) {
+        if (!(sites_[owners[i]]->store.Read(object) == first)) return false;
+      }
     }
     return true;
   }
@@ -1348,6 +1818,11 @@ msg::SequencerClient* ReplicatedSystem::site_seq_client(SiteId site) {
 }
 msg::SequencerServer* ReplicatedSystem::site_seq_server(SiteId site) {
   return sites_[site]->seq_server.get();
+}
+msg::SequencerClient* ReplicatedSystem::site_shard_seq_client(SiteId site,
+                                                              ShardId shard) {
+  if (sites_[site]->shard_seq_clients.empty()) return nullptr;
+  return sites_[site]->shard_seq_clients[shard].get();
 }
 
 }  // namespace esr::core

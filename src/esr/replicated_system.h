@@ -1,8 +1,10 @@
 #ifndef ESR_ESR_REPLICATED_SYSTEM_H_
 #define ESR_ESR_REPLICATED_SYSTEM_H_
 
+#include <map>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "analysis/history.h"
@@ -17,6 +19,7 @@
 #include "obs/hop_tracer.h"
 #include "obs/metric_registry.h"
 #include "recovery/recovery_manager.h"
+#include "shard/placement_map.h"
 #include "sim/failure_injector.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -216,6 +219,19 @@ class ReplicatedSystem {
   /// configured sequencer home or standby).
   msg::SequencerServer* site_seq_server(SiteId site);
 
+  /// --- Partial replication -------------------------------------------------
+
+  /// The placement map; null when config.shard.num_shards <= 1 (full
+  /// replication — every pre-sharding behavior, including digests, is
+  /// preserved exactly).
+  const shard::PlacementMap* placement() const { return placement_.get(); }
+  /// Site hosting shard `k`'s active order server (moves on failover).
+  SiteId shard_sequencer_home(ShardId shard) const {
+    return shard_seq_home_[shard];
+  }
+  /// A site's order client for shard `k` (null when unsharded).
+  msg::SequencerClient* site_shard_seq_client(SiteId site, ShardId shard);
+
  private:
   struct SiteRuntime;
 
@@ -237,10 +253,24 @@ class ReplicatedSystem {
   /// Installs metrics, the service-time model, and the local
   /// high-watermark reader on the order server hosted at `s`.
   void ConfigureSeqServer(SiteId s);
+  /// Same for shard `k`'s order server hosted at `s` (partial replication).
+  void ConfigureShardSeqServer(SiteId s, ShardId k);
   /// Arms the standby takeover after the active sequencer site went down
   /// (fires config_.seq_failover_detect_us later; skipped if the home came
   /// back, the standby is down, or a failover already happened).
   void ScheduleSequencerFailover(SiteId down_home);
+  /// Per-shard variant: shard `k`'s home went down; its second owner (the
+  /// standby) takes over that shard's order service.
+  void ScheduleShardSequencerFailover(ShardId k, SiteId down_home);
+  /// Partial replication: forwards one divergence-bounded read of a
+  /// non-locally-owned object to the first owner of the object's shard.
+  void ForwardRead(EtId query, ObjectId object, ReadCallback done);
+  /// Registers the owner-side query-forwarding handlers (read request,
+  /// response, finish) on site `s`'s mailbox.
+  void BindQueryForwarding(SiteId s);
+  /// Releases every owner-side shadow of `query` (direct facade cleanup —
+  /// used when the origin site can no longer send QueryFinish itself).
+  void ReleaseQueryShadows(EtId query);
   /// Currently-up sites except `exclude` (takeover probe targets).
   std::vector<SiteId> UpPeers(SiteId exclude) const;
   /// Periodic fuzzy checkpoints (config.recovery.checkpoint_interval_us).
@@ -287,6 +317,29 @@ class ReplicatedSystem {
   /// all call sites guard on the pointer.
   std::unique_ptr<obs::HopTracer> hop_tracer_;
   std::vector<std::unique_ptr<SiteRuntime>> sites_;
+  /// Partial replication (config_.shard.num_shards > 1, ORDUP only): the
+  /// deterministic object -> shard -> owner-set assignment every routing,
+  /// ordering, and recovery decision reads. Null when unsharded.
+  std::unique_ptr<shard::PlacementMap> placement_;
+  /// Per shard: site hosting the shard's active order server (starts at the
+  /// shard's first owner, moves to the second owner on failover).
+  std::vector<SiteId> shard_seq_home_;
+  /// Per shard: the standby owner (kInvalidSiteId when RF == 1).
+  std::vector<SiteId> shard_seq_standby_;
+  /// One in-flight forwarded read (partial replication).
+  struct RemoteRead {
+    EtId query = kInvalidEtId;
+    SiteId origin = kInvalidSiteId;
+    ReadCallback done;
+  };
+  std::unordered_map<int64_t, RemoteRead> pending_remote_reads_;
+  int64_t next_read_request_id_ = 1;
+  /// Owner-side shadow query states, keyed by (owner site, query ET). A
+  /// shadow accumulates the inconsistency charged at that owner and holds
+  /// any strict-read applier pause until QueryFinish releases it.
+  std::map<std::pair<SiteId, EtId>, QueryState> shadow_queries_;
+  /// Owners each live query has forwarded reads to (QueryFinish fan-out).
+  std::unordered_map<EtId, std::vector<SiteId>> forwarded_owners_;
   /// Site whose order server currently grants (starts at
   /// config_.sequencer_site, moves to the standby on failover).
   SiteId seq_home_ = 0;

@@ -30,11 +30,20 @@ void StabilityTracker::TrackOutgoing(EtId et, LamportTimestamp ts) {
   ObserveMset(et, ts, self_);
 }
 
+void StabilityTracker::SetExpected(EtId et, int count) {
+  assert(count >= 1 && count <= num_sites_);
+  if (stable_.count(et)) return;  // late re-install after stability
+  expected_[et] = count;
+}
+
 bool StabilityTracker::RecordAck(EtId et, SiteId replica) {
   if (stable_.count(et)) return false;  // duplicate late ack
   auto& acked = acks_[et];
   acked.insert(replica);
-  return static_cast<int>(acked.size()) >= num_sites_;
+  const auto expected = expected_.find(et);
+  const int needed =
+      expected != expected_.end() ? expected->second : num_sites_;
+  return static_cast<int>(acked.size()) >= needed;
 }
 
 void StabilityTracker::ObserveMset(EtId et, LamportTimestamp ts,
@@ -63,6 +72,7 @@ void StabilityTracker::MarkStable(EtId et, LamportTimestamp ts) {
     (void)ts;
   }
   acks_.erase(et);
+  expected_.erase(et);
   if (on_stable) on_stable(et);
 }
 
@@ -80,6 +90,8 @@ StabilityTracker::Snapshot StabilityTracker::ExportSnapshot() const {
   }
   std::sort(snap.acks.begin(), snap.acks.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
+  snap.expected.assign(expected_.begin(), expected_.end());
+  std::sort(snap.expected.begin(), snap.expected.end());
   snap.watermark = watermark_;
   return snap;
 }
@@ -89,6 +101,7 @@ void StabilityTracker::RestoreSnapshot(const Snapshot& snapshot) {
   outstanding_ts_.clear();
   stable_.clear();
   acks_.clear();
+  expected_.clear();
   for (const auto& [et, ts] : snapshot.outstanding) {
     outstanding_by_ts_.emplace(ts, et);
     outstanding_ts_.emplace(et, ts);
@@ -97,6 +110,7 @@ void StabilityTracker::RestoreSnapshot(const Snapshot& snapshot) {
   for (const auto& [et, sites] : snapshot.acks) {
     acks_[et].insert(sites.begin(), sites.end());
   }
+  expected_.insert(snapshot.expected.begin(), snapshot.expected.end());
   for (size_t o = 0; o < watermark_.size() && o < snapshot.watermark.size();
        ++o) {
     watermark_[o] = snapshot.watermark[o];

@@ -43,10 +43,18 @@ class StabilityTracker {
   /// Origin side: starts tracking an outgoing update ET.
   void TrackOutgoing(EtId et, LamportTimestamp ts);
 
+  /// Origin side: under partial replication an MSet is stable once its
+  /// *owner* sites acked, not the whole cluster. Installs the expected ack
+  /// count for `et`; without a call the default (num_sites) reproduces the
+  /// full-replication rule. Re-installed from the MSet's placement on WAL
+  /// replay and checkpointed (Snapshot::expected) so stability completes
+  /// across restarts.
+  void SetExpected(EtId et, int count);
+
   /// Origin side: records an apply-ack from `replica` (the origin acks
-  /// itself when it applies locally). Returns true when every site has now
-  /// acknowledged — the caller should then broadcast the stability notice
-  /// and call MarkStable locally.
+  /// itself when it applies locally). Returns true when every expected site
+  /// has now acknowledged — the caller should then broadcast the stability
+  /// notice and call MarkStable locally.
   bool RecordAck(EtId et, SiteId replica);
 
   /// Any site: the MSet (et, ts, origin) has been applied locally.
@@ -89,6 +97,7 @@ class StabilityTracker {
     std::vector<std::pair<EtId, LamportTimestamp>> outstanding;
     std::vector<EtId> stable;
     std::vector<std::pair<EtId, std::vector<SiteId>>> acks;
+    std::vector<std::pair<EtId, int32_t>> expected;
     std::vector<LamportTimestamp> watermark;
   };
 
@@ -110,6 +119,8 @@ class StabilityTracker {
   std::unordered_set<EtId> stable_;
   /// Origin side: acks received per outgoing ET.
   std::unordered_map<EtId, std::unordered_set<SiteId>> acks_;
+  /// Origin side: expected ack count per outgoing ET (absent = num_sites_).
+  std::unordered_map<EtId, int32_t> expected_;
   /// Per-origin clock watermark (self is implicitly infinite: this site
   /// always knows its own MSets).
   std::vector<LamportTimestamp> watermark_;

@@ -25,6 +25,18 @@ inline constexpr MessageType kPipeAck = 6;
 inline constexpr MessageType kSeqProbeRequest = 7;
 inline constexpr MessageType kSeqProbeResponse = 8;
 inline constexpr MessageType kSeqEpochAnnounce = 9;
+/// Cross-shard commit rule (partial replication): a position request that
+/// also takes the shard's cross-lock, its grant, and the lock release.
+inline constexpr MessageType kSeqCrossRequest = 10;
+inline constexpr MessageType kSeqCrossGrant = 11;
+inline constexpr MessageType kSeqCrossRelease = 12;
+
+/// Per-shard sequencer instances coexist on one mailbox by shifting every
+/// sequencer message type into a per-shard block: shard k uses
+/// `kShardSeqTypeBase + k * kShardSeqTypeStride + <base type>`. Offset 0
+/// (the default) is the unsharded global sequencer with the original types.
+inline constexpr MessageType kShardSeqTypeBase = 1000;
+inline constexpr MessageType kShardSeqTypeStride = 16;
 
 /// Typed message envelope carried over the (untyped) simulated network.
 /// `trace` is the causal context of the ET this message belongs to (POD,

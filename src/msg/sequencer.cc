@@ -22,6 +22,13 @@ const std::vector<double> kRttBounds = {100,    250,    500,    1'000,
                                         2'500,  5'000,  10'000, 25'000,
                                         50'000, 100'000};
 
+/// {shard="k"} for per-shard sequencer instances; empty (the original
+/// unlabeled series) for the global one.
+obs::LabelSet ShardLabels(int32_t shard) {
+  if (shard < 0) return {};
+  return {{"shard", std::to_string(shard)}};
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -30,21 +37,30 @@ const std::vector<double> kRttBounds = {100,    250,    500,    1'000,
 
 SequencerServer::SequencerServer(Mailbox* mailbox, ReliableTransport* queues,
                                  bool start_sealed, int64_t epoch,
-                                 SequenceNumber first)
+                                 SequenceNumber first, MessageType type_offset)
     : mailbox_(mailbox),
       queues_(queues),
+      type_offset_(type_offset),
       next_(first),
       epoch_(epoch),
       sealed_(start_sealed) {
   assert(mailbox != nullptr && queues != nullptr);
   assert(epoch >= 1 && first >= 1);
-  mailbox_->RegisterHandler(kSeqRequest,
+  mailbox_->RegisterHandler(type_offset_ + kSeqRequest,
                             [this](SiteId source, const std::any& body) {
                               HandleRequest(source, body);
                             });
-  mailbox_->RegisterHandler(kSeqProbeResponse,
+  mailbox_->RegisterHandler(type_offset_ + kSeqProbeResponse,
                             [this](SiteId source, const std::any& body) {
                               HandleProbeResponse(source, body);
+                            });
+  mailbox_->RegisterHandler(type_offset_ + kSeqCrossRequest,
+                            [this](SiteId source, const std::any& body) {
+                              HandleCrossRequest(source, body);
+                            });
+  mailbox_->RegisterHandler(type_offset_ + kSeqCrossRelease,
+                            [this](SiteId source, const std::any& body) {
+                              HandleCrossRelease(source, body);
                             });
 }
 
@@ -53,7 +69,8 @@ SequencerServer::~SequencerServer() = default;
 void SequencerServer::set_metrics(obs::MetricRegistry* metrics) {
   metrics_ = metrics;
   if (metrics_ != nullptr) {
-    metrics_->GetGauge("esr_seq_epoch").Set(static_cast<double>(epoch_));
+    metrics_->GetGauge("esr_seq_epoch", ShardLabels(metric_shard_))
+        .Set(static_cast<double>(epoch_));
   }
 }
 
@@ -67,7 +84,9 @@ void SequencerServer::HandleRequest(SiteId source, const std::any& body) {
     // dropped, not an error — the requester re-sends once it processes the
     // epoch announce for the successor.
     if (metrics_ != nullptr) {
-      metrics_->GetCounter("esr_seq_sealed_drops_total").Increment();
+      metrics_->GetCounter("esr_seq_sealed_drops_total",
+                           ShardLabels(metric_shard_))
+          .Increment();
     }
     return;
   }
@@ -77,10 +96,13 @@ void SequencerServer::HandleRequest(SiteId source, const std::any& body) {
   const SequenceNumber first = next_;
   next_ += req->count;
   if (metrics_ != nullptr) {
-    metrics_->GetCounter("esr_seq_grants_total").Increment(req->count);
-    metrics_->GetCounter("esr_seq_batches_total").Increment();
+    metrics_->GetCounter("esr_seq_grants_total", ShardLabels(metric_shard_))
+        .Increment(req->count);
+    metrics_->GetCounter("esr_seq_batches_total", ShardLabels(metric_shard_))
+        .Increment();
     metrics_
-        ->GetHistogram("esr_seq_batch_size", /*labels=*/{}, kBatchSizeBounds)
+        ->GetHistogram("esr_seq_batch_size", ShardLabels(metric_shard_),
+                       kBatchSizeBounds)
         .Observe(static_cast<double>(req->count));
   }
   if (service_time_us_ <= 0) {
@@ -104,8 +126,8 @@ void SequencerServer::HandleRequest(SiteId source, const std::any& body) {
 void SequencerServer::SendGrant(SiteId source, int64_t request_id,
                                 SequenceNumber first, int32_t count,
                                 const TraceContext& trace) {
-  Envelope resp{kSeqResponse, SeqBatchGrant{request_id, first, count, epoch_},
-                trace};
+  Envelope resp{type_offset_ + kSeqResponse,
+                SeqBatchGrant{request_id, first, count, epoch_}, trace};
   if (source == mailbox_->self()) {
     mailbox_->Dispatch(source, resp);
   } else {
@@ -118,6 +140,13 @@ void SequencerServer::BeginTakeover(SequenceNumber durable_floor,
                                     const std::vector<SiteId>& peers) {
   sealed_ = true;
   recovering_ = true;
+  // The cross-lock does not survive the epoch: lock holders re-acquire in
+  // the successor epoch (their stale grants release any below-floor holes),
+  // and queued waiters re-send on the announce.
+  cross_locked_ = false;
+  cross_holder_ = kInvalidSiteId;
+  cross_holder_req_ = 0;
+  cross_queue_.clear();
   // `durable_floor` is a floor on next-to-grant (the checkpointed value);
   // peer probes and the local watermark arrive as highest-position-seen and
   // convert with +1. Taking the max of all of them can never land at or
@@ -139,7 +168,7 @@ void SequencerServer::BeginTakeover(SequenceNumber durable_floor,
   }
   for (SiteId peer : awaiting_probe_) {
     queues_->Send(peer,
-                  Envelope{kSeqProbeRequest,
+                  Envelope{type_offset_ + kSeqProbeRequest,
                            SeqProbeRequest{probe_id_, mailbox_->self()},
                            TraceContext{}},
                   kSeqMsgBytes);
@@ -163,16 +192,86 @@ void SequencerServer::FinishTakeover() {
   sealed_ = false;
   recovering_ = false;
   if (metrics_ != nullptr) {
-    metrics_->GetGauge("esr_seq_epoch").Set(static_cast<double>(epoch_));
-    metrics_->GetCounter("esr_seq_failovers_total").Increment();
+    metrics_->GetGauge("esr_seq_epoch", ShardLabels(metric_shard_))
+        .Set(static_cast<double>(epoch_));
+    metrics_->GetCounter("esr_seq_failovers_total", ShardLabels(metric_shard_))
+        .Increment();
   }
   // Every client — including the one co-located with this server — learns
   // the new (epoch, home, floor) and re-sends anything outstanding.
   const SeqEpochAnnounce announce{epoch_, mailbox_->self(), next_};
-  queues_->Broadcast(Envelope{kSeqEpochAnnounce, announce, TraceContext{}},
-                     kSeqMsgBytes);
-  mailbox_->Dispatch(mailbox_->self(),
-                     Envelope{kSeqEpochAnnounce, announce, TraceContext{}});
+  queues_->Broadcast(
+      Envelope{type_offset_ + kSeqEpochAnnounce, announce, TraceContext{}},
+      kSeqMsgBytes);
+  mailbox_->Dispatch(
+      mailbox_->self(),
+      Envelope{type_offset_ + kSeqEpochAnnounce, announce, TraceContext{}});
+}
+
+void SequencerServer::HandleCrossRequest(SiteId source, const std::any& body) {
+  const auto* req = std::any_cast<SeqCrossRequest>(&body);
+  assert(req != nullptr);
+  if (sealed_ || recovering_ || req->epoch != epoch_) {
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("esr_seq_sealed_drops_total",
+                           ShardLabels(metric_shard_))
+          .Increment();
+    }
+    return;
+  }
+  if (cross_locked_) {
+    cross_queue_.emplace_back(source, *req);
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("esr_seq_cross_queued_total",
+                           ShardLabels(metric_shard_))
+          .Increment();
+    }
+    return;
+  }
+  GrantCross(source, req->request_id, req->trace);
+}
+
+void SequencerServer::GrantCross(SiteId source, int64_t request_id,
+                                 const TraceContext& trace) {
+  cross_locked_ = true;
+  cross_holder_ = source;
+  cross_holder_req_ = request_id;
+  // The position is assigned at grant time like any other, so single-shard
+  // batches keep flowing around a held cross-lock; only cross requests wait.
+  const SequenceNumber position = next_++;
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("esr_seq_grants_total", ShardLabels(metric_shard_))
+        .Increment();
+    metrics_->GetCounter("esr_seq_cross_grants_total",
+                         ShardLabels(metric_shard_))
+        .Increment();
+  }
+  Envelope resp{type_offset_ + kSeqCrossGrant,
+                SeqCrossGrant{request_id, position, epoch_}, trace};
+  if (source == mailbox_->self()) {
+    mailbox_->Dispatch(source, resp);
+  } else {
+    queues_->Send(source, std::move(resp), kSeqMsgBytes);
+  }
+}
+
+void SequencerServer::HandleCrossRelease(SiteId source, const std::any& body) {
+  const auto* rel = std::any_cast<SeqCrossRelease>(&body);
+  assert(rel != nullptr);
+  if (!cross_locked_ || rel->request_id != cross_holder_req_ ||
+      source != cross_holder_) {
+    // A release for a superseded epoch's lock (reset by the takeover) or a
+    // duplicate: ignore.
+    return;
+  }
+  cross_locked_ = false;
+  cross_holder_ = kInvalidSiteId;
+  cross_holder_req_ = 0;
+  if (!cross_queue_.empty()) {
+    auto [next_source, next_req] = cross_queue_.front();
+    cross_queue_.erase(cross_queue_.begin());
+    GrantCross(next_source, next_req.request_id, next_req.trace);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -180,18 +279,25 @@ void SequencerServer::FinishTakeover() {
 // ---------------------------------------------------------------------------
 
 SequencerClient::SequencerClient(Mailbox* mailbox, ReliableTransport* queues,
-                                 SiteId home)
-    : mailbox_(mailbox), queues_(queues), home_(home) {
+                                 SiteId home, MessageType type_offset)
+    : mailbox_(mailbox),
+      queues_(queues),
+      home_(home),
+      type_offset_(type_offset) {
   assert(mailbox != nullptr && queues != nullptr);
-  mailbox_->RegisterHandler(kSeqResponse,
+  mailbox_->RegisterHandler(type_offset_ + kSeqResponse,
                             [this](SiteId source, const std::any& body) {
                               HandleGrant(source, body);
                             });
-  mailbox_->RegisterHandler(kSeqEpochAnnounce,
+  mailbox_->RegisterHandler(type_offset_ + kSeqCrossGrant,
+                            [this](SiteId source, const std::any& body) {
+                              HandleCrossGrant(source, body);
+                            });
+  mailbox_->RegisterHandler(type_offset_ + kSeqEpochAnnounce,
                             [this](SiteId source, const std::any& body) {
                               HandleEpochAnnounce(source, body);
                             });
-  mailbox_->RegisterHandler(kSeqProbeRequest,
+  mailbox_->RegisterHandler(type_offset_ + kSeqProbeRequest,
                             [this](SiteId source, const std::any& body) {
                               HandleProbeRequest(source, body);
                             });
@@ -239,7 +345,8 @@ void SequencerClient::Flush() {
   assert(inserted);
   (void)it;
   queue_.clear();
-  Envelope req{kSeqRequest, SeqBatchRequest{id, count, epoch_, trace}, trace};
+  Envelope req{type_offset_ + kSeqRequest,
+               SeqBatchRequest{id, count, epoch_, trace}, trace};
   // Requests go over the stable queue even to self: when self-hosted, the
   // local server's kSeqRequest handler is registered on this same mailbox,
   // and ReliableTransport does not loop back, so short-circuit locally.
@@ -249,6 +356,77 @@ void SequencerClient::Flush() {
     queues_->Send(home_, std::move(req),
                   kSeqMsgBytes + count * kSeqBatchEntryBytes);
   }
+}
+
+void SequencerClient::RequestCross(CrossCallback done, TraceContext trace) {
+  const int64_t id = next_request_id_++;
+  CrossEntry entry;
+  entry.done = std::move(done);
+  entry.trace = trace;
+  entry.begin = mailbox_->network()->simulator()->Now();
+  cross_inflight_.emplace(id, std::move(entry));
+  SendCrossRequest(id, trace);
+}
+
+void SequencerClient::SendCrossRequest(int64_t id, const TraceContext& trace) {
+  Envelope req{type_offset_ + kSeqCrossRequest,
+               SeqCrossRequest{id, mailbox_->self(), epoch_, trace}, trace};
+  if (mailbox_->self() == home_) {
+    mailbox_->Dispatch(home_, req);
+  } else {
+    queues_->Send(home_, std::move(req), kSeqMsgBytes);
+  }
+}
+
+void SequencerClient::ReleaseCross(int64_t token) {
+  Envelope rel{type_offset_ + kSeqCrossRelease,
+               SeqCrossRelease{token, mailbox_->self()}, TraceContext{}};
+  if (mailbox_->self() == home_) {
+    mailbox_->Dispatch(home_, rel);
+  } else {
+    queues_->Send(home_, std::move(rel), kSeqMsgBytes);
+  }
+}
+
+void SequencerClient::HandleCrossGrant(SiteId /*source*/,
+                                       const std::any& body) {
+  const auto* grant = std::any_cast<SeqCrossGrant>(&body);
+  assert(grant != nullptr);
+  if (grant->epoch != epoch_) {
+    // Same reasoning as stale batch grants: a below-floor position is a
+    // permanent hole (release as orphan); the old epoch's lock died with
+    // the takeover, so nothing to release — the still-inflight request is
+    // re-sent by the epoch announce.
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("esr_seq_stale_grants_total",
+                           ShardLabels(metric_shard_))
+          .Increment();
+    }
+    if (orphan_handler_ && grant->position < epoch_first_) {
+      orphan_handler_(grant->position);
+    }
+    return;
+  }
+  max_grant_seen_ = std::max(max_grant_seen_, grant->position);
+  if (cross_abandoned_.erase(grant->request_id) > 0) {
+    // The requester died with amnesia: account for the position AND free
+    // the lock the dead ET took, or the shard's cross traffic stalls.
+    if (orphan_handler_) orphan_handler_(grant->position);
+    ReleaseCross(grant->request_id);
+    return;
+  }
+  auto it = cross_inflight_.find(grant->request_id);
+  if (it == cross_inflight_.end()) return;  // duplicate response
+  CrossEntry entry = std::move(it->second);
+  cross_inflight_.erase(it);
+  if (metrics_ != nullptr && entry.begin >= 0) {
+    const SimTime now = mailbox_->network()->simulator()->Now();
+    metrics_
+        ->GetHistogram("esr_seq_rtt_us", ShardLabels(metric_shard_),
+                       kRttBounds)
+        .Observe(static_cast<double>(now - entry.begin));
+  }
+  entry.done(grant->position, grant->request_id);
 }
 
 void SequencerClient::HandleGrant(SiteId /*source*/, const std::any& body) {
@@ -266,7 +444,9 @@ void SequencerClient::HandleGrant(SiteId /*source*/, const std::any& body) {
     // re-granted such a position; the single-failure assumption — see
     // DESIGN.md — rules that out.)
     if (metrics_ != nullptr) {
-      metrics_->GetCounter("esr_seq_stale_grants_total").Increment();
+      metrics_->GetCounter("esr_seq_stale_grants_total",
+                           ShardLabels(metric_shard_))
+          .Increment();
     }
     if (orphan_handler_) {
       const SequenceNumber stale_last = grant->first + grant->count - 1;
@@ -303,7 +483,9 @@ void SequencerClient::HandleGrant(SiteId /*source*/, const std::any& body) {
     Entry& entry = entries[i];
     CloseSpan(entry);
     if (metrics_ != nullptr && entry.begin >= 0) {
-      metrics_->GetHistogram("esr_seq_rtt_us", /*labels=*/{}, kRttBounds)
+      metrics_
+          ->GetHistogram("esr_seq_rtt_us", ShardLabels(metric_shard_),
+                         kRttBounds)
           .Observe(static_cast<double>(now - entry.begin));
     }
     entry.done(grant->first + static_cast<SequenceNumber>(i));
@@ -324,12 +506,15 @@ void SequencerClient::HandleEpochAnnounce(SiteId /*source*/,
   // Grants for abandoned requests were issued (if ever) by the sealed
   // epoch and will be discarded as stale — nothing will arrive for these
   // ids anymore. Dropping them here is what bounds abandoned_.
-  if (!abandoned_.empty()) {
+  if (!abandoned_.empty() || !cross_abandoned_.empty()) {
     if (metrics_ != nullptr) {
-      metrics_->GetCounter("esr_seq_abandoned_dropped_total")
-          .Increment(static_cast<int64_t>(abandoned_.size()));
+      metrics_->GetCounter("esr_seq_abandoned_dropped_total",
+                           ShardLabels(metric_shard_))
+          .Increment(static_cast<int64_t>(abandoned_.size() +
+                                          cross_abandoned_.size()));
     }
     abandoned_.clear();
+    cross_abandoned_.clear();
   }
   // Everything in flight was granted (at best) by the sealed epoch; re-send
   // it all to the new home as one batch, oldest first, ahead of anything
@@ -345,6 +530,11 @@ void SequencerClient::HandleEpochAnnounce(SiteId /*source*/,
     queue_ = std::move(resend);
   }
   Flush();
+  // Cross requests re-send individually (they are never batched), oldest
+  // first, stamped for the new epoch and aimed at the new home.
+  for (const auto& [id, entry] : cross_inflight_) {
+    SendCrossRequest(id, entry.trace);
+  }
 }
 
 void SequencerClient::HandleProbeRequest(SiteId /*source*/,
@@ -354,12 +544,14 @@ void SequencerClient::HandleProbeRequest(SiteId /*source*/,
   const SeqProbeResponse resp{probe->probe_id, mailbox_->self(),
                               LocalHighWatermark(), epoch_};
   if (probe->from == mailbox_->self()) {
-    mailbox_->Dispatch(probe->from,
-                       Envelope{kSeqProbeResponse, resp, TraceContext{}});
+    mailbox_->Dispatch(
+        probe->from,
+        Envelope{type_offset_ + kSeqProbeResponse, resp, TraceContext{}});
   } else {
-    queues_->Send(probe->from,
-                  Envelope{kSeqProbeResponse, resp, TraceContext{}},
-                  kSeqMsgBytes);
+    queues_->Send(
+        probe->from,
+        Envelope{type_offset_ + kSeqProbeResponse, resp, TraceContext{}},
+        kSeqMsgBytes);
   }
 }
 
@@ -387,6 +579,13 @@ void SequencerClient::AbandonPending() {
   queue_.clear();
   inflight_.clear();
   linger_scheduled_ = false;
+  // Cross requests are always sent immediately, so every pending one may
+  // still be granted (and holds, or will hold, its shard's cross-lock).
+  for (const auto& [id, entry] : cross_inflight_) {
+    (void)entry;
+    cross_abandoned_.insert(id);
+  }
+  cross_inflight_.clear();
 }
 
 void SequencerClient::CloseSpan(const Entry& entry) {
@@ -396,7 +595,8 @@ void SequencerClient::CloseSpan(const Entry& entry) {
 }
 
 int64_t SequencerClient::PendingCount() const {
-  int64_t pending = static_cast<int64_t>(queue_.size());
+  int64_t pending = static_cast<int64_t>(queue_.size()) +
+                    static_cast<int64_t>(cross_inflight_.size());
   for (const auto& [id, entries] : inflight_) {
     pending += static_cast<int64_t>(entries.size());
   }

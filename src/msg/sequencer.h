@@ -18,6 +18,31 @@ class MetricRegistry;
 
 namespace esr::msg {
 
+/// Cross-shard position request (partial replication). Besides granting one
+/// position, the server takes its shard's *cross-lock* for the requester:
+/// the lock stays held — blocking later cross requests, but not ordinary
+/// single-shard batches — until the matching SeqCrossRelease arrives. An ET
+/// spanning shards acquires its (shard, position) pairs strictly in
+/// ascending shard order and releases every lock only after the last grant,
+/// so two ETs sharing two or more shards are fully serialized by their
+/// lowest common shard and their per-shard positions can never invert.
+struct SeqCrossRequest {
+  int64_t request_id;
+  SiteId from;
+  int64_t epoch;
+  TraceContext trace;
+};
+struct SeqCrossGrant {
+  int64_t request_id;
+  SequenceNumber position;
+  int64_t epoch;
+};
+struct SeqCrossRelease {
+  /// The request id whose grant is being released (the lock token).
+  int64_t request_id;
+  SiteId from;
+};
+
 /// Centralized global order server (paper section 3.1: "such ordering can be
 /// generated easily by a centralized order server"), grown into a batched,
 /// epoched, failover-capable ordering pipeline:
@@ -44,10 +69,12 @@ class SequencerServer {
   /// Attaches the server to `mailbox` (which must belong to the home site).
   /// An active server starts unsealed in `epoch` granting from `first`; a
   /// standby starts sealed and only begins granting after BeginTakeover()
-  /// completes its seal–probe–unseal handover.
+  /// completes its seal–probe–unseal handover. `type_offset` shifts every
+  /// sequencer message type by a constant so per-shard instances coexist on
+  /// one mailbox (see kShardSeqTypeBase); 0 = the global order server.
   SequencerServer(Mailbox* mailbox, ReliableTransport* queues,
                   bool start_sealed = false, int64_t epoch = 1,
-                  SequenceNumber first = 1);
+                  SequenceNumber first = 1, MessageType type_offset = 0);
   ~SequencerServer();
 
   SequenceNumber LastIssued() const { return next_ - 1; }
@@ -76,6 +103,11 @@ class SequencerServer {
   /// Metrics sink for the esr_seq_* server families (null = off).
   void set_metrics(obs::MetricRegistry* metrics);
 
+  /// Labels this instance's esr_seq_* series with {shard="k"} (partial
+  /// replication: one sequencer per shard). -1 (default) emits unlabeled
+  /// series, the unsharded behavior.
+  void set_metric_shard(int32_t shard) { metric_shard_ = shard; }
+
   /// Models the server's per-request-message processing cost: grant
   /// responses are serialized through a busy-until horizon, so under load
   /// the sequencer becomes the queueing bottleneck batching exists to
@@ -91,15 +123,30 @@ class SequencerServer {
  private:
   void HandleRequest(SiteId source, const std::any& body);
   void HandleProbeResponse(SiteId source, const std::any& body);
+  void HandleCrossRequest(SiteId source, const std::any& body);
+  void HandleCrossRelease(SiteId source, const std::any& body);
+  void GrantCross(SiteId source, int64_t request_id,
+                  const TraceContext& trace);
   void FinishTakeover();
   void SendGrant(SiteId source, int64_t request_id, SequenceNumber first,
                  int32_t count, const TraceContext& trace);
 
   Mailbox* mailbox_;
   ReliableTransport* queues_;
+  MessageType type_offset_ = 0;
   SequenceNumber next_ = 1;
   int64_t epoch_ = 1;
   bool sealed_ = false;
+  int32_t metric_shard_ = -1;
+  /// Cross-shard commit rule: while an ET collects positions across its
+  /// shards, each touched shard's server keeps its cross-lock held for that
+  /// ET so no later cross-shard ET can interleave positions with it (see
+  /// DESIGN.md §13). Single-shard requests (HandleRequest) ignore the lock.
+  bool cross_locked_ = false;
+  SiteId cross_holder_ = kInvalidSiteId;
+  int64_t cross_holder_req_ = 0;
+  /// Cross requests queued behind the current lock holder, FIFO.
+  std::vector<std::pair<SiteId, SeqCrossRequest>> cross_queue_;
   SimDuration service_time_us_ = 0;
   SimTime busy_until_ = 0;
   /// Takeover state: outstanding probe id, peers still expected to answer,
@@ -120,17 +167,37 @@ class SequencerServer {
 class SequencerClient {
  public:
   using Callback = std::function<void(SequenceNumber)>;
+  /// Cross-shard grant callback: the granted position plus the lock token
+  /// to pass back to ReleaseCross() once the cross-shard chain completes.
+  using CrossCallback = std::function<void(SequenceNumber, int64_t)>;
 
   /// `home` is the (current) sequencer site. When `self == home`, requests
   /// short-circuit locally through the co-located server (no messages).
-  /// `home` moves when a SeqEpochAnnounce reports a failover.
-  SequencerClient(Mailbox* mailbox, ReliableTransport* queues, SiteId home);
+  /// `home` moves when a SeqEpochAnnounce reports a failover. `type_offset`
+  /// must match the paired server's (per-shard instances; 0 = global).
+  SequencerClient(Mailbox* mailbox, ReliableTransport* queues, SiteId home,
+                  MessageType type_offset = 0);
 
   /// Requests the next global sequence number; `done` fires when the grant
   /// arrives (immediately when self-hosted and unbatched). `trace`
   /// (optional) ties the round trip to an ET for hop tracing. Concurrent
   /// requests coalesce per the batching knobs.
   void Request(Callback done, TraceContext trace = {});
+
+  /// Cross-shard commit rule: requests one position *and* this shard's
+  /// cross-lock. `done` receives the position and the lock token; the
+  /// caller must ReleaseCross(token) after its whole cross-shard chain has
+  /// been granted. Never batched (the lock is per-request). Survives
+  /// failover: pending cross requests are re-sent on an epoch announce,
+  /// stale cross grants release below-floor positions as orphans.
+  void RequestCross(CrossCallback done, TraceContext trace = {});
+
+  /// Releases the cross-lock taken by the RequestCross() that returned
+  /// `token`. Safe to call after a failover (the new epoch ignores it).
+  void ReleaseCross(int64_t token);
+
+  /// Labels this instance's esr_seq_* series with {shard="k"}; -1 = off.
+  void set_metric_shard(int32_t shard) { metric_shard_ = shard; }
 
   /// Group-sequencing knobs: a wire batch is flushed as soon as `batch_max`
   /// requests are queued, or `linger_us` after the first queued request,
@@ -190,9 +257,17 @@ class SequencerClient {
     SiteId seq_to = kInvalidSiteId;
   };
 
+  struct CrossEntry {
+    CrossCallback done;
+    TraceContext trace;
+    SimTime begin = -1;
+  };
+
   void HandleGrant(SiteId source, const std::any& body);
+  void HandleCrossGrant(SiteId source, const std::any& body);
   void HandleEpochAnnounce(SiteId source, const std::any& body);
   void HandleProbeRequest(SiteId source, const std::any& body);
+  void SendCrossRequest(int64_t id, const TraceContext& trace);
   /// Sends everything in queue_ as one wire batch (batch_max_ is a flush
   /// trigger, not a hard cap — an epoch-change re-send may exceed it).
   void Flush();
@@ -202,6 +277,8 @@ class SequencerClient {
   Mailbox* mailbox_;
   ReliableTransport* queues_;
   SiteId home_;
+  MessageType type_offset_ = 0;
+  int32_t metric_shard_ = -1;
   int64_t epoch_ = 1;
   /// First position of the current epoch (from its announce; 1 initially).
   /// Stale-grant positions below this were never re-granted — they are
@@ -218,6 +295,11 @@ class SequencerClient {
   std::map<int64_t, std::vector<Entry>> inflight_;
   /// Abandoned in-flight batches: request id -> position count to orphan.
   std::unordered_map<int64_t, int32_t> abandoned_;
+  /// In-flight cross requests by id (ordered for epoch-change re-send).
+  std::map<int64_t, CrossEntry> cross_inflight_;
+  /// Abandoned cross requests: their grants are orphaned AND the lock they
+  /// took must be released, or the shard's cross traffic stalls forever.
+  std::unordered_set<int64_t> cross_abandoned_;
   SequenceNumber max_grant_seen_ = 0;
   std::function<void(SequenceNumber)> orphan_handler_;
   std::function<SequenceNumber()> high_watermark_provider_;

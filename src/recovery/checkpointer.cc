@@ -7,10 +7,11 @@ namespace esr::recovery {
 namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x45535243u;  // "ESRC"
-/// v2 added the sequencer durable floor (seq_next, seq_epoch). v1 blobs
-/// still decode — the sequencer fields stay 0 and the restarted server
-/// falls back to the peer high-watermark probe alone.
-constexpr uint32_t kCheckpointVersion = 2;
+/// v2 added the sequencer durable floor (seq_next, seq_epoch). v3 added
+/// the per-shard delivery watermarks of partial replication. Older blobs
+/// still decode — the added fields stay 0/empty (an empty shard-watermark
+/// map keeps every sharded WAL record, which is safe).
+constexpr uint32_t kCheckpointVersion = 3;
 
 }  // namespace
 
@@ -25,6 +26,11 @@ std::string EncodeCheckpoint(const CheckpointData& data) {
   enc.I64(data.seq_epoch);
   enc.U32(static_cast<uint32_t>(data.applied.size()));
   for (const LamportTimestamp& ts : data.applied) enc.Ts(ts);
+  enc.U32(static_cast<uint32_t>(data.shard_watermarks.size()));
+  for (const auto& [shard, wm] : data.shard_watermarks) {
+    enc.U32(static_cast<uint32_t>(shard));
+    enc.I64(wm);
+  }
   enc.U32(static_cast<uint32_t>(data.store_entries.size()));
   for (const auto& [object, value, write_ts] : data.store_entries) {
     enc.I64(object);
@@ -74,6 +80,14 @@ bool DecodeCheckpoint(std::string_view bytes, CheckpointData* out) {
   }
   uint32_t n = dec.U32();
   for (uint32_t i = 0; i < n && dec.ok(); ++i) data.applied.push_back(dec.Ts());
+  if (version >= 3) {
+    n = dec.U32();
+    for (uint32_t i = 0; i < n && dec.ok(); ++i) {
+      const ShardId shard = static_cast<ShardId>(dec.U32());
+      const SequenceNumber wm = dec.I64();
+      data.shard_watermarks.emplace_back(shard, wm);
+    }
+  }
   n = dec.U32();
   for (uint32_t i = 0; i < n && dec.ok(); ++i) {
     ObjectId object = dec.I64();

@@ -40,6 +40,15 @@ struct CheckpointData {
   int64_t seq_epoch = 0;
   /// Per-origin applied-MSet timestamp vector, indexed by SiteId.
   std::vector<LamportTimestamp> applied;
+  /// Partial replication: per-shard delivery watermarks of the sharded
+  /// ORDUP method. A sharded MSet (one carrying shard_positions) is
+  /// reflected in this checkpoint iff every one of its (shard, position)
+  /// pairs satisfies position <= the shard's entry here — the
+  /// applied-timestamp vector above does NOT cover sharded MSets, whose
+  /// per-origin apply order differs across shards. Owned shards carry the
+  /// stream cursor; non-owned shards carry INT64_MAX ("this site never
+  /// needs that stream"). Empty when unsharded.
+  std::vector<std::pair<ShardId, SequenceNumber>> shard_watermarks;
   /// Single-version store image: (object, value, write_timestamp).
   std::vector<std::tuple<ObjectId, Value, LamportTimestamp>> store_entries;
   /// Multi-version store image: (object, timestamp, value).

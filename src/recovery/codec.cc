@@ -79,6 +79,11 @@ void Encoder::MsetRec(const core::Mset& mset) {
   U8(mset.tentative ? 1 : 0);
   U32(static_cast<uint32_t>(mset.operations.size()));
   for (const store::Operation& op : mset.operations) Op(op);
+  U32(static_cast<uint32_t>(mset.shard_positions.size()));
+  for (const auto& [shard, pos] : mset.shard_positions) {
+    U32(static_cast<uint32_t>(shard));
+    I64(pos);
+  }
 }
 
 bool Decoder::Need(size_t n) {
@@ -161,6 +166,17 @@ core::Mset Decoder::MsetRec() {
   }
   mset.operations.reserve(n);
   for (uint32_t i = 0; i < n && ok_; ++i) mset.operations.push_back(Op());
+  uint32_t ns = U32();
+  if (!ok_ || ns > in_.size() - pos_) {
+    ok_ = false;
+    return mset;
+  }
+  mset.shard_positions.reserve(ns);
+  for (uint32_t i = 0; i < ns && ok_; ++i) {
+    const ShardId shard = static_cast<ShardId>(U32());
+    const SequenceNumber pos = I64();
+    mset.shard_positions.emplace_back(shard, pos);
+  }
   return mset;
 }
 

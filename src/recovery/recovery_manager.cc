@@ -1,6 +1,7 @@
 #include "recovery/recovery_manager.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <string>
 #include <unordered_set>
@@ -14,6 +15,16 @@ obs::LabelSet SiteLabel(SiteId site) {
   return {{"site", std::to_string(site)}};
 }
 
+/// Looks up one shard's watermark in a (shard, watermark) vector; a missing
+/// entry means "has nothing of that shard" (floor 0 — keep/serve all).
+SequenceNumber LookupShardWm(
+    const std::vector<std::pair<ShardId, SequenceNumber>>& wms, ShardId k) {
+  for (const auto& [shard, wm] : wms) {
+    if (shard == k) return wm;
+  }
+  return 0;
+}
+
 }  // namespace
 
 SiteRecovery::SiteRecovery(SiteId site, int num_sites,
@@ -24,7 +35,28 @@ SiteRecovery::SiteRecovery(SiteId site, int num_sites,
   ckpt_applied_.assign(static_cast<size_t>(num_sites), kZeroTimestamp);
 }
 
+SequenceNumber SiteRecovery::ShardAppliedOf(ShardId shard) const {
+  auto it = shard_applied_.find(shard);
+  return it == shard_applied_.end() ? 0 : it->second;
+}
+
 bool SiteRecovery::AlreadyApplied(const core::Mset& mset) const {
+  if (!mset.shard_positions.empty()) {
+    if (mset.et == kInvalidEtId && !in_replay_) {
+      // Sharded noop filler outside replay: the shard streams deduplicate.
+      return false;
+    }
+    // Sharded MSet (or replayed noop): reflected iff every one of its
+    // (shard, position) pairs is at or below the per-shard watermark. The
+    // per-origin timestamp vector below does not cover sharded MSets —
+    // one origin's MSets to different shards apply in different relative
+    // orders at different owners — but each shard stream applies
+    // contiguously, so its watermark is exact.
+    for (const auto& [shard, pos] : mset.shard_positions) {
+      if (pos > ShardAppliedOf(shard)) return false;
+    }
+    return true;
+  }
   if (mset.et == kInvalidEtId) {
     // ORDUP noop filler: only the checkpointed total-order watermark can
     // prove it reflected; outside replay the order buffer deduplicates.
@@ -67,7 +99,17 @@ bool SiteRecovery::MaybeHoldDelivery(const core::Mset& mset) {
 }
 
 void SiteRecovery::OnApplied(const core::Mset& mset) {
-  if (mset.et == kInvalidEtId || mset.origin < 0 ||
+  if (mset.et == kInvalidEtId) return;
+  if (!mset.shard_positions.empty()) {
+    // Sharded MSets advance the per-shard watermarks only; the timestamp
+    // vector does not govern them (see AlreadyApplied).
+    for (const auto& [shard, pos] : mset.shard_positions) {
+      SequenceNumber& wm = shard_applied_[shard];
+      wm = std::max(wm, pos);
+    }
+    return;
+  }
+  if (mset.origin < 0 ||
       mset.origin >= static_cast<SiteId>(applied_.size())) {
     return;
   }
@@ -175,6 +217,23 @@ RecoveryManager::TruncationView RecoveryManager::BuildTruncationView() const {
     }
     view.order_floor = std::min(view.order_floor, peer.ckpt_order_watermark_);
   }
+  // Per-shard floor: min over every site's checkpointed shard watermark.
+  // A site with no checkpointed map (never checkpointed, or unsharded)
+  // contributes 0, keeping every sharded record.
+  std::set<ShardId> shard_keys;
+  for (const auto& site_ptr : sites_) {
+    for (const auto& [shard, wm] : site_ptr->ckpt_shard_watermarks_) {
+      shard_keys.insert(shard);
+    }
+  }
+  for (ShardId k : shard_keys) {
+    SequenceNumber floor = std::numeric_limits<SequenceNumber>::max();
+    for (const auto& site_ptr : sites_) {
+      floor = std::min(floor,
+                       LookupShardWm(site_ptr->ckpt_shard_watermarks_, k));
+    }
+    view.shard_floor[k] = floor;
+  }
   return view;
 }
 
@@ -191,6 +250,7 @@ void RecoveryManager::TakeCheckpoint(SiteId s) {
   site.ckpt_applied_ = data.applied;
   site.ckpt_applied_.resize(static_cast<size_t>(num_sites_), kZeroTimestamp);
   site.ckpt_order_watermark_ = data.order_watermark;
+  site.ckpt_shard_watermarks_ = data.shard_watermarks;
   site.ckpt_tentative_ets_.clear();
   for (const store::MsetLog::RecordSnapshot& rec : data.mset_log) {
     site.ckpt_tentative_ets_.insert(rec.mset_id);
@@ -231,6 +291,23 @@ void RecoveryManager::TakeCheckpoint(SiteId s) {
         break;
     }
     const core::Mset& mset = record.mset;
+    if (!mset.shard_positions.empty()) {
+      // Sharded record (MSet or noop filler): droppable only once every
+      // site's CHECKPOINTED shard watermark has passed all its positions —
+      // owners then hold it durably in their checkpoints and non-owners
+      // (reporting INT64_MAX) never need it. The floor includes this
+      // site's own checkpoint, so no dropped_floor_ bookkeeping is needed:
+      // a requester behind the floor can always reconstruct from its own
+      // durable state. Real MSets additionally wait for global stability.
+      for (const auto& [shard, pos] : mset.shard_positions) {
+        auto it = view.shard_floor.find(shard);
+        const SequenceNumber floor =
+            it == view.shard_floor.end() ? 0 : it->second;
+        if (pos > floor) return true;
+      }
+      if (mset.et == kInvalidEtId) return false;
+      return !(site.bindings_.is_stable && site.bindings_.is_stable(mset.et));
+    }
     if (mset.et == kInvalidEtId) {
       return !(mset.global_order > 0 &&
                mset.global_order <= data.order_watermark);
@@ -294,6 +371,13 @@ void RecoveryManager::RecoverSite(SiteId s) {
   site.applied_ = data.applied;
   site.ckpt_applied_ = data.applied;
   site.ckpt_order_watermark_ = data.order_watermark;
+  site.ckpt_shard_watermarks_ = data.shard_watermarks;
+  // The live per-shard watermark restarts at the durable cursor; WAL
+  // replay and catch-up raise it from there.
+  site.shard_applied_.clear();
+  for (const auto& [shard, wm] : data.shard_watermarks) {
+    site.shard_applied_[shard] = wm;
+  }
   site.ckpt_tentative_ets_.clear();
   for (const store::MsetLog::RecordSnapshot& rec : data.mset_log) {
     site.ckpt_tentative_ets_.insert(rec.mset_id);
@@ -346,6 +430,9 @@ CatchupRequest RecoveryManager::BuildCatchupRequest(SiteId s) {
   request.from = s;
   request.exchange = ++site.catchup_exchange_;
   request.applied = site.applied_;
+  if (site.bindings_.shard_watermarks) {
+    request.shard_watermarks = site.bindings_.shard_watermarks();
+  }
   if (site.bindings_.outstanding) {
     request.outstanding = site.bindings_.outstanding();
   }
@@ -377,6 +464,7 @@ CatchupResponse RecoveryManager::BuildCatchupResponse(
 
   std::unordered_set<EtId> seen_ets;
   std::set<std::pair<SiteId, SequenceNumber>> seen_noops;
+  std::set<std::pair<ShardId, SequenceNumber>> seen_shard_noops;
   std::unordered_set<EtId> seen_decisions;
   for (const WalRecord& record : site.wal_->ReadAll()) {
     if (record.type == WalRecordType::kDecision) {
@@ -387,6 +475,31 @@ CatchupResponse RecoveryManager::BuildCatchupResponse(
     }
     if (record.type != WalRecordType::kMset) continue;
     const core::Mset& mset = record.mset;
+    if (!mset.shard_positions.empty()) {
+      // Sharded records are served by the requester's per-shard
+      // watermarks: needed iff some position is past them (a non-owned
+      // shard reports INT64_MAX, filtering other shards' traffic out).
+      bool needed = false;
+      for (const auto& [shard, pos] : mset.shard_positions) {
+        if (pos > LookupShardWm(request.shard_watermarks, shard)) {
+          needed = true;
+          break;
+        }
+      }
+      if (!needed) continue;
+      if (mset.et == kInvalidEtId) {
+        // Sharded noop fillers have no ET: dedup on the (shard, position)
+        // pair they fill.
+        if (seen_shard_noops.emplace(mset.shard_positions.front().first,
+                                     mset.shard_positions.front().second)
+                .second) {
+          response.msets.push_back(mset);
+        }
+      } else if (seen_ets.insert(mset.et).second) {
+        response.msets.push_back(mset);
+      }
+      continue;
+    }
     if (mset.et == kInvalidEtId) {
       if (mset.global_order > 0 &&
           seen_noops.emplace(mset.origin, mset.global_order).second) {

@@ -2,6 +2,7 @@
 #define ESR_RECOVERY_RECOVERY_MANAGER_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -41,6 +42,11 @@ struct CatchupRequest {
   /// release held foreground deliveries before the real responses arrive.
   int64_t exchange = 0;
   std::vector<LamportTimestamp> applied;
+  /// Partial replication: the requester's per-shard delivery watermarks
+  /// after local replay (owned shards = stream cursor, non-owned =
+  /// INT64_MAX). Sharded MSets are served/filtered by these instead of the
+  /// timestamp vector above. Empty when unsharded.
+  std::vector<std::pair<ShardId, SequenceNumber>> shard_watermarks;
   std::vector<std::pair<EtId, LamportTimestamp>> outstanding;
   /// ALL ETs applied locally but not known stable, regardless of origin: a
   /// stability notice that died in the requester's unflushed WAL tail is
@@ -115,6 +121,11 @@ struct SiteBindings {
   std::function<std::vector<std::pair<EtId, LamportTimestamp>>()> outstanding;
   /// Requester-side: ALL locally-applied-but-unstable ETs (any origin).
   std::function<std::vector<std::pair<EtId, LamportTimestamp>>()> unstable;
+  /// Requester-side, partial replication: live per-shard delivery
+  /// watermarks (owned = stream cursor, non-owned = INT64_MAX). Unset when
+  /// unsharded.
+  std::function<std::vector<std::pair<ShardId, SequenceNumber>>()>
+      shard_watermarks;
 };
 
 class RecoveryManager;
@@ -132,6 +143,10 @@ class SiteRecovery {
   /// by the per-origin applied-timestamp watermark (stable queues are FIFO
   /// per origin and methods apply a given origin's MSets in timestamp
   /// order), ORDUP noop fillers by the checkpointed total-order watermark.
+  /// Sharded MSets (carrying shard_positions) use the per-shard watermarks
+  /// instead: a given origin's MSets to different shards apply in different
+  /// relative orders at different owners, so the timestamp vector does not
+  /// cover them, but each shard stream is applied contiguously.
   bool AlreadyApplied(const core::Mset& mset) const;
 
   void LogMset(const core::Mset& mset);
@@ -160,6 +175,9 @@ class SiteRecovery {
 
   SiteRecovery(SiteId site, int num_sites, std::unique_ptr<Wal> wal);
 
+  /// Live per-shard applied watermark (0 when the shard was never seen).
+  SequenceNumber ShardAppliedOf(ShardId shard) const;
+
   SiteId site_;
   std::unique_ptr<Wal> wal_;
   SiteBindings bindings_;
@@ -182,6 +200,13 @@ class SiteRecovery {
   /// this site's latest checkpoint: an amnesia restart re-arms them, so
   /// their COMPE decisions must stay servable from peer WALs.
   std::unordered_set<EtId> ckpt_tentative_ets_;
+  /// Partial replication: per-shard watermarks of this site's latest
+  /// checkpoint (owned shards = durable stream cursor, non-owned =
+  /// INT64_MAX). Empty when unsharded or never checkpointed.
+  std::vector<std::pair<ShardId, SequenceNumber>> ckpt_shard_watermarks_;
+  /// Live per-shard applied watermark, raised by OnApplied from each
+  /// applied MSet's positions; reseeded from the checkpoint on recovery.
+  std::map<ShardId, SequenceNumber> shard_applied_;
   bool in_replay_ = false;
   /// Peers whose catch-up response for the current exchange is still
   /// outstanding; empty when no exchange is in flight.
@@ -266,6 +291,12 @@ class RecoveryManager {
     /// Minimum checkpointed total-order watermark across sites: below it no
     /// recovering site still needs a record to fill its order buffer.
     SequenceNumber order_floor = 0;
+    /// Partial replication: per-shard minimum of every site's CHECKPOINTED
+    /// shard watermark (a site with no checkpointed map contributes 0 for
+    /// every shard — keep everything). Below the floor no site can ever
+    /// need the shard's records again: owners hold them durably in their
+    /// checkpoints, non-owners report INT64_MAX and never need them.
+    std::map<ShardId, SequenceNumber> shard_floor;
     /// ETs whose tentative application is reconstructible from SOME site's
     /// WAL (flushed or still buffered — the buffer may yet become durable)
     /// or latest checkpoint's MSet log. Catch-up serves COMPE decisions

@@ -1,0 +1,128 @@
+#include "shard/placement_map.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace esr::shard {
+
+namespace {
+
+/// splitmix64-style finalizer over a (seed, a, b) triple. Statistically
+/// uniform and platform-independent — the placement must be identical on
+/// every site and every build.
+uint64_t MixWeight(uint64_t seed, uint64_t a, uint64_t b) {
+  uint64_t x = seed ^ (a * 0x9E3779B97F4A7C15ULL) ^ (b + 0xBF58476D1CE4E5B9ULL);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+PlacementMap::PlacementMap(const ShardConfig& config, int num_sites)
+    : num_shards_(std::max(config.num_shards, int32_t{1})),
+      replication_factor_(
+          std::clamp(config.replication_factor, int32_t{1},
+                     static_cast<int32_t>(std::max(num_sites, 1)))),
+      num_sites_(std::max(num_sites, 1)),
+      seed_(config.placement_seed) {
+  owners_.resize(static_cast<size_t>(num_shards_));
+  owned_.resize(static_cast<size_t>(num_sites_));
+  owns_.assign(static_cast<size_t>(num_shards_) * num_sites_, false);
+  for (ShardId k = 0; k < num_shards_; ++k) {
+    // Rank every site by its rendezvous weight for this shard; ties are
+    // impossible in practice but break by site id for full determinism.
+    std::vector<std::pair<uint64_t, SiteId>> ranked;
+    ranked.reserve(static_cast<size_t>(num_sites_));
+    for (SiteId s = 0; s < num_sites_; ++s) {
+      ranked.emplace_back(
+          MixWeight(seed_, static_cast<uint64_t>(k) + 0x5A5A5A5AULL,
+                    static_cast<uint64_t>(s)),
+          s);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    std::vector<SiteId>& owners = owners_[static_cast<size_t>(k)];
+    for (int32_t r = 0; r < replication_factor_; ++r) {
+      owners.push_back(ranked[static_cast<size_t>(r)].second);
+    }
+    std::sort(owners.begin(), owners.end());
+    for (SiteId s : owners) {
+      owns_[static_cast<size_t>(k) * num_sites_ + s] = true;
+      owned_[static_cast<size_t>(s)].push_back(k);
+    }
+  }
+}
+
+ShardId PlacementMap::ShardOf(ObjectId object) const {
+  if (num_shards_ == 1) return 0;
+  ShardId best = 0;
+  uint64_t best_weight = 0;
+  for (ShardId k = 0; k < num_shards_; ++k) {
+    const uint64_t w =
+        MixWeight(seed_, static_cast<uint64_t>(object), static_cast<uint64_t>(k));
+    if (k == 0 || w > best_weight) {
+      best = k;
+      best_weight = w;
+    }
+  }
+  return best;
+}
+
+const std::vector<SiteId>& PlacementMap::Owners(ShardId shard) const {
+  assert(shard >= 0 && shard < num_shards_);
+  return owners_[static_cast<size_t>(shard)];
+}
+
+bool PlacementMap::Owns(SiteId site, ShardId shard) const {
+  if (site < 0 || site >= num_sites_ || shard < 0 || shard >= num_shards_) {
+    return false;
+  }
+  return owns_[static_cast<size_t>(shard) * num_sites_ + site];
+}
+
+bool PlacementMap::OwnsObject(SiteId site, ObjectId object) const {
+  return Owns(site, ShardOf(object));
+}
+
+const std::vector<ShardId>& PlacementMap::OwnedShards(SiteId site) const {
+  assert(site >= 0 && site < num_sites_);
+  return owned_[static_cast<size_t>(site)];
+}
+
+std::vector<ShardId> PlacementMap::ShardsOf(
+    const std::vector<store::Operation>& ops) const {
+  std::vector<ShardId> shards;
+  for (const store::Operation& op : ops) {
+    shards.push_back(ShardOf(op.object));
+  }
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  return shards;
+}
+
+std::vector<SiteId> PlacementMap::OwnersOf(
+    const std::vector<ShardId>& shards) const {
+  std::vector<SiteId> sites;
+  for (ShardId k : shards) {
+    const std::vector<SiteId>& owners = Owners(k);
+    sites.insert(sites.end(), owners.begin(), owners.end());
+  }
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  return sites;
+}
+
+std::vector<SiteId> PlacementMap::CoOwners(SiteId site) const {
+  std::vector<SiteId> peers = OwnersOf(OwnedShards(site));
+  peers.erase(std::remove(peers.begin(), peers.end(), site), peers.end());
+  return peers;
+}
+
+}  // namespace esr::shard

@@ -1,0 +1,95 @@
+#ifndef ESR_SHARD_PLACEMENT_MAP_H_
+#define ESR_SHARD_PLACEMENT_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "store/operation.h"
+
+namespace esr::shard {
+
+/// Partial-replication knobs. A system with `num_shards <= 1` is fully
+/// replicated and behaves exactly as before (no PlacementMap is built).
+struct ShardConfig {
+  /// Number of placement shards the object universe is partitioned into.
+  /// 1 (default) disables partial replication.
+  int32_t num_shards = 1;
+  /// Number of owner sites per shard. Clamped to [1, num_sites] at
+  /// PlacementMap construction.
+  int32_t replication_factor = 2;
+  /// Placement hash seed. Part of the deterministic (SystemConfig, seed)
+  /// execution identity: two runs with equal config agree on every
+  /// object -> shard -> owner-set assignment.
+  uint64_t placement_seed = 0x5eed5eedULL;
+};
+
+/// Deterministic object -> shard -> replica-set assignment.
+///
+/// Both mappings use rendezvous (highest-random-weight) hashing:
+///
+///   ShardOf(o)   = argmax_k  h(seed, o, k)          over shards k
+///   Owners(k)    = top-RF sites s by h(seed, k, s)  over sites s
+///
+/// Rendezvous hashing gives the remap-stability property partial
+/// replication wants: adding a shard moves only the objects whose new
+/// shard wins the weight contest — every other object keeps its
+/// assignment — and likewise adding a site steals each shard's ownership
+/// slots from at most one incumbent.
+///
+/// The paper's ETs declare the *object classes* they touch; a shard here
+/// is exactly such a class grouping — the set of objects that hash to it —
+/// so "ET touches classes C1..Cn" becomes "MSet spans shards S1..Sn" and
+/// routing/ordering decisions read this map instead of broadcasting.
+class PlacementMap {
+ public:
+  PlacementMap(const ShardConfig& config, int num_sites);
+
+  int32_t num_shards() const { return num_shards_; }
+  int32_t replication_factor() const { return replication_factor_; }
+  int num_sites() const { return num_sites_; }
+
+  /// Shard owning `object`. Pure function of (placement_seed, object).
+  ShardId ShardOf(ObjectId object) const;
+
+  /// Owner sites of `shard`, sorted ascending (deterministic fan-out
+  /// order). Size is exactly replication_factor().
+  const std::vector<SiteId>& Owners(ShardId shard) const;
+
+  bool Owns(SiteId site, ShardId shard) const;
+
+  /// True when `site` owns the shard of `object`.
+  bool OwnsObject(SiteId site, ObjectId object) const;
+
+  /// Shards owned by `site`, sorted ascending.
+  const std::vector<ShardId>& OwnedShards(SiteId site) const;
+
+  /// Distinct shards touched by `ops`, sorted ascending — the canonical
+  /// acquisition order of the cross-shard commit rule.
+  std::vector<ShardId> ShardsOf(const std::vector<store::Operation>& ops) const;
+
+  /// Union of the owner sets of every shard in `shards`, sorted ascending:
+  /// the delivery set of an MSet (updates, apply-acks and stability
+  /// notices go nowhere else).
+  std::vector<SiteId> OwnersOf(const std::vector<ShardId>& shards) const;
+
+  /// Sites sharing at least one shard with `site` (site itself excluded),
+  /// sorted ascending — the peers a recovering owner runs catch-up with.
+  std::vector<SiteId> CoOwners(SiteId site) const;
+
+ private:
+  int32_t num_shards_;
+  int32_t replication_factor_;
+  int num_sites_;
+  uint64_t seed_;
+  /// owners_[shard] = sorted owner sites.
+  std::vector<std::vector<SiteId>> owners_;
+  /// owned_[site] = sorted owned shards.
+  std::vector<std::vector<ShardId>> owned_;
+  /// owns_[shard * num_sites + site].
+  std::vector<bool> owns_;
+};
+
+}  // namespace esr::shard
+
+#endif  // ESR_SHARD_PLACEMENT_MAP_H_

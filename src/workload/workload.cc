@@ -82,12 +82,38 @@ void WorkloadRunner::ClientIteration(std::shared_ptr<Client> client) {
 void WorkloadRunner::IssueUpdate(std::shared_ptr<Client> client) {
   std::vector<Operation> ops;
   ops.reserve(spec_.ops_per_update);
+  // Partial replication: optionally confine this ET's objects to one shard.
+  // The shard is fixed by the first draw; later draws are rejected (bounded)
+  // until they land in it. No extra rng draws happen when the knob is off,
+  // so unsharded runs replay the legacy object sequence exactly.
+  const shard::PlacementMap* placement = system_->placement();
+  const bool confine = placement != nullptr && placement->num_shards() > 1 &&
+                       spec_.single_shard_fraction > 0 &&
+                       client->rng.Bernoulli(spec_.single_shard_fraction);
+  ShardId target_shard = -1;
+  auto pick = [&]() {
+    ObjectId object = PickObject(client->rng);
+    if (confine) {
+      if (target_shard < 0) {
+        target_shard = placement->ShardOf(object);
+      } else {
+        for (int tries = 0;
+             tries < 1024 && placement->ShardOf(object) != target_shard;
+             ++tries) {
+          object = PickObject(client->rng);
+        }
+      }
+    }
+    return object;
+  };
   if (spec_.update_kind == WorkloadSpec::UpdateKind::kTransfer) {
     // One balanced transfer per update ET: the two deltas cancel, so the
     // sum over all objects is invariant under any serializable execution.
-    const ObjectId from = PickObject(client->rng);
-    ObjectId to = PickObject(client->rng);
-    if (to == from) to = (to + 1) % spec_.num_objects;
+    const ObjectId from = pick();
+    ObjectId to = pick();
+    if (to == from && !confine) to = (to + 1) % spec_.num_objects;
+    // Under confinement a same-object transfer is left alone (it still
+    // cancels); nudging it could leave the target shard.
     const int64_t amount = client->rng.Uniform(1, 50);
     ops.push_back(Operation::Increment(from, -amount));
     ops.push_back(Operation::Increment(to, amount));
@@ -96,7 +122,7 @@ void WorkloadRunner::IssueUpdate(std::shared_ptr<Client> client) {
        spec_.update_kind != WorkloadSpec::UpdateKind::kTransfer &&
        i < spec_.ops_per_update;
        ++i) {
-    const ObjectId object = PickObject(client->rng);
+    const ObjectId object = pick();
     switch (spec_.update_kind) {
       case WorkloadSpec::UpdateKind::kIncrement:
         ops.push_back(Operation::Increment(object,

@@ -51,6 +51,13 @@ struct WorkloadSpec {
   };
   UpdateKind update_kind = UpdateKind::kIncrement;
 
+  /// Partial replication: probability an update ET's operations are confined
+  /// to a single shard (later objects are re-drawn until they share the first
+  /// object's shard). 0 leaves object picks independent — under sharding that
+  /// yields mostly cross-shard ETs as ops_per_update grows. Ignored when the
+  /// system is unsharded, so the default preserves legacy behavior exactly.
+  double single_shard_fraction = 0.0;
+
   /// COMPE: probability an update is globally aborted, and how long after
   /// local commit the decision is announced.
   double compe_abort_probability = 0.0;

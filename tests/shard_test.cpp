@@ -1,0 +1,221 @@
+// PlacementMap unit tests: deterministic assignment, replication-factor
+// bounds, exact ownership counts, rendezvous remap stability, and the
+// derived queries (ShardsOf / OwnersOf / CoOwners) the routing layer and
+// recovery catch-up depend on.
+
+#include "shard/placement_map.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "store/operation.h"
+
+namespace esr::shard {
+namespace {
+
+using store::Operation;
+
+ShardConfig Config(int32_t shards, int32_t rf,
+                   uint64_t seed = 0x5eed5eedULL) {
+  ShardConfig config;
+  config.num_shards = shards;
+  config.replication_factor = rf;
+  config.placement_seed = seed;
+  return config;
+}
+
+TEST(PlacementMapTest, DeterministicAcrossInstances) {
+  for (uint64_t seed : {1ULL, 77ULL, 0x5eed5eedULL, ~0ULL}) {
+    PlacementMap a(Config(8, 3, seed), 10);
+    PlacementMap b(Config(8, 3, seed), 10);
+    for (ObjectId o = 0; o < 500; ++o) {
+      EXPECT_EQ(a.ShardOf(o), b.ShardOf(o)) << "seed=" << seed << " o=" << o;
+    }
+    for (ShardId k = 0; k < 8; ++k) {
+      EXPECT_EQ(a.Owners(k), b.Owners(k)) << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(PlacementMapTest, DifferentSeedsGiveDifferentPlacements) {
+  PlacementMap a(Config(8, 2, 1), 10);
+  PlacementMap b(Config(8, 2, 2), 10);
+  int moved = 0;
+  for (ObjectId o = 0; o < 500; ++o) {
+    if (a.ShardOf(o) != b.ShardOf(o)) ++moved;
+  }
+  // Independent hashes agree on a shard with probability ~1/8.
+  EXPECT_GT(moved, 300);
+}
+
+TEST(PlacementMapTest, ShardOfInRange) {
+  PlacementMap map(Config(5, 2), 7);
+  for (ObjectId o = 0; o < 1000; ++o) {
+    const ShardId k = map.ShardOf(o);
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 5);
+  }
+}
+
+TEST(PlacementMapTest, EveryShardHasExactlyRfSortedOwners) {
+  for (int sites : {2, 5, 8}) {
+    for (int32_t rf : {1, 2, 3}) {
+      if (rf > sites) continue;
+      PlacementMap map(Config(16, rf), sites);
+      for (ShardId k = 0; k < 16; ++k) {
+        const std::vector<SiteId>& owners = map.Owners(k);
+        ASSERT_EQ(owners.size(), static_cast<size_t>(rf));
+        EXPECT_TRUE(std::is_sorted(owners.begin(), owners.end()));
+        const std::set<SiteId> distinct(owners.begin(), owners.end());
+        EXPECT_EQ(distinct.size(), owners.size()) << "duplicate owner";
+        for (SiteId s : owners) {
+          EXPECT_GE(s, 0);
+          EXPECT_LT(s, sites);
+          EXPECT_TRUE(map.Owns(s, k));
+        }
+      }
+    }
+  }
+}
+
+TEST(PlacementMapTest, ReplicationFactorClampedToSiteCount) {
+  PlacementMap map(Config(4, 99), 3);
+  EXPECT_EQ(map.replication_factor(), 3);
+  for (ShardId k = 0; k < 4; ++k) {
+    EXPECT_EQ(map.Owners(k).size(), 3u);
+  }
+  PlacementMap floor(Config(4, 0), 3);
+  EXPECT_EQ(floor.replication_factor(), 1);
+}
+
+TEST(PlacementMapTest, OwnsAgreesWithOwnedShards) {
+  PlacementMap map(Config(12, 2), 6);
+  for (SiteId s = 0; s < 6; ++s) {
+    const std::vector<ShardId>& owned = map.OwnedShards(s);
+    EXPECT_TRUE(std::is_sorted(owned.begin(), owned.end()));
+    for (ShardId k = 0; k < 12; ++k) {
+      const bool listed =
+          std::binary_search(owned.begin(), owned.end(), k);
+      EXPECT_EQ(listed, map.Owns(s, k)) << "s=" << s << " k=" << k;
+    }
+  }
+}
+
+TEST(PlacementMapTest, OwnsObjectFollowsShardOwnership) {
+  PlacementMap map(Config(6, 2), 5);
+  for (ObjectId o = 0; o < 200; ++o) {
+    const ShardId k = map.ShardOf(o);
+    int owner_count = 0;
+    for (SiteId s = 0; s < 5; ++s) {
+      EXPECT_EQ(map.OwnsObject(s, o), map.Owns(s, k));
+      if (map.OwnsObject(s, o)) ++owner_count;
+    }
+    EXPECT_EQ(owner_count, 2) << "object owned by exactly RF sites";
+  }
+}
+
+TEST(PlacementMapTest, AddingShardMovesOnlyRehomedObjects) {
+  // Rendezvous property: growing the shard count must not reshuffle
+  // objects among pre-existing shards — an object either keeps its shard
+  // or moves to the brand-new one.
+  PlacementMap before(Config(4, 2), 8);
+  PlacementMap after(Config(5, 2), 8);
+  int moved = 0;
+  for (ObjectId o = 0; o < 2000; ++o) {
+    const ShardId was = before.ShardOf(o);
+    const ShardId now = after.ShardOf(o);
+    if (now != was) {
+      EXPECT_EQ(now, 4) << "object " << o << " moved to an old shard";
+      ++moved;
+    }
+  }
+  // ~1/5 of the universe should rehome to the new shard.
+  EXPECT_GT(moved, 2000 / 10);
+  EXPECT_LT(moved, 2000 / 2);
+}
+
+TEST(PlacementMapTest, AddingSiteStealsAtMostOneSlotPerShard) {
+  PlacementMap before(Config(16, 2), 6);
+  PlacementMap after(Config(16, 2), 7);
+  for (ShardId k = 0; k < 16; ++k) {
+    const std::vector<SiteId>& was = before.Owners(k);
+    const std::vector<SiteId>& now = after.Owners(k);
+    std::vector<SiteId> lost;
+    std::set_difference(was.begin(), was.end(), now.begin(), now.end(),
+                        std::back_inserter(lost));
+    // The new site may displace one incumbent; never more.
+    EXPECT_LE(lost.size(), 1u) << "shard " << k;
+    if (!lost.empty()) {
+      EXPECT_TRUE(std::binary_search(now.begin(), now.end(), SiteId{6}));
+    }
+  }
+}
+
+TEST(PlacementMapTest, ShardsOfIsSortedUniqueUnionOfOpShards) {
+  PlacementMap map(Config(8, 2), 8);
+  std::vector<Operation> ops;
+  std::set<ShardId> expected;
+  for (ObjectId o = 40; o < 48; ++o) {
+    ops.push_back(Operation::Increment(o, 1));
+    ops.push_back(Operation::Increment(o, 2));  // duplicate object
+    expected.insert(map.ShardOf(o));
+  }
+  const std::vector<ShardId> shards = map.ShardsOf(ops);
+  EXPECT_TRUE(std::is_sorted(shards.begin(), shards.end()));
+  EXPECT_EQ(std::set<ShardId>(shards.begin(), shards.end()), expected);
+  EXPECT_EQ(shards.size(), expected.size());
+}
+
+TEST(PlacementMapTest, OwnersOfIsSortedUnionOfOwnerSets) {
+  PlacementMap map(Config(8, 3), 8);
+  const std::vector<ShardId> shards = {1, 4, 6};
+  std::set<SiteId> expected;
+  for (ShardId k : shards) {
+    expected.insert(map.Owners(k).begin(), map.Owners(k).end());
+  }
+  const std::vector<SiteId> owners = map.OwnersOf(shards);
+  EXPECT_TRUE(std::is_sorted(owners.begin(), owners.end()));
+  EXPECT_EQ(std::set<SiteId>(owners.begin(), owners.end()), expected);
+  EXPECT_EQ(owners.size(), expected.size());
+}
+
+TEST(PlacementMapTest, CoOwnersShareAShardAndExcludeSelf) {
+  PlacementMap map(Config(10, 2), 6);
+  for (SiteId s = 0; s < 6; ++s) {
+    const std::vector<SiteId> co = map.CoOwners(s);
+    EXPECT_TRUE(std::is_sorted(co.begin(), co.end()));
+    EXPECT_EQ(std::count(co.begin(), co.end(), s), 0);
+    for (SiteId peer : co) {
+      bool shares = false;
+      for (ShardId k : map.OwnedShards(s)) {
+        if (map.Owns(peer, k)) shares = true;
+      }
+      EXPECT_TRUE(shares) << "co-owner " << peer << " shares no shard";
+    }
+    // Completeness: every sharing peer is listed.
+    for (SiteId peer = 0; peer < 6; ++peer) {
+      if (peer == s) continue;
+      bool shares = false;
+      for (ShardId k : map.OwnedShards(s)) {
+        if (map.Owns(peer, k)) shares = true;
+      }
+      EXPECT_EQ(shares, std::binary_search(co.begin(), co.end(), peer));
+    }
+  }
+}
+
+TEST(PlacementMapTest, AllShardsCoveredAtScale) {
+  // No shard may end up empty-handed and every site index must be valid
+  // even at awkward shard/site ratios.
+  for (int shards : {1, 3, 7, 32}) {
+    PlacementMap map(Config(shards, 2), 4);
+    std::set<ShardId> hit;
+    for (ObjectId o = 0; o < 4000; ++o) hit.insert(map.ShardOf(o));
+    EXPECT_EQ(hit.size(), static_cast<size_t>(shards));
+  }
+}
+
+}  // namespace
+}  // namespace esr::shard

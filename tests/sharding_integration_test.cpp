@@ -1,0 +1,314 @@
+// Partial replication against the full stack: owner-only routing and
+// storage, cross-shard atomic commit, forwarded queries under an epsilon
+// bound, deterministic sharded executions, per-shard sequencer failover,
+// and amnesia recovery of an owner site.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace esr::core {
+namespace {
+
+using store::Operation;
+using test::Config;
+using test::MustSubmit;
+using test::RunQuery;
+
+SystemConfig ShardedConfig(int num_shards, int rf, int sites, uint64_t seed) {
+  SystemConfig config = Config(Method::kOrdup, sites, seed);
+  config.shard.num_shards = num_shards;
+  config.shard.replication_factor = rf;
+  return config;
+}
+
+/// First `count` objects whose shard is `shard`.
+std::vector<ObjectId> ObjectsInShard(const ReplicatedSystem& system,
+                                     ShardId shard, int count) {
+  std::vector<ObjectId> objects;
+  for (ObjectId o = 0; o < 10'000 && static_cast<int>(objects.size()) < count;
+       ++o) {
+    if (system.placement()->ShardOf(o) == shard) objects.push_back(o);
+  }
+  EXPECT_EQ(objects.size(), static_cast<size_t>(count));
+  return objects;
+}
+
+TEST(ShardingIntegrationTest, UnshardedConfigBuildsNoPlacementMap) {
+  ReplicatedSystem system(Config(Method::kOrdup, 3, 11));
+  EXPECT_EQ(system.placement(), nullptr);
+}
+
+TEST(ShardingIntegrationTest, SingleShardEtsStoreOnlyAtOwners) {
+  ReplicatedSystem system(ShardedConfig(4, 2, 8, 301));
+  const shard::PlacementMap& placement = *system.placement();
+  // A spread of updates from every site, each ET touching one object
+  // (hence exactly one shard).
+  for (int round = 0; round < 5; ++round) {
+    for (SiteId s = 0; s < 8; ++s) {
+      MustSubmit(system, s,
+                 {Operation::Increment(round * 8 + s, 1 + round)});
+    }
+    system.RunFor(20'000);
+  }
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  for (ObjectId o = 0; o < 40; ++o) {
+    const ShardId k = placement.ShardOf(o);
+    const Value expected =
+        system.SiteValue(placement.Owners(k).front(), o);
+    for (SiteId s : placement.Owners(k)) {
+      EXPECT_EQ(system.SiteValue(s, o).AsInt(), expected.AsInt())
+          << "owners of shard " << k << " diverge on object " << o;
+    }
+    EXPECT_EQ(expected.AsInt(), 1 + (o / 8));
+  }
+  // Owner-only storage: a site's store materializes no object outside its
+  // owned shards.
+  for (SiteId s = 0; s < 8; ++s) {
+    for (ObjectId o : system.site_store(s).ObjectIds()) {
+      EXPECT_TRUE(placement.OwnsObject(s, o))
+          << "site " << s << " stores non-owned object " << o;
+    }
+  }
+}
+
+TEST(ShardingIntegrationTest, CrossShardEtsCommitOnAllTouchedShards) {
+  ReplicatedSystem system(ShardedConfig(4, 2, 8, 303));
+  const shard::PlacementMap& placement = *system.placement();
+  const ObjectId a = ObjectsInShard(system, 0, 1)[0];
+  const ObjectId b = ObjectsInShard(system, 2, 1)[0];
+  const ObjectId c = ObjectsInShard(system, 3, 1)[0];
+  // Mixed single- and cross-shard traffic from rotating origins, including
+  // a three-shard ET every round.
+  for (int i = 0; i < 12; ++i) {
+    MustSubmit(system, i % 8,
+               {Operation::Increment(a, 1), Operation::Increment(b, 1)});
+    MustSubmit(system, (i + 3) % 8,
+               {Operation::Increment(a, 1), Operation::Increment(b, 1),
+                Operation::Increment(c, 1)});
+    MustSubmit(system, (i + 5) % 8, {Operation::Increment(c, 2)});
+    system.RunFor(15'000);
+  }
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  for (SiteId s : placement.Owners(placement.ShardOf(a))) {
+    EXPECT_EQ(system.SiteValue(s, a).AsInt(), 24) << "site " << s;
+  }
+  for (SiteId s : placement.Owners(placement.ShardOf(b))) {
+    EXPECT_EQ(system.SiteValue(s, b).AsInt(), 24) << "site " << s;
+  }
+  for (SiteId s : placement.Owners(placement.ShardOf(c))) {
+    EXPECT_EQ(system.SiteValue(s, c).AsInt(), 36) << "site " << s;
+  }
+}
+
+TEST(ShardingIntegrationTest, ShardedExecutionIsDeterministic) {
+  auto digests = [](uint64_t seed) {
+    SystemConfig config = ShardedConfig(4, 2, 8, seed);
+    ReplicatedSystem system(config);
+    workload::WorkloadSpec spec;
+    spec.num_objects = 128;
+    spec.update_fraction = 0.6;
+    spec.single_shard_fraction = 0.5;  // half the ETs go cross-shard
+    spec.query_epsilon = 3;
+    spec.duration_us = 150'000;
+    spec.drain_us = 200'000;
+    spec.seed = seed;
+    workload::WorkloadRunner runner(&system, spec);
+    const workload::WorkloadResult result = runner.Run();
+    system.RunUntilQuiescent();
+    EXPECT_GT(result.updates_committed, 0);
+    EXPECT_TRUE(system.Converged());
+    std::vector<uint64_t> out;
+    for (SiteId s = 0; s < 8; ++s) out.push_back(system.SiteDigest(s));
+    return out;
+  };
+  EXPECT_EQ(digests(901), digests(901));
+  EXPECT_NE(digests(901), digests(902));
+}
+
+TEST(ShardingIntegrationTest, ForwardedReadsReturnOwnerValuesWithinEpsilon) {
+  ReplicatedSystem system(ShardedConfig(4, 2, 8, 305));
+  const shard::PlacementMap& placement = *system.placement();
+  const std::vector<ObjectId> objects = ObjectsInShard(system, 1, 3);
+  for (ObjectId o : objects) {
+    MustSubmit(system, 0, {Operation::Increment(o, 7)});
+  }
+  system.RunUntilQuiescent();
+  // A site owning none of shard 1 must answer through the owner.
+  SiteId outsider = kInvalidSiteId;
+  for (SiteId s = 0; s < 8; ++s) {
+    if (!placement.Owns(s, 1)) {
+      outsider = s;
+      break;
+    }
+  }
+  ASSERT_NE(outsider, kInvalidSiteId);
+  int64_t inconsistency = -1;
+  const std::vector<Value> values =
+      RunQuery(system, outsider, /*epsilon=*/2, objects, &inconsistency);
+  ASSERT_EQ(values.size(), objects.size());
+  for (const Value& v : values) EXPECT_EQ(v.AsInt(), 7);
+  EXPECT_LE(inconsistency, 2);
+  EXPECT_GT(system.counters().Get("esr.reads_forwarded"), 0);
+  // Direct strict reads at non-owner sites are refused, not silently
+  // answered from a store that holds nothing.
+  const EtId q = system.BeginQuery(outsider, kUnboundedEpsilon);
+  EXPECT_EQ(system.TryRead(q, objects[0]).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(system.EndQuery(q).ok());
+}
+
+TEST(ShardingIntegrationTest, EpsilonBoundHoldsUnderConcurrentUpdates) {
+  ReplicatedSystem system(ShardedConfig(4, 2, 8, 307));
+  // Open-loop increments on one object per shard while finite-epsilon
+  // queries run from owner and non-owner sites alike.
+  std::vector<ObjectId> hot;
+  for (ShardId k = 0; k < 4; ++k) {
+    hot.push_back(ObjectsInShard(system, k, 1)[0]);
+  }
+  for (SimTime t = 0; t < 300'000; t += 3'000) {
+    system.simulator().ScheduleAt(t, [&system, &hot, t]() {
+      const SiteId origin = static_cast<SiteId>((t / 3'000) % 8);
+      (void)system.SubmitUpdate(
+          origin, {Operation::Increment(hot[(t / 3'000) % 4], 1)});
+    });
+  }
+  system.RunFor(50'000);
+  for (SiteId s = 0; s < 8; ++s) {
+    int64_t inconsistency = -1;
+    int64_t restarts = 0;
+    (void)RunQuery(system, s, /*epsilon=*/2, hot, &inconsistency, &restarts);
+    EXPECT_LE(inconsistency, 2) << "site " << s;
+  }
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+}
+
+TEST(ShardingIntegrationTest, ShardSequencerFailoverKeepsOneShardFlowing) {
+  ReplicatedSystem system(ShardedConfig(4, 2, 8, 309));
+  const shard::PlacementMap& placement = *system.placement();
+  const ShardId shard = 0;
+  const SiteId home = system.shard_sequencer_home(shard);
+  const SiteId standby = placement.Owners(shard)[1];
+  ASSERT_NE(home, standby);
+  // The home fail-stop crashes at 40ms with single-shard traffic running
+  // throughout; the standby seals, probes, and unseals in a fresh epoch.
+  system.failures().ScheduleCrash(sim::CrashSpec{
+      home, /*crash_at=*/40'000, /*restart_at=*/400'000, /*amnesia=*/false});
+  const ObjectId object = ObjectsInShard(system, shard, 1)[0];
+  SiteId origin = kInvalidSiteId;
+  for (SiteId s = 0; s < 8; ++s) {
+    if (s != home) {
+      origin = s;
+      break;
+    }
+  }
+  int committed = 0;
+  for (int i = 0; i < 20; ++i) {
+    (void)system.SubmitUpdate(origin, {Operation::Increment(object, 1)},
+                              [&committed](Status s) {
+                                if (s.ok()) ++committed;
+                              });
+    system.RunFor(12'000);
+  }
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  EXPECT_EQ(committed, 20);
+  EXPECT_EQ(system.shard_sequencer_home(shard), standby);
+  for (SiteId s : placement.Owners(shard)) {
+    EXPECT_EQ(system.SiteValue(s, object).AsInt(), 20) << "site " << s;
+  }
+}
+
+TEST(ShardingIntegrationTest, AmnesiaCrashOfOwnerRecoversOwnedShards) {
+  SystemConfig config = ShardedConfig(4, 2, 8, 311);
+  config.recovery.enabled = true;
+  config.recovery.checkpoint_interval_us = 30'000;
+  ReplicatedSystem system(config);
+  const shard::PlacementMap& placement = *system.placement();
+  // Crash an owner site that is not a shard-sequencer home so the test
+  // isolates recovery of owned shard streams from sequencer failover.
+  SiteId victim = kInvalidSiteId;
+  for (SiteId s = 0; s < 8 && victim == kInvalidSiteId; ++s) {
+    if (placement.OwnedShards(s).empty()) continue;
+    bool is_home = false;
+    for (ShardId k = 0; k < 4; ++k) {
+      if (system.shard_sequencer_home(k) == s) is_home = true;
+    }
+    if (!is_home) victim = s;
+  }
+  ASSERT_NE(victim, kInvalidSiteId);
+  system.failures().ScheduleCrash(sim::CrashSpec{
+      victim, /*crash_at=*/60'000, /*restart_at=*/200'000, /*amnesia=*/true});
+  // Sustained single- and cross-shard traffic from the surviving sites,
+  // spanning the crash and the recovery window.
+  const ObjectId a = ObjectsInShard(system, 0, 1)[0];
+  const ObjectId b = ObjectsInShard(system, 2, 1)[0];
+  for (int i = 0; i < 30; ++i) {
+    const SiteId origin = static_cast<SiteId>(
+        (victim + 1 + (i % 7)) % 8);  // never the victim
+    MustSubmit(system, origin, {Operation::Increment(a, 1)});
+    if (i % 2 == 0) {
+      MustSubmit(system, origin,
+                 {Operation::Increment(a, 1), Operation::Increment(b, 1)});
+    }
+    system.RunFor(10'000);
+  }
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  for (SiteId s : placement.Owners(placement.ShardOf(a))) {
+    EXPECT_EQ(system.SiteValue(s, a).AsInt(), 45) << "site " << s;
+  }
+  for (SiteId s : placement.Owners(placement.ShardOf(b))) {
+    EXPECT_EQ(system.SiteValue(s, b).AsInt(), 15) << "site " << s;
+  }
+  // The recovered site still honors owner-only storage.
+  for (ObjectId o : system.site_store(victim).ObjectIds()) {
+    EXPECT_TRUE(placement.OwnsObject(victim, o));
+  }
+}
+
+TEST(ShardingIntegrationTest, FailoverDuringCrossShardMixStaysConsistent) {
+  ReplicatedSystem system(ShardedConfig(4, 2, 8, 313));
+  const shard::PlacementMap& placement = *system.placement();
+  const ShardId shard = 1;
+  const SiteId home = system.shard_sequencer_home(shard);
+  system.failures().ScheduleCrash(sim::CrashSpec{
+      home, /*crash_at=*/50'000, /*restart_at=*/500'000, /*amnesia=*/false});
+  const ObjectId in_shard = ObjectsInShard(system, shard, 1)[0];
+  const ObjectId other = ObjectsInShard(system, 3, 1)[0];
+  SiteId origin = home == 0 ? 1 : 0;
+  int committed = 0;
+  auto count = [&committed](Status s) {
+    if (s.ok()) ++committed;
+  };
+  for (int i = 0; i < 15; ++i) {
+    // Cross-shard ETs spanning the failing shard and a healthy one, plus
+    // single-shard ETs on the healthy shard that must never stall.
+    (void)system.SubmitUpdate(origin,
+                              {Operation::Increment(in_shard, 1),
+                               Operation::Increment(other, 1)},
+                              count);
+    (void)system.SubmitUpdate((origin + 2) % 8,
+                              {Operation::Increment(other, 1)}, count);
+    system.RunFor(20'000);
+  }
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  EXPECT_EQ(committed, 30);
+  for (SiteId s : placement.Owners(shard)) {
+    EXPECT_EQ(system.SiteValue(s, in_shard).AsInt(), 15) << "site " << s;
+  }
+  for (SiteId s : placement.Owners(placement.ShardOf(other))) {
+    EXPECT_EQ(system.SiteValue(s, other).AsInt(), 30) << "site " << s;
+  }
+}
+
+}  // namespace
+}  // namespace esr::core

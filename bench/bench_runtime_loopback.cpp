@@ -1,0 +1,330 @@
+// Real-runtime loopback benchmark: forks three `esrd` daemons (real POSIX
+// TCP sockets, thread-pool executor, timer wheel — no simulator anywhere)
+// on 127.0.0.1, drives each site's built-in workload, and reports measured
+// ordered-updates/sec and commit→stable latency from the daemons' status
+// JSON. A second scenario SIGKILLs a follower mid-run and restarts it over
+// the same --data-dir, proving WAL replay + incarnation-based hole healing
+// converge the cluster to identical digests under a real crash.
+//
+// The esrd binary is located relative to this binary
+// (<bindir>/../examples/esrd) or via the ESRD_BIN environment variable.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using esr::bench::Banner;
+using esr::bench::Fmt;
+using esr::bench::FmtInt;
+using esr::bench::Table;
+
+constexpr int kSites = 3;
+
+std::string Dirname(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+/// Binds an ephemeral listener just long enough to learn a free port. The
+/// socket is closed before esrd binds it; the reuse window is tiny and a
+/// collision only fails the bench loudly ("failed to listen").
+int FreePort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 1) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  const int port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+struct SiteStatus {
+  bool parsed = false;
+  bool drained = false;
+  std::string digest;
+  long long watermark = 0;
+  long long applied = 0;
+  long long submitted = 0;
+  double wall_s = 0;
+  double stable_p50 = 0, stable_p95 = 0, stable_p99 = 0;
+  double commit_p50 = 0;
+};
+
+std::string JsonField(const std::string& doc, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = doc.find(needle);
+  if (at == std::string::npos) return "";
+  size_t begin = at + needle.size();
+  if (begin < doc.size() && doc[begin] == '"') {
+    const size_t end = doc.find('"', begin + 1);
+    return end == std::string::npos ? "" : doc.substr(begin + 1, end - begin - 1);
+  }
+  size_t end = begin;
+  while (end < doc.size() && doc[end] != ',' && doc[end] != '}') ++end;
+  return doc.substr(begin, end - begin);
+}
+
+SiteStatus ParseStatus(const std::string& path) {
+  SiteStatus s;
+  std::ifstream in(path);
+  if (!in) return s;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  if (doc.empty()) return s;
+  s.parsed = true;
+  s.drained = JsonField(doc, "drained") == "true";
+  s.digest = JsonField(doc, "digest");
+  s.watermark = std::atoll(JsonField(doc, "applied_watermark").c_str());
+  s.applied = std::atoll(JsonField(doc, "applied").c_str());
+  s.submitted = std::atoll(JsonField(doc, "submitted").c_str());
+  s.wall_s = std::atof(JsonField(doc, "wall_s").c_str());
+  s.stable_p50 = std::atof(JsonField(doc, "commit_to_stable_p50_us").c_str());
+  s.stable_p95 = std::atof(JsonField(doc, "commit_to_stable_p95_us").c_str());
+  s.stable_p99 = std::atof(JsonField(doc, "commit_to_stable_p99_us").c_str());
+  s.commit_p50 = std::atof(JsonField(doc, "submit_to_commit_p50_us").c_str());
+  return s;
+}
+
+struct Cluster {
+  std::string esrd;
+  std::string dir;
+  std::vector<int> ports;
+  std::string peers;
+
+  std::string StatusPath(int site, const char* tag) const {
+    return dir + "/status_" + tag + "_" + std::to_string(site) + ".json";
+  }
+  std::string DataDir(int site) const {
+    return dir + "/site_" + std::to_string(site);
+  }
+
+  pid_t Spawn(int site, const char* tag, int duration_s, int rate) const {
+    std::vector<std::string> args = {
+        esrd,
+        "--site=" + std::to_string(site),
+        "--peers=" + peers,
+        "--sequencer-site=0",
+        "--data-dir=" + DataDir(site),
+        "--workload-rate=" + std::to_string(rate),
+        "--duration-s=" + std::to_string(duration_s),
+        "--retry-ms=50",
+        "--status-file=" + StatusPath(site, tag),
+    };
+    // Flush before forking: the child's freopen would otherwise replay the
+    // parent's buffered stdout into the bench output.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    if (pid != 0) return pid;
+    // Child: silence the daemon's stdout/stderr into a per-site log.
+    const std::string log =
+        dir + "/esrd_" + tag + "_" + std::to_string(site) + ".log";
+    if (FILE* f = std::freopen(log.c_str(), "a", stdout)) (void)f;
+    if (FILE* f = std::freopen(log.c_str(), "a", stderr)) (void)f;
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(esrd.c_str(), argv.data());
+    std::perror("execv esrd");
+    ::_exit(127);
+  }
+};
+
+/// waitpid with a deadline; SIGKILLs on timeout so the bench never hangs.
+int WaitBounded(pid_t pid, int timeout_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(timeout_s);
+  for (;;) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) {
+      if (WIFEXITED(status)) return WEXITSTATUS(status);
+      if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+      return -1;
+    }
+    if (r < 0 && errno != EINTR) return -1;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr, "timeout waiting for pid %d; killing\n", (int)pid);
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      return -2;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+struct ScenarioResult {
+  bool ok = false;
+  std::vector<SiteStatus> sites;
+  double updates_per_sec = 0;   // cluster-wide ordered updates / wall
+  long long total_ordered = 0;  // final total-order watermark
+};
+
+ScenarioResult Summarize(const Cluster& cluster, const char* tag,
+                         const std::vector<int>& exit_codes) {
+  ScenarioResult res;
+  res.ok = true;
+  double max_wall = 0;
+  for (int s = 0; s < kSites; ++s) {
+    res.sites.push_back(ParseStatus(cluster.StatusPath(s, tag)));
+    const SiteStatus& st = res.sites.back();
+    if (exit_codes[static_cast<size_t>(s)] != 0 || !st.parsed || !st.drained) {
+      res.ok = false;
+    }
+    if (st.wall_s > max_wall) max_wall = st.wall_s;
+    if (st.watermark > res.total_ordered) res.total_ordered = st.watermark;
+  }
+  for (int s = 1; s < kSites; ++s) {
+    if (res.sites[static_cast<size_t>(s)].digest != res.sites[0].digest) {
+      res.ok = false;
+    }
+  }
+  if (max_wall > 0) res.updates_per_sec = res.total_ordered / max_wall;
+  return res;
+}
+
+void PrintScenario(const char* title, const ScenarioResult& res) {
+  Banner(title);
+  Table table({"site", "drained", "digest", "watermark", "submitted",
+               "wall_s", "stable_p50_us", "stable_p95_us", "stable_p99_us",
+               "commit_p50_us"});
+  for (int s = 0; s < kSites; ++s) {
+    const SiteStatus& st = res.sites[static_cast<size_t>(s)];
+    table.AddRow({FmtInt(s), st.drained ? "yes" : "NO", st.digest,
+                  FmtInt(st.watermark), FmtInt(st.submitted),
+                  Fmt(st.wall_s, 2), Fmt(st.stable_p50, 0),
+                  Fmt(st.stable_p95, 0), Fmt(st.stable_p99, 0),
+                  Fmt(st.commit_p50, 0)});
+  }
+  table.Print();
+  Table summary({"ordered_updates", "ordered_updates_per_sec", "converged"});
+  summary.AddRow({FmtInt(res.total_ordered), Fmt(res.updates_per_sec, 1),
+                  res.ok ? "yes" : "NO"});
+  summary.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string esrd;
+  if (const char* env = std::getenv("ESRD_BIN")) esrd = env;
+  for (int i = 1; i < argc; ++i) {
+    const char* prefix = "--esrd=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      esrd = argv[i] + std::strlen(prefix);
+    }
+  }
+  if (esrd.empty()) {
+    esrd = Dirname(argv[0]) + "/../examples/esrd";
+  }
+  if (::access(esrd.c_str(), X_OK) != 0) {
+    std::fprintf(stderr, "esrd binary not found at %s (set ESRD_BIN)\n",
+                 esrd.c_str());
+    return 1;
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+
+  char dir_template[] = "/tmp/esrd_bench_XXXXXX";
+  if (!::mkdtemp(dir_template)) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  Cluster cluster;
+  cluster.esrd = esrd;
+  cluster.dir = dir_template;
+  for (int s = 0; s < kSites; ++s) {
+    const int port = FreePort();
+    if (port < 0) {
+      std::fprintf(stderr, "no free loopback port\n");
+      return 1;
+    }
+    cluster.ports.push_back(port);
+    if (s > 0) cluster.peers += ",";
+    cluster.peers += "127.0.0.1:" + std::to_string(port);
+  }
+  std::printf("esrd=%s dir=%s peers=%s\n", esrd.c_str(), cluster.dir.c_str(),
+              cluster.peers.c_str());
+
+  bool all_ok = true;
+
+  // --- Scenario 1: steady state, three real processes ---------------------
+  {
+    std::vector<pid_t> pids;
+    for (int s = 0; s < kSites; ++s) {
+      pids.push_back(cluster.Spawn(s, "steady", /*duration_s=*/4, /*rate=*/400));
+    }
+    std::vector<int> codes;
+    for (pid_t pid : pids) codes.push_back(WaitBounded(pid, 40));
+    const ScenarioResult res = Summarize(cluster, "steady", codes);
+    PrintScenario("runtime loopback: 3-site steady state (real TCP)", res);
+    all_ok = all_ok && res.ok;
+  }
+
+  // --- Scenario 2: SIGKILL a follower mid-run, restart over its WAL -------
+  {
+    std::vector<pid_t> pids;
+    for (int s = 0; s < kSites; ++s) {
+      pids.push_back(cluster.Spawn(s, "crash", /*duration_s=*/6, /*rate=*/300));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    const int victim = 2;  // follower: not the sequencer home
+    ::kill(pids[victim], SIGKILL);
+    int status = 0;
+    ::waitpid(pids[victim], &status, 0);
+    std::printf("killed follower site %d after 1.5s; restarting over WAL\n",
+                victim);
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    pids[static_cast<size_t>(victim)] =
+        cluster.Spawn(victim, "crash", /*duration_s=*/4, /*rate=*/300);
+    std::vector<int> codes;
+    for (pid_t pid : pids) codes.push_back(WaitBounded(pid, 40));
+    const ScenarioResult res = Summarize(cluster, "crash", codes);
+    PrintScenario("runtime loopback: follower SIGKILL + WAL restart", res);
+    all_ok = all_ok && res.ok;
+  }
+
+  esr::bench::WriteMetricsSnapshot("bench_runtime_loopback");
+  if (!all_ok) {
+    std::fprintf(stderr,
+                 "bench_runtime_loopback: FAILED (see logs under %s)\n",
+                 cluster.dir.c_str());
+    return 1;
+  }
+  // Clean tmp artifacts only on success so failures stay debuggable.
+  const std::string rm = "rm -rf " + cluster.dir;
+  if (std::system(rm.c_str()) != 0) {
+    std::fprintf(stderr, "warning: could not remove %s\n", cluster.dir.c_str());
+  }
+  return 0;
+}

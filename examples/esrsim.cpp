@@ -340,6 +340,10 @@ int main(int argc, char** argv) {
     }
     system.RunUntilQuiescent();
     emit_traces();
+    // Publish the drained final snapshot and stop the exporter thread
+    // BEFORE the system destructs: a scraper attached at SIGTERM time
+    // otherwise races member teardown and can see a torn endpoint.
+    system.ShutdownMetricsEndpoint();
     std::printf("\nstopped after %llu iterations: updates=%lld queries=%lld "
                 "converged=%s\n",
                 iterations, updates, queries,

@@ -51,9 +51,17 @@ sub1=$(series_value "$scrape1" esr_updates_submitted_total)
 sub2=$(series_value "$scrape2" esr_updates_submitted_total)
 scr1=$(series_value "$scrape1" esr_exporter_scrapes_total)
 scr2=$(series_value "$scrape2" esr_exporter_scrapes_total)
-echo "updates_submitted: $sub1 -> $sub2, exporter_scrapes: $scr1 -> $scr2"
+seq1=$(series_value "$scrape1" esr_exporter_snapshot_sequence)
+seq2=$(series_value "$scrape2" esr_exporter_snapshot_sequence)
+echo "updates_submitted: $sub1 -> $sub2, exporter_scrapes: $scr1 -> $scr2," \
+     "snapshot_sequence: $seq1 -> $seq2"
 (( sub2 > sub1 )) || { echo "scrape smoke: workload counter did not advance"; exit 1; }
 (( scr2 > scr1 )) || { echo "scrape smoke: scrape counter did not advance"; exit 1; }
+# The publish sequence must be present and strictly monotone across
+# scrapes (the sim publishes every --metrics-publish-ms of simulated time,
+# far more than once per wall second here).
+(( seq1 >= 1 )) || { echo "scrape smoke: no snapshot sequence"; exit 1; }
+(( seq2 > seq1 )) || { echo "scrape smoke: snapshot sequence not monotone"; exit 1; }
 
 kill -TERM "$SIM_PID"
 wait "$SIM_PID" || { echo "scrape smoke: esrsim did not exit cleanly"; exit 1; }

@@ -27,8 +27,31 @@ scripts/run_tier1.sh --sanitize
 # classic use-after-free territory. The sharding suites join because
 # partial replication tears through the same hazards at once: per-shard
 # sequencer failover, owner-crash amnesia recovery, and cross-site query
-# shadows whose lifetimes end at three different owners.
-cd build-asan
-ctest --output-on-failure \
-  -R 'recovery|failure|http_exporter|hop_trace|critical_path|quantile|sequencer|shard' \
-  --repeat until-fail:2 -j "$(nproc)"
+# shadows whose lifetimes end at three different owners. The runtime suite
+# joins because it drives the same protocol through both bindings — and
+# the real one (thread pool, strands, timer wheel, TCP) is where lifetime
+# bugs hide behind scheduling luck.
+(
+  cd build-asan
+  ctest --output-on-failure \
+    -R 'recovery|failure|http_exporter|hop_trace|critical_path|quantile|sequencer|shard|runtime' \
+    --repeat until-fail:2 -j "$(nproc)"
+)
+
+# ThreadSanitizer pass (separate build dir: TSan and ASan cannot share a
+# process) over the genuinely multithreaded suites: the runtime binding's
+# conformance tests (strand serialization, timer-wheel cancellation, TCP
+# delivery, OrdupNode over real threads) and the exporter's scrape-thread
+# handoff. Everything else is single-threaded simulator code that TSan
+# would only slow down.
+cmake -B build-tsan -S . -DESR_SANITIZE_THREAD=ON
+cmake --build build-tsan -j --target runtime_conformance_test http_exporter_test
+(
+  cd build-tsan
+  ctest --output-on-failure -R 'runtime_conformance|http_exporter' \
+    --repeat until-fail:2 -j "$(nproc)"
+)
+
+# Real-socket end-to-end gate: 3-process esrd cluster with a follower
+# SIGKILL + WAL restart must drain and converge.
+scripts/run_esrd_smoke.sh

@@ -1,0 +1,81 @@
+#ifndef ESR_COMMON_WIRE_H_
+#define ESR_COMMON_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace esr::wire {
+
+/// CRC-32 (IEEE, reflected) over `bytes`. Software table implementation —
+/// deterministic across platforms.
+uint32_t Crc32(std::string_view bytes);
+
+/// Little-endian append-only byte encoder — the primitive layer shared by
+/// the recovery WAL/checkpoint codec and the runtime wire protocol. Framing
+/// and record semantics live above it.
+class Encoder {
+ public:
+  void U8(uint8_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Str(std::string_view s);
+  void Ts(const LamportTimestamp& ts);
+  void Raw(std::string_view bytes) { out_.append(bytes); }
+
+  std::string Take() { return std::move(out_); }
+  const std::string& bytes() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+/// Matching decoder. On malformed input it latches `ok() == false` and every
+/// subsequent getter returns a default value; callers check ok() once at the
+/// end rather than after each field.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view bytes) : in_(bytes) {}
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  std::string Str();
+  LamportTimestamp Ts();
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  /// Bytes left to decode (0 once the input is exhausted or corrupt).
+  size_t Remaining() const { return ok_ ? in_.size() - pos_ : 0; }
+
+ protected:
+  bool Need(size_t n);
+  /// Latch the decoder into the failed state (for derived decoders whose
+  /// composite records detect semantic corruption, e.g. ballooned counts).
+  void Fail() { ok_ = false; }
+
+ private:
+  std::string_view in_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Appends one length- and CRC-framed record to `out`:
+/// [u32 payload_len][u32 crc32(payload)][payload].
+void FrameAppend(std::string& out, std::string_view payload);
+
+/// Reads the next framed record starting at `*pos`, advancing `*pos` past
+/// it. Returns false at end-of-input or on a torn/corrupt frame (short
+/// header, short payload, CRC mismatch) — the WAL-reader contract: stop at
+/// the first record that was not durably written. Stream readers (the TCP
+/// transport) use the same contract per connection: a bad frame ends the
+/// connection epoch.
+bool FrameNext(std::string_view in, size_t* pos, std::string_view* payload);
+
+}  // namespace esr::wire
+
+#endif  // ESR_COMMON_WIRE_H_

@@ -501,6 +501,20 @@ void ReplicatedSystem::BindRecoverySite(SiteId s) {
       out.seq_next = site.seq_server->NextToGrant();
       out.seq_epoch = site.seq_server->epoch();
     }
+    // Same durable floor for every active shard order server hosted here:
+    // without it, an amnesia restart of a shard sequencer home re-seeds
+    // from the peer probe alone, and positions granted-but-not-yet-seen by
+    // any peer would be granted twice.
+    for (ShardId k = 0;
+         k < static_cast<ShardId>(site.shard_seq_servers.size()); ++k) {
+      if (s == shard_seq_home_[static_cast<size_t>(k)] &&
+          site.shard_seq_servers[static_cast<size_t>(k)] != nullptr &&
+          !site.shard_seq_servers[static_cast<size_t>(k)]->sealed()) {
+        out.shard_seq_floors.emplace_back(
+            k, site.shard_seq_servers[static_cast<size_t>(k)]->NextToGrant(),
+            site.shard_seq_servers[static_cast<size_t>(k)]->epoch());
+      }
+    }
     out.clock_counter = site.clock.Now().counter;
     out.store_entries = site.store.SnapshotEntries();
     out.versions = site.versions.SnapshotVersions();
@@ -518,6 +532,10 @@ void ReplicatedSystem::BindRecoverySite(SiteId s) {
     // synchronously): the re-seed floor of a restarted order server.
     seq_restored_floor_ = data.seq_next;
     seq_restored_epoch_ = data.seq_epoch;
+    shard_seq_restored_.clear();
+    for (const auto& [shard, next, epoch] : data.shard_seq_floors) {
+      shard_seq_restored_[shard] = {next, epoch};
+    }
     for (const auto& [object, value, ts] : data.store_entries) {
       site.store.RestoreEntry(object, value, ts);
     }
@@ -673,6 +691,7 @@ void ReplicatedSystem::AmnesiaRestart(SiteId s) {
   // the reliable queues hold it, and a late response applies idempotently.
   seq_restored_floor_ = 0;
   seq_restored_epoch_ = 0;
+  shard_seq_restored_.clear();
   recovery_->RecoverSite(s);
   recovery::CatchupRequest request = recovery_->BuildCatchupRequest(s);
   const std::vector<SiteId> up_peers = UpPeers(s);
@@ -743,13 +762,23 @@ void ReplicatedSystem::AmnesiaRestart(SiteId s) {
           msg::kShardSeqTypeBase + k * msg::kShardSeqTypeStride;
       site.shard_seq_servers[k].reset();
       if (s == shard_seq_home_[k] || s == shard_seq_standby_[k]) {
+        // Durable per-shard floor (checkpoint v4), staged by the restore
+        // binding during RecoverSite above. The peer probe still runs and
+        // takes the max: the checkpoint covers grants no peer ever saw,
+        // the probe covers grants issued after the checkpoint.
+        SequenceNumber floor = 1;
+        int64_t epoch = 1;
+        if (auto it = shard_seq_restored_.find(k);
+            it != shard_seq_restored_.end()) {
+          floor = std::max<SequenceNumber>(it->second.first, 1);
+          epoch = std::max<int64_t>(it->second.second, 1);
+        }
         site.shard_seq_servers[k] = std::make_unique<msg::SequencerServer>(
             site.mailbox.get(), site.queues.get(), /*start_sealed=*/true,
-            /*epoch=*/1, /*first=*/1, offset);
+            epoch, /*first=*/1, offset);
         ConfigureShardSeqServer(s, k);
         if (s == shard_seq_home_[k]) {
-          site.shard_seq_servers[k]->BeginTakeover(/*durable_floor=*/1,
-                                                   up_peers);
+          site.shard_seq_servers[k]->BeginTakeover(floor, up_peers);
         }
       } else {
         // Deposed shard home (a failover moved the shard's service away
@@ -953,6 +982,19 @@ void ReplicatedSystem::StartMetricsPublisher() {
 void ReplicatedSystem::PublishMetricsSnapshot() {
   if (metrics_channel_ == nullptr) return;
   metrics_channel_->Publish(MetricsSnapshot(), simulator_.Now(), TracesJson());
+}
+
+void ReplicatedSystem::ShutdownMetricsEndpoint() {
+  if (metrics_channel_ == nullptr) return;
+  // Order matters: silence the publish timer first (a later tick would
+  // publish into a channel whose exporter is gone — harmless, but the
+  // sequence a scraper saw last would no longer be the final one), then
+  // make the drained state visible, then stop the serving thread. A scrape
+  // racing the Stop() either completes against the final snapshot or sees
+  // the connection close — never torn state.
+  metrics_publish_on_ = false;
+  PublishMetricsSnapshot();
+  if (metrics_exporter_ != nullptr) metrics_exporter_->Stop();
 }
 
 std::string ReplicatedSystem::TracesJson() const {

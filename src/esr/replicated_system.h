@@ -183,6 +183,15 @@ class ReplicatedSystem {
   /// the exporter thread can serve GET /traces without touching sim state.
   std::string TracesJson() const;
 
+  /// Orderly end of the scrape endpoint's life: stops the periodic publish
+  /// timer, publishes one final snapshot (so the drained counters are
+  /// scrapeable up to the very last instant), then stops the exporter
+  /// thread. Idempotent; no-op when the endpoint is disabled. Call this
+  /// before tearing the system down while scrapers may still be attached —
+  /// relying on destructor order instead races a final in-flight scrape
+  /// against member destruction.
+  void ShutdownMetricsEndpoint();
+
   /// Live scrape endpoint (config.metrics_port >= 0); null when disabled
   /// or when the exporter failed to bind.
   obs::HttpExporter* metrics_exporter() { return metrics_exporter_.get(); }
@@ -348,6 +357,10 @@ class ReplicatedSystem {
   /// the site held no active server).
   SequenceNumber seq_restored_floor_ = 0;
   int64_t seq_restored_epoch_ = 0;
+  /// Per-shard sequencer floors staged the same way (checkpoint v4): shard
+  /// -> (next-to-grant, epoch) for shard order servers the restarted site
+  /// hosted. Absent shards fall back to the peer high-watermark probe.
+  std::map<ShardId, std::pair<SequenceNumber, int64_t>> shard_seq_restored_;
   EtId next_et_ = 1;
   std::unordered_map<EtId, QueryState> active_queries_;
   struct Saga {

@@ -319,6 +319,11 @@ struct SeqBatchRequest {
   /// Causal context of the first requesting ET in the batch; echoed onto
   /// the response envelope so both legs of the round trip are traceable.
   TraceContext trace;
+  /// Strictly increasing across restarts of one client site (0 in
+  /// deterministic simulations). Lets a server detect that a site came
+  /// back with amnesia: grants taken by the previous incarnation and never
+  /// observed filled are permanent order holes the server must heal.
+  int64_t incarnation = 0;
 };
 struct SeqBatchGrant {
   int64_t request_id;

@@ -1,0 +1,125 @@
+#include "msg/sequencer_wire.h"
+
+#include "common/wire.h"
+
+namespace esr::msg {
+
+namespace {
+
+void PutTrace(wire::Encoder& e, const TraceContext& t) {
+  e.I64(t.et);
+  e.U64(static_cast<uint64_t>(t.parent_span));
+  e.U32(static_cast<uint32_t>(t.origin));
+  e.U32(static_cast<uint32_t>(t.msg_type));
+}
+
+TraceContext GetTrace(wire::Decoder& d) {
+  TraceContext t;
+  t.et = d.I64();
+  t.parent_span = static_cast<int64_t>(d.U64());
+  t.origin = static_cast<SiteId>(d.U32());
+  t.msg_type = static_cast<int32_t>(d.U32());
+  return t;
+}
+
+}  // namespace
+
+std::string EncodeSeqBatchRequest(const SeqBatchRequest& r) {
+  wire::Encoder e;
+  e.I64(r.request_id);
+  e.U32(static_cast<uint32_t>(r.count));
+  e.I64(r.epoch);
+  PutTrace(e, r.trace);
+  e.I64(r.incarnation);
+  return e.Take();
+}
+
+std::optional<SeqBatchRequest> DecodeSeqBatchRequest(std::string_view bytes) {
+  wire::Decoder d(bytes);
+  SeqBatchRequest r;
+  r.request_id = d.I64();
+  r.count = static_cast<int32_t>(d.U32());
+  r.epoch = d.I64();
+  r.trace = GetTrace(d);
+  r.incarnation = d.I64();
+  if (!d.ok()) return std::nullopt;
+  return r;
+}
+
+std::string EncodeSeqBatchGrant(const SeqBatchGrant& g) {
+  wire::Encoder e;
+  e.I64(g.request_id);
+  e.I64(g.first);
+  e.U32(static_cast<uint32_t>(g.count));
+  e.I64(g.epoch);
+  return e.Take();
+}
+
+std::optional<SeqBatchGrant> DecodeSeqBatchGrant(std::string_view bytes) {
+  wire::Decoder d(bytes);
+  SeqBatchGrant g;
+  g.request_id = d.I64();
+  g.first = d.I64();
+  g.count = static_cast<int32_t>(d.U32());
+  g.epoch = d.I64();
+  if (!d.ok()) return std::nullopt;
+  return g;
+}
+
+std::string EncodeSeqProbeRequest(const SeqProbeRequest& p) {
+  wire::Encoder e;
+  e.I64(p.probe_id);
+  e.U32(static_cast<uint32_t>(p.from));
+  return e.Take();
+}
+
+std::optional<SeqProbeRequest> DecodeSeqProbeRequest(std::string_view bytes) {
+  wire::Decoder d(bytes);
+  SeqProbeRequest p;
+  p.probe_id = d.I64();
+  p.from = static_cast<SiteId>(d.U32());
+  if (!d.ok()) return std::nullopt;
+  return p;
+}
+
+std::string EncodeSeqProbeResponse(const SeqProbeResponse& p) {
+  wire::Encoder e;
+  e.I64(p.probe_id);
+  e.U32(static_cast<uint32_t>(p.from));
+  e.I64(p.max_seen);
+  e.I64(p.epoch);
+  return e.Take();
+}
+
+std::optional<SeqProbeResponse> DecodeSeqProbeResponse(
+    std::string_view bytes) {
+  wire::Decoder d(bytes);
+  SeqProbeResponse p;
+  p.probe_id = d.I64();
+  p.from = static_cast<SiteId>(d.U32());
+  p.max_seen = d.I64();
+  p.epoch = d.I64();
+  if (!d.ok()) return std::nullopt;
+  return p;
+}
+
+std::string EncodeSeqEpochAnnounce(const SeqEpochAnnounce& a) {
+  wire::Encoder e;
+  e.I64(a.epoch);
+  e.U32(static_cast<uint32_t>(a.home));
+  e.I64(a.first);
+  return e.Take();
+}
+
+std::optional<SeqEpochAnnounce> DecodeSeqEpochAnnounce(
+    std::string_view bytes) {
+  wire::Decoder d(bytes);
+  SeqEpochAnnounce a;
+  a.epoch = d.I64();
+  a.home = static_cast<SiteId>(d.U32());
+  a.first = d.I64();
+  if (!d.ok()) return std::nullopt;
+  return a;
+}
+
+}  // namespace esr::msg

@@ -1,0 +1,36 @@
+#ifndef ESR_MSG_SEQUENCER_WIRE_H_
+#define ESR_MSG_SEQUENCER_WIRE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "msg/sequencer.h"
+
+namespace esr::msg {
+
+/// Byte codecs for the sequencer wire structs (esr::wire layout).
+///
+/// Inside the simulator the sequencer structs travel by value in std::any
+/// envelopes; over the real runtime binding the same structs are serialized
+/// with these functions and carried as runtime::Message payloads, so both
+/// bindings speak one sequencer protocol (same request ids, same epochs,
+/// same seal–probe–unseal failover semantics).
+std::string EncodeSeqBatchRequest(const SeqBatchRequest& r);
+std::string EncodeSeqBatchGrant(const SeqBatchGrant& g);
+std::string EncodeSeqProbeRequest(const SeqProbeRequest& p);
+std::string EncodeSeqProbeResponse(const SeqProbeResponse& p);
+std::string EncodeSeqEpochAnnounce(const SeqEpochAnnounce& a);
+
+/// Decoders return nullopt on torn/corrupt input (latched wire::Decoder).
+std::optional<SeqBatchRequest> DecodeSeqBatchRequest(std::string_view bytes);
+std::optional<SeqBatchGrant> DecodeSeqBatchGrant(std::string_view bytes);
+std::optional<SeqProbeRequest> DecodeSeqProbeRequest(std::string_view bytes);
+std::optional<SeqProbeResponse> DecodeSeqProbeResponse(
+    std::string_view bytes);
+std::optional<SeqEpochAnnounce> DecodeSeqEpochAnnounce(
+    std::string_view bytes);
+
+}  // namespace esr::msg
+
+#endif  // ESR_MSG_SEQUENCER_WIRE_H_

@@ -291,7 +291,14 @@ std::string HttpExporter::MetricsBody() {
       "served snapshot was published (-1 before the first publish)\n"
       "# TYPE esr_exporter_snapshot_sim_time_us gauge\n"
       "esr_exporter_snapshot_sim_time_us " +
-      std::to_string(snap != nullptr ? snap->sim_time_us : -1) + "\n";
+      std::to_string(snap != nullptr ? snap->sim_time_us : -1) +
+      "\n"
+      "# HELP esr_exporter_snapshot_sequence Monotonic publish sequence "
+      "number of the served snapshot (0 before the first publish); a scraper "
+      "seeing it decrease caught a torn shutdown\n"
+      "# TYPE esr_exporter_snapshot_sequence gauge\n"
+      "esr_exporter_snapshot_sequence " +
+      std::to_string(snap != nullptr ? snap->sequence : 0) + "\n";
   return body;
 }
 

@@ -68,7 +68,9 @@ struct HttpExporterConfig {
 /// Dependency-free POSIX-socket HTTP/1.0 server serving the latest metrics
 /// snapshot: `GET /metrics` returns the published exposition plus exporter
 /// self-metrics (esr_exporter_scrapes_total, esr_exporter_snapshot_age_us,
-/// esr_exporter_snapshot_sim_time_us), `GET /traces` returns the latest
+/// esr_exporter_snapshot_sim_time_us, esr_exporter_snapshot_sequence —
+/// the last lets a scraper assert publish monotonicity across a session's
+/// lifetime), `GET /traces` returns the latest
 /// published waterfall JSON, `GET /healthz` returns "ok", every other
 /// request 404s. One background thread runs a non-blocking
 /// accept/poll loop over the listening socket and a bounded set of client

@@ -8,10 +8,13 @@ namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x45535243u;  // "ESRC"
 /// v2 added the sequencer durable floor (seq_next, seq_epoch). v3 added
-/// the per-shard delivery watermarks of partial replication. Older blobs
-/// still decode — the added fields stay 0/empty (an empty shard-watermark
-/// map keeps every sharded WAL record, which is safe).
-constexpr uint32_t kCheckpointVersion = 3;
+/// the per-shard delivery watermarks of partial replication. v4 added the
+/// per-shard sequencer floors (shard, seq_next, seq_epoch) for sites that
+/// host shard order servers. Older blobs still decode — the added fields
+/// stay 0/empty (an empty shard-watermark map keeps every sharded WAL
+/// record, and an absent shard floor falls back to the peer probe, both
+/// of which are safe).
+constexpr uint32_t kCheckpointVersion = 4;
 
 }  // namespace
 
@@ -30,6 +33,12 @@ std::string EncodeCheckpoint(const CheckpointData& data) {
   for (const auto& [shard, wm] : data.shard_watermarks) {
     enc.U32(static_cast<uint32_t>(shard));
     enc.I64(wm);
+  }
+  enc.U32(static_cast<uint32_t>(data.shard_seq_floors.size()));
+  for (const auto& [shard, next, epoch] : data.shard_seq_floors) {
+    enc.U32(static_cast<uint32_t>(shard));
+    enc.I64(next);
+    enc.I64(epoch);
   }
   enc.U32(static_cast<uint32_t>(data.store_entries.size()));
   for (const auto& [object, value, write_ts] : data.store_entries) {
@@ -86,6 +95,15 @@ bool DecodeCheckpoint(std::string_view bytes, CheckpointData* out) {
       const ShardId shard = static_cast<ShardId>(dec.U32());
       const SequenceNumber wm = dec.I64();
       data.shard_watermarks.emplace_back(shard, wm);
+    }
+  }
+  if (version >= 4) {
+    n = dec.U32();
+    for (uint32_t i = 0; i < n && dec.ok(); ++i) {
+      const ShardId shard = static_cast<ShardId>(dec.U32());
+      const SequenceNumber next = dec.I64();
+      const int64_t epoch = dec.I64();
+      data.shard_seq_floors.emplace_back(shard, next, epoch);
     }
   }
   n = dec.U32();

@@ -49,6 +49,13 @@ struct CheckpointData {
   /// stream cursor; non-owned shards carry INT64_MAX ("this site never
   /// needs that stream"). Empty when unsharded.
   std::vector<std::pair<ShardId, SequenceNumber>> shard_watermarks;
+  /// Active per-shard order servers hosted at the checkpointed site: one
+  /// (shard, next-to-grant, epoch) triple per shard whose sequencer home
+  /// this site is — the durable floor an amnesia-restarted shard sequencer
+  /// re-seeds its grant cursor from, exactly as seq_next/seq_epoch do for
+  /// the global order server. Empty when unsharded, or when the site hosts
+  /// only sealed/standby shard servers.
+  std::vector<std::tuple<ShardId, SequenceNumber, int64_t>> shard_seq_floors;
   /// Single-version store image: (object, value, write_timestamp).
   std::vector<std::tuple<ObjectId, Value, LamportTimestamp>> store_entries;
   /// Multi-version store image: (object, timestamp, value).

@@ -1,57 +1,6 @@
 #include "recovery/codec.h"
 
-#include <array>
-
 namespace esr::recovery {
-
-namespace {
-
-std::array<uint32_t, 256> BuildCrcTable() {
-  std::array<uint32_t, 256> table{};
-  for (uint32_t i = 0; i < 256; ++i) {
-    uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-}  // namespace
-
-uint32_t Crc32(std::string_view bytes) {
-  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (unsigned char ch : bytes) {
-    crc = kTable[(crc ^ ch) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
-
-void Encoder::U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
-
-void Encoder::U32(uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
-  }
-}
-
-void Encoder::U64(uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
-  }
-}
-
-void Encoder::Str(std::string_view s) {
-  U32(static_cast<uint32_t>(s.size()));
-  out_.append(s);
-}
-
-void Encoder::Ts(const LamportTimestamp& ts) {
-  I64(ts.counter);
-  U32(static_cast<uint32_t>(ts.site));
-}
 
 void Encoder::Val(const Value& v) {
   if (v.is_int()) {
@@ -86,54 +35,6 @@ void Encoder::MsetRec(const core::Mset& mset) {
   }
 }
 
-bool Decoder::Need(size_t n) {
-  if (!ok_ || in_.size() - pos_ < n) {
-    ok_ = false;
-    return false;
-  }
-  return true;
-}
-
-uint8_t Decoder::U8() {
-  if (!Need(1)) return 0;
-  return static_cast<uint8_t>(in_[pos_++]);
-}
-
-uint32_t Decoder::U32() {
-  if (!Need(4)) return 0;
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(static_cast<unsigned char>(in_[pos_++]))
-         << (8 * i);
-  }
-  return v;
-}
-
-uint64_t Decoder::U64() {
-  if (!Need(8)) return 0;
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(static_cast<unsigned char>(in_[pos_++]))
-         << (8 * i);
-  }
-  return v;
-}
-
-std::string Decoder::Str() {
-  uint32_t len = U32();
-  if (!Need(len)) return {};
-  std::string s(in_.substr(pos_, len));
-  pos_ += len;
-  return s;
-}
-
-LamportTimestamp Decoder::Ts() {
-  LamportTimestamp ts;
-  ts.counter = I64();
-  ts.site = static_cast<SiteId>(U32());
-  return ts;
-}
-
 Value Decoder::Val() {
   uint8_t tag = U8();
   if (tag == 0) return Value(I64());
@@ -160,45 +61,24 @@ core::Mset Decoder::MsetRec() {
   uint32_t n = U32();
   // Bound by remaining input so a corrupt count can't balloon the vector:
   // every operation occupies at least 30 encoded bytes.
-  if (!ok_ || n > in_.size() - pos_) {
-    ok_ = false;
+  if (!ok() || n > Remaining()) {
+    Fail();
     return mset;
   }
   mset.operations.reserve(n);
-  for (uint32_t i = 0; i < n && ok_; ++i) mset.operations.push_back(Op());
+  for (uint32_t i = 0; i < n && ok(); ++i) mset.operations.push_back(Op());
   uint32_t ns = U32();
-  if (!ok_ || ns > in_.size() - pos_) {
-    ok_ = false;
+  if (!ok() || ns > Remaining()) {
+    Fail();
     return mset;
   }
   mset.shard_positions.reserve(ns);
-  for (uint32_t i = 0; i < ns && ok_; ++i) {
+  for (uint32_t i = 0; i < ns && ok(); ++i) {
     const ShardId shard = static_cast<ShardId>(U32());
     const SequenceNumber pos = I64();
     mset.shard_positions.emplace_back(shard, pos);
   }
   return mset;
-}
-
-void FrameAppend(std::string& out, std::string_view payload) {
-  Encoder header;
-  header.U32(static_cast<uint32_t>(payload.size()));
-  header.U32(Crc32(payload));
-  out.append(header.bytes());
-  out.append(payload);
-}
-
-bool FrameNext(std::string_view in, size_t* pos, std::string_view* payload) {
-  if (in.size() - *pos < 8) return false;
-  Decoder header(in.substr(*pos, 8));
-  uint32_t len = header.U32();
-  uint32_t crc = header.U32();
-  if (in.size() - *pos - 8 < len) return false;  // torn tail
-  std::string_view body = in.substr(*pos + 8, len);
-  if (Crc32(body) != crc) return false;  // corrupt record
-  *payload = body;
-  *pos += 8 + len;
-  return true;
 }
 
 }  // namespace esr::recovery

@@ -8,75 +8,56 @@
 
 #include "common/types.h"
 #include "common/value.h"
+#include "common/wire.h"
 #include "esr/mset.h"
 #include "store/operation.h"
 
 namespace esr::recovery {
 
-/// CRC-32 (IEEE, reflected) over `bytes`. Software table implementation —
-/// deterministic across platforms, fast enough for simulated durability.
-uint32_t Crc32(std::string_view bytes);
+/// CRC-32 (IEEE, reflected) over `bytes`. Delegates to the shared
+/// esr::wire implementation (identical output); kept as a named function so
+/// recovery call sites stay source-compatible.
+inline uint32_t Crc32(std::string_view bytes) { return wire::Crc32(bytes); }
 
-/// Little-endian append-only byte encoder for WAL records and checkpoints.
+/// WAL/checkpoint encoder: the generic little-endian byte layer lives in
+/// esr::wire::Encoder; this subclass adds the protocol-value composites
+/// (Value, Operation, Mset) that depend on store/esr types.
 ///
 /// The format is private to this subsystem: records are only ever read back
 /// by the matching Decoder, never exchanged between heterogeneous builds.
-class Encoder {
+class Encoder : public wire::Encoder {
  public:
-  void U8(uint8_t v);
-  void U32(uint32_t v);
-  void U64(uint64_t v);
-  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
-  void Str(std::string_view s);
-  void Ts(const LamportTimestamp& ts);
   void Val(const Value& v);
   void Op(const store::Operation& op);
   void MsetRec(const core::Mset& mset);
-
-  std::string Take() { return std::move(out_); }
-  const std::string& bytes() const { return out_; }
-
- private:
-  std::string out_;
 };
 
 /// Matching decoder. On malformed input it latches `ok() == false` and every
 /// subsequent getter returns a default value; callers check ok() once at the
 /// end rather than after each field.
-class Decoder {
+class Decoder : public wire::Decoder {
  public:
-  explicit Decoder(std::string_view bytes) : in_(bytes) {}
+  explicit Decoder(std::string_view bytes) : wire::Decoder(bytes) {}
 
-  uint8_t U8();
-  uint32_t U32();
-  uint64_t U64();
-  int64_t I64() { return static_cast<int64_t>(U64()); }
-  std::string Str();
-  LamportTimestamp Ts();
   Value Val();
   store::Operation Op();
   core::Mset MsetRec();
-
-  bool ok() const { return ok_; }
-  bool AtEnd() const { return pos_ >= in_.size(); }
-
- private:
-  bool Need(size_t n);
-
-  std::string_view in_;
-  size_t pos_ = 0;
-  bool ok_ = true;
 };
 
 /// Appends one length- and CRC-framed record to `out`:
 /// [u32 payload_len][u32 crc32(payload)][payload].
-void FrameAppend(std::string& out, std::string_view payload);
+inline void FrameAppend(std::string& out, std::string_view payload) {
+  wire::FrameAppend(out, payload);
+}
 
 /// Reads the next framed record starting at `*pos`, advancing `*pos` past
 /// it. Returns false at end-of-input or on a torn/corrupt frame (short
 /// header, short payload, CRC mismatch) — the WAL-reader contract: stop at
 /// the first record that was not durably written.
-bool FrameNext(std::string_view in, size_t* pos, std::string_view* payload);
+inline bool FrameNext(std::string_view in, size_t* pos,
+                      std::string_view* payload) {
+  return wire::FrameNext(in, pos, payload);
+}
 
 }  // namespace esr::recovery
 

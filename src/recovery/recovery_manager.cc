@@ -117,17 +117,17 @@ void SiteRecovery::OnApplied(const core::Mset& mset) {
   watermark = std::max(watermark, mset.timestamp);
 }
 
-RecoveryManager::RecoveryManager(sim::Simulator* simulator,
+RecoveryManager::RecoveryManager(runtime::Clock* clock,
                                  obs::MetricRegistry* metrics,
                                  const RecoveryConfig& config, int num_sites)
-    : simulator_(simulator),
+    : clock_(clock),
       metrics_(metrics),
       config_(config),
       num_sites_(num_sites),
       storage_(MakeStorage(config)) {
   sites_.reserve(static_cast<size_t>(num_sites));
   for (SiteId s = 0; s < num_sites; ++s) {
-    auto wal = std::make_unique<Wal>(simulator_, storage_.get(), s, config_,
+    auto wal = std::make_unique<Wal>(clock_, storage_.get(), s, config_,
                                      metrics_);
     sites_.push_back(std::unique_ptr<SiteRecovery>(
         new SiteRecovery(s, num_sites, std::move(wal))));
@@ -360,7 +360,7 @@ static void RecoverySortMsets(std::vector<core::Mset>& msets) {
 void RecoveryManager::RecoverSite(SiteId s) {
   SiteRecovery& site = *sites_[static_cast<size_t>(s)];
   site.report_ = RecoveryReport{};
-  site.report_.restarted_at = simulator_->Now();
+  site.report_.restarted_at = clock_->Now();
 
   CheckpointData data;
   if (DecodeCheckpoint(storage_->ReadCheckpoint(s), &data)) {
@@ -576,7 +576,7 @@ void RecoveryManager::OnPeerDown(SiteId down) {
 
 void RecoveryManager::FinishCatchup(SiteRecovery& site) {
   site.catchup_waiting_.clear();
-  site.report_.catchup_done_at = simulator_->Now();
+  site.report_.catchup_done_at = clock_->Now();
   if (metrics_ != nullptr) {
     metrics_->GetHistogram("esr_recovery_catchup_lag_us")
         .Observe(static_cast<double>(site.report_.catchup_done_at -

@@ -18,7 +18,7 @@
 #include "recovery/recovery_config.h"
 #include "recovery/storage.h"
 #include "recovery/wal.h"
-#include "sim/simulator.h"
+#include "runtime/interfaces.h"
 
 namespace esr::recovery {
 
@@ -232,7 +232,7 @@ class SiteRecovery {
 /// (Build/Apply helpers here; message transport in the facade).
 class RecoveryManager {
  public:
-  RecoveryManager(sim::Simulator* simulator, obs::MetricRegistry* metrics,
+  RecoveryManager(runtime::Clock* clock, obs::MetricRegistry* metrics,
                   const RecoveryConfig& config, int num_sites);
   ~RecoveryManager();
 
@@ -312,7 +312,7 @@ class RecoveryManager {
   /// and re-delivers the parked foreground MSets in timestamp order.
   void FinishCatchup(SiteRecovery& site);
 
-  sim::Simulator* simulator_;
+  runtime::Clock* clock_;
   obs::MetricRegistry* metrics_;
   RecoveryConfig config_;
   int num_sites_;

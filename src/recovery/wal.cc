@@ -14,9 +14,9 @@ void BumpWalCounter(obs::MetricRegistry* metrics, const char* name,
 
 }  // namespace
 
-Wal::Wal(sim::Simulator* simulator, StorageBackend* storage, SiteId site,
+Wal::Wal(runtime::Clock* clock, StorageBackend* storage, SiteId site,
          const RecoveryConfig& config, obs::MetricRegistry* metrics)
-    : simulator_(simulator),
+    : clock_(clock),
       storage_(storage),
       site_(site),
       config_(config),
@@ -106,9 +106,9 @@ int64_t Wal::AppendStable(EtId et, const LamportTimestamp& ts) {
 }
 
 void Wal::ArmTimer() {
-  if (timer_armed_ || simulator_ == nullptr) return;
+  if (timer_armed_ || clock_ == nullptr) return;
   timer_armed_ = true;
-  timer_ = simulator_->Schedule(config_.group_commit_interval_us,
+  timer_ = clock_->Schedule(config_.group_commit_interval_us,
                                 [this] {
                                   timer_armed_ = false;
                                   Flush();
@@ -117,7 +117,7 @@ void Wal::ArmTimer() {
 
 void Wal::Flush() {
   if (timer_armed_) {
-    simulator_->Cancel(timer_);
+    clock_->Cancel(timer_);
     timer_armed_ = false;
   }
   if (buffer_.empty()) return;
@@ -134,7 +134,7 @@ void Wal::Flush() {
 
 void Wal::DropUnflushed() {
   if (timer_armed_) {
-    simulator_->Cancel(timer_);
+    clock_->Cancel(timer_);
     timer_armed_ = false;
   }
   BumpWalCounter(metrics_, "esr_wal_dropped_records_total", site_,

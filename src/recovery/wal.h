@@ -10,7 +10,7 @@
 #include "obs/metric_registry.h"
 #include "recovery/recovery_config.h"
 #include "recovery/storage.h"
-#include "sim/simulator.h"
+#include "runtime/interfaces.h"
 
 namespace esr::recovery {
 
@@ -50,7 +50,7 @@ struct WalRecord {
 /// truncation, so `next_lsn` always moves forward even after a restart.
 class Wal {
  public:
-  Wal(sim::Simulator* simulator, StorageBackend* storage, SiteId site,
+  Wal(runtime::Clock* clock, StorageBackend* storage, SiteId site,
       const RecoveryConfig& config, obs::MetricRegistry* metrics);
 
   int64_t AppendMset(const core::Mset& mset);
@@ -89,7 +89,7 @@ class Wal {
   int64_t Append(WalRecord record);
   void ArmTimer();
 
-  sim::Simulator* simulator_;
+  runtime::Clock* clock_;
   StorageBackend* storage_;
   SiteId site_;
   RecoveryConfig config_;
@@ -97,7 +97,7 @@ class Wal {
 
   std::vector<WalRecord> buffer_;
   int64_t next_lsn_ = 1;
-  sim::EventId timer_ = 0;
+  runtime::TimerId timer_ = 0;
   bool timer_armed_ = false;
 };
 

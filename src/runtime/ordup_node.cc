@@ -1,0 +1,748 @@
+#include "runtime/ordup_node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/wire.h"
+#include "msg/mailbox.h"
+#include "msg/sequencer_wire.h"
+#include "recovery/codec.h"
+
+namespace esr::runtime {
+
+namespace {
+
+std::string EncodeMset(const core::Mset& mset) {
+  recovery::Encoder e;
+  e.MsetRec(mset);
+  return e.Take();
+}
+
+std::string EncodeEtSite(EtId et, SiteId site) {
+  wire::Encoder e;
+  e.I64(et);
+  e.U32(static_cast<uint32_t>(site));
+  return e.Take();
+}
+
+std::string EncodeEtTs(EtId et, const LamportTimestamp& ts) {
+  wire::Encoder e;
+  e.I64(et);
+  e.Ts(ts);
+  return e.Take();
+}
+
+}  // namespace
+
+OrdupNode::OrdupNode(OrdupNodeConfig config, Transport* transport,
+                     Clock* clock, recovery::Wal* wal,
+                     obs::MetricRegistry* metrics)
+    : config_(config),
+      transport_(transport),
+      clock_(clock),
+      wal_(wal),
+      metrics_(metrics),
+      seq_home_(config.sequencer_site) {
+  // Seed both id counters from the incarnation: ET ids and request ids must
+  // never collide with a previous life of this site (the server dedups
+  // request retries by id, so a reused id would be answered with the dead
+  // predecessor's position). Wall-clock µs outruns any realistic submit
+  // count, so `incarnation > previous incarnation + previous submits` holds.
+  submit_counter_ = config_.incarnation;
+  next_request_id_ = config_.incarnation + 1;
+  if (metrics_ != nullptr) {
+    m_submitted_ = &metrics_->GetCounter("esr_runtime_updates_submitted_total");
+    m_applied_ = &metrics_->GetCounter("esr_runtime_msets_applied_total");
+    m_stable_ = &metrics_->GetCounter("esr_runtime_ets_stable_total");
+    m_retransmits_ = &metrics_->GetCounter("esr_runtime_retransmits_total");
+    m_duplicates_ = &metrics_->GetCounter("esr_runtime_duplicates_total");
+    m_commit_stable_us_ =
+        &metrics_->GetHistogram("esr_runtime_commit_to_stable_us");
+    m_submit_commit_us_ =
+        &metrics_->GetHistogram("esr_runtime_submit_to_commit_us");
+  }
+}
+
+void OrdupNode::Start() {
+  if (running_) return;
+  running_ = true;
+  transport_->SetHandler([this](SiteId from, Message msg) {
+    if (!running_) return;
+    HandleMessage(from, std::move(msg));
+  });
+  transport_->Start();
+  ReplayWal();
+  if (config_.self == config_.sequencer_site) {
+    seq_server_active_ = true;
+    seq_next_ = MaxOrderSeen() + 1;
+    if (config_.num_sites > 1) {
+      // Seal until the peer probe answers (or times out): the durable WAL
+      // floor alone cannot prove no higher position was granted before the
+      // crash — a peer may have seen a grant this site never flushed.
+      seq_sealed_ = true;
+      probing_ = true;
+      probe_id_ = ++next_request_id_;
+      probe_floor_ = 0;
+      probe_epoch_ = seq_epoch_;
+      awaiting_probe_.clear();
+      for (SiteId s = 0; s < config_.num_sites; ++s) {
+        if (s != config_.self) awaiting_probe_.insert(s);
+      }
+      const std::string probe = msg::EncodeSeqProbeRequest(
+          msg::SeqProbeRequest{probe_id_, config_.self});
+      Broadcast(msg::kSeqProbeRequest, probe, kInvalidEtId);
+      probe_timer_ = clock_->Schedule(
+          10 * config_.retry_interval_us, [this] { FinishSequencerProbe(); });
+    }
+  }
+  if (config_.num_sites > 1 && applied_watermark_ >= 0) {
+    SendCatchupRequest();
+  }
+  retry_timer_ =
+      clock_->Schedule(config_.retry_interval_us, [this] { RetryTick(); });
+}
+
+void OrdupNode::Stop() {
+  if (!running_) return;
+  running_ = false;
+  if (retry_timer_ != 0) clock_->Cancel(retry_timer_);
+  if (probe_timer_ != 0) clock_->Cancel(probe_timer_);
+  retry_timer_ = 0;
+  probe_timer_ = 0;
+}
+
+void OrdupNode::ReplayWal() {
+  if (wal_ == nullptr) return;
+  const std::vector<recovery::WalRecord> records = wal_->ReadAll();
+  for (const recovery::WalRecord& rec : records) {
+    switch (rec.type) {
+      case recovery::WalRecordType::kMset:
+        if (rec.mset.global_order >= 1) {
+          Admit(rec.mset, /*persist=*/false);
+        }
+        break;
+      case recovery::WalRecordType::kStable:
+        if (order_of_.find(rec.et) != order_of_.end()) {
+          stable_.insert(rec.et);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  stable_count_ = static_cast<int64_t>(stable_.size());
+}
+
+EtId OrdupNode::SubmitUpdate(std::vector<store::Operation> ops,
+                             std::function<void()> on_stable) {
+  const EtId et =
+      submit_counter_++ * static_cast<int64_t>(config_.num_sites) +
+      static_cast<int64_t>(config_.self) + 1;
+  LocalEt local;
+  local.ops = std::move(ops);
+  local.apply_acked.assign(static_cast<size_t>(config_.num_sites), false);
+  local.stable_acked.assign(static_cast<size_t>(config_.num_sites), false);
+  local.submitted_at = clock_->Now();
+  local.on_stable = std::move(on_stable);
+  outstanding_.emplace(et, std::move(local));
+  ++submitted_count_;
+  if (m_submitted_ != nullptr) m_submitted_->Increment();
+
+  const int64_t rid = next_request_id_++;
+  pending_seq_[rid] = PendingSeq{et, seq_epoch_};
+  msg::SeqBatchRequest req{rid, 1, seq_epoch_,
+                           TraceContext{et, 0, config_.self, msg::kSeqRequest},
+                           config_.incarnation};
+  SendTo(seq_home_, msg::kSeqRequest, msg::EncodeSeqBatchRequest(req), et);
+  return et;
+}
+
+void OrdupNode::HandleMessage(SiteId from, Message msg) {
+  switch (msg.type) {
+    case core::kMsetMsg: {
+      recovery::Decoder d(msg.payload);
+      const core::Mset mset = d.MsetRec();
+      if (d.ok() && mset.global_order >= 1) HandleMset(from, mset, false);
+      break;
+    }
+    case core::kApplyAckMsg: {
+      wire::Decoder d(msg.payload);
+      const EtId et = d.I64();
+      const SiteId replica = static_cast<SiteId>(d.U32());
+      if (d.ok()) HandleApplyAck(replica, et);
+      break;
+    }
+    case core::kStableMsg: {
+      wire::Decoder d(msg.payload);
+      const EtId et = d.I64();
+      (void)d.Ts();
+      if (d.ok()) HandleStable(from, et);
+      break;
+    }
+    case kStableAckMsg: {
+      wire::Decoder d(msg.payload);
+      const EtId et = d.I64();
+      if (d.ok()) HandleStableAck(from, et);
+      break;
+    }
+    case msg::kSeqRequest: {
+      auto req = msg::DecodeSeqBatchRequest(msg.payload);
+      if (req) HandleSeqRequest(from, *req);
+      break;
+    }
+    case msg::kSeqResponse: {
+      auto grant = msg::DecodeSeqBatchGrant(msg.payload);
+      if (grant) HandleSeqGrant(*grant);
+      break;
+    }
+    case msg::kSeqProbeRequest: {
+      auto probe = msg::DecodeSeqProbeRequest(msg.payload);
+      if (probe) HandleSeqProbeRequest(from, *probe);
+      break;
+    }
+    case msg::kSeqProbeResponse: {
+      auto resp = msg::DecodeSeqProbeResponse(msg.payload);
+      if (resp) HandleSeqProbeResponse(*resp);
+      break;
+    }
+    case msg::kSeqEpochAnnounce: {
+      auto ann = msg::DecodeSeqEpochAnnounce(msg.payload);
+      if (ann) HandleEpochAnnounce(from, *ann);
+      break;
+    }
+    case kCatchupReqMsg: {
+      wire::Decoder d(msg.payload);
+      const SequenceNumber after = d.I64();
+      if (d.ok()) HandleCatchupReq(from, after);
+      break;
+    }
+    case kCatchupRespMsg:
+      HandleCatchupResp(msg.payload);
+      break;
+    case kPosProbeReqMsg: {
+      wire::Decoder d(msg.payload);
+      const SequenceNumber pos = d.I64();
+      if (d.ok()) HandlePosProbeReq(from, pos);
+      break;
+    }
+    case kPosProbeRespMsg:
+      HandlePosProbeResp(from, msg.payload);
+      break;
+    default:
+      break;
+  }
+}
+
+/// --- Sequencer (client + co-located server) -------------------------------
+
+void OrdupNode::HandleSeqRequest(SiteId from, const msg::SeqBatchRequest& req) {
+  if (!seq_server_active_ || seq_sealed_) return;
+  // Incarnation bookkeeping happens before the epoch gate: even a
+  // stale-epoch request proves the site restarted.
+  auto inc_it = last_incarnation_.find(from);
+  if (inc_it == last_incarnation_.end()) {
+    last_incarnation_[from] = req.incarnation;
+  } else if (req.incarnation > inc_it->second) {
+    inc_it->second = req.incarnation;
+    // The previous life of `from` is dead with amnesia. Any position it was
+    // granted but that never showed up as an MSet is a permanent hole in
+    // the total order (the new life uses fresh request ids, so the retry
+    // path can never fill it) — heal each one.
+    for (const auto& [pos, owner] : unfilled_grants_) {
+      if (owner.first == from && owner.second < req.incarnation) {
+        StartHealing(pos);
+      }
+    }
+  }
+  if (req.epoch != seq_epoch_) {
+    // Stale epoch. A client that restarted after the epoch announce has no
+    // way to learn the current epoch on its own (the announce is broadcast
+    // once, at probe completion) — repeat it to this client, whose
+    // HandleEpochAnnounce re-sends every pending request in the new epoch.
+    msg::SeqEpochAnnounce ann{seq_epoch_, config_.self, seq_next_};
+    SendTo(from, msg::kSeqEpochAnnounce, msg::EncodeSeqEpochAnnounce(ann),
+           kInvalidEtId);
+    return;
+  }
+  const std::pair<SiteId, int64_t> key{from, req.request_id};
+  auto it = granted_.find(key);
+  SequenceNumber first;
+  int32_t count;
+  if (it != granted_.end()) {
+    // Retry of a granted request: repeat the identical grant (the original
+    // may be in flight or lost — never grant the same request twice).
+    first = it->second.first;
+    count = it->second.second;
+  } else {
+    first = seq_next_;
+    count = std::max<int32_t>(1, req.count);
+    seq_next_ += count;
+    granted_.emplace(key, std::make_pair(first, count));
+    for (SequenceNumber p = first; p < first + count; ++p) {
+      unfilled_grants_.emplace(p, std::make_pair(from, req.incarnation));
+    }
+  }
+  msg::SeqBatchGrant grant{req.request_id, first, count, seq_epoch_};
+  SendTo(from, msg::kSeqResponse, msg::EncodeSeqBatchGrant(grant), req.trace.et);
+}
+
+void OrdupNode::HandleSeqGrant(const msg::SeqBatchGrant& grant) {
+  auto it = pending_seq_.find(grant.request_id);
+  if (it == pending_seq_.end()) return;  // duplicate grant
+  if (grant.epoch < seq_epoch_) return;  // superseded; re-sent on announce
+  const EtId et = it->second.et;
+  pending_seq_.erase(it);
+  OnGranted(et, grant.first, grant.epoch);
+}
+
+void OrdupNode::HandleSeqProbeRequest(SiteId from,
+                                      const msg::SeqProbeRequest& probe) {
+  msg::SeqProbeResponse resp{probe.probe_id, config_.self, MaxOrderSeen(),
+                             seq_epoch_};
+  SendTo(from, msg::kSeqProbeResponse, msg::EncodeSeqProbeResponse(resp),
+         kInvalidEtId);
+}
+
+void OrdupNode::HandleSeqProbeResponse(const msg::SeqProbeResponse& resp) {
+  if (!probing_ || resp.probe_id != probe_id_) return;
+  probe_floor_ = std::max(probe_floor_, resp.max_seen);
+  probe_epoch_ = std::max(probe_epoch_, resp.epoch);
+  awaiting_probe_.erase(resp.from);
+  if (awaiting_probe_.empty()) FinishSequencerProbe();
+}
+
+void OrdupNode::FinishSequencerProbe() {
+  if (!probing_) return;
+  probing_ = false;
+  if (probe_timer_ != 0) {
+    clock_->Cancel(probe_timer_);
+    probe_timer_ = 0;
+  }
+  seq_next_ = std::max(seq_next_, probe_floor_ + 1);
+  seq_epoch_ = std::max(seq_epoch_, probe_epoch_) + 1;
+  seq_sealed_ = false;
+  granted_.clear();  // request ids never repeat within an epoch
+  msg::SeqEpochAnnounce ann{seq_epoch_, config_.self, seq_next_};
+  const std::string payload = msg::EncodeSeqEpochAnnounce(ann);
+  Broadcast(msg::kSeqEpochAnnounce, payload, kInvalidEtId);
+  // The co-located client adopts the epoch directly and re-requests.
+  for (auto& [rid, pending] : pending_seq_) {
+    pending.epoch = seq_epoch_;
+    msg::SeqBatchRequest req{
+        rid, 1, seq_epoch_,
+        TraceContext{pending.et, 0, config_.self, msg::kSeqRequest},
+        config_.incarnation};
+    SendTo(seq_home_, msg::kSeqRequest, msg::EncodeSeqBatchRequest(req),
+           pending.et);
+  }
+}
+
+void OrdupNode::HandleEpochAnnounce(SiteId /*from*/,
+                                    const msg::SeqEpochAnnounce& ann) {
+  if (ann.epoch <= seq_epoch_) return;
+  seq_epoch_ = ann.epoch;
+  seq_home_ = ann.home;
+  // Re-send everything outstanding in the new epoch; the new server has no
+  // record of these request ids, so fresh positions are granted (positions
+  // the old epoch granted but this client never learned are covered by the
+  // probe floor).
+  for (auto& [rid, pending] : pending_seq_) {
+    pending.epoch = seq_epoch_;
+    msg::SeqBatchRequest req{
+        rid, 1, seq_epoch_,
+        TraceContext{pending.et, 0, config_.self, msg::kSeqRequest},
+        config_.incarnation};
+    SendTo(seq_home_, msg::kSeqRequest, msg::EncodeSeqBatchRequest(req),
+           pending.et);
+  }
+}
+
+void OrdupNode::OnGranted(EtId et, SequenceNumber position, int64_t epoch) {
+  max_grant_seen_ = std::max(max_grant_seen_, position);
+  (void)epoch;
+  auto it = outstanding_.find(et);
+  if (it == outstanding_.end()) return;  // lost to a restart; see header
+  LocalEt& local = it->second;
+  if (local.granted) return;
+  local.granted = true;
+  core::Mset mset;
+  mset.et = et;
+  mset.origin = config_.self;
+  mset.global_order = position;
+  mset.timestamp = LamportTimestamp{++lamport_, config_.self};
+  mset.operations = local.ops;
+  mset.tentative = false;
+  local.mset = mset;
+  Admit(mset, /*persist=*/true);
+  const std::string payload = EncodeMset(mset);
+  Broadcast(core::kMsetMsg, payload, et);
+}
+
+/// --- Order-hole healing (sequencer server only) ----------------------------
+
+void OrdupNode::StartHealing(SequenceNumber pos) {
+  if (healing_.count(pos) > 0) return;                          // in flight
+  if (pos <= applied_watermark_ || holdback_.count(pos) > 0) return;  // seen
+  std::unordered_set<SiteId>& awaiting = healing_[pos];
+  for (SiteId s = 0; s < config_.num_sites; ++s) {
+    if (s != config_.self) awaiting.insert(s);
+  }
+  if (awaiting.empty()) {  // single-site cluster: nobody else to ask
+    healing_.erase(pos);
+    FillHole(pos);
+    return;
+  }
+  wire::Encoder e;
+  e.I64(pos);
+  Broadcast(kPosProbeReqMsg, e.Take(), kInvalidEtId);
+}
+
+void OrdupNode::HandlePosProbeReq(SiteId from, SequenceNumber pos) {
+  const core::Mset* found = nullptr;
+  auto h = history_.find(pos);
+  if (h != history_.end()) {
+    found = &h->second;
+  } else {
+    auto b = holdback_.find(pos);
+    if (b != holdback_.end()) found = &b->second;
+  }
+  recovery::Encoder e;
+  e.I64(pos);
+  e.U8(found != nullptr ? 1 : 0);
+  if (found != nullptr) e.MsetRec(*found);
+  SendTo(from, kPosProbeRespMsg, e.Take(), kInvalidEtId);
+}
+
+void OrdupNode::HandlePosProbeResp(SiteId from, std::string_view payload) {
+  recovery::Decoder d(payload);
+  const SequenceNumber pos = d.I64();
+  const bool has = d.U8() != 0;
+  if (!d.ok()) return;
+  auto it = healing_.find(pos);
+  if (it == healing_.end()) return;  // already healed or filled naturally
+  if (has) {
+    const core::Mset mset = d.MsetRec();
+    if (!d.ok() || mset.global_order != pos) return;
+    // The predecessor did broadcast before dying — at least one site holds
+    // the real MSet. Adopt and re-broadcast it; never fill with a no-op.
+    healing_.erase(it);
+    Admit(mset, /*persist=*/true);
+    Broadcast(core::kMsetMsg, EncodeMset(mset), mset.et);
+    return;
+  }
+  it->second.erase(from);
+  if (it->second.empty()) {
+    // Every site denied holding the position, so the grant died inside the
+    // client: the MSet was never broadcast anywhere. Filling with a no-op
+    // is safe — the only process that could still produce the real MSet is
+    // the dead incarnation.
+    healing_.erase(it);
+    FillHole(pos);
+  }
+}
+
+void OrdupNode::FillHole(SequenceNumber pos) {
+  if (pos <= applied_watermark_ || holdback_.count(pos) > 0) return;
+  core::Mset noop;
+  noop.et = submit_counter_++ * static_cast<int64_t>(config_.num_sites) +
+            static_cast<int64_t>(config_.self) + 1;
+  noop.origin = config_.self;
+  noop.global_order = pos;
+  noop.timestamp = LamportTimestamp{++lamport_, config_.self};
+  noop.tentative = false;
+  Admit(noop, /*persist=*/true);
+  Broadcast(core::kMsetMsg, EncodeMset(noop), noop.et);
+}
+
+/// --- Total order admission + apply ----------------------------------------
+
+void OrdupNode::HandleMset(SiteId /*from*/, const core::Mset& mset,
+                           bool /*from_catchup*/) {
+  Admit(mset, /*persist=*/true);
+}
+
+void OrdupNode::Admit(const core::Mset& mset, bool persist) {
+  const SequenceNumber order = mset.global_order;
+  max_grant_seen_ = std::max(max_grant_seen_, order);
+  // Server healing bookkeeping: the position is no longer a candidate hole
+  // (no-ops at non-servers — both maps stay empty there).
+  unfilled_grants_.erase(order);
+  healing_.erase(order);
+  if (order <= applied_watermark_ || holdback_.count(order) > 0) {
+    // Duplicate. If it reached the applied prefix and originated elsewhere,
+    // our ack was probably lost — repeat it.
+    if (m_duplicates_ != nullptr) m_duplicates_->Increment();
+    if (running_ && order <= applied_watermark_ &&
+        mset.origin != config_.self && mset.origin != kInvalidSiteId) {
+      SendTo(mset.origin, core::kApplyAckMsg,
+             EncodeEtSite(mset.et, config_.self), mset.et);
+    }
+    return;
+  }
+  if (persist && wal_ != nullptr) wal_->AppendMset(mset);
+  holdback_.emplace(order, mset);
+  while (!holdback_.empty() &&
+         holdback_.begin()->first == applied_watermark_ + 1) {
+    const core::Mset next = holdback_.begin()->second;
+    holdback_.erase(holdback_.begin());
+    ApplyInOrder(next);
+  }
+  gap_since_ = holdback_.empty() ? -1 : clock_->Now();
+}
+
+void OrdupNode::ApplyInOrder(const core::Mset& mset) {
+  store_.ApplyAll(mset.operations);
+  applied_watermark_ = mset.global_order;
+  history_.emplace(mset.global_order, mset);
+  order_of_[mset.et] = mset.global_order;
+  lamport_ = std::max(lamport_, mset.timestamp.counter) + 1;
+  ++applied_count_;
+  if (m_applied_ != nullptr) m_applied_->Increment();
+  if (mset.origin == config_.self) {
+    auto it = outstanding_.find(mset.et);
+    if (it != outstanding_.end()) {
+      LocalEt& local = it->second;
+      local.committed_at = clock_->Now();
+      if (m_submit_commit_us_ != nullptr) {
+        m_submit_commit_us_->Observe(
+            static_cast<double>(local.committed_at - local.submitted_at));
+      }
+      local.apply_acked[static_cast<size_t>(config_.self)] = true;
+      HandleApplyAck(config_.self, mset.et);  // single-site completion path
+    }
+  } else if (running_ && mset.origin != kInvalidSiteId) {
+    SendTo(mset.origin, core::kApplyAckMsg,
+           EncodeEtSite(mset.et, config_.self), mset.et);
+  }
+}
+
+/// --- Stability -------------------------------------------------------------
+
+void OrdupNode::HandleApplyAck(SiteId from, EtId et) {
+  auto it = outstanding_.find(et);
+  if (it == outstanding_.end()) return;
+  LocalEt& local = it->second;
+  if (from < 0 || from >= config_.num_sites) return;
+  local.apply_acked[static_cast<size_t>(from)] = true;
+  if (local.all_applied) return;
+  for (bool acked : local.apply_acked) {
+    if (!acked) return;
+  }
+  // Every site has applied: the ET is stable (ESR's commit→stable moment).
+  local.all_applied = true;
+  if (local.committed_at > 0 && m_commit_stable_us_ != nullptr) {
+    m_commit_stable_us_->Observe(
+        static_cast<double>(clock_->Now() - local.committed_at));
+  }
+  MarkStable(et);
+  local.stable_acked[static_cast<size_t>(config_.self)] = true;
+  const std::string payload = EncodeEtTs(et, local.mset.timestamp);
+  Broadcast(core::kStableMsg, payload, et);
+  if (local.on_stable) {
+    auto cb = std::move(local.on_stable);
+    local.on_stable = nullptr;
+    cb();
+  }
+  HandleStableAck(config_.self, et);  // single-site completion path
+}
+
+void OrdupNode::HandleStable(SiteId from, EtId et) {
+  if (order_of_.find(et) == order_of_.end()) {
+    // Not applied yet (catch-up still in flight): no ack, the origin
+    // retries and by then the apply has landed.
+    return;
+  }
+  MarkStable(et);
+  SendTo(from, kStableAckMsg, EncodeEtSite(et, config_.self), et);
+}
+
+void OrdupNode::HandleStableAck(SiteId from, EtId et) {
+  auto it = outstanding_.find(et);
+  if (it == outstanding_.end()) return;
+  LocalEt& local = it->second;
+  if (from < 0 || from >= config_.num_sites) return;
+  local.stable_acked[static_cast<size_t>(from)] = true;
+  for (bool acked : local.stable_acked) {
+    if (!acked) return;
+  }
+  outstanding_.erase(it);  // fully applied + stability acknowledged
+}
+
+void OrdupNode::MarkStable(EtId et) {
+  if (!stable_.insert(et).second) return;
+  ++stable_count_;
+  if (m_stable_ != nullptr) m_stable_->Increment();
+  if (wal_ != nullptr) wal_->AppendStable(et, LamportTimestamp{});
+}
+
+/// --- Catch-up / backfill ----------------------------------------------------
+
+void OrdupNode::SendCatchupRequest() {
+  if (config_.num_sites <= 1) return;
+  // Round-robin over peers so one slow peer cannot wedge backfill.
+  SiteId target = kInvalidSiteId;
+  for (int i = 0; i < config_.num_sites; ++i) {
+    const SiteId cand = catchup_rr_;
+    catchup_rr_ = (catchup_rr_ + 1) % config_.num_sites;
+    if (cand != config_.self) {
+      target = cand;
+      break;
+    }
+  }
+  if (target == kInvalidSiteId) return;
+  wire::Encoder e;
+  e.I64(applied_watermark_);
+  SendTo(target, kCatchupReqMsg, e.Take(), kInvalidEtId);
+}
+
+void OrdupNode::HandleCatchupReq(SiteId from, SequenceNumber after) {
+  wire::Encoder e;
+  auto it = history_.upper_bound(after);
+  int32_t n = 0;
+  recovery::Encoder entries;
+  for (; it != history_.end() && n < config_.catchup_batch; ++it, ++n) {
+    entries.MsetRec(it->second);
+    entries.U8(stable_.count(it->second.et) > 0 ? 1 : 0);
+  }
+  if (n == 0) return;  // nothing to offer
+  e.U32(static_cast<uint32_t>(n));
+  e.Raw(entries.bytes());
+  SendTo(from, kCatchupRespMsg, e.Take(), kInvalidEtId);
+}
+
+void OrdupNode::HandleCatchupResp(std::string_view payload) {
+  recovery::Decoder d(payload);
+  const uint32_t n = d.U32();
+  if (!d.ok()) return;
+  bool advanced = false;
+  for (uint32_t i = 0; i < n && d.ok(); ++i) {
+    const core::Mset mset = d.MsetRec();
+    const bool is_stable = d.U8() != 0;
+    if (!d.ok() || mset.global_order < 1) break;
+    const SequenceNumber before = applied_watermark_;
+    Admit(mset, /*persist=*/true);
+    advanced = advanced || applied_watermark_ > before;
+    if (is_stable && order_of_.find(mset.et) != order_of_.end()) {
+      MarkStable(mset.et);
+    }
+  }
+  // A full batch means the responder has more; keep pulling.
+  if (advanced && n >= static_cast<uint32_t>(config_.catchup_batch)) {
+    SendCatchupRequest();
+  }
+}
+
+/// --- Retry loop -------------------------------------------------------------
+
+void OrdupNode::RetryTick() {
+  if (!running_) return;
+  const SimTime now = clock_->Now();
+  // Re-send pending sequencer requests (server dedups by request id).
+  for (const auto& [rid, pending] : pending_seq_) {
+    msg::SeqBatchRequest req{
+        rid, 1, seq_epoch_,
+        TraceContext{pending.et, 0, config_.self, msg::kSeqRequest},
+        config_.incarnation};
+    SendTo(seq_home_, msg::kSeqRequest, msg::EncodeSeqBatchRequest(req),
+           pending.et);
+    if (m_retransmits_ != nullptr) m_retransmits_->Increment();
+  }
+  // Re-broadcast unacknowledged MSets and stability notices.
+  for (auto& [et, local] : outstanding_) {
+    if (!local.granted) continue;
+    if (!local.all_applied) {
+      const std::string payload = EncodeMset(local.mset);
+      for (SiteId s = 0; s < config_.num_sites; ++s) {
+        if (s == config_.self || local.apply_acked[static_cast<size_t>(s)]) {
+          continue;
+        }
+        SendTo(s, core::kMsetMsg, payload, et);
+        if (m_retransmits_ != nullptr) m_retransmits_->Increment();
+      }
+    } else {
+      const std::string payload = EncodeEtTs(et, local.mset.timestamp);
+      for (SiteId s = 0; s < config_.num_sites; ++s) {
+        if (s == config_.self || local.stable_acked[static_cast<size_t>(s)]) {
+          continue;
+        }
+        SendTo(s, core::kStableMsg, payload, et);
+        if (m_retransmits_ != nullptr) m_retransmits_->Increment();
+      }
+    }
+  }
+  // Re-probe while a takeover is waiting (peers may still be booting).
+  if (probing_) {
+    const std::string probe = msg::EncodeSeqProbeRequest(
+        msg::SeqProbeRequest{probe_id_, config_.self});
+    for (SiteId s : awaiting_probe_) {
+      SendTo(s, msg::kSeqProbeRequest, probe, kInvalidEtId);
+    }
+  }
+  // Re-probe unanswered sites for every hole still being healed.
+  for (const auto& [pos, awaiting] : healing_) {
+    wire::Encoder e;
+    e.I64(pos);
+    const std::string payload = e.Take();
+    for (SiteId s : awaiting) {
+      SendTo(s, kPosProbeReqMsg, payload, kInvalidEtId);
+    }
+  }
+  // A total-order gap that outlived its grace period: pull a backfill.
+  if (gap_since_ >= 0 && now - gap_since_ >= config_.gap_timeout_us) {
+    SendCatchupRequest();
+    gap_since_ = now;  // throttle to one request per timeout
+  }
+  retry_timer_ =
+      clock_->Schedule(config_.retry_interval_us, [this] { RetryTick(); });
+}
+
+/// --- Plumbing ---------------------------------------------------------------
+
+void OrdupNode::SendTo(SiteId to, int type, std::string payload, EtId et) {
+  Message msg;
+  msg.type = type;
+  msg.payload = std::move(payload);
+  msg.trace = TraceContext{et, 0, config_.self, static_cast<int32_t>(type)};
+  transport_->Send(to, std::move(msg));
+}
+
+void OrdupNode::Broadcast(int type, const std::string& payload, EtId et) {
+  for (SiteId s = 0; s < config_.num_sites; ++s) {
+    if (s == config_.self) continue;
+    SendTo(s, type, payload, et);
+  }
+}
+
+SequenceNumber OrdupNode::MaxOrderSeen() const {
+  SequenceNumber max_seen = std::max(applied_watermark_, max_grant_seen_);
+  if (!holdback_.empty()) {
+    max_seen = std::max(max_seen, holdback_.rbegin()->first);
+  }
+  if (!history_.empty()) {
+    max_seen = std::max(max_seen, history_.rbegin()->first);
+  }
+  return max_seen;
+}
+
+std::string OrdupNode::DebugStuck(int limit) const {
+  std::string out;
+  int n = 0;
+  for (const auto& [rid, pending] : pending_seq_) {
+    if (n++ >= limit) break;
+    out += "pending{rid=" + std::to_string(rid) +
+           ",et=" + std::to_string(pending.et) +
+           ",epoch=" + std::to_string(pending.epoch) + "} ";
+  }
+  for (const auto& [et, local] : outstanding_) {
+    if (n++ >= limit) break;
+    std::string applies, stables;
+    for (bool b : local.apply_acked) applies += b ? '1' : '0';
+    for (bool b : local.stable_acked) stables += b ? '1' : '0';
+    out += "out{et=" + std::to_string(et) +
+           ",granted=" + (local.granted ? "1" : "0") +
+           ",applied=" + applies + ",stable=" + stables + "} ";
+  }
+  return out;
+}
+
+}  // namespace esr::runtime

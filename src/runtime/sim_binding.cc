@@ -1,0 +1,25 @@
+#include "runtime/sim_binding.h"
+
+#include <utility>
+
+namespace esr::runtime {
+
+void SimTransport::Send(SiteId to, Message msg) {
+  if (stopped_) return;
+  const int64_t size_bytes =
+      static_cast<int64_t>(msg.payload.size()) + 16;  // header estimate
+  const TraceContext trace = msg.trace;
+  network_->Send(self_, to, std::any(std::move(msg)), size_bytes, trace);
+}
+
+void SimTransport::Start() {
+  network_->RegisterReceiver(
+      self_, [this](SiteId source, const std::any& payload) {
+        if (stopped_ || !handler_) return;
+        if (const Message* msg = std::any_cast<Message>(&payload)) {
+          handler_(source, *msg);
+        }
+      });
+}
+
+}  // namespace esr::runtime

@@ -1,0 +1,103 @@
+#include "runtime/thread_pool.h"
+
+#include <utility>
+
+namespace esr::runtime {
+
+void Strand::Post(std::function<void()> fn) {
+  bool need_schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+    if (!scheduled_) {
+      scheduled_ = true;
+      need_schedule = true;
+    }
+  }
+  if (need_schedule && !pool_->Submit([this] { Drain(); })) {
+    // Pool already shut down: the task can never run. Unwind so a later
+    // (equally futile) Post doesn't believe a drain is still pending.
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.clear();
+    scheduled_ = false;
+  }
+}
+
+bool Strand::RunningInThisStrand() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_thread_ == std::this_thread::get_id();
+}
+
+void Strand::Drain() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        scheduled_ = false;
+        running_thread_ = std::thread::id{};
+        return;
+      }
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+      running_thread_ = std::this_thread::get_id();
+    }
+    fn();
+  }
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { Worker(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (joined_) return;
+    // Drain first: tasks still running may fan out follow-on work (strand
+    // drains), which must be accepted until the pool is truly idle.
+    cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    shutdown_ = true;
+    joined_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Worker() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    fn();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace esr::runtime

@@ -1,0 +1,86 @@
+#ifndef ESR_RUNTIME_THREAD_POOL_H_
+#define ESR_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/interfaces.h"
+
+namespace esr::runtime {
+
+class ThreadPool;
+
+/// A serialized task queue multiplexed onto a ThreadPool. At most one task
+/// of a strand runs at any instant, tasks run in FIFO post order, and
+/// consecutive tasks of one strand are sequenced-before each other (the
+/// strand's mutex hands the queue from one pool thread to the next), so
+/// state confined to a strand needs no further locking.
+///
+/// Implementation: the strand keeps its own deque; Post() enqueues and — if
+/// the strand is not already scheduled on the pool — submits a drain job
+/// that runs tasks until the deque empties. The "scheduled" flag is what
+/// makes the strand non-reentrant: a second Post while the drain job runs
+/// just extends the deque the running drain is consuming.
+class Strand : public Executor {
+ public:
+  void Post(std::function<void()> fn) override;
+
+  /// True when called from inside a task running on this strand.
+  bool RunningInThisStrand() const;
+
+ private:
+  friend class ThreadPool;
+  explicit Strand(ThreadPool* pool) : pool_(pool) {}
+
+  void Drain();
+
+  ThreadPool* pool_;
+  mutable std::mutex mu_;
+  std::deque<std::function<void()>> queue_;
+  bool scheduled_ = false;  // a drain job is queued or running on the pool
+  std::thread::id running_thread_{};
+};
+
+/// Fixed-size worker pool. Work is submitted either directly (Submit) or
+/// through Strands; Shutdown() drains by default.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Creates a strand multiplexed onto this pool. Strands must not outlive
+  /// the pool.
+  std::unique_ptr<Strand> MakeStrand() {
+    return std::unique_ptr<Strand>(new Strand(this));
+  }
+
+  /// Enqueues unserialized work. Returns false after Shutdown().
+  bool Submit(std::function<void()> fn);
+
+  /// Stops accepting work, runs everything already queued (including strand
+  /// drains those tasks trigger), joins the workers. Idempotent.
+  void Shutdown();
+
+ private:
+  void Worker();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;        // tasks currently executing on workers
+  bool shutdown_ = false; // no further Submit; workers exit once drained
+  bool joined_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace esr::runtime
+
+#endif  // ESR_RUNTIME_THREAD_POOL_H_

@@ -1,0 +1,84 @@
+#ifndef ESR_RUNTIME_TIMER_WHEEL_H_
+#define ESR_RUNTIME_TIMER_WHEEL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/interfaces.h"
+
+namespace esr::runtime {
+
+/// Real binding of runtime::Clock: steady_clock microseconds plus a
+/// dedicated timer thread. Expired callbacks are posted to the owner's
+/// Executor (strand), never run on the timer thread itself — that is what
+/// keeps the Clock contract's "timers fire on the owner's strand" true and
+/// protocol state thread-confined.
+///
+/// Same ordering structure as the simulator's event queue (min-heap on
+/// (deadline, id)) so the two bindings share fire semantics: earlier
+/// deadline first, FIFO among equal deadlines. The callback body lives in
+/// `fns_` until the instant it runs; Cancel() removes it there, which is
+/// what makes "Cancel returned true ⇒ callback never runs" hold even for a
+/// timer already expired and posted to the strand but not yet executed.
+class TimerWheel : public Clock {
+ public:
+  /// `executor` receives every expired callback. Start() spawns the timer
+  /// thread; timers scheduled before Start() are honored after it.
+  explicit TimerWheel(Executor* executor);
+  ~TimerWheel() override;
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  void Start();
+
+  /// Stops the timer thread and discards pending timers; callbacks already
+  /// extracted for posting may still run (drain the executor afterwards).
+  void Stop();
+
+  /// Microseconds since this wheel was constructed (steady/monotonic).
+  SimTime Now() const override;
+
+  TimerId Schedule(SimDuration delay, std::function<void()> fn) override;
+  TimerId ScheduleAt(SimTime when, std::function<void()> fn) override;
+  bool Cancel(TimerId id) override;
+
+ private:
+  struct Entry {
+    SimTime when;
+    TimerId id;
+  };
+  struct EntryOrder {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  SimTime NowInternal() const;
+  void Run();
+
+  Executor* executor_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  TimerId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, EntryOrder> queue_;
+  /// Pending (or expired-but-not-yet-run) callbacks; absence means the
+  /// timer was cancelled or already ran.
+  std::unordered_map<TimerId, std::function<void()>> fns_;
+  bool running_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace esr::runtime
+
+#endif  // ESR_RUNTIME_TIMER_WHEEL_H_

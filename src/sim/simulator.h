@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "runtime/interfaces.h"
 
 namespace esr::sim {
 
@@ -21,25 +22,30 @@ using EventId = int64_t;
 /// all events. Events at equal timestamps fire in scheduling order, so a
 /// (seed, configuration) pair fully determines an execution — the property
 /// the test suite and benchmark harness rely on.
-class Simulator {
+///
+/// The Simulator *is* the sim binding of `runtime::Clock`: the interface
+/// was cut to match these signatures exactly, so code written against
+/// `runtime::Clock*` runs on a Simulator unchanged (same event ids, same
+/// FIFO tiebreaks, same digests).
+class Simulator : public runtime::Clock {
  public:
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time (microseconds).
-  SimTime Now() const { return now_; }
+  SimTime Now() const override { return now_; }
 
   /// Schedules `fn` to run `delay` microseconds from now (delay >= 0; a zero
   /// delay runs after all currently-executing event's siblings, preserving
   /// FIFO order among same-time events).
-  EventId Schedule(SimDuration delay, std::function<void()> fn);
+  EventId Schedule(SimDuration delay, std::function<void()> fn) override;
 
   /// Schedules `fn` at absolute simulated time `when` (>= Now()).
-  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  EventId ScheduleAt(SimTime when, std::function<void()> fn) override;
 
   /// Cancels a pending event. Returns false if already fired or cancelled.
-  bool Cancel(EventId id);
+  bool Cancel(EventId id) override;
 
   /// Runs events until the queue drains (quiescence). Returns the number of
   /// events executed. `max_events` guards against runaway retry loops.

@@ -253,6 +253,8 @@ CheckpointData SampleCheckpoint() {
   rec.ops = {store::Operation::Increment(1, 2)};
   rec.before_images.emplace_back(1, Value(int64_t{8}));
   data.mset_log.push_back(std::move(rec));
+  data.shard_watermarks = {{0, 5}, {2, 11}};
+  data.shard_seq_floors = {{0, 6, 2}, {2, 12, 3}};
   data.method_blob = "method";
   data.stability_blob = "stability";
   return data;
@@ -273,6 +275,13 @@ TEST(CheckpointTest, EncodeDecodeRoundtrip) {
   ASSERT_EQ(out.mset_log.size(), 1u);
   EXPECT_EQ(out.mset_log[0].mset_id, 8);
   ASSERT_EQ(out.mset_log[0].before_images.size(), 1u);
+  ASSERT_EQ(out.shard_watermarks.size(), 2u);
+  EXPECT_EQ(out.shard_watermarks[1], (std::pair<ShardId, SequenceNumber>{2, 11}));
+  ASSERT_EQ(out.shard_seq_floors.size(), 2u);
+  EXPECT_EQ(out.shard_seq_floors[0],
+            (std::tuple<ShardId, SequenceNumber, int64_t>{0, 6, 2}));
+  EXPECT_EQ(out.shard_seq_floors[1],
+            (std::tuple<ShardId, SequenceNumber, int64_t>{2, 12, 3}));
   EXPECT_EQ(out.method_blob, "method");
   EXPECT_EQ(out.stability_blob, "stability");
 }

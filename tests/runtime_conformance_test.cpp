@@ -1,0 +1,493 @@
+// Conformance tests for the runtime seam (runtime/interfaces.h) against
+// BOTH bindings — the deterministic simulator binding (SimTransport +
+// Simulator-as-Clock + SimExecutor) and the real binding (TcpTransport +
+// TimerWheel + ThreadPool strands). The contracts checked are the ones
+// protocol code is written against:
+//
+//   * delivery: sent messages arrive, in per-peer send order (sim: with
+//     jitter disabled), with sender identity and payload intact
+//   * no delivery after Stop(): a stopped transport never invokes its
+//     handler again, even for messages already in flight
+//   * timers: earlier deadline fires first, FIFO among equal deadlines;
+//     Cancel() == true guarantees the callback never runs — including for
+//     a timer already expired and posted but not yet executed
+//   * strand: tasks never run concurrently and run in post order
+//
+// Plus an end-to-end check: a 3-site OrdupNode cluster over the sim
+// binding converges deterministically, and a site amnesia-restart with an
+// in-flight sequencer grant is healed (the order hole is filled, the
+// cluster drains).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/interfaces.h"
+#include "runtime/ordup_node.h"
+#include "runtime/sim_binding.h"
+#include "runtime/tcp_transport.h"
+#include "runtime/thread_pool.h"
+#include "runtime/timer_wheel.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "store/operation.h"
+
+namespace esr::runtime {
+namespace {
+
+/// Deterministic executor for TimerWheel unit tests: posted thunks queue
+/// until the test drains them explicitly. Mutex-guarded because the wheel
+/// posts from its own thread while the test polls and drains.
+class ManualExecutor : public Executor {
+ public:
+  void Post(std::function<void()> fn) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  int Drain() {
+    int n = 0;
+    for (;;) {
+      std::function<void()> fn;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (queue_.empty()) return n;
+        fn = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      fn();
+      ++n;
+    }
+  }
+  bool WaitNonEmpty(int timeout_ms) {
+    for (int i = 0; i < timeout_ms; ++i) {
+      if (!Empty()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return !Empty();
+  }
+
+ private:
+  bool Empty() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.empty();
+  }
+
+  std::mutex mu_;
+  std::deque<std::function<void()>> queue_;
+};
+
+sim::NetworkConfig LosslessFifoNetwork() {
+  sim::NetworkConfig config;
+  config.base_latency_us = 1'000;
+  config.jitter_us = 0;  // equal latency + FIFO tiebreak = in-order
+  config.loss_probability = 0.0;
+  return config;
+}
+
+Message Msg(int type, std::string payload) {
+  Message m;
+  m.type = type;
+  m.payload = std::move(payload);
+  return m;
+}
+
+/// --- Sim binding -----------------------------------------------------------
+
+TEST(SimBindingTest, DeliversInOrderWithSenderAndPayload) {
+  sim::Simulator simulator;
+  sim::Network network(&simulator, 2, LosslessFifoNetwork(), /*seed=*/1);
+  SimTransport a(&network, 0);
+  SimTransport b(&network, 1);
+  std::vector<std::pair<SiteId, std::string>> got;
+  b.SetHandler([&](SiteId from, Message msg) {
+    got.emplace_back(from, msg.payload);
+  });
+  a.Start();
+  b.Start();
+  for (int i = 0; i < 50; ++i) {
+    a.Send(1, Msg(7, "m" + std::to_string(i)));
+  }
+  simulator.Run();
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)].first, 0);
+    EXPECT_EQ(got[static_cast<size_t>(i)].second, "m" + std::to_string(i));
+  }
+}
+
+TEST(SimBindingTest, NoDeliveryAfterStopEvenForInFlightMessages) {
+  sim::Simulator simulator;
+  sim::Network network(&simulator, 2, LosslessFifoNetwork(), /*seed=*/1);
+  SimTransport a(&network, 0);
+  SimTransport b(&network, 1);
+  int delivered = 0;
+  b.SetHandler([&](SiteId, Message) { ++delivered; });
+  a.Start();
+  b.Start();
+  a.Send(1, Msg(1, "in-flight"));
+  b.Stop();  // message is scheduled for delivery but must be dropped
+  simulator.Run();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(SimBindingTest, SimulatorClockTimerOrderingAndCancel) {
+  sim::Simulator simulator;
+  Clock* clock = &simulator;
+  std::vector<int> fired;
+  clock->Schedule(300, [&] { fired.push_back(3); });
+  clock->Schedule(100, [&] { fired.push_back(1); });
+  const TimerId second = clock->Schedule(200, [&] { fired.push_back(2); });
+  clock->Schedule(100, [&] { fired.push_back(11); });  // FIFO among equals
+  EXPECT_TRUE(clock->Cancel(second));
+  EXPECT_FALSE(clock->Cancel(second));  // already cancelled
+  simulator.Run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 11, 3}));
+  EXPECT_EQ(clock->Now(), 300);
+}
+
+TEST(SimBindingTest, SimExecutorPreservesPostOrder) {
+  sim::Simulator simulator;
+  SimExecutor executor(&simulator);
+  std::vector<int> ran;
+  for (int i = 0; i < 10; ++i) {
+    executor.Post([&ran, i] { ran.push_back(i); });
+  }
+  simulator.Run();
+  ASSERT_EQ(ran.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ran[static_cast<size_t>(i)], i);
+}
+
+/// --- Real binding: thread pool + strand ------------------------------------
+
+TEST(StrandTest, SerializesAndPreservesFifoUnderConcurrentPosts) {
+  ThreadPool pool(4);
+  std::unique_ptr<Strand> strand = pool.MakeStrand();
+  std::atomic<bool> in_task{false};
+  std::atomic<int> overlaps{0};
+  std::vector<int> order;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> posters;
+  for (int t = 0; t < 4; ++t) {
+    posters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        strand->Post([&, t, i] {
+          if (in_task.exchange(true)) overlaps.fetch_add(1);
+          order.push_back(t * kPerThread + i);  // unsynchronized on purpose
+          in_task.store(false);
+        });
+      }
+    });
+  }
+  for (auto& th : posters) th.join();
+  pool.Shutdown();
+  EXPECT_EQ(overlaps.load(), 0);
+  ASSERT_EQ(order.size(), static_cast<size_t>(4 * kPerThread));
+  // FIFO per poster: each thread's tasks appear in its own post order.
+  std::vector<int> next(4, 0);
+  for (int v : order) {
+    const int t = v / kPerThread;
+    EXPECT_EQ(v % kPerThread, next[static_cast<size_t>(t)]);
+    ++next[static_cast<size_t>(t)];
+  }
+}
+
+TEST(StrandTest, RunningInThisStrandIsTrueOnlyInside) {
+  ThreadPool pool(2);
+  std::unique_ptr<Strand> strand = pool.MakeStrand();
+  EXPECT_FALSE(strand->RunningInThisStrand());
+  std::atomic<bool> inside{false};
+  strand->Post([&] { inside.store(strand->RunningInThisStrand()); });
+  pool.Shutdown();
+  EXPECT_TRUE(inside.load());
+}
+
+/// --- Real binding: timer wheel ---------------------------------------------
+
+TEST(TimerWheelTest, FiresInDeadlineOrder) {
+  ThreadPool pool(1);
+  std::unique_ptr<Strand> strand = pool.MakeStrand();
+  TimerWheel wheel(strand.get());
+  wheel.Start();
+  std::vector<int> fired;
+  std::atomic<int> count{0};
+  wheel.Schedule(60'000, [&] { fired.push_back(3); count.fetch_add(1); });
+  wheel.Schedule(20'000, [&] { fired.push_back(1); count.fetch_add(1); });
+  wheel.Schedule(40'000, [&] { fired.push_back(2); count.fetch_add(1); });
+  for (int i = 0; i < 2000 && count.load() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  wheel.Stop();
+  pool.Shutdown();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerWheelTest, CancelBeforeExpiryPreventsRun) {
+  ManualExecutor executor;
+  TimerWheel wheel(&executor);
+  wheel.Start();
+  bool ran = false;
+  const TimerId id = wheel.Schedule(5'000'000, [&] { ran = true; });
+  EXPECT_TRUE(wheel.Cancel(id));
+  EXPECT_FALSE(wheel.Cancel(id));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  wheel.Stop();
+  executor.Drain();
+  EXPECT_FALSE(ran);
+}
+
+TEST(TimerWheelTest, CancelAfterExpiryButBeforeExecutionPreventsRun) {
+  // The strongest clause of the Clock contract: a timer whose thunk is
+  // already sitting on the executor can still be cancelled — Cancel()
+  // returning true means the callback will never run.
+  ManualExecutor executor;
+  TimerWheel wheel(&executor);
+  wheel.Start();
+  bool ran = false;
+  const TimerId id = wheel.Schedule(1'000, [&] { ran = true; });
+  ASSERT_TRUE(executor.WaitNonEmpty(2'000));  // expired and posted
+  EXPECT_TRUE(wheel.Cancel(id));
+  executor.Drain();  // runs the posted thunk, which must no-op
+  EXPECT_FALSE(ran);
+  wheel.Stop();
+}
+
+TEST(TimerWheelTest, MonotonicNow) {
+  ManualExecutor executor;
+  TimerWheel wheel(&executor);
+  const SimTime a = wheel.Now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const SimTime b = wheel.Now();
+  EXPECT_GE(b - a, 4'000);
+}
+
+/// --- Real binding: TCP transport -------------------------------------------
+
+struct TcpPair {
+  explicit TcpPair(ThreadPool* pool)
+      : strand_a(pool->MakeStrand()), strand_b(pool->MakeStrand()) {
+    TcpTransportConfig cfg_a;
+    cfg_a.self = 0;
+    cfg_a.peers = {"127.0.0.1:0", "127.0.0.1:0"};
+    TcpTransportConfig cfg_b = cfg_a;
+    cfg_b.self = 1;
+    a = std::make_unique<TcpTransport>(cfg_a, strand_a.get());
+    b = std::make_unique<TcpTransport>(cfg_b, strand_b.get());
+    a->Start();
+    b->Start();
+    // Ephemeral ports are only known after Start.
+    a->SetPeerAddress(1, "127.0.0.1:" + std::to_string(b->port()));
+    b->SetPeerAddress(0, "127.0.0.1:" + std::to_string(a->port()));
+  }
+
+  std::unique_ptr<Strand> strand_a;
+  std::unique_ptr<Strand> strand_b;
+  std::unique_ptr<TcpTransport> a;
+  std::unique_ptr<TcpTransport> b;
+};
+
+TEST(TcpTransportTest, DeliversInOrderWithTypeSenderAndPayload) {
+  ThreadPool pool(2);
+  TcpPair pair(&pool);
+  std::mutex mu;
+  std::vector<Message> got;
+  std::atomic<int> count{0};
+  pair.b->SetHandler([&](SiteId from, Message msg) {
+    EXPECT_EQ(from, 0);
+    std::lock_guard<std::mutex> lock(mu);
+    got.push_back(std::move(msg));
+    count.fetch_add(1);
+  });
+  constexpr int kMessages = 500;
+  for (int i = 0; i < kMessages; ++i) {
+    pair.a->Send(1, Msg(i % 7, "payload-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5000 && count.load() < kMessages; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  pair.a->Stop();
+  pair.b->Stop();
+  pool.Shutdown();
+  ASSERT_EQ(got.size(), static_cast<size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)].type, i % 7);
+    EXPECT_EQ(got[static_cast<size_t>(i)].payload,
+              "payload-" + std::to_string(i));
+  }
+}
+
+TEST(TcpTransportTest, LoopbackSelfSendDelivers) {
+  ThreadPool pool(2);
+  std::unique_ptr<Strand> strand = pool.MakeStrand();
+  TcpTransportConfig cfg;
+  cfg.self = 0;
+  cfg.peers = {"127.0.0.1:0"};
+  TcpTransport t(cfg, strand.get());
+  std::atomic<int> got{0};
+  t.SetHandler([&](SiteId from, Message msg) {
+    EXPECT_EQ(from, 0);
+    EXPECT_EQ(msg.payload, "self");
+    got.fetch_add(1);
+  });
+  t.Start();
+  t.Send(0, Msg(1, "self"));
+  for (int i = 0; i < 2000 && got.load() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  t.Stop();
+  pool.Shutdown();
+  EXPECT_EQ(got.load(), 1);
+}
+
+TEST(TcpTransportTest, NoDeliveryAfterStop) {
+  ThreadPool pool(2);
+  TcpPair pair(&pool);
+  std::atomic<int> delivered{0};
+  pair.b->SetHandler([&](SiteId, Message) { delivered.fetch_add(1); });
+  pair.a->Send(1, Msg(1, "warmup"));
+  for (int i = 0; i < 5000 && delivered.load() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(delivered.load(), 1);
+  pair.b->Stop();
+  const int after_stop = delivered.load();
+  for (int i = 0; i < 50; ++i) {
+    pair.a->Send(1, Msg(1, "late-" + std::to_string(i)));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(delivered.load(), after_stop);
+  pair.a->Stop();
+  pool.Shutdown();
+}
+
+/// --- End to end: OrdupNode over the sim binding ---------------------------
+
+struct SimCluster {
+  explicit SimCluster(int n, uint64_t seed = 7,
+                      sim::NetworkConfig net = LosslessFifoNetwork())
+      : network(&simulator, n, net, seed) {
+    for (SiteId s = 0; s < n; ++s) {
+      transports.push_back(std::make_unique<SimTransport>(&network, s));
+      OrdupNodeConfig cfg;
+      cfg.self = s;
+      cfg.num_sites = n;
+      cfg.sequencer_site = 0;
+      nodes.push_back(std::make_unique<OrdupNode>(
+          cfg, transports.back().get(), &simulator, nullptr, nullptr));
+    }
+    for (auto& node : nodes) node->Start();
+  }
+
+  sim::Simulator simulator;
+  sim::Network network;
+  std::vector<std::unique_ptr<SimTransport>> transports;
+  std::vector<std::unique_ptr<OrdupNode>> nodes;
+};
+
+TEST(OrdupNodeSimTest, ThreeSitesConvergeDeterministically) {
+  uint64_t first_digest = 0;
+  for (int run = 0; run < 2; ++run) {
+    SimCluster cluster(3);
+    for (int round = 0; round < 20; ++round) {
+      for (SiteId s = 0; s < 3; ++s) {
+        cluster.nodes[static_cast<size_t>(s)]->SubmitUpdate(
+            {store::Operation::Increment(1 + round % 4, 1 + s)});
+      }
+    }
+    // Bounded horizon: the retry loop re-arms itself while nodes run, so
+    // the event queue never drains on its own.
+    cluster.simulator.RunUntil(5'000'000);
+    const uint64_t digest = cluster.nodes[0]->store().StateDigest();
+    for (SiteId s = 0; s < 3; ++s) {
+      OrdupNode& node = *cluster.nodes[static_cast<size_t>(s)];
+      EXPECT_EQ(node.applied_watermark(), 60) << "site " << s;
+      EXPECT_EQ(node.store().StateDigest(), digest) << "site " << s;
+      EXPECT_TRUE(node.Idle()) << "site " << s;
+      EXPECT_EQ(node.stable_count(), 60) << "site " << s;
+    }
+    if (run == 0) {
+      first_digest = digest;
+    } else {
+      EXPECT_EQ(digest, first_digest) << "determinism across identical runs";
+    }
+  }
+}
+
+TEST(OrdupNodeSimTest, ConvergesUnderLossAndReordering) {
+  sim::NetworkConfig net;
+  net.base_latency_us = 1'000;
+  net.jitter_us = 900;
+  net.loss_probability = 0.05;
+  SimCluster cluster(3, /*seed=*/42, net);
+  for (int round = 0; round < 15; ++round) {
+    for (SiteId s = 0; s < 3; ++s) {
+      cluster.nodes[static_cast<size_t>(s)]->SubmitUpdate(
+          {store::Operation::Increment(1 + s, 1)});
+    }
+  }
+  cluster.simulator.RunUntil(10'000'000);
+  const uint64_t digest = cluster.nodes[0]->store().StateDigest();
+  for (SiteId s = 0; s < 3; ++s) {
+    OrdupNode& node = *cluster.nodes[static_cast<size_t>(s)];
+    EXPECT_EQ(node.applied_watermark(), 45) << "site " << s;
+    EXPECT_EQ(node.store().StateDigest(), digest) << "site " << s;
+    EXPECT_TRUE(node.Idle()) << "site " << s;
+  }
+}
+
+TEST(OrdupNodeSimTest, AmnesiaRestartWithInFlightGrantHealsOrderHole) {
+  // Site 1 submits one update and dies with the sequencer's grant still in
+  // flight: position 1 is granted but no MSet for it will ever exist. The
+  // restarted incarnation must make the cluster whole again — the server
+  // detects the incarnation jump, probes, and fills the hole with a no-op.
+  SimCluster cluster(3);
+  cluster.nodes[1]->SubmitUpdate({store::Operation::Increment(1, 100)});
+  // The order server only activates once its startup probe round-trip
+  // finishes (t~2000, epoch 2); site 1's request is then re-sent on the
+  // epoch announce (t~3000), granted at t~4000, and the grant lands back at
+  // t~5000. Stop site 1 at t=4500: the grant is consumed by a dead site.
+  cluster.simulator.RunUntil(4'500);
+  cluster.nodes[1]->Stop();
+  cluster.transports[1]->Stop();
+  cluster.simulator.RunUntil(1'000'000);
+  EXPECT_EQ(cluster.nodes[0]->applied_watermark(), 0);  // the hole stalls all
+
+  // Amnesia restart: a fresh node, same site id, higher incarnation.
+  auto transport = std::make_unique<SimTransport>(&cluster.network, 1);
+  OrdupNodeConfig cfg;
+  cfg.self = 1;
+  cfg.num_sites = 3;
+  cfg.sequencer_site = 0;
+  cfg.incarnation = 1'000'000;
+  OrdupNode restarted(cfg, transport.get(), &cluster.simulator, nullptr,
+                      nullptr);
+  restarted.Start();
+  restarted.SubmitUpdate({store::Operation::Increment(2, 5)});
+  cluster.nodes[0]->SubmitUpdate({store::Operation::Increment(3, 7)});
+  cluster.simulator.RunUntil(10'000'000);
+
+  // Healed: the granted-but-dead position was no-op filled, both live
+  // updates applied, everyone agrees.
+  const uint64_t digest = cluster.nodes[0]->store().StateDigest();
+  EXPECT_EQ(cluster.nodes[0]->applied_watermark(), 3);
+  EXPECT_EQ(cluster.nodes[2]->applied_watermark(), 3);
+  EXPECT_EQ(restarted.applied_watermark(), 3);
+  EXPECT_EQ(restarted.store().StateDigest(), digest);
+  EXPECT_EQ(cluster.nodes[2]->store().StateDigest(), digest);
+  EXPECT_TRUE(restarted.Idle());
+  EXPECT_TRUE(cluster.nodes[0]->Idle());
+  // The dead incarnation's +100 increment never landed anywhere.
+  EXPECT_EQ(restarted.store().Read(1).AsInt(), 0);
+  EXPECT_EQ(restarted.store().Read(2).AsInt(), 5);
+  EXPECT_EQ(restarted.store().Read(3).AsInt(), 7);
+}
+
+}  // namespace
+}  // namespace esr::runtime

@@ -274,6 +274,47 @@ TEST(ShardingIntegrationTest, AmnesiaCrashOfOwnerRecoversOwnedShards) {
   }
 }
 
+TEST(ShardingIntegrationTest, AmnesiaCrashOfShardSeqHomeReseedsFromFloor) {
+  // Regression: a shard-sequencer home that amnesia-restarts must re-seed
+  // its grant cursor from the durable per-shard checkpoint floor
+  // (checkpoint v4), not from position 1 — a floor-1 rebuild re-grants
+  // positions whose grants no surviving peer happens to have witnessed.
+  SystemConfig config = ShardedConfig(4, 2, 8, 317);
+  config.recovery.enabled = true;
+  config.recovery.checkpoint_interval_us = 20'000;
+  // Keep the home seat with the victim: the restart (not a standby
+  // takeover) must be the path that recovers the cursor.
+  config.seq_failover_detect_us = 5'000'000;
+  ReplicatedSystem system(config);
+  const shard::PlacementMap& placement = *system.placement();
+  const ShardId shard = 1;
+  const SiteId victim = system.shard_sequencer_home(shard);
+  const ObjectId a = ObjectsInShard(system, shard, 1)[0];
+  // Advance the shard's grant cursor well past 1, with checkpoints taken.
+  for (int i = 0; i < 10; ++i) {
+    MustSubmit(system, static_cast<SiteId>(i % 8),
+               {Operation::Increment(a, 1)});
+    system.RunFor(8'000);
+  }
+  system.failures().ScheduleCrash(sim::CrashSpec{
+      victim, /*crash_at=*/90'000, /*restart_at=*/200'000, /*amnesia=*/true});
+  // Traffic from survivors spans the outage; their submissions stall until
+  // the home returns (no failover) and must all land exactly once.
+  for (int i = 0; i < 20; ++i) {
+    const SiteId origin = static_cast<SiteId>((victim + 1 + (i % 7)) % 8);
+    MustSubmit(system, origin, {Operation::Increment(a, 1)});
+    system.RunFor(12'000);
+  }
+  system.RunUntilQuiescent();
+  // The restarted home grants fresh positions for new work too.
+  MustSubmit(system, victim, {Operation::Increment(a, 1)});
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  for (SiteId s : placement.Owners(shard)) {
+    EXPECT_EQ(system.SiteValue(s, a).AsInt(), 31) << "site " << s;
+  }
+}
+
 TEST(ShardingIntegrationTest, FailoverDuringCrossShardMixStaysConsistent) {
   ReplicatedSystem system(ShardedConfig(4, 2, 8, 313));
   const shard::PlacementMap& placement = *system.placement();

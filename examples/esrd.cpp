@@ -110,6 +110,7 @@ int main(int argc, char** argv) {
   int64_t retry_ms = 50;
   int64_t linger_ms = 750;
   int threads = 2;
+  int store_partitions = 8;
   std::string status_file;
 
   for (int i = 1; i < argc; ++i) {
@@ -138,6 +139,8 @@ int main(int argc, char** argv) {
       linger_ms = std::stoll(value);
     } else if (ParseFlag(argv[i], "threads", &value)) {
       threads = std::stoi(value);
+    } else if (ParseFlag(argv[i], "store-partitions", &value)) {
+      store_partitions = std::stoi(value);
     } else if (ParseFlag(argv[i], "status-file", &value)) {
       status_file = value;
     } else {
@@ -147,7 +150,7 @@ int main(int argc, char** argv) {
                    "[--serve-metrics-port=P] [--metrics-publish-ms=MS] "
                    "[--workload-rate=R] [--workload-objects=N] "
                    "[--duration-s=S] [--retry-ms=MS] [--threads=N] "
-                   "[--status-file=PATH]\n");
+                   "[--store-partitions=N] [--status-file=PATH]\n");
       return 2;
     }
   }
@@ -209,6 +212,7 @@ int main(int argc, char** argv) {
   ncfg.incarnation = std::chrono::duration_cast<std::chrono::microseconds>(
                          std::chrono::system_clock::now().time_since_epoch())
                          .count();
+  ncfg.store_partitions = store_partitions;
   OrdupNode node(ncfg, &transport, &wheel, wal.get(), &metrics);
   OnStrand(strand.get(), [&] { node.Start(); });
 

@@ -49,6 +49,14 @@
 //                           (cross-shard ETs pay the multi-sequencer commit
 //                           rule; default 0: objects picked independently)
 //
+// Concurrent store (all methods):
+//   --store-partitions=N    hash partitions per site's multi-version store
+//                           (rounded to a power of two; default 1 — digests
+//                           are partition-count-invariant)
+//   --version-gc            RITU-MV: prune version chains below each site's
+//                           VTNC (clamped to the oldest active query pin)
+//                           on every stability advance
+//
 // Causal tracing / critical path:
 //   --trace-ets=N        record hop-level traces for the most recent N
 //                        update ETs; prints the critical-path report at
@@ -192,6 +200,10 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "trace-out", &value)) {
       trace_out = value;
       config.record_hops = true;
+    } else if (ParseFlag(argv[i], "store-partitions", &value)) {
+      config.store_partitions = std::stoi(value);
+    } else if (std::strcmp(argv[i], "--version-gc") == 0) {
+      config.version_gc = true;
     } else if (ParseFlag(argv[i], "serve-metrics-port", &value)) {
       config.metrics_port = std::stoi(value);
     } else if (ParseFlag(argv[i], "metrics-publish-ms", &value)) {

@@ -167,6 +167,22 @@ struct SystemConfig {
   /// instead (no coordination).
   bool ordup_sequenced_queries = false;
 
+  /// Hash partitions of each site's multi-version store (rounded up to a
+  /// power of two). 1 (default) reproduces the legacy single-partition
+  /// layout; digests are partition-count-invariant either way, so any
+  /// value preserves the determinism digests. The real runtime defaults
+  /// higher (OrdupNodeConfig) — in the sim only scan locality changes.
+  int store_partitions = 1;
+
+  /// Stability-driven version GC (RITU-multi): on each VTNC advance a site
+  /// prunes versions strictly below min(VTNC, oldest active query pin),
+  /// keeping each chain's newest at-or-below version so pinned snapshot
+  /// reads stay servable. Off by default: sites prune at independently-
+  /// advancing VTNCs, so full-state digests diverge transiently —
+  /// Converged() switches to the GC-invariant latest-version digest when
+  /// this is on.
+  bool version_gc = false;
+
   /// Period of Lamport-clock heartbeats that advance VTNC watermarks
   /// (0 disables; RITU-multi wants them on).
   SimDuration heartbeat_interval_us = 50'000;

@@ -28,8 +28,8 @@
 #include "msg/reliable_transport.h"
 #include "sim/simulator.h"
 #include "store/mset_log.h"
+#include "store/mv_store.h"
 #include "store/object_store.h"
-#include "store/version_store.h"
 
 namespace esr::recovery {
 class SiteRecovery;
@@ -49,7 +49,10 @@ struct MethodContext {
   msg::SequencerClient* sequencer = nullptr;
   StabilityTracker* stability = nullptr;
   store::ObjectStore* store = nullptr;
-  store::VersionStore* versions = nullptr;
+  /// Multi-version store (RITU-MV chains). The concurrent MvStore replaced
+  /// the single-threaded VersionStore; in the sim all access stays on one
+  /// thread, in the real runtime reads may run off-strand.
+  store::MvStore* versions = nullptr;
   store::MsetLog* mset_log = nullptr;
   ObjectClassRegistry* registry = nullptr;  // shared, schema-level
   analysis::HistoryRecorder* history = nullptr;  // shared

@@ -18,7 +18,8 @@
 namespace esr::core {
 
 struct ReplicatedSystem::SiteRuntime {
-  explicit SiteRuntime(SiteId s) : id(s), clock(s) {}
+  SiteRuntime(SiteId s, store::MvStoreOptions store_options)
+      : id(s), clock(s), versions(store_options) {}
 
   SiteId id;
   msg::LamportClock clock;
@@ -33,7 +34,7 @@ struct ReplicatedSystem::SiteRuntime {
   std::vector<std::unique_ptr<msg::SequencerClient>> shard_seq_clients;
   std::unique_ptr<StabilityTracker> stability;
   store::ObjectStore store;
-  store::VersionStore versions;
+  store::MvStore versions;
   store::MsetLog mset_log;
   std::unique_ptr<ReplicaControlMethod> method;
   std::unique_ptr<cc::TwoPhaseCommitEngine> tpc;
@@ -215,8 +216,10 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
   }
 
   sites_.reserve(config_.num_sites);
+  store::MvStoreOptions store_options;
+  store_options.partitions = config_.store_partitions;
   for (SiteId s = 0; s < config_.num_sites; ++s) {
-    sites_.push_back(std::make_unique<SiteRuntime>(s));
+    sites_.push_back(std::make_unique<SiteRuntime>(s, store_options));
   }
   for (SiteId s = 0; s < config_.num_sites; ++s) {
     SiteRuntime& site = *sites_[s];
@@ -231,6 +234,7 @@ ReplicatedSystem::ReplicatedSystem(const SystemConfig& config)
     if (hop_tracer_ != nullptr) site.queues->set_hop_tracer(hop_tracer_.get());
     site.stability =
         std::make_unique<StabilityTracker>(s, config_.num_sites);
+    InstallVersionGc(s);
   }
   // Sequencer servers must exist before any client request can be handled;
   // their handlers live on the hosting sites' mailboxes. The active server
@@ -487,6 +491,26 @@ MethodContext ReplicatedSystem::MakeContext(SiteId s) {
   return ctx;
 }
 
+void ReplicatedSystem::InstallVersionGc(SiteId s) {
+  if (!config_.version_gc || config_.method != Method::kRituMulti) return;
+  // Stability-driven version GC: every VTNC advance prunes this site's
+  // chains below the new watermark. The hook fires only on consistent
+  // tracker state (see StabilityTracker::on_vtnc_advance), and the
+  // watermark is clamped to the oldest live pinned query so its
+  // ReadAtOrBefore(pin) reads stay servable (DESIGN.md §15).
+  sites_[s]->stability->on_vtnc_advance = [this, s](LamportTimestamp vtnc) {
+    SiteRuntime& site = *sites_[s];
+    LamportTimestamp floor = vtnc;
+    for (const auto& [_, q] : active_queries_) {
+      if (q.site == s && q.vtnc_pin.has_value()) {
+        floor = std::min(floor, *q.vtnc_pin);
+      }
+    }
+    const int64_t pruned = site.versions.GcBelow(floor);
+    if (pruned > 0) counters_.Increment("esr.versions_gc_pruned", pruned);
+  };
+}
+
 void ReplicatedSystem::BindRecoverySite(SiteId s) {
   // The bindings capture [this, s] and dereference the *current* site
   // objects at call time, so one BindSite at construction covers every
@@ -518,6 +542,7 @@ void ReplicatedSystem::BindRecoverySite(SiteId s) {
     out.clock_counter = site.clock.Now().counter;
     out.store_entries = site.store.SnapshotEntries();
     out.versions = site.versions.SnapshotVersions();
+    out.version_gc_floor = site.versions.gc_floor();
     out.mset_log = site.mset_log.Snapshot();
     MethodDurableState m;
     site.method->SnapshotDurable(m);
@@ -542,6 +567,12 @@ void ReplicatedSystem::BindRecoverySite(SiteId s) {
     for (const auto& [object, ts, value] : data.versions) {
       site.versions.AppendVersion(object, ts, value);
     }
+    // Re-seed the GC floor so the recovering site knows how far it had
+    // pruned. WAL replay may transiently resurrect pruned versions (the
+    // MSets re-apply); the next VTNC advance re-prunes them below the
+    // floor, so the store never answers reads it couldn't before the
+    // crash.
+    site.versions.SetGcFloor(data.version_gc_floor);
     // The MSet log must be back before RestoreDurable: COMPE rebuilds its
     // tentative lock counters by scanning it.
     for (const store::MsetLog::RecordSnapshot& rec : data.mset_log) {
@@ -678,10 +709,11 @@ void ReplicatedSystem::AmnesiaRestart(SiteId s) {
   // bookkeeping that routes their eventual grants to the orphan release.
   site.method.reset();
   site.store = store::ObjectStore();
-  site.versions = store::VersionStore();
+  site.versions.Clear();  // MvStore is not assignable (per-partition locks)
   site.mset_log = store::MsetLog();
   site.clock = msg::LamportClock(s);
   site.stability = std::make_unique<StabilityTracker>(s, config_.num_sites);
+  InstallVersionGc(s);
   site.method = MakeMethod(MakeContext(s));
   // Checkpoint load + WAL replay, then anti-entropy catch-up for whatever
   // the WAL never saw (the dropped unflushed tail, and anything delivered
@@ -1784,6 +1816,17 @@ bool ReplicatedSystem::Converged() const {
     return true;
   }
   if (config_.method == Method::kRituMulti) {
+    // With version GC on, sites prune at independently-advancing VTNCs, so
+    // full-chain digests differ transiently even when the replicas agree on
+    // every object's latest value. Compare the GC-invariant latest-version
+    // digest instead (GC never removes a chain's newest version).
+    if (config_.version_gc) {
+      const uint64_t digest0 = sites_[0]->versions.LatestDigest();
+      for (const auto& site : sites_) {
+        if (site->versions.LatestDigest() != digest0) return false;
+      }
+      return true;
+    }
     const uint64_t digest0 = sites_[0]->versions.StateDigest();
     for (const auto& site : sites_) {
       if (site->versions.StateDigest() != digest0) return false;
@@ -1837,7 +1880,7 @@ uint64_t ReplicatedSystem::SiteDigest(SiteId site) const {
 store::ObjectStore& ReplicatedSystem::site_store(SiteId site) {
   return sites_[site]->store;
 }
-store::VersionStore& ReplicatedSystem::site_versions(SiteId site) {
+store::MvStore& ReplicatedSystem::site_versions(SiteId site) {
   return sites_[site]->versions;
 }
 store::MsetLog& ReplicatedSystem::site_mset_log(SiteId site) {

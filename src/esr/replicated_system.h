@@ -213,7 +213,7 @@ class ReplicatedSystem {
   uint64_t SiteDigest(SiteId site) const;
 
   store::ObjectStore& site_store(SiteId site);
-  store::VersionStore& site_versions(SiteId site);
+  store::MvStore& site_versions(SiteId site);
   store::MsetLog& site_mset_log(SiteId site);
   msg::ReliableTransport& site_queues(SiteId site);
   ReplicaControlMethod* site_method(SiteId site);
@@ -254,6 +254,11 @@ class ReplicatedSystem {
   /// Installs the per-site recovery bindings, the catch-up message
   /// handlers, and the sequencer orphan handler.
   void BindRecoverySite(SiteId s);
+  /// Hangs stability-driven version GC off the site's StabilityTracker
+  /// VTNC-advance hook (no-op unless config.version_gc and RITU-MV). Must
+  /// be re-run whenever the tracker instance is recreated (amnesia
+  /// restart).
+  void InstallVersionGc(SiteId s);
   /// Amnesia fault hooks (recovery enabled): the crashed site loses all
   /// volatile state and, on restart, rebuilds via checkpoint + WAL replay +
   /// anti-entropy catch-up.

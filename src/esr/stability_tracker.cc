@@ -16,7 +16,8 @@ StabilityTracker::StabilityTracker(SiteId self, int num_sites)
     : self_(self),
       num_sites_(num_sites),
       is_updater_(num_sites, true),
-      watermark_(num_sites, kZeroTimestamp) {}
+      watermark_(num_sites, kZeroTimestamp),
+      last_vtnc_(kZeroTimestamp) {}
 
 void StabilityTracker::SetUpdaterSites(const std::vector<SiteId>& updaters) {
   std::fill(is_updater_.begin(), is_updater_.end(), false);
@@ -24,6 +25,8 @@ void StabilityTracker::SetUpdaterSites(const std::vector<SiteId>& updaters) {
     assert(s >= 0 && s < num_sites_);
     is_updater_[s] = true;
   }
+  // Excluding silent readers can raise the watermark floor immediately.
+  MaybeAdvanceVtnc();
 }
 
 void StabilityTracker::TrackOutgoing(EtId et, LamportTimestamp ts) {
@@ -48,15 +51,32 @@ bool StabilityTracker::RecordAck(EtId et, SiteId replica) {
 
 void StabilityTracker::ObserveMset(EtId et, LamportTimestamp ts,
                                    SiteId origin) {
-  ObserveClock(origin, ts);
-  if (stable_.count(et) || outstanding_ts_.count(et)) return;
-  outstanding_by_ts_.emplace(ts, et);
-  outstanding_ts_.emplace(et, ts);
+  // Watermark bump and outstanding registration are one logical update:
+  // the VTNC hook must not fire between them (it would transiently see the
+  // watermark past `ts` with the MSet not yet outstanding, and overshoot).
+  BumpWatermark(origin, ts);
+  if (!stable_.count(et) && !outstanding_ts_.count(et)) {
+    outstanding_by_ts_.emplace(ts, et);
+    outstanding_ts_.emplace(et, ts);
+  }
+  MaybeAdvanceVtnc();
 }
 
 void StabilityTracker::ObserveClock(SiteId origin, LamportTimestamp clock) {
+  BumpWatermark(origin, clock);
+  MaybeAdvanceVtnc();
+}
+
+void StabilityTracker::BumpWatermark(SiteId origin, LamportTimestamp clock) {
   assert(origin >= 0 && origin < num_sites_);
   watermark_[origin] = std::max(watermark_[origin], clock);
+}
+
+void StabilityTracker::MaybeAdvanceVtnc() {
+  const LamportTimestamp vtnc = Vtnc();
+  if (vtnc <= last_vtnc_) return;
+  last_vtnc_ = vtnc;
+  if (on_vtnc_advance) on_vtnc_advance(vtnc);
 }
 
 void StabilityTracker::MarkStable(EtId et, LamportTimestamp ts) {
@@ -74,6 +94,7 @@ void StabilityTracker::MarkStable(EtId et, LamportTimestamp ts) {
   acks_.erase(et);
   expected_.erase(et);
   if (on_stable) on_stable(et);
+  MaybeAdvanceVtnc();
 }
 
 StabilityTracker::Snapshot StabilityTracker::ExportSnapshot() const {
@@ -115,6 +136,10 @@ void StabilityTracker::RestoreSnapshot(const Snapshot& snapshot) {
        ++o) {
     watermark_[o] = snapshot.watermark[o];
   }
+  // Resync the hook baseline silently: the restore path re-primes GC
+  // itself (via the checkpointed floor); firing mid-restore would run it
+  // against a half-rebuilt store.
+  last_vtnc_ = std::max(last_vtnc_, Vtnc());
 }
 
 std::vector<std::pair<EtId, LamportTimestamp>> StabilityTracker::

@@ -40,6 +40,13 @@ class StabilityTracker {
   /// Invoked (at this site) when an ET becomes stable.
   std::function<void(EtId)> on_stable;
 
+  /// Invoked whenever the VTNC strictly advances, with the new value. Fired
+  /// only after the tracker reaches a consistent state (never mid-update:
+  /// ObserveMset registers its outstanding entry *before* checking, so the
+  /// hook can't observe a watermark bump without the MSet that carried it).
+  /// The store layer hangs version GC off this hook (DESIGN.md §15).
+  std::function<void(LamportTimestamp)> on_vtnc_advance;
+
   /// Origin side: starts tracking an outgoing update ET.
   void TrackOutgoing(EtId et, LamportTimestamp ts);
 
@@ -110,6 +117,12 @@ class StabilityTracker {
       SiteId origin) const;
 
  private:
+  /// Raises origin's watermark without firing on_vtnc_advance (callers fire
+  /// via MaybeAdvanceVtnc once their whole update is in place).
+  void BumpWatermark(SiteId origin, LamportTimestamp clock);
+  /// Fires on_vtnc_advance if the VTNC moved past the last reported value.
+  void MaybeAdvanceVtnc();
+
   SiteId self_;
   int num_sites_;
   std::vector<bool> is_updater_;
@@ -124,6 +137,9 @@ class StabilityTracker {
   /// Per-origin clock watermark (self is implicitly infinite: this site
   /// always knows its own MSets).
   std::vector<LamportTimestamp> watermark_;
+  /// Last VTNC value reported through on_vtnc_advance (the hook only ever
+  /// sees strictly increasing values).
+  LamportTimestamp last_vtnc_;
 };
 
 /// Largest timestamp strictly smaller than `ts` (used to place the VTNC

@@ -10,11 +10,12 @@ constexpr uint32_t kCheckpointMagic = 0x45535243u;  // "ESRC"
 /// v2 added the sequencer durable floor (seq_next, seq_epoch). v3 added
 /// the per-shard delivery watermarks of partial replication. v4 added the
 /// per-shard sequencer floors (shard, seq_next, seq_epoch) for sites that
-/// host shard order servers. Older blobs still decode — the added fields
-/// stay 0/empty (an empty shard-watermark map keeps every sharded WAL
-/// record, and an absent shard floor falls back to the peer probe, both
-/// of which are safe).
-constexpr uint32_t kCheckpointVersion = 4;
+/// host shard order servers. v5 added the version-GC floor. Older blobs
+/// still decode — the added fields stay 0/empty (an empty shard-watermark
+/// map keeps every sharded WAL record, an absent shard floor falls back to
+/// the peer probe, and a zero GC floor just defers re-pruning to the next
+/// VTNC advance, all of which are safe).
+constexpr uint32_t kCheckpointVersion = 5;
 
 }  // namespace
 
@@ -52,6 +53,7 @@ std::string EncodeCheckpoint(const CheckpointData& data) {
     enc.Ts(ts);
     enc.Val(value);
   }
+  enc.Ts(data.version_gc_floor);
   enc.U32(static_cast<uint32_t>(data.mset_log.size()));
   for (const store::MsetLog::RecordSnapshot& record : data.mset_log) {
     enc.I64(record.mset_id);
@@ -120,6 +122,7 @@ bool DecodeCheckpoint(std::string_view bytes, CheckpointData* out) {
     Value value = dec.Val();
     data.versions.emplace_back(object, ts, std::move(value));
   }
+  if (version >= 5) data.version_gc_floor = dec.Ts();
   n = dec.U32();
   for (uint32_t i = 0; i < n && dec.ok(); ++i) {
     store::MsetLog::RecordSnapshot record;

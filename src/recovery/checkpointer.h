@@ -60,6 +60,10 @@ struct CheckpointData {
   std::vector<std::tuple<ObjectId, Value, LamportTimestamp>> store_entries;
   /// Multi-version store image: (object, timestamp, value).
   std::vector<std::tuple<ObjectId, LamportTimestamp, Value>> versions;
+  /// Highest watermark version GC had pruned below at snapshot time (zero
+  /// when GC is off / never ran). Restore re-seeds the store's floor so a
+  /// recovering site re-prunes versions the WAL replay resurrects.
+  LamportTimestamp version_gc_floor;
   /// COMPE compensation log (records still at risk of rollback).
   std::vector<store::MsetLog::RecordSnapshot> mset_log;
   std::string method_blob;

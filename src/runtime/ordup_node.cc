@@ -42,6 +42,7 @@ OrdupNode::OrdupNode(OrdupNodeConfig config, Transport* transport,
       clock_(clock),
       wal_(wal),
       metrics_(metrics),
+      store_(store::MvStoreOptions{.partitions = config.store_partitions}),
       seq_home_(config.sequencer_site) {
   // Seed both id counters from the incarnation: ET ids and request ids must
   // never collide with a previous life of this site (the server dedups

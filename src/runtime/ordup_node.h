@@ -15,7 +15,7 @@
 #include "obs/metric_registry.h"
 #include "recovery/wal.h"
 #include "runtime/interfaces.h"
-#include "store/object_store.h"
+#include "store/mv_store.h"
 
 namespace esr::runtime {
 
@@ -51,6 +51,11 @@ struct OrdupNodeConfig {
   /// sites for the MSet; admit it if anyone holds it, else fill the hole
   /// with a no-op). Must stay below ~2^52 so ET ids fit int64.
   int64_t incarnation = 0;
+  /// Hash partitions of the node's MvStore. The strand serializes all
+  /// writes, but partitioning lets future off-strand readers (metrics
+  /// scrapers, read-only RPCs) take per-partition shared locks instead of
+  /// racing the applier; the default matches a small worker pool.
+  int store_partitions = 8;
 };
 
 /// One ORDUP site as a binding-agnostic protocol core: the paper's
@@ -95,8 +100,11 @@ class OrdupNode {
   EtId SubmitUpdate(std::vector<store::Operation> ops,
                     std::function<void()> on_stable = nullptr);
 
-  /// --- Introspection (strand-confined, like everything else) -------------
-  const store::ObjectStore& store() const { return store_; }
+  /// --- Introspection ------------------------------------------------------
+  /// The store itself is internally synchronized (striped per-partition
+  /// locks), so point reads and digests may run off-strand — e.g. from an
+  /// exporter thread — while the strand applies MSets.
+  const store::MvStore& store() const { return store_; }
   SequenceNumber applied_watermark() const { return applied_watermark_; }
   int64_t applied_count() const { return applied_count_; }
   int64_t submitted_count() const { return submitted_count_; }
@@ -172,7 +180,7 @@ class OrdupNode {
   recovery::Wal* wal_;
   obs::MetricRegistry* metrics_;
 
-  store::ObjectStore store_;
+  store::MvStore store_;
   int64_t lamport_ = 0;
   int64_t submit_counter_ = 0;
 

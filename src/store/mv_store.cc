@@ -1,0 +1,399 @@
+#include "store/mv_store.h"
+
+#include <algorithm>
+#include <string>
+
+namespace esr::store {
+
+namespace {
+
+int RoundUpPow2(int n) {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+MvStore::MvStore(MvStoreOptions options)
+    : partitions_(static_cast<size_t>(
+          RoundUpPow2(std::clamp(options.partitions, 1, 4096)))) {
+  partition_mask_ = partitions_.size() - 1;
+  if (options.hot_cache_slots > 0) {
+    const int per_partition = RoundUpPow2(std::max(
+        1, options.hot_cache_slots / static_cast<int>(partitions_.size())));
+    for (StorePartition& p : partitions_) {
+      p.hot.assign(static_cast<size_t>(per_partition), HotSlot{});
+    }
+  }
+}
+
+void MvStore::RefreshHot(StorePartition& p, ObjectId object,
+                         const ObjectSlot& slot) {
+  if (p.hot.empty()) return;
+  HotSlot& h = p.hot[HotIndex(object, p)];
+  if (slot.versions.empty()) {
+    // Chain gone: invalidate only if this slot actually cached `object`
+    // (a colliding object may own the slot).
+    if (h.id == object) h.id = kInvalidObjectId;
+    return;
+  }
+  const auto& [ts, value] = *slot.versions.rbegin();
+  h.id = object;
+  h.latest = Version{ts, value};
+}
+
+void MvStore::AppendVersion(ObjectId object, LamportTimestamp timestamp,
+                            Value value) {
+  StorePartition& p = partitions_[PartitionIndex(object)];
+  std::unique_lock<std::shared_mutex> lock(p.mu);
+  ObjectSlot& slot = p.slots[object];
+  auto [it, inserted] = slot.versions.insert_or_assign(timestamp,
+                                                       std::move(value));
+  (void)it;
+  if (inserted) ++p.version_count;
+  p.max_timestamp = std::max(p.max_timestamp, timestamp);
+  RefreshHot(p, object, slot);
+}
+
+Status MvStore::RemoveVersion(ObjectId object, LamportTimestamp timestamp) {
+  StorePartition& p = partitions_[PartitionIndex(object)];
+  std::unique_lock<std::shared_mutex> lock(p.mu);
+  auto it = p.slots.find(object);
+  if (it == p.slots.end() || it->second.versions.empty()) {
+    return Status::NotFound("object has no versions");
+  }
+  ObjectSlot& slot = it->second;
+  if (slot.versions.erase(timestamp) == 0) {
+    return Status::NotFound("no version at timestamp " + ToString(timestamp));
+  }
+  --p.version_count;
+  RefreshHot(p, object, slot);
+  if (slot.versions.empty() && !slot.has_current) p.slots.erase(it);
+  if (timestamp == p.max_timestamp) {
+    // The removed version carried this partition's maximum (COMPE's
+    // remove-version compensation deletes the newest version it just
+    // added); recompute so MaxTimestamp() never reports a phantom
+    // timestamp — same invariant as VersionStore::RemoveVersion.
+    p.max_timestamp = kZeroTimestamp;
+    for (const auto& [id, s] : p.slots) {
+      if (!s.versions.empty()) {
+        p.max_timestamp = std::max(p.max_timestamp, s.versions.rbegin()->first);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::optional<Version> MvStore::ReadLatest(ObjectId object) const {
+  const StorePartition& p = partitions_[PartitionIndex(object)];
+  std::shared_lock<std::shared_mutex> lock(p.mu);
+  if (!p.hot.empty()) {
+    const HotSlot& h = p.hot[HotIndex(object, p)];
+    if (h.id == object) {
+      hot_hits_.fetch_add(1, std::memory_order_relaxed);
+      return h.latest;
+    }
+    hot_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto it = p.slots.find(object);
+  if (it == p.slots.end() || it->second.versions.empty()) return std::nullopt;
+  const auto& [ts, value] = *it->second.versions.rbegin();
+  return Version{ts, value};
+}
+
+std::optional<Version> MvStore::ReadAtOrBefore(ObjectId object,
+                                               LamportTimestamp at) const {
+  const StorePartition& p = partitions_[PartitionIndex(object)];
+  std::shared_lock<std::shared_mutex> lock(p.mu);
+  if (!p.hot.empty()) {
+    // The cached version is the chain's newest overall; if it is <= `at`
+    // it is also the newest at-or-before `at`.
+    const HotSlot& h = p.hot[HotIndex(object, p)];
+    if (h.id == object && h.latest.timestamp <= at) {
+      hot_hits_.fetch_add(1, std::memory_order_relaxed);
+      return h.latest;
+    }
+  }
+  auto it = p.slots.find(object);
+  if (it == p.slots.end() || it->second.versions.empty()) return std::nullopt;
+  const auto& versions = it->second.versions;
+  auto vit = versions.upper_bound(at);
+  if (vit == versions.begin()) return std::nullopt;
+  --vit;
+  return Version{vit->first, vit->second};
+}
+
+int64_t MvStore::VersionCount(ObjectId object) const {
+  const StorePartition& p = partitions_[PartitionIndex(object)];
+  std::shared_lock<std::shared_mutex> lock(p.mu);
+  auto it = p.slots.find(object);
+  if (it == p.slots.end()) return 0;
+  return static_cast<int64_t>(it->second.versions.size());
+}
+
+LamportTimestamp MvStore::MaxTimestamp() const {
+  LamportTimestamp max = kZeroTimestamp;
+  for (const StorePartition& p : partitions_) {
+    std::shared_lock<std::shared_mutex> lock(p.mu);
+    max = std::max(max, p.max_timestamp);
+  }
+  return max;
+}
+
+Status MvStore::Apply(const Operation& op) {
+  if (!op.IsUpdate()) {
+    return Status::InvalidArgument("cannot apply a read operation");
+  }
+  StorePartition& p = partitions_[PartitionIndex(op.object)];
+  std::unique_lock<std::shared_mutex> lock(p.mu);
+  // Materialize before the Thomas check, mirroring ObjectStore::Apply
+  // (an ignored stale write still creates the entry).
+  ObjectSlot& slot = p.slots[op.object];
+  slot.has_current = true;
+  if (op.kind == OpKind::kTimestampedWrite) {
+    // Thomas write rule: ignore writes older than the latest applied one.
+    if (op.timestamp < slot.write_timestamp) return Status::Ok();
+    slot.write_timestamp = op.timestamp;
+    slot.current = op.value;
+    return Status::Ok();
+  }
+  return op.ApplyTo(slot.current);
+}
+
+Status MvStore::ApplyAll(const std::vector<Operation>& ops) {
+  for (const Operation& op : ops) {
+    if (!op.IsUpdate()) continue;
+    ESR_RETURN_IF_ERROR(Apply(op));
+  }
+  return Status::Ok();
+}
+
+Value MvStore::Read(ObjectId object) const {
+  const StorePartition& p = partitions_[PartitionIndex(object)];
+  std::shared_lock<std::shared_mutex> lock(p.mu);
+  auto it = p.slots.find(object);
+  if (it == p.slots.end()) return Value();
+  return it->second.current;
+}
+
+void MvStore::Restore(ObjectId object, Value value) {
+  StorePartition& p = partitions_[PartitionIndex(object)];
+  std::unique_lock<std::shared_mutex> lock(p.mu);
+  ObjectSlot& slot = p.slots[object];
+  slot.has_current = true;
+  slot.current = std::move(value);
+}
+
+LamportTimestamp MvStore::WriteTimestamp(ObjectId object) const {
+  const StorePartition& p = partitions_[PartitionIndex(object)];
+  std::shared_lock<std::shared_mutex> lock(p.mu);
+  auto it = p.slots.find(object);
+  if (it == p.slots.end()) return kZeroTimestamp;
+  return it->second.write_timestamp;
+}
+
+int64_t MvStore::ObjectCount() const {
+  int64_t count = 0;
+  for (const StorePartition& p : partitions_) {
+    std::shared_lock<std::shared_mutex> lock(p.mu);
+    for (const auto& [id, slot] : p.slots) {
+      if (slot.has_current) ++count;
+    }
+  }
+  return count;
+}
+
+void MvStore::RestoreEntry(ObjectId object, Value value,
+                           LamportTimestamp write_timestamp) {
+  StorePartition& p = partitions_[PartitionIndex(object)];
+  std::unique_lock<std::shared_mutex> lock(p.mu);
+  ObjectSlot& slot = p.slots[object];
+  slot.has_current = true;
+  slot.current = std::move(value);
+  slot.write_timestamp = write_timestamp;
+}
+
+int64_t MvStore::GcBelow(LamportTimestamp watermark) {
+  int64_t pruned = 0;
+  for (StorePartition& p : partitions_) {
+    std::unique_lock<std::shared_mutex> lock(p.mu);
+    for (auto& [id, slot] : p.slots) {
+      if (slot.versions.size() <= 1) continue;
+      // First version strictly above the watermark; the one before it (if
+      // any) is the newest at-or-below version and must survive so
+      // ReadAtOrBefore(watermark) stays servable.
+      auto keep = slot.versions.upper_bound(watermark);
+      if (keep == slot.versions.begin()) continue;
+      --keep;
+      const auto n = std::distance(slot.versions.begin(), keep);
+      if (n == 0) continue;
+      slot.versions.erase(slot.versions.begin(), keep);
+      pruned += static_cast<int64_t>(n);
+      p.version_count -= static_cast<int64_t>(n);
+      // Hot cache untouched: GC never removes a chain's newest version.
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(floor_mu_);
+    gc_floor_ = std::max(gc_floor_, watermark);
+  }
+  gc_pruned_total_.fetch_add(pruned, std::memory_order_relaxed);
+  return pruned;
+}
+
+LamportTimestamp MvStore::gc_floor() const {
+  std::lock_guard<std::mutex> lock(floor_mu_);
+  return gc_floor_;
+}
+
+void MvStore::SetGcFloor(LamportTimestamp floor) {
+  std::lock_guard<std::mutex> lock(floor_mu_);
+  gc_floor_ = std::max(gc_floor_, floor);
+}
+
+uint64_t MvStore::StateDigest() const {
+  std::vector<ObjectId> ids = ObjectIds();
+  uint64_t h = 1469598103934665603ULL;
+  // Same rendering and 0x1f field separators as VersionStore::StateDigest
+  // and ObjectStore::StateDigest, so a single-role MvStore digests
+  // byte-identically to the legacy store it replaces (sim binding pins
+  // these values).
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    h ^= 0x1f;
+    h *= 1099511628211ULL;
+  };
+  for (ObjectId id : ids) {
+    const StorePartition& p = partitions_[PartitionIndex(id)];
+    std::shared_lock<std::shared_mutex> lock(p.mu);
+    auto it = p.slots.find(id);
+    if (it == p.slots.end()) continue;  // concurrently removed
+    const ObjectSlot& slot = it->second;
+    mix(std::to_string(id));
+    for (const auto& [ts, value] : slot.versions) {
+      mix(ToString(ts));
+      mix(value.ToString());
+    }
+    if (slot.has_current) mix(slot.current.ToString());
+  }
+  return h;
+}
+
+uint64_t MvStore::LatestDigest() const {
+  std::vector<ObjectId> ids = ObjectIds();
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    h ^= 0x1f;
+    h *= 1099511628211ULL;
+  };
+  for (ObjectId id : ids) {
+    const StorePartition& p = partitions_[PartitionIndex(id)];
+    std::shared_lock<std::shared_mutex> lock(p.mu);
+    auto it = p.slots.find(id);
+    if (it == p.slots.end()) continue;
+    const ObjectSlot& slot = it->second;
+    mix(std::to_string(id));
+    if (!slot.versions.empty()) {
+      const auto& [ts, value] = *slot.versions.rbegin();
+      mix(ToString(ts));
+      mix(value.ToString());
+    }
+    if (slot.has_current) mix(slot.current.ToString());
+  }
+  return h;
+}
+
+std::vector<ObjectId> MvStore::ObjectIds() const {
+  std::vector<ObjectId> ids;
+  for (const StorePartition& p : partitions_) {
+    std::shared_lock<std::shared_mutex> lock(p.mu);
+    for (const auto& [id, slot] : p.slots) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<std::tuple<ObjectId, LamportTimestamp, Value>>
+MvStore::SnapshotVersions() const {
+  std::vector<std::tuple<ObjectId, LamportTimestamp, Value>> out;
+  for (const StorePartition& p : partitions_) {
+    std::shared_lock<std::shared_mutex> lock(p.mu);
+    for (const auto& [id, slot] : p.slots) {
+      for (const auto& [ts, value] : slot.versions) {
+        out.emplace_back(id, ts, value);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              if (std::get<0>(a) != std::get<0>(b)) {
+                return std::get<0>(a) < std::get<0>(b);
+              }
+              return std::get<1>(a) < std::get<1>(b);
+            });
+  return out;
+}
+
+std::vector<std::tuple<ObjectId, Value, LamportTimestamp>>
+MvStore::SnapshotEntries() const {
+  std::vector<std::tuple<ObjectId, Value, LamportTimestamp>> out;
+  for (const StorePartition& p : partitions_) {
+    std::shared_lock<std::shared_mutex> lock(p.mu);
+    for (const auto& [id, slot] : p.slots) {
+      if (!slot.has_current) continue;
+      out.emplace_back(id, slot.current, slot.write_timestamp);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return std::get<0>(a) < std::get<0>(b);
+  });
+  return out;
+}
+
+int64_t MvStore::TotalVersionCount() const {
+  int64_t total = 0;
+  for (const StorePartition& p : partitions_) {
+    std::shared_lock<std::shared_mutex> lock(p.mu);
+    total += p.version_count;
+  }
+  return total;
+}
+
+int64_t MvStore::MaxChainLength() const {
+  int64_t max_len = 0;
+  for (const StorePartition& p : partitions_) {
+    std::shared_lock<std::shared_mutex> lock(p.mu);
+    for (const auto& [id, slot] : p.slots) {
+      max_len = std::max(max_len,
+                         static_cast<int64_t>(slot.versions.size()));
+    }
+  }
+  return max_len;
+}
+
+void MvStore::Clear() {
+  for (StorePartition& p : partitions_) {
+    std::unique_lock<std::shared_mutex> lock(p.mu);
+    p.slots.clear();
+    p.max_timestamp = kZeroTimestamp;
+    p.version_count = 0;
+    std::fill(p.hot.begin(), p.hot.end(), HotSlot{});
+  }
+  {
+    std::lock_guard<std::mutex> lock(floor_mu_);
+    gc_floor_ = kZeroTimestamp;
+  }
+  gc_pruned_total_.store(0, std::memory_order_relaxed);
+  hot_hits_.store(0, std::memory_order_relaxed);
+  hot_misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace esr::store

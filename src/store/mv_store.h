@@ -1,0 +1,243 @@
+#ifndef ESR_STORE_MV_STORE_H_
+#define ESR_STORE_MV_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <tuple>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "store/operation.h"
+#include "store/store_partition.h"
+
+namespace esr::store {
+
+/// Tuning knobs of the concurrent store. The defaults reproduce the legacy
+/// single-threaded stores exactly: one partition (legacy iteration order)
+/// and no hot-key cache.
+struct MvStoreOptions {
+  /// Number of hash partitions; rounded up to a power of two and clamped
+  /// to [1, 4096]. One partition serializes all writers (still safe, just
+  /// unscaled); the real runtime wants >= the worker thread count.
+  int partitions = 1;
+  /// Total hot-key cache slots across all partitions (direct-mapped;
+  /// rounded up to a power of two per partition). 0 disables the cache.
+  int hot_cache_slots = 0;
+};
+
+/// Concurrent, partitioned multi-version object store — the storage layer
+/// behind every replica control method once the runtime seam lets readers
+/// run off-strand.
+///
+/// The object space is hashed over N power-of-two partitions, each guarded
+/// by its own shared_mutex (striped locking): point reads take the shared
+/// side and never block each other, writers contend only within their
+/// partition, and scans (digests, snapshots, divergence gauges) proceed
+/// partition-at-a-time without any global lock. One MvStore serves both
+/// store roles of the legacy layer:
+///
+///  * VersionStore role (RITU-MV): AppendVersion / RemoveVersion /
+///    ReadLatest / ReadAtOrBefore over timestamp-ordered immutable version
+///    chains, with the VTNC visibility rule implemented by the caller.
+///  * ObjectStore role (ORDUP / COMMU / COMPE / RITU-SV): Apply / Read /
+///    Restore over a single current value per object, with the Thomas
+///    write rule for timestamped writes.
+///
+/// *Version GC.* GcBelow(watermark) prunes versions strictly below the
+/// given stability watermark but always keeps the newest version at or
+/// below it, so ReadAtOrBefore(watermark) — and any pin at or above the
+/// watermark — remains servable after pruning. Safety argument: the VTNC
+/// only advances past timestamps no future update can carry, and callers
+/// clamp the watermark to the oldest live query pin, so no reachable
+/// snapshot read can need a pruned version (DESIGN.md §15).
+///
+/// *Hot-key cache.* An optional direct-mapped per-partition cache of the
+/// newest version of recently-written objects. Coherence rule: the cache
+/// is only ever written under the partition's exclusive lock — updated
+/// write-through on AppendVersion, refreshed or invalidated on
+/// RemoveVersion — and probed under the shared lock, so a hit is always
+/// the chain's true newest version. GC never removes a chain's newest
+/// version, so it never touches the cache.
+///
+/// *Determinism.* All digests and snapshots are computed over globally
+/// sorted object ids (and timestamp-sorted chains), so their results are
+/// independent of the partition count and byte-identical to the legacy
+/// stores' — the sim binding keeps its digests regardless of partitioning.
+///
+/// Thread safety: every method is safe to call concurrently. Scans are
+/// partition-at-a-time and therefore *fuzzy* under concurrent writers
+/// (they see each partition at a possibly different instant); quiescent
+/// scans are exact. StateDigest() matches VersionStore::StateDigest() /
+/// ObjectStore::StateDigest() byte-for-byte on equivalent contents.
+class MvStore {
+ public:
+  explicit MvStore(MvStoreOptions options = {});
+
+  MvStore(const MvStore&) = delete;
+  MvStore& operator=(const MvStore&) = delete;
+
+  /// --- Multi-version role (VersionStore-compatible) -----------------------
+
+  /// Appends a version. Appending an identical (timestamp, value) pair is
+  /// idempotent; a different value at an existing timestamp replaces it
+  /// (COMPE's same-timestamp compensation).
+  void AppendVersion(ObjectId object, LamportTimestamp timestamp, Value value);
+
+  /// Removes the version at `timestamp` exactly. Returns NotFound if
+  /// absent. Recomputes the partition's max timestamp when the removed
+  /// version carried it (the VersionStore::MaxTimestamp invariant).
+  Status RemoveVersion(ObjectId object, LamportTimestamp timestamp);
+
+  /// Latest version by timestamp; nullopt when the object has none.
+  std::optional<Version> ReadLatest(ObjectId object) const;
+
+  /// Latest version with timestamp <= `at`; nullopt if none exists.
+  std::optional<Version> ReadAtOrBefore(ObjectId object,
+                                        LamportTimestamp at) const;
+
+  /// Number of versions stored for `object`.
+  int64_t VersionCount(ObjectId object) const;
+
+  /// Timestamp of the newest version across all objects (zero when empty).
+  LamportTimestamp MaxTimestamp() const;
+
+  /// --- Single-version role (ObjectStore-compatible) -----------------------
+
+  /// Applies one update operation (Thomas write rule for timestamped
+  /// writes; see ObjectStore::Apply).
+  Status Apply(const Operation& op);
+
+  /// Applies every update in `ops` (reads skipped); stops at first failure.
+  Status ApplyAll(const std::vector<Operation>& ops);
+
+  /// Current value (default-initialized if never written).
+  Value Read(ObjectId object) const;
+
+  /// Overwrites an object's value directly (compensation rollback).
+  void Restore(ObjectId object, Value value);
+
+  /// Timestamp of the latest applied timestamped write (zero if none).
+  LamportTimestamp WriteTimestamp(ObjectId object) const;
+
+  /// Number of objects materialized by the single-version role.
+  int64_t ObjectCount() const;
+
+  /// Restores one checkpointed single-version entry with its Thomas-rule
+  /// write timestamp.
+  void RestoreEntry(ObjectId object, Value value,
+                    LamportTimestamp write_timestamp);
+
+  /// --- Version GC ---------------------------------------------------------
+
+  /// Prunes versions strictly below `watermark`, always keeping each
+  /// chain's newest version at or below it (so ReadAtOrBefore(watermark)
+  /// stays servable). Returns the number of versions pruned. Never touches
+  /// single-version entries. The floor is remembered (gc_floor()) and
+  /// checkpointed so a recovering site re-bounds replayed chains.
+  int64_t GcBelow(LamportTimestamp watermark);
+
+  /// Highest watermark GC has run at (zero if never).
+  LamportTimestamp gc_floor() const;
+
+  /// Restore path: re-seeds the remembered floor without pruning.
+  void SetGcFloor(LamportTimestamp floor);
+
+  /// Total versions pruned over this store's lifetime.
+  int64_t gc_pruned_total() const {
+    return gc_pruned_total_.load(std::memory_order_relaxed);
+  }
+
+  /// --- Scans, digests, snapshots (partition-at-a-time, sorted output) -----
+
+  /// Deterministic digest over the full contents: per sorted object id,
+  /// every (timestamp, value) version pair then the current value if the
+  /// single-version role materialized the object. Byte-identical to
+  /// VersionStore::StateDigest() (multi-version contents) and
+  /// ObjectStore::StateDigest() (single-version contents).
+  uint64_t StateDigest() const;
+
+  /// Digest over each object's *newest* version only. Invariant under
+  /// GcBelow (GC never removes a chain's newest version) — the convergence
+  /// check to use when version GC is enabled, since sites prune at
+  /// independently-advancing VTNCs.
+  uint64_t LatestDigest() const;
+
+  /// All object ids with at least one version or a materialized current
+  /// value, sorted.
+  std::vector<ObjectId> ObjectIds() const;
+
+  /// The multi-version checkpoint image: (object, timestamp, value)
+  /// triples sorted by object then timestamp. Iterates partitions, then
+  /// sorts globally (deterministic for any partition count).
+  std::vector<std::tuple<ObjectId, LamportTimestamp, Value>> SnapshotVersions()
+      const;
+
+  /// The single-version checkpoint image: sorted (object, value,
+  /// write_timestamp) triples over materialized objects.
+  std::vector<std::tuple<ObjectId, Value, LamportTimestamp>> SnapshotEntries()
+      const;
+
+  /// Visits every object partition-at-a-time under that partition's shared
+  /// lock: fn(ObjectId, const ObjectSlot&). Iteration order is unspecified
+  /// (per-partition hash order); use the sorted accessors for determinism.
+  /// `fn` must not call back into this store (lock is held).
+  template <typename Fn>
+  void VisitObjects(Fn&& fn) const {
+    for (const StorePartition& p : partitions_) {
+      std::shared_lock<std::shared_mutex> lock(p.mu);
+      for (const auto& [id, slot] : p.slots) fn(id, slot);
+    }
+  }
+
+  /// --- Introspection ------------------------------------------------------
+
+  int partition_count() const { return static_cast<int>(partitions_.size()); }
+  int64_t hot_hits() const { return hot_hits_.load(std::memory_order_relaxed); }
+  int64_t hot_misses() const {
+    return hot_misses_.load(std::memory_order_relaxed);
+  }
+  /// Total versions across all chains.
+  int64_t TotalVersionCount() const;
+  /// Length of the longest version chain (O(objects) scan).
+  int64_t MaxChainLength() const;
+
+  /// Drops all contents and statistics; partitioning/cache shape is kept.
+  /// (The amnesia-restart reset — MvStore is not assignable.)
+  void Clear();
+
+ private:
+  size_t PartitionIndex(ObjectId object) const {
+    // Multiplicative (Fibonacci) hash: dense ids spread evenly, strided
+    // ids don't alias partitions.
+    const uint64_t mixed =
+        static_cast<uint64_t>(object) * 0x9E3779B97F4A7C15ULL;
+    return static_cast<size_t>((mixed >> 33) & partition_mask_);
+  }
+  size_t HotIndex(ObjectId object, const StorePartition& p) const {
+    const uint64_t mixed =
+        static_cast<uint64_t>(object) * 0x9E3779B97F4A7C15ULL;
+    return static_cast<size_t>((mixed >> 7) & (p.hot.size() - 1));
+  }
+  /// Refreshes (or invalidates) the hot-cache slot for `object` from its
+  /// chain. Caller holds the partition's exclusive lock.
+  void RefreshHot(StorePartition& p, ObjectId object, const ObjectSlot& slot);
+
+  std::vector<StorePartition> partitions_;
+  uint64_t partition_mask_ = 0;
+
+  mutable std::mutex floor_mu_;
+  LamportTimestamp gc_floor_;  // guarded by floor_mu_
+
+  std::atomic<int64_t> gc_pruned_total_{0};
+  mutable std::atomic<int64_t> hot_hits_{0};
+  mutable std::atomic<int64_t> hot_misses_{0};
+};
+
+}  // namespace esr::store
+
+#endif  // ESR_STORE_MV_STORE_H_

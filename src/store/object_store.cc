@@ -49,6 +49,9 @@ LamportTimestamp ObjectStore::WriteTimestamp(ObjectId object) const {
 
 uint64_t ObjectStore::StateDigest() const {
   // Order-independent over objects (sorted), FNV-1a over the rendering.
+  // Each field is terminated with a 0x1f unit separator: without it,
+  // distinct states like (id=1, value=23) and (id=12, value=3) render to
+  // the same byte stream and collide.
   std::vector<ObjectId> ids = ObjectIds();
   uint64_t h = 1469598103934665603ULL;
   auto mix = [&h](const std::string& s) {
@@ -56,6 +59,8 @@ uint64_t ObjectStore::StateDigest() const {
       h ^= c;
       h *= 1099511628211ULL;
     }
+    h ^= 0x1f;
+    h *= 1099511628211ULL;
   };
   for (ObjectId id : ids) {
     mix(std::to_string(id));

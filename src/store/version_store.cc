@@ -20,6 +20,20 @@ Status VersionStore::RemoveVersion(ObjectId object,
   if (it->second.erase(timestamp) == 0) {
     return Status::NotFound("no version at timestamp " + ToString(timestamp));
   }
+  if (it->second.empty()) objects_.erase(it);
+  if (timestamp == max_timestamp_) {
+    // The removed version carried the store-wide maximum (COMPE's
+    // remove-version compensation deletes the newest version it just
+    // added); recompute so MaxTimestamp() never reports a timestamp no
+    // version carries — stability tracking would otherwise advance the
+    // VTNC against a phantom version.
+    max_timestamp_ = kZeroTimestamp;
+    for (const auto& [id, versions] : objects_) {
+      if (!versions.empty()) {
+        max_timestamp_ = std::max(max_timestamp_, versions.rbegin()->first);
+      }
+    }
+  }
   return Status::Ok();
 }
 
@@ -53,11 +67,16 @@ uint64_t VersionStore::StateDigest() const {
   for (const auto& [id, _] : objects_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
   uint64_t h = 1469598103934665603ULL;
+  // Each field is terminated with a 0x1f unit separator (a byte no decimal
+  // rendering contains): without it, distinct states like (id=1, ts="23.0")
+  // and (id=12, ts="3.0") render to the same byte stream and collide.
   auto mix = [&h](const std::string& s) {
     for (unsigned char c : s) {
       h ^= c;
       h *= 1099511628211ULL;
     }
+    h ^= 0x1f;
+    h *= 1099511628211ULL;
   };
   for (ObjectId id : ids) {
     mix(std::to_string(id));

@@ -1,0 +1,274 @@
+#include "store/mv_store.h"
+
+#include <gtest/gtest.h>
+
+#include "store/object_store.h"
+#include "store/version_store.h"
+
+namespace esr::store {
+namespace {
+
+LamportTimestamp Ts(int64_t counter, SiteId site = 0) {
+  return LamportTimestamp{counter, site};
+}
+
+// --- Multi-version role parity with VersionStore ---------------------------
+
+TEST(MvStoreTest, AppendAndReadLatest) {
+  MvStore store;
+  store.AppendVersion(1, Ts(5), Value(int64_t{50}));
+  store.AppendVersion(1, Ts(3), Value(int64_t{30}));
+  auto latest = store.ReadLatest(1);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->timestamp, Ts(5));
+  EXPECT_EQ(latest->value.AsInt(), 50);
+  EXPECT_FALSE(store.ReadLatest(2).has_value());
+}
+
+TEST(MvStoreTest, ReadAtOrBeforeWalksTheChain) {
+  MvStore store(MvStoreOptions{.partitions = 4});
+  store.AppendVersion(7, Ts(2), Value(int64_t{2}));
+  store.AppendVersion(7, Ts(4), Value(int64_t{4}));
+  store.AppendVersion(7, Ts(9), Value(int64_t{9}));
+  EXPECT_FALSE(store.ReadAtOrBefore(7, Ts(1)).has_value());
+  EXPECT_EQ(store.ReadAtOrBefore(7, Ts(2))->value.AsInt(), 2);
+  EXPECT_EQ(store.ReadAtOrBefore(7, Ts(5))->value.AsInt(), 4);
+  EXPECT_EQ(store.ReadAtOrBefore(7, Ts(100))->value.AsInt(), 9);
+}
+
+TEST(MvStoreTest, DigestMatchesVersionStoreByteForByte) {
+  // The sim binding pins RITU-MV determinism digests; the concurrent store
+  // must reproduce VersionStore's digest exactly, at any partition count.
+  VersionStore legacy;
+  legacy.AppendVersion(3, Ts(1, 2), Value(int64_t{10}));
+  legacy.AppendVersion(3, Ts(4, 0), Value(std::string("x")));
+  legacy.AppendVersion(11, Ts(2, 1), Value(int64_t{-5}));
+  for (int parts : {1, 2, 8, 64}) {
+    MvStore store(MvStoreOptions{.partitions = parts});
+    store.AppendVersion(3, Ts(1, 2), Value(int64_t{10}));
+    store.AppendVersion(3, Ts(4, 0), Value(std::string("x")));
+    store.AppendVersion(11, Ts(2, 1), Value(int64_t{-5}));
+    EXPECT_EQ(store.StateDigest(), legacy.StateDigest()) << parts;
+    EXPECT_EQ(store.ObjectIds(), legacy.ObjectIds()) << parts;
+    EXPECT_EQ(store.SnapshotVersions(), legacy.SnapshotVersions()) << parts;
+  }
+}
+
+TEST(MvStoreTest, DigestMatchesObjectStoreByteForByte) {
+  ObjectStore legacy;
+  ASSERT_TRUE(legacy.Apply(Operation::Increment(1, 23)).ok());
+  ASSERT_TRUE(legacy.Apply(Operation::Append(12, "s")).ok());
+  for (int parts : {1, 8}) {
+    MvStore store(MvStoreOptions{.partitions = parts});
+    ASSERT_TRUE(store.Apply(Operation::Increment(1, 23)).ok());
+    ASSERT_TRUE(store.Apply(Operation::Append(12, "s")).ok());
+    EXPECT_EQ(store.StateDigest(), legacy.StateDigest()) << parts;
+    EXPECT_EQ(store.SnapshotEntries(), legacy.SnapshotEntries()) << parts;
+  }
+}
+
+TEST(MvStoreTest, MaxTimestampRecomputedWhenMaxVersionRemoved) {
+  MvStore store(MvStoreOptions{.partitions = 8});
+  store.AppendVersion(1, Ts(1), Value(int64_t{1}));
+  store.AppendVersion(2, Ts(5), Value(int64_t{5}));
+  store.AppendVersion(3, Ts(9), Value(int64_t{9}));
+  ASSERT_EQ(store.MaxTimestamp(), Ts(9));
+  ASSERT_TRUE(store.RemoveVersion(3, Ts(9)).ok());
+  EXPECT_EQ(store.MaxTimestamp(), Ts(5));
+  ASSERT_TRUE(store.RemoveVersion(2, Ts(5)).ok());
+  EXPECT_EQ(store.MaxTimestamp(), Ts(1));
+  ASSERT_TRUE(store.RemoveVersion(1, Ts(1)).ok());
+  EXPECT_EQ(store.MaxTimestamp(), kZeroTimestamp);
+}
+
+TEST(MvStoreTest, RemoveVersionNotFound) {
+  MvStore store;
+  EXPECT_FALSE(store.RemoveVersion(1, Ts(1)).ok());
+  store.AppendVersion(1, Ts(1), Value(int64_t{1}));
+  EXPECT_FALSE(store.RemoveVersion(1, Ts(2)).ok());
+  EXPECT_TRUE(store.RemoveVersion(1, Ts(1)).ok());
+  EXPECT_TRUE(store.ObjectIds().empty());
+}
+
+// --- Single-version role parity with ObjectStore ---------------------------
+
+TEST(MvStoreTest, ThomasWriteRuleIgnoresStaleWrites) {
+  MvStore store(MvStoreOptions{.partitions = 2});
+  ASSERT_TRUE(
+      store.Apply(Operation::TimestampedWrite(0, Value(int64_t{5}), Ts(10)))
+          .ok());
+  ASSERT_TRUE(
+      store.Apply(Operation::TimestampedWrite(0, Value(int64_t{3}), Ts(5)))
+          .ok());
+  EXPECT_EQ(store.Read(0).AsInt(), 5);
+  EXPECT_EQ(store.WriteTimestamp(0), Ts(10));
+  ASSERT_TRUE(
+      store.Apply(Operation::TimestampedWrite(0, Value(int64_t{7}), Ts(11, 1)))
+          .ok());
+  EXPECT_EQ(store.Read(0).AsInt(), 7);
+}
+
+TEST(MvStoreTest, ApplyRejectsReadAndMaterializesIgnoredWrites) {
+  MvStore store;
+  EXPECT_FALSE(store.Apply(Operation::Read(0)).ok());
+  EXPECT_EQ(store.ObjectCount(), 0);
+  // A Thomas-ignored stale write still materializes the entry, exactly as
+  // ObjectStore::Apply does (entries_[op.object] before the check).
+  ASSERT_TRUE(
+      store.Apply(Operation::TimestampedWrite(1, Value(int64_t{9}), Ts(5)))
+          .ok());
+  ASSERT_TRUE(
+      store.Apply(Operation::TimestampedWrite(2, Value(int64_t{1}), Ts(0)))
+          .ok());
+  EXPECT_EQ(store.ObjectCount(), 2);
+}
+
+TEST(MvStoreTest, RestoreEntryRoundTripsSnapshot) {
+  MvStore a(MvStoreOptions{.partitions = 4});
+  ASSERT_TRUE(a.Apply(Operation::Increment(3, 7)).ok());
+  ASSERT_TRUE(
+      a.Apply(Operation::TimestampedWrite(9, Value(int64_t{2}), Ts(4))).ok());
+  MvStore b;
+  for (const auto& [id, value, ts] : a.SnapshotEntries()) {
+    b.RestoreEntry(id, value, ts);
+  }
+  EXPECT_EQ(a.StateDigest(), b.StateDigest());
+  EXPECT_EQ(b.WriteTimestamp(9), Ts(4));
+}
+
+// --- Version GC -------------------------------------------------------------
+
+TEST(MvStoreTest, GcKeepsNewestVersionAtOrBelowWatermark) {
+  MvStore store(MvStoreOptions{.partitions = 4});
+  for (int64_t c = 1; c <= 10; ++c) {
+    store.AppendVersion(1, Ts(c), Value(c));
+  }
+  // Watermark exactly on a version: that version survives; everything
+  // strictly older goes.
+  EXPECT_EQ(store.GcBelow(Ts(6)), 5);
+  EXPECT_EQ(store.VersionCount(1), 5);
+  ASSERT_TRUE(store.ReadAtOrBefore(1, Ts(6)).has_value());
+  EXPECT_EQ(store.ReadAtOrBefore(1, Ts(6))->value.AsInt(), 6);
+  EXPECT_FALSE(store.ReadAtOrBefore(1, Ts(5)).has_value());
+  EXPECT_EQ(store.gc_floor(), Ts(6));
+}
+
+TEST(MvStoreTest, GcBetweenVersionsKeepsTheOneBelow) {
+  MvStore store;
+  store.AppendVersion(1, Ts(2), Value(int64_t{2}));
+  store.AppendVersion(1, Ts(8), Value(int64_t{8}));
+  // Watermark between versions: Ts(2) is the newest at-or-below version
+  // and must survive so ReadAtOrBefore(watermark) still answers.
+  EXPECT_EQ(store.GcBelow(Ts(5)), 0);
+  EXPECT_EQ(store.ReadAtOrBefore(1, Ts(5))->value.AsInt(), 2);
+}
+
+TEST(MvStoreTest, GcNeverEmptiesAChain) {
+  MvStore store;
+  store.AppendVersion(1, Ts(1), Value(int64_t{1}));
+  EXPECT_EQ(store.GcBelow(Ts(100)), 0);
+  EXPECT_EQ(store.VersionCount(1), 1);
+  ASSERT_TRUE(store.ReadLatest(1).has_value());
+}
+
+TEST(MvStoreTest, GcBoundsChainsUnderSustainedWrites) {
+  MvStore store(MvStoreOptions{.partitions = 8});
+  // Writer advances, GC follows at a lag: chains stay bounded by the lag,
+  // not by the write count.
+  constexpr int64_t kLag = 16;
+  for (int64_t c = 1; c <= 1000; ++c) {
+    store.AppendVersion(c % 5, Ts(c), Value(c));
+    if (c > kLag) store.GcBelow(Ts(c - kLag));
+  }
+  EXPECT_LE(store.MaxChainLength(), kLag + 1);
+  EXPECT_GT(store.gc_pruned_total(), 0);
+  // Digest over latest versions is what convergence checks under GC.
+  EXPECT_NE(store.LatestDigest(), 0u);
+}
+
+TEST(MvStoreTest, LatestDigestInvariantUnderGc) {
+  MvStore pruned(MvStoreOptions{.partitions = 2});
+  MvStore full(MvStoreOptions{.partitions = 16});
+  for (int64_t c = 1; c <= 20; ++c) {
+    pruned.AppendVersion(c % 3, Ts(c), Value(c));
+    full.AppendVersion(c % 3, Ts(c), Value(c));
+  }
+  ASSERT_EQ(pruned.LatestDigest(), full.LatestDigest());
+  pruned.GcBelow(Ts(15));
+  EXPECT_NE(pruned.StateDigest(), full.StateDigest());
+  EXPECT_EQ(pruned.LatestDigest(), full.LatestDigest());
+}
+
+TEST(MvStoreTest, SetGcFloorIsMonotone) {
+  MvStore store;
+  store.SetGcFloor(Ts(5));
+  store.SetGcFloor(Ts(3));
+  EXPECT_EQ(store.gc_floor(), Ts(5));
+}
+
+// --- Hot-key cache ----------------------------------------------------------
+
+TEST(MvStoreTest, HotCacheHitsAfterAppend) {
+  MvStore store(MvStoreOptions{.partitions = 2, .hot_cache_slots = 64});
+  store.AppendVersion(1, Ts(1), Value(int64_t{1}));
+  store.AppendVersion(1, Ts(2), Value(int64_t{2}));
+  auto v = store.ReadLatest(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->timestamp, Ts(2));
+  EXPECT_EQ(v->value.AsInt(), 2);
+  EXPECT_GE(store.hot_hits(), 1);
+}
+
+TEST(MvStoreTest, HotCacheRefreshedOnRemove) {
+  MvStore store(MvStoreOptions{.partitions = 1, .hot_cache_slots = 64});
+  store.AppendVersion(1, Ts(1), Value(int64_t{1}));
+  store.AppendVersion(1, Ts(2), Value(int64_t{2}));
+  // COMPE-style compensation removes the newest version; the cached entry
+  // must fall back to the survivor, never serve the removed version.
+  ASSERT_TRUE(store.RemoveVersion(1, Ts(2)).ok());
+  auto v = store.ReadLatest(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->timestamp, Ts(1));
+  ASSERT_TRUE(store.RemoveVersion(1, Ts(1)).ok());
+  EXPECT_FALSE(store.ReadLatest(1).has_value());
+}
+
+TEST(MvStoreTest, HotCacheServesWatermarkReads) {
+  MvStore store(MvStoreOptions{.partitions = 1, .hot_cache_slots = 8});
+  store.AppendVersion(1, Ts(3), Value(int64_t{3}));
+  // Newest version <= watermark: answerable straight from the cache.
+  const int64_t hits_before = store.hot_hits();
+  auto v = store.ReadAtOrBefore(1, Ts(10));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->timestamp, Ts(3));
+  EXPECT_GT(store.hot_hits(), hits_before);
+  // Watermark below the cached version: falls through to the chain.
+  EXPECT_FALSE(store.ReadAtOrBefore(1, Ts(2)).has_value());
+}
+
+// --- Clear ------------------------------------------------------------------
+
+TEST(MvStoreTest, ClearDropsEverything) {
+  MvStore store(MvStoreOptions{.partitions = 4, .hot_cache_slots = 16});
+  store.AppendVersion(1, Ts(1), Value(int64_t{1}));
+  ASSERT_TRUE(store.Apply(Operation::Increment(2, 5)).ok());
+  store.GcBelow(Ts(1));
+  store.Clear();
+  EXPECT_TRUE(store.ObjectIds().empty());
+  EXPECT_EQ(store.ObjectCount(), 0);
+  EXPECT_EQ(store.TotalVersionCount(), 0);
+  EXPECT_EQ(store.MaxTimestamp(), kZeroTimestamp);
+  EXPECT_EQ(store.gc_floor(), kZeroTimestamp);
+  EXPECT_FALSE(store.ReadLatest(1).has_value());
+  EXPECT_EQ(store.Read(2), Value());
+}
+
+TEST(MvStoreTest, PartitionCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MvStore(MvStoreOptions{.partitions = 1}).partition_count(), 1);
+  EXPECT_EQ(MvStore(MvStoreOptions{.partitions = 3}).partition_count(), 4);
+  EXPECT_EQ(MvStore(MvStoreOptions{.partitions = 8}).partition_count(), 8);
+  EXPECT_EQ(MvStore(MvStoreOptions{.partitions = -2}).partition_count(), 1);
+}
+
+}  // namespace
+}  // namespace esr::store

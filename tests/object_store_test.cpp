@@ -81,6 +81,15 @@ TEST(ObjectStoreTest, DigestDiffersOnDifferentState) {
   EXPECT_NE(a.StateDigest(), b.StateDigest());
 }
 
+TEST(ObjectStoreTest, DigestSeparatesIdAndValueFields) {
+  // (id=1, value=23) and (id=12, value=3) both render to the byte stream
+  // "123" without a field separator — distinct states must not collide.
+  ObjectStore a, b;
+  ASSERT_TRUE(a.Apply(Operation::Write(1, Value(int64_t{23}))).ok());
+  ASSERT_TRUE(b.Apply(Operation::Write(12, Value(int64_t{3}))).ok());
+  EXPECT_NE(a.StateDigest(), b.StateDigest());
+}
+
 TEST(ObjectStoreTest, DigestEqualForEqualState) {
   ObjectStore a, b;
   ASSERT_TRUE(a.Apply(Operation::Increment(3, 7)).ok());

@@ -180,6 +180,59 @@ TEST(RituTest, BudgetSpentThenSnapshotForRemainder) {
   ASSERT_TRUE(system.EndQuery(q).ok());
 }
 
+TEST(RituTest, VersionGcPrunesChainsAndStillConverges) {
+  auto config = Config(Method::kRituMulti);
+  config.version_gc = true;
+  config.store_partitions = 4;
+  ReplicatedSystem system(config);
+  // Many updates to the same object: with GC on, every VTNC advance prunes
+  // the chain below the watermark, so once quiescent each site keeps only
+  // the newest at-or-below-VTNC version (plus anything above it).
+  for (int i = 0; i < 30; ++i) {
+    MustSubmit(system, i % 3, {Tsw(0, 100 + i)});
+    if (i % 5 == 4) system.RunUntilQuiescent();
+  }
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+  EXPECT_GT(system.counters().Get("esr.versions_gc_pruned"), 0)
+      << "sustained same-object writes must trigger stability-driven GC";
+  for (SiteId s = 0; s < 3; ++s) {
+    EXPECT_LE(system.site_versions(s).VersionCount(0), 2)
+        << "site " << s << ": chain stays bounded once the VTNC passes";
+    // The latest value survives pruning.
+    auto latest = system.site_versions(s).ReadLatest(0);
+    ASSERT_TRUE(latest.has_value());
+    EXPECT_EQ(latest->value.AsInt(), 129);
+  }
+}
+
+TEST(RituTest, VersionGcKeepsPinnedSnapshotReadable) {
+  auto config = Config(Method::kRituMulti);
+  config.version_gc = true;
+  ReplicatedSystem system(config);
+  MustSubmit(system, 0, {Tsw(0, 1)});
+  system.RunUntilQuiescent();
+  const EtId q = system.BeginQuery(1, /*epsilon=*/0);
+  Result<Value> first = system.TryRead(q, 0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->AsInt(), 1);
+  // A burst of updates stabilizes mid-query; GC runs on each VTNC advance
+  // but must clamp its floor to this query's pin.
+  for (int i = 0; i < 10; ++i) {
+    MustSubmit(system, 0, {Tsw(0, 50 + i)});
+    system.RunUntilQuiescent();
+  }
+  Result<Value> again = system.TryRead(q, 0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->AsInt(), 1)
+      << "GC must not prune the version a live pinned query still needs";
+  ASSERT_TRUE(system.EndQuery(q).ok());
+  // With the pin released, the next quiescent GC pass may prune freely.
+  MustSubmit(system, 0, {Tsw(0, 99)});
+  system.RunUntilQuiescent();
+  EXPECT_TRUE(system.Converged());
+}
+
 TEST(RituTest, SingleVersionReducesToCommuBounding) {
   auto config = Config(Method::kRituSingle);
   config.network.base_latency_us = 20'000;

@@ -68,6 +68,38 @@ TEST(VersionStoreTest, RemoveVersion) {
   EXPECT_TRUE(store.RemoveVersion(9, {1, 0}).IsNotFound());
 }
 
+TEST(VersionStoreTest, MaxTimestampRecomputedWhenMaxVersionRemoved) {
+  VersionStore store;
+  store.AppendVersion(0, {1, 0}, Value(int64_t{1}));
+  store.AppendVersion(1, {5, 0}, Value(int64_t{5}));
+  store.AppendVersion(0, {9, 0}, Value(int64_t{9}));
+  ASSERT_EQ(store.MaxTimestamp(), (LamportTimestamp{9, 0}));
+  // COMPE's remove-version compensation deletes the newest version; the
+  // reported maximum must fall back to a timestamp some version carries.
+  ASSERT_TRUE(store.RemoveVersion(0, {9, 0}).ok());
+  EXPECT_EQ(store.MaxTimestamp(), (LamportTimestamp{5, 0}));
+  ASSERT_TRUE(store.RemoveVersion(1, {5, 0}).ok());
+  EXPECT_EQ(store.MaxTimestamp(), (LamportTimestamp{1, 0}));
+  ASSERT_TRUE(store.RemoveVersion(0, {1, 0}).ok());
+  EXPECT_EQ(store.MaxTimestamp(), kZeroTimestamp);
+}
+
+TEST(VersionStoreTest, MaxTimestampKeptWhenNonMaxVersionRemoved) {
+  VersionStore store;
+  store.AppendVersion(0, {1, 0}, Value(int64_t{1}));
+  store.AppendVersion(0, {9, 0}, Value(int64_t{9}));
+  ASSERT_TRUE(store.RemoveVersion(0, {1, 0}).ok());
+  EXPECT_EQ(store.MaxTimestamp(), (LamportTimestamp{9, 0}));
+}
+
+TEST(VersionStoreTest, RemovingLastVersionDropsObjectId) {
+  VersionStore store;
+  store.AppendVersion(7, {1, 0}, Value(int64_t{1}));
+  ASSERT_TRUE(store.RemoveVersion(7, {1, 0}).ok());
+  EXPECT_TRUE(store.ObjectIds().empty());
+  EXPECT_EQ(store.VersionCount(7), 0);
+}
+
 TEST(VersionStoreTest, DigestOrderIndependent) {
   VersionStore a, b;
   a.AppendVersion(0, {1, 0}, Value(int64_t{1}));
@@ -75,6 +107,24 @@ TEST(VersionStoreTest, DigestOrderIndependent) {
   b.AppendVersion(1, {2, 0}, Value(int64_t{2}));
   b.AppendVersion(0, {1, 0}, Value(int64_t{1}));
   EXPECT_EQ(a.StateDigest(), b.StateDigest());
+}
+
+TEST(VersionStoreTest, DigestSeparatesIdAndTimestampFields) {
+  // (id=1, ts=23.0) and (id=12, ts=3.0) both render to the byte stream
+  // "123.0" without field separators — distinct states must not collide.
+  VersionStore a, b;
+  a.AppendVersion(1, {23, 0}, Value(int64_t{0}));
+  b.AppendVersion(12, {3, 0}, Value(int64_t{0}));
+  EXPECT_NE(a.StateDigest(), b.StateDigest());
+}
+
+TEST(VersionStoreTest, DigestSeparatesTimestampAndValueFields) {
+  // (ts=2.1, value=11) and (ts=2.11, value=1) both render to the byte
+  // stream "2.111" without a separator between the timestamp and value.
+  VersionStore a, b;
+  a.AppendVersion(0, {2, 1}, Value(int64_t{11}));
+  b.AppendVersion(0, {2, 11}, Value(int64_t{1}));
+  EXPECT_NE(a.StateDigest(), b.StateDigest());
 }
 
 TEST(VersionStoreTest, DigestSensitiveToValues) {
